@@ -1,0 +1,199 @@
+package mpc_test
+
+import (
+	"io"
+	"os"
+	"testing"
+
+	"mpc/internal/bench"
+)
+
+// benchConfig sizes the experiment benchmarks. MPC_BENCH_FULL=1 switches to
+// the paper-shaped configuration (slower; used to regenerate
+// EXPERIMENTS.md numbers).
+func benchConfig() bench.Config {
+	if os.Getenv("MPC_BENCH_FULL") != "" {
+		return bench.Config{Triples: 200000, K: 8, Epsilon: 0.1, Seed: 1,
+			LogQueries: 1000, Scales: []int{100000, 300000, 1000000}}
+	}
+	return bench.Config{Triples: 20000, K: 4, Epsilon: 0.1, Seed: 1,
+		LogQueries: 100, Scales: []int{10000, 20000}}
+}
+
+// sink swallows rendered tables during benchmarking; set MPC_BENCH_PRINT=1
+// to see them.
+func sink() io.Writer {
+	if os.Getenv("MPC_BENCH_PRINT") != "" {
+		return os.Stdout
+	}
+	return io.Discard
+}
+
+// BenchmarkTable2CrossingProperties regenerates Table II: |L_cross| and
+// |E^c| for MPC / Subject_Hash / METIS over all six datasets.
+func BenchmarkTable2CrossingProperties(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunTable2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bench.RenderTable2(sink(), rows)
+	}
+}
+
+// BenchmarkTable3IEQPercentage regenerates Table III: the IEQ share per
+// strategy per dataset.
+func BenchmarkTable3IEQPercentage(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunTable3(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bench.RenderTable3(sink(), rows)
+	}
+}
+
+// BenchmarkTable4StagesLUBM regenerates Table IV: QDT/LET/JT for LQ1–LQ14
+// on the MPC LUBM cluster.
+func BenchmarkTable4StagesLUBM(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunTable4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bench.RenderStages(sink(), "Table IV (LUBM)", rows)
+	}
+}
+
+// BenchmarkTable5StagesYagoBio regenerates Table V: QDT/LET/JT for YQ1–YQ4
+// and BQ1–BQ5.
+func BenchmarkTable5StagesYagoBio(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		yago, bio, err := bench.RunTable5(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bench.RenderStages(sink(), "Table V (YAGO2)", yago)
+		bench.RenderStages(sink(), "Table V (Bio2RDF)", bio)
+	}
+}
+
+// BenchmarkFig7QueryComparison regenerates Fig. 7: per-query latency under
+// all four strategies on LUBM, YAGO2 and Bio2RDF.
+func BenchmarkFig7QueryComparison(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunFig7(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bench.RenderFig7(sink(), rows)
+	}
+}
+
+// BenchmarkFig8QueryLogs regenerates Fig. 8: query-log latency five-number
+// summaries on WatDiv, DBpedia and LGD.
+func BenchmarkFig8QueryLogs(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunFig8(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bench.RenderFig8(sink(), rows)
+	}
+}
+
+// BenchmarkTable6Offline regenerates Table VI: partitioning and loading
+// time per strategy per dataset.
+func BenchmarkTable6Offline(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunTable6(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bench.RenderTable6(sink(), rows)
+	}
+}
+
+// BenchmarkFig9And10Scalability regenerates Figs. 9 and 10: MPC offline and
+// online performance across dataset scales (LUBM and WatDiv).
+func BenchmarkFig9And10Scalability(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunScalability(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bench.RenderScalability(sink(), rows)
+	}
+}
+
+// BenchmarkFig11PartialEval regenerates Fig. 11: the partitioning-agnostic
+// engine comparison (gStoreD analogue) on non-star queries.
+func BenchmarkFig11PartialEval(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunFig11(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bench.RenderFig11(sink(), rows)
+	}
+}
+
+// BenchmarkTable7GreedyVsExact regenerates Table VII: greedy Algorithm 1
+// vs exact branch-and-bound selection on LUBM.
+func BenchmarkTable7GreedyVsExact(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunTable7(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bench.RenderTable7(sink(), rows)
+	}
+}
+
+// BenchmarkAblationSelectors compares forward greedy, reverse greedy and
+// exact internal-property selection (DESIGN.md A1).
+func BenchmarkAblationSelectors(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunAblationSelectors(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bench.RenderAblationSelectors(sink(), rows)
+	}
+}
+
+// BenchmarkAblationDSF measures the disjoint-set-forest optimization
+// against naive WCC recomputation (DESIGN.md A2).
+func BenchmarkAblationDSF(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunAblationDSF(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bench.RenderAblationDSF(sink(), rows)
+	}
+}
+
+// BenchmarkAblationEpsilonK sweeps k and ε (DESIGN.md A3).
+func BenchmarkAblationEpsilonK(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunAblationEpsilonK(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bench.RenderAblationEpsilonK(sink(), rows)
+	}
+}

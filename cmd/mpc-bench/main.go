@@ -1,0 +1,179 @@
+// Command mpc-bench runs the paper-reproduction experiments and prints the
+// regenerated tables and figure series.
+//
+// Usage:
+//
+//	mpc-bench -exp all
+//	mpc-bench -exp table2 -triples 100000 -k 8
+//	mpc-bench -exp fig8 -logqueries 1000
+//
+// Experiments: table2 table3 table4 table5 table6 table7 fig7 fig8 fig9
+// fig10 fig11 ablations all. Figures 9 and 10 share one runner (fig9 and
+// fig10 are aliases).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"mpc/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (table2..table7, fig7..fig11, ablations, all)")
+	triples := flag.Int("triples", 50000, "dataset size in triples")
+	k := flag.Int("k", 8, "number of sites")
+	epsilon := flag.Float64("epsilon", 0.1, "maximum imbalance ratio ε")
+	seed := flag.Int64("seed", 1, "seed")
+	logQueries := flag.Int("logqueries", 200, "query-log sample size")
+	scales := flag.String("scales", "25000,50000,100000", "comma-separated scales for fig9/fig10")
+	flag.Parse()
+
+	cfg := bench.Config{
+		Triples:    *triples,
+		K:          *k,
+		Epsilon:    *epsilon,
+		Seed:       *seed,
+		LogQueries: *logQueries,
+	}
+	for _, s := range strings.Split(*scales, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpc-bench: bad -scales entry %q\n", s)
+			os.Exit(2)
+		}
+		cfg.Scales = append(cfg.Scales, n)
+	}
+
+	if err := run(*exp, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "mpc-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, cfg bench.Config) error {
+	out := os.Stdout
+	runOne := func(name string) error {
+		start := time.Now()
+		switch name {
+		case "table2":
+			rows, err := bench.RunTable2(cfg)
+			if err != nil {
+				return err
+			}
+			bench.RenderTable2(out, rows)
+		case "table3":
+			rows, err := bench.RunTable3(cfg)
+			if err != nil {
+				return err
+			}
+			bench.RenderTable3(out, rows)
+		case "table4":
+			rows, err := bench.RunTable4(cfg)
+			if err != nil {
+				return err
+			}
+			bench.RenderStages(out, "Table IV: per-stage evaluation on LUBM (MPC)", rows)
+		case "table5":
+			yago, bio, err := bench.RunTable5(cfg)
+			if err != nil {
+				return err
+			}
+			bench.RenderStages(out, "Table V: per-stage evaluation on YAGO2 (MPC)", yago)
+			bench.RenderStages(out, "Table V: per-stage evaluation on Bio2RDF (MPC)", bio)
+		case "table6":
+			rows, err := bench.RunTable6(cfg)
+			if err != nil {
+				return err
+			}
+			bench.RenderTable6(out, rows)
+		case "table7":
+			rows, err := bench.RunTable7(cfg)
+			if err != nil {
+				return err
+			}
+			bench.RenderTable7(out, rows)
+		case "fig7":
+			rows, err := bench.RunFig7(cfg)
+			if err != nil {
+				return err
+			}
+			bench.RenderFig7(out, rows)
+		case "fig8":
+			rows, err := bench.RunFig8(cfg)
+			if err != nil {
+				return err
+			}
+			bench.RenderFig8(out, rows)
+		case "fig9", "fig10":
+			rows, err := bench.RunScalability(cfg)
+			if err != nil {
+				return err
+			}
+			bench.RenderScalability(out, rows)
+		case "fig11":
+			rows, err := bench.RunFig11(cfg)
+			if err != nil {
+				return err
+			}
+			bench.RenderFig11(out, rows)
+		case "ablations":
+			sel, err := bench.RunAblationSelectors(cfg)
+			if err != nil {
+				return err
+			}
+			bench.RenderAblationSelectors(out, sel)
+			dsf, err := bench.RunAblationDSF(cfg)
+			if err != nil {
+				return err
+			}
+			bench.RenderAblationDSF(out, dsf)
+			ek, err := bench.RunAblationEpsilonK(cfg)
+			if err != nil {
+				return err
+			}
+			bench.RenderAblationEpsilonK(out, ek)
+			kh, err := bench.RunAblationKHop(cfg)
+			if err != nil {
+				return err
+			}
+			bench.RenderAblationKHop(out, kh)
+			sj, err := bench.RunAblationSemijoin(cfg)
+			if err != nil {
+				return err
+			}
+			bench.RenderAblationSemijoin(out, sj)
+			wt, err := bench.RunAblationWeighted(cfg)
+			if err != nil {
+				return err
+			}
+			bench.RenderAblationWeighted(out, wt)
+			lc, err := bench.RunAblationLocalize(cfg)
+			if err != nil {
+				return err
+			}
+			bench.RenderAblationLocalize(out, lc)
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+
+	if exp == "all" {
+		for _, name := range []string{
+			"table2", "table3", "table4", "table5", "table6", "table7",
+			"fig7", "fig8", "fig9", "fig11", "ablations",
+		} {
+			if err := runOne(name); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		}
+		return nil
+	}
+	return runOne(exp)
+}

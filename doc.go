@@ -1,0 +1,13 @@
+// Package mpc is a from-scratch Go reproduction of "MPC: Minimum
+// Property-Cut RDF Graph Partitioning" (Peng, Özsu, Zou, Yan, Liu — ICDE
+// 2022): a vertex-disjoint RDF graph partitioner that minimizes the number
+// of distinct crossing properties so that a much larger class of SPARQL
+// basic graph patterns can be evaluated on every partition independently,
+// with no inter-partition join.
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory), the runnable entry points under cmd/ and examples/, and the
+// benchmark harness reproducing every table and figure of the paper's
+// evaluation under internal/bench with root-level testing.B wrappers in
+// bench_test.go.
+package mpc

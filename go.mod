@@ -1,0 +1,3 @@
+module mpc
+
+go 1.22

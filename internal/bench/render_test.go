@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRenderersOnFabricatedRows(t *testing.T) {
+	var buf bytes.Buffer
+
+	RenderTable6(&buf, []Table6Row{
+		{Dataset: "LUBM", Strategy: StratMPC, Partitioning: 12 * time.Second,
+			Loading: 15 * time.Second, Total: 27 * time.Second},
+	})
+	if !strings.Contains(buf.String(), "12.00s") {
+		t.Fatalf("Table VI render: %s", buf.String())
+	}
+
+	buf.Reset()
+	RenderTable7(&buf, []Table7Row{
+		{Strategy: "MPC", LCross: 5, ECross: 29971560, Partitioning: 12 * time.Minute},
+	})
+	if !strings.Contains(buf.String(), "29971560") {
+		t.Fatalf("Table VII render: %s", buf.String())
+	}
+
+	buf.Reset()
+	RenderFig8(&buf, []Fig8Row{
+		{Dataset: "WatDiv", Strategy: StratVP, Min: time.Microsecond,
+			Q1: 20 * time.Microsecond, Median: 50 * time.Millisecond,
+			Q3: 100 * time.Millisecond, Max: 2 * time.Second, Queries: 100},
+	})
+	out := buf.String()
+	if !strings.Contains(out, "WatDiv") || !strings.Contains(out, "50.0ms") {
+		t.Fatalf("Fig 8 render: %s", out)
+	}
+
+	buf.Reset()
+	RenderAblationDSF(&buf, []AblationDSFRow{
+		{Method: "rollback-DSF", SelectTime: time.Millisecond, LIn: 12},
+		{Method: "naive", SelectTime: 100 * time.Millisecond, LIn: 12},
+	})
+	if !strings.Contains(buf.String(), "rollback-DSF") {
+		t.Fatal("DSF render incomplete")
+	}
+
+	buf.Reset()
+	RenderAblationEpsilonK(&buf, []AblationEpsilonKRow{
+		{K: 8, Epsilon: 0.1, LCross: 6, ECross: 100, Balance: 0.095},
+	})
+	if !strings.Contains(buf.String(), "0.10") {
+		t.Fatal("ε/k render incomplete")
+	}
+}
+
+func TestDurationFormatting(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{500 * time.Microsecond, "500µs"},
+		{25 * time.Millisecond, "25.0ms"},
+		{3 * time.Second, "3.00s"},
+	}
+	for _, tc := range cases {
+		if got := fd(tc.d); got != tc.want {
+			t.Errorf("fd(%v) = %q, want %q", tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Triples != 50000 || c.K != 8 || c.Epsilon != 0.1 || c.Seed != 1 ||
+		c.LogQueries != 200 || len(c.Scales) != 3 {
+		t.Fatalf("defaults: %+v", c)
+	}
+	// Explicit values survive.
+	c = Config{Triples: 7, K: 3, Epsilon: 0.5, Seed: 9, LogQueries: 11,
+		Scales: []int{1}}.withDefaults()
+	if c.Triples != 7 || c.K != 3 || c.Epsilon != 0.5 || c.Seed != 9 ||
+		c.LogQueries != 11 || len(c.Scales) != 1 {
+		t.Fatalf("explicit config overridden: %+v", c)
+	}
+}

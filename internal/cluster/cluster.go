@@ -1,0 +1,451 @@
+// Package cluster simulates the paper's distributed SPARQL execution
+// environment: k sites each holding one partition in a local store, plus a
+// coordinator that classifies incoming queries, dispatches independently
+// executable queries (IEQs) to every site in parallel, decomposes non-IEQs
+// into subqueries (Algorithm 2 for crossing-aware systems, subject-star
+// decomposition for the baselines), and joins subquery results.
+//
+// The paper's testbed is 8 machines with MPICH; here sites are goroutines
+// and inter-partition data shipping is modeled by a configurable per-tuple
+// cost that is added to the reported join time. What the model preserves is
+// exactly the phenomenon under study: IEQs skip the join phase — and its
+// shipping cost — entirely.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mpc/internal/partition"
+	"mpc/internal/rdf"
+	"mpc/internal/sparql"
+	"mpc/internal/store"
+)
+
+// Mode selects the coordinator's execution strategy.
+type Mode int
+
+const (
+	// ModeCrossingAware uses the full IEQ classification of Section V and
+	// Algorithm 2 decomposition (MPC, Subject_Hash+, METIS+).
+	ModeCrossingAware Mode = iota
+	// ModeStarOnly treats only star queries as independently executable and
+	// decomposes everything else into subject stars (plain Subject_Hash,
+	// METIS: SHAPE, H-RDF-3X, TriAD style).
+	ModeStarOnly
+	// ModeVP is edge-disjoint execution: each pattern is evaluated at the
+	// site owning its property; a query is independent only if every
+	// pattern lives on one site.
+	ModeVP
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeCrossingAware:
+		return "crossing-aware"
+	case ModeStarOnly:
+		return "star-only"
+	default:
+		return "vp"
+	}
+}
+
+// Config tunes the simulator.
+type Config struct {
+	// Mode selects the execution strategy; default ModeCrossingAware.
+	Mode Mode
+	// NetCostPerTuple is the simulated cost of shipping one intermediate
+	// tuple to the coordinator for an inter-partition join. Zero means 2µs.
+	NetCostPerTuple time.Duration
+	// Sequential disables parallel site evaluation (useful in benchmarks
+	// that measure pure CPU work).
+	Sequential bool
+	// Semijoin enables the distributed semijoin reduction (AdPart/WORQ
+	// style) before inter-partition joins: subquery results are filtered
+	// by the join keys present in the other subqueries' results, shrinking
+	// the tuples shipped to the coordinator. A run-time optimization, as
+	// the paper notes — orthogonal to the partitioning itself.
+	Semijoin bool
+	// Localize skips sites that provably cannot contribute matches of an
+	// IEQ (sub)query: when a constant is guaranteed to match an internal
+	// vertex (Theorems 3/4), only its home partition is evaluated. This is
+	// the query-localization the paper leaves as future work; off by
+	// default to mirror the paper's execution model. Crossing-aware mode
+	// only.
+	Localize bool
+}
+
+// Cluster is a simulated distributed RDF system.
+type Cluster struct {
+	layout   partition.SiteLayout
+	sites    []*store.Store
+	crossing sparql.CrossingTest
+	vp       *partition.VPLayout
+	cfg      Config
+
+	// LoadTime is how long building all site stores took (the "loading"
+	// column of Table VI).
+	LoadTime time.Duration
+}
+
+// Stats reports the per-stage breakdown of one query execution, matching
+// the rows of Tables IV and V: QDT (decomposition), LET (local evaluation),
+// JT (join incl. simulated shipping).
+type Stats struct {
+	// Class is the query's executability class under this cluster's
+	// partitioning.
+	Class sparql.Class
+	// Independent reports whether the query ran without inter-partition
+	// join.
+	Independent bool
+	// NumSubqueries is 1 for IEQs, otherwise the decomposition size.
+	NumSubqueries int
+	// DecompTime is query classification + decomposition time (QDT).
+	DecompTime time.Duration
+	// LocalTime is the wall time of the parallel local evaluation (LET).
+	LocalTime time.Duration
+	// JoinTime is coordinator join computation time plus NetTime (JT).
+	JoinTime time.Duration
+	// NetTime is the simulated shipping cost included in JoinTime.
+	NetTime time.Duration
+	// TuplesShipped counts intermediate tuples moved for joins.
+	TuplesShipped int
+}
+
+// Total returns QDT+LET+JT, the end-to-end simulated latency.
+func (s Stats) Total() time.Duration { return s.DecompTime + s.LocalTime + s.JoinTime }
+
+// Result is a query answer with its execution statistics.
+type Result struct {
+	Table *store.Table
+	Stats Stats
+}
+
+// New builds a cluster over a site layout. crossing is the crossing-property
+// test derived from the partitioning; it is required for ModeCrossingAware
+// and ignored otherwise. For ModeVP, layout must be a *partition.VPLayout.
+func New(layout partition.SiteLayout, crossing sparql.CrossingTest, cfg Config) (*Cluster, error) {
+	if cfg.NetCostPerTuple == 0 {
+		cfg.NetCostPerTuple = 2 * time.Microsecond
+	}
+	c := &Cluster{layout: layout, crossing: crossing, cfg: cfg}
+	if cfg.Mode == ModeVP {
+		vp, ok := layout.(*partition.VPLayout)
+		if !ok {
+			return nil, fmt.Errorf("cluster: ModeVP requires a VPLayout, got %T", layout)
+		}
+		c.vp = vp
+	}
+	if cfg.Mode == ModeCrossingAware && crossing == nil {
+		return nil, fmt.Errorf("cluster: ModeCrossingAware requires a crossing test")
+	}
+	start := time.Now()
+	g := layout.Graph()
+	c.sites = make([]*store.Store, layout.NumSites())
+	var wg sync.WaitGroup
+	for i := range c.sites {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c.sites[i] = store.New(g, layout.SiteTriples(i))
+		}(i)
+	}
+	wg.Wait()
+	c.LoadTime = time.Since(start)
+	return c, nil
+}
+
+// NewFromPartitioning is a convenience constructor for vertex-disjoint
+// partitionings: the crossing test is derived from the partitioning itself.
+func NewFromPartitioning(p *partition.Partitioning, cfg Config) (*Cluster, error) {
+	g := p.Graph()
+	crossing := func(prop string) bool {
+		id, ok := g.Properties.Lookup(prop)
+		if !ok {
+			return false // unknown property labels no edge at all
+		}
+		return p.IsCrossingProperty(rdf.PropertyID(id))
+	}
+	return New(p, crossing, cfg)
+}
+
+// NumSites returns the cluster size.
+func (c *Cluster) NumSites() int { return len(c.sites) }
+
+// Site returns the store at site i (for inspection in tests).
+func (c *Cluster) Site(i int) *store.Store { return c.sites[i] }
+
+// Execute runs the query and returns its result and per-stage statistics.
+func (c *Cluster) Execute(q *sparql.Query) (*Result, error) {
+	switch c.cfg.Mode {
+	case ModeVP:
+		return c.executeVP(q)
+	case ModeStarOnly:
+		return c.executeVertexDisjoint(q, sparql.ClassifyPlain(q), sparql.DecomposeStars)
+	default:
+		class := sparql.Classify(q, c.crossing)
+		decomp := func(q *sparql.Query) []*sparql.Query {
+			return sparql.Decompose(q, c.crossing)
+		}
+		return c.executeVertexDisjoint(q, class, decomp)
+	}
+}
+
+// executeVertexDisjoint is the common path for all vertex-disjoint layouts:
+// IEQs are unioned across sites; non-IEQs are decomposed, each subquery is
+// evaluated over every site, and the subquery results are joined.
+func (c *Cluster) executeVertexDisjoint(q *sparql.Query, class sparql.Class,
+	decompose func(*sparql.Query) []*sparql.Query) (*Result, error) {
+
+	stats := Stats{Class: class}
+	t0 := time.Now()
+	var subs []*sparql.Query
+	if class.IsIEQ() {
+		subs = []*sparql.Query{q}
+		stats.Independent = true
+	} else {
+		subs = decompose(q)
+	}
+	stats.NumSubqueries = len(subs)
+	stats.DecompTime = time.Since(t0)
+
+	t1 := time.Now()
+	sitesPerSub := make([][]int, len(subs))
+	for si, sub := range subs {
+		if c.cfg.Localize && c.crossing != nil {
+			// Empty means a localizable constant proves the subquery empty
+			// (missing term, or constants pinned to different partitions).
+			sitesPerSub[si] = c.localizeSites(sub)
+		} else {
+			sitesPerSub[si] = c.allSites()
+		}
+	}
+	tables, err := c.evalPerSub(subs, sitesPerSub)
+	if err != nil {
+		return nil, err
+	}
+	stats.LocalTime = time.Since(t1)
+
+	var final *store.Table
+	if stats.Independent {
+		// No join phase at all: this is the whole point of an IEQ.
+		final = tables[0]
+	} else {
+		t2 := time.Now()
+		if c.cfg.Semijoin {
+			semijoinReduce(tables)
+		}
+		for _, tab := range tables {
+			stats.TuplesShipped += tab.Len()
+		}
+		final, err = joinAll(tables)
+		if err != nil {
+			return nil, err
+		}
+		stats.NetTime = time.Duration(stats.TuplesShipped) * c.cfg.NetCostPerTuple
+		stats.JoinTime = time.Since(t2) + stats.NetTime
+	}
+
+	final = project(final, q)
+	return &Result{Table: final, Stats: stats}, nil
+}
+
+// allSites returns [0..k).
+func (c *Cluster) allSites() []int {
+	s := make([]int, len(c.sites))
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}
+
+// localizeSites returns the sites that can contribute matches of an IEQ
+// subquery: when a localizable constant exists (sparql.LocalizableTerms),
+// only its home partition; an unknown constant or conflicting homes prove
+// the subquery empty (nil result). Without localizable constants, all
+// sites.
+func (c *Cluster) localizeSites(sub *sparql.Query) []int {
+	terms := sparql.LocalizableTerms(sub, c.crossing)
+	if len(terms) == 0 {
+		return c.allSites()
+	}
+	g := c.layout.Graph()
+	p, ok := c.layout.(*partition.Partitioning)
+	if !ok {
+		return c.allSites()
+	}
+	site := -1
+	for _, t := range terms {
+		id, known := g.Vertices.Lookup(t.Value)
+		if !known {
+			return nil // constant absent from the data: no matches anywhere
+		}
+		home := int(p.Assign[id])
+		if site == -1 {
+			site = home
+		} else if site != home {
+			return nil // two internal constants in different partitions
+		}
+	}
+	return []int{site}
+}
+
+// evalPerSub evaluates each subquery over its own site list (in parallel
+// unless Sequential) and merges per-subquery results with deduplication.
+// An empty site list yields an empty table with the subquery's schema.
+func (c *Cluster) evalPerSub(subs []*sparql.Query, sitesPerSub [][]int) ([]*store.Table, error) {
+	type key struct{ sub, site int }
+	results := make(map[key]*store.Table)
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	run := func(si int, site int) {
+		defer wg.Done()
+		tab, err := c.sites[site].Match(subs[si])
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		results[key{si, site}] = tab
+	}
+	for si := range subs {
+		for _, site := range sitesPerSub[si] {
+			wg.Add(1)
+			if c.cfg.Sequential {
+				run(si, site)
+			} else {
+				go run(si, site)
+			}
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	out := make([]*store.Table, len(subs))
+	for si := range subs {
+		if len(sitesPerSub[si]) == 0 {
+			out[si] = emptyTableFor(subs[si])
+			continue
+		}
+		var parts []*store.Table
+		for _, site := range sitesPerSub[si] {
+			parts = append(parts, results[key{si, site}])
+		}
+		out[si] = unionTables(parts)
+	}
+	return out, nil
+}
+
+// evalEverywhere evaluates each subquery over each given site (in parallel
+// unless Sequential) and merges per-subquery results with deduplication.
+func (c *Cluster) evalEverywhere(subs []*sparql.Query, siteIDs []int) ([]*store.Table, error) {
+	type key struct{ sub, site int }
+	results := make(map[key]*store.Table, len(subs)*len(siteIDs))
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	run := func(si int, site int) {
+		defer wg.Done()
+		tab, err := c.sites[site].Match(subs[si])
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		results[key{si, site}] = tab
+	}
+	for si := range subs {
+		for _, site := range siteIDs {
+			wg.Add(1)
+			if c.cfg.Sequential {
+				run(si, site)
+			} else {
+				go run(si, site)
+			}
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	out := make([]*store.Table, len(subs))
+	for si := range subs {
+		var parts []*store.Table
+		for _, site := range siteIDs {
+			parts = append(parts, results[key{si, site}])
+		}
+		out[si] = unionTables(parts)
+	}
+	return out, nil
+}
+
+// unionTables merges same-schema tables, deduplicating rows. Sites share
+// dictionaries, so columns align by variable name.
+func unionTables(tables []*store.Table) *store.Table {
+	if len(tables) == 0 {
+		return &store.Table{}
+	}
+	out := &store.Table{Vars: tables[0].Vars, Kinds: tables[0].Kinds}
+	seen := make(map[string]struct{})
+	for _, tab := range tables {
+		// Column mapping in case variable order differs.
+		colMap := make([]int, len(out.Vars))
+		for i, v := range out.Vars {
+			colMap[i] = tab.Col(v)
+		}
+		for _, row := range tab.Rows {
+			mapped := make([]uint32, len(out.Vars))
+			for i, c := range colMap {
+				if c >= 0 {
+					mapped[i] = row[c]
+				}
+			}
+			k := rowKey(mapped)
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			out.Rows = append(out.Rows, mapped)
+		}
+	}
+	return out
+}
+
+func rowKey(row []uint32) string {
+	buf := make([]byte, 0, len(row)*4)
+	for _, v := range row {
+		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(buf)
+}
+
+// project keeps only the query's selected variables (all variables when
+// SELECT *), preserving multiset semantics after projection.
+func project(t *store.Table, q *sparql.Query) *store.Table {
+	if len(q.Select) == 0 {
+		return t
+	}
+	cols := make([]int, 0, len(q.Select))
+	out := &store.Table{}
+	for _, v := range q.Select {
+		c := t.Col(v)
+		if c < 0 {
+			continue // selected variable not bound by the BGP
+		}
+		cols = append(cols, c)
+		out.Vars = append(out.Vars, v)
+		out.Kinds = append(out.Kinds, t.Kinds[c])
+	}
+	for _, row := range t.Rows {
+		pr := make([]uint32, len(cols))
+		for i, c := range cols {
+			pr[i] = row[c]
+		}
+		out.Rows = append(out.Rows, pr)
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package cluster
+
+import (
+	"fmt"
+
+	"mpc/internal/store"
+)
+
+// joinAll folds a list of binding tables into one by repeated hash joins.
+// At each step it prefers a table sharing variables with the accumulated
+// result (falling back to a Cartesian product only when the query truly has
+// disconnected subqueries, which Algorithm 2 does not produce for weakly
+// connected queries).
+func joinAll(tables []*store.Table) (*store.Table, error) {
+	if len(tables) == 0 {
+		return &store.Table{}, nil
+	}
+	acc := tables[0]
+	remaining := append([]*store.Table(nil), tables[1:]...)
+	for len(remaining) > 0 {
+		// Pick the next table with the most shared variables.
+		best, bestShared := 0, -1
+		for i, t := range remaining {
+			s := countShared(acc, t)
+			if s > bestShared {
+				best, bestShared = i, s
+			}
+		}
+		next := remaining[best]
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		var err error
+		acc, err = hashJoin(acc, next)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}
+
+func countShared(a, b *store.Table) int {
+	n := 0
+	for _, v := range b.Vars {
+		if a.Col(v) >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// semijoinReduce filters each table's rows to those whose shared-variable
+// values appear in every other table binding the same variable — the
+// distributed semijoin reduction AdPart and WORQ use to shrink what gets
+// shipped to the coordinator. One pass per shared variable; a full
+// semijoin program could reduce further, but one pass captures the bulk of
+// the effect and mirrors what one communication round buys.
+func semijoinReduce(tables []*store.Table) {
+	// Collect variables appearing in at least two tables.
+	varTables := map[string][]int{}
+	for ti, t := range tables {
+		for _, v := range t.Vars {
+			varTables[v] = append(varTables[v], ti)
+		}
+	}
+	for v, tis := range varTables {
+		if len(tis) < 2 {
+			continue
+		}
+		// Intersect the value sets of v across its tables.
+		var allowed map[uint32]bool
+		for _, ti := range tis {
+			t := tables[ti]
+			col := t.Col(v)
+			values := make(map[uint32]bool, len(t.Rows))
+			for _, row := range t.Rows {
+				values[row[col]] = true
+			}
+			if allowed == nil {
+				allowed = values
+				continue
+			}
+			for val := range allowed {
+				if !values[val] {
+					delete(allowed, val)
+				}
+			}
+		}
+		// Filter every participating table.
+		for _, ti := range tis {
+			t := tables[ti]
+			col := t.Col(v)
+			kept := t.Rows[:0]
+			for _, row := range t.Rows {
+				if allowed[row[col]] {
+					kept = append(kept, row)
+				}
+			}
+			t.Rows = kept
+		}
+	}
+}
+
+// hashJoin joins two tables on all shared variables. With no shared
+// variables it degenerates to a Cartesian product.
+func hashJoin(a, b *store.Table) (*store.Table, error) {
+	// Identify shared columns.
+	type pair struct{ ca, cb int }
+	var shared []pair
+	for cb, v := range b.Vars {
+		if ca := a.Col(v); ca >= 0 {
+			if a.Kinds[ca] != b.Kinds[cb] {
+				return nil, fmt.Errorf("cluster: variable ?%s has conflicting kinds across subqueries", v)
+			}
+			shared = append(shared, pair{ca, cb})
+		}
+	}
+	// Output schema: a's columns then b's non-shared columns.
+	out := &store.Table{
+		Vars:  append([]string(nil), a.Vars...),
+		Kinds: append([]store.VarKind(nil), a.Kinds...),
+	}
+	var bExtra []int
+	for cb, v := range b.Vars {
+		if a.Col(v) < 0 {
+			bExtra = append(bExtra, cb)
+			out.Vars = append(out.Vars, v)
+			out.Kinds = append(out.Kinds, b.Kinds[cb])
+		}
+	}
+
+	// Build on the smaller side. To keep the probe logic single, always
+	// build on b and probe with a (sizes here are modest; clarity wins).
+	index := make(map[string][]int, len(b.Rows))
+	keyB := func(row []uint32) string {
+		buf := make([]byte, 0, len(shared)*4)
+		for _, p := range shared {
+			v := row[p.cb]
+			buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		}
+		return string(buf)
+	}
+	keyA := func(row []uint32) string {
+		buf := make([]byte, 0, len(shared)*4)
+		for _, p := range shared {
+			v := row[p.ca]
+			buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		}
+		return string(buf)
+	}
+	for i, row := range b.Rows {
+		k := keyB(row)
+		index[k] = append(index[k], i)
+	}
+	for _, ra := range a.Rows {
+		for _, bi := range index[keyA(ra)] {
+			rb := b.Rows[bi]
+			row := make([]uint32, 0, len(out.Vars))
+			row = append(row, ra...)
+			for _, cb := range bExtra {
+				row = append(row, rb[cb])
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}

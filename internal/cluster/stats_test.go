@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"mpc/internal/partition"
+	"mpc/internal/sparql"
+)
+
+func TestModeString(t *testing.T) {
+	if ModeCrossingAware.String() != "crossing-aware" ||
+		ModeStarOnly.String() != "star-only" || ModeVP.String() != "vp" {
+		t.Fatal("mode names")
+	}
+}
+
+func TestStatsTotal(t *testing.T) {
+	s := Stats{DecompTime: time.Millisecond, LocalTime: 2 * time.Millisecond,
+		JoinTime: 3 * time.Millisecond}
+	if s.Total() != 6*time.Millisecond {
+		t.Fatalf("Total = %v", s.Total())
+	}
+}
+
+func TestClusterAccessors(t *testing.T) {
+	g := movieGraph()
+	p, err := (partition.SubjectHash{}).Partition(g, partition.Options{K: 3, Epsilon: 0.3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewFromPartitioning(p, Config{Mode: ModeStarOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumSites() != 3 {
+		t.Fatalf("NumSites = %d", c.NumSites())
+	}
+	total := 0
+	for i := 0; i < c.NumSites(); i++ {
+		if c.Site(i) == nil {
+			t.Fatalf("site %d nil", i)
+		}
+		total += c.Site(i).NumTriples()
+	}
+	if total < g.NumTriples() {
+		t.Fatalf("sites hold %d triples, graph has %d", total, g.NumTriples())
+	}
+	if c.LoadTime <= 0 {
+		t.Fatal("LoadTime not measured")
+	}
+}
+
+func TestSequentialModeMatchesParallel(t *testing.T) {
+	g := movieGraph()
+	p, err := (partition.SubjectHash{}).Partition(g, partition.Options{K: 2, Epsilon: 0.3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, _ := NewFromPartitioning(p, Config{Mode: ModeStarOnly})
+	seq, _ := NewFromPartitioning(p, Config{Mode: ModeStarOnly, Sequential: true})
+	q := sparql.MustParse(`SELECT * WHERE { ?f <starring> ?a . ?a <birthPlace> ?c }`)
+	a, err := par.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := seq.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameRows(rowSet(g, a.Table), rowSet(g, b.Table)) {
+		t.Fatal("sequential and parallel execution disagree")
+	}
+}
+
+func TestNetCostPerTupleScalesJoinTime(t *testing.T) {
+	g := movieGraph()
+	p, err := (partition.SubjectHash{}).Partition(g, partition.Options{K: 2, Epsilon: 0.3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cheap, _ := NewFromPartitioning(p, Config{Mode: ModeStarOnly, NetCostPerTuple: time.Microsecond})
+	costly, _ := NewFromPartitioning(p, Config{Mode: ModeStarOnly, NetCostPerTuple: time.Millisecond})
+	q := sparql.MustParse(`SELECT * WHERE { ?f <starring> ?a . ?a <birthPlace> ?c . ?c <foundingDate> ?d }`)
+	a, err := cheap.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := costly.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats.TuplesShipped == 0 || a.Stats.TuplesShipped != b.Stats.TuplesShipped {
+		t.Fatalf("shipping accounting: %d vs %d", a.Stats.TuplesShipped, b.Stats.TuplesShipped)
+	}
+	if b.Stats.NetTime <= a.Stats.NetTime {
+		t.Fatalf("NetTime did not scale with per-tuple cost: %v vs %v",
+			a.Stats.NetTime, b.Stats.NetTime)
+	}
+	if b.Stats.JoinTime < b.Stats.NetTime {
+		t.Fatal("JoinTime must include NetTime")
+	}
+}
+
+func TestVPUnknownPropertyAmongKnown(t *testing.T) {
+	g := movieGraph()
+	layout, err := (partition.VP{}).Partition(g, partition.Options{K: 2, Epsilon: 0.3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(layout, nil, Config{Mode: ModeVP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One known pattern joined with one unknown-property pattern: empty.
+	q := sparql.MustParse(`SELECT * WHERE { ?f <starring> ?a . ?a <nosuch> ?x }`)
+	res, err := c.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.Len() != 0 {
+		t.Fatalf("expected empty result, got %d rows", res.Table.Len())
+	}
+}

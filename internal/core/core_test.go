@@ -1,0 +1,385 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mpc/internal/partition"
+	"mpc/internal/rdf"
+)
+
+// twoCommunities builds a graph with two dense communities, each internally
+// connected by its own property, joined by a handful of "link" edges. MPC
+// with k=2 should select both community properties as internal and leave
+// only "link" crossing.
+func twoCommunities(size int) *rdf.Graph {
+	g := rdf.NewGraph()
+	for i := 0; i < size-1; i++ {
+		g.AddTriple(fmt.Sprintf("a%d", i), "propA", fmt.Sprintf("a%d", i+1))
+		g.AddTriple(fmt.Sprintf("b%d", i), "propB", fmt.Sprintf("b%d", i+1))
+	}
+	g.AddTriple("a0", "link", "b0")
+	g.AddTriple(fmt.Sprintf("a%d", size/2), "link", fmt.Sprintf("b%d", size/2))
+	g.Freeze()
+	return g
+}
+
+// randomGraph builds a random labeled multigraph for property tests.
+func randomGraph(rng *rand.Rand, nV, nP, nE int) *rdf.Graph {
+	g := rdf.NewGraph()
+	for i := 0; i < nE; i++ {
+		s := fmt.Sprintf("v%d", rng.Intn(nV))
+		o := fmt.Sprintf("v%d", rng.Intn(nV))
+		p := fmt.Sprintf("p%d", rng.Intn(nP))
+		g.AddTriple(s, p, o)
+	}
+	g.Freeze()
+	return g
+}
+
+func propID(t *testing.T, g *rdf.Graph, name string) rdf.PropertyID {
+	t.Helper()
+	id, ok := g.Properties.Lookup(name)
+	if !ok {
+		t.Fatalf("property %q not in graph", name)
+	}
+	return rdf.PropertyID(id)
+}
+
+func TestGreedySelectTwoCommunities(t *testing.T) {
+	g := twoCommunities(20)
+	// |V| = 40, k=2, ε=0.1 → cap = 22. Algorithm 1 picks the cheapest
+	// property first: link (largest WCC = 2), then exactly one of
+	// propA/propB (cost 22 = chain of 20 plus the two linked b-vertices);
+	// the other would merge everything (cost 40 > 22).
+	lin := GreedySelector{}.SelectInternal(g, 22)
+	if len(lin) != 2 {
+		t.Fatalf("|L_in| = %d (%v), want 2", len(lin), lin)
+	}
+	hasLink := false
+	communityProps := 0
+	for _, p := range lin {
+		switch p {
+		case propID(t, g, "link"):
+			hasLink = true
+		case propID(t, g, "propA"), propID(t, g, "propB"):
+			communityProps++
+		}
+	}
+	if !hasLink || communityProps != 1 {
+		t.Fatalf("L_in = %v, want link plus exactly one community property", lin)
+	}
+	if got := CostOf(g, lin); got > 22 {
+		t.Fatalf("Cost(L_in) = %d exceeds cap 22", got)
+	}
+}
+
+func TestGreedySelectRespectsCap(t *testing.T) {
+	g := twoCommunities(20)
+	// cap below a single community: nothing can be selected except perhaps
+	// link (whose largest WCC is 2 vertices per edge... link edges connect
+	// separate pairs: a0-b0 and a10-b10, each WCC has 2 vertices).
+	lin := GreedySelector{}.SelectInternal(g, 5)
+	for _, p := range lin {
+		if p == propID(t, g, "propA") || p == propID(t, g, "propB") {
+			t.Fatalf("property %d selected despite exceeding cap", p)
+		}
+	}
+	if got := CostOf(g, lin); got > 5 {
+		t.Fatalf("Cost(L_in) = %d exceeds cap 5", got)
+	}
+}
+
+func TestGreedyCostNeverExceedsCap(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 30+rng.Intn(40), 2+rng.Intn(8), 50+rng.Intn(150))
+		cap := 3 + rng.Intn(g.NumVertices())
+		lin := GreedySelector{}.SelectInternal(g, cap)
+		return CostOf(g, lin) <= cap
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyMaximal(t *testing.T) {
+	// Greedy must be maximal: no unselected property can still be added
+	// without violating the cap.
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 25+rng.Intn(25), 3+rng.Intn(6), 60+rng.Intn(80))
+		cap := 5 + rng.Intn(g.NumVertices())
+		lin := GreedySelector{}.SelectInternal(g, cap)
+		selected := make(map[rdf.PropertyID]bool, len(lin))
+		for _, p := range lin {
+			selected[p] = true
+		}
+		for p := 0; p < g.NumProperties(); p++ {
+			pid := rdf.PropertyID(p)
+			if selected[pid] {
+				continue
+			}
+			if CostOf(g, append(append([]rdf.PropertyID{}, lin...), pid)) <= cap {
+				return false // could have added pid
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactAtLeastAsGoodAsGreedy(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 20+rng.Intn(20), 2+rng.Intn(6), 40+rng.Intn(60))
+		cap := 4 + rng.Intn(g.NumVertices())
+		greedy := GreedySelector{}.SelectInternal(g, cap)
+		exact := ExactSelector{}.SelectInternal(g, cap)
+		if CostOf(g, exact) > cap {
+			return false
+		}
+		return len(exact) >= len(greedy)
+	}, &quick.Config{MaxCount: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactTwoCommunities(t *testing.T) {
+	g := twoCommunities(20)
+	lin := ExactSelector{}.SelectInternal(g, 22)
+	if len(lin) != 2 {
+		t.Fatalf("exact L_in size = %d, want 2", len(lin))
+	}
+}
+
+func TestExactFallsBackOnManyProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomGraph(rng, 40, 30, 120)
+	// MaxProperties 5 < 30 properties → must fall back to greedy, not hang.
+	lin := ExactSelector{MaxProperties: 5}.SelectInternal(g, 20)
+	if CostOf(g, lin) > 20 {
+		t.Fatal("fallback selection violates cap")
+	}
+}
+
+func TestReverseGreedyFeasible(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 30+rng.Intn(30), 3+rng.Intn(8), 60+rng.Intn(100))
+		cap := 5 + rng.Intn(g.NumVertices())
+		lin := ReverseGreedySelector{}.SelectInternal(g, cap)
+		return CostOf(g, lin) <= cap
+	}, &quick.Config{MaxCount: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReverseGreedyKeepsAllWhenFeasible(t *testing.T) {
+	g := twoCommunities(10)
+	// cap = |V|: everything fits, nothing should be removed.
+	lin := ReverseGreedySelector{}.SelectInternal(g, g.NumVertices())
+	if len(lin) != g.NumProperties() {
+		t.Fatalf("removed %d properties despite feasible full set", g.NumProperties()-len(lin))
+	}
+}
+
+func TestCoarsen(t *testing.T) {
+	g := twoCommunities(10) // 20 vertices
+	lin := []rdf.PropertyID{propID(t, g, "propA"), propID(t, g, "propB")}
+	coarse, cmap := Coarsen(g, lin)
+	if coarse.NumVertices() != 2 {
+		t.Fatalf("supervertices = %d, want 2", coarse.NumVertices())
+	}
+	if coarse.TotalVertexWeight() != int64(g.NumVertices()) {
+		t.Fatalf("total supervertex weight = %d, want %d", coarse.TotalVertexWeight(), g.NumVertices())
+	}
+	// All a* vertices share a supervertex; all b* share the other.
+	a0, _ := g.Vertices.Lookup("a0")
+	a5, _ := g.Vertices.Lookup("a5")
+	b0, _ := g.Vertices.Lookup("b0")
+	if cmap[a0] != cmap[a5] {
+		t.Fatal("a0 and a5 in different supervertices")
+	}
+	if cmap[a0] == cmap[b0] {
+		t.Fatal("a0 and b0 merged despite link being external")
+	}
+}
+
+func TestCoarsenEmptyLin(t *testing.T) {
+	g := twoCommunities(5)
+	coarse, cmap := Coarsen(g, nil)
+	if coarse.NumVertices() != g.NumVertices() {
+		t.Fatalf("empty L_in must keep all %d vertices, got %d", g.NumVertices(), coarse.NumVertices())
+	}
+	if len(cmap) != g.NumVertices() {
+		t.Fatal("cmap length mismatch")
+	}
+}
+
+func TestMPCPartitionTwoCommunities(t *testing.T) {
+	g := twoCommunities(20)
+	res, err := MPC{}.PartitionFull(g, partition.Options{K: 2, Epsilon: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly one property can cross: greedy internalizes link plus one
+	// community property (see TestGreedySelectTwoCommunities).
+	if res.NumCrossingProperties() != 1 {
+		t.Fatalf("|L_cross| = %d, want 1", res.NumCrossingProperties())
+	}
+	cross := res.CrossingProperties()[0]
+	if cross != propID(t, g, "propA") && cross != propID(t, g, "propB") {
+		t.Fatalf("crossing property = %s, want a community property",
+			g.Properties.String(uint32(cross)))
+	}
+	if err := VerifyInternal(res.Partitioning, res.LIn); err != nil {
+		t.Fatal(err)
+	}
+	if res.Imbalance() > 0.15 {
+		t.Fatalf("imbalance %.3f too high", res.Imbalance())
+	}
+	if res.NumSupervertices < 2 {
+		t.Fatalf("supervertices = %d, want >= 2", res.NumSupervertices)
+	}
+}
+
+// Theorem 2 as a property test: under MPC, no internal-property edge ever
+// crosses partitions, for arbitrary random graphs, k and ε.
+func TestTheorem2Property(t *testing.T) {
+	err := quick.Check(func(seed int64, kRaw, epsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + int(kRaw%4)
+		eps := 0.05 + float64(epsRaw%20)/40.0
+		g := randomGraph(rng, 30+rng.Intn(50), 3+rng.Intn(10), 80+rng.Intn(200))
+		res, err := MPC{}.PartitionFull(g, partition.Options{K: k, Epsilon: eps, Seed: seed})
+		if err != nil {
+			return false
+		}
+		if err := VerifyInternal(res.Partitioning, res.LIn); err != nil {
+			return false
+		}
+		// Every crossing property must label at least one crossing edge.
+		for _, p := range res.CrossingProperties() {
+			found := false
+			for _, ti := range res.CrossingEdges() {
+				if g.Triple(ti).P == p {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMPCCrossingNeverMoreThanTotalProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomGraph(rng, 60, 12, 250)
+	res, err := MPC{}.PartitionFull(g, partition.Options{K: 4, Epsilon: 0.1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumCrossingProperties()+len(res.LIn) > g.NumProperties() {
+		t.Fatal("L_cross and L_in overlap")
+	}
+}
+
+func TestMPCK1NoCrossings(t *testing.T) {
+	g := twoCommunities(10)
+	res, err := MPC{}.PartitionFull(g, partition.Options{K: 1, Epsilon: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumCrossingEdges() != 0 || res.NumCrossingProperties() != 0 {
+		t.Fatalf("k=1 must have no crossings, got %s", res.Summary())
+	}
+}
+
+func TestMPCMorePartitionsThanVertices(t *testing.T) {
+	g := rdf.NewGraph()
+	g.AddTriple("a", "p", "b")
+	g.AddTriple("c", "q", "d")
+	g.Freeze()
+	res, err := MPC{}.PartitionFull(g, partition.Options{K: 10, Epsilon: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, part := range res.Assign {
+		if part < 0 || part >= 10 {
+			t.Fatalf("assignment %d out of range", part)
+		}
+	}
+	if err := VerifyInternal(res.Partitioning, res.LIn); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMPCRejectsBadOptions(t *testing.T) {
+	g := twoCommunities(5)
+	if _, err := (MPC{}).Partition(g, partition.Options{K: 0}); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	if _, err := (MPC{}).Partition(g, partition.Options{K: 2, Epsilon: -1}); err == nil {
+		t.Fatal("negative epsilon accepted")
+	}
+}
+
+func TestMPCRejectsUnfrozenGraph(t *testing.T) {
+	g := rdf.NewGraph()
+	g.AddTriple("a", "p", "b")
+	if _, err := (MPC{}).Partition(g, partition.Options{K: 2, Epsilon: 0.1}); err == nil {
+		t.Fatal("unfrozen graph accepted")
+	}
+}
+
+func TestMPCName(t *testing.T) {
+	if (MPC{}).Name() != "MPC" {
+		t.Fatal("default name")
+	}
+	if (MPC{Selector: ExactSelector{}}).Name() != "MPC-Exact" {
+		t.Fatal("exact name")
+	}
+}
+
+func TestCostOfMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randomGraph(rng, 40, 8, 120)
+	all := g.AllProperties()
+	prev := 0
+	for i := 1; i <= len(all); i++ {
+		c := CostOf(g, all[:i])
+		if c < prev {
+			t.Fatalf("CostOf decreased: %d after %d", c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestVerifyInternalDetectsViolation(t *testing.T) {
+	g := twoCommunities(10)
+	// Force a bad assignment: split community A across partitions.
+	assign := make([]int32, g.NumVertices())
+	a1, _ := g.Vertices.Lookup("a1")
+	assign[a1] = 1
+	p, err := partition.FromAssignment(g, 2, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin := []rdf.PropertyID{propID(t, g, "propA")}
+	if err := VerifyInternal(p, lin); err == nil {
+		t.Fatal("VerifyInternal missed a crossing internal-property edge")
+	}
+}

@@ -1,0 +1,48 @@
+package core_test
+
+import (
+	"fmt"
+
+	"mpc/internal/core"
+	"mpc/internal/partition"
+	"mpc/internal/rdf"
+)
+
+// Partition a graph of two property-homogeneous communities linked by a
+// single "link" property: MPC leaves exactly one crossing property.
+func ExampleMPC_PartitionFull() {
+	g := rdf.NewGraph()
+	for i := 0; i < 19; i++ {
+		g.AddTriple(fmt.Sprintf("a%d", i), "propA", fmt.Sprintf("a%d", i+1))
+		g.AddTriple(fmt.Sprintf("b%d", i), "propB", fmt.Sprintf("b%d", i+1))
+	}
+	g.AddTriple("a0", "link", "b0")
+	g.Freeze()
+
+	res, err := core.MPC{}.PartitionFull(g, partition.Options{K: 2, Epsilon: 0.1, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("crossing properties:", res.NumCrossingProperties())
+	fmt.Println("internal properties:", len(res.LIn))
+	// Output:
+	// crossing properties: 1
+	// internal properties: 2
+}
+
+// The selection cost of Definition 4.2: the largest weakly connected
+// component of the property-induced subgraph.
+func ExampleCostOf() {
+	g := rdf.NewGraph()
+	g.AddTriple("a", "p", "b")
+	g.AddTriple("b", "p", "c")
+	g.AddTriple("x", "q", "y")
+	g.Freeze()
+	p, _ := g.Properties.Lookup("p")
+	q, _ := g.Properties.Lookup("q")
+	fmt.Println(core.CostOf(g, []rdf.PropertyID{rdf.PropertyID(p)}))
+	fmt.Println(core.CostOf(g, []rdf.PropertyID{rdf.PropertyID(p), rdf.PropertyID(q)}))
+	// Output:
+	// 3
+	// 3
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"mpc/internal/dsf"
+	"mpc/internal/metis"
+	"mpc/internal/partition"
+	"mpc/internal/rdf"
+)
+
+// MPC is the Minimum Property-Cut partitioner. It selects internal
+// properties with Selector (GreedySelector by default), coarsens each WCC of
+// G[L_in] into a supervertex, partitions the coarsened graph with the
+// multilevel min edge-cut algorithm, and projects the result back.
+type MPC struct {
+	// Selector chooses L_in; nil means GreedySelector.
+	Selector Selector
+}
+
+// Name implements partition.Partitioner.
+func (m MPC) Name() string {
+	if m.Selector != nil && m.Selector.Name() == "exact" {
+		return "MPC-Exact"
+	}
+	return "MPC"
+}
+
+// Result bundles the partitioning with MPC-specific artifacts, useful for
+// inspection and experiments.
+type Result struct {
+	*partition.Partitioning
+	// LIn is the selected internal property set.
+	LIn []rdf.PropertyID
+	// NumSupervertices is the vertex count of the coarsened graph G_c.
+	NumSupervertices int
+	// SelectTime, CoarsenTime and PartitionTime break down where the
+	// offline time went.
+	SelectTime    time.Duration
+	CoarsenTime   time.Duration
+	PartitionTime time.Duration
+}
+
+// Partition implements partition.Partitioner.
+func (m MPC) Partition(g *rdf.Graph, opts partition.Options) (*partition.Partitioning, error) {
+	res, err := m.PartitionFull(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	return res.Partitioning, nil
+}
+
+// PartitionFull runs MPC and returns the full Result.
+func (m MPC) PartitionFull(g *rdf.Graph, opts partition.Options) (*Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if !g.Frozen() {
+		return nil, fmt.Errorf("core: graph must be frozen")
+	}
+	sel := m.Selector
+	if sel == nil {
+		sel = GreedySelector{}
+	}
+	cap := opts.Cap(g.NumVertices())
+
+	t0 := time.Now()
+	lin := sel.SelectInternal(g, cap)
+	selectTime := time.Since(t0)
+
+	t1 := time.Now()
+	coarse, cmap := Coarsen(g, lin)
+	coarsenTime := time.Since(t1)
+
+	t2 := time.Now()
+	cpart := metis.PartitionKWay(coarse, opts.K, opts.Epsilon, opts.Seed)
+	assign := make([]int32, g.NumVertices())
+	for v := range assign {
+		assign[v] = cpart[cmap[v]]
+	}
+	p, err := partition.FromAssignment(g, opts.K, assign)
+	if err != nil {
+		return nil, err
+	}
+	partitionTime := time.Since(t2)
+
+	return &Result{
+		Partitioning:     p,
+		LIn:              lin,
+		NumSupervertices: coarse.NumVertices(),
+		SelectTime:       selectTime,
+		CoarsenTime:      coarsenTime,
+		PartitionTime:    partitionTime,
+	}, nil
+}
+
+// Coarsen contracts every WCC of G[lin] into a supervertex. It returns the
+// coarsened weighted graph G_c — whose vertex weights are WCC sizes and
+// whose edges are the non-internal-property edges joining different
+// supervertices — and the vertex→supervertex map.
+func Coarsen(g *rdf.Graph, lin []rdf.PropertyID) (*metis.Graph, []int32) {
+	f := g.WCC(lin)
+	// Dense supervertex numbering.
+	cmap := make([]int32, g.NumVertices())
+	rootID := make(map[int32]int32)
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		root := f.Find(v)
+		id, ok := rootID[root]
+		if !ok {
+			id = int32(len(rootID))
+			rootID[root] = id
+		}
+		cmap[v] = id
+	}
+	nc := len(rootID)
+	vw := make([]int64, nc)
+	for v := 0; v < g.NumVertices(); v++ {
+		vw[cmap[v]]++
+	}
+	internal := make([]bool, g.NumProperties())
+	for _, p := range lin {
+		internal[p] = true
+	}
+	var us, vs []int32
+	for _, t := range g.Triples() {
+		if internal[t.P] {
+			continue // contracted away
+		}
+		cu, cv := cmap[t.S], cmap[t.O]
+		if cu != cv {
+			us = append(us, cu)
+			vs = append(vs, cv)
+		}
+	}
+	return metis.BuildFromEdges(nc, us, vs, nil, vw), cmap
+}
+
+// VerifyInternal checks Theorem 2 on a finished partitioning: no edge whose
+// property is in lin may cross partitions. It returns an error naming the
+// first violation, or nil.
+func VerifyInternal(p *partition.Partitioning, lin []rdf.PropertyID) error {
+	g := p.Graph()
+	internal := make([]bool, g.NumProperties())
+	for _, pid := range lin {
+		internal[pid] = true
+	}
+	for _, ti := range p.CrossingEdges() {
+		t := g.Triple(ti)
+		if internal[t.P] {
+			return fmt.Errorf("core: internal property %q labels crossing edge %d",
+				g.Properties.String(uint32(t.P)), ti)
+		}
+	}
+	return nil
+}
+
+// CostOf computes Cost(L') = the largest WCC size of G[L'] (Definition 4.2).
+func CostOf(g *rdf.Graph, props []rdf.PropertyID) int {
+	f := dsf.New(g.NumVertices())
+	for _, p := range props {
+		for _, ti := range g.PropertyTriples(p) {
+			t := g.Triple(ti)
+			f.Union(int32(t.S), int32(t.O))
+		}
+	}
+	return int(f.MaxComponentSize())
+}

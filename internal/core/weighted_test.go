@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mpc/internal/rdf"
+	"mpc/internal/sparql"
+)
+
+// conflictGraph builds two overlapping chains: propA over v0..v7 (8
+// vertices) and propB over v5..v14 (10 vertices). With cap 10 only one of
+// them can be internal: selecting both yields a 15-vertex component.
+func conflictGraph() *rdf.Graph {
+	g := rdf.NewGraph()
+	for i := 0; i < 7; i++ {
+		g.AddTriple(fmt.Sprintf("v%d", i), "propA", fmt.Sprintf("v%d", i+1))
+	}
+	for i := 5; i < 14; i++ {
+		g.AddTriple(fmt.Sprintf("v%d", i), "propB", fmt.Sprintf("v%d", i+1))
+	}
+	g.Freeze()
+	return g
+}
+
+func TestWeightedPrefersWorkloadProperty(t *testing.T) {
+	g := conflictGraph()
+	pa := propID(t, g, "propA")
+	pb := propID(t, g, "propB")
+
+	// Unweighted greedy picks propA (cost 8 < 10), locking propB out.
+	plain := GreedySelector{}.SelectInternal(g, 10)
+	if len(plain) != 1 || plain[0] != pa {
+		t.Fatalf("unweighted L_in = %v, want [propA]", plain)
+	}
+
+	// With the workload heavily using propB, the weighted selector keeps
+	// propB internal instead.
+	weighted := WeightedGreedySelector{Weights: map[rdf.PropertyID]float64{pb: 5}}
+	lin := weighted.SelectInternal(g, 10)
+	if len(lin) != 1 || lin[0] != pb {
+		t.Fatalf("weighted L_in = %v, want [propB]", lin)
+	}
+}
+
+func TestWeightedRespectsCap(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 25+rng.Intn(25), 3+rng.Intn(6), 60+rng.Intn(80))
+		cap := 5 + rng.Intn(g.NumVertices())
+		weights := map[rdf.PropertyID]float64{}
+		for p := 0; p < g.NumProperties(); p++ {
+			weights[rdf.PropertyID(p)] = float64(rng.Intn(10))
+		}
+		lin := WeightedGreedySelector{Weights: weights}.SelectInternal(g, cap)
+		return CostOf(g, lin) <= cap
+	}, &quick.Config{MaxCount: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedMaximal(t *testing.T) {
+	// Like the unweighted greedy, the result must be maximal: nothing else
+	// fits.
+	rng := rand.New(rand.NewSource(3))
+	g := randomGraph(rng, 40, 8, 120)
+	cap := 20
+	weights := map[rdf.PropertyID]float64{0: 3, 1: 2}
+	lin := WeightedGreedySelector{Weights: weights}.SelectInternal(g, cap)
+	selected := map[rdf.PropertyID]bool{}
+	for _, p := range lin {
+		selected[p] = true
+	}
+	for p := 0; p < g.NumProperties(); p++ {
+		pid := rdf.PropertyID(p)
+		if selected[pid] {
+			continue
+		}
+		if CostOf(g, append(append([]rdf.PropertyID{}, lin...), pid)) <= cap {
+			t.Fatalf("property %d could still be added", pid)
+		}
+	}
+}
+
+func TestWeightedZeroWeightsMatchesEdgeOrder(t *testing.T) {
+	// With no weights, selection still produces a feasible maximal set.
+	g := twoCommunities(10)
+	lin := WeightedGreedySelector{}.SelectInternal(g, g.NumVertices())
+	if len(lin) != g.NumProperties() {
+		t.Fatalf("with a loose cap all properties must be internal, got %d/%d",
+			len(lin), g.NumProperties())
+	}
+}
+
+func TestWeightsFromWorkload(t *testing.T) {
+	g := conflictGraph()
+	queries := []*sparql.Query{
+		sparql.MustParse(`SELECT * WHERE { ?x <propB> ?y }`),
+		sparql.MustParse(`SELECT * WHERE { ?x <propB> ?y . ?y <propA> ?z }`),
+		sparql.MustParse(`SELECT * WHERE { ?x <missing> ?y }`),
+	}
+	w := WeightsFromWorkload(g, queries)
+	pa, pb := propID(t, g, "propA"), propID(t, g, "propB")
+	if w[pb] != 2 || w[pa] != 1 {
+		t.Fatalf("weights = %v, want propB=2 propA=1", w)
+	}
+	if len(w) != 2 {
+		t.Fatalf("unknown properties must not appear: %v", w)
+	}
+}
+
+func TestWeightedSelectorName(t *testing.T) {
+	if (WeightedGreedySelector{}).Name() != "weighted-greedy" {
+		t.Fatal("name")
+	}
+	// MPC with the weighted selector is still called MPC.
+	if (MPC{Selector: WeightedGreedySelector{}}).Name() != "MPC" {
+		t.Fatal("MPC name with weighted selector")
+	}
+}

@@ -1,0 +1,62 @@
+// Package datagen generates the synthetic RDF datasets used by the
+// benchmark harness. Two of the paper's datasets (LUBM, WatDiv) are
+// themselves synthetic, and the generators here mimic their published
+// structure. The four real datasets (YAGO2, Bio2RDF, DBpedia, LGD) are not
+// redistributable at laptop scale, so this package generates scaled
+// synthetic analogues that reproduce the structural characteristics the MPC
+// paper exploits: the number of distinct properties, the skew of the
+// property-frequency distribution, the domain-clustering of entities, and
+// the presence of global "hub" properties (rdf:type and friends) whose
+// induced subgraphs are giant.
+//
+// Every generator is deterministic for a given (triples, seed) pair.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mpc/internal/rdf"
+)
+
+// Generator produces a synthetic RDF graph of roughly the requested number
+// of triples (generators overshoot or undershoot by at most a few percent,
+// as entity templates are emitted whole).
+type Generator interface {
+	// Name identifies the dataset family ("LUBM", "WatDiv", ...).
+	Name() string
+	// Generate builds a frozen graph with about triples triples.
+	Generate(triples int, seed int64) *rdf.Graph
+}
+
+// ByName returns the generator for a dataset family name, matching the
+// names used in the paper's tables.
+func ByName(name string) (Generator, error) {
+	switch name {
+	case "LUBM", "lubm":
+		return LUBM{}, nil
+	case "WatDiv", "watdiv":
+		return WatDiv{}, nil
+	case "YAGO2", "yago2", "yago":
+		return YAGO2{}, nil
+	case "Bio2RDF", "bio2rdf", "bio":
+		return Bio2RDF{}, nil
+	case "DBpedia", "dbpedia":
+		return DBpedia{}, nil
+	case "LGD", "lgd":
+		return LGD{}, nil
+	default:
+		return nil, fmt.Errorf("datagen: unknown dataset %q", name)
+	}
+}
+
+// All returns every generator in the paper's table order.
+func All() []Generator {
+	return []Generator{LUBM{}, WatDiv{}, YAGO2{}, Bio2RDF{}, DBpedia{}, LGD{}}
+}
+
+// The rdf:type property, shared by all vocabularies.
+const RDFType = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+
+// pick returns a random element of xs.
+func pick[T any](rng *rand.Rand, xs []T) T { return xs[rng.Intn(len(xs))] }

@@ -1,0 +1,165 @@
+package datagen
+
+import (
+	"testing"
+
+	"mpc/internal/core"
+	"mpc/internal/partition"
+	"mpc/internal/rdf"
+)
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"LUBM", "WatDiv", "YAGO2", "Bio2RDF", "DBpedia", "LGD"} {
+		gen, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if gen.Name() != name {
+			t.Fatalf("ByName(%q).Name() = %q", name, gen.Name())
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if len(All()) != 6 {
+		t.Fatalf("All() = %d generators, want 6", len(All()))
+	}
+}
+
+func TestGeneratorSizes(t *testing.T) {
+	for _, gen := range All() {
+		g := gen.Generate(20000, 1)
+		n := g.NumTriples()
+		if n < 14000 || n > 30000 {
+			t.Errorf("%s: generated %d triples for request of 20000", gen.Name(), n)
+		}
+		if !g.Frozen() {
+			t.Errorf("%s: graph not frozen", gen.Name())
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	for _, gen := range All() {
+		a := gen.Generate(5000, 7)
+		b := gen.Generate(5000, 7)
+		if a.NumTriples() != b.NumTriples() || a.NumVertices() != b.NumVertices() ||
+			a.NumProperties() != b.NumProperties() {
+			t.Errorf("%s: same seed gave different graphs: %s vs %s",
+				gen.Name(), a.Stats(), b.Stats())
+			continue
+		}
+		for i := 0; i < a.NumTriples(); i++ {
+			if a.Triple(int32(i)) != b.Triple(int32(i)) {
+				t.Errorf("%s: triple %d differs between same-seed runs", gen.Name(), i)
+				break
+			}
+		}
+	}
+}
+
+func TestGeneratorSeedsDiffer(t *testing.T) {
+	a := LUBM{}.Generate(5000, 1)
+	b := LUBM{}.Generate(5000, 2)
+	same := a.NumTriples() == b.NumTriples()
+	if same {
+		for i := 0; i < a.NumTriples(); i++ {
+			if a.Triple(int32(i)) != b.Triple(int32(i)) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestPropertyCounts(t *testing.T) {
+	cases := []struct {
+		gen      Generator
+		min, max int // observed properties at 30k triples
+		declared int // size of the declared vocabulary
+		vocab    []string
+	}{
+		{LUBM{}, 18, 18, 18, nil},
+		{WatDiv{}, 60, 86, 86, WatDivProperties()},
+		{YAGO2{}, 80, 98, 98, YAGO2Properties()},
+		{Bio2RDF{}, 1200, 1581, 1581, Bio2RDFProperties()},
+		{DBpedia{}, 500, 3002, 3002, DBpediaProperties()},
+		{LGD{}, 300, 1205, 1205, LGDProperties()},
+	}
+	for _, tc := range cases {
+		g := tc.gen.Generate(30000, 3)
+		n := g.NumProperties()
+		if n < tc.min || n > tc.max {
+			t.Errorf("%s: %d observed properties, want in [%d,%d]",
+				tc.gen.Name(), n, tc.min, tc.max)
+		}
+		if tc.vocab != nil {
+			if len(tc.vocab) != tc.declared {
+				t.Errorf("%s: declared vocabulary has %d properties, want %d",
+					tc.gen.Name(), len(tc.vocab), tc.declared)
+			}
+			seen := map[string]bool{}
+			for _, p := range tc.vocab {
+				if seen[p] {
+					t.Errorf("%s: duplicate property %q in vocabulary", tc.gen.Name(), p)
+				}
+				seen[p] = true
+			}
+		}
+	}
+}
+
+func TestLUBMStructure(t *testing.T) {
+	g := LUBM{}.Generate(20000, 1)
+	// Every LUBM property must appear.
+	for _, p := range []string{
+		LUBMWorksFor, LUBMMemberOf, LUBMAdvisor, LUBMTakesCourse,
+		LUBMTeacherOf, LUBMUgDegreeFrom, LUBMMsDegreeFrom, LUBMPhdDegreeFrom,
+		LUBMSubOrgOf, LUBMHeadOf, LUBMPubAuthor, RDFType,
+	} {
+		if _, ok := g.Properties.Lookup(p); !ok {
+			t.Errorf("property %s missing from generated LUBM", p)
+		}
+	}
+	// rdf:type must be a hub: its induced subgraph has a giant WCC.
+	tid, _ := g.Properties.Lookup(RDFType)
+	f := g.WCC([]rdf.PropertyID{rdf.PropertyID(tid)})
+	if int(f.MaxComponentSize()) < g.NumVertices()/10 {
+		t.Errorf("rdf:type max WCC = %d of %d vertices; expected a hub",
+			f.MaxComponentSize(), g.NumVertices())
+	}
+	// worksFor must be local: its WCCs are department-sized.
+	wid, _ := g.Properties.Lookup(LUBMWorksFor)
+	f = g.WCC([]rdf.PropertyID{rdf.PropertyID(wid)})
+	if int(f.MaxComponentSize()) > 50 {
+		t.Errorf("worksFor max WCC = %d; expected department-sized", f.MaxComponentSize())
+	}
+}
+
+// TestMPCAdvantageShape is the core structural check: on every dataset, MPC
+// must produce (far) fewer crossing properties than subject hashing — the
+// Table II phenomenon.
+func TestMPCAdvantageShape(t *testing.T) {
+	opts := partition.Options{K: 4, Epsilon: 0.1, Seed: 1}
+	for _, gen := range All() {
+		g := gen.Generate(20000, 1)
+		mpcP, err := core.MPC{}.Partition(g, opts)
+		if err != nil {
+			t.Fatalf("%s: MPC: %v", gen.Name(), err)
+		}
+		hashP, err := partition.SubjectHash{}.Partition(g, opts)
+		if err != nil {
+			t.Fatalf("%s: hash: %v", gen.Name(), err)
+		}
+		mc, hc := mpcP.NumCrossingProperties(), hashP.NumCrossingProperties()
+		if mc >= hc {
+			t.Errorf("%s: MPC |L_cross|=%d not below Subject_Hash %d", gen.Name(), mc, hc)
+		}
+		t.Logf("%s: |L|=%d MPC=%d Subject_Hash=%d (|E^c| %d vs %d)",
+			gen.Name(), g.NumProperties(), mc, hc,
+			mpcP.NumCrossingEdges(), hashP.NumCrossingEdges())
+	}
+}

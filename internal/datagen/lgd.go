@@ -1,0 +1,97 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mpc/internal/rdf"
+)
+
+// LGDNS is the namespace of the LinkedGeoData-like generator. LGD (Stadler
+// et al. 2012) is a spatial RDF graph derived from OpenStreetMap: nodes and
+// ways carry tag predicates (~33,000 of them, scaled to 1,200 here), and
+// spatial structure is strongly regional — features relate to features in
+// the same map tile, with only roads connecting adjacent tiles. The paper
+// reports only 6 crossing properties under MPC vs ~2,010 for the baselines,
+// and a 96.95% star-query share in the real query log.
+const LGDNS = "http://lgd.example.org/"
+
+// lgdNumTagProps is the scaled-down tag-predicate count.
+const lgdNumTagProps = 1200
+
+// lgdTileSize is the number of features per map tile.
+const lgdTileSize = 45
+
+// lgdSpatialProps relate features within a tile.
+var lgdSpatialProps = []string{
+	LGDNS + "isPartOf", LGDNS + "nearbyFeature", LGDNS + "memberOfWay",
+}
+
+// lgdRoadProp connects adjacent tiles (the only graph-spanning property
+// besides rdf:type).
+var lgdRoadProp = LGDNS + "connectsTo"
+
+// LGDProperties returns all property IRIs (1,205 total).
+func LGDProperties() []string {
+	out := make([]string, 0, lgdNumTagProps+5)
+	for i := 0; i < lgdNumTagProps; i++ {
+		out = append(out, fmt.Sprintf("%stag/k%04d", LGDNS, i))
+	}
+	out = append(out, lgdSpatialProps...)
+	out = append(out, lgdRoadProp, RDFType)
+	return out
+}
+
+// LGD generates a spatial graph of map tiles.
+type LGD struct{}
+
+// Name implements Generator.
+func (LGD) Name() string { return "LGD" }
+
+// Generate implements Generator. Each feature emits ≈8 triples: one type,
+// ~4 tag facts (literal values), ~2 intra-tile spatial relations, and a
+// road edge to the next tile for a few border features.
+func (LGD) Generate(triples int, seed int64) *rdf.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := rdf.NewGraph()
+	nFeatures := triples / 8
+	if nFeatures < 2*lgdTileSize {
+		nFeatures = 2 * lgdTileSize
+	}
+	features := make([]string, nFeatures)
+	for i := range features {
+		features[i] = fmt.Sprintf("%snode%d", LGDNS, i)
+	}
+	tags := make([]string, lgdNumTagProps)
+	for i := range tags {
+		tags[i] = fmt.Sprintf("%stag/k%04d", LGDNS, i)
+	}
+	zipf := rand.NewZipf(rng, 1.2, 1, uint64(lgdNumTagProps-1))
+	classes := []string{LGDNS + "Node", LGDNS + "Way", LGDNS + "Relation"}
+
+	nTiles := (nFeatures + lgdTileSize - 1) / lgdTileSize
+	for i, f := range features {
+		tile := i / lgdTileSize
+		lo := tile * lgdTileSize
+		hi := lo + lgdTileSize
+		if hi > nFeatures {
+			hi = nFeatures
+		}
+		g.AddTriple(f, RDFType, pick(rng, classes))
+		for t := 0; t < 3+rng.Intn(3); t++ {
+			g.AddTriple(f, tags[int(zipf.Uint64())], fmt.Sprintf(`"t%d.%d"`, i, t))
+		}
+		for s := 0; s < 1+rng.Intn(2); s++ {
+			g.AddTriple(f, pick(rng, lgdSpatialProps), features[lo+rng.Intn(hi-lo)])
+		}
+		// Border features connect to the next tile.
+		if i%lgdTileSize == 0 && nTiles > 1 {
+			next := ((tile + 1) % nTiles) * lgdTileSize
+			if next < nFeatures {
+				g.AddTriple(f, lgdRoadProp, features[next])
+			}
+		}
+	}
+	g.Freeze()
+	return g
+}

@@ -1,0 +1,155 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mpc/internal/rdf"
+)
+
+// LUBM namespace and the 18 properties of the LUBM ontology (Guo, Pan &
+// Heflin 2005) as used in the paper's experiments.
+const LUBMNS = "http://lubm.example.org/univ#"
+
+// LUBM property IRIs. The three degree properties and rdf:type are the
+// natural crossing properties: degrees point at arbitrary universities and
+// rdf:type at globally shared class vertices; everything else stays inside
+// one university.
+var (
+	LUBMName          = LUBMNS + "name"
+	LUBMEmail         = LUBMNS + "emailAddress"
+	LUBMTelephone     = LUBMNS + "telephone"
+	LUBMResearch      = LUBMNS + "researchInterest"
+	LUBMTitle         = LUBMNS + "title"
+	LUBMTeacherOf     = LUBMNS + "teacherOf"
+	LUBMTakesCourse   = LUBMNS + "takesCourse"
+	LUBMAdvisor       = LUBMNS + "advisor"
+	LUBMWorksFor      = LUBMNS + "worksFor"
+	LUBMMemberOf      = LUBMNS + "memberOf"
+	LUBMSubOrgOf      = LUBMNS + "subOrganizationOf"
+	LUBMHeadOf        = LUBMNS + "headOf"
+	LUBMUgDegreeFrom  = LUBMNS + "undergraduateDegreeFrom"
+	LUBMMsDegreeFrom  = LUBMNS + "mastersDegreeFrom"
+	LUBMPhdDegreeFrom = LUBMNS + "doctoralDegreeFrom"
+	LUBMPubAuthor     = LUBMNS + "publicationAuthor"
+	LUBMTaOf          = LUBMNS + "teachingAssistantOf"
+)
+
+// LUBM class IRIs (rdf:type objects — global hub vertices).
+var lubmClasses = []string{
+	LUBMNS + "University", LUBMNS + "Department", LUBMNS + "Professor",
+	LUBMNS + "GraduateStudent", LUBMNS + "UndergraduateStudent",
+	LUBMNS + "Course", LUBMNS + "Publication",
+}
+
+// LUBM generates a university-domain graph: universities are nearly
+// disconnected communities, linked only by the three degreeFrom properties
+// and the shared rdf:type class vertices.
+type LUBM struct{}
+
+// Name implements Generator.
+func (LUBM) Name() string { return "LUBM" }
+
+// Generate implements Generator. One university emits ≈540 triples; the
+// university count is derived from the requested size.
+func (LUBM) Generate(triples int, seed int64) *rdf.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := rdf.NewGraph()
+	const perUniversity = 800
+	nUniv := triples / perUniversity
+	if nUniv < 2 {
+		nUniv = 2
+	}
+	univs := make([]string, nUniv)
+	for u := range univs {
+		univs[u] = fmt.Sprintf("%sUniversity%d", LUBMNS, u)
+	}
+	for u := 0; u < nUniv; u++ {
+		emitUniversity(g, rng, univs, u)
+	}
+	g.Freeze()
+	return g
+}
+
+// emitUniversity writes one university community.
+func emitUniversity(g *rdf.Graph, rng *rand.Rand, univs []string, u int) {
+	univ := univs[u]
+	g.AddTriple(univ, RDFType, lubmClasses[0])
+	g.AddTriple(univ, LUBMName, fmt.Sprintf(`"Univ%d"`, u))
+
+	nDept := 3 + rng.Intn(3)
+	for d := 0; d < nDept; d++ {
+		dept := fmt.Sprintf("%sDept%d.U%d", LUBMNS, d, u)
+		g.AddTriple(dept, RDFType, lubmClasses[1])
+		g.AddTriple(dept, LUBMSubOrgOf, univ)
+		g.AddTriple(dept, LUBMName, fmt.Sprintf(`"Dept%d.U%d"`, d, u))
+
+		nProf := 3 + rng.Intn(3)
+		profs := make([]string, nProf)
+		var courses []string
+		for p := 0; p < nProf; p++ {
+			prof := fmt.Sprintf("%sProf%d.D%d.U%d", LUBMNS, p, d, u)
+			profs[p] = prof
+			g.AddTriple(prof, RDFType, lubmClasses[2])
+			g.AddTriple(prof, LUBMWorksFor, dept)
+			g.AddTriple(prof, LUBMName, fmt.Sprintf(`"Prof%d.%d.%d"`, p, d, u))
+			g.AddTriple(prof, LUBMEmail, fmt.Sprintf(`"p%d.%d.%d@u"`, p, d, u))
+			g.AddTriple(prof, LUBMTelephone, fmt.Sprintf(`"555-%d%d%d"`, p, d, u))
+			g.AddTriple(prof, LUBMResearch, fmt.Sprintf(`"Area%d"`, rng.Intn(20)))
+			g.AddTriple(prof, LUBMTitle, fmt.Sprintf(`"Title%d"`, rng.Intn(5)))
+			// Degrees point at arbitrary universities: the crossing edges.
+			g.AddTriple(prof, LUBMUgDegreeFrom, pick(rng, univs))
+			g.AddTriple(prof, LUBMMsDegreeFrom, pick(rng, univs))
+			g.AddTriple(prof, LUBMPhdDegreeFrom, pick(rng, univs))
+			if p == 0 {
+				g.AddTriple(prof, LUBMHeadOf, dept)
+			}
+			// Courses taught by this professor.
+			nCourse := 1 + rng.Intn(2)
+			for c := 0; c < nCourse; c++ {
+				course := fmt.Sprintf("%sCourse%d.P%d.D%d.U%d", LUBMNS, c, p, d, u)
+				courses = append(courses, course)
+				g.AddTriple(course, RDFType, lubmClasses[5])
+				g.AddTriple(prof, LUBMTeacherOf, course)
+				g.AddTriple(course, LUBMName, fmt.Sprintf(`"C%d.%d.%d.%d"`, c, p, d, u))
+			}
+			// Publications.
+			nPub := 1 + rng.Intn(3)
+			for pb := 0; pb < nPub; pb++ {
+				pub := fmt.Sprintf("%sPub%d.P%d.D%d.U%d", LUBMNS, pb, p, d, u)
+				g.AddTriple(pub, RDFType, lubmClasses[6])
+				g.AddTriple(pub, LUBMPubAuthor, prof)
+			}
+		}
+		// Students.
+		nGrad := 4 + rng.Intn(4)
+		for s := 0; s < nGrad; s++ {
+			grad := fmt.Sprintf("%sGrad%d.D%d.U%d", LUBMNS, s, d, u)
+			g.AddTriple(grad, RDFType, lubmClasses[3])
+			g.AddTriple(grad, LUBMMemberOf, dept)
+			g.AddTriple(grad, LUBMAdvisor, pick(rng, profs))
+			g.AddTriple(grad, LUBMUgDegreeFrom, pick(rng, univs))
+			g.AddTriple(grad, LUBMName, fmt.Sprintf(`"G%d.%d.%d"`, s, d, u))
+			g.AddTriple(grad, LUBMEmail, fmt.Sprintf(`"g%d.%d.%d@u"`, s, d, u))
+			for c := 0; c < 1+rng.Intn(3); c++ {
+				g.AddTriple(grad, LUBMTakesCourse, pick(rng, courses))
+			}
+			if rng.Intn(4) == 0 {
+				g.AddTriple(grad, LUBMTaOf, pick(rng, courses))
+			}
+		}
+		nUnder := 8 + rng.Intn(6)
+		for s := 0; s < nUnder; s++ {
+			under := fmt.Sprintf("%sUnder%d.D%d.U%d", LUBMNS, s, d, u)
+			g.AddTriple(under, RDFType, lubmClasses[4])
+			g.AddTriple(under, LUBMMemberOf, dept)
+			g.AddTriple(under, LUBMName, fmt.Sprintf(`"U%d.%d.%d"`, s, d, u))
+			for c := 0; c < 2+rng.Intn(3); c++ {
+				g.AddTriple(under, LUBMTakesCourse, pick(rng, courses))
+			}
+			if rng.Intn(3) == 0 {
+				g.AddTriple(under, LUBMAdvisor, pick(rng, profs))
+			}
+		}
+	}
+}

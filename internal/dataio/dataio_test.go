@@ -1,0 +1,64 @@
+package dataio
+
+import (
+	"path/filepath"
+	"testing"
+
+	"mpc/internal/rdf"
+)
+
+func sample() *rdf.Graph {
+	g := rdf.NewGraph()
+	g.AddTriple("http://ex/a", "http://ex/p", "http://ex/b")
+	g.AddTriple("http://ex/b", "http://ex/p", `"lit"`)
+	g.Freeze()
+	return g
+}
+
+func TestRoundtripNTriples(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.nt")
+	g := sample()
+	if err := SaveFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumTriples() != g.NumTriples() {
+		t.Fatalf("triples = %d, want %d", g2.NumTriples(), g.NumTriples())
+	}
+}
+
+func TestRoundtripSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g"+SnapshotExt)
+	g := sample()
+	if err := SaveFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumTriples() != g.NumTriples() || g2.NumVertices() != g.NumVertices() {
+		t.Fatalf("roundtrip mismatch: %s vs %s", g.Stats(), g2.Stats())
+	}
+	// Snapshot preserves exact IDs, so triples match positionally.
+	for i := 0; i < g.NumTriples(); i++ {
+		if g.Triple(int32(i)) != g2.Triple(int32(i)) {
+			t.Fatalf("triple %d differs", i)
+		}
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "nope.nt")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestSaveFileBadDir(t *testing.T) {
+	if err := SaveFile(filepath.Join(t.TempDir(), "no", "dir", "g.nt"), sample()); err == nil {
+		t.Fatal("unwritable path accepted")
+	}
+}

@@ -1,0 +1,145 @@
+// Package dsf implements disjoint-set forests (union-find) with union by
+// rank, path compression, and per-set size tracking, as required by the MPC
+// internal-property selection algorithm (Peng et al., ICDE 2022, Sec. IV-D).
+//
+// Two variants are provided:
+//
+//   - Forest: the classical structure with path compression. It supports
+//     Clone and MergeFrom so that DS(L_in ∪ {p}) can be computed by merging
+//     DS(L_in) and DS({p}) exactly as the paper describes.
+//   - RollbackForest: union by size without path compression, with an undo
+//     stack. Candidate internal-property sets can be evaluated by applying
+//     the property's edges and rolling back, avoiding an O(|V|) clone per
+//     candidate.
+//
+// Both track the size of the largest set, which is the selection cost
+// Cost(L') = max_{c ∈ WCC(G[L'])} |c| of Definition 4.2.
+package dsf
+
+// Forest is a disjoint-set forest over elements 0..n-1 with union by rank,
+// path compression and size tracking.
+type Forest struct {
+	parent  []int32
+	rank    []uint8
+	size    []int32
+	maxSize int32
+	numSets int
+}
+
+// New returns a forest of n singleton sets.
+func New(n int) *Forest {
+	f := &Forest{
+		parent:  make([]int32, n),
+		rank:    make([]uint8, n),
+		size:    make([]int32, n),
+		numSets: n,
+	}
+	for i := range f.parent {
+		f.parent[i] = int32(i)
+		f.size[i] = 1
+	}
+	if n > 0 {
+		f.maxSize = 1
+	}
+	return f
+}
+
+// Len returns the number of elements in the forest.
+func (f *Forest) Len() int { return len(f.parent) }
+
+// Find returns the representative of x's set, compressing the path.
+func (f *Forest) Find(x int32) int32 {
+	root := x
+	for f.parent[root] != root {
+		root = f.parent[root]
+	}
+	for f.parent[x] != root {
+		f.parent[x], x = root, f.parent[x]
+	}
+	return root
+}
+
+// Union merges the sets containing x and y. It reports whether a merge
+// happened (false if they were already in the same set).
+func (f *Forest) Union(x, y int32) bool {
+	rx, ry := f.Find(x), f.Find(y)
+	if rx == ry {
+		return false
+	}
+	if f.rank[rx] < f.rank[ry] {
+		rx, ry = ry, rx
+	}
+	f.parent[ry] = rx
+	if f.rank[rx] == f.rank[ry] {
+		f.rank[rx]++
+	}
+	f.size[rx] += f.size[ry]
+	if f.size[rx] > f.maxSize {
+		f.maxSize = f.size[rx]
+	}
+	f.numSets--
+	return true
+}
+
+// SameSet reports whether x and y belong to the same set.
+func (f *Forest) SameSet(x, y int32) bool { return f.Find(x) == f.Find(y) }
+
+// Size returns the number of elements in x's set.
+func (f *Forest) Size(x int32) int32 { return f.size[f.Find(x)] }
+
+// MaxComponentSize returns the size of the largest set.
+func (f *Forest) MaxComponentSize() int32 { return f.maxSize }
+
+// NumSets returns the current number of disjoint sets.
+func (f *Forest) NumSets() int { return f.numSets }
+
+// Clone returns a deep copy of the forest.
+func (f *Forest) Clone() *Forest {
+	c := &Forest{
+		parent:  append([]int32(nil), f.parent...),
+		rank:    append([]uint8(nil), f.rank...),
+		size:    append([]int32(nil), f.size...),
+		maxSize: f.maxSize,
+		numSets: f.numSets,
+	}
+	return c
+}
+
+// MergeFrom merges the set structure of other into f: after the call, any
+// two elements in the same set of either input forest are in the same set of
+// f. This is the DS(L_in) ⊎ DS({p}) merge of Sec. IV-D: for every element u
+// of other, the roots of u in other and in f are united in f.
+//
+// Both forests must have the same length; MergeFrom panics otherwise.
+func (f *Forest) MergeFrom(other *Forest) {
+	if other.Len() != f.Len() {
+		panic("dsf: MergeFrom length mismatch")
+	}
+	for u := int32(0); u < int32(other.Len()); u++ {
+		root := other.Find(u)
+		if root != u {
+			f.Union(u, root)
+		}
+	}
+}
+
+// Roots returns the representative of every element. The result can be used
+// to enumerate components without repeated Find calls.
+func (f *Forest) Roots() []int32 {
+	roots := make([]int32, f.Len())
+	for i := range roots {
+		roots[i] = f.Find(int32(i))
+	}
+	return roots
+}
+
+// ComponentSizes returns a map from set representative to set size.
+func (f *Forest) ComponentSizes() map[int32]int32 {
+	sizes := make(map[int32]int32, f.numSets)
+	for i := int32(0); i < int32(f.Len()); i++ {
+		if f.Find(i) == i {
+			sizes[i] = f.size[i]
+		}
+	}
+	return sizes
+}

@@ -1,0 +1,424 @@
+package dsf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSingletons(t *testing.T) {
+	f := New(5)
+	if f.NumSets() != 5 {
+		t.Fatalf("NumSets = %d, want 5", f.NumSets())
+	}
+	if f.MaxComponentSize() != 1 {
+		t.Fatalf("MaxComponentSize = %d, want 1", f.MaxComponentSize())
+	}
+	for i := int32(0); i < 5; i++ {
+		if f.Find(i) != i {
+			t.Errorf("Find(%d) = %d, want %d", i, f.Find(i), i)
+		}
+		if f.Size(i) != 1 {
+			t.Errorf("Size(%d) = %d, want 1", i, f.Size(i))
+		}
+	}
+}
+
+func TestNewEmpty(t *testing.T) {
+	f := New(0)
+	if f.NumSets() != 0 || f.MaxComponentSize() != 0 || f.Len() != 0 {
+		t.Fatalf("empty forest: sets=%d max=%d len=%d", f.NumSets(), f.MaxComponentSize(), f.Len())
+	}
+}
+
+func TestUnionBasic(t *testing.T) {
+	f := New(4)
+	if !f.Union(0, 1) {
+		t.Fatal("Union(0,1) reported no merge")
+	}
+	if f.Union(1, 0) {
+		t.Fatal("Union(1,0) merged twice")
+	}
+	if !f.SameSet(0, 1) {
+		t.Fatal("0 and 1 should be in the same set")
+	}
+	if f.SameSet(0, 2) {
+		t.Fatal("0 and 2 should be in different sets")
+	}
+	if f.Size(0) != 2 || f.Size(1) != 2 {
+		t.Fatalf("sizes = %d,%d, want 2,2", f.Size(0), f.Size(1))
+	}
+	if f.NumSets() != 3 {
+		t.Fatalf("NumSets = %d, want 3", f.NumSets())
+	}
+	if f.MaxComponentSize() != 2 {
+		t.Fatalf("MaxComponentSize = %d, want 2", f.MaxComponentSize())
+	}
+}
+
+func TestUnionChainMaxSize(t *testing.T) {
+	f := New(10)
+	for i := int32(0); i < 9; i++ {
+		f.Union(i, i+1)
+	}
+	if f.NumSets() != 1 {
+		t.Fatalf("NumSets = %d, want 1", f.NumSets())
+	}
+	if f.MaxComponentSize() != 10 {
+		t.Fatalf("MaxComponentSize = %d, want 10", f.MaxComponentSize())
+	}
+	root := f.Find(0)
+	for i := int32(1); i < 10; i++ {
+		if f.Find(i) != root {
+			t.Fatalf("Find(%d) = %d, want %d", i, f.Find(i), root)
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	f := New(6)
+	f.Union(0, 1)
+	f.Union(2, 3)
+	c := f.Clone()
+	c.Union(0, 2)
+	if f.SameSet(0, 2) {
+		t.Fatal("mutating clone affected the original")
+	}
+	if !c.SameSet(1, 3) {
+		t.Fatal("clone lost original structure")
+	}
+	if f.NumSets() != 4 || c.NumSets() != 3 {
+		t.Fatalf("NumSets: orig=%d want 4, clone=%d want 3", f.NumSets(), c.NumSets())
+	}
+}
+
+func TestMergeFrom(t *testing.T) {
+	// f groups {0,1}, other groups {1,2} and {3,4}. Merged: {0,1,2}, {3,4}, {5}.
+	f := New(6)
+	f.Union(0, 1)
+	other := New(6)
+	other.Union(1, 2)
+	other.Union(3, 4)
+	f.MergeFrom(other)
+	if !f.SameSet(0, 2) {
+		t.Fatal("0 and 2 should be merged via 1")
+	}
+	if !f.SameSet(3, 4) {
+		t.Fatal("3 and 4 should be merged")
+	}
+	if f.SameSet(0, 3) || f.SameSet(0, 5) {
+		t.Fatal("unrelated sets were merged")
+	}
+	if f.NumSets() != 3 {
+		t.Fatalf("NumSets = %d, want 3", f.NumSets())
+	}
+	if f.MaxComponentSize() != 3 {
+		t.Fatalf("MaxComponentSize = %d, want 3", f.MaxComponentSize())
+	}
+}
+
+func TestMergeFromMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MergeFrom with mismatched lengths did not panic")
+		}
+	}()
+	New(3).MergeFrom(New(4))
+}
+
+func TestComponentSizes(t *testing.T) {
+	f := New(5)
+	f.Union(0, 1)
+	f.Union(1, 2)
+	sizes := f.ComponentSizes()
+	if len(sizes) != 3 {
+		t.Fatalf("got %d components, want 3", len(sizes))
+	}
+	var total int32
+	var max int32
+	for _, s := range sizes {
+		total += s
+		if s > max {
+			max = s
+		}
+	}
+	if total != 5 {
+		t.Fatalf("component sizes sum to %d, want 5", total)
+	}
+	if max != 3 {
+		t.Fatalf("largest component = %d, want 3", max)
+	}
+}
+
+func TestRoots(t *testing.T) {
+	f := New(4)
+	f.Union(0, 3)
+	roots := f.Roots()
+	if roots[0] != roots[3] {
+		t.Fatal("roots of 0 and 3 differ after union")
+	}
+	if roots[1] == roots[0] || roots[2] == roots[0] || roots[1] == roots[2] {
+		t.Fatal("singleton roots collide")
+	}
+}
+
+func TestRollbackBasic(t *testing.T) {
+	f := NewRollback(6)
+	f.Union(0, 1)
+	cp := f.Checkpoint()
+	f.Union(1, 2)
+	f.Union(3, 4)
+	if f.NumSets() != 3 || f.MaxComponentSize() != 3 {
+		t.Fatalf("pre-rollback: sets=%d max=%d", f.NumSets(), f.MaxComponentSize())
+	}
+	f.Rollback(cp)
+	if f.NumSets() != 5 {
+		t.Fatalf("post-rollback NumSets = %d, want 5", f.NumSets())
+	}
+	if f.MaxComponentSize() != 2 {
+		t.Fatalf("post-rollback MaxComponentSize = %d, want 2", f.MaxComponentSize())
+	}
+	if f.SameSet(1, 2) || f.SameSet(3, 4) {
+		t.Fatal("rollback did not undo unions")
+	}
+	if !f.SameSet(0, 1) {
+		t.Fatal("rollback undid a union before the checkpoint")
+	}
+}
+
+func TestRollbackNested(t *testing.T) {
+	f := NewRollback(8)
+	cp0 := f.Checkpoint()
+	f.Union(0, 1)
+	cp1 := f.Checkpoint()
+	f.Union(2, 3)
+	f.Union(0, 2)
+	f.Rollback(cp1)
+	if f.SameSet(0, 2) || f.SameSet(2, 3) {
+		t.Fatal("inner rollback incomplete")
+	}
+	if !f.SameSet(0, 1) {
+		t.Fatal("inner rollback went too far")
+	}
+	f.Rollback(cp0)
+	if f.SameSet(0, 1) {
+		t.Fatal("outer rollback incomplete")
+	}
+	if f.NumSets() != 8 {
+		t.Fatalf("NumSets = %d, want 8", f.NumSets())
+	}
+}
+
+func TestRollbackCommit(t *testing.T) {
+	f := NewRollback(4)
+	f.Union(0, 1)
+	f.Commit()
+	f.Rollback(0) // nothing to undo after commit
+	if !f.SameSet(0, 1) {
+		t.Fatal("Rollback after Commit undid a committed union")
+	}
+}
+
+func TestRollbackSizeAccounting(t *testing.T) {
+	f := NewRollback(10)
+	f.Union(0, 1)
+	f.Union(2, 3)
+	cp := f.Checkpoint()
+	f.Union(0, 2) // size 4
+	if f.Size(3) != 4 {
+		t.Fatalf("Size(3) = %d, want 4", f.Size(3))
+	}
+	f.Rollback(cp)
+	if f.Size(0) != 2 || f.Size(3) != 2 {
+		t.Fatalf("sizes after rollback = %d,%d, want 2,2", f.Size(0), f.Size(3))
+	}
+}
+
+// TestForestEquivalence checks that Forest and RollbackForest produce
+// identical partitions under the same random union sequence.
+func TestForestEquivalence(t *testing.T) {
+	const n = 64
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := New(n)
+		b := NewRollback(n)
+		for i := 0; i < 100; i++ {
+			x, y := int32(rng.Intn(n)), int32(rng.Intn(n))
+			ma := a.Union(x, y)
+			mb := b.Union(x, y)
+			if ma != mb {
+				return false
+			}
+		}
+		if a.NumSets() != b.NumSets() || a.MaxComponentSize() != b.MaxComponentSize() {
+			return false
+		}
+		for x := int32(0); x < n; x++ {
+			for y := x + 1; y < n; y++ {
+				if a.SameSet(x, y) != b.SameSet(x, y) {
+					return false
+				}
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergeFromEquivalentToUnionSequence: merging DS({p}) into DS(L_in) must
+// give the same partition as replaying p's unions on DS(L_in) directly.
+func TestMergeFromEquivalentToUnionSequence(t *testing.T) {
+	const n = 48
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		type edge struct{ u, v int32 }
+		baseEdges := make([]edge, 30)
+		pEdges := make([]edge, 30)
+		for i := range baseEdges {
+			baseEdges[i] = edge{int32(rng.Intn(n)), int32(rng.Intn(n))}
+			pEdges[i] = edge{int32(rng.Intn(n)), int32(rng.Intn(n))}
+		}
+
+		// Path A: merge forests as the paper describes.
+		base := New(n)
+		for _, e := range baseEdges {
+			base.Union(e.u, e.v)
+		}
+		p := New(n)
+		for _, e := range pEdges {
+			p.Union(e.u, e.v)
+		}
+		merged := base.Clone()
+		merged.MergeFrom(p)
+
+		// Path B: replay all unions into one forest.
+		direct := New(n)
+		for _, e := range baseEdges {
+			direct.Union(e.u, e.v)
+		}
+		for _, e := range pEdges {
+			direct.Union(e.u, e.v)
+		}
+
+		if merged.NumSets() != direct.NumSets() ||
+			merged.MaxComponentSize() != direct.MaxComponentSize() {
+			return false
+		}
+		for x := int32(0); x < n; x++ {
+			for y := x + 1; y < n; y++ {
+				if merged.SameSet(x, y) != direct.SameSet(x, y) {
+					return false
+				}
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRollbackRandomized: applying a random batch of unions and rolling back
+// must restore the exact reachability relation.
+func TestRollbackRandomized(t *testing.T) {
+	const n = 40
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := NewRollback(n)
+		for i := 0; i < 20; i++ {
+			f.Union(int32(rng.Intn(n)), int32(rng.Intn(n)))
+		}
+		before := make([][]bool, n)
+		for x := int32(0); x < n; x++ {
+			before[x] = make([]bool, n)
+			for y := int32(0); y < n; y++ {
+				before[x][y] = f.SameSet(x, y)
+			}
+		}
+		maxBefore, setsBefore := f.MaxComponentSize(), f.NumSets()
+		cp := f.Checkpoint()
+		for i := 0; i < 30; i++ {
+			f.Union(int32(rng.Intn(n)), int32(rng.Intn(n)))
+		}
+		f.Rollback(cp)
+		if f.MaxComponentSize() != maxBefore || f.NumSets() != setsBefore {
+			return false
+		}
+		for x := int32(0); x < n; x++ {
+			for y := int32(0); y < n; y++ {
+				if f.SameSet(x, y) != before[x][y] {
+					return false
+				}
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sum of component sizes always equals n, and max component size
+// equals the true maximum, regardless of union sequence.
+func TestSizeInvariants(t *testing.T) {
+	const n = 50
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := New(n)
+		for i := 0; i < 60; i++ {
+			f.Union(int32(rng.Intn(n)), int32(rng.Intn(n)))
+		}
+		sizes := f.ComponentSizes()
+		var total, max int32
+		for _, s := range sizes {
+			total += s
+			if s > max {
+				max = s
+			}
+		}
+		return total == n && max == f.MaxComponentSize() && len(sizes) == f.NumSets()
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUnionFind(b *testing.B) {
+	const n = 100000
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]int32, 1<<16)
+	ys := make([]int32, 1<<16)
+	for i := range xs {
+		xs[i] = int32(rng.Intn(n))
+		ys[i] = int32(rng.Intn(n))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := New(n)
+		for j := range xs {
+			f.Union(xs[j], ys[j])
+		}
+	}
+}
+
+func BenchmarkRollbackCycle(b *testing.B) {
+	const n = 100000
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]int32, 1<<14)
+	ys := make([]int32, 1<<14)
+	for i := range xs {
+		xs[i] = int32(rng.Intn(n))
+		ys[i] = int32(rng.Intn(n))
+	}
+	f := NewRollback(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cp := f.Checkpoint()
+		for j := range xs {
+			f.Union(xs[j], ys[j])
+		}
+		f.Rollback(cp)
+	}
+}

@@ -1,0 +1,527 @@
+// Package metis implements a self-contained multilevel k-way minimum
+// edge-cut graph partitioner in the style of METIS (Karypis & Kumar, 1998),
+// which the MPC paper uses both as a baseline partitioning strategy and as
+// the partitioner applied to the coarsened supervertex graph.
+//
+// The pipeline is the classical one:
+//
+//  1. Coarsening by heavy-edge matching until the graph is small.
+//  2. Initial partitioning of the coarsest graph by greedy region growing.
+//  3. Uncoarsening with greedy boundary (Fiduccia–Mattheyses style)
+//     refinement at every level.
+//
+// Vertices and edges are weighted, so the same code partitions both raw RDF
+// graphs (unit weights, parallel edges collapsed) and MPC's coarsened
+// graphs (supervertex weights = WCC sizes).
+package metis
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Graph is an undirected weighted graph in CSR form. Parallel edges must be
+// collapsed (weights summed) and self-loops removed before construction.
+type Graph struct {
+	XAdj []int32 // length n+1; neighbor range of vertex v is Adj[XAdj[v]:XAdj[v+1]]
+	Adj  []int32
+	AdjW []int64 // edge weights, parallel to Adj
+	VW   []int64 // vertex weights, length n
+}
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int { return len(g.VW) }
+
+// TotalVertexWeight returns Σ VW.
+func (g *Graph) TotalVertexWeight() int64 {
+	var t int64
+	for _, w := range g.VW {
+		t += w
+	}
+	return t
+}
+
+// neighbors returns the adjacency range of v.
+func (g *Graph) neighbors(v int32) ([]int32, []int64) {
+	return g.Adj[g.XAdj[v]:g.XAdj[v+1]], g.AdjW[g.XAdj[v]:g.XAdj[v+1]]
+}
+
+// edgeList is a scratch representation used when building graphs.
+type wedge struct {
+	u, v int32
+	w    int64
+}
+
+// Build constructs a Graph from an edge list over n vertices, collapsing
+// parallel edges (summing weights) and dropping self-loops. vw may be nil
+// for unit vertex weights.
+func Build(n int, edges []wedge, vw []int64) *Graph {
+	type key struct{ u, v int32 }
+	merged := make(map[key]int64, len(edges))
+	for _, e := range edges {
+		if e.u == e.v {
+			continue
+		}
+		u, v := e.u, e.v
+		if u > v {
+			u, v = v, u
+		}
+		merged[key{u, v}] += e.w
+	}
+	deg := make([]int32, n+1)
+	for k := range merged {
+		deg[k.u+1]++
+		deg[k.v+1]++
+	}
+	for i := 0; i < n; i++ {
+		deg[i+1] += deg[i]
+	}
+	g := &Graph{
+		XAdj: deg,
+		Adj:  make([]int32, len(merged)*2),
+		AdjW: make([]int64, len(merged)*2),
+		VW:   make([]int64, n),
+	}
+	if vw != nil {
+		copy(g.VW, vw)
+	} else {
+		for i := range g.VW {
+			g.VW[i] = 1
+		}
+	}
+	cursor := append([]int32(nil), g.XAdj...)
+	for k, w := range merged {
+		g.Adj[cursor[k.u]], g.AdjW[cursor[k.u]] = k.v, w
+		cursor[k.u]++
+		g.Adj[cursor[k.v]], g.AdjW[cursor[k.v]] = k.u, w
+		cursor[k.v]++
+	}
+	return g
+}
+
+// BuildFromEdges is the exported convenience constructor: pairs (u,v) with
+// weight w. vw may be nil for unit vertex weights.
+func BuildFromEdges(n int, us, vs []int32, ws []int64, vw []int64) *Graph {
+	edges := make([]wedge, len(us))
+	for i := range us {
+		w := int64(1)
+		if ws != nil {
+			w = ws[i]
+		}
+		edges[i] = wedge{us[i], vs[i], w}
+	}
+	return Build(n, edges, vw)
+}
+
+// EdgeCut returns the total weight of edges whose endpoints are assigned to
+// different partitions.
+func EdgeCut(g *Graph, part []int32) int64 {
+	var cut int64
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		adj, adjw := g.neighbors(v)
+		for i, u := range adj {
+			if u > v && part[u] != part[v] {
+				cut += adjw[i]
+			}
+		}
+	}
+	return cut
+}
+
+// PartitionKWay partitions g into k parts minimizing edge cut, with each
+// part's vertex weight at most (1+epsilon)·total/k (best effort). The
+// returned slice maps vertex → partition. Deterministic for a given seed.
+func PartitionKWay(g *Graph, k int, epsilon float64, seed int64) []int32 {
+	n := g.NumVertices()
+	part := make([]int32, n)
+	if k <= 1 || n == 0 {
+		return part
+	}
+	if n <= k {
+		for i := range part {
+			part[i] = int32(i % k)
+		}
+		return part
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := newMultilevel(g, k, epsilon, rng)
+
+	// Coarsening phase: stack of levels, each with the coarse→fine map.
+	type levelRec struct {
+		g    *Graph
+		cmap []int32 // fine vertex → coarse vertex of next level
+	}
+	var stack []levelRec
+	cur := g
+	target := 4 * k
+	if target < 64 {
+		target = 64
+	}
+	for cur.NumVertices() > target {
+		coarse, cmap := coarsen(cur, m.capWeight(cur), rng)
+		if coarse.NumVertices() >= cur.NumVertices()*95/100 {
+			break // matching stalled; stop coarsening
+		}
+		stack = append(stack, levelRec{g: cur, cmap: cmap})
+		cur = coarse
+	}
+
+	// Initial partitioning of the coarsest graph.
+	cpart := initialPartition(cur, k, m.epsilon, rng)
+	refine(cur, cpart, k, m.epsilon, 8, rng)
+
+	// Uncoarsening with refinement at every level.
+	for i := len(stack) - 1; i >= 0; i-- {
+		fine := stack[i]
+		fpart := make([]int32, fine.g.NumVertices())
+		for v := range fpart {
+			fpart[v] = cpart[fine.cmap[v]]
+		}
+		refine(fine.g, fpart, k, m.epsilon, 4, rng)
+		cpart = fpart
+	}
+	copy(part, cpart)
+	return part
+}
+
+type multilevel struct {
+	k       int
+	epsilon float64
+}
+
+func newMultilevel(g *Graph, k int, epsilon float64, _ *rand.Rand) *multilevel {
+	return &multilevel{k: k, epsilon: epsilon}
+}
+
+// capWeight bounds the weight of a coarse vertex so that balanced initial
+// partitions remain constructible.
+func (m *multilevel) capWeight(g *Graph) int64 {
+	c := g.TotalVertexWeight() / int64(2*m.k)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// coarsen performs one round of heavy-edge matching and contracts matched
+// pairs. It returns the coarse graph and the fine→coarse vertex map.
+func coarsen(g *Graph, maxVW int64, rng *rand.Rand) (*Graph, []int32) {
+	n := g.NumVertices()
+	match := make([]int32, n)
+	for i := range match {
+		match[i] = -1
+	}
+	order := rng.Perm(n)
+	for _, vi := range order {
+		v := int32(vi)
+		if match[v] != -1 {
+			continue
+		}
+		adj, adjw := g.neighbors(v)
+		best, bestW := int32(-1), int64(-1)
+		for i, u := range adj {
+			if match[u] == -1 && u != v && adjw[i] > bestW && g.VW[v]+g.VW[u] <= maxVW {
+				best, bestW = u, adjw[i]
+			}
+		}
+		if best != -1 {
+			match[v], match[best] = best, v
+		} else {
+			match[v] = v
+		}
+	}
+	// Number coarse vertices.
+	cmap := make([]int32, n)
+	for i := range cmap {
+		cmap[i] = -1
+	}
+	var nc int32
+	for v := int32(0); v < int32(n); v++ {
+		if cmap[v] != -1 {
+			continue
+		}
+		cmap[v] = nc
+		if match[v] != v {
+			cmap[match[v]] = nc
+		}
+		nc++
+	}
+	// Build the coarse graph.
+	vw := make([]int64, nc)
+	for v := int32(0); v < int32(n); v++ {
+		vw[cmap[v]] += g.VW[v]
+	}
+	var edges []wedge
+	for v := int32(0); v < int32(n); v++ {
+		adj, adjw := g.neighbors(v)
+		for i, u := range adj {
+			if u > v { // each undirected edge once
+				cu, cv := cmap[u], cmap[v]
+				if cu != cv {
+					edges = append(edges, wedge{cu, cv, adjw[i]})
+				}
+			}
+		}
+	}
+	return Build(int(nc), edges, vw), cmap
+}
+
+// initialPartition grows k regions greedily on the (small) coarsest graph:
+// repeatedly seed an empty partition with the heaviest unassigned vertex and
+// expand it by strongest connectivity until it reaches the target weight.
+func initialPartition(g *Graph, k int, epsilon float64, rng *rand.Rand) []int32 {
+	n := g.NumVertices()
+	part := make([]int32, n)
+	for i := range part {
+		part[i] = -1
+	}
+	total := g.TotalVertexWeight()
+	assignedW := int64(0)
+	assignedN := 0
+
+	// Order of seeding candidates: heaviest first so giant supervertices
+	// anchor their own partitions.
+	seeds := make([]int32, n)
+	for i := range seeds {
+		seeds[i] = int32(i)
+	}
+	sort.Slice(seeds, func(i, j int) bool { return g.VW[seeds[i]] > g.VW[seeds[j]] })
+
+	// conn[v] = connectivity of v to the region currently being grown.
+	conn := make([]int64, n)
+	inFrontier := make([]bool, n)
+
+	for p := int32(0); p < int32(k); p++ {
+		remainingParts := int64(k) - int64(p)
+		targetW := (total - assignedW) / remainingParts
+		if targetW < 1 {
+			targetW = 1
+		}
+		// Seed.
+		var seed int32 = -1
+		for _, s := range seeds {
+			if part[s] == -1 {
+				seed = s
+				break
+			}
+		}
+		if seed == -1 {
+			break
+		}
+		var frontier []int32
+		var regionW int64
+		add := func(v int32) {
+			part[v] = p
+			regionW += g.VW[v]
+			assignedW += g.VW[v]
+			assignedN++
+			adj, adjw := g.neighbors(v)
+			for i, u := range adj {
+				if part[u] == -1 {
+					conn[u] += adjw[i]
+					if !inFrontier[u] {
+						inFrontier[u] = true
+						frontier = append(frontier, u)
+					}
+				}
+			}
+		}
+		add(seed)
+		for regionW < targetW && assignedN < n && p < int32(k)-1 {
+			// Pick the frontier vertex with max connectivity (linear scan;
+			// the coarsest graph is small).
+			bestI, bestConn := -1, int64(-1)
+			for i, u := range frontier {
+				if part[u] != -1 {
+					continue
+				}
+				if conn[u] > bestConn {
+					bestI, bestConn = i, conn[u]
+				}
+			}
+			var next int32 = -1
+			if bestI >= 0 {
+				next = frontier[bestI]
+			} else {
+				// Region is a whole component; jump to an unassigned vertex.
+				for _, s := range seeds {
+					if part[s] == -1 {
+						next = s
+						break
+					}
+				}
+			}
+			if next == -1 {
+				break
+			}
+			if regionW+g.VW[next] > targetW+targetW/2 && regionW > 0 {
+				break // would badly overshoot
+			}
+			add(next)
+		}
+		// Reset frontier bookkeeping for the next region.
+		for _, u := range frontier {
+			conn[u] = 0
+			inFrontier[u] = false
+		}
+	}
+	// Any stragglers go to the lightest partition.
+	partW := make([]int64, k)
+	for v := 0; v < n; v++ {
+		if part[v] >= 0 {
+			partW[part[v]] += g.VW[v]
+		}
+	}
+	for v := int32(0); v < int32(n); v++ {
+		if part[v] == -1 {
+			best := int32(0)
+			for p := int32(1); p < int32(k); p++ {
+				if partW[p] < partW[best] {
+					best = p
+				}
+			}
+			part[v] = best
+			partW[best] += g.VW[v]
+		}
+	}
+	_ = rng
+	return part
+}
+
+// refine runs greedy boundary refinement passes: each boundary vertex is
+// moved to the adjacent partition with the largest positive cut gain,
+// subject to the balance constraint. Zero-gain moves are taken when they
+// improve balance.
+func refine(g *Graph, part []int32, k int, epsilon float64, maxPasses int, rng *rand.Rand) {
+	n := g.NumVertices()
+	total := g.TotalVertexWeight()
+	cap := int64(float64(total) / float64(k) * (1 + epsilon))
+	if cap < 1 {
+		cap = 1
+	}
+	partW := make([]int64, k)
+	for v := 0; v < n; v++ {
+		partW[part[v]] += g.VW[v]
+	}
+	connBuf := make([]int64, k)
+	order := rng.Perm(n)
+	for pass := 0; pass < maxPasses; pass++ {
+		moved := 0
+		for _, vi := range order {
+			v := int32(vi)
+			adj, adjw := g.neighbors(v)
+			if len(adj) == 0 {
+				continue
+			}
+			home := part[v]
+			// Compute connectivity to each partition among neighbors.
+			boundary := false
+			for i, u := range adj {
+				connBuf[part[u]] += adjw[i]
+				if part[u] != home {
+					boundary = true
+				}
+			}
+			if boundary {
+				bestP, bestGain := home, int64(0)
+				for p := int32(0); p < int32(k); p++ {
+					if p == home {
+						continue
+					}
+					gain := connBuf[p] - connBuf[home]
+					fits := partW[p]+g.VW[v] <= cap
+					balBetter := partW[p]+g.VW[v] < partW[home]
+					if (gain > bestGain && fits) ||
+						(gain == bestGain && gain >= 0 && balBetter && partW[home] > cap) {
+						bestP, bestGain = p, gain
+					}
+				}
+				if bestP != home {
+					partW[home] -= g.VW[v]
+					partW[bestP] += g.VW[v]
+					part[v] = bestP
+					moved++
+				}
+			}
+			for _, u := range adj {
+				connBuf[part[u]] = 0
+			}
+			connBuf[home] = 0
+		}
+		if moved == 0 {
+			break
+		}
+	}
+	repairBalance(g, part, k, cap, partW, rng)
+}
+
+// repairBalance evicts vertices from overweight partitions into the
+// lightest fitting partitions, accepting negative-gain moves: the balance
+// constraint of Definition 4.1 is hard, the cut is not. Vertices with the
+// smallest connectivity loss leave first.
+func repairBalance(g *Graph, part []int32, k int, cap int64, partW []int64, rng *rand.Rand) {
+	overweight := func() int32 {
+		for p := int32(0); p < int32(k); p++ {
+			if partW[p] > cap {
+				return p
+			}
+		}
+		return -1
+	}
+	connBuf := make([]int64, k)
+	for pass := 0; pass < 2*k; pass++ {
+		home := overweight()
+		if home < 0 {
+			return
+		}
+		// Candidates in the overweight partition, cheapest-to-move first:
+		// minimize (internal connectivity − best external connectivity).
+		type cand struct {
+			v    int32
+			loss int64
+			dest int32
+		}
+		var cands []cand
+		for v := int32(0); v < int32(g.NumVertices()); v++ {
+			if part[v] != home {
+				continue
+			}
+			adj, adjw := g.neighbors(v)
+			for i, u := range adj {
+				connBuf[part[u]] += adjw[i]
+			}
+			bestDest, bestConn := int32(-1), int64(-1)
+			for p := int32(0); p < int32(k); p++ {
+				if p != home && partW[p]+g.VW[v] <= cap && connBuf[p] > bestConn {
+					bestDest, bestConn = p, connBuf[p]
+				}
+			}
+			if bestDest >= 0 {
+				cands = append(cands, cand{v: v, loss: connBuf[home] - bestConn, dest: bestDest})
+			}
+			for _, u := range adj {
+				connBuf[part[u]] = 0
+			}
+			connBuf[home] = 0
+		}
+		if len(cands) == 0 {
+			return // nothing fits anywhere; the structure forbids balance
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].loss < cands[j].loss })
+		for _, c := range cands {
+			if partW[home] <= cap {
+				break
+			}
+			if partW[c.dest]+g.VW[c.v] > cap {
+				continue // destination filled up meanwhile
+			}
+			part[c.v] = c.dest
+			partW[home] -= g.VW[c.v]
+			partW[c.dest] += g.VW[c.v]
+		}
+		if partW[home] > cap {
+			// Could not fully drain this partition; avoid spinning on it.
+			return
+		}
+	}
+}

@@ -1,0 +1,254 @@
+package metis
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// twoCliques builds two size-m cliques joined by a single bridge edge.
+// The minimum bisection cuts exactly the bridge.
+func twoCliques(m int) *Graph {
+	var edges []wedge
+	for c := 0; c < 2; c++ {
+		base := int32(c * m)
+		for i := int32(0); i < int32(m); i++ {
+			for j := i + 1; j < int32(m); j++ {
+				edges = append(edges, wedge{base + i, base + j, 1})
+			}
+		}
+	}
+	edges = append(edges, wedge{0, int32(m), 1}) // bridge
+	return Build(2*m, edges, nil)
+}
+
+// ringOfCliques builds k cliques of size m, consecutive cliques joined by
+// one bridge edge, forming a ring.
+func ringOfCliques(k, m int) *Graph {
+	var edges []wedge
+	for c := 0; c < k; c++ {
+		base := int32(c * m)
+		for i := int32(0); i < int32(m); i++ {
+			for j := i + 1; j < int32(m); j++ {
+				edges = append(edges, wedge{base + i, base + j, 1})
+			}
+		}
+		next := int32(((c + 1) % k) * m)
+		edges = append(edges, wedge{base, next, 1})
+	}
+	return Build(k*m, edges, nil)
+}
+
+func TestBuildCollapsesParallelEdges(t *testing.T) {
+	g := Build(3, []wedge{{0, 1, 1}, {1, 0, 2}, {0, 1, 3}, {2, 2, 5}}, nil)
+	// 0-1 collapsed to weight 6; self-loop dropped.
+	if got := g.XAdj[3]; got != 2 {
+		t.Fatalf("total adjacency entries = %d, want 2", got)
+	}
+	adj, adjw := g.neighbors(0)
+	if len(adj) != 1 || adj[0] != 1 || adjw[0] != 6 {
+		t.Fatalf("neighbors(0) = %v %v, want [1] [6]", adj, adjw)
+	}
+	if g.VW[0] != 1 || g.VW[2] != 1 {
+		t.Fatal("unit vertex weights expected")
+	}
+}
+
+func TestBuildFromEdges(t *testing.T) {
+	g := BuildFromEdges(4, []int32{0, 1, 2}, []int32{1, 2, 3}, nil, []int64{5, 1, 1, 1})
+	if g.NumVertices() != 4 {
+		t.Fatalf("NumVertices = %d", g.NumVertices())
+	}
+	if g.TotalVertexWeight() != 8 {
+		t.Fatalf("TotalVertexWeight = %d, want 8", g.TotalVertexWeight())
+	}
+}
+
+func TestEdgeCut(t *testing.T) {
+	g := Build(4, []wedge{{0, 1, 2}, {1, 2, 3}, {2, 3, 4}}, nil)
+	part := []int32{0, 0, 1, 1}
+	if cut := EdgeCut(g, part); cut != 3 {
+		t.Fatalf("EdgeCut = %d, want 3", cut)
+	}
+	if cut := EdgeCut(g, []int32{0, 0, 0, 0}); cut != 0 {
+		t.Fatalf("EdgeCut all-same = %d, want 0", cut)
+	}
+}
+
+func TestPartitionTwoCliques(t *testing.T) {
+	g := twoCliques(20)
+	part := PartitionKWay(g, 2, 0.05, 1)
+	// The two cliques must land in different partitions; the cut is the
+	// single bridge edge.
+	if cut := EdgeCut(g, part); cut != 1 {
+		t.Fatalf("cut = %d, want 1 (bridge only)", cut)
+	}
+	for i := 1; i < 20; i++ {
+		if part[i] != part[0] {
+			t.Fatalf("clique A split: part[%d]=%d part[0]=%d", i, part[i], part[0])
+		}
+		if part[20+i] != part[20] {
+			t.Fatalf("clique B split")
+		}
+	}
+	if part[0] == part[20] {
+		t.Fatal("both cliques in one partition")
+	}
+}
+
+func TestPartitionRingOfCliques(t *testing.T) {
+	const k, m = 4, 15
+	g := ringOfCliques(k, m)
+	part := PartitionKWay(g, k, 0.10, 7)
+	cut := EdgeCut(g, part)
+	// Optimal cut is k bridges (4); allow modest slack for the heuristic,
+	// but it must be far below a random partition's expected cut.
+	if cut > 8 {
+		t.Fatalf("cut = %d, want <= 8 for ring of cliques", cut)
+	}
+	checkBalance(t, g, part, k, 0.10)
+}
+
+func TestPartitionBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var edges []wedge
+	const n = 500
+	for i := 0; i < 3000; i++ {
+		edges = append(edges, wedge{int32(rng.Intn(n)), int32(rng.Intn(n)), 1})
+	}
+	g := Build(n, edges, nil)
+	for _, k := range []int{2, 4, 8} {
+		part := PartitionKWay(g, k, 0.05, 11)
+		checkBalance(t, g, part, k, 0.35) // random graphs are hard; generous slack
+		if cut := EdgeCut(g, part); cut <= 0 {
+			t.Fatalf("k=%d: expected nonzero cut on random graph, got %d", k, cut)
+		}
+	}
+}
+
+func TestPartitionVertexWeights(t *testing.T) {
+	// A path of 4 vertices where vertex 0 carries almost all weight. With
+	// k=2 the heavy vertex must be alone (or near-alone).
+	g := Build(4, []wedge{{0, 1, 1}, {1, 2, 1}, {2, 3, 1}}, nil)
+	g.VW = []int64{90, 5, 5, 5}
+	part := PartitionKWay(g, 2, 0.3, 1)
+	heavy := part[0]
+	others := 0
+	for i := 1; i < 4; i++ {
+		if part[i] == heavy {
+			others++
+		}
+	}
+	if others == 3 {
+		t.Fatal("all vertices placed with the heavy vertex; no balance at all")
+	}
+}
+
+func TestPartitionK1(t *testing.T) {
+	g := twoCliques(5)
+	part := PartitionKWay(g, 1, 0.05, 1)
+	for _, p := range part {
+		if p != 0 {
+			t.Fatal("k=1 must assign everything to partition 0")
+		}
+	}
+}
+
+func TestPartitionTinyGraph(t *testing.T) {
+	g := Build(3, []wedge{{0, 1, 1}}, nil)
+	part := PartitionKWay(g, 5, 0.05, 1)
+	if len(part) != 3 {
+		t.Fatalf("len(part) = %d", len(part))
+	}
+	for _, p := range part {
+		if p < 0 || p >= 5 {
+			t.Fatalf("partition %d out of range", p)
+		}
+	}
+}
+
+func TestPartitionEmptyGraph(t *testing.T) {
+	g := Build(0, nil, nil)
+	if part := PartitionKWay(g, 4, 0.05, 1); len(part) != 0 {
+		t.Fatalf("expected empty partition, got %v", part)
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	g := ringOfCliques(3, 10)
+	a := PartitionKWay(g, 3, 0.05, 42)
+	b := PartitionKWay(g, 3, 0.05, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different partitions")
+		}
+	}
+}
+
+func TestPartitionBeatsRandom(t *testing.T) {
+	// On a structured graph the multilevel partitioner must beat a random
+	// assignment by a wide margin.
+	g := ringOfCliques(8, 12)
+	part := PartitionKWay(g, 8, 0.10, 5)
+	cut := EdgeCut(g, part)
+
+	rng := rand.New(rand.NewSource(9))
+	randPart := make([]int32, g.NumVertices())
+	for i := range randPart {
+		randPart[i] = int32(rng.Intn(8))
+	}
+	randCut := EdgeCut(g, randPart)
+	if cut*4 >= randCut {
+		t.Fatalf("multilevel cut %d not clearly better than random cut %d", cut, randCut)
+	}
+}
+
+// Property: every partition label is in range and deterministic across
+// seeds when the seed matches.
+func TestPartitionRangeProperty(t *testing.T) {
+	err := quick.Check(func(seed int64, kRaw uint8) bool {
+		k := 2 + int(kRaw%6)
+		rng := rand.New(rand.NewSource(seed))
+		n := 30 + rng.Intn(100)
+		var edges []wedge
+		for i := 0; i < n*3; i++ {
+			edges = append(edges, wedge{int32(rng.Intn(n)), int32(rng.Intn(n)), 1})
+		}
+		g := Build(n, edges, nil)
+		part := PartitionKWay(g, k, 0.1, seed)
+		if len(part) != n {
+			return false
+		}
+		for _, p := range part {
+			if p < 0 || int(p) >= k {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func checkBalance(t *testing.T, g *Graph, part []int32, k int, slack float64) {
+	t.Helper()
+	w := make([]int64, k)
+	for v, p := range part {
+		w[p] += g.VW[v]
+	}
+	cap := int64(float64(g.TotalVertexWeight()) / float64(k) * (1 + slack))
+	for p, pw := range w {
+		if pw > cap {
+			t.Fatalf("partition %d weight %d exceeds cap %d (weights %v)", p, pw, cap, w)
+		}
+	}
+}
+
+func BenchmarkPartitionKWay(b *testing.B) {
+	g := ringOfCliques(8, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PartitionKWay(g, 8, 0.05, int64(i))
+	}
+}

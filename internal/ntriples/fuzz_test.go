@@ -1,0 +1,68 @@
+package ntriples
+
+import (
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// FuzzReader checks the parser never panics and that every accepted
+// statement survives a write/re-parse roundtrip.
+func FuzzReader(f *testing.F) {
+	seeds := []string{
+		"<http://a> <http://b> <http://c> .\n",
+		"_:b1 <http://p> \"lit\"@en .\n",
+		"<s> <p> \"x\\\"y\"^^<http://t> .\n",
+		"# comment\n\n<a> <b> <c> .",
+		"<a <b> <c> .",
+		"malformed",
+		"<a> <b> \"unterminated .",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		r := NewReader(strings.NewReader(input))
+		for {
+			st, err := r.Next()
+			if err != nil {
+				return // EOF or parse error both fine
+			}
+			var b strings.Builder
+			w := NewWriter(&b)
+			if err := w.WriteStatement(st.Subject, st.Predicate, st.Object); err != nil {
+				t.Fatalf("write failed for accepted statement %+v: %v", st, err)
+			}
+			if err := w.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			r2 := NewReader(strings.NewReader(b.String()))
+			if _, err := r2.Next(); err != nil && err != io.EOF {
+				t.Fatalf("re-parse of %q failed: %v", b.String(), err)
+			}
+		}
+	})
+}
+
+// TestReaderRandomGarbageNeverPanics feeds random N-Triples-ish soup.
+func TestReaderRandomGarbageNeverPanics(t *testing.T) {
+	fragments := []string{
+		"<", ">", "<http://x>", "_:", "_:b", `"`, `"lit"`, "@", "@en",
+		"^^", ".", " ", "\t", "\n", "\\", "#c", "plain",
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 2000; trial++ {
+		var b strings.Builder
+		for i, n := 0, rng.Intn(20); i < n; i++ {
+			b.WriteString(fragments[rng.Intn(len(fragments))])
+		}
+		r := NewReader(strings.NewReader(b.String()))
+		for {
+			_, err := r.Next()
+			if err != nil {
+				break
+			}
+		}
+	}
+}

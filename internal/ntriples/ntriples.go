@@ -1,0 +1,255 @@
+// Package ntriples parses and serializes the N-Triples RDF syntax
+// (https://www.w3.org/TR/n-triples/). It supports IRIs, blank nodes, and
+// literals with language tags or datatype IRIs, plus comment and blank
+// lines. It is a line-oriented parser: one triple per line, terminated by
+// '.'.
+package ntriples
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"mpc/internal/rdf"
+)
+
+// Statement is one parsed triple, with terms in their canonical N-Triples
+// surface form (IRIs keep their angle brackets stripped; blank nodes keep
+// the "_:" prefix; literals keep quotes and suffixes).
+type Statement struct {
+	Subject   string
+	Predicate string
+	Object    string
+}
+
+// ParseError reports a syntax error with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("ntriples: line %d: %s", e.Line, e.Msg)
+}
+
+// Reader parses statements from an input stream.
+type Reader struct {
+	scanner *bufio.Scanner
+	line    int
+}
+
+// NewReader returns a Reader over r.
+func NewReader(r io.Reader) *Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return &Reader{scanner: sc}
+}
+
+// Next returns the next statement, or io.EOF when exhausted.
+func (r *Reader) Next() (Statement, error) {
+	for r.scanner.Scan() {
+		r.line++
+		line := strings.TrimSpace(r.scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		st, err := parseLine(line, r.line)
+		if err != nil {
+			return Statement{}, err
+		}
+		return st, nil
+	}
+	if err := r.scanner.Err(); err != nil {
+		return Statement{}, err
+	}
+	return Statement{}, io.EOF
+}
+
+func parseLine(line string, lineno int) (Statement, error) {
+	p := &lineParser{s: line, line: lineno}
+	subj, err := p.term()
+	if err != nil {
+		return Statement{}, err
+	}
+	p.skipSpace()
+	pred, err := p.term()
+	if err != nil {
+		return Statement{}, err
+	}
+	p.skipSpace()
+	obj, err := p.term()
+	if err != nil {
+		return Statement{}, err
+	}
+	p.skipSpace()
+	if p.pos >= len(p.s) || p.s[p.pos] != '.' {
+		return Statement{}, &ParseError{p.line, "missing terminating '.'"}
+	}
+	p.pos++
+	p.skipSpace()
+	if p.pos != len(p.s) {
+		return Statement{}, &ParseError{p.line, "trailing characters after '.'"}
+	}
+	return Statement{Subject: subj, Predicate: pred, Object: obj}, nil
+}
+
+type lineParser struct {
+	s    string
+	pos  int
+	line int
+}
+
+func (p *lineParser) skipSpace() {
+	for p.pos < len(p.s) && (p.s[p.pos] == ' ' || p.s[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *lineParser) term() (string, error) {
+	if p.pos >= len(p.s) {
+		return "", &ParseError{p.line, "unexpected end of line"}
+	}
+	switch p.s[p.pos] {
+	case '<':
+		return p.iri()
+	case '_':
+		return p.blankNode()
+	case '"':
+		return p.literal()
+	default:
+		return "", &ParseError{p.line, fmt.Sprintf("unexpected character %q", p.s[p.pos])}
+	}
+}
+
+func (p *lineParser) iri() (string, error) {
+	end := strings.IndexByte(p.s[p.pos:], '>')
+	if end < 0 {
+		return "", &ParseError{p.line, "unterminated IRI"}
+	}
+	iri := p.s[p.pos+1 : p.pos+end]
+	p.pos += end + 1
+	if strings.ContainsAny(iri, " \t\"{}|^`") {
+		return "", &ParseError{p.line, fmt.Sprintf("invalid IRI character in %q", iri)}
+	}
+	return iri, nil
+}
+
+func (p *lineParser) blankNode() (string, error) {
+	if p.pos+1 >= len(p.s) || p.s[p.pos+1] != ':' {
+		return "", &ParseError{p.line, "malformed blank node"}
+	}
+	start := p.pos
+	p.pos += 2
+	for p.pos < len(p.s) && !isTermEnd(p.s[p.pos]) {
+		p.pos++
+	}
+	label := p.s[start:p.pos]
+	if len(label) == 2 {
+		return "", &ParseError{p.line, "empty blank node label"}
+	}
+	return label, nil
+}
+
+func (p *lineParser) literal() (string, error) {
+	start := p.pos
+	p.pos++ // opening quote
+	for p.pos < len(p.s) {
+		switch p.s[p.pos] {
+		case '\\':
+			p.pos += 2
+		case '"':
+			p.pos++
+			// optional language tag or datatype
+			if p.pos < len(p.s) && p.s[p.pos] == '@' {
+				for p.pos < len(p.s) && !isTermEnd(p.s[p.pos]) {
+					p.pos++
+				}
+			} else if p.pos+1 < len(p.s) && p.s[p.pos] == '^' && p.s[p.pos+1] == '^' {
+				p.pos += 2
+				if p.pos >= len(p.s) || p.s[p.pos] != '<' {
+					return "", &ParseError{p.line, "datatype must be an IRI"}
+				}
+				if _, err := p.iri(); err != nil {
+					return "", err
+				}
+			}
+			return p.s[start:p.pos], nil
+		default:
+			p.pos++
+		}
+	}
+	return "", &ParseError{p.line, "unterminated literal"}
+}
+
+func isTermEnd(c byte) bool { return c == ' ' || c == '\t' }
+
+// LoadGraph reads every statement from r into a new rdf.Graph and freezes
+// it. Term surface forms are used directly as dictionary keys.
+func LoadGraph(r io.Reader) (*rdf.Graph, error) {
+	g := rdf.NewGraph()
+	rd := NewReader(r)
+	for {
+		st, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		g.AddTriple(st.Subject, st.Predicate, st.Object)
+	}
+	g.Freeze()
+	return g, nil
+}
+
+// Writer serializes triples as N-Triples lines.
+type Writer struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewWriter returns a Writer targeting w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// WriteStatement writes one statement. Terms that are not blank nodes or
+// literals are wrapped in angle brackets.
+func (w *Writer) WriteStatement(subject, predicate, object string) error {
+	if w.err != nil {
+		return w.err
+	}
+	_, w.err = fmt.Fprintf(w.w, "%s %s %s .\n",
+		formatTerm(subject), formatTerm(predicate), formatTerm(object))
+	return w.err
+}
+
+// WriteGraph writes every triple of g.
+func (w *Writer) WriteGraph(g *rdf.Graph) error {
+	for _, t := range g.Triples() {
+		err := w.WriteStatement(
+			g.Vertices.String(uint32(t.S)),
+			g.Properties.String(uint32(t.P)),
+			g.Vertices.String(uint32(t.O)))
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+func formatTerm(term string) string {
+	if strings.HasPrefix(term, "_:") || strings.HasPrefix(term, "\"") {
+		return term
+	}
+	return "<" + term + ">"
+}

@@ -1,0 +1,179 @@
+package ntriples
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestParseBasic(t *testing.T) {
+	in := `<http://ex/s> <http://ex/p> <http://ex/o> .
+# a comment
+
+<http://ex/s2> <http://ex/p> "hello" .
+_:b1 <http://ex/p> "42"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<http://ex/s3> <http://ex/p> "bonjour"@fr .
+`
+	r := NewReader(strings.NewReader(in))
+	var got []Statement
+	for {
+		st, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, st)
+	}
+	if len(got) != 4 {
+		t.Fatalf("parsed %d statements, want 4", len(got))
+	}
+	if got[0].Subject != "http://ex/s" || got[0].Predicate != "http://ex/p" || got[0].Object != "http://ex/o" {
+		t.Errorf("statement 0 = %+v", got[0])
+	}
+	if got[1].Object != `"hello"` {
+		t.Errorf("literal object = %q", got[1].Object)
+	}
+	if got[2].Subject != "_:b1" {
+		t.Errorf("blank subject = %q", got[2].Subject)
+	}
+	if got[2].Object != `"42"^^<http://www.w3.org/2001/XMLSchema#integer>` {
+		t.Errorf("typed literal = %q", got[2].Object)
+	}
+	if got[3].Object != `"bonjour"@fr` {
+		t.Errorf("lang literal = %q", got[3].Object)
+	}
+}
+
+func TestParseEscapedQuoteInLiteral(t *testing.T) {
+	in := `<http://ex/s> <http://ex/p> "say \"hi\"" .` + "\n"
+	r := NewReader(strings.NewReader(in))
+	st, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Object != `"say \"hi\""` {
+		t.Errorf("object = %q", st.Object)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"missing dot", `<http://ex/s> <http://ex/p> <http://ex/o>`},
+		{"unterminated iri", `<http://ex/s <http://ex/p> <http://ex/o> .`},
+		{"unterminated literal", `<http://ex/s> <http://ex/p> "abc .`},
+		{"bad term", `foo <http://ex/p> <http://ex/o> .`},
+		{"trailing garbage", `<http://ex/s> <http://ex/p> <http://ex/o> . extra`},
+		{"too few terms", `<http://ex/s> <http://ex/p> .`},
+		{"empty blank label", `_: <http://ex/p> <http://ex/o> .`},
+		{"bad datatype", `<http://ex/s> <http://ex/p> "x"^^foo .`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewReader(strings.NewReader(tc.in + "\n"))
+			_, err := r.Next()
+			if err == nil || err == io.EOF {
+				t.Fatalf("expected parse error, got %v", err)
+			}
+			var pe *ParseError
+			if !strings.Contains(err.Error(), "ntriples:") {
+				t.Fatalf("error %v is not a ParseError (%T)", err, pe)
+			}
+		})
+	}
+}
+
+func TestParseErrorLineNumber(t *testing.T) {
+	in := "<http://ex/s> <http://ex/p> <http://ex/o> .\nbad line here\n"
+	r := NewReader(strings.NewReader(in))
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := r.Next()
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("got %T, want *ParseError", err)
+	}
+	if pe.Line != 2 {
+		t.Fatalf("error line = %d, want 2", pe.Line)
+	}
+}
+
+func TestLoadGraph(t *testing.T) {
+	in := `<http://ex/a> <http://ex/knows> <http://ex/b> .
+<http://ex/b> <http://ex/knows> <http://ex/c> .
+<http://ex/a> <http://ex/name> "Alice" .
+`
+	g, err := LoadGraph(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTriples() != 3 {
+		t.Fatalf("NumTriples = %d, want 3", g.NumTriples())
+	}
+	if g.NumVertices() != 4 { // a, b, c, "Alice"
+		t.Fatalf("NumVertices = %d, want 4", g.NumVertices())
+	}
+	if g.NumProperties() != 2 {
+		t.Fatalf("NumProperties = %d, want 2", g.NumProperties())
+	}
+	if !g.Frozen() {
+		t.Fatal("LoadGraph must return a frozen graph")
+	}
+}
+
+func TestLoadGraphPropagatesError(t *testing.T) {
+	if _, err := LoadGraph(strings.NewReader("garbage\n")); err == nil {
+		t.Fatal("LoadGraph accepted garbage input")
+	}
+}
+
+func TestWriterRoundtrip(t *testing.T) {
+	in := `<http://ex/a> <http://ex/knows> <http://ex/b> .
+<http://ex/a> <http://ex/name> "Alice" .
+_:b0 <http://ex/knows> <http://ex/a> .
+`
+	g, err := LoadGraph(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadGraph(&buf)
+	if err != nil {
+		t.Fatalf("re-parse of written output failed: %v\noutput:\n%s", err, buf.String())
+	}
+	if g2.NumTriples() != g.NumTriples() || g2.NumVertices() != g.NumVertices() ||
+		g2.NumProperties() != g.NumProperties() {
+		t.Fatalf("roundtrip mismatch: %s vs %s", g.Stats(), g2.Stats())
+	}
+}
+
+func TestWriteStatementFormatting(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteStatement("http://ex/s", "http://ex/p", `"lit"`); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteStatement("_:b1", "http://ex/p", "http://ex/o"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := "<http://ex/s> <http://ex/p> \"lit\" .\n_:b1 <http://ex/p> <http://ex/o> .\n"
+	if buf.String() != want {
+		t.Fatalf("output:\n%q\nwant:\n%q", buf.String(), want)
+	}
+}

@@ -1,0 +1,183 @@
+package partition
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestKHopExpandOneHopMatchesBase(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomGraph(rng, 30, 5, 90)
+	assign := make([]int32, g.NumVertices())
+	for i := range assign {
+		assign[i] = int32(rng.Intn(3))
+	}
+	p, err := FromAssignment(g, 3, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := KHopExpand(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Hops() != 1 || l.Base() != p || l.Graph() != g || l.NumSites() != 3 {
+		t.Fatal("accessors broken")
+	}
+	// The 1-hop expansion must equal the base layout's site triple sets.
+	for site := 0; site < 3; site++ {
+		want := map[int32]bool{}
+		for _, ti := range p.SiteTriples(site) {
+			want[ti] = true
+		}
+		got := map[int32]bool{}
+		for _, ti := range l.SiteTriples(site) {
+			got[ti] = true
+		}
+		if len(want) != len(got) {
+			t.Fatalf("site %d: %d triples vs base %d", site, len(got), len(want))
+		}
+		for ti := range want {
+			if !got[ti] {
+				t.Fatalf("site %d: base triple %d missing from 1-hop expansion", site, ti)
+			}
+		}
+	}
+	if l.ReplicationRatio() != p.ReplicationRatio() {
+		t.Fatalf("1-hop replication ratio %f != base %f", l.ReplicationRatio(), p.ReplicationRatio())
+	}
+}
+
+func TestKHopExpandMonotone(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 25, 4, 70)
+		assign := make([]int32, g.NumVertices())
+		for i := range assign {
+			assign[i] = int32(rng.Intn(2))
+		}
+		p, err := FromAssignment(g, 2, assign)
+		if err != nil {
+			return false
+		}
+		prev := -1.0
+		for hops := 1; hops <= 3; hops++ {
+			l, err := KHopExpand(p, hops)
+			if err != nil {
+				return false
+			}
+			r := l.ReplicationRatio()
+			if r < prev {
+				return false // replication must grow with the radius
+			}
+			prev = r
+			// Each site's triples must be within the graph and distinct.
+			for s := 0; s < 2; s++ {
+				seen := map[int32]bool{}
+				for _, ti := range l.SiteTriples(s) {
+					if ti < 0 || int(ti) >= g.NumTriples() || seen[ti] {
+						return false
+					}
+					seen[ti] = true
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKHopExpandCoversWholeGraphEventually(t *testing.T) {
+	// On a connected chain, enough hops replicate everything everywhere.
+	g := chainGraph(10)
+	p, err := FromAssignment(g, 2, []int32{0, 0, 0, 0, 0, 1, 1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := KHopExpand(p, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 2; s++ {
+		if len(l.SiteTriples(s)) != g.NumTriples() {
+			t.Fatalf("site %d holds %d of %d triples after 10 hops",
+				s, len(l.SiteTriples(s)), g.NumTriples())
+		}
+	}
+}
+
+func TestKHopExpandRejectsZeroHops(t *testing.T) {
+	g := chainGraph(3)
+	p, _ := FromAssignment(g, 1, []int32{0, 0, 0})
+	if _, err := KHopExpand(p, 0); err == nil {
+		t.Fatal("hops=0 accepted")
+	}
+}
+
+func TestAssignmentRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := randomGraph(rng, 40, 6, 120)
+	assign := make([]int32, g.NumVertices())
+	for i := range assign {
+		assign[i] = int32(rng.Intn(4))
+	}
+	p, err := FromAssignment(g, 4, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteAssignment(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ReadAssignment(&buf, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range p.Assign {
+		if p.Assign[v] != p2.Assign[v] {
+			t.Fatalf("vertex %d: %d != %d", v, p.Assign[v], p2.Assign[v])
+		}
+	}
+	if p2.NumCrossingProperties() != p.NumCrossingProperties() ||
+		p2.NumCrossingEdges() != p.NumCrossingEdges() {
+		t.Fatal("derived stats differ after roundtrip")
+	}
+}
+
+func TestReadAssignmentErrors(t *testing.T) {
+	g := chainGraph(3)
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"bad header", "x 2\n"},
+		{"bad k", "k zero\n"},
+		{"missing tab", "k 2\n0 v0\n"},
+		{"bad partition", "k 2\n9\tv0\n"},
+		{"incomplete", "k 2\n0\tv0\n"}, // v1, v2 missing
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadAssignment(strings.NewReader(tc.in), g); err == nil {
+				t.Fatalf("ReadAssignment accepted %q", tc.in)
+			}
+		})
+	}
+}
+
+func TestReadAssignmentIgnoresUnknownVertices(t *testing.T) {
+	g := chainGraph(3) // vertices v0, v1, v2
+	in := "k 2\n0\tv0\n1\tv1\n0\tv2\n1\tghost\n"
+	p, err := ReadAssignment(strings.NewReader(in), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, _ := g.Vertices.Lookup("v1")
+	if p.Assign[v1] != 1 {
+		t.Fatal("assignment not applied")
+	}
+}

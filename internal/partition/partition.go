@@ -1,0 +1,243 @@
+// Package partition defines the vertex-disjoint partitioning model of the
+// MPC paper (Definitions 3.3 and 3.4) and the baseline partitioners the
+// paper compares against: subject hashing (SHAPE/AdPart style), minimum
+// edge-cut (METIS style, via internal/metis), and vertical partitioning
+// (edge-disjoint, property hashing).
+//
+// A Partitioning records, for every vertex, its home partition, and derives
+// the crossing edges E^c, the crossing property set L_cross, the internal
+// property set L_in, and the per-site triple layout with 1-hop replication
+// of crossing edges.
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"mpc/internal/rdf"
+)
+
+// Options configures a partitioner run.
+type Options struct {
+	// K is the number of partitions (sites).
+	K int
+	// Epsilon is the maximum imbalance ratio: each |V_i| must be at most
+	// (1+Epsilon)*|V|/K. Partitioners treat it as a soft target when the
+	// graph structure makes it unachievable.
+	Epsilon float64
+	// Seed drives any randomized choices, for reproducibility.
+	Seed int64
+}
+
+// Validate reports an error for nonsensical options.
+func (o Options) Validate() error {
+	if o.K < 1 {
+		return fmt.Errorf("partition: K must be >= 1, got %d", o.K)
+	}
+	if o.Epsilon < 0 {
+		return fmt.Errorf("partition: Epsilon must be >= 0, got %g", o.Epsilon)
+	}
+	return nil
+}
+
+// Cap returns the vertex-count cap (1+ε)·|V|/k for a graph with n vertices.
+func (o Options) Cap(n int) int {
+	c := int((1 + o.Epsilon) * float64(n) / float64(o.K))
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// Partitioner produces a vertex-disjoint partitioning of an RDF graph.
+type Partitioner interface {
+	// Name identifies the strategy (used in benchmark tables).
+	Name() string
+	// Partition partitions g; g must be frozen.
+	Partition(g *rdf.Graph, opts Options) (*Partitioning, error)
+}
+
+// SiteLayout is the interface the distributed-execution simulator consumes:
+// which triples are stored at each site. Vertex-disjoint partitionings
+// replicate crossing edges at both endpoints' sites; edge-disjoint (VP)
+// layouts assign each triple to exactly one site.
+type SiteLayout interface {
+	NumSites() int
+	// SiteTriples returns the indices (into the graph's triple list) of the
+	// triples stored at site i, including replicas.
+	SiteTriples(i int) []int32
+	// Graph returns the underlying full graph.
+	Graph() *rdf.Graph
+}
+
+// Partitioning is a vertex-disjoint partitioning F = {F_1..F_k} with 1-hop
+// replication of crossing edges (Definition 3.3).
+type Partitioning struct {
+	g *rdf.Graph
+	k int
+
+	// Assign maps each vertex to its home partition in [0, k).
+	Assign []int32
+
+	crossingEdges []int32 // triple indices whose endpoints live apart
+	crossingProp  []bool  // per property: labels at least one crossing edge
+	numCrossProps int
+	partSizes     []int     // |V_i|
+	siteTriples   [][]int32 // per site: internal triples + crossing replicas
+	replicaCounts []int     // |V_i^e| per site
+}
+
+// FromAssignment derives a full Partitioning from a vertex→partition map.
+// It computes crossing edges, crossing/internal properties, per-site triple
+// layouts with replication, and partition sizes. assign must have length
+// |V| with values in [0, k).
+func FromAssignment(g *rdf.Graph, k int, assign []int32) (*Partitioning, error) {
+	if !g.Frozen() {
+		return nil, fmt.Errorf("partition: graph must be frozen")
+	}
+	if len(assign) != g.NumVertices() {
+		return nil, fmt.Errorf("partition: assignment length %d != |V| %d", len(assign), g.NumVertices())
+	}
+	p := &Partitioning{
+		g:            g,
+		k:            k,
+		Assign:       assign,
+		crossingProp: make([]bool, g.NumProperties()),
+		partSizes:    make([]int, k),
+		siteTriples:  make([][]int32, k),
+	}
+	for v, part := range assign {
+		if part < 0 || int(part) >= k {
+			return nil, fmt.Errorf("partition: vertex %d assigned to invalid partition %d", v, part)
+		}
+		p.partSizes[part]++
+	}
+	// replicas[i] tracks foreign vertices visible at site i (V_i^e).
+	replicas := make([]map[rdf.VertexID]struct{}, k)
+	for i := range replicas {
+		replicas[i] = make(map[rdf.VertexID]struct{})
+	}
+	for i, t := range g.Triples() {
+		ps, po := assign[t.S], assign[t.O]
+		if ps == po {
+			p.siteTriples[ps] = append(p.siteTriples[ps], int32(i))
+			continue
+		}
+		p.crossingEdges = append(p.crossingEdges, int32(i))
+		if !p.crossingProp[t.P] {
+			p.crossingProp[t.P] = true
+			p.numCrossProps++
+		}
+		// Replicate the crossing edge at both endpoints' sites.
+		p.siteTriples[ps] = append(p.siteTriples[ps], int32(i))
+		p.siteTriples[po] = append(p.siteTriples[po], int32(i))
+		replicas[ps][t.O] = struct{}{}
+		replicas[po][t.S] = struct{}{}
+	}
+	p.replicaCounts = make([]int, k)
+	for i := range replicas {
+		p.replicaCounts[i] = len(replicas[i])
+	}
+	return p, nil
+}
+
+// Graph returns the partitioned graph.
+func (p *Partitioning) Graph() *rdf.Graph { return p.g }
+
+// K returns the number of partitions.
+func (p *Partitioning) K() int { return p.k }
+
+// NumSites implements SiteLayout.
+func (p *Partitioning) NumSites() int { return p.k }
+
+// SiteTriples implements SiteLayout: internal edges of site i plus replicas
+// of crossing edges incident to it.
+func (p *Partitioning) SiteTriples(i int) []int32 { return p.siteTriples[i] }
+
+// CrossingEdges returns the triple indices of all crossing edges (E^c).
+func (p *Partitioning) CrossingEdges() []int32 { return p.crossingEdges }
+
+// NumCrossingEdges returns |E^c|.
+func (p *Partitioning) NumCrossingEdges() int { return len(p.crossingEdges) }
+
+// IsCrossingProperty reports whether property pid labels any crossing edge.
+func (p *Partitioning) IsCrossingProperty(pid rdf.PropertyID) bool {
+	return p.crossingProp[pid]
+}
+
+// NumCrossingProperties returns |L_cross|.
+func (p *Partitioning) NumCrossingProperties() int { return p.numCrossProps }
+
+// CrossingProperties returns L_cross sorted by ID.
+func (p *Partitioning) CrossingProperties() []rdf.PropertyID {
+	out := make([]rdf.PropertyID, 0, p.numCrossProps)
+	for pid, cross := range p.crossingProp {
+		if cross {
+			out = append(out, rdf.PropertyID(pid))
+		}
+	}
+	return out
+}
+
+// InternalProperties returns L_in = L − L_cross sorted by ID.
+func (p *Partitioning) InternalProperties() []rdf.PropertyID {
+	out := make([]rdf.PropertyID, 0, p.g.NumProperties()-p.numCrossProps)
+	for pid, cross := range p.crossingProp {
+		if !cross {
+			out = append(out, rdf.PropertyID(pid))
+		}
+	}
+	return out
+}
+
+// PartSizes returns |V_i| for each partition.
+func (p *Partitioning) PartSizes() []int { return p.partSizes }
+
+// ReplicaCounts returns |V_i^e| for each partition.
+func (p *Partitioning) ReplicaCounts() []int { return p.replicaCounts }
+
+// MaxPartSize returns max_i |V_i|.
+func (p *Partitioning) MaxPartSize() int {
+	max := 0
+	for _, s := range p.partSizes {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// Imbalance returns max_i |V_i| / (|V|/k) − 1; 0 means perfectly balanced.
+func (p *Partitioning) Imbalance() float64 {
+	if p.g.NumVertices() == 0 {
+		return 0
+	}
+	ideal := float64(p.g.NumVertices()) / float64(p.k)
+	return float64(p.MaxPartSize())/ideal - 1
+}
+
+// ReplicationRatio returns (Σ_i |E_i ∪ E_i^c|) / |E|: how much storage the
+// layout uses relative to the unpartitioned graph.
+func (p *Partitioning) ReplicationRatio() float64 {
+	if p.g.NumTriples() == 0 {
+		return 1
+	}
+	total := 0
+	for _, st := range p.siteTriples {
+		total += len(st)
+	}
+	return float64(total) / float64(p.g.NumTriples())
+}
+
+// Summary returns a human-readable description for reports.
+func (p *Partitioning) Summary() string {
+	return fmt.Sprintf("k=%d |L_cross|=%d |E^c|=%d imbalance=%.3f replication=%.3f",
+		p.k, p.numCrossProps, len(p.crossingEdges), p.Imbalance(), p.ReplicationRatio())
+}
+
+// sortIDs sorts a property ID slice in place and returns it (test helper
+// used by multiple partitioners).
+func sortIDs(ids []rdf.PropertyID) []rdf.PropertyID {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

@@ -1,0 +1,295 @@
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mpc/internal/rdf"
+)
+
+func chainGraph(n int) *rdf.Graph {
+	g := rdf.NewGraph()
+	for i := 0; i < n-1; i++ {
+		g.AddTriple(fmt.Sprintf("v%d", i), "next", fmt.Sprintf("v%d", i+1))
+	}
+	g.Freeze()
+	return g
+}
+
+func randomGraph(rng *rand.Rand, nV, nP, nE int) *rdf.Graph {
+	g := rdf.NewGraph()
+	for i := 0; i < nE; i++ {
+		g.AddTriple(
+			fmt.Sprintf("v%d", rng.Intn(nV)),
+			fmt.Sprintf("p%d", rng.Intn(nP)),
+			fmt.Sprintf("v%d", rng.Intn(nV)))
+	}
+	g.Freeze()
+	return g
+}
+
+func TestOptionsValidate(t *testing.T) {
+	if err := (Options{K: 0}).Validate(); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if err := (Options{K: 2, Epsilon: -0.1}).Validate(); err == nil {
+		t.Error("negative epsilon accepted")
+	}
+	if err := (Options{K: 2, Epsilon: 0.05}).Validate(); err != nil {
+		t.Errorf("valid options rejected: %v", err)
+	}
+}
+
+func TestOptionsCap(t *testing.T) {
+	o := Options{K: 4, Epsilon: 0.1}
+	if got := o.Cap(100); got != 27 {
+		t.Fatalf("Cap(100) = %d, want 27", got)
+	}
+	if got := (Options{K: 100, Epsilon: 0}).Cap(10); got != 1 {
+		t.Fatalf("Cap floor = %d, want 1", got)
+	}
+}
+
+func TestFromAssignmentBasic(t *testing.T) {
+	g := chainGraph(4) // v0->v1->v2->v3
+	p, err := FromAssignment(g, 2, []int32{0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumCrossingEdges() != 1 {
+		t.Fatalf("crossing edges = %d, want 1 (v1->v2)", p.NumCrossingEdges())
+	}
+	if p.NumCrossingProperties() != 1 {
+		t.Fatalf("crossing properties = %d, want 1", p.NumCrossingProperties())
+	}
+	if got := p.PartSizes(); got[0] != 2 || got[1] != 2 {
+		t.Fatalf("part sizes = %v", got)
+	}
+	// Site 0 holds v0->v1 plus the replica of v1->v2; site 1 holds v2->v3
+	// plus the replica.
+	if len(p.SiteTriples(0)) != 2 || len(p.SiteTriples(1)) != 2 {
+		t.Fatalf("site triples = %d,%d, want 2,2", len(p.SiteTriples(0)), len(p.SiteTriples(1)))
+	}
+	if got := p.ReplicaCounts(); got[0] != 1 || got[1] != 1 {
+		t.Fatalf("replica counts = %v, want [1 1]", got)
+	}
+	if p.ReplicationRatio() <= 1.0 {
+		t.Fatalf("replication ratio = %.3f, want > 1", p.ReplicationRatio())
+	}
+}
+
+func TestFromAssignmentAllInternal(t *testing.T) {
+	g := chainGraph(5)
+	p, err := FromAssignment(g, 2, []int32{0, 0, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumCrossingEdges() != 0 || p.NumCrossingProperties() != 0 {
+		t.Fatal("single-partition assignment must have no crossings")
+	}
+	if len(p.InternalProperties()) != 1 {
+		t.Fatalf("internal properties = %v", p.InternalProperties())
+	}
+	if p.ReplicationRatio() != 1.0 {
+		t.Fatalf("replication ratio = %.3f, want 1", p.ReplicationRatio())
+	}
+}
+
+func TestFromAssignmentErrors(t *testing.T) {
+	g := chainGraph(3)
+	if _, err := FromAssignment(g, 2, []int32{0, 0}); err == nil {
+		t.Error("short assignment accepted")
+	}
+	if _, err := FromAssignment(g, 2, []int32{0, 0, 5}); err == nil {
+		t.Error("out-of-range partition accepted")
+	}
+	unfrozen := rdf.NewGraph()
+	unfrozen.AddTriple("a", "p", "b")
+	if _, err := FromAssignment(unfrozen, 1, []int32{0, 0}); err == nil {
+		t.Error("unfrozen graph accepted")
+	}
+}
+
+func TestCrossingInternalPropertiesPartition(t *testing.T) {
+	// Properties: internal ∪ crossing = all, disjoint.
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 20, 6, 60)
+		assign := make([]int32, g.NumVertices())
+		for i := range assign {
+			assign[i] = int32(rng.Intn(3))
+		}
+		p, err := FromAssignment(g, 3, assign)
+		if err != nil {
+			return false
+		}
+		in, cross := p.InternalProperties(), p.CrossingProperties()
+		if len(in)+len(cross) != g.NumProperties() {
+			return false
+		}
+		seen := map[rdf.PropertyID]bool{}
+		for _, x := range in {
+			seen[x] = true
+		}
+		for _, x := range cross {
+			if seen[x] {
+				return false
+			}
+		}
+		// Every crossing edge's property must be marked crossing.
+		for _, ti := range p.CrossingEdges() {
+			if !p.IsCrossingProperty(g.Triple(ti).P) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Each site layout must contain every triple incident to the site's
+// vertices — the completeness condition behind Theorem 5 (star queries are
+// always independently executable).
+func TestSiteLayoutCompleteness(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 25, 5, 70)
+		k := 2 + rng.Intn(3)
+		assign := make([]int32, g.NumVertices())
+		for i := range assign {
+			assign[i] = int32(rng.Intn(k))
+		}
+		p, err := FromAssignment(g, k, assign)
+		if err != nil {
+			return false
+		}
+		for site := 0; site < k; site++ {
+			have := map[int32]bool{}
+			for _, ti := range p.SiteTriples(site) {
+				have[ti] = true
+			}
+			for i, tr := range g.Triples() {
+				if assign[tr.S] == int32(site) || assign[tr.O] == int32(site) {
+					if !have[int32(i)] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubjectHash(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := randomGraph(rng, 200, 8, 600)
+	p, err := SubjectHash{}.Partition(g, Options{K: 4, Epsilon: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K() != 4 || p.NumSites() != 4 {
+		t.Fatalf("K = %d", p.K())
+	}
+	// Hashing spreads vertices: every partition non-empty, none dominant.
+	for i, s := range p.PartSizes() {
+		if s == 0 {
+			t.Fatalf("partition %d empty", i)
+		}
+		if s > g.NumVertices()/2 {
+			t.Fatalf("partition %d holds %d of %d vertices", i, s, g.NumVertices())
+		}
+	}
+	// Deterministic.
+	p2, _ := SubjectHash{}.Partition(g, Options{K: 4, Epsilon: 0.1, Seed: 99})
+	for v := range p.Assign {
+		if p.Assign[v] != p2.Assign[v] {
+			t.Fatal("subject hashing must not depend on seed")
+		}
+	}
+}
+
+func TestMinEdgeCutBeatsHashOnStructure(t *testing.T) {
+	// Two chains joined by one bridge: min edge-cut should cut far fewer
+	// edges than subject hashing.
+	g := rdf.NewGraph()
+	for i := 0; i < 50; i++ {
+		g.AddTriple(fmt.Sprintf("a%d", i), "pa", fmt.Sprintf("a%d", i+1))
+		g.AddTriple(fmt.Sprintf("b%d", i), "pb", fmt.Sprintf("b%d", i+1))
+	}
+	g.AddTriple("a0", "bridge", "b0")
+	g.Freeze()
+
+	mc, err := MinEdgeCut{}.Partition(g, Options{K: 2, Epsilon: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := SubjectHash{}.Partition(g, Options{K: 2, Epsilon: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.NumCrossingEdges() >= sh.NumCrossingEdges() {
+		t.Fatalf("min edge-cut (%d crossing) not better than hash (%d)",
+			mc.NumCrossingEdges(), sh.NumCrossingEdges())
+	}
+	if mc.NumCrossingEdges() > 5 {
+		t.Fatalf("min edge-cut crossing edges = %d, want <= 5", mc.NumCrossingEdges())
+	}
+}
+
+func TestVPLayout(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomGraph(rng, 50, 10, 200)
+	l, err := VP{}.Partition(g, Options{K: 4, Epsilon: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumSites() != 4 {
+		t.Fatalf("NumSites = %d", l.NumSites())
+	}
+	// Edge-disjoint: every triple stored exactly once, at its property's site.
+	total := 0
+	for s := 0; s < 4; s++ {
+		for _, ti := range l.SiteTriples(s) {
+			if l.SiteOf(g.Triple(ti).P) != int32(s) {
+				t.Fatalf("triple %d at site %d but its property belongs to %d",
+					ti, s, l.SiteOf(g.Triple(ti).P))
+			}
+			total++
+		}
+	}
+	if total != g.NumTriples() {
+		t.Fatalf("stored %d triples, want %d", total, g.NumTriples())
+	}
+}
+
+func TestPartitioningSummary(t *testing.T) {
+	g := chainGraph(4)
+	p, err := FromAssignment(g, 2, []int32{0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Summary() == "" || p.Graph() != g {
+		t.Fatal("summary/graph accessors broken")
+	}
+	if p.MaxPartSize() != 2 {
+		t.Fatalf("MaxPartSize = %d", p.MaxPartSize())
+	}
+	if p.Imbalance() != 0 {
+		t.Fatalf("Imbalance = %f, want 0", p.Imbalance())
+	}
+}
+
+func TestSortIDs(t *testing.T) {
+	ids := []rdf.PropertyID{3, 1, 2}
+	sortIDs(ids)
+	if ids[0] != 1 || ids[1] != 2 || ids[2] != 3 {
+		t.Fatalf("sortIDs = %v", ids)
+	}
+}

@@ -1,0 +1,84 @@
+package partition
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"mpc/internal/rdf"
+)
+
+// WriteAssignment serializes a vertex→partition assignment as a small text
+// format that survives re-loading the graph from N-Triples: a header line
+// "k <k>" followed by one "<partition>\t<vertex term>" line per vertex.
+func WriteAssignment(w io.Writer, p *Partitioning) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "k %d\n", p.K()); err != nil {
+		return err
+	}
+	g := p.Graph()
+	for v, part := range p.Assign {
+		if _, err := fmt.Fprintf(bw, "%d\t%s\n", part, g.Vertices.String(uint32(v))); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadAssignment parses an assignment written by WriteAssignment and
+// re-derives the full Partitioning over g. Every vertex of g must be
+// covered; vertices in the file but absent from g are ignored (the graph
+// may have been filtered), and an error is returned if any graph vertex is
+// missing from the file.
+func ReadAssignment(r io.Reader, g *rdf.Graph) (*Partitioning, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("partition: empty assignment file")
+	}
+	header := strings.Fields(sc.Text())
+	if len(header) != 2 || header[0] != "k" {
+		return nil, fmt.Errorf("partition: bad assignment header %q", sc.Text())
+	}
+	k, err := strconv.Atoi(header[1])
+	if err != nil || k < 1 {
+		return nil, fmt.Errorf("partition: bad k in header %q", sc.Text())
+	}
+	assign := make([]int32, g.NumVertices())
+	seen := make([]bool, g.NumVertices())
+	line := 1
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		tab := strings.IndexByte(text, '\t')
+		if tab < 0 {
+			return nil, fmt.Errorf("partition: line %d: missing tab", line)
+		}
+		part, err := strconv.Atoi(text[:tab])
+		if err != nil || part < 0 || part >= k {
+			return nil, fmt.Errorf("partition: line %d: bad partition %q", line, text[:tab])
+		}
+		term := text[tab+1:]
+		id, ok := g.Vertices.Lookup(term)
+		if !ok {
+			continue // vertex not in this graph
+		}
+		assign[id] = int32(part)
+		seen[id] = true
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for v, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("partition: vertex %q missing from assignment",
+				g.Vertices.String(uint32(v)))
+		}
+	}
+	return FromAssignment(g, k, assign)
+}

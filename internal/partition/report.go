@@ -1,0 +1,65 @@
+package partition
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"mpc/internal/rdf"
+)
+
+// PropertyCut describes one crossing property of a partitioning: how many
+// of its edges actually cross, out of how many total. The distinction
+// matters in the paper (Sec. I-B): a crossing property usually has many
+// internal edges too — only its *existence* forces inter-partition joins.
+type PropertyCut struct {
+	Property      rdf.PropertyID
+	Name          string
+	CrossingEdges int
+	TotalEdges    int
+}
+
+// CutReport returns one entry per crossing property, sorted by descending
+// crossing-edge count. Useful to see which properties the partitioning
+// failed to internalize and how badly they fragment.
+func (p *Partitioning) CutReport() []PropertyCut {
+	g := p.g
+	crossCount := make(map[rdf.PropertyID]int)
+	for _, ti := range p.crossingEdges {
+		crossCount[g.Triple(ti).P]++
+	}
+	out := make([]PropertyCut, 0, len(crossCount))
+	for pid, n := range crossCount {
+		out = append(out, PropertyCut{
+			Property:      pid,
+			Name:          g.Properties.String(uint32(pid)),
+			CrossingEdges: n,
+			TotalEdges:    g.PropertyEdgeCount(pid),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].CrossingEdges != out[j].CrossingEdges {
+			return out[i].CrossingEdges > out[j].CrossingEdges
+		}
+		return out[i].Property < out[j].Property
+	})
+	return out
+}
+
+// WriteCutReport renders the cut report with per-partition sizes — the
+// explain output of cmd/mpc-partition and cmd/mpc-query.
+func (p *Partitioning) WriteCutReport(w io.Writer) {
+	fmt.Fprintf(w, "partitioning: %s\n", p.Summary())
+	fmt.Fprintf(w, "partition sizes: %v  replicas: %v\n", p.PartSizes(), p.ReplicaCounts())
+	report := p.CutReport()
+	if len(report) == 0 {
+		fmt.Fprintln(w, "no crossing properties")
+		return
+	}
+	fmt.Fprintf(w, "crossing properties (%d):\n", len(report))
+	for _, pc := range report {
+		fmt.Fprintf(w, "  %-60s %d/%d edges crossing (%.1f%%)\n",
+			pc.Name, pc.CrossingEdges, pc.TotalEdges,
+			100*float64(pc.CrossingEdges)/float64(pc.TotalEdges))
+	}
+}

@@ -1,0 +1,65 @@
+package partition
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mpc/internal/rdf"
+)
+
+func TestCutReport(t *testing.T) {
+	g := rdf.NewGraph()
+	// p crosses twice (a0-b0, a1-b1), q crosses once, r never crosses.
+	g.AddTriple("a0", "p", "b0")
+	g.AddTriple("a1", "p", "b1")
+	g.AddTriple("a0", "p", "a1") // internal p edge
+	g.AddTriple("a0", "q", "b0")
+	g.AddTriple("a0", "r", "a1")
+	g.Freeze()
+	va0, _ := g.Vertices.Lookup("a0")
+	va1, _ := g.Vertices.Lookup("a1")
+	assign := make([]int32, g.NumVertices())
+	for i := range assign {
+		assign[i] = 1
+	}
+	assign[va0], assign[va1] = 0, 0
+	p, err := FromAssignment(g, 2, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := p.CutReport()
+	if len(report) != 2 {
+		t.Fatalf("report entries = %d, want 2", len(report))
+	}
+	if report[0].Name != "p" || report[0].CrossingEdges != 2 || report[0].TotalEdges != 3 {
+		t.Fatalf("entry 0 = %+v", report[0])
+	}
+	if report[1].Name != "q" || report[1].CrossingEdges != 1 || report[1].TotalEdges != 1 {
+		t.Fatalf("entry 1 = %+v", report[1])
+	}
+
+	var buf bytes.Buffer
+	p.WriteCutReport(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "crossing properties (2)") ||
+		!strings.Contains(out, "2/3 edges crossing") {
+		t.Fatalf("report render:\n%s", out)
+	}
+}
+
+func TestCutReportNoCrossings(t *testing.T) {
+	g := chainGraph(4)
+	p, err := FromAssignment(g, 1, []int32{0, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.CutReport()) != 0 {
+		t.Fatal("expected empty report")
+	}
+	var buf bytes.Buffer
+	p.WriteCutReport(&buf)
+	if !strings.Contains(buf.String(), "no crossing properties") {
+		t.Fatal("missing no-crossings note")
+	}
+}

@@ -1,0 +1,34 @@
+package partition
+
+import (
+	"hash/fnv"
+
+	"mpc/internal/rdf"
+)
+
+// SubjectHash assigns each vertex to a partition by hashing its term string,
+// the scheme used by SHAPE and AdPart for triple placement. Since the
+// assignment is vertex-disjoint, crossing edges are replicated 1-hop as in
+// Definition 3.3.
+type SubjectHash struct{}
+
+// Name implements Partitioner.
+func (SubjectHash) Name() string { return "Subject_Hash" }
+
+// Partition implements Partitioner.
+func (SubjectHash) Partition(g *rdf.Graph, opts Options) (*Partitioning, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	assign := make([]int32, g.NumVertices())
+	for v := range assign {
+		assign[v] = int32(hashString(g.Vertices.String(uint32(v))) % uint64(opts.K))
+	}
+	return FromAssignment(g, opts.K, assign)
+}
+
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

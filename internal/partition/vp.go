@@ -1,0 +1,60 @@
+package partition
+
+import (
+	"fmt"
+
+	"mpc/internal/rdf"
+)
+
+// VP is vertical (edge-disjoint) partitioning: all triples with the same
+// property go to the same site, chosen by hashing the property name. This is
+// the placement used by HadoopRDF, S2RDF, WORQ and similar cloud systems.
+// There are no crossing edges or crossing properties — vertices may appear
+// at many sites, but each triple lives at exactly one.
+type VP struct{}
+
+// Name identifies the strategy.
+func (VP) Name() string { return "VP" }
+
+// VPLayout is the edge-disjoint site layout produced by VP.
+type VPLayout struct {
+	g *rdf.Graph
+	k int
+	// PropSite maps each property to its site.
+	PropSite    []int32
+	siteTriples [][]int32
+}
+
+// Partition assigns each property (and thus each triple) to a site.
+func (VP) Partition(g *rdf.Graph, opts Options) (*VPLayout, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if !g.Frozen() {
+		return nil, fmt.Errorf("partition: graph must be frozen")
+	}
+	l := &VPLayout{
+		g:           g,
+		k:           opts.K,
+		PropSite:    make([]int32, g.NumProperties()),
+		siteTriples: make([][]int32, opts.K),
+	}
+	for p := 0; p < g.NumProperties(); p++ {
+		site := int32(hashString(g.Properties.String(uint32(p))) % uint64(opts.K))
+		l.PropSite[p] = site
+		l.siteTriples[site] = append(l.siteTriples[site], g.PropertyTriples(rdf.PropertyID(p))...)
+	}
+	return l, nil
+}
+
+// Graph implements SiteLayout.
+func (l *VPLayout) Graph() *rdf.Graph { return l.g }
+
+// NumSites implements SiteLayout.
+func (l *VPLayout) NumSites() int { return l.k }
+
+// SiteTriples implements SiteLayout.
+func (l *VPLayout) SiteTriples(i int) []int32 { return l.siteTriples[i] }
+
+// SiteOf returns the site storing all triples labeled p.
+func (l *VPLayout) SiteOf(p rdf.PropertyID) int32 { return l.PropSite[p] }

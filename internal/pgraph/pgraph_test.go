@@ -1,0 +1,124 @@
+package pgraph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mpc/internal/partition"
+)
+
+func TestMapping(t *testing.T) {
+	pg := New()
+	pg.AddVertex("alice", []string{"Person"}, map[string]string{"name": "Alice", "age": "30"})
+	pg.AddEdge("alice", "KNOWS", "bob", nil)
+	pg.AddEdge("alice", "WORKS_AT", "acme", map[string]string{"since": "2019"})
+	g := pg.Freeze()
+
+	// alice: 1 type + 2 props; KNOWS edge; WORKS_AT edge + reified vertex
+	// with 1 reifies + 1 prop.
+	if g.NumTriples() != 7 {
+		t.Fatalf("triples = %d, want 7", g.NumTriples())
+	}
+	if _, ok := g.Properties.Lookup("edge:KNOWS"); !ok {
+		t.Fatal("edge label missing")
+	}
+	if _, ok := g.Properties.Lookup("prop:name"); !ok {
+		t.Fatal("vertex property missing")
+	}
+	if _, ok := g.Properties.Lookup(RDFType); !ok {
+		t.Fatal("vertex label mapping missing")
+	}
+	if _, ok := g.Properties.Lookup("reifies:WORKS_AT"); !ok {
+		t.Fatal("edge reification missing")
+	}
+}
+
+func TestFreezeIdempotentAndAddAfterFreezePanics(t *testing.T) {
+	pg := New()
+	pg.AddEdge("a", "E", "b", nil)
+	pg.Freeze()
+	pg.Freeze()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddEdge after Freeze did not panic")
+		}
+	}()
+	pg.AddEdge("c", "E", "d", nil)
+}
+
+// communityPG builds a property graph of c communities, each wired by its
+// own subset of labels, plus rare cross-community edges — the RDF-like
+// sparse-label regime where MPC shines.
+func communityPG(rng *rand.Rand, communities, size, labelsPerCommunity int) *Graph {
+	pg := New()
+	for c := 0; c < communities; c++ {
+		for i := 0; i < size; i++ {
+			src := fmt.Sprintf("v%d.%d", c, i)
+			dst := fmt.Sprintf("v%d.%d", c, rng.Intn(size))
+			label := fmt.Sprintf("L%d.%d", c%4, rng.Intn(labelsPerCommunity))
+			pg.AddEdge(src, label, dst, nil)
+			if i == 0 && c > 0 {
+				pg.AddEdge(src, "BRIDGE", fmt.Sprintf("v%d.0", c-1), nil)
+			}
+		}
+	}
+	return pg
+}
+
+// densePG builds the dense-label regime: very few labels, each spanning the
+// whole graph — the conclusion's warning case.
+func densePG(rng *rand.Rand, n int) *Graph {
+	pg := New()
+	labels := []string{"A", "B", "C"}
+	for i := 0; i < n; i++ {
+		pg.AddEdge(
+			fmt.Sprintf("v%d", rng.Intn(n/4+1)),
+			labels[rng.Intn(len(labels))],
+			fmt.Sprintf("v%d", rng.Intn(n/4+1)), nil)
+	}
+	return pg
+}
+
+func TestPartitionPropertyGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pg := communityPG(rng, 16, 40, 6)
+	res, err := pg.Partition(partition.Options{K: 4, Epsilon: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := pg.RDF()
+	if res.NumCrossingProperties() >= g.NumProperties()/2 {
+		t.Fatalf("MPC crossed %d of %d labels on a community PG; expected far fewer",
+			res.NumCrossingProperties(), g.NumProperties())
+	}
+}
+
+// TestConclusionCaveat reproduces the paper's closing observation: MPC's
+// label-cut advantage shrinks as labels get fewer and denser.
+func TestConclusionCaveat(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	opts := partition.Options{K: 4, Epsilon: 0.15, Seed: 1}
+
+	sparse := communityPG(rng, 16, 40, 6)
+	sp, err := Profile(sparse.Freeze(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := densePG(rng, 2000)
+	dp, err := Profile(dense.Freeze(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("sparse-label PG: labels=%d MPC=%d mincut=%d share=%.2f",
+		sp.Labels, sp.MPCCross, sp.MinCutCross, sp.MPCCrossShare)
+	t.Logf("dense-label PG:  labels=%d MPC=%d mincut=%d share=%.2f",
+		dp.Labels, dp.MPCCross, dp.MinCutCross, dp.MPCCrossShare)
+	if sp.MPCCrossShare >= 0.5 {
+		t.Errorf("sparse regime: MPC crossing share %.2f, expected below 0.5", sp.MPCCrossShare)
+	}
+	if dp.MPCCrossShare <= sp.MPCCrossShare {
+		t.Errorf("dense regime share %.2f not above sparse %.2f — the caveat should show",
+			dp.MPCCrossShare, sp.MPCCrossShare)
+	}
+}

@@ -1,0 +1,52 @@
+// Package rdf provides the in-memory RDF graph model used throughout the
+// repository: interned terms, triples over dense integer IDs, and a frozen
+// graph with per-property and per-vertex indexes.
+//
+// An RDF graph G = {V, E, L, f} (Definition 3.1 of the MPC paper) is
+// represented with two dictionaries — one for vertices (subjects/objects)
+// and one for properties (edge labels) — and a flat triple list. Freezing
+// the graph builds CSR-style indexes: triples grouped by property, and an
+// undirected adjacency list used for WCC computation and min edge-cut
+// partitioning.
+package rdf
+
+import "fmt"
+
+// Dict interns strings to dense uint32 IDs.
+type Dict struct {
+	ids  map[string]uint32
+	strs []string
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{ids: make(map[string]uint32)}
+}
+
+// Intern returns the ID for s, assigning the next free ID on first sight.
+func (d *Dict) Intern(s string) uint32 {
+	if id, ok := d.ids[s]; ok {
+		return id
+	}
+	id := uint32(len(d.strs))
+	d.ids[s] = id
+	d.strs = append(d.strs, s)
+	return id
+}
+
+// Lookup returns the ID for s and whether it is present.
+func (d *Dict) Lookup(s string) (uint32, bool) {
+	id, ok := d.ids[s]
+	return id, ok
+}
+
+// String returns the string for id. It panics if id is out of range.
+func (d *Dict) String(id uint32) string {
+	if int(id) >= len(d.strs) {
+		panic(fmt.Sprintf("rdf: dict id %d out of range (len %d)", id, len(d.strs)))
+	}
+	return d.strs[id]
+}
+
+// Len returns the number of interned strings.
+func (d *Dict) Len() int { return len(d.strs) }

@@ -1,0 +1,230 @@
+package rdf
+
+import (
+	"fmt"
+	"sort"
+
+	"mpc/internal/dsf"
+)
+
+// VertexID identifies a subject or object vertex.
+type VertexID uint32
+
+// PropertyID identifies an edge label (property).
+type PropertyID uint32
+
+// Triple is a directed labeled edge s --p--> o.
+type Triple struct {
+	S VertexID
+	P PropertyID
+	O VertexID
+}
+
+// AdjEntry is one undirected adjacency record for a vertex: the neighbor,
+// the property of the connecting edge, the index of the triple in the
+// graph's triple list, and whether the edge leaves this vertex (Out) or
+// enters it.
+type AdjEntry struct {
+	Neighbor VertexID
+	Prop     PropertyID
+	Triple   int32
+	Out      bool
+}
+
+// Graph is an in-memory RDF multigraph. Triples are appended with AddTriple
+// or AddTripleIDs; Freeze builds the indexes. Reading methods that need
+// indexes panic if the graph is not frozen.
+type Graph struct {
+	Vertices   *Dict
+	Properties *Dict
+
+	triples []Triple
+	frozen  bool
+
+	// CSR index: triple indices grouped by property.
+	propOff     []int32
+	propTriples []int32
+
+	// CSR undirected adjacency over vertices.
+	adjOff []int32
+	adj    []AdjEntry
+}
+
+// NewGraph returns an empty mutable graph.
+func NewGraph() *Graph {
+	return &Graph{Vertices: NewDict(), Properties: NewDict()}
+}
+
+// AddTriple interns the three terms and appends the triple.
+func (g *Graph) AddTriple(s, p, o string) Triple {
+	t := Triple{
+		S: VertexID(g.Vertices.Intern(s)),
+		P: PropertyID(g.Properties.Intern(p)),
+		O: VertexID(g.Vertices.Intern(o)),
+	}
+	g.AddTripleIDs(t.S, t.P, t.O)
+	return t
+}
+
+// AddTripleIDs appends a triple over already-interned IDs. Vertex and
+// property IDs beyond the current dictionaries are allowed only if the
+// caller manages its own ID space; mixing styles is the caller's
+// responsibility.
+func (g *Graph) AddTripleIDs(s VertexID, p PropertyID, o VertexID) {
+	if g.frozen {
+		panic("rdf: AddTripleIDs on frozen graph")
+	}
+	g.triples = append(g.triples, Triple{S: s, P: p, O: o})
+}
+
+// NumVertices returns |V|.
+func (g *Graph) NumVertices() int { return g.Vertices.Len() }
+
+// NumProperties returns |L|.
+func (g *Graph) NumProperties() int { return g.Properties.Len() }
+
+// NumTriples returns |E| (triples are a multiset; duplicates count).
+func (g *Graph) NumTriples() int { return len(g.triples) }
+
+// Triple returns the i-th triple.
+func (g *Graph) Triple(i int32) Triple { return g.triples[i] }
+
+// Triples returns the underlying triple slice. Callers must not mutate it.
+func (g *Graph) Triples() []Triple { return g.triples }
+
+// Frozen reports whether Freeze has been called.
+func (g *Graph) Frozen() bool { return g.frozen }
+
+// Freeze builds the property and adjacency indexes. It is idempotent.
+func (g *Graph) Freeze() {
+	if g.frozen {
+		return
+	}
+	g.frozen = true
+	nV, nP, nE := g.NumVertices(), g.NumProperties(), len(g.triples)
+
+	// Counting sort of triple indices by property.
+	g.propOff = make([]int32, nP+1)
+	for _, t := range g.triples {
+		g.propOff[t.P+1]++
+	}
+	for p := 0; p < nP; p++ {
+		g.propOff[p+1] += g.propOff[p]
+	}
+	g.propTriples = make([]int32, nE)
+	cursor := append([]int32(nil), g.propOff...)
+	for i, t := range g.triples {
+		g.propTriples[cursor[t.P]] = int32(i)
+		cursor[t.P]++
+	}
+
+	// Undirected adjacency: every triple contributes two entries, except
+	// self-loops which contribute one.
+	g.adjOff = make([]int32, nV+1)
+	for _, t := range g.triples {
+		g.adjOff[t.S+1]++
+		if t.S != t.O {
+			g.adjOff[t.O+1]++
+		}
+	}
+	for v := 0; v < nV; v++ {
+		g.adjOff[v+1] += g.adjOff[v]
+	}
+	g.adj = make([]AdjEntry, g.adjOff[nV])
+	acur := append([]int32(nil), g.adjOff...)
+	for i, t := range g.triples {
+		g.adj[acur[t.S]] = AdjEntry{Neighbor: t.O, Prop: t.P, Triple: int32(i), Out: true}
+		acur[t.S]++
+		if t.S != t.O {
+			g.adj[acur[t.O]] = AdjEntry{Neighbor: t.S, Prop: t.P, Triple: int32(i), Out: false}
+			acur[t.O]++
+		}
+	}
+}
+
+func (g *Graph) mustFrozen() {
+	if !g.frozen {
+		panic("rdf: graph must be frozen first")
+	}
+}
+
+// PropertyTriples returns the indices of all triples labeled p.
+func (g *Graph) PropertyTriples(p PropertyID) []int32 {
+	g.mustFrozen()
+	return g.propTriples[g.propOff[p]:g.propOff[p+1]]
+}
+
+// PropertyEdgeCount returns the number of triples labeled p.
+func (g *Graph) PropertyEdgeCount(p PropertyID) int {
+	g.mustFrozen()
+	return int(g.propOff[p+1] - g.propOff[p])
+}
+
+// Adj returns the undirected adjacency entries of v.
+func (g *Graph) Adj(v VertexID) []AdjEntry {
+	g.mustFrozen()
+	return g.adj[g.adjOff[v]:g.adjOff[v+1]]
+}
+
+// Degree returns the undirected degree of v (self-loops count once).
+func (g *Graph) Degree(v VertexID) int {
+	g.mustFrozen()
+	return int(g.adjOff[v+1] - g.adjOff[v])
+}
+
+// WCC returns a disjoint-set forest whose sets are the weakly connected
+// components of the subgraph induced by the given properties, G[L']
+// (Definition 3.2). Vertices not incident to any edge of L' remain
+// singletons. With props covering all properties this yields WCC(G).
+func (g *Graph) WCC(props []PropertyID) *dsf.Forest {
+	g.mustFrozen()
+	f := dsf.New(g.NumVertices())
+	for _, p := range props {
+		for _, ti := range g.PropertyTriples(p) {
+			t := g.triples[ti]
+			f.Union(int32(t.S), int32(t.O))
+		}
+	}
+	return f
+}
+
+// WCCAll returns the weakly connected components of the whole graph.
+func (g *Graph) WCCAll() *dsf.Forest {
+	g.mustFrozen()
+	f := dsf.New(g.NumVertices())
+	for _, t := range g.triples {
+		f.Union(int32(t.S), int32(t.O))
+	}
+	return f
+}
+
+// AllProperties returns all property IDs, 0..|L|-1.
+func (g *Graph) AllProperties() []PropertyID {
+	ps := make([]PropertyID, g.NumProperties())
+	for i := range ps {
+		ps[i] = PropertyID(i)
+	}
+	return ps
+}
+
+// PropertiesByFrequency returns property IDs sorted by ascending edge count,
+// ties broken by ID. This is the default candidate order for the greedy
+// internal-property selector: cheap properties first.
+func (g *Graph) PropertiesByFrequency() []PropertyID {
+	g.mustFrozen()
+	ps := g.AllProperties()
+	sort.Slice(ps, func(i, j int) bool {
+		ci, cj := g.PropertyEdgeCount(ps[i]), g.PropertyEdgeCount(ps[j])
+		if ci != cj {
+			return ci < cj
+		}
+		return ps[i] < ps[j]
+	})
+	return ps
+}
+
+// Stats returns a one-line human-readable summary.
+func (g *Graph) Stats() string {
+	return fmt.Sprintf("vertices=%d triples=%d properties=%d",
+		g.NumVertices(), g.NumTriples(), g.NumProperties())
+}

@@ -1,0 +1,307 @@
+package rdf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// paperGraph builds the example RDF graph of Fig. 2 in the paper (simplified
+// IDs 001..010) with properties starring, residence, chronology, spouse,
+// foundingDate, birthPlace.
+func paperGraph() *Graph {
+	g := NewGraph()
+	g.AddTriple("001", "starring", "002")
+	g.AddTriple("001", "chronology", "003")
+	g.AddTriple("004", "residence", "005")
+	g.AddTriple("004", "spouse", "006")
+	g.AddTriple("006", "residence", "005")
+	g.AddTriple("007", "foundingDate", "008")
+	g.AddTriple("007", "starring", "009")
+	g.AddTriple("002", "birthPlace", "005")
+	g.AddTriple("003", "birthPlace", "005")
+	g.AddTriple("010", "birthPlace", "008")
+	g.AddTriple("003", "birthPlace", "010")
+	g.Freeze()
+	return g
+}
+
+func TestDictIntern(t *testing.T) {
+	d := NewDict()
+	a := d.Intern("alpha")
+	b := d.Intern("beta")
+	if a == b {
+		t.Fatal("distinct strings interned to same ID")
+	}
+	if d.Intern("alpha") != a {
+		t.Fatal("re-interning returned a different ID")
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", d.Len())
+	}
+	if d.String(a) != "alpha" || d.String(b) != "beta" {
+		t.Fatal("String roundtrip failed")
+	}
+	if id, ok := d.Lookup("beta"); !ok || id != b {
+		t.Fatal("Lookup failed for existing key")
+	}
+	if _, ok := d.Lookup("gamma"); ok {
+		t.Fatal("Lookup reported a missing key as present")
+	}
+}
+
+func TestDictStringPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("String on out-of-range ID did not panic")
+		}
+	}()
+	NewDict().String(0)
+}
+
+func TestGraphCounts(t *testing.T) {
+	g := paperGraph()
+	if g.NumVertices() != 10 {
+		t.Errorf("NumVertices = %d, want 10", g.NumVertices())
+	}
+	if g.NumTriples() != 11 {
+		t.Errorf("NumTriples = %d, want 11", g.NumTriples())
+	}
+	if g.NumProperties() != 6 {
+		t.Errorf("NumProperties = %d, want 6", g.NumProperties())
+	}
+}
+
+func TestPropertyTriples(t *testing.T) {
+	g := paperGraph()
+	bp, ok := g.Properties.Lookup("birthPlace")
+	if !ok {
+		t.Fatal("birthPlace not interned")
+	}
+	idx := g.PropertyTriples(PropertyID(bp))
+	if len(idx) != 4 {
+		t.Fatalf("birthPlace triple count = %d, want 4", len(idx))
+	}
+	for _, ti := range idx {
+		if g.Triple(ti).P != PropertyID(bp) {
+			t.Fatalf("PropertyTriples returned triple with property %d", g.Triple(ti).P)
+		}
+	}
+	if g.PropertyEdgeCount(PropertyID(bp)) != 4 {
+		t.Fatalf("PropertyEdgeCount = %d, want 4", g.PropertyEdgeCount(PropertyID(bp)))
+	}
+}
+
+func TestAdjacency(t *testing.T) {
+	g := paperGraph()
+	v5, _ := g.Vertices.Lookup("005")
+	// 005 appears as object in: 004-residence, 006-residence, 002-birthPlace,
+	// 003-birthPlace.
+	if g.Degree(VertexID(v5)) != 4 {
+		t.Fatalf("Degree(005) = %d, want 4", g.Degree(VertexID(v5)))
+	}
+	for _, e := range g.Adj(VertexID(v5)) {
+		if e.Out {
+			t.Errorf("005 has no outgoing edges but Adj reports Out entry to %d", e.Neighbor)
+		}
+	}
+}
+
+func TestSelfLoopAdjacency(t *testing.T) {
+	g := NewGraph()
+	g.AddTriple("a", "p", "a")
+	g.AddTriple("a", "p", "b")
+	g.Freeze()
+	va, _ := g.Vertices.Lookup("a")
+	// Self-loop contributes one adjacency entry, a->b contributes one.
+	if g.Degree(VertexID(va)) != 2 {
+		t.Fatalf("Degree(a) = %d, want 2", g.Degree(VertexID(va)))
+	}
+}
+
+func TestWCCSingleProperty(t *testing.T) {
+	g := paperGraph()
+	st, _ := g.Properties.Lookup("starring")
+	f := g.WCC([]PropertyID{PropertyID(st)})
+	v1, _ := g.Vertices.Lookup("001")
+	v2, _ := g.Vertices.Lookup("002")
+	v7, _ := g.Vertices.Lookup("007")
+	v9, _ := g.Vertices.Lookup("009")
+	if !f.SameSet(int32(v1), int32(v2)) {
+		t.Error("001 and 002 should be weakly connected via starring")
+	}
+	if !f.SameSet(int32(v7), int32(v9)) {
+		t.Error("007 and 009 should be weakly connected via starring")
+	}
+	if f.SameSet(int32(v1), int32(v7)) {
+		t.Error("001 and 007 must not be connected via starring alone")
+	}
+	if f.MaxComponentSize() != 2 {
+		t.Errorf("max WCC of G[starring] = %d, want 2", f.MaxComponentSize())
+	}
+}
+
+func TestWCCAll(t *testing.T) {
+	g := paperGraph()
+	f := g.WCCAll()
+	// The full example graph is weakly connected.
+	if f.MaxComponentSize() != 10 {
+		t.Fatalf("max WCC = %d, want 10 (graph is weakly connected)", f.MaxComponentSize())
+	}
+	if f.NumSets() != 1 {
+		t.Fatalf("NumSets = %d, want 1", f.NumSets())
+	}
+}
+
+func TestWCCEmptyPropertySet(t *testing.T) {
+	g := paperGraph()
+	f := g.WCC(nil)
+	if f.NumSets() != g.NumVertices() {
+		t.Fatalf("WCC(∅) should leave all vertices singleton, got %d sets", f.NumSets())
+	}
+}
+
+func TestPropertiesByFrequency(t *testing.T) {
+	g := paperGraph()
+	ps := g.PropertiesByFrequency()
+	if len(ps) != g.NumProperties() {
+		t.Fatalf("got %d properties, want %d", len(ps), g.NumProperties())
+	}
+	for i := 1; i < len(ps); i++ {
+		if g.PropertyEdgeCount(ps[i-1]) > g.PropertyEdgeCount(ps[i]) {
+			t.Fatalf("properties not sorted by ascending frequency at %d", i)
+		}
+	}
+	// birthPlace (4 edges) must be last.
+	bp, _ := g.Properties.Lookup("birthPlace")
+	if ps[len(ps)-1] != PropertyID(bp) {
+		t.Errorf("most frequent property should be birthPlace")
+	}
+}
+
+func TestAddAfterFreezePanics(t *testing.T) {
+	g := NewGraph()
+	g.AddTriple("a", "p", "b")
+	g.Freeze()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddTripleIDs after Freeze did not panic")
+		}
+	}()
+	g.AddTripleIDs(0, 0, 1)
+}
+
+func TestUnfrozenAccessPanics(t *testing.T) {
+	g := NewGraph()
+	g.AddTriple("a", "p", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PropertyTriples before Freeze did not panic")
+		}
+	}()
+	g.PropertyTriples(0)
+}
+
+func TestFreezeIdempotent(t *testing.T) {
+	g := paperGraph()
+	before := g.NumTriples()
+	g.Freeze()
+	g.Freeze()
+	if g.NumTriples() != before {
+		t.Fatal("repeated Freeze changed the graph")
+	}
+}
+
+// Property test: per-property triple index is a partition of all triple
+// indices, and adjacency entry counts are consistent with triple count.
+func TestIndexInvariants(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewGraph()
+		nV, nP := 20+rng.Intn(30), 1+rng.Intn(8)
+		verts := make([]string, nV)
+		props := make([]string, nP)
+		for i := range verts {
+			verts[i] = "v" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		}
+		for i := range props {
+			props[i] = "p" + string(rune('0'+i))
+		}
+		nE := 1 + rng.Intn(100)
+		selfLoops := 0
+		for i := 0; i < nE; i++ {
+			s := verts[rng.Intn(nV)]
+			o := verts[rng.Intn(nV)]
+			if s == o {
+				selfLoops++
+			}
+			g.AddTriple(s, props[rng.Intn(nP)], o)
+		}
+		g.Freeze()
+
+		seen := make(map[int32]bool)
+		total := 0
+		for p := 0; p < g.NumProperties(); p++ {
+			for _, ti := range g.PropertyTriples(PropertyID(p)) {
+				if seen[ti] {
+					return false // duplicate triple index across properties
+				}
+				seen[ti] = true
+				total++
+			}
+		}
+		if total != g.NumTriples() {
+			return false
+		}
+		adjTotal := 0
+		for v := 0; v < g.NumVertices(); v++ {
+			adjTotal += g.Degree(VertexID(v))
+		}
+		return adjTotal == 2*g.NumTriples()-selfLoops
+	}, &quick.Config{MaxCount: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property test: WCC over a property subset never has more reachable pairs
+// than WCC over a superset (monotonicity of connectivity).
+func TestWCCMonotone(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewGraph()
+		for i := 0; i < 60; i++ {
+			s := "v" + string(rune('a'+rng.Intn(15)))
+			o := "v" + string(rune('a'+rng.Intn(15)))
+			p := "p" + string(rune('0'+rng.Intn(5)))
+			g.AddTriple(s, p, o)
+		}
+		g.Freeze()
+		all := g.AllProperties()
+		if len(all) < 2 {
+			return true
+		}
+		subset := all[:len(all)/2]
+		fSub := g.WCC(subset)
+		fAll := g.WCC(all)
+		for x := 0; x < g.NumVertices(); x++ {
+			for y := x + 1; y < g.NumVertices(); y++ {
+				if fSub.SameSet(int32(x), int32(y)) && !fAll.SameSet(int32(x), int32(y)) {
+					return false
+				}
+			}
+		}
+		return fAll.MaxComponentSize() >= fSub.MaxComponentSize()
+	}, &quick.Config{MaxCount: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := paperGraph()
+	s := g.Stats()
+	if s == "" {
+		t.Fatal("Stats returned empty string")
+	}
+}

@@ -1,0 +1,164 @@
+package rdf
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Snapshot is a compact binary serialization of a Graph — dictionaries plus
+// triples with varint encoding — an order of magnitude faster to load than
+// re-parsing N-Triples, used to cache generated benchmark datasets.
+//
+// Format (all integers unsigned varints, strings length-prefixed):
+//
+//	magic "MPCG" | version | |vertices| vertex strings... |
+//	|properties| property strings... | |triples| (s p o)...
+const snapshotMagic = "MPCG"
+
+const snapshotVersion = 1
+
+// WriteSnapshot serializes g (which may be frozen or not; freezing state is
+// not part of the snapshot).
+func WriteSnapshot(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return err
+	}
+	buf := make([]byte, binary.MaxVarintLen64)
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf, v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	writeString := func(s string) error {
+		if err := writeUvarint(uint64(len(s))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+	if err := writeUvarint(snapshotVersion); err != nil {
+		return err
+	}
+	if err := writeUvarint(uint64(g.NumVertices())); err != nil {
+		return err
+	}
+	for i := 0; i < g.NumVertices(); i++ {
+		if err := writeString(g.Vertices.String(uint32(i))); err != nil {
+			return err
+		}
+	}
+	if err := writeUvarint(uint64(g.NumProperties())); err != nil {
+		return err
+	}
+	for i := 0; i < g.NumProperties(); i++ {
+		if err := writeString(g.Properties.String(uint32(i))); err != nil {
+			return err
+		}
+	}
+	if err := writeUvarint(uint64(g.NumTriples())); err != nil {
+		return err
+	}
+	for _, t := range g.triples {
+		if err := writeUvarint(uint64(t.S)); err != nil {
+			return err
+		}
+		if err := writeUvarint(uint64(t.P)); err != nil {
+			return err
+		}
+		if err := writeUvarint(uint64(t.O)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSnapshot deserializes a graph written by WriteSnapshot and freezes it.
+func ReadSnapshot(r io.Reader) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("rdf: snapshot header: %w", err)
+	}
+	if string(magic) != snapshotMagic {
+		return nil, fmt.Errorf("rdf: bad snapshot magic %q", magic)
+	}
+	readUvarint := func() (uint64, error) { return binary.ReadUvarint(br) }
+	readString := func() (string, error) {
+		n, err := readUvarint()
+		if err != nil {
+			return "", err
+		}
+		if n > 1<<24 {
+			return "", fmt.Errorf("rdf: snapshot string of %d bytes too large", n)
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	version, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if version != snapshotVersion {
+		return nil, fmt.Errorf("rdf: unsupported snapshot version %d", version)
+	}
+	g := NewGraph()
+	nV, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nV; i++ {
+		s, err := readString()
+		if err != nil {
+			return nil, err
+		}
+		if id := g.Vertices.Intern(s); id != uint32(i) {
+			return nil, fmt.Errorf("rdf: duplicate vertex %q in snapshot", s)
+		}
+	}
+	nP, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nP; i++ {
+		s, err := readString()
+		if err != nil {
+			return nil, err
+		}
+		if id := g.Properties.Intern(s); id != uint32(i) {
+			return nil, fmt.Errorf("rdf: duplicate property %q in snapshot", s)
+		}
+	}
+	nT, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	g.triples = make([]Triple, 0, nT)
+	for i := uint64(0); i < nT; i++ {
+		s, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		p, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		o, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if s >= nV || o >= nV || p >= nP {
+			return nil, fmt.Errorf("rdf: snapshot triple %d references out-of-range term", i)
+		}
+		g.triples = append(g.triples, Triple{
+			S: VertexID(s), P: PropertyID(p), O: VertexID(o),
+		})
+	}
+	g.Freeze()
+	return g, nil
+}

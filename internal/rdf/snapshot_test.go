@@ -1,0 +1,153 @@
+package rdf
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSnapshotRoundtrip(t *testing.T) {
+	g := paperGraph()
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g2.Frozen() {
+		t.Fatal("ReadSnapshot must return a frozen graph")
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumProperties() != g.NumProperties() ||
+		g2.NumTriples() != g.NumTriples() {
+		t.Fatalf("roundtrip mismatch: %s vs %s", g.Stats(), g2.Stats())
+	}
+	for i := 0; i < g.NumTriples(); i++ {
+		if g.Triple(int32(i)) != g2.Triple(int32(i)) {
+			t.Fatalf("triple %d differs", i)
+		}
+	}
+	for i := 0; i < g.NumVertices(); i++ {
+		if g.Vertices.String(uint32(i)) != g2.Vertices.String(uint32(i)) {
+			t.Fatalf("vertex %d string differs", i)
+		}
+	}
+	for i := 0; i < g.NumProperties(); i++ {
+		if g.Properties.String(uint32(i)) != g2.Properties.String(uint32(i)) {
+			t.Fatalf("property %d string differs", i)
+		}
+	}
+}
+
+func TestSnapshotRoundtripRandom(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewGraph()
+		for i := 0; i < 20+rng.Intn(200); i++ {
+			g.AddTriple(
+				fmt.Sprintf("v%d", rng.Intn(40)),
+				fmt.Sprintf("p%d", rng.Intn(6)),
+				fmt.Sprintf("v%d", rng.Intn(40)))
+		}
+		var buf bytes.Buffer
+		if err := WriteSnapshot(&buf, g); err != nil {
+			return false
+		}
+		g2, err := ReadSnapshot(&buf)
+		if err != nil {
+			return false
+		}
+		if g2.NumTriples() != g.NumTriples() {
+			return false
+		}
+		for i := 0; i < g.NumTriples(); i++ {
+			if g.Triple(int32(i)) != g2.Triple(int32(i)) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotEmptyGraph(t *testing.T) {
+	g := NewGraph()
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumTriples() != 0 || g2.NumVertices() != 0 {
+		t.Fatal("empty graph roundtrip not empty")
+	}
+}
+
+func TestSnapshotErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"bad magic", []byte("NOPE....")},
+		{"truncated header", []byte("MPC")},
+		{"truncated body", []byte("MPCG\x01\x05")},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadSnapshot(bytes.NewReader(tc.data)); err == nil {
+				t.Fatal("corrupt snapshot accepted")
+			}
+		})
+	}
+}
+
+func TestSnapshotRejectsOutOfRangeTriple(t *testing.T) {
+	// Handcraft: magic, version 1, 1 vertex "a", 1 property "p", 1 triple
+	// with s=5 (out of range).
+	var buf bytes.Buffer
+	buf.WriteString("MPCG")
+	buf.WriteByte(1)           // version
+	buf.WriteByte(1)           // |V|
+	buf.WriteByte(1)           // len "a"
+	buf.WriteString("a")       //
+	buf.WriteByte(1)           // |P|
+	buf.WriteByte(1)           // len "p"
+	buf.WriteString("p")       //
+	buf.WriteByte(1)           // |T|
+	buf.Write([]byte{5, 0, 0}) // s=5 p=0 o=0
+	if _, err := ReadSnapshot(&buf); err == nil || !strings.Contains(err.Error(), "out-of-range") {
+		t.Fatalf("expected out-of-range error, got %v", err)
+	}
+}
+
+func BenchmarkSnapshotRead(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := NewGraph()
+	for i := 0; i < 50000; i++ {
+		g.AddTriple(
+			fmt.Sprintf("http://example.org/v%d", rng.Intn(10000)),
+			fmt.Sprintf("http://example.org/p%d", rng.Intn(50)),
+			fmt.Sprintf("http://example.org/v%d", rng.Intn(10000)))
+	}
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, g); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadSnapshot(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package sparql_test
+
+import (
+	"fmt"
+
+	"mpc/internal/sparql"
+)
+
+// The paper's Fig. 1 setting: birthPlace is the only crossing property
+// after MPC partitioning, so a non-star query avoiding it executes
+// independently on every site.
+func ExampleClassify() {
+	crossing := func(p string) bool { return p == "birthPlace" }
+
+	q2 := sparql.MustParse(`SELECT * WHERE {
+		?x <starring> ?y . ?y <residence> ?z . ?z <foundingDate> ?d }`)
+	fmt.Println("Q2:", sparql.Classify(q2, crossing))
+
+	q3 := sparql.MustParse(`SELECT * WHERE {
+		?x <starring> ?y . ?y <spouse> ?z . ?x <producer> ?z . ?z <birthPlace> ?x }`)
+	fmt.Println("Q3:", sparql.Classify(q3, crossing))
+
+	// Output:
+	// Q2: internal
+	// Q3: type-I
+}
+
+// Algorithm 2 splits a non-IEQ into independently executable subqueries:
+// crossing edges attach to the larger adjacent component.
+func ExampleDecompose() {
+	crossing := func(p string) bool { return p == "birthPlace" }
+	q := sparql.MustParse(`SELECT * WHERE {
+		?x <starring> ?a . ?x <producer> ?b .
+		?y <residence> ?w .
+		?y <birthPlace> ?x }`)
+	for i, sub := range sparql.Decompose(q, crossing) {
+		fmt.Printf("q%d has %d patterns\n", i+1, len(sub.Patterns))
+	}
+	// Output:
+	// q1 has 3 patterns
+	// q2 has 1 patterns
+}
+
+func ExampleQuery_IsStar() {
+	star := sparql.MustParse(`SELECT * WHERE { ?x <p1> ?y . ?z <p2> ?x }`)
+	path := sparql.MustParse(`SELECT * WHERE { ?x <p1> ?y . ?y <p2> ?z . ?z <p3> ?w }`)
+	fmt.Println(star.IsStar(), path.IsStar())
+	// Output: true false
+}

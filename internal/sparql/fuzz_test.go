@@ -1,0 +1,86 @@
+package sparql
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that the parser never panics and that everything it
+// accepts re-parses from its own rendering.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`SELECT * WHERE { ?x <p> ?y }`,
+		`PREFIX a: <http://x/> SELECT ?x WHERE { ?x a:b "l"@en . ?x a ?t }`,
+		`SELECT DISTINCT ?x WHERE { _:b ?p "x\"y" . }`,
+		`SELECT`,
+		`SELECT * WHERE {`,
+		`{}?<>""..`,
+		"SELECT * WHERE { ?x <p> \"unterminated }",
+		`PREFIX : <u> SELECT * WHERE { ?x :p :o }`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input)
+		if err != nil {
+			return
+		}
+		q2, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("accepted %q but rejected own rendering %q: %v", input, q.String(), err)
+		}
+		if len(q2.Patterns) != len(q.Patterns) {
+			t.Fatalf("roundtrip changed pattern count for %q", input)
+		}
+	})
+}
+
+// TestParseRandomGarbageNeverPanics hammers the parser with random byte
+// soup built from SPARQL-ish fragments.
+func TestParseRandomGarbageNeverPanics(t *testing.T) {
+	fragments := []string{
+		"SELECT", "WHERE", "PREFIX", "?", "?x", "<", ">", "<p>", "{", "}",
+		".", "*", `"`, `"lit"`, "@en", "^^", "_:", "_:b", "a", ":", "p:q",
+		" ", "\n", "\t", "\\", "DISTINCT",
+	}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 2000; trial++ {
+		var b strings.Builder
+		n := rng.Intn(25)
+		for i := 0; i < n; i++ {
+			b.WriteString(fragments[rng.Intn(len(fragments))])
+		}
+		// Must not panic; errors are fine.
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Parse(%q) panicked: %v", b.String(), r)
+				}
+			}()
+			_, _ = Parse(b.String())
+		}()
+	}
+}
+
+// TestClassifyAndDecomposeNeverPanic exercises classification and
+// decomposition with arbitrary crossing sets over random structured
+// queries.
+func TestClassifyAndDecomposeNeverPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 500; trial++ {
+		q := randomConnectedQuery(rng)
+		crossing := func(p string) bool { return rng.Intn(2) == 0 } // adversarially unstable
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panicked on %s: %v", q, r)
+				}
+			}()
+			_ = Classify(q, crossing)
+			_ = Decompose(q, crossing)
+			_ = DecomposeStars(q)
+		}()
+	}
+}

@@ -1,0 +1,79 @@
+package sparql
+
+import (
+	"testing"
+)
+
+func TestLocalizableTermsInternal(t *testing.T) {
+	q := MustParse(`SELECT * WHERE { <u1> <p1> ?x . ?x <p2> <u2> }`)
+	terms := LocalizableTerms(q, crossingSet())
+	if len(terms) != 2 {
+		t.Fatalf("terms = %v, want both constants", terms)
+	}
+}
+
+func TestLocalizableTermsTypeI(t *testing.T) {
+	// Cycle closed by a crossing edge: Type-I, all constants localizable.
+	q := MustParse(`SELECT * WHERE {
+		<u> <p1> ?y . ?y <p2> ?z . <u> <p3> ?z . ?z <cross> ?y }`)
+	if c := Classify(q, crossingSet("cross")); c != ClassTypeI {
+		t.Fatalf("class = %v", c)
+	}
+	terms := LocalizableTerms(q, crossingSet("cross"))
+	if len(terms) != 1 || terms[0].Value != "u" {
+		t.Fatalf("terms = %v, want [u]", terms)
+	}
+}
+
+func TestLocalizableTermsTypeIICore(t *testing.T) {
+	// Core {?x, u} connected by p1; satellite constant <sat> hangs off a
+	// crossing edge and must NOT be localizable.
+	q := MustParse(`SELECT * WHERE {
+		?x <p1> <u> . ?x <cross> <sat> }`)
+	if c := Classify(q, crossingSet("cross")); c != ClassTypeII {
+		t.Fatalf("class = %v", c)
+	}
+	terms := LocalizableTerms(q, crossingSet("cross"))
+	if len(terms) != 1 || terms[0].Value != "u" {
+		t.Fatalf("terms = %v, want only the core constant u", terms)
+	}
+}
+
+func TestLocalizableTermsStarCenter(t *testing.T) {
+	// Star of crossing edges around a constant center: all singletons, the
+	// center is the core.
+	q := MustParse(`SELECT * WHERE { <c> <cross> ?a . <c> <cross> ?b }`)
+	if cl := Classify(q, crossingSet("cross")); cl != ClassTypeII {
+		t.Fatalf("class = %v", cl)
+	}
+	terms := LocalizableTerms(q, crossingSet("cross"))
+	if len(terms) != 1 || terms[0].Value != "c" {
+		t.Fatalf("terms = %v, want [c]", terms)
+	}
+}
+
+func TestLocalizableTermsStarSatelliteConstant(t *testing.T) {
+	// Constant on the satellite side of a crossing star: not localizable.
+	q := MustParse(`SELECT * WHERE { ?c <cross> <leaf> . ?c <cross> ?b }`)
+	terms := LocalizableTerms(q, crossingSet("cross"))
+	if len(terms) != 0 {
+		t.Fatalf("terms = %v, want none (satellite constants bind replicas)", terms)
+	}
+}
+
+func TestLocalizableTermsNonIEQ(t *testing.T) {
+	q := MustParse(`SELECT * WHERE { <a> <p1> ?b . ?c <p2> <d> . ?b <cross> ?c }`)
+	if Classify(q, crossingSet("cross")) != ClassNonIEQ {
+		t.Fatal("fixture should be non-IEQ")
+	}
+	if terms := LocalizableTerms(q, crossingSet("cross")); terms != nil {
+		t.Fatalf("terms = %v, want nil for non-IEQ", terms)
+	}
+}
+
+func TestLocalizableTermsNoConstants(t *testing.T) {
+	q := MustParse(`SELECT * WHERE { ?x <p1> ?y . ?y <p2> ?z }`)
+	if terms := LocalizableTerms(q, crossingSet()); len(terms) != 0 {
+		t.Fatalf("terms = %v, want none", terms)
+	}
+}

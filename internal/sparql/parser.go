@@ -1,0 +1,316 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse parses a BGP query in a practical SPARQL subset:
+//
+//	PREFIX ub: <http://example.org/univ#>
+//	SELECT ?x ?y WHERE {
+//	  ?x ub:worksFor ?y .
+//	  ?y <http://example.org/univ#name> "CS" .
+//	  ?x ?p ?z .
+//	}
+//
+// Supported: PREFIX declarations, SELECT with explicit variables or *,
+// optional DISTINCT (accepted and ignored — BGP match semantics here are
+// set-based), IRIs in angle brackets, prefixed names, the keyword `a` for
+// rdf:type, literals with optional @lang or ^^<datatype>, blank nodes, and
+// '.'-separated triple patterns. Property paths, FILTER, OPTIONAL and other
+// SPARQL algebra are out of scope (the paper evaluates BGPs only).
+func Parse(input string) (*Query, error) {
+	p := &parser{toks: tokenize(input)}
+	return p.parseQuery()
+}
+
+// MustParse is Parse that panics on error, for tests and fixed benchmark
+// queries.
+func MustParse(input string) *Query {
+	q, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+const rdfType = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+
+type token struct {
+	kind tokenKind
+	text string
+}
+
+type tokenKind int
+
+const (
+	tokWord tokenKind = iota // keywords, prefixed names, 'a'
+	tokVar                   // ?name
+	tokIRI                   // <...> (text without brackets)
+	tokLiteral
+	tokBlank
+	tokLBrace
+	tokRBrace
+	tokDot
+	tokStar
+)
+
+func tokenize(s string) []token {
+	var toks []token
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '#':
+			for i < len(s) && s[i] != '\n' {
+				i++
+			}
+		case c == '{':
+			toks = append(toks, token{tokLBrace, "{"})
+			i++
+		case c == '}':
+			toks = append(toks, token{tokRBrace, "}"})
+			i++
+		case c == '.':
+			toks = append(toks, token{tokDot, "."})
+			i++
+		case c == '*':
+			toks = append(toks, token{tokStar, "*"})
+			i++
+		case c == '?' || c == '$':
+			j := i + 1
+			for j < len(s) && isNameChar(rune(s[j])) {
+				j++
+			}
+			toks = append(toks, token{tokVar, s[i+1 : j]})
+			i = j
+		case c == '<':
+			j := strings.IndexByte(s[i:], '>')
+			if j < 0 {
+				toks = append(toks, token{tokIRI, s[i+1:]}) // error caught later
+				i = len(s)
+			} else {
+				toks = append(toks, token{tokIRI, s[i+1 : i+j]})
+				i += j + 1
+			}
+		case c == '"':
+			j := i + 1
+			for j < len(s) {
+				if s[j] == '\\' {
+					j += 2 // may overshoot on a trailing backslash; clamped below
+					continue
+				}
+				if s[j] == '"' {
+					j++
+					break
+				}
+				j++
+			}
+			if j > len(s) {
+				j = len(s)
+			}
+			// Optional @lang or ^^<iri> suffix.
+			for j < len(s) && (s[j] == '@' || s[j] == '^') {
+				if s[j] == '@' {
+					for j < len(s) && !isDelim(s[j]) && s[j] != ' ' {
+						j++
+					}
+				} else if j+1 < len(s) && s[j+1] == '^' {
+					j += 2
+					if j < len(s) && s[j] == '<' {
+						k := strings.IndexByte(s[j:], '>')
+						if k < 0 {
+							j = len(s)
+						} else {
+							j += k + 1
+						}
+					}
+				} else {
+					break
+				}
+			}
+			toks = append(toks, token{tokLiteral, s[i:j]})
+			i = j
+		case c == '_' && i+1 < len(s) && s[i+1] == ':':
+			j := i + 2
+			for j < len(s) && isNameChar(rune(s[j])) {
+				j++
+			}
+			toks = append(toks, token{tokBlank, s[i:j]})
+			i = j
+		default:
+			j := i
+			for j < len(s) && !isDelim(s[j]) && s[j] != ' ' && s[j] != '\t' &&
+				s[j] != '\n' && s[j] != '\r' {
+				j++
+			}
+			toks = append(toks, token{tokWord, s[i:j]})
+			i = j
+		}
+	}
+	return toks
+}
+
+func isDelim(c byte) bool {
+	return c == '{' || c == '}' || c == '.' || c == '<' || c == '"' || c == '?'
+}
+
+func isNameChar(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+type parser struct {
+	toks     []token
+	pos      int
+	prefixes map[string]string
+}
+
+func (p *parser) peek() (token, bool) {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos], true
+	}
+	return token{}, false
+}
+
+func (p *parser) next() (token, bool) {
+	t, ok := p.peek()
+	if ok {
+		p.pos++
+	}
+	return t, ok
+}
+
+func (p *parser) errorf(format string, args ...interface{}) error {
+	return fmt.Errorf("sparql: %s", fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	p.prefixes = map[string]string{}
+	// PREFIX declarations.
+	for {
+		t, ok := p.peek()
+		if !ok || t.kind != tokWord || !strings.EqualFold(t.text, "PREFIX") {
+			break
+		}
+		p.pos++
+		name, ok := p.next()
+		if !ok || name.kind != tokWord || !strings.HasSuffix(name.text, ":") {
+			return nil, p.errorf("PREFIX expects 'name:'")
+		}
+		iri, ok := p.next()
+		if !ok || iri.kind != tokIRI {
+			return nil, p.errorf("PREFIX expects an IRI")
+		}
+		p.prefixes[strings.TrimSuffix(name.text, ":")] = iri.text
+	}
+
+	t, ok := p.next()
+	if !ok || t.kind != tokWord || !strings.EqualFold(t.text, "SELECT") {
+		return nil, p.errorf("expected SELECT")
+	}
+	q := &Query{}
+	// Optional DISTINCT.
+	if t, ok := p.peek(); ok && t.kind == tokWord && strings.EqualFold(t.text, "DISTINCT") {
+		p.pos++
+	}
+	// Projection.
+	for {
+		t, ok := p.peek()
+		if !ok {
+			return nil, p.errorf("unexpected end of query in SELECT clause")
+		}
+		if t.kind == tokStar {
+			p.pos++
+			break
+		}
+		if t.kind == tokVar {
+			q.Select = append(q.Select, t.text)
+			p.pos++
+			continue
+		}
+		if t.kind == tokWord && strings.EqualFold(t.text, "WHERE") {
+			break
+		}
+		return nil, p.errorf("unexpected token %q in SELECT clause", t.text)
+	}
+	if len(q.Select) == 0 {
+		// '*' path or immediate WHERE: both mean project everything.
+		q.Select = nil
+	}
+	t, ok = p.next()
+	if !ok || t.kind != tokWord || !strings.EqualFold(t.text, "WHERE") {
+		return nil, p.errorf("expected WHERE")
+	}
+	t, ok = p.next()
+	if !ok || t.kind != tokLBrace {
+		return nil, p.errorf("expected '{'")
+	}
+	// Triple patterns.
+	for {
+		t, ok := p.peek()
+		if !ok {
+			return nil, p.errorf("unterminated WHERE block")
+		}
+		if t.kind == tokRBrace {
+			p.pos++
+			break
+		}
+		s, err := p.parseTerm("subject")
+		if err != nil {
+			return nil, err
+		}
+		pr, err := p.parseTerm("property")
+		if err != nil {
+			return nil, err
+		}
+		o, err := p.parseTerm("object")
+		if err != nil {
+			return nil, err
+		}
+		q.Patterns = append(q.Patterns, TriplePattern{S: s, P: pr, O: o})
+		if t, ok := p.peek(); ok && t.kind == tokDot {
+			p.pos++
+		}
+	}
+	if t, ok := p.peek(); ok {
+		return nil, p.errorf("trailing token %q after query", t.text)
+	}
+	if len(q.Patterns) == 0 {
+		return nil, p.errorf("empty BGP")
+	}
+	return q, nil
+}
+
+func (p *parser) parseTerm(position string) (Term, error) {
+	t, ok := p.next()
+	if !ok {
+		return Term{}, p.errorf("unexpected end of input reading %s", position)
+	}
+	switch t.kind {
+	case tokVar:
+		return Var(t.text), nil
+	case tokIRI:
+		return Const(t.text), nil
+	case tokLiteral, tokBlank:
+		return Const(t.text), nil
+	case tokWord:
+		if t.text == "a" && position == "property" {
+			return Const(rdfType), nil
+		}
+		if i := strings.IndexByte(t.text, ':'); i >= 0 {
+			prefix, local := t.text[:i], t.text[i+1:]
+			base, ok := p.prefixes[prefix]
+			if !ok {
+				return Term{}, p.errorf("unknown prefix %q", prefix)
+			}
+			return Const(base + local), nil
+		}
+		return Term{}, p.errorf("unexpected word %q as %s", t.text, position)
+	default:
+		return Term{}, p.errorf("unexpected token %q as %s", t.text, position)
+	}
+}

@@ -1,0 +1,219 @@
+// Package sparql implements the SPARQL basic-graph-pattern (BGP) query
+// model of the MPC paper (Definition 3.5), a parser for a practical BGP
+// subset, the query classification of Section V (internal, Type-I and
+// Type-II extended independently executable queries, star queries), and the
+// query decomposition of Algorithm 2.
+package sparql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Term is a query term: a constant (IRI, blank node, or literal surface
+// form) or a variable.
+type Term struct {
+	// IsVar reports whether the term is a variable.
+	IsVar bool
+	// Value is the constant's surface form, or the variable name without
+	// the leading '?'.
+	Value string
+}
+
+// Var returns a variable term.
+func Var(name string) Term { return Term{IsVar: true, Value: name} }
+
+// Const returns a constant term.
+func Const(value string) Term { return Term{Value: value} }
+
+// String renders the term in query syntax.
+func (t Term) String() string {
+	if t.IsVar {
+		return "?" + t.Value
+	}
+	if strings.HasPrefix(t.Value, "_:") || strings.HasPrefix(t.Value, "\"") {
+		return t.Value
+	}
+	return "<" + t.Value + ">"
+}
+
+// Key returns a map key distinguishing variables from identically named
+// constants.
+func (t Term) Key() string {
+	if t.IsVar {
+		return "?" + t.Value
+	}
+	return "c:" + t.Value
+}
+
+// TriplePattern is one edge of the query graph.
+type TriplePattern struct {
+	S, P, O Term
+}
+
+// String renders the pattern in query syntax.
+func (tp TriplePattern) String() string {
+	return fmt.Sprintf("%s %s %s .", tp.S, tp.P, tp.O)
+}
+
+// Query is a BGP query: a projection list and a multiset of triple
+// patterns. An empty Select means SELECT *.
+type Query struct {
+	Select   []string
+	Patterns []TriplePattern
+}
+
+// String renders the query.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if len(q.Select) == 0 {
+		b.WriteString("*")
+	} else {
+		for i, v := range q.Select {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString("?" + v)
+		}
+	}
+	b.WriteString(" WHERE {\n")
+	for _, p := range q.Patterns {
+		b.WriteString("  " + p.String() + "\n")
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// Vars returns the distinct variable names in the query, sorted.
+func (q *Query) Vars() []string {
+	seen := map[string]bool{}
+	for _, p := range q.Patterns {
+		for _, t := range []Term{p.S, p.P, p.O} {
+			if t.IsVar {
+				seen[t.Value] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Properties returns the distinct constant properties used in the query.
+func (q *Query) Properties() []string {
+	seen := map[string]bool{}
+	for _, p := range q.Patterns {
+		if !p.P.IsVar {
+			seen[p.P.Value] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasVarProperty reports whether any pattern has a variable in the property
+// position.
+func (q *Query) HasVarProperty() bool {
+	for _, p := range q.Patterns {
+		if p.P.IsVar {
+			return true
+		}
+	}
+	return false
+}
+
+// vertexIndex assigns dense indices to the query-graph vertices (subject and
+// object terms; property terms are edge labels, not vertices).
+func (q *Query) vertexIndex() (map[string]int, int) {
+	idx := map[string]int{}
+	for _, p := range q.Patterns {
+		for _, t := range []Term{p.S, p.O} {
+			k := t.Key()
+			if _, ok := idx[k]; !ok {
+				idx[k] = len(idx)
+			}
+		}
+	}
+	return idx, len(idx)
+}
+
+// NumVertices returns the number of distinct query-graph vertices.
+func (q *Query) NumVertices() int {
+	_, n := q.vertexIndex()
+	return n
+}
+
+// IsWeaklyConnected reports whether the query graph is weakly connected.
+// The empty query is considered connected.
+func (q *Query) IsWeaklyConnected() bool {
+	idx, n := q.vertexIndex()
+	if n <= 1 {
+		return true
+	}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, p := range q.Patterns {
+		a, b := find(idx[p.S.Key()]), find(idx[p.O.Key()])
+		if a != b {
+			parent[a] = b
+		}
+	}
+	root := find(0)
+	for i := 1; i < n; i++ {
+		if find(i) != root {
+			return false
+		}
+	}
+	return true
+}
+
+// IsStar reports whether the query is star shaped: there is a central
+// vertex incident to every pattern (in either direction). Single-pattern
+// queries are stars.
+func (q *Query) IsStar() bool {
+	if len(q.Patterns) == 0 {
+		return false
+	}
+	// Candidate centers: both endpoints of the first pattern.
+	for _, center := range []string{q.Patterns[0].S.Key(), q.Patterns[0].O.Key()} {
+		ok := true
+		for _, p := range q.Patterns {
+			if p.S.Key() != center && p.O.Key() != center {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the query.
+func (q *Query) Clone() *Query {
+	c := &Query{
+		Select:   append([]string(nil), q.Select...),
+		Patterns: append([]TriplePattern(nil), q.Patterns...),
+	}
+	return c
+}

@@ -1,0 +1,419 @@
+package sparql
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseBasic(t *testing.T) {
+	q, err := Parse(`SELECT ?x ?y WHERE {
+		?x <http://ex/starring> ?y .
+		?x <http://ex/chronology> ?z .
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Patterns) != 2 {
+		t.Fatalf("patterns = %d, want 2", len(q.Patterns))
+	}
+	if len(q.Select) != 2 || q.Select[0] != "x" || q.Select[1] != "y" {
+		t.Fatalf("Select = %v", q.Select)
+	}
+	if !q.Patterns[0].S.IsVar || q.Patterns[0].S.Value != "x" {
+		t.Fatalf("subject = %+v", q.Patterns[0].S)
+	}
+	if q.Patterns[0].P.Value != "http://ex/starring" {
+		t.Fatalf("property = %+v", q.Patterns[0].P)
+	}
+}
+
+func TestParsePrefixes(t *testing.T) {
+	q, err := Parse(`PREFIX ub: <http://univ#>
+		PREFIX foaf: <http://foaf/>
+		SELECT * WHERE { ?x ub:worksFor ?d . ?x foaf:name "Bob" . ?x a ub:Professor }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Patterns[0].P.Value != "http://univ#worksFor" {
+		t.Fatalf("expanded property = %q", q.Patterns[0].P.Value)
+	}
+	if q.Patterns[1].O.Value != `"Bob"` {
+		t.Fatalf("literal = %q", q.Patterns[1].O.Value)
+	}
+	if q.Patterns[2].P.Value != rdfType {
+		t.Fatalf("'a' keyword = %q", q.Patterns[2].P.Value)
+	}
+	if q.Patterns[2].O.Value != "http://univ#Professor" {
+		t.Fatalf("prefixed object = %q", q.Patterns[2].O.Value)
+	}
+	if len(q.Select) != 0 {
+		t.Fatalf("SELECT * should give empty projection, got %v", q.Select)
+	}
+}
+
+func TestParseDistinctAndBlank(t *testing.T) {
+	q, err := Parse(`SELECT DISTINCT ?x WHERE { _:b <http://ex/p> ?x . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Patterns[0].S.Value != "_:b" {
+		t.Fatalf("blank subject = %q", q.Patterns[0].S.Value)
+	}
+}
+
+func TestParseTypedLiteral(t *testing.T) {
+	q, err := Parse(`SELECT ?x WHERE { ?x <http://ex/age> "42"^^<http://www.w3.org/2001/XMLSchema#int> }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(q.Patterns[0].O.Value, `"42"^^`) {
+		t.Fatalf("typed literal = %q", q.Patterns[0].O.Value)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`WHERE { ?x ?p ?y }`,
+		`SELECT ?x { ?x ?p ?y }`,                    // missing WHERE
+		`SELECT ?x WHERE { }`,                       // empty BGP
+		`SELECT ?x WHERE { ?x ?p }`,                 // incomplete pattern
+		`SELECT ?x WHERE { ?x foo:bar ?y }`,         // unknown prefix
+		`SELECT ?x WHERE { ?x <http://p> ?y`,        // unterminated
+		`SELECT ?x WHERE { ?x <http://p> ?y } junk`, // trailing
+	}
+	for _, in := range cases {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestQueryStringRoundtrip(t *testing.T) {
+	q := MustParse(`SELECT ?x WHERE { ?x <http://ex/p> "lit" . ?x ?v <http://ex/o> }`)
+	q2, err := Parse(q.String())
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\nrendered:\n%s", err, q.String())
+	}
+	if len(q2.Patterns) != len(q.Patterns) {
+		t.Fatal("roundtrip lost patterns")
+	}
+	for i := range q.Patterns {
+		if q.Patterns[i] != q2.Patterns[i] {
+			t.Fatalf("pattern %d: %v != %v", i, q.Patterns[i], q2.Patterns[i])
+		}
+	}
+}
+
+func TestVarsAndProperties(t *testing.T) {
+	q := MustParse(`SELECT * WHERE { ?x <http://ex/p> ?y . ?y ?v "lit" }`)
+	vars := q.Vars()
+	if len(vars) != 3 || vars[0] != "v" || vars[1] != "x" || vars[2] != "y" {
+		t.Fatalf("Vars = %v", vars)
+	}
+	props := q.Properties()
+	if len(props) != 1 || props[0] != "http://ex/p" {
+		t.Fatalf("Properties = %v", props)
+	}
+	if !q.HasVarProperty() {
+		t.Fatal("HasVarProperty = false")
+	}
+}
+
+func TestIsStar(t *testing.T) {
+	cases := []struct {
+		q    string
+		star bool
+	}{
+		{`SELECT * WHERE { ?x <http://p1> ?y }`, true},
+		{`SELECT * WHERE { ?x <http://p1> ?y . ?x <http://p2> ?z }`, true},
+		// Center as object of one edge:
+		{`SELECT * WHERE { ?x <http://p1> ?y . ?z <http://p2> ?x }`, true},
+		{`SELECT * WHERE { ?x <http://p1> ?y . ?y <http://p2> ?z }`, true}, // path of 2: center y
+		{`SELECT * WHERE { ?x <http://p1> ?y . ?y <http://p2> ?z . ?z <http://p3> ?w }`, false},
+		{`SELECT * WHERE { ?x <http://p1> ?y . ?x <http://p2> ?z . ?y <http://p3> ?z }`, false}, // triangle
+	}
+	for _, tc := range cases {
+		q := MustParse(tc.q)
+		if got := q.IsStar(); got != tc.star {
+			t.Errorf("IsStar(%s) = %v, want %v", tc.q, got, tc.star)
+		}
+	}
+}
+
+func TestIsWeaklyConnected(t *testing.T) {
+	q := MustParse(`SELECT * WHERE { ?x <http://p> ?y . ?a <http://p> ?b }`)
+	if q.IsWeaklyConnected() {
+		t.Fatal("disconnected query reported connected")
+	}
+	q2 := MustParse(`SELECT * WHERE { ?x <http://p> ?y . ?y <http://p> ?z }`)
+	if !q2.IsWeaklyConnected() {
+		t.Fatal("connected query reported disconnected")
+	}
+}
+
+// crossingSet builds a CrossingTest from a list of crossing properties.
+func crossingSet(props ...string) CrossingTest {
+	m := map[string]bool{}
+	for _, p := range props {
+		m[p] = true
+	}
+	return func(p string) bool { return m[p] }
+}
+
+func TestClassifyInternal(t *testing.T) {
+	// Paper Q2: no birthPlace edge → internal IEQ under MPC.
+	q := MustParse(`SELECT * WHERE {
+		?x <starring> ?y . ?y <residence> ?z . ?w <producer> ?y }`)
+	if c := Classify(q, crossingSet("birthPlace")); c != ClassInternal {
+		t.Fatalf("class = %v, want internal", c)
+	}
+}
+
+func TestClassifyTypeI(t *testing.T) {
+	// Paper Q3 analogue: a cycle where removing the crossing edge keeps the
+	// graph connected.
+	q := MustParse(`SELECT * WHERE {
+		?x <p1> ?y . ?y <p2> ?z . ?x <p3> ?z . ?z <cross> ?x }`)
+	if c := Classify(q, crossingSet("cross")); c != ClassTypeI {
+		t.Fatalf("class = %v, want type-I", c)
+	}
+}
+
+func TestClassifyTypeII(t *testing.T) {
+	// Paper Q4 analogue: removing crossing edges leaves one multi-vertex
+	// WCC plus isolated ?w, all crossing edges touching the WCC.
+	q := MustParse(`SELECT * WHERE {
+		?x <p1> ?y . ?y <p2> ?z . ?y <cross> ?w . ?z <cross> ?w }`)
+	if c := Classify(q, crossingSet("cross")); c != ClassTypeII {
+		t.Fatalf("class = %v, want type-II", c)
+	}
+}
+
+func TestClassifyNonIEQ(t *testing.T) {
+	// Two multi-vertex WCCs joined by a crossing edge.
+	q := MustParse(`SELECT * WHERE {
+		?a <p1> ?b . ?c <p2> ?d . ?b <cross> ?c }`)
+	if c := Classify(q, crossingSet("cross")); c != ClassNonIEQ {
+		t.Fatalf("class = %v, want non-IEQ", c)
+	}
+}
+
+func TestClassifyVarPropertyIsCrossing(t *testing.T) {
+	// Variable property edges count as crossing (footnote 1).
+	q := MustParse(`SELECT * WHERE { ?a <p1> ?b . ?c ?v ?d . ?b <p2> ?c }`)
+	if c := Classify(q, crossingSet()); c != ClassTypeII {
+		t.Fatalf("class = %v, want type-II (isolated ?d hangs off the WCC)", c)
+	}
+}
+
+func TestClassifySingletonStar(t *testing.T) {
+	// One crossing triple: both endpoints are singletons; it is a star and
+	// must be Type-II (Theorem 5), not non-IEQ.
+	q := MustParse(`SELECT * WHERE { ?x <cross> ?y }`)
+	if c := Classify(q, crossingSet("cross")); c != ClassTypeII {
+		t.Fatalf("class = %v, want type-II", c)
+	}
+}
+
+func TestClassifyCrossingBetweenSingletons(t *testing.T) {
+	// Path of three crossing edges: singletons with crossing edges between
+	// non-central vertices → non-IEQ.
+	q := MustParse(`SELECT * WHERE { ?x <cross> ?y . ?y <cross> ?z . ?z <cross> ?w }`)
+	if c := Classify(q, crossingSet("cross")); c != ClassNonIEQ {
+		t.Fatalf("class = %v, want non-IEQ", c)
+	}
+}
+
+func TestClassifyPlain(t *testing.T) {
+	star := MustParse(`SELECT * WHERE { ?x <p1> ?y . ?x <p2> ?z }`)
+	if ClassifyPlain(star) != ClassTypeII {
+		t.Fatal("star must be IEQ under plain classification")
+	}
+	path := MustParse(`SELECT * WHERE { ?x <p1> ?y . ?y <p2> ?z . ?z <p3> ?w }`)
+	if ClassifyPlain(path) != ClassNonIEQ {
+		t.Fatal("path must be non-IEQ under plain classification")
+	}
+}
+
+// Theorem 5 as a property test: a star query is always internal or Type-II,
+// for any crossing-property set.
+func TestTheorem5Property(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Random star: center ?c, 1-6 rays, random direction, random
+		// property from p0..p4, random crossing set.
+		q := &Query{}
+		rays := 1 + rng.Intn(6)
+		for i := 0; i < rays; i++ {
+			prop := Const(fmt.Sprintf("p%d", rng.Intn(5)))
+			leaf := Var(fmt.Sprintf("l%d", i))
+			if rng.Intn(2) == 0 {
+				q.Patterns = append(q.Patterns, TriplePattern{S: Var("c"), P: prop, O: leaf})
+			} else {
+				q.Patterns = append(q.Patterns, TriplePattern{S: leaf, P: prop, O: Var("c")})
+			}
+		}
+		crossing := map[string]bool{}
+		for i := 0; i < 5; i++ {
+			crossing[fmt.Sprintf("p%d", i)] = rng.Intn(2) == 0
+		}
+		c := Classify(q, func(p string) bool { return crossing[p] })
+		return c == ClassInternal || c == ClassTypeII
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecomposeIEQUnchanged(t *testing.T) {
+	q := MustParse(`SELECT * WHERE { ?x <p1> ?y . ?y <p2> ?z }`)
+	subs := Decompose(q, crossingSet())
+	if len(subs) != 1 || subs[0] != q {
+		t.Fatal("IEQ must be returned unchanged")
+	}
+}
+
+func TestDecomposePaperExample(t *testing.T) {
+	// Analogue of Fig. 5/6: a larger WCC q'_1, a smaller q'_2, singleton
+	// q'_3 (?z), one crossing edge between q'_1 and q'_2, one variable
+	// property edge between q'_2's vertex and ?z.
+	q := MustParse(`SELECT * WHERE {
+		?x <p1> ?a . ?x <p2> ?b .
+		?y <p3> ?w .
+		?y <birthPlace> ?x .
+		?y ?v ?z }`)
+	subs := Decompose(q, crossingSet("birthPlace"))
+	if len(subs) != 2 {
+		for _, s := range subs {
+			t.Log(s.String())
+		}
+		t.Fatalf("decomposed into %d subqueries, want 2", len(subs))
+	}
+	// All patterns preserved exactly once.
+	total := 0
+	for _, s := range subs {
+		total += len(s.Patterns)
+	}
+	if total != len(q.Patterns) {
+		t.Fatalf("patterns after decomposition = %d, want %d", total, len(q.Patterns))
+	}
+	// The crossing edge ?y birthPlace ?x goes to the larger side (q'_1 with
+	// ?x ?a ?b = 3 vertices vs q'_2 with ?y ?w = 2).
+	foundCross := false
+	for _, s := range subs {
+		for _, p := range s.Patterns {
+			if !p.P.IsVar && p.P.Value == "birthPlace" {
+				foundCross = true
+				if len(s.Patterns) != 3 { // p1, p2 + birthPlace
+					t.Fatalf("crossing edge attached to wrong subquery: %s", s)
+				}
+			}
+		}
+	}
+	if !foundCross {
+		t.Fatal("crossing edge lost")
+	}
+}
+
+// Decomposition invariants, randomized: patterns partitioned exactly; every
+// subquery is an IEQ; subquery count never exceeds the subject-star count.
+func TestDecomposeInvariants(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randomConnectedQuery(rng)
+		crossing := map[string]bool{}
+		for i := 0; i < 6; i++ {
+			crossing[fmt.Sprintf("p%d", i)] = rng.Intn(3) == 0
+		}
+		test := func(p string) bool { return crossing[p] }
+		subs := Decompose(q, test)
+		if len(subs) == 0 {
+			return false
+		}
+		if len(subs) == 1 && subs[0] == q {
+			return true // already IEQ
+		}
+		// Pattern multiset preserved.
+		count := map[string]int{}
+		for _, p := range q.Patterns {
+			count[p.String()]++
+		}
+		for _, s := range subs {
+			if Classify(s, test) == ClassNonIEQ {
+				return false
+			}
+			for _, p := range s.Patterns {
+				count[p.String()]--
+			}
+		}
+		for _, c := range count {
+			if c != 0 {
+				return false
+			}
+		}
+		// No more subqueries than subject stars (paper's guarantee that MPC
+		// decomposition is no finer than star decomposition).
+		stars := DecomposeStars(q)
+		return len(subs) <= len(stars)
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomConnectedQuery builds a random weakly connected BGP of 2-8 patterns.
+func randomConnectedQuery(rng *rand.Rand) *Query {
+	n := 2 + rng.Intn(7)
+	q := &Query{}
+	for i := 0; i < n; i++ {
+		// Connect to an existing vertex to keep the query connected.
+		var s Term
+		if i == 0 {
+			s = Var("v0")
+		} else {
+			s = Var(fmt.Sprintf("v%d", rng.Intn(i+1)))
+		}
+		o := Var(fmt.Sprintf("v%d", i+1))
+		p := Const(fmt.Sprintf("p%d", rng.Intn(6)))
+		if rng.Intn(2) == 0 {
+			s, o = o, s
+		}
+		q.Patterns = append(q.Patterns, TriplePattern{S: s, P: p, O: o})
+	}
+	return q
+}
+
+func TestDecomposeStars(t *testing.T) {
+	q := MustParse(`SELECT * WHERE {
+		?x <p1> ?y . ?x <p2> ?z . ?y <p3> ?w . ?y <p4> ?u }`)
+	stars := DecomposeStars(q)
+	if len(stars) != 2 {
+		t.Fatalf("star decomposition size = %d, want 2", len(stars))
+	}
+	for _, s := range stars {
+		if !s.IsStar() {
+			t.Fatalf("subquery not a star: %s", s)
+		}
+	}
+}
+
+func TestDecomposeStarsSingleSubject(t *testing.T) {
+	q := MustParse(`SELECT * WHERE { ?x <p1> ?y . ?x <p2> ?z }`)
+	stars := DecomposeStars(q)
+	if len(stars) != 1 {
+		t.Fatalf("star decomposition size = %d, want 1", len(stars))
+	}
+}
+
+func TestClone(t *testing.T) {
+	q := MustParse(`SELECT ?x WHERE { ?x <p> ?y }`)
+	c := q.Clone()
+	c.Patterns[0].S = Var("zzz")
+	if q.Patterns[0].S.Value == "zzz" {
+		t.Fatal("Clone shares pattern storage")
+	}
+}

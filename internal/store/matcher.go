@@ -1,0 +1,291 @@
+package store
+
+import (
+	"fmt"
+
+	"mpc/internal/rdf"
+	"mpc/internal/sparql"
+)
+
+// VarKind distinguishes variables bound to graph vertices from variables
+// bound to properties; the two live in separate dictionaries.
+type VarKind uint8
+
+const (
+	// KindVertex marks a variable occurring in subject/object position.
+	KindVertex VarKind = iota
+	// KindProperty marks a variable occurring in property position.
+	KindProperty
+)
+
+// Table is a set of variable bindings: one row per match, one column per
+// variable. Values are IDs into the graph's vertex or property dictionary
+// according to the column's kind.
+type Table struct {
+	Vars  []string
+	Kinds []VarKind
+	Rows  [][]uint32
+}
+
+// Col returns the column index of the named variable, or -1.
+func (t *Table) Col(name string) int {
+	for i, v := range t.Vars {
+		if v == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.Rows) }
+
+// compiled is a query lowered to dictionary IDs with an evaluation order.
+type compiled struct {
+	vars  []string
+	kinds []VarKind
+	// patterns in evaluation order; terms reference var slots or IDs.
+	pats []cpattern
+	// empty is set when a constant term is absent from the dictionary:
+	// the query can have no matches.
+	empty bool
+}
+
+type cterm struct {
+	isVar bool
+	slot  int    // var slot when isVar
+	id    uint32 // constant ID otherwise
+}
+
+type cpattern struct {
+	s, p, o cterm
+}
+
+// compile lowers q against g's dictionaries. It returns an error if a
+// variable is used both as a property and as a subject/object (unsupported:
+// the two ID spaces are distinct).
+func compile(q *sparql.Query, g *rdf.Graph) (*compiled, error) {
+	c := &compiled{}
+	slots := map[string]int{}
+	slotFor := func(name string, kind VarKind) (int, error) {
+		if s, ok := slots[name]; ok {
+			if c.kinds[s] != kind {
+				return 0, fmt.Errorf("store: variable ?%s used as both property and vertex", name)
+			}
+			return s, nil
+		}
+		s := len(c.vars)
+		slots[name] = s
+		c.vars = append(c.vars, name)
+		c.kinds = append(c.kinds, kind)
+		return s, nil
+	}
+	lower := func(t sparql.Term, kind VarKind) (cterm, error) {
+		if t.IsVar {
+			s, err := slotFor(t.Value, kind)
+			return cterm{isVar: true, slot: s}, err
+		}
+		var id uint32
+		var ok bool
+		if kind == KindProperty {
+			id, ok = g.Properties.Lookup(t.Value)
+		} else {
+			id, ok = g.Vertices.Lookup(t.Value)
+		}
+		if !ok {
+			c.empty = true
+		}
+		return cterm{id: id}, nil
+	}
+	for _, tp := range q.Patterns {
+		var cp cpattern
+		var err error
+		if cp.s, err = lower(tp.S, KindVertex); err != nil {
+			return nil, err
+		}
+		if cp.p, err = lower(tp.P, KindProperty); err != nil {
+			return nil, err
+		}
+		if cp.o, err = lower(tp.O, KindVertex); err != nil {
+			return nil, err
+		}
+		c.pats = append(c.pats, cp)
+	}
+	return c, nil
+}
+
+// planOrder greedily orders patterns: at each step pick the pattern with the
+// most bound positions (constants or variables bound by earlier patterns),
+// breaking ties by the smaller estimated cardinality. This avoids Cartesian
+// products on connected queries and starts from selective patterns.
+func (st *Store) planOrder(c *compiled) []int {
+	n := len(c.pats)
+	order := make([]int, 0, n)
+	used := make([]bool, n)
+	bound := make([]bool, len(c.vars))
+
+	boundCount := func(cp cpattern) int {
+		cnt := 0
+		for _, t := range []cterm{cp.s, cp.p, cp.o} {
+			if !t.isVar || bound[t.slot] {
+				cnt++
+			}
+		}
+		return cnt
+	}
+	estimate := func(cp cpattern) int {
+		switch {
+		case !cp.p.isVar:
+			return st.CountProperty(rdf.PropertyID(cp.p.id))
+		default:
+			return st.NumTriples()
+		}
+	}
+	for len(order) < n {
+		best, bestBound, bestEst := -1, -1, 0
+		for i, cp := range c.pats {
+			if used[i] {
+				continue
+			}
+			b, e := boundCount(cp), estimate(cp)
+			if b > bestBound || (b == bestBound && e < bestEst) {
+				best, bestBound, bestEst = i, b, e
+			}
+		}
+		order = append(order, best)
+		used[best] = true
+		for _, t := range []cterm{c.pats[best].s, c.pats[best].p, c.pats[best].o} {
+			if t.isVar {
+				bound[t.slot] = true
+			}
+		}
+	}
+	return order
+}
+
+// Match evaluates the BGP q over this store and returns one row per
+// distinct homomorphism (distinct full variable bindings; duplicates that
+// replicated triples would induce are collapsed).
+func (st *Store) Match(q *sparql.Query) (*Table, error) {
+	return st.MatchWhere(q, nil)
+}
+
+// MatchWhere is Match with a per-triple admission predicate: a pattern may
+// only match a triple for which pred returns true. A nil pred admits every
+// local triple. The partial-evaluation engine uses this to restrict
+// matches to triples owned by one site.
+func (st *Store) MatchWhere(q *sparql.Query, pred func(rdf.Triple) bool) (*Table, error) {
+	c, err := compile(q, st.g)
+	if err != nil {
+		return nil, err
+	}
+	out := &Table{Vars: c.vars, Kinds: c.kinds}
+	if c.empty || len(c.pats) == 0 {
+		return out, nil
+	}
+	order := st.planOrder(c)
+
+	const unbound = -1
+	binding := make([]int64, len(c.vars))
+	for i := range binding {
+		binding[i] = unbound
+	}
+
+	// tryBind unifies term t with value v; it returns (ok, slot bound now).
+	tryBind := func(t cterm, v uint32) (bool, int) {
+		if !t.isVar {
+			return t.id == v, -1
+		}
+		if binding[t.slot] != unbound {
+			return uint32(binding[t.slot]) == v, -1
+		}
+		binding[t.slot] = int64(v)
+		return true, t.slot
+	}
+
+	var seen map[string]struct{} // dedup of full bindings
+	rowKey := func() string {
+		buf := make([]byte, 0, len(binding)*5)
+		for _, b := range binding {
+			v := uint32(b)
+			buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		}
+		return string(buf)
+	}
+
+	var rec func(d int)
+	rec = func(d int) {
+		if d == len(order) {
+			key := rowKey()
+			if seen == nil {
+				seen = make(map[string]struct{})
+			}
+			if _, dup := seen[key]; dup {
+				return
+			}
+			seen[key] = struct{}{}
+			row := make([]uint32, len(binding))
+			for i, b := range binding {
+				row[i] = uint32(b)
+			}
+			out.Rows = append(out.Rows, row)
+			return
+		}
+		cp := c.pats[order[d]]
+		for _, pos := range st.candidates(cp, binding) {
+			tr := st.triples[pos]
+			if pred != nil && !pred(tr) {
+				continue
+			}
+			ok1, s1 := tryBind(cp.s, uint32(tr.S))
+			if !ok1 {
+				if s1 >= 0 {
+					binding[s1] = unbound
+				}
+				continue
+			}
+			ok2, s2 := tryBind(cp.p, uint32(tr.P))
+			if ok2 {
+				var ok3 bool
+				var s3 int
+				ok3, s3 = tryBind(cp.o, uint32(tr.O))
+				if ok3 {
+					rec(d + 1)
+				}
+				if s3 >= 0 {
+					binding[s3] = unbound
+				}
+			}
+			if s2 >= 0 {
+				binding[s2] = unbound
+			}
+			if s1 >= 0 {
+				binding[s1] = unbound
+			}
+		}
+	}
+	rec(0)
+	return out, nil
+}
+
+// candidates returns positions (into st.triples) of triples that can match
+// cp under the current binding, using the best available index.
+func (st *Store) candidates(cp cpattern, binding []int64) []int32 {
+	val := func(t cterm) int64 {
+		if !t.isVar {
+			return int64(t.id)
+		}
+		return binding[t.slot] // -1 if unbound
+	}
+	s, p, o := val(cp.s), val(cp.p), val(cp.o)
+	switch {
+	case s >= 0:
+		return st.rangeSPO(rdf.VertexID(s), p)
+	case o >= 0:
+		return st.rangeOPS(rdf.VertexID(o), p)
+	case p >= 0:
+		return st.rangePOS(rdf.PropertyID(p))
+	default:
+		return st.spo
+	}
+}

@@ -1,0 +1,147 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mpc/internal/rdf"
+	"mpc/internal/sparql"
+)
+
+// naiveMatch is a brute-force reference matcher: it enumerates every
+// assignment of query variables to dictionary IDs and keeps those where all
+// patterns are satisfied. Exponential — usable only on tiny graphs — but
+// independent of the store's indexes, planner and backtracking, so it
+// serves as an oracle.
+func naiveMatch(g *rdf.Graph, tripleSet map[rdf.Triple]bool, q *sparql.Query) (map[string]bool, error) {
+	c, err := compile(q, g)
+	if err != nil {
+		return nil, err
+	}
+	results := map[string]bool{}
+	if c.empty {
+		return results, nil
+	}
+	binding := make([]uint32, len(c.vars))
+	var rec func(slot int)
+	rec = func(slot int) {
+		if slot == len(c.vars) {
+			for _, cp := range c.pats {
+				val := func(t cterm) uint32 {
+					if t.isVar {
+						return binding[t.slot]
+					}
+					return t.id
+				}
+				tr := rdf.Triple{
+					S: rdf.VertexID(val(cp.s)),
+					P: rdf.PropertyID(val(cp.p)),
+					O: rdf.VertexID(val(cp.o)),
+				}
+				if !tripleSet[tr] {
+					return
+				}
+			}
+			parts := make([]string, len(binding))
+			for i, b := range binding {
+				parts[i] = fmt.Sprintf("%s=%d", c.vars[i], b)
+			}
+			sort.Strings(parts)
+			results[strings.Join(parts, ";")] = true
+			return
+		}
+		limit := g.NumVertices()
+		if c.kinds[slot] == KindProperty {
+			limit = g.NumProperties()
+		}
+		for v := 0; v < limit; v++ {
+			binding[slot] = uint32(v)
+			rec(slot + 1)
+		}
+	}
+	rec(0)
+	return results, nil
+}
+
+// TestMatcherAgainstOracle cross-checks the indexed backtracking matcher
+// against brute-force enumeration on tiny random graphs and queries.
+func TestMatcherAgainstOracle(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := rdf.NewGraph()
+		nV, nP := 4+rng.Intn(3), 2+rng.Intn(2)
+		for i := 0; i < 10+rng.Intn(8); i++ {
+			g.AddTriple(
+				fmt.Sprintf("v%d", rng.Intn(nV)),
+				fmt.Sprintf("p%d", rng.Intn(nP)),
+				fmt.Sprintf("v%d", rng.Intn(nV)))
+		}
+		g.Freeze()
+		tripleSet := map[rdf.Triple]bool{}
+		for _, tr := range g.Triples() {
+			tripleSet[tr] = true
+		}
+		idx := make([]int32, g.NumTriples())
+		for i := range idx {
+			idx[i] = int32(i)
+		}
+		st := New(g, idx)
+
+		// Random query with 1-3 patterns, connected not required (the
+		// matcher must handle Cartesian shapes too).
+		q := &sparql.Query{}
+		nPat := 1 + rng.Intn(3)
+		vars := []string{"a", "b", "c", "d"}
+		term := func() sparql.Term {
+			if rng.Intn(2) == 0 {
+				return sparql.Var(vars[rng.Intn(len(vars))])
+			}
+			return sparql.Const(fmt.Sprintf("v%d", rng.Intn(nV)))
+		}
+		for i := 0; i < nPat; i++ {
+			var p sparql.Term
+			if rng.Intn(4) == 0 {
+				p = sparql.Var("pp")
+			} else {
+				p = sparql.Const(fmt.Sprintf("p%d", rng.Intn(nP)))
+			}
+			q.Patterns = append(q.Patterns, sparql.TriplePattern{S: term(), P: p, O: term()})
+		}
+
+		want, err := naiveMatch(g, tripleSet, q)
+		if err != nil {
+			return true // mixed-kind variable etc.: matcher must also error
+		}
+		got, err := st.Match(q)
+		if err != nil {
+			return false
+		}
+		gotSet := map[string]bool{}
+		for _, row := range got.Rows {
+			parts := make([]string, len(got.Vars))
+			for i, v := range got.Vars {
+				parts[i] = fmt.Sprintf("%s=%d", v, row[i])
+			}
+			sort.Strings(parts)
+			gotSet[strings.Join(parts, ";")] = true
+		}
+		if len(gotSet) != len(want) {
+			t.Logf("seed %d: got %d rows, oracle %d for %s", seed, len(gotSet), len(want), q)
+			return false
+		}
+		for k := range want {
+			if !gotSet[k] {
+				t.Logf("seed %d: missing %s for %s", seed, k, q)
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,147 @@
+// Package store implements the per-site RDF engine of the simulated
+// cluster: an in-memory triple store with three sorted index permutations
+// (SPO, POS, OPS) and a backtracking basic-graph-pattern matcher. It plays
+// the role gStore plays at every site in the paper's testbed.
+//
+// The store shares the term dictionaries of the full rdf.Graph it was
+// loaded from, so bindings produced at different sites are directly
+// comparable by ID — which is what makes coordinator-side unions and joins
+// cheap.
+package store
+
+import (
+	"sort"
+
+	"mpc/internal/rdf"
+)
+
+// Store holds one partition's triples (internal edges plus crossing-edge
+// replicas) with sorted indexes for pattern lookups.
+type Store struct {
+	g       *rdf.Graph
+	triples []rdf.Triple
+
+	spo []int32 // positions into triples, sorted by (S,P,O)
+	pos []int32 // sorted by (P,O,S)
+	ops []int32 // sorted by (O,P,S)
+}
+
+// New builds a store holding the given triple indices of g. The indices
+// refer to g's triple list (as produced by partition.SiteLayout).
+func New(g *rdf.Graph, tripleIdx []int32) *Store {
+	st := &Store{g: g, triples: make([]rdf.Triple, len(tripleIdx))}
+	for i, ti := range tripleIdx {
+		st.triples[i] = g.Triple(ti)
+	}
+	n := len(st.triples)
+	st.spo = make([]int32, n)
+	st.pos = make([]int32, n)
+	st.ops = make([]int32, n)
+	for i := range st.spo {
+		st.spo[i], st.pos[i], st.ops[i] = int32(i), int32(i), int32(i)
+	}
+	t := st.triples
+	sort.Slice(st.spo, func(a, b int) bool {
+		x, y := t[st.spo[a]], t[st.spo[b]]
+		if x.S != y.S {
+			return x.S < y.S
+		}
+		if x.P != y.P {
+			return x.P < y.P
+		}
+		return x.O < y.O
+	})
+	sort.Slice(st.pos, func(a, b int) bool {
+		x, y := t[st.pos[a]], t[st.pos[b]]
+		if x.P != y.P {
+			return x.P < y.P
+		}
+		if x.O != y.O {
+			return x.O < y.O
+		}
+		return x.S < y.S
+	})
+	sort.Slice(st.ops, func(a, b int) bool {
+		x, y := t[st.ops[a]], t[st.ops[b]]
+		if x.O != y.O {
+			return x.O < y.O
+		}
+		if x.P != y.P {
+			return x.P < y.P
+		}
+		return x.S < y.S
+	})
+	return st
+}
+
+// NumTriples returns the number of triples stored at this site.
+func (st *Store) NumTriples() int { return len(st.triples) }
+
+// Graph returns the full graph whose dictionaries this store shares.
+func (st *Store) Graph() *rdf.Graph { return st.g }
+
+// rangeSPO returns the positions (into spo) of triples with subject s,
+// optionally restricted to property p (p < 0 means any).
+func (st *Store) rangeSPO(s rdf.VertexID, p int64) []int32 {
+	t := st.triples
+	lo := sort.Search(len(st.spo), func(i int) bool {
+		x := t[st.spo[i]]
+		if x.S != s {
+			return x.S >= s
+		}
+		if p < 0 {
+			return true
+		}
+		return int64(x.P) >= p
+	})
+	hi := sort.Search(len(st.spo), func(i int) bool {
+		x := t[st.spo[i]]
+		if x.S != s {
+			return x.S > s
+		}
+		if p < 0 {
+			return false
+		}
+		return int64(x.P) > p
+	})
+	return st.spo[lo:hi]
+}
+
+// rangeOPS returns positions of triples with object o, optionally
+// restricted to property p.
+func (st *Store) rangeOPS(o rdf.VertexID, p int64) []int32 {
+	t := st.triples
+	lo := sort.Search(len(st.ops), func(i int) bool {
+		x := t[st.ops[i]]
+		if x.O != o {
+			return x.O >= o
+		}
+		if p < 0 {
+			return true
+		}
+		return int64(x.P) >= p
+	})
+	hi := sort.Search(len(st.ops), func(i int) bool {
+		x := t[st.ops[i]]
+		if x.O != o {
+			return x.O > o
+		}
+		if p < 0 {
+			return false
+		}
+		return int64(x.P) > p
+	})
+	return st.ops[lo:hi]
+}
+
+// rangePOS returns positions of triples with property p.
+func (st *Store) rangePOS(p rdf.PropertyID) []int32 {
+	t := st.triples
+	lo := sort.Search(len(st.pos), func(i int) bool { return t[st.pos[i]].P >= p })
+	hi := sort.Search(len(st.pos), func(i int) bool { return t[st.pos[i]].P > p })
+	return st.pos[lo:hi]
+}
+
+// CountProperty returns how many local triples carry property p, used for
+// selectivity estimation.
+func (st *Store) CountProperty(p rdf.PropertyID) int { return len(st.rangePOS(p)) }

@@ -1,0 +1,154 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mpc/internal/datagen"
+	"mpc/internal/rdf"
+)
+
+// LUBMQueries returns the 14 LUBM benchmark queries (LQ1–LQ14), written
+// against the internal/datagen LUBM vocabulary and mirroring the published
+// queries' shapes: ten stars and four non-stars (LQ2 a degree triangle,
+// LQ7/LQ9 advisor–course triangles, LQ12 a headOf path). Under MPC
+// partitioning all 14 are IEQs (Table III row 1: 100% vs 71.43%);
+// constants referencing a specific department or course are instantiated
+// from the generated graph g so every query has matches.
+func LUBMQueries(g *rdf.Graph, seed int64) []NamedQuery {
+	rng := rand.New(rand.NewSource(seed))
+	ns := datagen.LUBMNS
+	prefix := "PREFIX ub: <" + ns + ">\nPREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n"
+
+	course, _ := objectOfTriple(rng, g, datagen.LUBMTakesCourse)
+	dept, _ := objectOfTriple(rng, g, datagen.LUBMWorksFor)
+	univ, _ := objectOfTriple(rng, g, datagen.LUBMSubOrgOf)
+	prof, _ := objectOfTriple(rng, g, datagen.LUBMAdvisor)
+	degUniv, _ := objectOfTriple(rng, g, datagen.LUBMUgDegreeFrom)
+
+	return []NamedQuery{
+		// LQ1 (star, selective): grad students taking a specific course.
+		mustParse("LQ1", prefix+fmt.Sprintf(
+			`SELECT ?x WHERE { ?x ub:takesCourse %s . ?x rdf:type ub:GraduateStudent }`, iri(course))),
+		// LQ2 (non-star triangle with a crossing property — Type-I under MPC):
+		// students of a department of the university they got their degree from.
+		mustParse("LQ2", prefix+
+			`SELECT ?x ?y ?z WHERE { ?x ub:memberOf ?y . ?y ub:subOrganizationOf ?z . ?x ub:undergraduateDegreeFrom ?z }`),
+		// LQ3 (star): publications of a specific professor.
+		mustParse("LQ3", prefix+fmt.Sprintf(
+			`SELECT ?x WHERE { ?x ub:publicationAuthor %s . ?x rdf:type ub:Publication }`, iri(prof))),
+		// LQ4 (star, attributes): professors of a department with contact data.
+		mustParse("LQ4", prefix+fmt.Sprintf(
+			`SELECT ?x ?n ?e ?t WHERE { ?x ub:worksFor %s . ?x ub:name ?n . ?x ub:emailAddress ?e . ?x ub:telephone ?t }`, iri(dept))),
+		// LQ5 (star): members of a department.
+		mustParse("LQ5", prefix+fmt.Sprintf(
+			`SELECT ?x WHERE { ?x ub:memberOf %s . ?x ub:name ?n }`, iri(dept))),
+		// LQ6 (single triple, low selectivity): all undergraduates.
+		mustParse("LQ6", prefix+
+			`SELECT ?x WHERE { ?x rdf:type ub:UndergraduateStudent }`),
+		// LQ7 (non-star triangle): courses taught by an advisor to their advisee.
+		mustParse("LQ7", prefix+
+			`SELECT ?x ?y ?z WHERE { ?x ub:teacherOf ?y . ?z ub:takesCourse ?y . ?z ub:advisor ?x }`),
+		// LQ8 (star): members of a department with email addresses.
+		mustParse("LQ8", prefix+fmt.Sprintf(
+			`SELECT ?x ?e WHERE { ?x ub:memberOf %s . ?x ub:emailAddress ?e . ?x rdf:type ub:GraduateStudent }`, iri(dept))),
+		// LQ9 (non-star triangle): students taking a course of their advisor.
+		mustParse("LQ9", prefix+
+			`SELECT ?x ?y ?z WHERE { ?x ub:advisor ?y . ?y ub:teacherOf ?z . ?x ub:takesCourse ?z }`),
+		// LQ10 (star): students of a specific course.
+		mustParse("LQ10", prefix+fmt.Sprintf(
+			`SELECT ?x WHERE { ?x ub:takesCourse %s }`, iri(course))),
+		// LQ11 (star, one property): departments of a university.
+		mustParse("LQ11", prefix+fmt.Sprintf(
+			`SELECT ?x WHERE { ?x ub:subOrganizationOf %s }`, iri(univ))),
+		// LQ12 (non-star path): heads of departments of a university's
+		// departments chain.
+		mustParse("LQ12", prefix+fmt.Sprintf(
+			`SELECT ?x ?y WHERE { ?x ub:headOf ?y . ?y ub:subOrganizationOf ?z . ?z ub:name %s }`,
+			fmt.Sprintf(`"Univ%s"`, pickUnivSuffix(univ)))),
+		// LQ13 (star, crossing property): alumni of a university.
+		mustParse("LQ13", prefix+fmt.Sprintf(
+			`SELECT ?x WHERE { ?x ub:undergraduateDegreeFrom %s }`, iri(degUniv))),
+		// LQ14 (star, large result): undergraduates and their courses.
+		mustParse("LQ14", prefix+
+			`SELECT ?x ?y WHERE { ?x rdf:type ub:UndergraduateStudent . ?x ub:takesCourse ?y }`),
+	}
+}
+
+// pickUnivSuffix extracts the numeric suffix of a university IRI so LQ12
+// can reference its name literal; falls back to "0".
+func pickUnivSuffix(univIRI string) string {
+	for i := len(univIRI) - 1; i >= 0; i-- {
+		if univIRI[i] < '0' || univIRI[i] > '9' {
+			if i == len(univIRI)-1 {
+				return "0"
+			}
+			return univIRI[i+1:]
+		}
+	}
+	return "0"
+}
+
+// YAGO2Queries returns the four YAGO2 benchmark queries (YQ1–YQ4) from the
+// survey of Abdelaziz et al. All four are non-star (Table III: 0% star),
+// built from domain-internal properties so MPC executes all of them
+// independently (100%) while every baseline must decompose them.
+func YAGO2Queries(g *rdf.Graph, seed int64) []NamedQuery {
+	rng := rand.New(rand.NewSource(seed))
+	p := func(domain string, i int) string {
+		return fmt.Sprintf("%s%s/p%02d", datagen.YAGO2NS, domain, i)
+	}
+	_ = rng
+	return []NamedQuery{
+		// YQ1: path of three person facts.
+		mustParse("YQ1", fmt.Sprintf(
+			`SELECT * WHERE { ?a <%s> ?b . ?b <%s> ?c . ?c <%s> ?d }`,
+			p("person", 0), p("person", 1), p("person", 2))),
+		// YQ2: branching pattern over place facts.
+		mustParse("YQ2", fmt.Sprintf(
+			`SELECT * WHERE { ?a <%s> ?b . ?b <%s> ?c . ?a <%s> ?d }`,
+			p("place", 0), p("place", 1), p("place", 2))),
+		// YQ3: triangle over organization facts.
+		mustParse("YQ3", fmt.Sprintf(
+			`SELECT * WHERE { ?a <%s> ?b . ?b <%s> ?c . ?a <%s> ?c }`,
+			p("org", 0), p("org", 1), p("org", 2))),
+		// YQ4: work-domain path with a type anchor.
+		mustParse("YQ4", fmt.Sprintf(
+			`SELECT * WHERE { ?a <%s> ?b . ?b <%s> ?c . ?a <%s> ?d }`,
+			p("work", 0), p("work", 1), p("work", 2))),
+	}
+}
+
+// Bio2RDFQueries returns the five Bio2RDF benchmark queries (BQ1–BQ5):
+// four stars and one non-star path, mirroring Table III (80% star; all five
+// IEQs under MPC; two single-property queries that VP can localize → 40%).
+func Bio2RDFQueries(g *rdf.Graph, seed int64) []NamedQuery {
+	rng := rand.New(rand.NewSource(seed))
+	p := func(db, i int) string {
+		return fmt.Sprintf("%sdb%02d:p%02d", datagen.Bio2RDFNS, db, i)
+	}
+	// Anchor constants that are guaranteed to exist.
+	rec0, _ := subjectOfTriple(rng, g, p(0, 0))
+	rec3, _ := subjectOfTriple(rng, g, p(3, 1))
+
+	return []NamedQuery{
+		// BQ1 (star, single property, selective): one record's p00 facts.
+		mustParse("BQ1", fmt.Sprintf(
+			`SELECT ?v WHERE { %s <%s> ?v }`, iri(rec0), p(0, 0))),
+		// BQ2 (star, single property): all p03 facts of database 1.
+		mustParse("BQ2", fmt.Sprintf(
+			`SELECT ?x ?v WHERE { ?x <%s> ?v }`, p(1, 3))),
+		// BQ3 (star, three properties of one database).
+		mustParse("BQ3", fmt.Sprintf(
+			`SELECT ?x WHERE { ?x <%s> ?a . ?x <%s> ?b . ?x <%s> ?c }`,
+			p(2, 0), p(2, 1), p(2, 2))),
+		// BQ4 (non-star 3-hop path inside one database — internal IEQ under
+		// MPC, decomposed by everyone else).
+		mustParse("BQ4", fmt.Sprintf(
+			`SELECT * WHERE { %s <%s> ?y . ?y <%s> ?z . ?z <%s> ?w }`,
+			iri(rec3), p(3, 1), p(3, 2), p(3, 3))),
+		// BQ5 (star, two properties).
+		mustParse("BQ5", fmt.Sprintf(
+			`SELECT ?x WHERE { ?x <%s> ?a . ?x <%s> ?b }`, p(4, 0), p(4, 1))),
+	}
+}

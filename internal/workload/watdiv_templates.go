@@ -1,0 +1,162 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mpc/internal/datagen"
+	"mpc/internal/rdf"
+)
+
+// WatDiv's published workload is generated from 20 query templates in four
+// shape classes — Linear (L1–L5), Star (S1–S7), Snowflake-shaped (F1–F5)
+// and Complex (C1–C3) — each with a parameter slot filled from the data
+// (Aluç et al., ISWC 2014). This file reimplements those template shapes
+// against the internal/datagen WatDiv vocabulary: the shapes, sizes and
+// parameter placement match the originals; the predicates are mapped onto
+// our scaled 86-property schema.
+
+// watDivTemplate instantiates one template with constants from g.
+type watDivTemplate struct {
+	name string
+	// build returns the query text; it may sample parameter constants.
+	build func(rng *rand.Rand, g *rdf.Graph) string
+}
+
+func wp(name string) string { return datagen.WatDivNS + name }
+
+// param samples a constant object of the given property so the instantiated
+// query is guaranteed to have at least a seed match; falls back to a
+// variable when the property is absent at this scale.
+func param(rng *rand.Rand, g *rdf.Graph, prop string, varName string) string {
+	if o, ok := objectOfTriple(rng, g, prop); ok {
+		return iri(o)
+	}
+	return "?" + varName
+}
+
+// watDivTemplates returns the 20 template definitions.
+func watDivTemplates() []watDivTemplate {
+	lin := func(name string, props ...string) watDivTemplate {
+		return watDivTemplate{name: name, build: func(rng *rand.Rand, g *rdf.Graph) string {
+			q := "SELECT * WHERE { "
+			q += fmt.Sprintf("%s <%s> ?v1 . ", param(rng, g, props[0], "v0"), props[0])
+			for i := 1; i < len(props); i++ {
+				q += fmt.Sprintf("?v%d <%s> ?v%d . ", i, props[i], i+1)
+			}
+			return q + "}"
+		}}
+	}
+	star := func(name string, anchor string, props ...string) watDivTemplate {
+		return watDivTemplate{name: name, build: func(rng *rand.Rand, g *rdf.Graph) string {
+			q := "SELECT * WHERE { "
+			q += fmt.Sprintf("?v0 <%s> %s . ", anchor, param(rng, g, anchor, "a"))
+			for i, p := range props {
+				q += fmt.Sprintf("?v0 <%s> ?v%d . ", p, i+1)
+			}
+			return q + "}"
+		}}
+	}
+	return []watDivTemplate{
+		// Linear: paths of length 2–4 anchored at a parameter.
+		lin("L1", wp("likes"), wp("sells"), wp("offers")),
+		lin("L2", wp("follows"), wp("likes")),
+		lin("L3", wp("subscribesTo"), wp("produces")),
+		lin("L4", wp("purchases"), wp("reviews")),
+		lin("L5", wp("friendOf"), wp("follows"), wp("purchases"), wp("rates")),
+
+		// Stars: 2–8 rays around one entity, anchored at a parameter.
+		star("S1", wp("attr00"), wp("attr01"), wp("attr02"), wp("sells"),
+			wp("offers"), wp("attr03"), wp("attr04"), wp("attr05"), wp("produces")),
+		star("S2", wp("attr10"), wp("attr11"), datagen.RDFType),
+		star("S3", wp("attr20"), wp("sells"), datagen.RDFType, wp("attr21")),
+		star("S4", wp("attr30"), wp("follows"), wp("attr31")),
+		star("S5", wp("attr40"), wp("attr41"), wp("attr42"), datagen.RDFType),
+		star("S6", wp("produces"), wp("attr50"), datagen.RDFType),
+		star("S7", datagen.RDFType, wp("attr55"), wp("likes")),
+
+		// Snowflakes: a star whose rays continue into short chains.
+		{"F1", func(rng *rand.Rand, g *rdf.Graph) string {
+			return fmt.Sprintf(`SELECT * WHERE {
+				?v0 <%s> %s . ?v0 <%s> ?v1 . ?v0 <%s> ?v2 .
+				?v1 <%s> ?v3 . ?v3 <%s> ?v4 }`,
+				wp("attr16"), param(rng, g, wp("attr16"), "p"),
+				wp("sells"), wp("attr17"), wp("offers"), wp("attr18"))
+		}},
+		{"F2", func(rng *rand.Rand, g *rdf.Graph) string {
+			return fmt.Sprintf(`SELECT * WHERE {
+				?v0 <%s> %s . ?v0 <%s> ?v1 . ?v1 <%s> ?v2 . ?v1 <%s> ?v3 }`,
+				wp("attr12"), param(rng, g, wp("attr12"), "p"),
+				wp("produces"), wp("attr13"), wp("ships"))
+		}},
+		{"F3", func(rng *rand.Rand, g *rdf.Graph) string {
+			return fmt.Sprintf(`SELECT * WHERE {
+				?v0 <%s> ?v1 . ?v0 <%s> ?v2 . ?v2 <%s> %s . ?v2 <%s> ?v3 }`,
+				wp("attr22"), wp("likes"), wp("attr23"),
+				param(rng, g, wp("attr23"), "p"), wp("purchases"))
+		}},
+		{"F4", func(rng *rand.Rand, g *rdf.Graph) string {
+			return fmt.Sprintf(`SELECT * WHERE {
+				?v0 <%s> %s . ?v0 <%s> ?v1 . ?v1 <%s> ?v2 .
+				?v2 <%s> ?v3 . ?v0 <%s> ?v4 }`,
+				wp("attr32"), param(rng, g, wp("attr32"), "p"),
+				wp("follows"), wp("likes"), wp("rates"), wp("attr33"))
+		}},
+		{"F5", func(rng *rand.Rand, g *rdf.Graph) string {
+			return fmt.Sprintf(`SELECT * WHERE {
+				?v0 <%s> ?v1 . ?v1 <%s> %s . ?v1 <%s> ?v2 . ?v2 <%s> ?v3 }`,
+				wp("sells"), wp("attr42"), param(rng, g, wp("attr42"), "p"),
+				wp("bundles"), wp("attr43"))
+		}},
+
+		// Complex: multiple joined stars/paths.
+		{"C1", func(rng *rand.Rand, g *rdf.Graph) string {
+			return fmt.Sprintf(`SELECT * WHERE {
+				?v0 <%s> ?v1 . ?v0 <%s> ?v2 . ?v1 <%s> ?v3 .
+				?v3 <%s> ?v4 . ?v3 <%s> ?v5 }`,
+				wp("likes"), wp("attr27"), wp("sells"),
+				wp("attr28"), wp("offers"))
+		}},
+		{"C2", func(rng *rand.Rand, g *rdf.Graph) string {
+			return fmt.Sprintf(`SELECT * WHERE {
+				?v0 <%s> %s . ?v0 <%s> ?v1 . ?v1 <%s> ?v2 .
+				?v2 <%s> ?v3 . ?v0 <%s> ?v4 . ?v4 <%s> ?v5 }`,
+				wp("attr35"), param(rng, g, wp("attr35"), "p"),
+				wp("follows"), wp("purchases"), wp("attr36"),
+				wp("friendOf"), wp("rates"))
+		}},
+		{"C3", func(rng *rand.Rand, g *rdf.Graph) string {
+			return fmt.Sprintf(`SELECT * WHERE {
+				?v0 <%s> ?v1 . ?v0 <%s> ?v2 . ?v0 <%s> ?v3 .
+				?v1 <%s> ?v4 . ?v2 <%s> ?v4 }`,
+				wp("likes"), wp("friendOf"), wp("attr45"),
+				wp("purchases"), wp("purchases"))
+		}},
+	}
+}
+
+// WatDivTemplates instantiates each of the 20 WatDiv templates once against
+// g, in template order (L1–L5, S1–S7, F1–F5, C1–C3).
+func WatDivTemplates(g *rdf.Graph, seed int64) []NamedQuery {
+	rng := rand.New(rand.NewSource(seed))
+	templates := watDivTemplates()
+	out := make([]NamedQuery, 0, len(templates))
+	for _, tpl := range templates {
+		out = append(out, mustParse(tpl.name, tpl.build(rng, g)))
+	}
+	return out
+}
+
+// WatDivTemplateLog samples n template instantiations uniformly, the way
+// the WatDiv workload generator produces its stress-test query logs.
+func WatDivTemplateLog(g *rdf.Graph, n int, seed int64) []NamedQuery {
+	rng := rand.New(rand.NewSource(seed))
+	templates := watDivTemplates()
+	out := make([]NamedQuery, 0, n)
+	for i := 0; i < n; i++ {
+		tpl := templates[rng.Intn(len(templates))]
+		nq := mustParse(fmt.Sprintf("%s.%d", tpl.name, i), tpl.build(rng, g))
+		out = append(out, nq)
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"mpc/internal/cluster"
+	"mpc/internal/core"
+	"mpc/internal/datagen"
+	"mpc/internal/partition"
+)
+
+func TestWatDivTemplatesShapes(t *testing.T) {
+	g := datagen.WatDiv{}.Generate(20000, 1)
+	qs := WatDivTemplates(g, 1)
+	if len(qs) != 20 {
+		t.Fatalf("templates = %d, want 20", len(qs))
+	}
+	for _, q := range qs {
+		if !q.Query.IsWeaklyConnected() {
+			t.Errorf("%s is not weakly connected", q.Name)
+		}
+		switch {
+		case strings.HasPrefix(q.Name, "S"):
+			if !q.Star() {
+				t.Errorf("%s must be a star", q.Name)
+			}
+		case strings.HasPrefix(q.Name, "L"):
+			// Linear templates of 3+ hops are non-star; 2-hop linears are
+			// stars under the direction-agnostic definition — only check
+			// the long ones.
+			if len(q.Query.Patterns) >= 3 && q.Star() {
+				t.Errorf("%s (%d patterns) must not be a star", q.Name, len(q.Query.Patterns))
+			}
+		case strings.HasPrefix(q.Name, "F"), strings.HasPrefix(q.Name, "C"):
+			if q.Star() {
+				t.Errorf("%s must not be a star", q.Name)
+			}
+		}
+	}
+}
+
+func TestWatDivTemplateLog(t *testing.T) {
+	g := datagen.WatDiv{}.Generate(20000, 1)
+	qs := WatDivTemplateLog(g, 100, 2)
+	if len(qs) != 100 {
+		t.Fatalf("log = %d queries, want 100", len(qs))
+	}
+	// Determinism.
+	qs2 := WatDivTemplateLog(g, 100, 2)
+	for i := range qs {
+		if qs[i].Query.String() != qs2[i].Query.String() {
+			t.Fatal("template log not deterministic")
+		}
+	}
+	// All four shape classes are represented.
+	seen := map[byte]bool{}
+	for _, q := range qs {
+		seen[q.Name[0]] = true
+	}
+	for _, class := range []byte{'L', 'S', 'F', 'C'} {
+		if !seen[class] {
+			t.Errorf("class %c missing from the sampled log", class)
+		}
+	}
+}
+
+// The template workload must execute correctly end-to-end on an MPC
+// cluster and agree with whole-graph evaluation.
+func TestWatDivTemplatesExecute(t *testing.T) {
+	g := datagen.WatDiv{}.Generate(15000, 1)
+	p, err := (core.MPC{}).Partition(g, partition.Options{K: 4, Epsilon: 0.15, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cluster.NewFromPartitioning(p, cluster.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range WatDivTemplates(g, 1) {
+		res, err := c.Execute(q.Query)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		_ = res
+	}
+}
