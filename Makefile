@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race cover bench bench-full experiments clean
+.PHONY: all build test test-race check cover bench bench-full bench-json experiments clean
 
 all: build test
 
@@ -17,6 +17,12 @@ test:
 test-race:
 	$(GO) test -race ./...
 
+# The CI gate: vet, build, and the full test suite under the race detector.
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+
 cover:
 	$(GO) test -cover ./...
 
@@ -27,6 +33,10 @@ bench:
 # Paper-shaped scale; prints the regenerated tables.
 bench-full:
 	MPC_BENCH_FULL=1 MPC_BENCH_PRINT=1 $(GO) test -bench . -benchtime 1x .
+
+# Offline-scaling sweep over worker counts; writes BENCH_offline.json.
+bench-json:
+	$(GO) run ./cmd/mpc-bench -exp offline -triples 300000 -json BENCH_offline.json
 
 # The experiment suite behind EXPERIMENTS.md.
 experiments:

@@ -8,8 +8,10 @@
 //	mpc-bench -exp fig8 -logqueries 1000
 //
 // Experiments: table2 table3 table4 table5 table6 table7 fig7 fig8 fig9
-// fig10 fig11 ablations all. Figures 9 and 10 share one runner (fig9 and
-// fig10 are aliases).
+// fig10 fig11 ablations offline all. Figures 9 and 10 share one runner
+// (fig9 and fig10 are aliases). The offline experiment sweeps the -workers
+// knob over {1, 2, NumCPU} and writes machine-readable timings to the
+// -json path.
 package main
 
 import (
@@ -31,6 +33,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed")
 	logQueries := flag.Int("logqueries", 200, "query-log sample size")
 	scales := flag.String("scales", "25000,50000,100000", "comma-separated scales for fig9/fig10")
+	workers := flag.Int("workers", 0, "worker count for parallel offline phases (0 = NumCPU, 1 = serial)")
+	jsonPath := flag.String("json", "BENCH_offline.json", "output path for the offline experiment's JSON")
 	flag.Parse()
 
 	cfg := bench.Config{
@@ -39,6 +43,7 @@ func main() {
 		Epsilon:    *epsilon,
 		Seed:       *seed,
 		LogQueries: *logQueries,
+		Workers:    *workers,
 	}
 	for _, s := range strings.Split(*scales, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(s))
@@ -49,13 +54,13 @@ func main() {
 		cfg.Scales = append(cfg.Scales, n)
 	}
 
-	if err := run(*exp, cfg); err != nil {
+	if err := run(*exp, cfg, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "mpc-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, cfg bench.Config) error {
+func run(exp string, cfg bench.Config, jsonPath string) error {
 	out := os.Stdout
 	runOne := func(name string) error {
 		start := time.Now()
@@ -121,6 +126,16 @@ func run(exp string, cfg bench.Config) error {
 				return err
 			}
 			bench.RenderFig11(out, rows)
+		case "offline":
+			res, err := bench.RunOffline(cfg)
+			if err != nil {
+				return err
+			}
+			bench.RenderOffline(out, res)
+			if err := bench.WriteOfflineJSON(jsonPath, res); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "[offline timings written to %s]\n", jsonPath)
 		case "ablations":
 			sel, err := bench.RunAblationSelectors(cfg)
 			if err != nil {

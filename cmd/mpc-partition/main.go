@@ -32,6 +32,7 @@ func main() {
 	epsilon := flag.Float64("epsilon", 0.1, "maximum imbalance ratio ε")
 	strategy := flag.String("strategy", "MPC", "MPC, MPC-Exact, Subject_Hash, METIS, or VP")
 	seed := flag.Int64("seed", 1, "seed for randomized phases")
+	workers := flag.Int("workers", 0, "worker count for parallel offline phases (0 = NumCPU, 1 = serial; result is identical either way)")
 	explain := flag.Bool("explain", false, "print the per-property cut report")
 	flag.Parse()
 
@@ -39,13 +40,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*in, *out, *k, *epsilon, *strategy, *seed, *explain); err != nil {
+	if err := run(*in, *out, *k, *epsilon, *strategy, *seed, *workers, *explain); err != nil {
 		fmt.Fprintln(os.Stderr, "mpc-partition:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out string, k int, epsilon float64, strategy string, seed int64, explain bool) error {
+func run(in, out string, k int, epsilon float64, strategy string, seed int64, workers int, explain bool) error {
 	g, err := dataio.LoadFile(in)
 	if err != nil {
 		return err
@@ -55,7 +56,7 @@ func run(in, out string, k int, epsilon float64, strategy string, seed int64, ex
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		return err
 	}
-	opts := partition.Options{K: k, Epsilon: epsilon, Seed: seed}
+	opts := partition.Options{K: k, Epsilon: epsilon, Seed: seed, Workers: workers}
 	start := time.Now()
 
 	var layout partition.SiteLayout

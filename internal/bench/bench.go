@@ -43,6 +43,10 @@ type Config struct {
 	// (default 25k, 50k, 100k — a compressed version of the paper's
 	// 100M→1B→10B sweep).
 	Scales []int
+	// Workers bounds the concurrency of the parallel offline phases
+	// (0 = runtime.NumCPU(), 1 = serial). Results are identical for every
+	// value; see partition.Options.Workers.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -68,7 +72,7 @@ func (c Config) withDefaults() Config {
 }
 
 func (c Config) opts() partition.Options {
-	return partition.Options{K: c.K, Epsilon: c.Epsilon, Seed: c.Seed}
+	return partition.Options{K: c.K, Epsilon: c.Epsilon, Seed: c.Seed, Workers: c.Workers}
 }
 
 // Strategy names, in the paper's table order.

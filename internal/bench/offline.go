@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"mpc/internal/core"
+	"mpc/internal/datagen"
+	"mpc/internal/rdf"
+)
+
+// OfflineRun is one timed MPC offline run at a fixed worker count.
+type OfflineRun struct {
+	// Workers is the Options.Workers value (0 = NumCPU).
+	Workers int `json:"workers"`
+	// EffectiveWorkers is what Workers resolved to on this machine.
+	EffectiveWorkers int `json:"effective_workers"`
+	// SelectMS, CoarsenMS and PartitionMS are the per-stage wall times of
+	// the best repeat; TotalMS is their sum.
+	SelectMS    float64 `json:"select_ms"`
+	CoarsenMS   float64 `json:"coarsen_ms"`
+	PartitionMS float64 `json:"partition_ms"`
+	TotalMS     float64 `json:"total_ms"`
+	// SpeedupVsSerial is serial TotalMS / this TotalMS (1.0 for the
+	// Workers=1 row by construction).
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+}
+
+// OfflineResult is the full offline-scaling experiment: the same MPC
+// partitioning job at several worker counts, with a determinism check that
+// every run produced the identical result.
+type OfflineResult struct {
+	Dataset string  `json:"dataset"`
+	Triples int     `json:"triples"`
+	K       int     `json:"k"`
+	Epsilon float64 `json:"epsilon"`
+	Seed    int64   `json:"seed"`
+	// NumCPU is runtime.NumCPU() on the benchmarking machine. Parallel
+	// speedup is bounded above by it; on a single-CPU machine the worker
+	// counts collapse to the same schedule and speedup stays ≈1.
+	NumCPU  int `json:"num_cpu"`
+	Repeats int `json:"repeats"`
+	// NumInternalProps and Supervertices describe the (identical) result.
+	NumInternalProps int `json:"num_internal_properties"`
+	Supervertices    int `json:"supervertices"`
+	// IdenticalResults is true when every worker count produced the same
+	// L_in and the same vertex→partition assignment, bit for bit.
+	IdenticalResults bool         `json:"identical_results"`
+	Runs             []OfflineRun `json:"runs"`
+}
+
+// offlineWorkerCounts is the sweep: serial, two workers, and all CPUs.
+var offlineWorkerCounts = []int{1, 2, 0}
+
+// RunOffline times MPC's offline pipeline (select, coarsen, partition) on a
+// generated LUBM graph at each worker count in {1, 2, NumCPU}, taking the
+// best of cfg-controlled repeats, and verifies that every run returns the
+// identical partitioning.
+func RunOffline(cfg Config) (*OfflineResult, error) {
+	cfg = cfg.withDefaults()
+	gen := datagen.LUBM{}
+	g := gen.Generate(cfg.Triples, cfg.Seed)
+
+	const repeats = 3
+	res := &OfflineResult{
+		Dataset: gen.Name(),
+		Triples: cfg.Triples,
+		K:       cfg.K,
+		Epsilon: cfg.Epsilon,
+		Seed:    cfg.Seed,
+		NumCPU:  runtime.NumCPU(),
+		Repeats: repeats,
+	}
+
+	var refLIn []rdf.PropertyID
+	var refAssign []int32
+	identical := true
+	for _, w := range offlineWorkerCounts {
+		opts := cfg.opts()
+		opts.Workers = w
+		var best *core.Result
+		var bestTotal time.Duration
+		for r := 0; r < repeats; r++ {
+			out, err := (core.MPC{}).PartitionFull(g, opts)
+			if err != nil {
+				return nil, fmt.Errorf("offline workers=%d: %w", w, err)
+			}
+			total := out.SelectTime + out.CoarsenTime + out.PartitionTime
+			if best == nil || total < bestTotal {
+				best, bestTotal = out, total
+			}
+		}
+		if refAssign == nil {
+			refLIn = best.LIn
+			refAssign = best.Assign
+			res.NumInternalProps = len(best.LIn)
+			res.Supervertices = best.NumSupervertices
+		} else if !equalProps(refLIn, best.LIn) || !equalAssign(refAssign, best.Assign) {
+			identical = false
+		}
+		res.Runs = append(res.Runs, OfflineRun{
+			Workers:          w,
+			EffectiveWorkers: resolveWorkers(w),
+			SelectMS:         ms(best.SelectTime),
+			CoarsenMS:        ms(best.CoarsenTime),
+			PartitionMS:      ms(best.PartitionTime),
+			TotalMS:          ms(bestTotal),
+		})
+	}
+	res.IdenticalResults = identical
+	serial := res.Runs[0].TotalMS
+	for i := range res.Runs {
+		if res.Runs[i].TotalMS > 0 {
+			res.Runs[i].SpeedupVsSerial = serial / res.Runs[i].TotalMS
+		}
+	}
+	return res, nil
+}
+
+func resolveWorkers(w int) int {
+	if w <= 0 {
+		return runtime.NumCPU()
+	}
+	return w
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+func equalProps(a, b []rdf.PropertyID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalAssign(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteOfflineJSON writes the result as indented JSON to path.
+func WriteOfflineJSON(path string, res *OfflineResult) error {
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// RenderOffline writes the human-readable offline-scaling table.
+func RenderOffline(w io.Writer, res *OfflineResult) {
+	var cells [][]string
+	for _, r := range res.Runs {
+		cells = append(cells, []string{
+			fmt.Sprint(r.Workers),
+			fmt.Sprint(r.EffectiveWorkers),
+			fmt.Sprintf("%.1f", r.SelectMS),
+			fmt.Sprintf("%.1f", r.CoarsenMS),
+			fmt.Sprintf("%.1f", r.PartitionMS),
+			fmt.Sprintf("%.1f", r.TotalMS),
+			fmt.Sprintf("%.2fx", r.SpeedupVsSerial),
+		})
+	}
+	title := fmt.Sprintf("Offline scaling: %s %d triples, k=%d, %d CPU(s), identical=%v",
+		res.Dataset, res.Triples, res.K, res.NumCPU, res.IdenticalResults)
+	WriteTable(w, title,
+		[]string{"workers", "effective", "select_ms", "coarsen_ms", "partition_ms", "total_ms", "speedup"},
+		cells)
+}

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunOffline smoke-tests the offline-scaling runner at a small scale:
+// every worker count must produce the identical partitioning, speedups must
+// be populated, and the JSON artifact must round-trip to disk.
+func TestRunOffline(t *testing.T) {
+	res, err := RunOffline(Config{Triples: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.IdenticalResults {
+		t.Error("worker counts produced different partitionings")
+	}
+	if len(res.Runs) != len(offlineWorkerCounts) {
+		t.Fatalf("got %d runs, want %d", len(res.Runs), len(offlineWorkerCounts))
+	}
+	if res.Runs[0].Workers != 1 || res.Runs[0].SpeedupVsSerial != 1 {
+		t.Errorf("first run must be the serial baseline, got workers=%d speedup=%v",
+			res.Runs[0].Workers, res.Runs[0].SpeedupVsSerial)
+	}
+	for _, r := range res.Runs {
+		if r.TotalMS <= 0 || r.SpeedupVsSerial <= 0 {
+			t.Errorf("run workers=%d has empty timings: %+v", r.Workers, r)
+		}
+	}
+	if res.NumInternalProps == 0 || res.Supervertices == 0 {
+		t.Errorf("result descriptors empty: %+v", res)
+	}
+
+	path := filepath.Join(t.TempDir(), "offline.json")
+	if err := WriteOfflineJSON(path, res); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"num_cpu", "select_ms", "coarsen_ms", "partition_ms", "speedup_vs_serial", "identical_results"} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("JSON missing key %q", key)
+		}
+	}
+
+	var sb strings.Builder
+	RenderOffline(&sb, res)
+	if !strings.Contains(sb.String(), "Offline scaling") {
+		t.Error("RenderOffline produced no table")
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"mpc/internal/dsf"
 	"mpc/internal/metis"
+	"mpc/internal/par"
 	"mpc/internal/partition"
 	"mpc/internal/rdf"
 )
@@ -63,6 +64,11 @@ func (m MPC) PartitionFull(g *rdf.Graph, opts partition.Options) (*Result, error
 	if sel == nil {
 		sel = GreedySelector{}
 	}
+	// Thread the Workers knob through to selectors that parallelize,
+	// unless the selector pinned its own worker count.
+	if wa, ok := sel.(WorkersAware); ok {
+		sel = wa.WithWorkers(opts.Workers)
+	}
 	cap := opts.Cap(g.NumVertices())
 
 	t0 := time.Now()
@@ -70,15 +76,17 @@ func (m MPC) PartitionFull(g *rdf.Graph, opts partition.Options) (*Result, error
 	selectTime := time.Since(t0)
 
 	t1 := time.Now()
-	coarse, cmap := Coarsen(g, lin)
+	coarse, cmap := CoarsenWorkers(g, lin, opts.Workers)
 	coarsenTime := time.Since(t1)
 
 	t2 := time.Now()
-	cpart := metis.PartitionKWay(coarse, opts.K, opts.Epsilon, opts.Seed)
+	cpart := metis.PartitionKWayWorkers(coarse, opts.K, opts.Epsilon, opts.Seed, opts.Workers)
 	assign := make([]int32, g.NumVertices())
-	for v := range assign {
-		assign[v] = cpart[cmap[v]]
-	}
+	par.ForEachShard(par.Resolve(opts.Workers), len(assign), func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			assign[v] = cpart[cmap[v]]
+		}
+	})
 	p, err := partition.FromAssignment(g, opts.K, assign)
 	if err != nil {
 		return nil, err
@@ -98,10 +106,22 @@ func (m MPC) PartitionFull(g *rdf.Graph, opts partition.Options) (*Result, error
 // Coarsen contracts every WCC of G[lin] into a supervertex. It returns the
 // coarsened weighted graph G_c — whose vertex weights are WCC sizes and
 // whose edges are the non-internal-property edges joining different
-// supervertices — and the vertex→supervertex map.
+// supervertices — and the vertex→supervertex map. It is the serial entry
+// point; see CoarsenWorkers.
 func Coarsen(g *rdf.Graph, lin []rdf.PropertyID) (*metis.Graph, []int32) {
+	return CoarsenWorkers(g, lin, 1)
+}
+
+// CoarsenWorkers is Coarsen with a concurrency knob (0 = NumCPU, 1 =
+// serial). The scan producing the coarse edge list is sharded over the
+// triple array and per-shard edge lists are concatenated in shard order —
+// the serial scan order — so the coarse graph is identical for every
+// worker count.
+func CoarsenWorkers(g *rdf.Graph, lin []rdf.PropertyID, workers int) (*metis.Graph, []int32) {
+	workers = par.Resolve(workers)
 	f := g.WCC(lin)
-	// Dense supervertex numbering.
+	// Dense supervertex numbering (serial: IDs are assigned in first-seen
+	// vertex order).
 	cmap := make([]int32, g.NumVertices())
 	rootID := make(map[int32]int32)
 	for v := int32(0); v < int32(g.NumVertices()); v++ {
@@ -122,18 +142,27 @@ func Coarsen(g *rdf.Graph, lin []rdf.PropertyID) (*metis.Graph, []int32) {
 	for _, p := range lin {
 		internal[p] = true
 	}
-	var us, vs []int32
-	for _, t := range g.Triples() {
-		if internal[t.P] {
-			continue // contracted away
+	type edge struct{ u, v int32 }
+	triples := g.Triples()
+	edges := par.MapShards(workers, len(triples), func(lo, hi int) []edge {
+		var out []edge
+		for _, t := range triples[lo:hi] {
+			if internal[t.P] {
+				continue // contracted away
+			}
+			cu, cv := cmap[t.S], cmap[t.O]
+			if cu != cv {
+				out = append(out, edge{cu, cv})
+			}
 		}
-		cu, cv := cmap[t.S], cmap[t.O]
-		if cu != cv {
-			us = append(us, cu)
-			vs = append(vs, cv)
-		}
+		return out
+	})
+	us := make([]int32, len(edges))
+	vs := make([]int32, len(edges))
+	for i, e := range edges {
+		us[i], vs[i] = e.u, e.v
 	}
-	return metis.BuildFromEdges(nc, us, vs, nil, vw), cmap
+	return metis.BuildFromEdgesWorkers(nc, us, vs, nil, vw, workers), cmap
 }
 
 // VerifyInternal checks Theorem 2 on a finished partitioning: no edge whose

@@ -26,6 +26,7 @@ import (
 	"sort"
 
 	"mpc/internal/dsf"
+	"mpc/internal/par"
 	"mpc/internal/partition"
 	"mpc/internal/rdf"
 )
@@ -38,6 +39,18 @@ type Selector interface {
 	SelectInternal(g *rdf.Graph, cap int) []rdf.PropertyID
 	// Name identifies the selector in reports.
 	Name() string
+}
+
+// WorkersAware is implemented by selectors whose candidate evaluation can
+// run on a worker pool. MPC.PartitionFull uses it to thread Options.Workers
+// through to the selector when the selector has not already pinned a worker
+// count of its own. Implementations must return identical L_in for every
+// worker count.
+type WorkersAware interface {
+	// WithWorkers returns a copy of the selector configured for the given
+	// worker count (0 = NumCPU, 1 = serial), unless the selector already
+	// has an explicit non-zero worker count, which wins.
+	WithWorkers(workers int) Selector
 }
 
 // GreedySelector implements Algorithm 1: repeatedly add the property p
@@ -54,10 +67,32 @@ type Selector interface {
 // kept in a min-heap and only the top is re-evaluated. Ties on cost are
 // broken toward the property with more edges (internalizing more edges
 // reduces |E^c|), then by ID for determinism.
-type GreedySelector struct{}
+//
+// With Workers != 1 the two hot paths run on a worker pool: the initial
+// per-property cost pass stores each cost positionally, and stale heap
+// candidates are re-evaluated in batches popped from the top of the heap,
+// each worker evaluating against its own rollback clone of the committed
+// base forest. Because stale costs are lower bounds, the selected property
+// is always the candidate minimizing the true (cost, -edges, id) key — the
+// same property the lazy serial path selects — so L_in is identical for
+// every worker count.
+type GreedySelector struct {
+	// Workers bounds evaluation concurrency: 0 means runtime.NumCPU(),
+	// 1 forces the serial lazy path. The selected set is identical for
+	// every value.
+	Workers int
+}
 
 // Name implements Selector.
 func (GreedySelector) Name() string { return "greedy" }
+
+// WithWorkers implements WorkersAware.
+func (s GreedySelector) WithWorkers(workers int) Selector {
+	if s.Workers == 0 {
+		s.Workers = workers
+	}
+	return s
+}
 
 // candHeap is a min-heap of candidate properties ordered by (cost, -edges, id).
 type candidate struct {
@@ -92,39 +127,79 @@ func (h *candHeap) Pop() interface{} {
 }
 
 // SelectInternal implements Selector.
-func (GreedySelector) SelectInternal(g *rdf.Graph, cap int) []rdf.PropertyID {
+func (s GreedySelector) SelectInternal(g *rdf.Graph, cap int) []rdf.PropertyID {
+	workers := par.Resolve(s.Workers)
 	base := dsf.NewRollback(g.NumVertices())
+	epoch := 0
 
-	// evaluate returns Cost(L_in ∪ {p}) against the current base forest.
-	evaluate := func(p rdf.PropertyID) int32 {
-		cp := base.Checkpoint()
+	// evaluate returns Cost(L_in ∪ {p}) against the given forest, which
+	// must mirror the committed base.
+	evaluate := func(f *dsf.RollbackForest, p rdf.PropertyID) int32 {
+		cp := f.Checkpoint()
 		for _, ti := range g.PropertyTriples(p) {
 			t := g.Triple(ti)
-			base.Union(int32(t.S), int32(t.O))
+			f.Union(int32(t.S), int32(t.O))
 		}
-		cost := base.MaxComponentSize()
-		base.Rollback(cp)
+		cost := f.MaxComponentSize()
+		f.Rollback(cp)
 		return cost
 	}
 
-	// Initial pass: cost of each property alone; prune those over cap.
+	// Per-worker rollback clones of the committed base forest, refreshed
+	// lazily once per selection round (epoch). With one worker the clones
+	// are skipped entirely and evaluation runs directly on base — the
+	// serial path, with zero copies. With several workers every worker
+	// (including 0) evaluates on its own clone, so base is only read
+	// during a batch, never mutated concurrently.
+	forests := make([]*dsf.RollbackForest, workers)
+	forestEpoch := make([]int, workers)
+	forestFor := func(w int) *dsf.RollbackForest {
+		if workers == 1 {
+			return base
+		}
+		if forests[w] == nil {
+			forests[w] = base.Clone()
+			forestEpoch[w] = epoch
+		} else if forestEpoch[w] != epoch {
+			forests[w].CloneFrom(base)
+			forestEpoch[w] = epoch
+		}
+		return forests[w]
+	}
+
+	// Initial pass: cost of each property alone, computed positionally and
+	// heapified in property order; prune those over cap.
+	costs := make([]int32, g.NumProperties())
+	par.ForEachWorker(workers, g.NumProperties(), func(w, p int) {
+		costs[p] = evaluate(forestFor(w), rdf.PropertyID(p))
+	})
 	h := make(candHeap, 0, g.NumProperties())
 	for p := 0; p < g.NumProperties(); p++ {
-		pid := rdf.PropertyID(p)
-		cost := evaluate(pid)
-		if int(cost) <= cap {
-			h = append(h, candidate{prop: pid, cost: cost, edges: int32(g.PropertyEdgeCount(pid)), epoch: 0})
+		if int(costs[p]) <= cap {
+			h = append(h, candidate{prop: rdf.PropertyID(p), cost: costs[p], edges: int32(g.PropertyEdgeCount(rdf.PropertyID(p))), epoch: 0})
 		}
 	}
 	heap.Init(&h)
 
 	var lin []rdf.PropertyID
-	epoch := 0
+	var batch []candidate
 	for h.Len() > 0 {
 		top := h[0]
-		if top.epoch != epoch {
-			// Stale: re-evaluate against the current L_in and reinsert.
-			cost := evaluate(top.prop)
+		if top.epoch == epoch {
+			// Fresh minimum: select it.
+			heap.Pop(&h)
+			for _, ti := range g.PropertyTriples(top.prop) {
+				t := g.Triple(ti)
+				base.Union(int32(t.S), int32(t.O))
+			}
+			base.Commit()
+			lin = append(lin, top.prop)
+			epoch++
+			continue
+		}
+		if workers == 1 {
+			// Serial lazy path: re-evaluate only the top and reinsert.
+			cost := evaluate(base, top.prop)
 			if int(cost) > cap {
 				heap.Pop(&h) // can never fit again (monotonicity)
 				continue
@@ -134,15 +209,24 @@ func (GreedySelector) SelectInternal(g *rdf.Graph, cap int) []rdf.PropertyID {
 			heap.Fix(&h, 0)
 			continue
 		}
-		// Fresh minimum: select it.
-		heap.Pop(&h)
-		for _, ti := range g.PropertyTriples(top.prop) {
-			t := g.Triple(ti)
-			base.Union(int32(t.S), int32(t.O))
+		// Batched refresh: pop the smallest stale candidates and
+		// re-evaluate them concurrently against the current L_in. Stale
+		// costs are lower bounds, so once a fresh candidate reaches the
+		// top it is the true minimum — refreshing more candidates than the
+		// lazy path never changes which property is selected.
+		batch = batch[:0]
+		for h.Len() > 0 && h[0].epoch != epoch && len(batch) < 2*workers {
+			batch = append(batch, heap.Pop(&h).(candidate))
 		}
-		base.Commit()
-		lin = append(lin, top.prop)
-		epoch++
+		par.ForEachWorker(workers, len(batch), func(w, i int) {
+			batch[i].cost = evaluate(forestFor(w), batch[i].prop)
+			batch[i].epoch = epoch
+		})
+		for _, c := range batch {
+			if int(c.cost) <= cap {
+				heap.Push(&h, c)
+			}
+		}
 	}
 	sort.Slice(lin, func(i, j int) bool { return lin[i] < lin[j] })
 	return lin
@@ -158,14 +242,86 @@ func (GreedySelector) SelectInternal(g *rdf.Graph, cap int) []rdf.PropertyID {
 // cost); among those, only the top MaxCandidates by edge count are
 // evaluated exactly, which bounds the per-step work on graphs with very
 // many properties.
+//
+// Candidate removals are independent full-forest rebuilds, so they run on
+// the worker pool: each worker rebuilds candidates into its own forest and
+// keeps the forest of its locally best candidate; worker results are then
+// merged by the serial (cost, candidate-order) tie-break. The winning
+// candidate's forest becomes the next iteration's state, saving the O(E)
+// from-scratch rebuild the seed implementation performed every step.
 type ReverseGreedySelector struct {
 	// MaxCandidates bounds how many removal candidates are evaluated per
 	// step; 0 means 32.
 	MaxCandidates int
+	// Workers bounds evaluation concurrency: 0 means runtime.NumCPU(),
+	// 1 forces the serial path. The selected set is identical for every
+	// value.
+	Workers int
 }
 
 // Name implements Selector.
 func (ReverseGreedySelector) Name() string { return "reverse-greedy" }
+
+// WithWorkers implements WorkersAware.
+func (s ReverseGreedySelector) WithWorkers(workers int) Selector {
+	if s.Workers == 0 {
+		s.Workers = workers
+	}
+	return s
+}
+
+// removalCand is one reverse-greedy removal candidate: a property and its
+// number of edges touching the current largest component.
+type removalCand struct {
+	prop  rdf.PropertyID
+	edges int
+}
+
+// inComponentEdges counts the triples of property p with at least one
+// endpoint in the component identified by root, using precomputed vertex
+// roots. An edge belongs to a component when either endpoint does: when
+// the forest excludes some of p's own edges the subject and object can
+// root in different components, and counting only the subject undercounts
+// (see TestInComponentEdgesCountsEitherEndpoint).
+func inComponentEdges(g *rdf.Graph, roots []int32, p rdf.PropertyID, root int32) int {
+	cnt := 0
+	for _, ti := range g.PropertyTriples(p) {
+		t := g.Triple(ti)
+		if roots[t.S] == root || roots[t.O] == root {
+			cnt++
+		}
+	}
+	return cnt
+}
+
+// removalCandidates ranks the non-removed properties with edges touching
+// the largest component (rooted at bigRoot) by descending in-component
+// edge count, property ID breaking ties, truncated to maxCand. The
+// per-property counting runs on the worker pool with positional results.
+func removalCandidates(g *rdf.Graph, roots []int32, bigRoot int32, removed []bool, maxCand, workers int) []removalCand {
+	counts := make([]int, g.NumProperties())
+	par.ForEach(workers, g.NumProperties(), func(p int) {
+		if !removed[p] {
+			counts[p] = inComponentEdges(g, roots, rdf.PropertyID(p), bigRoot)
+		}
+	})
+	var cands []removalCand
+	for p, cnt := range counts {
+		if cnt > 0 {
+			cands = append(cands, removalCand{rdf.PropertyID(p), cnt})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].edges != cands[j].edges {
+			return cands[i].edges > cands[j].edges
+		}
+		return cands[i].prop < cands[j].prop
+	})
+	if len(cands) > maxCand {
+		cands = cands[:maxCand]
+	}
+	return cands
+}
 
 // SelectInternal implements Selector.
 func (s ReverseGreedySelector) SelectInternal(g *rdf.Graph, cap int) []rdf.PropertyID {
@@ -173,14 +329,16 @@ func (s ReverseGreedySelector) SelectInternal(g *rdf.Graph, cap int) []rdf.Prope
 	if maxCand <= 0 {
 		maxCand = 32
 	}
+	workers := par.Resolve(s.Workers)
 	removed := make([]bool, g.NumProperties())
 	nRemoved := 0
 
-	for {
-		// Cost and largest component of the current L_in.
+	// build returns the forest of every non-removed property, optionally
+	// excluding one more property (excluded < 0 excludes nothing).
+	build := func(excluded int) *dsf.Forest {
 		f := dsf.New(g.NumVertices())
 		for p := 0; p < g.NumProperties(); p++ {
-			if removed[p] {
+			if removed[p] || p == excluded {
 				continue
 			}
 			for _, ti := range g.PropertyTriples(rdf.PropertyID(p)) {
@@ -188,75 +346,57 @@ func (s ReverseGreedySelector) SelectInternal(g *rdf.Graph, cap int) []rdf.Prope
 				f.Union(int32(t.S), int32(t.O))
 			}
 		}
-		if int(f.MaxComponentSize()) <= cap {
-			break
-		}
-		if nRemoved == g.NumProperties() {
-			break // nothing left to remove
-		}
+		return f
+	}
+
+	// Cost and largest component of the current L_in. The forest is built
+	// from scratch once; afterwards each removal reuses the winning
+	// candidate's forest as the next iteration's state.
+	f := build(-1)
+	for int(f.MaxComponentSize()) > cap && nRemoved < g.NumProperties() {
+		roots := f.Roots()
 		// Root of the largest component.
 		var bigRoot int32 = -1
 		for v := int32(0); v < int32(g.NumVertices()); v++ {
-			if f.Size(v) == f.MaxComponentSize() {
-				bigRoot = f.Find(v)
+			if f.Size(roots[v]) == f.MaxComponentSize() {
+				bigRoot = roots[v]
 				break
 			}
 		}
-		// Candidates: properties with at least one edge inside the largest
-		// component, by descending in-component edge count.
-		type cand struct {
-			prop  rdf.PropertyID
-			edges int
-		}
-		var cands []cand
-		for p := 0; p < g.NumProperties(); p++ {
-			if removed[p] {
-				continue
-			}
-			cnt := 0
-			for _, ti := range g.PropertyTriples(rdf.PropertyID(p)) {
-				t := g.Triple(ti)
-				if f.Find(int32(t.S)) == bigRoot {
-					cnt++
-				}
-			}
-			if cnt > 0 {
-				cands = append(cands, cand{rdf.PropertyID(p), cnt})
-			}
-		}
+		cands := removalCandidates(g, roots, bigRoot, removed, maxCand, workers)
 		if len(cands) == 0 {
 			break // largest component has no removable property (shouldn't happen)
 		}
-		sort.Slice(cands, func(i, j int) bool {
-			if cands[i].edges != cands[j].edges {
-				return cands[i].edges > cands[j].edges
+		// Evaluate each candidate removal exactly, in parallel. Each
+		// worker keeps the forest of its locally best (cost, index)
+		// candidate; the worker results are merged with the same
+		// tie-break, so the winner matches the serial first-minimum scan.
+		type workerBest struct {
+			cost int32
+			idx  int
+			f    *dsf.Forest
+		}
+		bests := make([]workerBest, workers)
+		for w := range bests {
+			bests[w] = workerBest{cost: 1<<31 - 1, idx: len(cands)}
+		}
+		par.ForEachWorker(workers, len(cands), func(w, i int) {
+			f2 := build(int(cands[i].prop))
+			cost := f2.MaxComponentSize()
+			b := &bests[w]
+			if cost < b.cost || (cost == b.cost && i < b.idx) {
+				*b = workerBest{cost: cost, idx: i, f: f2}
 			}
-			return cands[i].prop < cands[j].prop
 		})
-		if len(cands) > maxCand {
-			cands = cands[:maxCand]
-		}
-		// Evaluate each candidate removal exactly.
-		bestProp := cands[0].prop
-		bestCost := int32(1<<31 - 1)
-		for _, c := range cands {
-			f2 := dsf.New(g.NumVertices())
-			for p := 0; p < g.NumProperties(); p++ {
-				if removed[p] || rdf.PropertyID(p) == c.prop {
-					continue
-				}
-				for _, ti := range g.PropertyTriples(rdf.PropertyID(p)) {
-					t := g.Triple(ti)
-					f2.Union(int32(t.S), int32(t.O))
-				}
-			}
-			if f2.MaxComponentSize() < bestCost {
-				bestCost = f2.MaxComponentSize()
-				bestProp = c.prop
+		best := bests[0]
+		for _, b := range bests[1:] {
+			if b.cost < best.cost || (b.cost == best.cost && b.idx < best.idx) {
+				best = b
 			}
 		}
-		removed[bestProp] = true
+		removed[cands[best.idx].prop] = true
 		nRemoved++
+		f = best.f
 	}
 
 	lin := make([]rdf.PropertyID, 0, g.NumProperties()-nRemoved)

@@ -1,0 +1,71 @@
+package dsf
+
+import "testing"
+
+func TestRollbackClone(t *testing.T) {
+	f := NewRollback(6)
+	f.Union(0, 1)
+	f.Union(1, 2)
+	f.Commit()
+	f.Union(3, 4) // pending, uncommitted
+
+	c := f.Clone()
+	if c.Len() != f.Len() || c.NumSets() != f.NumSets() || c.MaxComponentSize() != f.MaxComponentSize() {
+		t.Fatalf("clone stats differ: len=%d/%d sets=%d/%d max=%d/%d",
+			c.Len(), f.Len(), c.NumSets(), f.NumSets(), c.MaxComponentSize(), f.MaxComponentSize())
+	}
+	if !c.SameSet(0, 2) || c.SameSet(0, 5) || !c.SameSet(3, 4) {
+		t.Fatal("clone set structure differs")
+	}
+
+	// Mutating the clone must not touch the original, and vice versa.
+	c.Union(4, 5)
+	if f.SameSet(4, 5) {
+		t.Fatal("clone mutation leaked into original")
+	}
+	f.Union(0, 5)
+	if c.SameSet(0, 5) {
+		t.Fatal("original mutation leaked into clone")
+	}
+
+	// Pending undo records must have been copied: rolling the clone back to
+	// checkpoint 0 undoes the uncommitted unions it inherited.
+	c2 := NewRollback(4)
+	c2.Union(0, 1)
+	c2.Commit()
+	c2.Union(2, 3)
+	c3 := c2.Clone()
+	c3.Rollback(0)
+	if c3.SameSet(2, 3) || !c3.SameSet(0, 1) {
+		t.Fatal("clone did not inherit the undo stack")
+	}
+}
+
+func TestRollbackCloneFromReusesBuffers(t *testing.T) {
+	src := NewRollback(8)
+	src.Union(0, 1)
+	src.Union(2, 3)
+	src.Commit()
+
+	dst := NewRollback(8)
+	dst.Union(5, 6)
+	dst.CloneFrom(src)
+	if dst.SameSet(5, 6) {
+		t.Fatal("CloneFrom kept stale state")
+	}
+	if !dst.SameSet(0, 1) || !dst.SameSet(2, 3) || dst.NumSets() != src.NumSets() {
+		t.Fatal("CloneFrom did not copy src state")
+	}
+
+	// Works across sizes too (buffers regrow as needed).
+	small := NewRollback(2)
+	small.CloneFrom(src)
+	if small.Len() != 8 || !small.SameSet(0, 1) {
+		t.Fatal("CloneFrom into smaller forest failed")
+	}
+	big := NewRollback(32)
+	big.CloneFrom(src)
+	if big.Len() != 8 {
+		t.Fatalf("CloneFrom into larger forest kept length %d", big.Len())
+	}
+}

@@ -17,7 +17,10 @@ package metis
 
 import (
 	"math/rand"
+	"slices"
 	"sort"
+
+	"mpc/internal/par"
 )
 
 // Graph is an undirected weighted graph in CSR form. Parallel edges must be
@@ -55,31 +58,84 @@ type wedge struct {
 // Build constructs a Graph from an edge list over n vertices, collapsing
 // parallel edges (summing weights) and dropping self-loops. vw may be nil
 // for unit vertex weights.
+//
+// Construction is sort-based rather than map-based, so the adjacency layout
+// is a pure function of the edge multiset. (The previous map-based merge
+// laid adjacency out in Go's randomized map iteration order, which made the
+// matching and refinement tie-breaks — and therefore the produced
+// partitions — vary between process runs.) Edges are bucketed by u with a
+// counting sort, then each bucket is sorted by v and its duplicates merged;
+// that is O(E + n) plus small per-bucket sorts, and the bucket phase is
+// independent per vertex so it shards cleanly across workers.
 func Build(n int, edges []wedge, vw []int64) *Graph {
-	type key struct{ u, v int32 }
-	merged := make(map[key]int64, len(edges))
+	return buildW(n, edges, vw, 1)
+}
+
+func buildW(n int, edges []wedge, vw []int64, workers int) *Graph {
+	// Normalize (u < v), drop self-loops, count each u's bucket size.
+	bucket := make([]int32, n+1)
+	es := make([]wedge, 0, len(edges))
 	for _, e := range edges {
 		if e.u == e.v {
 			continue
 		}
-		u, v := e.u, e.v
-		if u > v {
-			u, v = v, u
+		if e.u > e.v {
+			e.u, e.v = e.v, e.u
 		}
-		merged[key{u, v}] += e.w
+		es = append(es, e)
+		bucket[e.u+1]++
 	}
+	for i := 0; i < n; i++ {
+		bucket[i+1] += bucket[i]
+	}
+	// Counting sort by u. Order within a bucket is irrelevant: equal-v runs
+	// are merged with summed weights below.
+	buf := make([]wedge, len(es))
+	cursor := append([]int32(nil), bucket[:n]...)
+	for _, e := range es {
+		buf[cursor[e.u]] = e
+		cursor[e.u]++
+	}
+	// Per bucket: sort by v and merge duplicates in place. Buckets are
+	// disjoint slices of buf, so the shards never overlap.
+	mlen := make([]int32, n)
+	par.ForEachShard(workers, n, func(_, lo, hi int) {
+		for u := lo; u < hi; u++ {
+			b := buf[bucket[u]:bucket[u+1]]
+			if len(b) == 0 {
+				continue
+			}
+			slices.SortFunc(b, func(a, c wedge) int { return int(a.v) - int(c.v) })
+			m := 0
+			for i := 0; i < len(b); {
+				j, w := i, int64(0)
+				for j < len(b) && b[j].v == b[i].v {
+					w += b[j].w
+					j++
+				}
+				b[m] = wedge{b[i].u, b[i].v, w}
+				m++
+				i = j
+			}
+			mlen[u] = int32(m)
+		}
+	})
 	deg := make([]int32, n+1)
-	for k := range merged {
-		deg[k.u+1]++
-		deg[k.v+1]++
+	var m int32
+	for u := 0; u < n; u++ {
+		m += mlen[u]
+		deg[u+1] += mlen[u]
+		for _, e := range buf[bucket[u] : bucket[u]+mlen[u]] {
+			deg[e.v+1]++
+		}
 	}
 	for i := 0; i < n; i++ {
 		deg[i+1] += deg[i]
 	}
 	g := &Graph{
 		XAdj: deg,
-		Adj:  make([]int32, len(merged)*2),
-		AdjW: make([]int64, len(merged)*2),
+		Adj:  make([]int32, m*2),
+		AdjW: make([]int64, m*2),
 		VW:   make([]int64, n),
 	}
 	if vw != nil {
@@ -89,12 +145,14 @@ func Build(n int, edges []wedge, vw []int64) *Graph {
 			g.VW[i] = 1
 		}
 	}
-	cursor := append([]int32(nil), g.XAdj...)
-	for k, w := range merged {
-		g.Adj[cursor[k.u]], g.AdjW[cursor[k.u]] = k.v, w
-		cursor[k.u]++
-		g.Adj[cursor[k.v]], g.AdjW[cursor[k.v]] = k.u, w
-		cursor[k.v]++
+	cursor = append(cursor[:0], g.XAdj[:n]...)
+	for u := 0; u < n; u++ {
+		for _, e := range buf[bucket[u] : bucket[u]+mlen[u]] {
+			g.Adj[cursor[e.u]], g.AdjW[cursor[e.u]] = e.v, e.w
+			cursor[e.u]++
+			g.Adj[cursor[e.v]], g.AdjW[cursor[e.v]] = e.u, e.w
+			cursor[e.v]++
+		}
 	}
 	return g
 }
@@ -102,6 +160,13 @@ func Build(n int, edges []wedge, vw []int64) *Graph {
 // BuildFromEdges is the exported convenience constructor: pairs (u,v) with
 // weight w. vw may be nil for unit vertex weights.
 func BuildFromEdges(n int, us, vs []int32, ws []int64, vw []int64) *Graph {
+	return BuildFromEdgesWorkers(n, us, vs, ws, vw, 1)
+}
+
+// BuildFromEdgesWorkers is BuildFromEdges with a concurrency knob (0 =
+// runtime.NumCPU(), 1 = serial). The constructed graph is identical for
+// every worker count.
+func BuildFromEdgesWorkers(n int, us, vs []int32, ws []int64, vw []int64, workers int) *Graph {
 	edges := make([]wedge, len(us))
 	for i := range us {
 		w := int64(1)
@@ -110,7 +175,7 @@ func BuildFromEdges(n int, us, vs []int32, ws []int64, vw []int64) *Graph {
 		}
 		edges[i] = wedge{us[i], vs[i], w}
 	}
-	return Build(n, edges, vw)
+	return buildW(n, edges, vw, par.Resolve(workers))
 }
 
 // EdgeCut returns the total weight of edges whose endpoints are assigned to
@@ -131,7 +196,19 @@ func EdgeCut(g *Graph, part []int32) int64 {
 // PartitionKWay partitions g into k parts minimizing edge cut, with each
 // part's vertex weight at most (1+epsilon)·total/k (best effort). The
 // returned slice maps vertex → partition. Deterministic for a given seed.
+// It is the serial entry point; see PartitionKWayWorkers.
 func PartitionKWay(g *Graph, k int, epsilon float64, seed int64) []int32 {
+	return PartitionKWayWorkers(g, k, epsilon, seed, 1)
+}
+
+// PartitionKWayWorkers is PartitionKWay with a concurrency knob: workers=0
+// means runtime.NumCPU(), 1 is the serial path. The parallel phases (the
+// matching-preference scan, coarse-edge aggregation, and boundary-vertex
+// detection during refinement) compute pure functions of the current level
+// into positional buffers, so the returned partition is bit-for-bit
+// identical for every worker count.
+func PartitionKWayWorkers(g *Graph, k int, epsilon float64, seed int64, workers int) []int32 {
+	workers = par.Resolve(workers)
 	n := g.NumVertices()
 	part := make([]int32, n)
 	if k <= 1 || n == 0 {
@@ -158,7 +235,7 @@ func PartitionKWay(g *Graph, k int, epsilon float64, seed int64) []int32 {
 		target = 64
 	}
 	for cur.NumVertices() > target {
-		coarse, cmap := coarsen(cur, m.capWeight(cur), rng)
+		coarse, cmap := coarsen(cur, m.capWeight(cur), rng, workers)
 		if coarse.NumVertices() >= cur.NumVertices()*95/100 {
 			break // matching stalled; stop coarsening
 		}
@@ -168,16 +245,18 @@ func PartitionKWay(g *Graph, k int, epsilon float64, seed int64) []int32 {
 
 	// Initial partitioning of the coarsest graph.
 	cpart := initialPartition(cur, k, m.epsilon, rng)
-	refine(cur, cpart, k, m.epsilon, 8, rng)
+	refine(cur, cpart, k, m.epsilon, 8, rng, workers)
 
 	// Uncoarsening with refinement at every level.
 	for i := len(stack) - 1; i >= 0; i-- {
 		fine := stack[i]
 		fpart := make([]int32, fine.g.NumVertices())
-		for v := range fpart {
-			fpart[v] = cpart[fine.cmap[v]]
-		}
-		refine(fine.g, fpart, k, m.epsilon, 4, rng)
+		par.ForEachShard(workers, len(fpart), func(_, lo, hi int) {
+			for v := lo; v < hi; v++ {
+				fpart[v] = cpart[fine.cmap[v]]
+			}
+		})
+		refine(fine.g, fpart, k, m.epsilon, 4, rng, workers)
 		cpart = fpart
 	}
 	copy(part, cpart)
@@ -205,8 +284,31 @@ func (m *multilevel) capWeight(g *Graph) int64 {
 
 // coarsen performs one round of heavy-edge matching and contracts matched
 // pairs. It returns the coarse graph and the fine→coarse vertex map.
-func coarsen(g *Graph, maxVW int64, rng *rand.Rand) (*Graph, []int32) {
+//
+// Matching itself must stay sequential (each decision depends on which
+// neighbors are already matched), but the expensive adjacency scans are
+// hoisted into a parallel preference pass: pref[v] is the neighbor the
+// serial heavy-edge scan would pick if every vertex were unmatched. When
+// that preferred neighbor is still free at v's turn it is provably the
+// serial choice (it is the first maximum-weight eligible neighbor, and no
+// matched-state filter can promote an earlier candidate), so the serial
+// loop only rescans adjacency when the preference was already taken. The
+// resulting matching is identical to the fully serial scan.
+func coarsen(g *Graph, maxVW int64, rng *rand.Rand, workers int) (*Graph, []int32) {
 	n := g.NumVertices()
+	pref := make([]int32, n)
+	par.ForEachShard(workers, n, func(_, lo, hi int) {
+		for v := int32(lo); v < int32(hi); v++ {
+			adj, adjw := g.neighbors(v)
+			best, bestW := int32(-1), int64(-1)
+			for i, u := range adj {
+				if u != v && adjw[i] > bestW && g.VW[v]+g.VW[u] <= maxVW {
+					best, bestW = u, adjw[i]
+				}
+			}
+			pref[v] = best
+		}
+	})
 	match := make([]int32, n)
 	for i := range match {
 		match[i] = -1
@@ -215,6 +317,13 @@ func coarsen(g *Graph, maxVW int64, rng *rand.Rand) (*Graph, []int32) {
 	for _, vi := range order {
 		v := int32(vi)
 		if match[v] != -1 {
+			continue
+		}
+		if p := pref[v]; p == -1 {
+			match[v] = v
+			continue
+		} else if match[p] == -1 {
+			match[v], match[p] = p, v
 			continue
 		}
 		adj, adjw := g.neighbors(v)
@@ -246,24 +355,28 @@ func coarsen(g *Graph, maxVW int64, rng *rand.Rand) (*Graph, []int32) {
 		}
 		nc++
 	}
-	// Build the coarse graph.
+	// Build the coarse graph. Edge aggregation shards the vertex range and
+	// concatenates per-shard edge lists in shard order (the serial order).
 	vw := make([]int64, nc)
 	for v := int32(0); v < int32(n); v++ {
 		vw[cmap[v]] += g.VW[v]
 	}
-	var edges []wedge
-	for v := int32(0); v < int32(n); v++ {
-		adj, adjw := g.neighbors(v)
-		for i, u := range adj {
-			if u > v { // each undirected edge once
-				cu, cv := cmap[u], cmap[v]
-				if cu != cv {
-					edges = append(edges, wedge{cu, cv, adjw[i]})
+	edges := par.MapShards(workers, n, func(lo, hi int) []wedge {
+		var out []wedge
+		for v := int32(lo); v < int32(hi); v++ {
+			adj, adjw := g.neighbors(v)
+			for i, u := range adj {
+				if u > v { // each undirected edge once
+					cu, cv := cmap[u], cmap[v]
+					if cu != cv {
+						out = append(out, wedge{cu, cv, adjw[i]})
+					}
 				}
 			}
 		}
-	}
-	return Build(int(nc), edges, vw), cmap
+		return out
+	})
+	return buildW(int(nc), edges, vw, workers), cmap
 }
 
 // initialPartition grows k regions greedily on the (small) coarsest graph:
@@ -392,7 +505,15 @@ func initialPartition(g *Graph, k int, epsilon float64, rng *rand.Rand) []int32 
 // moved to the adjacent partition with the largest positive cut gain,
 // subject to the balance constraint. Zero-gain moves are taken when they
 // improve balance.
-func refine(g *Graph, part []int32, k int, epsilon float64, maxPasses int, rng *rand.Rand) {
+//
+// Each pass first detects boundary vertices in parallel from a snapshot of
+// the assignment, then applies the serial move loop to flagged vertices
+// only. Moves flag the mover's neighbors, so the flagged set always
+// contains every vertex that is boundary at its visit time; since the
+// inner move logic rechecks boundary status exactly, the moves — and the
+// final partition — are identical to scanning every vertex serially, for
+// any worker count, while interior vertices cost nothing.
+func refine(g *Graph, part []int32, k int, epsilon float64, maxPasses int, rng *rand.Rand, workers int) {
 	n := g.NumVertices()
 	total := g.TotalVertexWeight()
 	cap := int64(float64(total) / float64(k) * (1 + epsilon))
@@ -404,11 +525,29 @@ func refine(g *Graph, part []int32, k int, epsilon float64, maxPasses int, rng *
 		partW[part[v]] += g.VW[v]
 	}
 	connBuf := make([]int64, k)
+	isBoundary := make([]bool, n)
 	order := rng.Perm(n)
 	for pass := 0; pass < maxPasses; pass++ {
+		par.ForEachShard(workers, n, func(_, lo, hi int) {
+			for v := int32(lo); v < int32(hi); v++ {
+				adj, _ := g.neighbors(v)
+				home := part[v]
+				b := false
+				for _, u := range adj {
+					if part[u] != home {
+						b = true
+						break
+					}
+				}
+				isBoundary[v] = b
+			}
+		})
 		moved := 0
 		for _, vi := range order {
 			v := int32(vi)
+			if !isBoundary[v] {
+				continue
+			}
 			adj, adjw := g.neighbors(v)
 			if len(adj) == 0 {
 				continue
@@ -441,6 +580,9 @@ func refine(g *Graph, part []int32, k int, epsilon float64, maxPasses int, rng *
 					partW[bestP] += g.VW[v]
 					part[v] = bestP
 					moved++
+					for _, u := range adj {
+						isBoundary[u] = true
+					}
 				}
 			}
 			for _, u := range adj {

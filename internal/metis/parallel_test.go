@@ -1,0 +1,72 @@
+package metis
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomEdges builds a reproducible random multigraph edge list.
+func randomEdges(n, m int, seed int64) ([]int32, []int32, []int64) {
+	rng := rand.New(rand.NewSource(seed))
+	us := make([]int32, m)
+	vs := make([]int32, m)
+	ws := make([]int64, m)
+	for i := 0; i < m; i++ {
+		us[i] = int32(rng.Intn(n))
+		vs[i] = int32(rng.Intn(n))
+		ws[i] = int64(1 + rng.Intn(5))
+	}
+	return us, vs, ws
+}
+
+// TestBuildDeterministicAcrossWorkers checks that the CSR layout is
+// identical for every worker count (and therefore across process runs).
+func TestBuildDeterministicAcrossWorkers(t *testing.T) {
+	const n, m = 500, 4000
+	us, vs, ws := randomEdges(n, m, 3)
+	ref := BuildFromEdgesWorkers(n, us, vs, ws, nil, 1)
+	for _, w := range []int{2, 8} {
+		g := BuildFromEdgesWorkers(n, us, vs, ws, nil, w)
+		if !reflect.DeepEqual(ref, g) {
+			t.Errorf("workers=%d: CSR differs from serial build", w)
+		}
+	}
+}
+
+// TestBuildMergesAndDropsLoops spot-checks the merge semantics the
+// counting-sort construction must preserve: self-loops dropped, parallel
+// edges summed, symmetric adjacency.
+func TestBuildMergesAndDropsLoops(t *testing.T) {
+	us := []int32{0, 1, 0, 2, 2}
+	vs := []int32{1, 0, 0, 1, 1}
+	ws := []int64{3, 4, 9, 1, 1}
+	g := BuildFromEdges(3, us, vs, ws, nil)
+	// Edge {0,1} has weight 3+4=7, edge {1,2} has 1+1=2, the loop is gone.
+	adj, adjw := g.neighbors(1)
+	if len(adj) != 2 || adj[0] != 0 || adjw[0] != 7 || adj[1] != 2 || adjw[1] != 2 {
+		t.Fatalf("adj(1) = %v/%v, want [0 2]/[7 2]", adj, adjw)
+	}
+	if got := g.XAdj[1] - g.XAdj[0]; got != 1 {
+		t.Fatalf("deg(0) = %d, want 1 (self-loop must be dropped)", got)
+	}
+}
+
+// TestPartitionKWayDeterministicAcrossWorkers checks the whole multilevel
+// pipeline: identical partitions for every worker count on a random graph
+// big enough to exercise several coarsening levels and refinement passes.
+func TestPartitionKWayDeterministicAcrossWorkers(t *testing.T) {
+	const n, m = 4000, 20000
+	us, vs, ws := randomEdges(n, m, 11)
+	g := BuildFromEdges(n, us, vs, ws, nil)
+	ref := PartitionKWayWorkers(g, 8, 0.1, 42, 1)
+	for _, w := range []int{2, 8} {
+		got := PartitionKWayWorkers(g, 8, 0.1, 42, w)
+		if !reflect.DeepEqual(ref, got) {
+			t.Errorf("workers=%d: partition differs from serial", w)
+		}
+	}
+	if cut := EdgeCut(g, ref); cut <= 0 {
+		t.Fatalf("degenerate test graph: cut=%d", cut)
+	}
+}

@@ -1,0 +1,149 @@
+// Package par is the stdlib-only worker-pool layer behind the parallel
+// offline MPC pipeline (internal property selection, WCC coarsening, and
+// multilevel k-way partitioning). It deliberately exposes only shapes whose
+// results can be merged deterministically:
+//
+//   - positional results: ForEach / ForEachWorker write into slots indexed
+//     by the item, so scheduling order cannot leak into the output;
+//   - order-preserving shards: ForEachShard / MapShards split [0,n) into
+//     contiguous ascending ranges and concatenate per-shard results in
+//     shard order, reproducing a serial left-to-right pass exactly.
+//
+// Every helper runs inline (no goroutines) when the effective worker count
+// is 1, so Workers=1 is byte-for-byte the serial path, and the output of
+// every caller is identical for any worker count.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Resolve maps a Workers knob to a concrete worker count: values <= 0 mean
+// runtime.NumCPU(), 1 forces the serial path, anything else is taken as-is.
+func Resolve(workers int) int {
+	if workers <= 0 {
+		return runtime.NumCPU()
+	}
+	return workers
+}
+
+// effective clamps the worker count to the amount of available work.
+func effective(workers, n int) int {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Do runs fn(worker) for every worker in [0, workers) concurrently and
+// waits for all of them. workers <= 1 runs fn(0) inline.
+func Do(workers int, fn func(worker int)) {
+	if workers <= 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			fn(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// ForEach runs fn(i) for every i in [0, n), distributing items dynamically
+// over the workers. Callers must keep fn's effects positional (write only
+// to slot i) for deterministic results.
+func ForEach(workers, n int, fn func(i int)) {
+	ForEachWorker(workers, n, func(_, i int) { fn(i) })
+}
+
+// ForEachWorker is ForEach with the worker index passed through, so callers
+// can keep per-worker scratch state (e.g. a private rollback forest).
+func ForEachWorker(workers, n int, fn func(worker, i int)) {
+	workers = effective(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	Do(workers, func(w int) {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(w, i)
+		}
+	})
+}
+
+// ShardRange returns the half-open range [lo, hi) of shard s when [0, n) is
+// split into shards near-equal contiguous pieces.
+func ShardRange(n, shards, s int) (lo, hi int) {
+	q, r := n/shards, n%shards
+	lo = s*q + min(s, r)
+	hi = lo + q
+	if s < r {
+		hi++
+	}
+	return lo, hi
+}
+
+// ForEachShard splits [0, n) into one contiguous shard per worker and runs
+// fn(shard, lo, hi) on each concurrently. Shard boundaries depend only on
+// (n, workers), never on scheduling.
+func ForEachShard(workers, n int, fn func(shard, lo, hi int)) {
+	workers = effective(workers, n)
+	if workers == 1 {
+		if n > 0 {
+			fn(0, 0, n)
+		}
+		return
+	}
+	Do(workers, func(w int) {
+		lo, hi := ShardRange(n, workers, w)
+		if lo < hi {
+			fn(w, lo, hi)
+		}
+	})
+}
+
+// MapShards splits [0, n) into contiguous shards, runs fn on each shard
+// concurrently, and returns the per-shard slices concatenated in shard
+// order — exactly the sequence a serial left-to-right pass over [0, n)
+// would have produced, for any worker count.
+func MapShards[T any](workers, n int, fn func(lo, hi int) []T) []T {
+	workers = effective(workers, n)
+	if workers == 1 {
+		if n == 0 {
+			return nil
+		}
+		return fn(0, n)
+	}
+	parts := make([][]T, workers)
+	Do(workers, func(w int) {
+		lo, hi := ShardRange(n, workers, w)
+		if lo < hi {
+			parts[w] = fn(lo, hi)
+		}
+	})
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]T, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}

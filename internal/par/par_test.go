@@ -1,0 +1,132 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(0); got != runtime.NumCPU() {
+		t.Fatalf("Resolve(0) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := Resolve(-3); got != runtime.NumCPU() {
+		t.Fatalf("Resolve(-3) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	for _, w := range []int{1, 2, 7} {
+		if got := Resolve(w); got != w {
+			t.Fatalf("Resolve(%d) = %d", w, got)
+		}
+	}
+}
+
+func TestDoRunsEveryWorker(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		seen := make([]atomic.Int32, workers)
+		Do(workers, func(w int) { seen[w].Add(1) })
+		for w := range seen {
+			if seen[w].Load() != 1 {
+				t.Fatalf("workers=%d: worker %d ran %d times", workers, w, seen[w].Load())
+			}
+		}
+	}
+}
+
+func TestForEachCoversAllItems(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		for _, n := range []int{0, 1, 5, 100} {
+			counts := make([]atomic.Int32, n)
+			ForEach(workers, n, func(i int) { counts[i].Add(1) })
+			for i := range counts {
+				if counts[i].Load() != 1 {
+					t.Fatalf("workers=%d n=%d: item %d ran %d times", workers, n, i, counts[i].Load())
+				}
+			}
+		}
+	}
+}
+
+func TestForEachWorkerIndexInRange(t *testing.T) {
+	const n = 200
+	var bad atomic.Int32
+	ForEachWorker(4, n, func(w, i int) {
+		if w < 0 || w >= 4 || i < 0 || i >= n {
+			bad.Add(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Fatalf("%d out-of-range (worker, item) pairs", bad.Load())
+	}
+}
+
+func TestShardRangePartitionsExactly(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100, 101} {
+		for _, shards := range []int{1, 2, 3, 8} {
+			prev := 0
+			for s := 0; s < shards; s++ {
+				lo, hi := ShardRange(n, shards, s)
+				if lo != prev {
+					t.Fatalf("n=%d shards=%d: shard %d starts at %d, want %d", n, shards, s, lo, prev)
+				}
+				if hi < lo {
+					t.Fatalf("n=%d shards=%d: shard %d inverted [%d,%d)", n, shards, s, lo, hi)
+				}
+				prev = hi
+			}
+			if prev != n {
+				t.Fatalf("n=%d shards=%d: shards end at %d", n, shards, prev)
+			}
+		}
+	}
+}
+
+func TestForEachShardCoversAllItems(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		const n = 97
+		counts := make([]atomic.Int32, n)
+		ForEachShard(workers, n, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				counts[i].Add(1)
+			}
+		})
+		for i := range counts {
+			if counts[i].Load() != 1 {
+				t.Fatalf("workers=%d: item %d covered %d times", workers, i, counts[i].Load())
+			}
+		}
+	}
+}
+
+func TestMapShardsPreservesSerialOrder(t *testing.T) {
+	const n = 173
+	want := MapShards(1, n, func(lo, hi int) []int {
+		out := make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			out = append(out, i*i)
+		}
+		return out
+	})
+	for _, workers := range []int{2, 3, 8, 200} {
+		got := MapShards(workers, n, func(lo, hi int) []int {
+			out := make([]int, 0, hi-lo)
+			for i := lo; i < hi; i++ {
+				out = append(out, i*i)
+			}
+			return out
+		})
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: len %d, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: element %d = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMapShardsEmpty(t *testing.T) {
+	if got := MapShards(4, 0, func(lo, hi int) []int { return []int{1} }); len(got) != 0 {
+		t.Fatalf("MapShards over empty range returned %v", got)
+	}
+}

@@ -12,6 +12,7 @@ package partition
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"mpc/internal/rdf"
@@ -27,6 +28,13 @@ type Options struct {
 	Epsilon float64
 	// Seed drives any randomized choices, for reproducibility.
 	Seed int64
+	// Workers bounds the concurrency of the parallel offline phases
+	// (internal property selection, coarsening, k-way partitioning):
+	// 0 means runtime.NumCPU(), 1 forces the serial path. The produced
+	// partitioning is bit-for-bit identical for every value — parallel
+	// phases merge per-shard results in shard order and keep the serial
+	// cost/edges/ID tie-breaks.
+	Workers int
 }
 
 // Validate reports an error for nonsensical options.
@@ -36,6 +44,9 @@ func (o Options) Validate() error {
 	}
 	if o.Epsilon < 0 {
 		return fmt.Errorf("partition: Epsilon must be >= 0, got %g", o.Epsilon)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("partition: Workers must be >= 0, got %d", o.Workers)
 	}
 	return nil
 }
@@ -112,11 +123,10 @@ func FromAssignment(g *rdf.Graph, k int, assign []int32) (*Partitioning, error) 
 		}
 		p.partSizes[part]++
 	}
-	// replicas[i] tracks foreign vertices visible at site i (V_i^e).
-	replicas := make([]map[rdf.VertexID]struct{}, k)
-	for i := range replicas {
-		replicas[i] = make(map[rdf.VertexID]struct{})
-	}
+	// foreign[i] collects the foreign endpoints visible at site i (V_i^e);
+	// they are sorted and deduplicated at the end, which is much cheaper
+	// than per-triple hash-set inserts on crossing-heavy graphs.
+	foreign := make([][]rdf.VertexID, k)
 	for i, t := range g.Triples() {
 		ps, po := assign[t.S], assign[t.O]
 		if ps == po {
@@ -131,12 +141,19 @@ func FromAssignment(g *rdf.Graph, k int, assign []int32) (*Partitioning, error) 
 		// Replicate the crossing edge at both endpoints' sites.
 		p.siteTriples[ps] = append(p.siteTriples[ps], int32(i))
 		p.siteTriples[po] = append(p.siteTriples[po], int32(i))
-		replicas[ps][t.O] = struct{}{}
-		replicas[po][t.S] = struct{}{}
+		foreign[ps] = append(foreign[ps], t.O)
+		foreign[po] = append(foreign[po], t.S)
 	}
 	p.replicaCounts = make([]int, k)
-	for i := range replicas {
-		p.replicaCounts[i] = len(replicas[i])
+	for i, vs := range foreign {
+		slices.Sort(vs)
+		distinct := 0
+		for j, v := range vs {
+			if j == 0 || v != vs[j-1] {
+				distinct++
+			}
+		}
+		p.replicaCounts[i] = distinct
 	}
 	return p, nil
 }

@@ -37,8 +37,14 @@ func TestOptionsValidate(t *testing.T) {
 	if err := (Options{K: 2, Epsilon: -0.1}).Validate(); err == nil {
 		t.Error("negative epsilon accepted")
 	}
+	if err := (Options{K: 2, Workers: -1}).Validate(); err == nil {
+		t.Error("negative workers accepted")
+	}
 	if err := (Options{K: 2, Epsilon: 0.05}).Validate(); err != nil {
 		t.Errorf("valid options rejected: %v", err)
+	}
+	if err := (Options{K: 2, Workers: 4}).Validate(); err != nil {
+		t.Errorf("valid workers rejected: %v", err)
 	}
 }
 
