@@ -12,6 +12,11 @@
 // (fig9 and fig10 are aliases). The offline experiment sweeps the -workers
 // knob over {1, 2, NumCPU} and writes machine-readable timings to the
 // -json path.
+//
+// Observability: -metrics PATH dumps the run's metrics registry (counters,
+// gauges, latency histograms, recent query traces) as JSON when the run
+// finishes ("-" writes to stdout); -obs-listen ADDR serves the same
+// snapshot live at /debug/metrics plus net/http/pprof at /debug/pprof/.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"time"
 
 	"mpc/internal/bench"
+	"mpc/internal/obs"
 )
 
 func main() {
@@ -35,6 +41,8 @@ func main() {
 	scales := flag.String("scales", "25000,50000,100000", "comma-separated scales for fig9/fig10")
 	workers := flag.Int("workers", 0, "worker count for parallel offline phases (0 = NumCPU, 1 = serial)")
 	jsonPath := flag.String("json", "BENCH_offline.json", "output path for the offline experiment's JSON")
+	metricsPath := flag.String("metrics", "", "dump the metrics registry as JSON to this path after the run (\"-\" = stdout)")
+	obsListen := flag.String("obs-listen", "", "serve /debug/metrics and /debug/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	cfg := bench.Config{
@@ -44,6 +52,17 @@ func main() {
 		Seed:       *seed,
 		LogQueries: *logQueries,
 		Workers:    *workers,
+	}
+	if *metricsPath != "" || *obsListen != "" {
+		cfg.Obs = obs.NewRegistry()
+	}
+	if *obsListen != "" {
+		_, addr, err := cfg.Obs.Serve(*obsListen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mpc-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[metrics at http://%s/debug/metrics, profiles at http://%s/debug/pprof/]\n", addr, addr)
 	}
 	for _, s := range strings.Split(*scales, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(s))
@@ -58,6 +77,33 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mpc-bench:", err)
 		os.Exit(1)
 	}
+	if err := dumpMetrics(cfg.Obs, *metricsPath); err != nil {
+		fmt.Fprintln(os.Stderr, "mpc-bench:", err)
+		os.Exit(1)
+	}
+}
+
+// dumpMetrics writes the registry snapshot as JSON to path ("-" = stdout).
+func dumpMetrics(reg *obs.Registry, path string) error {
+	if reg == nil || path == "" {
+		return nil
+	}
+	if path == "-" {
+		return reg.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "[metrics written to %s]\n", path)
+	return nil
 }
 
 func run(exp string, cfg bench.Config, jsonPath string) error {

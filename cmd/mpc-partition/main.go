@@ -8,6 +8,10 @@
 //	mpc-partition -in lubm.nt -out parts/ -k 8 -epsilon 0.1 -strategy MPC
 //
 // Strategies: MPC (default), MPC-Exact, Subject_Hash, METIS, VP.
+//
+// Observability: -metrics PATH dumps the offline-stage timers and result
+// gauges as JSON after partitioning ("-" = stdout); -obs-listen ADDR serves
+// /debug/metrics and /debug/pprof/ while the run is in flight.
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"mpc/internal/core"
 	"mpc/internal/dataio"
 	"mpc/internal/ntriples"
+	"mpc/internal/obs"
 	"mpc/internal/partition"
 	"mpc/internal/rdf"
 )
@@ -34,19 +39,60 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed for randomized phases")
 	workers := flag.Int("workers", 0, "worker count for parallel offline phases (0 = NumCPU, 1 = serial; result is identical either way)")
 	explain := flag.Bool("explain", false, "print the per-property cut report")
+	metricsPath := flag.String("metrics", "", "dump the metrics registry as JSON to this path after the run (\"-\" = stdout)")
+	obsListen := flag.String("obs-listen", "", "serve /debug/metrics and /debug/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	if *in == "" || *out == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*in, *out, *k, *epsilon, *strategy, *seed, *workers, *explain); err != nil {
+	var reg *obs.Registry
+	if *metricsPath != "" || *obsListen != "" {
+		reg = obs.NewRegistry()
+	}
+	if *obsListen != "" {
+		_, addr, err := reg.Serve(*obsListen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mpc-partition:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[metrics at http://%s/debug/metrics, profiles at http://%s/debug/pprof/]\n", addr, addr)
+	}
+	if err := run(*in, *out, *k, *epsilon, *strategy, *seed, *workers, *explain, reg); err != nil {
+		fmt.Fprintln(os.Stderr, "mpc-partition:", err)
+		os.Exit(1)
+	}
+	if err := dumpMetrics(reg, *metricsPath); err != nil {
 		fmt.Fprintln(os.Stderr, "mpc-partition:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out string, k int, epsilon float64, strategy string, seed int64, workers int, explain bool) error {
+// dumpMetrics writes the registry snapshot as JSON to path ("-" = stdout).
+func dumpMetrics(reg *obs.Registry, path string) error {
+	if reg == nil || path == "" {
+		return nil
+	}
+	if path == "-" {
+		return reg.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "[metrics written to %s]\n", path)
+	return nil
+}
+
+func run(in, out string, k int, epsilon float64, strategy string, seed int64, workers int, explain bool, reg *obs.Registry) error {
 	g, err := dataio.LoadFile(in)
 	if err != nil {
 		return err
@@ -56,7 +102,7 @@ func run(in, out string, k int, epsilon float64, strategy string, seed int64, wo
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		return err
 	}
-	opts := partition.Options{K: k, Epsilon: epsilon, Seed: seed, Workers: workers}
+	opts := partition.Options{K: k, Epsilon: epsilon, Seed: seed, Workers: workers, Obs: reg}
 	start := time.Now()
 
 	var layout partition.SiteLayout

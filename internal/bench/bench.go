@@ -18,6 +18,7 @@ import (
 	"mpc/internal/cluster"
 	"mpc/internal/core"
 	"mpc/internal/datagen"
+	"mpc/internal/obs"
 	"mpc/internal/partition"
 	"mpc/internal/rdf"
 	"mpc/internal/sparql"
@@ -47,6 +48,10 @@ type Config struct {
 	// (0 = runtime.NumCPU(), 1 = serial). Results are identical for every
 	// value; see partition.Options.Workers.
 	Workers int
+	// Obs, when non-nil, collects offline-stage and query-execution metrics
+	// from every partitioner and cluster the runners build. It never changes
+	// results; see internal/obs.
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -72,7 +77,7 @@ func (c Config) withDefaults() Config {
 }
 
 func (c Config) opts() partition.Options {
-	return partition.Options{K: c.K, Epsilon: c.Epsilon, Seed: c.Seed, Workers: c.Workers}
+	return partition.Options{K: c.K, Epsilon: c.Epsilon, Seed: c.Seed, Workers: c.Workers, Obs: c.Obs}
 }
 
 // Strategy names, in the paper's table order.
@@ -123,7 +128,7 @@ func buildClusters(g *rdf.Graph, cfg Config, only map[string]bool) ([]builtClust
 	var out []builtCluster
 
 	add := func(name string, p *partition.Partitioning, mode cluster.Mode, ptime time.Duration) error {
-		c, err := cluster.NewFromPartitioning(p, cluster.Config{Mode: mode})
+		c, err := cluster.NewFromPartitioning(p, cluster.Config{Mode: mode, Obs: cfg.Obs})
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
@@ -184,7 +189,7 @@ func buildClusters(g *rdf.Graph, cfg Config, only map[string]bool) ([]builtClust
 			return nil, fmt.Errorf("VP: %w", err)
 		}
 		ptime := time.Since(t0)
-		c, err := cluster.New(l, nil, cluster.Config{Mode: cluster.ModeVP})
+		c, err := cluster.New(l, nil, cluster.Config{Mode: cluster.ModeVP, Obs: cfg.Obs})
 		if err != nil {
 			return nil, fmt.Errorf("VP: %w", err)
 		}

@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"mpc/internal/obs"
 	"mpc/internal/partition"
 	"mpc/internal/rdf"
 	"mpc/internal/sparql"
@@ -75,6 +76,10 @@ type Config struct {
 	// default to mirror the paper's execution model. Crossing-aware mode
 	// only.
 	Localize bool
+	// Obs receives per-stage metrics (counters, latency histograms) and
+	// per-query span traces when non-nil. Nil disables all instrumentation
+	// at near-zero cost and leaves results bit-identical; see internal/obs.
+	Obs *obs.Registry
 }
 
 // Cluster is a simulated distributed RDF system.
@@ -84,6 +89,7 @@ type Cluster struct {
 	crossing sparql.CrossingTest
 	vp       *partition.VPLayout
 	cfg      Config
+	met      clusterMetrics
 
 	// LoadTime is how long building all site stores took (the "loading"
 	// column of Table VI).
@@ -112,6 +118,9 @@ type Stats struct {
 	NetTime time.Duration
 	// TuplesShipped counts intermediate tuples moved for joins.
 	TuplesShipped int
+	// SemijoinRemoved counts subquery-result rows eliminated by the
+	// semijoin reduction before shipping (0 when Config.Semijoin is off).
+	SemijoinRemoved int
 }
 
 // Total returns QDT+LET+JT, the end-to-end simulated latency.
@@ -141,6 +150,7 @@ func New(layout partition.SiteLayout, crossing sparql.CrossingTest, cfg Config) 
 	if cfg.Mode == ModeCrossingAware && crossing == nil {
 		return nil, fmt.Errorf("cluster: ModeCrossingAware requires a crossing test")
 	}
+	c.met = newClusterMetrics(cfg.Obs)
 	start := time.Now()
 	g := layout.Graph()
 	c.sites = make([]*store.Store, layout.NumSites())
@@ -150,10 +160,12 @@ func New(layout partition.SiteLayout, crossing sparql.CrossingTest, cfg Config) 
 		go func(i int) {
 			defer wg.Done()
 			c.sites[i] = store.New(g, layout.SiteTriples(i))
+			c.sites[i].Instrument(cfg.Obs)
 		}(i)
 	}
 	wg.Wait()
 	c.LoadTime = time.Since(start)
+	cfg.Obs.Gauge("cluster.sites").Set(int64(len(c.sites)))
 	return c, nil
 }
 
@@ -199,8 +211,12 @@ func (c *Cluster) Execute(q *sparql.Query) (*Result, error) {
 func (c *Cluster) executeVertexDisjoint(q *sparql.Query, class sparql.Class,
 	decompose func(*sparql.Query) []*sparql.Query) (*Result, error) {
 
+	tr := c.cfg.Obs.StartTrace("query")
+	defer tr.Finish()
+
 	stats := Stats{Class: class}
 	t0 := time.Now()
+	sp := tr.Root().Child("decompose")
 	var subs []*sparql.Query
 	if class.IsIEQ() {
 		subs = []*sparql.Query{q}
@@ -209,9 +225,12 @@ func (c *Cluster) executeVertexDisjoint(q *sparql.Query, class sparql.Class,
 		subs = decompose(q)
 	}
 	stats.NumSubqueries = len(subs)
+	sp.SetAttr("subqueries", int64(len(subs)))
+	sp.End()
 	stats.DecompTime = time.Since(t0)
 
 	t1 := time.Now()
+	sp = tr.Root().Child("local")
 	sitesPerSub := make([][]int, len(subs))
 	for si, sub := range subs {
 		if c.cfg.Localize && c.crossing != nil {
@@ -222,7 +241,8 @@ func (c *Cluster) executeVertexDisjoint(q *sparql.Query, class sparql.Class,
 			sitesPerSub[si] = c.allSites()
 		}
 	}
-	tables, err := c.evalPerSub(subs, sitesPerSub)
+	tables, err := c.evalPerSub(subs, sitesPerSub, sp)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -235,12 +255,18 @@ func (c *Cluster) executeVertexDisjoint(q *sparql.Query, class sparql.Class,
 	} else {
 		t2 := time.Now()
 		if c.cfg.Semijoin {
-			semijoinReduce(tables)
+			sp = tr.Root().Child("semijoin")
+			stats.SemijoinRemoved = semijoinReduce(tables)
+			sp.SetAttr("rows_removed", int64(stats.SemijoinRemoved))
+			sp.End()
 		}
 		for _, tab := range tables {
 			stats.TuplesShipped += tab.Len()
 		}
-		final, err = joinAll(tables)
+		sp = tr.Root().Child("join")
+		sp.SetAttr("tuples_shipped", int64(stats.TuplesShipped))
+		final, err = joinAll(tables, &c.met)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -248,7 +274,10 @@ func (c *Cluster) executeVertexDisjoint(q *sparql.Query, class sparql.Class,
 		stats.JoinTime = time.Since(t2) + stats.NetTime
 	}
 
+	sp = tr.Root().Child("project")
 	final = project(final, q)
+	sp.End()
+	c.met.observeStats(&stats)
 	return &Result{Table: final, Stats: stats}, nil
 }
 
@@ -294,8 +323,12 @@ func (c *Cluster) localizeSites(sub *sparql.Query) []int {
 
 // evalPerSub evaluates each subquery over its own site list (in parallel
 // unless Sequential) and merges per-subquery results with deduplication.
-// An empty site list yields an empty table with the subquery's schema.
-func (c *Cluster) evalPerSub(subs []*sparql.Query, sitesPerSub [][]int) ([]*store.Table, error) {
+// An empty site list yields an empty table with the subquery's schema. It
+// serves both the vertex-disjoint path (one site list shared by all
+// subqueries, or localized lists) and the VP path (per-task site lists).
+// parent, when non-nil, receives one child span per (subquery, site)
+// evaluation.
+func (c *Cluster) evalPerSub(subs []*sparql.Query, sitesPerSub [][]int, parent *obs.Span) ([]*store.Table, error) {
 	type key struct{ sub, site int }
 	results := make(map[key]*store.Table)
 	var mu sync.Mutex
@@ -303,7 +336,14 @@ func (c *Cluster) evalPerSub(subs []*sparql.Query, sitesPerSub [][]int) ([]*stor
 	var wg sync.WaitGroup
 	run := func(si int, site int) {
 		defer wg.Done()
+		sp := parent.Child("site-eval")
+		sp.SetAttr("sub", int64(si))
+		sp.SetAttr("site", int64(site))
 		tab, err := c.sites[site].Match(subs[si])
+		if tab != nil {
+			sp.SetAttr("rows", int64(tab.Len()))
+		}
+		sp.End()
 		mu.Lock()
 		defer mu.Unlock()
 		if err != nil && firstErr == nil {
@@ -335,59 +375,23 @@ func (c *Cluster) evalPerSub(subs []*sparql.Query, sitesPerSub [][]int) ([]*stor
 		for _, site := range sitesPerSub[si] {
 			parts = append(parts, results[key{si, site}])
 		}
-		out[si] = unionTables(parts)
-	}
-	return out, nil
-}
-
-// evalEverywhere evaluates each subquery over each given site (in parallel
-// unless Sequential) and merges per-subquery results with deduplication.
-func (c *Cluster) evalEverywhere(subs []*sparql.Query, siteIDs []int) ([]*store.Table, error) {
-	type key struct{ sub, site int }
-	results := make(map[key]*store.Table, len(subs)*len(siteIDs))
-	var mu sync.Mutex
-	var firstErr error
-	var wg sync.WaitGroup
-	run := func(si int, site int) {
-		defer wg.Done()
-		tab, err := c.sites[site].Match(subs[si])
-		mu.Lock()
-		defer mu.Unlock()
-		if err != nil && firstErr == nil {
-			firstErr = err
+		var err error
+		out[si], err = unionTables(parts)
+		if err != nil {
+			return nil, err
 		}
-		results[key{si, site}] = tab
-	}
-	for si := range subs {
-		for _, site := range siteIDs {
-			wg.Add(1)
-			if c.cfg.Sequential {
-				run(si, site)
-			} else {
-				go run(si, site)
-			}
-		}
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	out := make([]*store.Table, len(subs))
-	for si := range subs {
-		var parts []*store.Table
-		for _, site := range siteIDs {
-			parts = append(parts, results[key{si, site}])
-		}
-		out[si] = unionTables(parts)
 	}
 	return out, nil
 }
 
 // unionTables merges same-schema tables, deduplicating rows. Sites share
-// dictionaries, so columns align by variable name.
-func unionTables(tables []*store.Table) *store.Table {
+// dictionaries, so columns align by variable name; the tables may permute
+// columns but must bind the same variable set. A table missing one of the
+// union's variables is a schema mismatch and an explicit error — silently
+// filling the column would alias dictionary ID 0 into the results.
+func unionTables(tables []*store.Table) (*store.Table, error) {
 	if len(tables) == 0 {
-		return &store.Table{}
+		return &store.Table{}, nil
 	}
 	out := &store.Table{Vars: tables[0].Vars, Kinds: tables[0].Kinds}
 	seen := make(map[string]struct{})
@@ -395,14 +399,20 @@ func unionTables(tables []*store.Table) *store.Table {
 		// Column mapping in case variable order differs.
 		colMap := make([]int, len(out.Vars))
 		for i, v := range out.Vars {
-			colMap[i] = tab.Col(v)
+			c := tab.Col(v)
+			if c < 0 {
+				return nil, fmt.Errorf("cluster: union schema mismatch: table %v lacks variable ?%s of %v",
+					tab.Vars, v, out.Vars)
+			}
+			colMap[i] = c
+		}
+		if len(tab.Vars) != len(out.Vars) {
+			return nil, fmt.Errorf("cluster: union schema mismatch: table %v vs %v", tab.Vars, out.Vars)
 		}
 		for _, row := range tab.Rows {
 			mapped := make([]uint32, len(out.Vars))
 			for i, c := range colMap {
-				if c >= 0 {
-					mapped[i] = row[c]
-				}
+				mapped[i] = row[c]
 			}
 			k := rowKey(mapped)
 			if _, dup := seen[k]; dup {
@@ -412,7 +422,7 @@ func unionTables(tables []*store.Table) *store.Table {
 			out.Rows = append(out.Rows, mapped)
 		}
 	}
-	return out
+	return out, nil
 }
 
 func rowKey(row []uint32) string {

@@ -10,8 +10,8 @@ import (
 // At each step it prefers a table sharing variables with the accumulated
 // result (falling back to a Cartesian product only when the query truly has
 // disconnected subqueries, which Algorithm 2 does not produce for weakly
-// connected queries).
-func joinAll(tables []*store.Table) (*store.Table, error) {
+// connected queries). met may be nil.
+func joinAll(tables []*store.Table, met *clusterMetrics) (*store.Table, error) {
 	if len(tables) == 0 {
 		return &store.Table{}, nil
 	}
@@ -29,7 +29,7 @@ func joinAll(tables []*store.Table) (*store.Table, error) {
 		next := remaining[best]
 		remaining = append(remaining[:best], remaining[best+1:]...)
 		var err error
-		acc, err = hashJoin(acc, next)
+		acc, err = hashJoin(acc, next, met)
 		if err != nil {
 			return nil, err
 		}
@@ -52,8 +52,10 @@ func countShared(a, b *store.Table) int {
 // distributed semijoin reduction AdPart and WORQ use to shrink what gets
 // shipped to the coordinator. One pass per shared variable; a full
 // semijoin program could reduce further, but one pass captures the bulk of
-// the effect and mirrors what one communication round buys.
-func semijoinReduce(tables []*store.Table) {
+// the effect and mirrors what one communication round buys. It returns the
+// total number of rows removed across all tables.
+func semijoinReduce(tables []*store.Table) int {
+	removed := 0
 	// Collect variables appearing in at least two tables.
 	varTables := map[string][]int{}
 	for ti, t := range tables {
@@ -94,14 +96,19 @@ func semijoinReduce(tables []*store.Table) {
 					kept = append(kept, row)
 				}
 			}
+			removed += len(t.Rows) - len(kept)
 			t.Rows = kept
 		}
 	}
+	return removed
 }
 
 // hashJoin joins two tables on all shared variables. With no shared
-// variables it degenerates to a Cartesian product.
-func hashJoin(a, b *store.Table) (*store.Table, error) {
+// variables it degenerates to a Cartesian product. The hash index is built
+// on the smaller table; the output is identical either way — schema is a's
+// columns then b's non-shared columns, rows ordered a-major (a's row order,
+// matches within one a-row in b's row order). met may be nil.
+func hashJoin(a, b *store.Table, met *clusterMetrics) (*store.Table, error) {
 	// Identify shared columns.
 	type pair struct{ ca, cb int }
 	var shared []pair
@@ -127,9 +134,6 @@ func hashJoin(a, b *store.Table) (*store.Table, error) {
 		}
 	}
 
-	// Build on the smaller side. To keep the probe logic single, always
-	// build on b and probe with a (sizes here are modest; clarity wins).
-	index := make(map[string][]int, len(b.Rows))
 	keyB := func(row []uint32) string {
 		buf := make([]byte, 0, len(shared)*4)
 		for _, p := range shared {
@@ -146,20 +150,50 @@ func hashJoin(a, b *store.Table) (*store.Table, error) {
 		}
 		return string(buf)
 	}
-	for i, row := range b.Rows {
-		k := keyB(row)
-		index[k] = append(index[k], i)
+	emit := func(ra, rb []uint32) {
+		row := make([]uint32, 0, len(out.Vars))
+		row = append(row, ra...)
+		for _, cb := range bExtra {
+			row = append(row, rb[cb])
+		}
+		out.Rows = append(out.Rows, row)
 	}
-	for _, ra := range a.Rows {
-		for _, bi := range index[keyA(ra)] {
-			rb := b.Rows[bi]
-			row := make([]uint32, 0, len(out.Vars))
-			row = append(row, ra...)
-			for _, cb := range bExtra {
-				row = append(row, rb[cb])
+
+	buildN := min(len(a.Rows), len(b.Rows))
+	probeN := max(len(a.Rows), len(b.Rows))
+	if len(b.Rows) <= len(a.Rows) {
+		// Build on b, probe with a: output falls out a-major directly.
+		index := make(map[string][]int, len(b.Rows))
+		for i, row := range b.Rows {
+			k := keyB(row)
+			index[k] = append(index[k], i)
+		}
+		for _, ra := range a.Rows {
+			for _, bi := range index[keyA(ra)] {
+				emit(ra, b.Rows[bi])
 			}
-			out.Rows = append(out.Rows, row)
+		}
+	} else {
+		// a is smaller: build on a, probe with b, and buffer the matching
+		// b-row indices per a-row so the output keeps the exact a-major
+		// order of the other branch.
+		index := make(map[string][]int, len(a.Rows))
+		for i, row := range a.Rows {
+			k := keyA(row)
+			index[k] = append(index[k], i)
+		}
+		matches := make([][]int, len(a.Rows))
+		for bi, rb := range b.Rows {
+			for _, ai := range index[keyB(rb)] {
+				matches[ai] = append(matches[ai], bi)
+			}
+		}
+		for ai, ra := range a.Rows {
+			for _, bi := range matches[ai] {
+				emit(ra, b.Rows[bi])
+			}
 		}
 	}
+	met.observeJoin(buildN, probeN, len(out.Rows))
 	return out, nil
 }

@@ -1,0 +1,77 @@
+package cluster
+
+import "mpc/internal/obs"
+
+// clusterMetrics holds the pre-resolved instrument handles of the query
+// path, so the hot path never does a registry map lookup. Built from a nil
+// registry, every handle is nil and every record below is a no-op nil check
+// (see internal/obs), which keeps the disabled path at near-zero overhead.
+type clusterMetrics struct {
+	queries     *obs.Counter // query.count: Execute calls
+	independent *obs.Counter // query.independent: IEQs that skipped the join
+
+	tuplesShipped   *obs.Counter // net.tuples_shipped: tuples moved for joins
+	semijoinRemoved *obs.Counter // semijoin.rows_removed: rows cut by the reduction
+	hashJoins       *obs.Counter // join.hash_joins: pairwise joins performed
+
+	decompNS *obs.Histogram // query.decompose_ns (QDT)
+	localNS  *obs.Histogram // query.local_ns (LET)
+	joinNS   *obs.Histogram // query.join_ns (JT, incl. simulated shipping)
+	totalNS  *obs.Histogram // query.total_ns
+
+	buildRows  *obs.Histogram // join.build_rows: hash-index side sizes
+	probeRows  *obs.Histogram // join.probe_rows: probe side sizes
+	outputRows *obs.Histogram // join.output_rows: per-join result sizes
+}
+
+// newClusterMetrics resolves the handles; a nil registry yields the
+// all-disabled zero value.
+func newClusterMetrics(r *obs.Registry) clusterMetrics {
+	if r == nil {
+		return clusterMetrics{}
+	}
+	return clusterMetrics{
+		queries:         r.Counter("query.count"),
+		independent:     r.Counter("query.independent"),
+		tuplesShipped:   r.Counter("net.tuples_shipped"),
+		semijoinRemoved: r.Counter("semijoin.rows_removed"),
+		hashJoins:       r.Counter("join.hash_joins"),
+		decompNS:        r.Histogram("query.decompose_ns"),
+		localNS:         r.Histogram("query.local_ns"),
+		joinNS:          r.Histogram("query.join_ns"),
+		totalNS:         r.Histogram("query.total_ns"),
+		buildRows:       r.Histogram("join.build_rows"),
+		probeRows:       r.Histogram("join.probe_rows"),
+		outputRows:      r.Histogram("join.output_rows"),
+	}
+}
+
+// observeJoin records one hash join's build/probe/output sizes. Safe on a
+// nil receiver so package-level join helpers can be called without a
+// cluster (tests, partial evaluation assembly).
+func (m *clusterMetrics) observeJoin(build, probe, output int) {
+	if m == nil {
+		return
+	}
+	m.hashJoins.Inc()
+	m.buildRows.Observe(int64(build))
+	m.probeRows.Observe(int64(probe))
+	m.outputRows.Observe(int64(output))
+}
+
+// observeStats records one finished execution's per-stage stats.
+func (m *clusterMetrics) observeStats(s *Stats) {
+	if m == nil {
+		return
+	}
+	m.queries.Inc()
+	if s.Independent {
+		m.independent.Inc()
+	}
+	m.tuplesShipped.Add(int64(s.TuplesShipped))
+	m.semijoinRemoved.Add(int64(s.SemijoinRemoved))
+	m.decompNS.ObserveDuration(s.DecompTime)
+	m.localNS.ObserveDuration(s.LocalTime)
+	m.joinNS.ObserveDuration(s.JoinTime)
+	m.totalNS.ObserveDuration(s.Total())
+}

@@ -100,7 +100,11 @@ func (c *Cluster) ExecutePartialEval(q *sparql.Query) (*Result, error) {
 		for site, tab := range pieceParts[mi] {
 			pieceParts[mi][site] = pruneForcedExtensions(q, mask, tab, p, site)
 		}
-		pieces[mask] = unionTables(pieceParts[mi])
+		var err error
+		pieces[mask], err = unionTables(pieceParts[mi])
+		if err != nil {
+			return nil, err
+		}
 		if mask != full {
 			stats.TuplesShipped += pieces[mask].Len()
 		}
@@ -120,13 +124,16 @@ func (c *Cluster) ExecutePartialEval(q *sparql.Query) (*Result, error) {
 			if pm&mask != 0 || pm&(1<<lowest) == 0 || ptab.Len() == 0 {
 				continue
 			}
-			joined, err := hashJoin(cur, ptab)
+			joined, err := hashJoin(cur, ptab, &c.met)
 			if err != nil {
 				return nil, err
 			}
 			next := mask | pm
 			if prev, ok := acc[next]; ok {
-				acc[next] = unionTables([]*store.Table{prev, joined})
+				acc[next], err = unionTables([]*store.Table{prev, joined})
+				if err != nil {
+					return nil, err
+				}
 			} else {
 				acc[next] = joined
 			}
@@ -136,10 +143,15 @@ func (c *Cluster) ExecutePartialEval(q *sparql.Query) (*Result, error) {
 	if !ok {
 		final = emptyTableFor(q)
 	} else {
-		final = unionTables([]*store.Table{final}) // dedup assembled matches
+		var err error
+		final, err = unionTables([]*store.Table{final}) // dedup assembled matches
+		if err != nil {
+			return nil, err
+		}
 	}
 	stats.NetTime = time.Duration(stats.TuplesShipped) * c.cfg.NetCostPerTuple
 	stats.JoinTime = time.Since(t2) + stats.NetTime
+	c.met.observeStats(&stats)
 	return &Result{Table: project(final, q), Stats: stats}, nil
 }
 

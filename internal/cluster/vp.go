@@ -19,8 +19,11 @@ import (
 // against.
 func (c *Cluster) executeVP(q *sparql.Query) (*Result, error) {
 	g := c.layout.Graph()
+	tr := c.cfg.Obs.StartTrace("query")
+	defer tr.Finish()
 	stats := Stats{Class: sparql.ClassNonIEQ}
 	t0 := time.Now()
+	dsp := tr.Root().Child("decompose")
 
 	// Assign each pattern to its site: >=0 one site, -1 all sites (variable
 	// property), -2 nowhere (unknown property: no matches at all).
@@ -50,25 +53,38 @@ func (c *Cluster) executeVP(q *sparql.Query) (*Result, error) {
 		stats.Class = sparql.ClassInternal
 		stats.Independent = true
 		stats.NumSubqueries = 1
+		dsp.End()
 		stats.DecompTime = time.Since(t0)
 		t1 := time.Now()
+		sp := tr.Root().Child("local")
 		tab, err := c.sites[singleSite].Match(q)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
 		stats.LocalTime = time.Since(t1)
+		c.met.observeStats(&stats)
 		return &Result{Table: project(tab, q), Stats: stats}, nil
 	}
 	if singleSite == -2 && len(q.Patterns) == 1 {
 		// Single unknown-property pattern: empty result.
 		stats.NumSubqueries = 1
+		dsp.End()
 		stats.DecompTime = time.Since(t0)
+		c.met.observeStats(&stats)
 		return &Result{Table: &store.Table{}, Stats: stats}, nil
 	}
 
 	// Group same-site patterns, split groups into connected components.
+	// Groups are visited in first-appearance order of their site so the
+	// task list — and with it the joined result's column order — is
+	// deterministic (map iteration order is not).
 	groups := map[int][]sparql.TriplePattern{}
+	var siteOrder []int
 	for i, tp := range q.Patterns {
+		if _, seen := groups[siteOf[i]]; !seen {
+			siteOrder = append(siteOrder, siteOf[i])
+		}
 		groups[siteOf[i]] = append(groups[siteOf[i]], tp)
 	}
 	type task struct {
@@ -76,7 +92,8 @@ func (c *Cluster) executeVP(q *sparql.Query) (*Result, error) {
 		sites []int
 	}
 	var tasks []task
-	for site, pats := range groups {
+	for _, site := range siteOrder {
+		pats := groups[site]
 		switch {
 		case site >= 0:
 			// All triples of these properties live wholly at this site, so
@@ -106,46 +123,76 @@ func (c *Cluster) executeVP(q *sparql.Query) (*Result, error) {
 		}
 	}
 	stats.NumSubqueries = len(tasks)
+	dsp.SetAttr("subqueries", int64(len(tasks)))
+	dsp.End()
 	stats.DecompTime = time.Since(t0)
 
+	// All tasks go through the shared per-subquery site-list API: same-site
+	// component tasks carry a single site, variable-property tasks carry
+	// every site, unknown-property tasks carry none (empty table).
 	t1 := time.Now()
-	tables := make([]*store.Table, len(tasks))
+	sp := tr.Root().Child("local")
+	subs := make([]*sparql.Query, len(tasks))
+	sitesPerSub := make([][]int, len(tasks))
 	for i, tk := range tasks {
-		if len(tk.sites) == 0 {
-			tables[i] = emptyTableFor(tk.sub)
-			continue
-		}
-		got, err := c.evalEverywhere([]*sparql.Query{tk.sub}, tk.sites)
-		if err != nil {
-			return nil, err
-		}
-		tables[i] = got[0]
+		subs[i] = tk.sub
+		sitesPerSub[i] = tk.sites
+	}
+	tables, err := c.evalPerSub(subs, sitesPerSub, sp)
+	sp.End()
+	if err != nil {
+		return nil, err
 	}
 	stats.LocalTime = time.Since(t1)
 
 	t2 := time.Now()
 	if c.cfg.Semijoin {
-		semijoinReduce(tables)
+		sp = tr.Root().Child("semijoin")
+		stats.SemijoinRemoved = semijoinReduce(tables)
+		sp.SetAttr("rows_removed", int64(stats.SemijoinRemoved))
+		sp.End()
 	}
 	for _, tab := range tables {
 		stats.TuplesShipped += tab.Len()
 	}
-	final, err := joinAll(tables)
+	sp = tr.Root().Child("join")
+	sp.SetAttr("tuples_shipped", int64(stats.TuplesShipped))
+	final, err := joinAll(tables, &c.met)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	stats.NetTime = time.Duration(stats.TuplesShipped) * c.cfg.NetCostPerTuple
 	stats.JoinTime = time.Since(t2) + stats.NetTime
+	c.met.observeStats(&stats)
 	return &Result{Table: project(final, q), Stats: stats}, nil
 }
 
 // emptyTableFor returns a zero-row table with the subquery's variables as
-// schema, so joins against it correctly produce empty results.
+// schema, so joins against it correctly produce empty results. Each
+// variable's kind is derived from the positions it occupies in the
+// subquery's patterns: property position → KindProperty, subject/object →
+// KindVertex. Marking every column KindVertex would make a later join
+// against a table binding the same variable as a property fail with a
+// kind conflict instead of returning the correct empty result.
 func emptyTableFor(q *sparql.Query) *store.Table {
+	kinds := map[string]store.VarKind{}
+	for _, tp := range q.Patterns {
+		if tp.P.IsVar {
+			kinds[tp.P.Value] = store.KindProperty
+		}
+		for _, t := range []sparql.Term{tp.S, tp.O} {
+			if t.IsVar {
+				if _, seen := kinds[t.Value]; !seen {
+					kinds[t.Value] = store.KindVertex
+				}
+			}
+		}
+	}
 	t := &store.Table{}
 	for _, v := range q.Vars() {
 		t.Vars = append(t.Vars, v)
-		t.Kinds = append(t.Kinds, store.KindVertex) // kind irrelevant for empty
+		t.Kinds = append(t.Kinds, kinds[v])
 	}
 	return t
 }

@@ -3,9 +3,11 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
+	"mpc/internal/obs"
 	"mpc/internal/partition"
 	"mpc/internal/rdf"
 )
@@ -381,5 +383,45 @@ func TestVerifyInternalDetectsViolation(t *testing.T) {
 	lin := []rdf.PropertyID{propID(t, g, "propA")}
 	if err := VerifyInternal(p, lin); err == nil {
 		t.Fatal("VerifyInternal missed a crossing internal-property edge")
+	}
+}
+
+// PartitionFull with a metrics registry must record the offline stage
+// timers and result gauges — and produce the exact same partitioning as an
+// uninstrumented run.
+func TestPartitionFullObservability(t *testing.T) {
+	g := twoCommunities(20)
+	base := partition.Options{K: 2, Epsilon: 0.1, Seed: 1}
+
+	plain, err := MPC{}.PartitionFull(g, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	withObs := base
+	withObs.Obs = reg
+	inst, err := MPC{}.PartitionFull(g, withObs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.Assign, inst.Assign) {
+		t.Fatal("instrumented run produced a different assignment")
+	}
+
+	snap := reg.Snapshot()
+	for _, name := range []string{"offline.select_ns", "offline.coarsen_ns", "offline.partition_ns"} {
+		h, ok := snap.Histograms[name]
+		if !ok || h.Count != 1 {
+			t.Fatalf("histogram %s: count=%d ok=%v, want one observation", name, h.Count, ok)
+		}
+	}
+	if got := snap.Gauges["offline.supervertices"]; got != int64(inst.NumSupervertices) {
+		t.Fatalf("offline.supervertices = %d, want %d", got, inst.NumSupervertices)
+	}
+	if got := snap.Gauges["offline.internal_properties"]; got != int64(len(inst.LIn)) {
+		t.Fatalf("offline.internal_properties = %d, want %d", got, len(inst.LIn))
+	}
+	if got := snap.Gauges["offline.crossing_properties"]; got != int64(inst.NumCrossingProperties()) {
+		t.Fatalf("offline.crossing_properties = %d, want %d", got, inst.NumCrossingProperties())
 	}
 }

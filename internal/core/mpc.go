@@ -74,10 +74,12 @@ func (m MPC) PartitionFull(g *rdf.Graph, opts partition.Options) (*Result, error
 	t0 := time.Now()
 	lin := sel.SelectInternal(g, cap)
 	selectTime := time.Since(t0)
+	opts.ObserveStage("select", selectTime)
 
 	t1 := time.Now()
 	coarse, cmap := CoarsenWorkers(g, lin, opts.Workers)
 	coarsenTime := time.Since(t1)
+	opts.ObserveStage("coarsen", coarsenTime)
 
 	t2 := time.Now()
 	cpart := metis.PartitionKWayWorkers(coarse, opts.K, opts.Epsilon, opts.Seed, opts.Workers)
@@ -92,6 +94,12 @@ func (m MPC) PartitionFull(g *rdf.Graph, opts partition.Options) (*Result, error
 		return nil, err
 	}
 	partitionTime := time.Since(t2)
+	opts.ObserveStage("partition", partitionTime)
+	if opts.Obs != nil {
+		opts.Obs.Gauge("offline.supervertices").Set(int64(coarse.NumVertices()))
+		opts.Obs.Gauge("offline.internal_properties").Set(int64(len(lin)))
+		opts.Obs.Gauge("offline.crossing_properties").Set(int64(p.NumCrossingProperties()))
+	}
 
 	return &Result{
 		Partitioning:     p,

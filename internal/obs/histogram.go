@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// numBuckets covers all positive int64 values with power-of-two buckets:
+// bucket 0 holds v <= 0, bucket i (i >= 1) holds v in [2^(i-1), 2^i).
+const numBuckets = 64
+
+// Histogram is a fixed-bucket histogram of int64 values. Buckets are
+// powers of two, which keeps Observe allocation-free (one shift, three
+// atomic adds) and gives quantile estimates within a factor of two —
+// enough to distinguish a 2µs join from a 2ms one, which is what a latency
+// histogram is for. Durations are recorded in nanoseconds by convention
+// (name them "*_ns"); row counts and sizes record the raw value.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [numBuckets]atomic.Int64
+}
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// bucketLo returns the lower bound of bucket i (0 for bucket 0).
+func bucketLo(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	return int64(1) << (i - 1)
+}
+
+// Observe records one value. No-op on a nil histogram.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketOf(v)].Add(1)
+}
+
+// ObserveDuration records d in nanoseconds. No-op on a nil histogram.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Nanoseconds()) }
+
+// ObserveSince records the time elapsed since t0. No-op on a nil histogram.
+func (h *Histogram) ObserveSince(t0 time.Time) { h.ObserveDuration(time.Since(t0)) }
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 for nil).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) by walking the buckets and
+// interpolating linearly inside the target bucket. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum int64
+	for i := 0; i < numBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		if cum+n >= rank {
+			lo := bucketLo(i)
+			hi := lo * 2
+			if i == 0 {
+				return 0
+			}
+			// Position of the target rank within this bucket.
+			frac := float64(rank-cum) / float64(n)
+			return lo + int64(frac*float64(hi-lo))
+		}
+		cum += n
+	}
+	return bucketLo(numBuckets - 1)
+}
+
+// HistogramSummary is the JSON-serializable digest of a histogram.
+type HistogramSummary struct {
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P95   int64   `json:"p95"`
+	P99   int64   `json:"p99"`
+}
+
+// Summary digests the histogram into count/sum/mean and p50/p95/p99.
+func (h *Histogram) Summary() HistogramSummary {
+	s := HistogramSummary{Count: h.Count(), Sum: h.Sum()}
+	if s.Count > 0 {
+		s.Mean = float64(s.Sum) / float64(s.Count)
+	}
+	s.P50 = h.Quantile(0.50)
+	s.P95 = h.Quantile(0.95)
+	s.P99 = h.Quantile(0.99)
+	return s
+}

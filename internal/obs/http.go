@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns an expvar-style debug mux for the registry:
+//
+//	/debug/metrics — the registry snapshot as indented JSON
+//	/debug/pprof/* — the standard net/http/pprof profiling handlers
+//
+// It works on a nil registry too (the metrics endpoint serves an empty
+// snapshot), so a CLI can mount it unconditionally.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := r.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprintln(w, "mpc observability endpoint")
+		fmt.Fprintln(w, "  /debug/metrics  registry snapshot (JSON)")
+		fmt.Fprintln(w, "  /debug/pprof/   runtime profiles")
+	})
+	return mux
+}
+
+// Serve starts the debug endpoint on addr (e.g. "localhost:6060"; ":0"
+// picks a free port) in a background goroutine. It returns the server and
+// the bound address. The caller owns shutdown; batch CLIs typically let
+// process exit take it down.
+func (r *Registry) Serve(addr string) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: r.Handler()}
+	go func() {
+		// ErrServerClosed (and errors after process teardown) are expected.
+		_ = srv.Serve(ln)
+	}()
+	return srv, ln.Addr().String(), nil
+}

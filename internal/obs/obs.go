@@ -1,0 +1,228 @@
+// Package obs is a lightweight, dependency-free observability layer for the
+// query and partitioning pipelines: named counters, gauges and fixed-bucket
+// latency histograms behind a Registry, plus per-query span traces with
+// parent/child timing (see trace.go) and an opt-in HTTP endpoint exposing
+// the registry as JSON alongside net/http/pprof (see http.go).
+//
+// The package is built around two rules:
+//
+//  1. A nil *Registry disables everything. All instrument handles obtained
+//     from a nil registry are nil, and every method on a nil Counter, Gauge,
+//     Histogram, Trace or Span is a no-op, so instrumented code never needs
+//     an "if enabled" branch and a disabled pipeline pays at most a nil
+//     check per event.
+//  2. Recording is allocation-free on the hot path: counters and gauges are
+//     single atomic adds; a histogram observation is two atomic adds plus
+//     one atomic bucket increment.
+//
+// Metric naming convention: dot-separated "<subsystem>.<metric>[_<unit>]",
+// e.g. "query.join_ns", "store.match_rows", "net.tuples_shipped".
+// Histograms of durations carry the "_ns" suffix and record nanoseconds;
+// histograms of sizes carry a "_rows" (or similar) suffix.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. No-op on a nil counter.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. No-op on a nil counter.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores n. No-op on a nil gauge.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adjusts the gauge by n. No-op on a nil gauge.
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current value (0 for a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Registry holds named instruments and recent query traces. The zero value
+// is not usable; call NewRegistry. A nil *Registry is the disabled state:
+// every lookup returns a nil instrument whose methods are no-ops.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+
+	traceMu   sync.Mutex
+	traces    []*TraceSnapshot // ring buffer of the most recent traces
+	traceNext int
+	traceCap  int
+}
+
+// defaultTraceCap bounds how many finished traces the registry retains.
+const defaultTraceCap = 32
+
+// NewRegistry returns an enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		traceCap: defaultTraceCap,
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns nil
+// on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil on a
+// nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use. Returns
+// nil on a nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// record stores a finished trace in the ring buffer.
+func (r *Registry) record(t *TraceSnapshot) {
+	if r == nil || t == nil {
+		return
+	}
+	r.traceMu.Lock()
+	defer r.traceMu.Unlock()
+	if len(r.traces) < r.traceCap {
+		r.traces = append(r.traces, t)
+		return
+	}
+	r.traces[r.traceNext] = t
+	r.traceNext = (r.traceNext + 1) % r.traceCap
+}
+
+// Traces returns the retained traces, oldest first.
+func (r *Registry) Traces() []*TraceSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.traceMu.Lock()
+	defer r.traceMu.Unlock()
+	out := make([]*TraceSnapshot, 0, len(r.traces))
+	out = append(out, r.traces[r.traceNext:]...)
+	out = append(out, r.traces[:r.traceNext]...)
+	return out
+}
+
+// Snapshot is a point-in-time JSON-serializable view of the registry.
+type Snapshot struct {
+	Counters   map[string]int64            `json:"counters"`
+	Gauges     map[string]int64            `json:"gauges"`
+	Histograms map[string]HistogramSummary `json:"histograms"`
+	Traces     []*TraceSnapshot            `json:"traces,omitempty"`
+}
+
+// Snapshot captures every instrument and the retained traces. Returns an
+// empty snapshot on a nil registry.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSummary{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Summary()
+	}
+	r.mu.Unlock()
+	s.Traces = r.Traces()
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON (maps serialize with
+// sorted keys, so the dump is stable given stable values).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("q.count")
+	c.Add(3)
+	c.Inc()
+	if got := c.Value(); got != 4 {
+		t.Fatalf("counter = %d, want 4", got)
+	}
+	if r.Counter("q.count") != c {
+		t.Fatal("same name must return the same counter")
+	}
+	g := r.Gauge("sites")
+	g.Set(8)
+	g.Add(-2)
+	if got := g.Value(); got != 6 {
+		t.Fatalf("gauge = %d, want 6", got)
+	}
+}
+
+func TestNilRegistryIsSafe(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Add(1)
+	r.Counter("x").Inc()
+	r.Gauge("y").Set(2)
+	r.Histogram("z").Observe(3)
+	r.Histogram("z").ObserveSince(time.Now())
+	tr := r.StartTrace("q")
+	sp := tr.Root().Child("stage")
+	sp.SetAttr("rows", 1)
+	sp.End()
+	tr.Finish()
+	if got := r.Traces(); got != nil {
+		t.Fatalf("nil registry retained traces: %v", got)
+	}
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Gauges) != 0 || len(s.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", s)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_ns")
+	// 100 observations spread over two decades.
+	for i := 1; i <= 100; i++ {
+		h.Observe(int64(i) * 100)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	wantSum := int64(0)
+	for i := 1; i <= 100; i++ {
+		wantSum += int64(i) * 100
+	}
+	if h.Sum() != wantSum {
+		t.Fatalf("sum = %d, want %d", h.Sum(), wantSum)
+	}
+	// Power-of-two buckets bound each quantile within a factor of two.
+	p50, p95, p99 := h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99)
+	if p50 < 2500 || p50 > 10000 {
+		t.Fatalf("p50 = %d, want within 2x of 5000", p50)
+	}
+	if p95 < 4750 || p95 > 19000 {
+		t.Fatalf("p95 = %d, want within 2x of 9500", p95)
+	}
+	if p99 < p95 {
+		t.Fatalf("p99 (%d) < p95 (%d)", p99, p95)
+	}
+	sum := h.Summary()
+	if sum.Count != 100 || sum.Mean <= 0 || sum.P50 != p50 {
+		t.Fatalf("summary = %+v", sum)
+	}
+}
+
+func TestHistogramEdgeValues(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(-5)
+	h.Observe(1)
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("p50 of {<=0, <=0, 1} = %d, want 0", q)
+	}
+	var empty Histogram
+	if empty.Quantile(0.99) != 0 || empty.Summary().Count != 0 {
+		t.Fatal("empty histogram must summarize to zeros")
+	}
+}
+
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("c").Inc()
+				r.Histogram("h").Observe(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h").Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("net.tuples_shipped").Add(42)
+	r.Gauge("sites").Set(8)
+	r.Histogram("query.join_ns").Observe(1500)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("dump is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if s.Counters["net.tuples_shipped"] != 42 {
+		t.Fatalf("counters = %v", s.Counters)
+	}
+	if s.Gauges["sites"] != 8 {
+		t.Fatalf("gauges = %v", s.Gauges)
+	}
+	if h := s.Histograms["query.join_ns"]; h.Count != 1 || h.Sum != 1500 {
+		t.Fatalf("histograms = %v", s.Histograms)
+	}
+}
+
+func TestTraceSpans(t *testing.T) {
+	r := NewRegistry()
+	tr := r.StartTrace("query")
+	dec := tr.Root().Child("decompose")
+	dec.SetAttr("subqueries", 3)
+	dec.End()
+	local := tr.Root().Child("local")
+	var wg sync.WaitGroup
+	for site := 0; site < 4; site++ {
+		wg.Add(1)
+		go func(site int) {
+			defer wg.Done()
+			sp := local.Child("site-eval")
+			sp.SetAttr("site", int64(site))
+			sp.End()
+		}(site)
+	}
+	wg.Wait()
+	local.End()
+	tr.Finish()
+
+	traces := r.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("retained %d traces, want 1", len(traces))
+	}
+	root := traces[0].Root
+	if root.Name != "query" || len(root.Children) != 2 {
+		t.Fatalf("root = %+v", root)
+	}
+	if got := root.Find("decompose"); got == nil || got.Attrs["subqueries"] != 3 {
+		t.Fatalf("decompose span = %+v", got)
+	}
+	if got := root.Find("local"); len(got.Children) != 4 {
+		t.Fatalf("local has %d site spans, want 4", len(got.Children))
+	}
+	if root.DurationNS < 0 {
+		t.Fatalf("negative duration %d", root.DurationNS)
+	}
+}
+
+func TestTraceRingBuffer(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < defaultTraceCap+5; i++ {
+		r.StartTrace("q").Finish()
+	}
+	if got := len(r.Traces()); got != defaultTraceCap {
+		t.Fatalf("retained %d traces, want %d", got, defaultTraceCap)
+	}
+}

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Trace is one execution's span tree — for a query: decompose → per-site
+// local eval → semijoin → join → project. Spans are created with Child and
+// closed with End; Finish closes the root and stores an immutable snapshot
+// in the registry's ring buffer. A nil *Trace (from a nil registry) makes
+// every operation a no-op, so instrumented code needs no enabled-checks.
+//
+// Child and End are safe for concurrent use: per-site evaluation spans are
+// opened from worker goroutines.
+type Trace struct {
+	reg   *Registry
+	mu    sync.Mutex
+	name  string
+	start time.Time
+	root  *Span
+}
+
+// Span is one timed stage of a trace, with optional integer attributes and
+// child spans.
+type Span struct {
+	tr       *Trace
+	name     string
+	start    time.Time
+	end      time.Time
+	attrs    []attr
+	children []*Span
+}
+
+type attr struct {
+	key string
+	val int64
+}
+
+// StartTrace begins a trace rooted at a span named name. Returns nil on a
+// nil registry.
+func (r *Registry) StartTrace(name string) *Trace {
+	if r == nil {
+		return nil
+	}
+	now := time.Now()
+	t := &Trace{reg: r, name: name, start: now}
+	t.root = &Span{tr: t, name: name, start: now}
+	return t
+}
+
+// Root returns the root span (nil for a nil trace).
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Child opens a sub-span under s, started now. Returns nil on a nil span.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{tr: s.tr, name: name, start: time.Now()}
+	s.tr.mu.Lock()
+	s.children = append(s.children, c)
+	s.tr.mu.Unlock()
+	return c
+}
+
+// SetAttr attaches an integer attribute. No-op on a nil span.
+func (s *Span) SetAttr(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.attrs = append(s.attrs, attr{key, v})
+	s.tr.mu.Unlock()
+}
+
+// End closes the span. No-op on a nil span; a second End keeps the first
+// end time.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	s.tr.mu.Unlock()
+}
+
+// Finish closes the root span and records the trace in the registry. No-op
+// on a nil trace.
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	t.root.End()
+	t.reg.record(t.snapshot())
+}
+
+// TraceSnapshot is the immutable, JSON-serializable form of a finished
+// trace.
+type TraceSnapshot struct {
+	Name string `json:"name"`
+	// StartUnixNS is the trace start in Unix nanoseconds.
+	StartUnixNS int64         `json:"start_unix_ns"`
+	Root        *SpanSnapshot `json:"root"`
+}
+
+// SpanSnapshot mirrors a span: offset from trace start, duration, sorted
+// attributes and children in creation order.
+type SpanSnapshot struct {
+	Name       string           `json:"name"`
+	OffsetNS   int64            `json:"offset_ns"`
+	DurationNS int64            `json:"duration_ns"`
+	Attrs      map[string]int64 `json:"attrs,omitempty"`
+	Children   []*SpanSnapshot  `json:"children,omitempty"`
+}
+
+func (t *Trace) snapshot() *TraceSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return &TraceSnapshot{
+		Name:        t.name,
+		StartUnixNS: t.start.UnixNano(),
+		Root:        t.snapshotSpan(t.root),
+	}
+}
+
+// snapshotSpan runs under t.mu.
+func (t *Trace) snapshotSpan(s *Span) *SpanSnapshot {
+	end := s.end
+	if end.IsZero() {
+		end = time.Now() // still-open span: snapshot as of now
+	}
+	out := &SpanSnapshot{
+		Name:       s.name,
+		OffsetNS:   s.start.Sub(t.start).Nanoseconds(),
+		DurationNS: end.Sub(s.start).Nanoseconds(),
+	}
+	if len(s.attrs) > 0 {
+		out.Attrs = make(map[string]int64, len(s.attrs))
+		for _, a := range s.attrs {
+			out.Attrs[a.key] = a.val
+		}
+	}
+	for _, c := range s.children {
+		out.Children = append(out.Children, t.snapshotSpan(c))
+	}
+	return out
+}
+
+// Find returns the first descendant span (depth-first, including the
+// receiver) with the given name, or nil.
+func (s *SpanSnapshot) Find(name string) *SpanSnapshot {
+	if s == nil {
+		return nil
+	}
+	if s.Name == name {
+		return s
+	}
+	for _, c := range s.Children {
+		if got := c.Find(name); got != nil {
+			return got
+		}
+	}
+	return nil
+}

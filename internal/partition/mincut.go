@@ -1,6 +1,8 @@
 package partition
 
 import (
+	"time"
+
 	"mpc/internal/metis"
 	"mpc/internal/rdf"
 )
@@ -19,9 +21,12 @@ func (MinEdgeCut) Partition(g *rdf.Graph, opts Options) (*Partitioning, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
+	t0 := time.Now()
 	mg := ToMetisGraph(g)
 	assign := metis.PartitionKWay(mg, opts.K, opts.Epsilon, opts.Seed)
-	return FromAssignment(g, opts.K, assign)
+	p, err := FromAssignment(g, opts.K, assign)
+	opts.ObserveStage("partition", time.Since(t0))
+	return p, err
 }
 
 // ToMetisGraph converts an RDF multigraph into an undirected weighted simple

@@ -14,7 +14,9 @@ import (
 	"fmt"
 	"slices"
 	"sort"
+	"time"
 
+	"mpc/internal/obs"
 	"mpc/internal/rdf"
 )
 
@@ -35,6 +37,19 @@ type Options struct {
 	// phases merge per-shard results in shard order and keep the serial
 	// cost/edges/ID tie-breaks.
 	Workers int
+	// Obs receives per-stage offline timers ("offline.*_ns" histograms)
+	// and result gauges when non-nil. Instrumentation never changes the
+	// produced partitioning.
+	Obs *obs.Registry
+}
+
+// ObserveStage records one offline stage's wall time as the histogram
+// "offline.<stage>_ns". No-op without a registry.
+func (o Options) ObserveStage(stage string, d time.Duration) {
+	if o.Obs == nil {
+		return
+	}
+	o.Obs.Histogram("offline." + stage + "_ns").ObserveDuration(d)
 }
 
 // Validate reports an error for nonsensical options.

@@ -2,6 +2,7 @@ package partition
 
 import (
 	"hash/fnv"
+	"time"
 
 	"mpc/internal/rdf"
 )
@@ -20,11 +21,14 @@ func (SubjectHash) Partition(g *rdf.Graph, opts Options) (*Partitioning, error) 
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
+	t0 := time.Now()
 	assign := make([]int32, g.NumVertices())
 	for v := range assign {
 		assign[v] = int32(hashString(g.Vertices.String(uint32(v))) % uint64(opts.K))
 	}
-	return FromAssignment(g, opts.K, assign)
+	p, err := FromAssignment(g, opts.K, assign)
+	opts.ObserveStage("partition", time.Since(t0))
+	return p, err
 }
 
 func hashString(s string) uint64 {

@@ -2,6 +2,7 @@ package partition
 
 import (
 	"fmt"
+	"time"
 
 	"mpc/internal/rdf"
 )
@@ -33,6 +34,7 @@ func (VP) Partition(g *rdf.Graph, opts Options) (*VPLayout, error) {
 	if !g.Frozen() {
 		return nil, fmt.Errorf("partition: graph must be frozen")
 	}
+	t0 := time.Now()
 	l := &VPLayout{
 		g:           g,
 		k:           opts.K,
@@ -44,6 +46,7 @@ func (VP) Partition(g *rdf.Graph, opts Options) (*VPLayout, error) {
 		l.PropSite[p] = site
 		l.siteTriples[site] = append(l.siteTriples[site], g.PropertyTriples(rdf.PropertyID(p))...)
 	}
+	opts.ObserveStage("partition", time.Since(t0))
 	return l, nil
 }
 

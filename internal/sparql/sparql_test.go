@@ -228,6 +228,42 @@ func TestClassifyCrossingBetweenSingletons(t *testing.T) {
 	}
 }
 
+// Type-II edge cases where removing the crossing edges leaves only
+// singleton WCCs: the class then hinges on whether one vertex (a "center")
+// touches every crossing edge.
+func TestClassifyAllSingletonWCCs(t *testing.T) {
+	cases := []struct {
+		name  string
+		query string
+		want  Class
+	}{
+		{"subject center",
+			`SELECT * WHERE { ?x <cross> ?y . ?x <cross> ?z }`, ClassTypeII},
+		{"object center",
+			`SELECT * WHERE { ?y <cross> ?x . ?z <cross> ?x }`, ClassTypeII},
+		{"mixed-position center",
+			`SELECT * WHERE { ?x <cross> ?y . ?z <cross> ?x . ?x <cross> ?w }`, ClassTypeII},
+		{"constant center",
+			`SELECT * WHERE { ?y <cross> <hub> . ?z <cross> <hub> }`, ClassTypeII},
+		{"path center", // ?y touches both edges: a star centered on ?y
+			`SELECT * WHERE { ?x <cross> ?y . ?y <cross> ?z }`, ClassTypeII},
+		{"variable-property star center",
+			`SELECT * WHERE { ?x ?p ?y . ?x ?q ?z }`, ClassTypeII},
+		{"three-edge path, no center",
+			`SELECT * WHERE { ?x <cross> ?y . ?y <cross> ?z . ?z <cross> ?w }`, ClassNonIEQ},
+		{"triangle, no center",
+			`SELECT * WHERE { ?x <cross> ?y . ?y <cross> ?z . ?z <cross> ?x }`, ClassNonIEQ},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			q := MustParse(tc.query)
+			if c := Classify(q, crossingSet("cross")); c != tc.want {
+				t.Fatalf("Classify(%s) = %v, want %v", tc.query, c, tc.want)
+			}
+		})
+	}
+}
+
 func TestClassifyPlain(t *testing.T) {
 	star := MustParse(`SELECT * WHERE { ?x <p1> ?y . ?x <p2> ?z }`)
 	if ClassifyPlain(star) != ClassTypeII {

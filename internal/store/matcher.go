@@ -181,9 +181,17 @@ func (st *Store) MatchWhere(q *sparql.Query, pred func(rdf.Triple) bool) (*Table
 	}
 	out := &Table{Vars: c.vars, Kinds: c.kinds}
 	if c.empty || len(c.pats) == 0 {
+		if st.met.enabled {
+			st.met.matchCalls.Inc()
+		}
 		return out, nil
 	}
 	order := st.planOrder(c)
+
+	// Instrumentation accumulates in locals and publishes once per Match,
+	// so the matcher's recursion stays free of atomic traffic.
+	var scanned, admitted int64
+	var idxUse [numAccessPaths]int64
 
 	const unbound = -1
 	binding := make([]int64, len(c.vars))
@@ -232,7 +240,10 @@ func (st *Store) MatchWhere(q *sparql.Query, pred func(rdf.Triple) bool) (*Table
 			return
 		}
 		cp := c.pats[order[d]]
-		for _, pos := range st.candidates(cp, binding) {
+		cands, access := st.candidates(cp, binding)
+		scanned += int64(len(cands))
+		idxUse[access]++
+		for _, pos := range cands {
 			tr := st.triples[pos]
 			if pred != nil && !pred(tr) {
 				continue
@@ -250,6 +261,7 @@ func (st *Store) MatchWhere(q *sparql.Query, pred func(rdf.Triple) bool) (*Table
 				var s3 int
 				ok3, s3 = tryBind(cp.o, uint32(tr.O))
 				if ok3 {
+					admitted++
 					rec(d + 1)
 				}
 				if s3 >= 0 {
@@ -265,12 +277,41 @@ func (st *Store) MatchWhere(q *sparql.Query, pred func(rdf.Triple) bool) (*Table
 		}
 	}
 	rec(0)
+	if st.met.enabled {
+		st.met.matchCalls.Inc()
+		st.met.matchRows.Add(int64(len(out.Rows)))
+		st.met.candScanned.Add(scanned)
+		st.met.candAdmitted.Add(admitted)
+		for i, n := range idxUse {
+			if n > 0 {
+				st.met.idxUse[i].Add(n)
+			}
+		}
+		st.met.planStart[st.startAccessPath(c, order[0])].Inc()
+	}
 	return out, nil
 }
 
+// startAccessPath reports which access path the plan's first pattern uses
+// with no variables bound yet — the matcher's entry point into the data.
+func (st *Store) startAccessPath(c *compiled, first int) int {
+	cp := c.pats[first]
+	switch {
+	case !cp.s.isVar:
+		return accessSPO
+	case !cp.o.isVar:
+		return accessOPS
+	case !cp.p.isVar:
+		return accessPOS
+	default:
+		return accessScan
+	}
+}
+
 // candidates returns positions (into st.triples) of triples that can match
-// cp under the current binding, using the best available index.
-func (st *Store) candidates(cp cpattern, binding []int64) []int32 {
+// cp under the current binding, using the best available index, plus the
+// access path taken (for instrumentation).
+func (st *Store) candidates(cp cpattern, binding []int64) ([]int32, int) {
 	val := func(t cterm) int64 {
 		if !t.isVar {
 			return int64(t.id)
@@ -280,12 +321,12 @@ func (st *Store) candidates(cp cpattern, binding []int64) []int32 {
 	s, p, o := val(cp.s), val(cp.p), val(cp.o)
 	switch {
 	case s >= 0:
-		return st.rangeSPO(rdf.VertexID(s), p)
+		return st.rangeSPO(rdf.VertexID(s), p), accessSPO
 	case o >= 0:
-		return st.rangeOPS(rdf.VertexID(o), p)
+		return st.rangeOPS(rdf.VertexID(o), p), accessOPS
 	case p >= 0:
-		return st.rangePOS(rdf.PropertyID(p))
+		return st.rangePOS(rdf.PropertyID(p)), accessPOS
 	default:
-		return st.spo
+		return st.spo, accessScan
 	}
 }

@@ -12,6 +12,7 @@ package store
 import (
 	"sort"
 
+	"mpc/internal/obs"
 	"mpc/internal/rdf"
 )
 
@@ -24,6 +25,58 @@ type Store struct {
 	spo []int32 // positions into triples, sorted by (S,P,O)
 	pos []int32 // sorted by (P,O,S)
 	ops []int32 // sorted by (O,P,S)
+
+	met storeMetrics
+}
+
+// storeMetrics holds the matcher's pre-resolved instrument handles. All
+// sites of a cluster share the same registry, so the counters aggregate
+// across sites. The zero value (enabled=false) records nothing.
+type storeMetrics struct {
+	enabled    bool
+	matchCalls *obs.Counter // store.match_calls: Match/MatchWhere invocations
+	matchRows  *obs.Counter // store.match_rows: result rows produced
+	// Candidate-index effectiveness: scanned counts candidate triples
+	// yielded by index ranges, admitted counts those that unified with the
+	// current binding — admitted/scanned is the index hit rate.
+	candScanned  *obs.Counter // store.candidates_scanned
+	candAdmitted *obs.Counter // store.candidates_admitted
+	// Per-access-path lookup counts (SPO/OPS/POS range, full scan), and
+	// which access path the chosen plan order starts from.
+	idxUse    [numAccessPaths]*obs.Counter // store.index_{spo,ops,pos,scan}
+	planStart [numAccessPaths]*obs.Counter // store.plan_start_{spo,ops,pos,scan}
+}
+
+// Access paths the matcher can use for one pattern lookup.
+const (
+	accessSPO = iota
+	accessOPS
+	accessPOS
+	accessScan
+	numAccessPaths
+)
+
+var accessPathNames = [numAccessPaths]string{"spo", "ops", "pos", "scan"}
+
+// Instrument points the store's matcher at a metrics registry. A nil
+// registry disables instrumentation (the default).
+func (st *Store) Instrument(r *obs.Registry) {
+	if r == nil {
+		st.met = storeMetrics{}
+		return
+	}
+	m := storeMetrics{
+		enabled:      true,
+		matchCalls:   r.Counter("store.match_calls"),
+		matchRows:    r.Counter("store.match_rows"),
+		candScanned:  r.Counter("store.candidates_scanned"),
+		candAdmitted: r.Counter("store.candidates_admitted"),
+	}
+	for i, name := range accessPathNames {
+		m.idxUse[i] = r.Counter("store.index_" + name)
+		m.planStart[i] = r.Counter("store.plan_start_" + name)
+	}
+	st.met = m
 }
 
 // New builds a store holding the given triple indices of g. The indices
