@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race check cover bench bench-full bench-json experiments clean
+.PHONY: all build test test-race check cover bench bench-full bench-json bench-smoke bench-online experiments clean
 
 all: build test
 
@@ -37,6 +37,15 @@ bench-full:
 # Offline-scaling sweep over worker counts; writes BENCH_offline.json.
 bench-json:
 	$(GO) run ./cmd/mpc-bench -exp offline -triples 300000 -json BENCH_offline.json
+
+# Online query-path measurements; writes BENCH_online.json.
+bench-online:
+	$(GO) run ./cmd/mpc-bench -exp online -triples 50000 -json BENCH_online.json
+
+# Every Benchmark function once (-benchtime=1x): catches bit-rot in
+# benchmark-only code without paying for real measurements.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # The experiment suite behind EXPERIMENTS.md.
 experiments:

@@ -8,10 +8,12 @@
 //	mpc-bench -exp fig8 -logqueries 1000
 //
 // Experiments: table2 table3 table4 table5 table6 table7 fig7 fig8 fig9
-// fig10 fig11 ablations offline all. Figures 9 and 10 share one runner
-// (fig9 and fig10 are aliases). The offline experiment sweeps the -workers
-// knob over {1, 2, NumCPU} and writes machine-readable timings to the
-// -json path.
+// fig10 fig11 ablations offline online all. Figures 9 and 10 share one
+// runner (fig9 and fig10 are aliases). The offline experiment sweeps the
+// -workers knob over {1, 2, NumCPU}; the online experiment measures the
+// query path (per-class latency quantiles, join shapes, allocation
+// microbenchmarks). Both write machine-readable results to the -json path,
+// which defaults to BENCH_offline.json or BENCH_online.json respectively.
 //
 // Observability: -metrics PATH dumps the run's metrics registry (counters,
 // gauges, latency histograms, recent query traces) as JSON when the run
@@ -40,7 +42,7 @@ func main() {
 	logQueries := flag.Int("logqueries", 200, "query-log sample size")
 	scales := flag.String("scales", "25000,50000,100000", "comma-separated scales for fig9/fig10")
 	workers := flag.Int("workers", 0, "worker count for parallel offline phases (0 = NumCPU, 1 = serial)")
-	jsonPath := flag.String("json", "BENCH_offline.json", "output path for the offline experiment's JSON")
+	jsonPath := flag.String("json", "", "output path for the offline/online experiment's JSON (default BENCH_<exp>.json)")
 	metricsPath := flag.String("metrics", "", "dump the metrics registry as JSON to this path after the run (\"-\" = stdout)")
 	obsListen := flag.String("obs-listen", "", "serve /debug/metrics and /debug/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
@@ -178,10 +180,28 @@ func run(exp string, cfg bench.Config, jsonPath string) error {
 				return err
 			}
 			bench.RenderOffline(out, res)
-			if err := bench.WriteOfflineJSON(jsonPath, res); err != nil {
+			path := jsonPath
+			if path == "" {
+				path = "BENCH_offline.json"
+			}
+			if err := bench.WriteOfflineJSON(path, res); err != nil {
 				return err
 			}
-			fmt.Fprintf(os.Stderr, "[offline timings written to %s]\n", jsonPath)
+			fmt.Fprintf(os.Stderr, "[offline timings written to %s]\n", path)
+		case "online":
+			res, err := bench.RunOnline(cfg)
+			if err != nil {
+				return err
+			}
+			bench.RenderOnline(out, res)
+			path := jsonPath
+			if path == "" {
+				path = "BENCH_online.json"
+			}
+			if err := bench.WriteOnlineJSON(path, res); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "[online measurements written to %s]\n", path)
 		case "ablations":
 			sel, err := bench.RunAblationSelectors(cfg)
 			if err != nil {

@@ -159,24 +159,24 @@ func reportWith(g *rdf.Graph, c *cluster.Cluster, q *sparql.Query, limit int, pa
 
 // printRows renders up to limit binding rows (0 = all).
 func printRows(g *rdf.Graph, tab *store.Table, limit int) {
-	n := len(tab.Rows)
+	total := tab.Len()
+	n := total
 	if limit > 0 && n > limit {
 		n = limit
 	}
 	for i := 0; i < n; i++ {
-		row := tab.Rows[i]
 		for j, v := range tab.Vars {
 			var val string
 			if tab.Kinds[j] == store.KindProperty {
-				val = g.Properties.String(row[j])
+				val = g.Properties.String(tab.At(i, j))
 			} else {
-				val = g.Vertices.String(row[j])
+				val = g.Vertices.String(tab.At(i, j))
 			}
 			fmt.Printf("  ?%s = %s", v, val)
 		}
 		fmt.Println()
 	}
-	if n < len(tab.Rows) {
-		fmt.Printf("  ... and %d more rows\n", len(tab.Rows)-n)
+	if n < total {
+		fmt.Printf("  ... and %d more rows\n", total-n)
 	}
 }

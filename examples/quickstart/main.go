@@ -64,9 +64,9 @@ func main() {
 	}
 	fmt.Printf("query class: %s (independent: %v, join time: %v)\n",
 		out.Stats.Class, out.Stats.Independent, out.Stats.JoinTime)
-	for _, row := range out.Table.Rows {
+	for r := 0; r < out.Table.Len(); r++ {
 		for i, v := range out.Table.Vars {
-			fmt.Printf("  ?%s = %s", v, g.Vertices.String(row[i]))
+			fmt.Printf("  ?%s = %s", v, g.Vertices.String(out.Table.At(r, i)))
 		}
 		fmt.Println()
 	}

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunOnline smoke-tests the online-path runner at a small scale: every
+// (dataset, strategy) combination must report executions and class
+// latencies, the microbenchmarks must have measured allocations, and the
+// JSON artifact must round-trip to disk.
+func TestRunOnline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("online runner skipped in -short mode")
+	}
+	res, err := RunOnline(Config{Triples: 4000, LogQueries: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCombos := 2 * len(onlineStrategies) // LUBM and WatDiv
+	if len(res.Combos) != wantCombos {
+		t.Fatalf("got %d combos, want %d", len(res.Combos), wantCombos)
+	}
+	for _, combo := range res.Combos {
+		if combo.Queries == 0 || combo.Executions != int64(combo.Queries*onlineRepeats) {
+			t.Errorf("%s/%s: queries=%d executions=%d, want executions = queries × %d",
+				combo.Dataset, combo.Strategy, combo.Queries, combo.Executions, onlineRepeats)
+		}
+		if len(combo.ClassLatency) == 0 {
+			t.Errorf("%s/%s: no class latencies recorded", combo.Dataset, combo.Strategy)
+		}
+		var classTotal int64
+		for _, cl := range combo.ClassLatency {
+			if cl.Count == 0 || cl.P95NS < cl.P50NS {
+				t.Errorf("%s/%s class %s: count=%d p50=%d p95=%d",
+					combo.Dataset, combo.Strategy, cl.Class, cl.Count, cl.P50NS, cl.P95NS)
+			}
+			classTotal += cl.Count
+		}
+		if classTotal != combo.Executions {
+			t.Errorf("%s/%s: class counts sum to %d, want %d executions",
+				combo.Dataset, combo.Strategy, classTotal, combo.Executions)
+		}
+	}
+	if len(res.Micro) == 0 {
+		t.Fatal("no microbenchmarks recorded")
+	}
+	for _, m := range res.Micro {
+		if m.NsPerOp <= 0 || m.N == 0 {
+			t.Errorf("micro %s: ns/op=%d n=%d", m.Name, m.NsPerOp, m.N)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_online.json")
+	if err := WriteOnlineJSON(path, res); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back OnlineResult
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("JSON artifact does not parse: %v", err)
+	}
+	if len(back.Combos) != len(res.Combos) || len(back.Micro) != len(res.Micro) {
+		t.Fatal("JSON artifact lost rows in the round trip")
+	}
+
+	var buf bytes.Buffer
+	RenderOnline(&buf, res)
+	out := buf.String()
+	for _, want := range []string{"Online path", "Join shapes", "microbenchmarks", StratMPC, StratVP} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered output missing %q", want)
+		}
+	}
+}

@@ -389,15 +389,30 @@ func (c *Cluster) evalPerSub(subs []*sparql.Query, sitesPerSub [][]int, parent *
 // columns but must bind the same variable set. A table missing one of the
 // union's variables is a schema mismatch and an explicit error — silently
 // filling the column would alias dictionary ID 0 into the results.
+//
+// Dedup keys are integers: rows of width ≤2 pack injectively into a uint64;
+// wider rows use an FNV hash with a verify-on-probe chain over the rows
+// already in the output. Candidate rows are appended to the flat output
+// first and truncated away if they turn out to be duplicates, so the loop
+// performs no per-row allocation.
 func unionTables(tables []*store.Table) (*store.Table, error) {
 	if len(tables) == 0 {
 		return &store.Table{}, nil
 	}
-	out := &store.Table{Vars: tables[0].Vars, Kinds: tables[0].Kinds}
-	seen := make(map[string]struct{})
+	out := store.NewTable(tables[0].Vars, tables[0].Kinds)
+	width := len(out.Vars)
+	exact := width <= 2
+	var seenPacked map[uint64]struct{} // injective packed keys (width ≤ 2)
+	var seenHash map[uint64][]int32    // hash → output row indices (wider)
+	var seenZero bool                  // width == 0: at most one (empty) row
+	if exact {
+		seenPacked = make(map[uint64]struct{})
+	} else {
+		seenHash = make(map[uint64][]int32)
+	}
+	colMap := make([]int, width)
 	for _, tab := range tables {
 		// Column mapping in case variable order differs.
-		colMap := make([]int, len(out.Vars))
 		for i, v := range out.Vars {
 			c := tab.Col(v)
 			if c < 0 {
@@ -406,31 +421,65 @@ func unionTables(tables []*store.Table) (*store.Table, error) {
 			}
 			colMap[i] = c
 		}
-		if len(tab.Vars) != len(out.Vars) {
+		if len(tab.Vars) != width {
 			return nil, fmt.Errorf("cluster: union schema mismatch: table %v vs %v", tab.Vars, out.Vars)
 		}
-		for _, row := range tab.Rows {
-			mapped := make([]uint32, len(out.Vars))
-			for i, c := range colMap {
-				mapped[i] = row[c]
+		n := tab.Len()
+		if width == 0 {
+			if n > 0 && !seenZero {
+				seenZero = true
+				out.ZeroWidthRows = 1
 			}
-			k := rowKey(mapped)
-			if _, dup := seen[k]; dup {
+			continue
+		}
+		for r := 0; r < n; r++ {
+			start := len(out.Data)
+			for _, c := range colMap {
+				out.Data = append(out.Data, tab.At(r, c))
+			}
+			mapped := out.Data[start:]
+			if exact {
+				k := uint64(mapped[0])
+				if width > 1 {
+					k |= uint64(mapped[1]) << 32
+				}
+				if _, dup := seenPacked[k]; dup {
+					out.Data = out.Data[:start]
+					continue
+				}
+				seenPacked[k] = struct{}{}
 				continue
 			}
-			seen[k] = struct{}{}
-			out.Rows = append(out.Rows, mapped)
+			h := uint64(fnvOffset64)
+			for _, v := range mapped {
+				h ^= uint64(v)
+				h *= fnvPrime64
+			}
+			dup := false
+			for _, prev := range seenHash[h] {
+				if rowsEqual(out.Row(int(prev)), mapped) {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				out.Data = out.Data[:start]
+				continue
+			}
+			seenHash[h] = append(seenHash[h], int32(start/width))
 		}
 	}
 	return out, nil
 }
 
-func rowKey(row []uint32) string {
-	buf := make([]byte, 0, len(row)*4)
-	for _, v := range row {
-		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+// rowsEqual compares two same-width rows.
+func rowsEqual(a, b []uint32) bool {
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
 	}
-	return string(buf)
+	return true
 }
 
 // project keeps only the query's selected variables (all variables when
@@ -439,23 +488,29 @@ func project(t *store.Table, q *sparql.Query) *store.Table {
 	if len(q.Select) == 0 {
 		return t
 	}
+	var vars []string
+	var kinds []store.VarKind
 	cols := make([]int, 0, len(q.Select))
-	out := &store.Table{}
 	for _, v := range q.Select {
 		c := t.Col(v)
 		if c < 0 {
 			continue // selected variable not bound by the BGP
 		}
 		cols = append(cols, c)
-		out.Vars = append(out.Vars, v)
-		out.Kinds = append(out.Kinds, t.Kinds[c])
+		vars = append(vars, v)
+		kinds = append(kinds, t.Kinds[c])
 	}
-	for _, row := range t.Rows {
-		pr := make([]uint32, len(cols))
-		for i, c := range cols {
-			pr[i] = row[c]
+	out := store.NewTable(vars, kinds)
+	n := t.Len()
+	if len(cols) == 0 {
+		out.ZeroWidthRows = n
+		return out
+	}
+	out.Grow(n)
+	for r := 0; r < n; r++ {
+		for _, c := range cols {
+			out.Data = append(out.Data, t.At(r, c))
 		}
-		out.Rows = append(out.Rows, pr)
 	}
 	return out
 }

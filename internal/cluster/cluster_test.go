@@ -47,15 +47,15 @@ func fullStore(g *rdf.Graph) *store.Store {
 // rowSet renders a table as a sorted set of "var=value" strings, so results
 // from different execution paths compare structurally.
 func rowSet(g *rdf.Graph, t *store.Table) []string {
-	out := make([]string, 0, len(t.Rows))
-	for _, row := range t.Rows {
+	out := make([]string, 0, t.Len())
+	for r := 0; r < t.Len(); r++ {
 		parts := make([]string, len(t.Vars))
 		for i, v := range t.Vars {
 			var val string
 			if t.Kinds[i] == store.KindProperty {
-				val = g.Properties.String(row[i])
+				val = g.Properties.String(t.At(r, i))
 			} else {
-				val = g.Vertices.String(row[i])
+				val = g.Vertices.String(t.At(r, i))
 			}
 			parts[i] = v + "=" + val
 		}

@@ -2,198 +2,333 @@ package cluster
 
 import (
 	"fmt"
+	"slices"
+	"sort"
 
 	"mpc/internal/store"
 )
 
+// FNV-1a 64-bit parameters for integer join keys wider than two columns;
+// collisions are resolved by verify-on-probe, so only distribution matters.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
 // joinAll folds a list of binding tables into one by repeated hash joins.
-// At each step it prefers a table sharing variables with the accumulated
-// result (falling back to a Cartesian product only when the query truly has
+// At each step it prefers the table sharing the most variables with the
+// accumulated result, breaking ties toward the smaller table (fewer
+// intermediate rows) and then toward the earlier table (determinism). It
+// falls back to a Cartesian product only when the query truly has
 // disconnected subqueries, which Algorithm 2 does not produce for weakly
-// connected queries). met may be nil.
+// connected queries. Shared-variable counts are computed once up front and
+// updated incrementally as the accumulator's schema grows, instead of
+// rescanning every (accumulator, candidate) pair per round. met may be nil.
 func joinAll(tables []*store.Table, met *clusterMetrics) (*store.Table, error) {
 	if len(tables) == 0 {
 		return &store.Table{}, nil
 	}
 	acc := tables[0]
-	remaining := append([]*store.Table(nil), tables[1:]...)
-	for len(remaining) > 0 {
-		// Pick the next table with the most shared variables.
-		best, bestShared := 0, -1
-		for i, t := range remaining {
-			s := countShared(acc, t)
-			if s > bestShared {
-				best, bestShared = i, s
+	accVars := make(map[string]bool, len(acc.Vars))
+	for _, v := range acc.Vars {
+		accVars[v] = true
+	}
+	remaining := make([]int, 0, len(tables)-1)
+	shared := make([]int, len(tables)) // shared[i]: |vars(tables[i]) ∩ vars(acc)|
+	for i := 1; i < len(tables); i++ {
+		remaining = append(remaining, i)
+		for _, v := range tables[i].Vars {
+			if accVars[v] {
+				shared[i]++
 			}
 		}
-		next := remaining[best]
+	}
+	for len(remaining) > 0 {
+		best := 0
+		for ri := 1; ri < len(remaining); ri++ {
+			ti, tb := remaining[ri], remaining[best]
+			if shared[ti] > shared[tb] ||
+				(shared[ti] == shared[tb] && tables[ti].Len() < tables[tb].Len()) {
+				best = ri
+			}
+		}
+		next := tables[remaining[best]]
 		remaining = append(remaining[:best], remaining[best+1:]...)
 		var err error
 		acc, err = hashJoin(acc, next, met)
 		if err != nil {
 			return nil, err
 		}
-	}
-	return acc, nil
-}
-
-func countShared(a, b *store.Table) int {
-	n := 0
-	for _, v := range b.Vars {
-		if a.Col(v) >= 0 {
-			n++
+		// Fold next's new variables into the accumulator's schema and bump
+		// the shared counts of the tables still waiting.
+		for _, v := range next.Vars {
+			if accVars[v] {
+				continue
+			}
+			accVars[v] = true
+			for _, ti := range remaining {
+				if tables[ti].Col(v) >= 0 {
+					shared[ti]++
+				}
+			}
 		}
 	}
-	return n
+	return acc, nil
 }
 
 // semijoinReduce filters each table's rows to those whose shared-variable
 // values appear in every other table binding the same variable — the
 // distributed semijoin reduction AdPart and WORQ use to shrink what gets
-// shipped to the coordinator. One pass per shared variable; a full
-// semijoin program could reduce further, but one pass captures the bulk of
-// the effect and mirrors what one communication round buys. It returns the
-// total number of rows removed across all tables.
+// shipped to the coordinator. One pass per shared variable, variables
+// visited in sorted name order so per-pass work (and metrics) is identical
+// run to run; a full semijoin program could reduce further, but one pass
+// captures the bulk of the effect and mirrors what one communication round
+// buys. Value sets are sorted-unique slices intersected by merge, not hash
+// sets, so the pass allocates O(variables·tables) slices instead of
+// O(rows) map entries. It returns the total number of rows removed across
+// all tables.
 func semijoinReduce(tables []*store.Table) int {
 	removed := 0
-	// Collect variables appearing in at least two tables.
 	varTables := map[string][]int{}
+	var names []string
 	for ti, t := range tables {
 		for _, v := range t.Vars {
+			if len(varTables[v]) == 0 {
+				names = append(names, v)
+			}
 			varTables[v] = append(varTables[v], ti)
 		}
 	}
-	for v, tis := range varTables {
+	sort.Strings(names)
+	for _, v := range names {
+		tis := varTables[v]
 		if len(tis) < 2 {
 			continue
 		}
-		// Intersect the value sets of v across its tables.
-		var allowed map[uint32]bool
-		for _, ti := range tis {
-			t := tables[ti]
-			col := t.Col(v)
-			values := make(map[uint32]bool, len(t.Rows))
-			for _, row := range t.Rows {
-				values[row[col]] = true
-			}
-			if allowed == nil {
-				allowed = values
-				continue
-			}
-			for val := range allowed {
-				if !values[val] {
-					delete(allowed, val)
-				}
+		// Intersect the sorted-unique value sets of v across its tables.
+		var allowed []uint32
+		for i, ti := range tis {
+			vals := sortedColumnValues(tables[ti], tables[ti].Col(v))
+			if i == 0 {
+				allowed = vals
+			} else {
+				allowed = intersectSorted(allowed, vals)
 			}
 		}
-		// Filter every participating table.
+		// Filter every participating table in place.
 		for _, ti := range tis {
 			t := tables[ti]
-			col := t.Col(v)
-			kept := t.Rows[:0]
-			for _, row := range t.Rows {
-				if allowed[row[col]] {
-					kept = append(kept, row)
+			col, w := t.Col(v), t.Stride()
+			n, kept := t.Len(), 0
+			for r := 0; r < n; r++ {
+				if containsSorted(allowed, t.At(r, col)) {
+					copy(t.Data[kept*w:(kept+1)*w], t.Data[r*w:(r+1)*w])
+					kept++
 				}
 			}
-			removed += len(t.Rows) - len(kept)
-			t.Rows = kept
+			removed += n - kept
+			t.Data = t.Data[:kept*w]
 		}
 	}
 	return removed
+}
+
+// sortedColumnValues returns the distinct values of one column, sorted.
+func sortedColumnValues(t *store.Table, col int) []uint32 {
+	n := t.Len()
+	vals := make([]uint32, 0, n)
+	for r := 0; r < n; r++ {
+		vals = append(vals, t.At(r, col))
+	}
+	slices.Sort(vals)
+	return slices.Compact(vals)
+}
+
+// intersectSorted merges two sorted-unique slices into their intersection,
+// reusing a's storage.
+func intersectSorted(a, b []uint32) []uint32 {
+	out, i, j := a[:0], 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// containsSorted reports whether v occurs in the sorted slice s.
+func containsSorted(s []uint32, v uint32) bool {
+	_, ok := slices.BinarySearch(s, v)
+	return ok
+}
+
+// hashIndex is a chained hash index over the key columns of one table:
+// head maps a key to the first row holding it, next links rows sharing a
+// key in increasing row order. Two allocations total (map + chain array),
+// regardless of row count or key skew.
+type hashIndex struct {
+	head map[uint64]int32
+	next []int32
+}
+
+// first returns the first row holding key k, or -1.
+func (idx *hashIndex) first(k uint64) int32 {
+	if r, ok := idx.head[k]; ok {
+		return r
+	}
+	return -1
+}
+
+// buildIndex indexes t on cols. exact marks keys as injective (≤2 columns
+// packed into a uint64); otherwise keys are FNV hashes and probes must
+// verify column equality.
+func buildIndex(t *store.Table, cols []int, exact bool) hashIndex {
+	n := t.Len()
+	idx := hashIndex{head: make(map[uint64]int32, n), next: make([]int32, n)}
+	for r := n - 1; r >= 0; r-- { // reverse, so chains run in row order
+		k := rowKeyOn(t, r, cols, exact)
+		if j, ok := idx.head[k]; ok {
+			idx.next[r] = j
+		} else {
+			idx.next[r] = -1
+		}
+		idx.head[k] = int32(r)
+	}
+	return idx
+}
+
+// rowKeyOn computes the join key of row r over the given columns: an
+// injective packed uint64 when exact, an FNV-1a hash otherwise.
+func rowKeyOn(t *store.Table, r int, cols []int, exact bool) uint64 {
+	if exact {
+		var k uint64
+		if len(cols) > 0 {
+			k = uint64(t.At(r, cols[0]))
+		}
+		if len(cols) > 1 {
+			k |= uint64(t.At(r, cols[1])) << 32
+		}
+		return k
+	}
+	h := uint64(fnvOffset64)
+	for _, c := range cols {
+		h ^= uint64(t.At(r, c))
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// equalOn reports whether row ra of a and row rb of b agree on the paired
+// key columns.
+func equalOn(a *store.Table, ra int, aCols []int, b *store.Table, rb int, bCols []int) bool {
+	for i, ca := range aCols {
+		if a.At(ra, ca) != b.At(rb, bCols[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 // hashJoin joins two tables on all shared variables. With no shared
 // variables it degenerates to a Cartesian product. The hash index is built
 // on the smaller table; the output is identical either way — schema is a's
 // columns then b's non-shared columns, rows ordered a-major (a's row order,
-// matches within one a-row in b's row order). met may be nil.
+// matches within one a-row in b's row order). The inner loop is
+// allocation-free: keys are integers (packed or hashed, never strings) and
+// output rows are bulk appends into the flat result table. met may be nil.
 func hashJoin(a, b *store.Table, met *clusterMetrics) (*store.Table, error) {
 	// Identify shared columns.
-	type pair struct{ ca, cb int }
-	var shared []pair
+	var sharedA, sharedB []int
 	for cb, v := range b.Vars {
 		if ca := a.Col(v); ca >= 0 {
 			if a.Kinds[ca] != b.Kinds[cb] {
 				return nil, fmt.Errorf("cluster: variable ?%s has conflicting kinds across subqueries", v)
 			}
-			shared = append(shared, pair{ca, cb})
+			sharedA = append(sharedA, ca)
+			sharedB = append(sharedB, cb)
 		}
 	}
 	// Output schema: a's columns then b's non-shared columns.
-	out := &store.Table{
-		Vars:  append([]string(nil), a.Vars...),
-		Kinds: append([]store.VarKind(nil), a.Kinds...),
-	}
+	vars := append([]string(nil), a.Vars...)
+	kinds := append([]store.VarKind(nil), a.Kinds...)
 	var bExtra []int
 	for cb, v := range b.Vars {
 		if a.Col(v) < 0 {
 			bExtra = append(bExtra, cb)
-			out.Vars = append(out.Vars, v)
-			out.Kinds = append(out.Kinds, b.Kinds[cb])
+			vars = append(vars, v)
+			kinds = append(kinds, b.Kinds[cb])
 		}
 	}
+	out := store.NewTable(vars, kinds)
+	exact := len(sharedA) <= 2
 
-	keyB := func(row []uint32) string {
-		buf := make([]byte, 0, len(shared)*4)
-		for _, p := range shared {
-			v := row[p.cb]
-			buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
-		}
-		return string(buf)
-	}
-	keyA := func(row []uint32) string {
-		buf := make([]byte, 0, len(shared)*4)
-		for _, p := range shared {
-			v := row[p.ca]
-			buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
-		}
-		return string(buf)
-	}
-	emit := func(ra, rb []uint32) {
-		row := make([]uint32, 0, len(out.Vars))
-		row = append(row, ra...)
-		for _, cb := range bExtra {
-			row = append(row, rb[cb])
-		}
-		out.Rows = append(out.Rows, row)
-	}
-
-	buildN := min(len(a.Rows), len(b.Rows))
-	probeN := max(len(a.Rows), len(b.Rows))
-	if len(b.Rows) <= len(a.Rows) {
+	aN, bN := a.Len(), b.Len()
+	outRows := 0
+	if bN <= aN {
 		// Build on b, probe with a: output falls out a-major directly.
-		index := make(map[string][]int, len(b.Rows))
-		for i, row := range b.Rows {
-			k := keyB(row)
-			index[k] = append(index[k], i)
-		}
-		for _, ra := range a.Rows {
-			for _, bi := range index[keyA(ra)] {
-				emit(ra, b.Rows[bi])
+		idx := buildIndex(b, sharedB, exact)
+		for ra := 0; ra < aN; ra++ {
+			k := rowKeyOn(a, ra, sharedA, exact)
+			for rb := idx.first(k); rb >= 0; rb = idx.next[rb] {
+				if !exact && !equalOn(a, ra, sharedA, b, int(rb), sharedB) {
+					continue
+				}
+				out.Data = append(out.Data, a.Row(ra)...)
+				for _, cb := range bExtra {
+					out.Data = append(out.Data, b.At(int(rb), cb))
+				}
+				outRows++
 			}
 		}
 	} else {
-		// a is smaller: build on a, probe with b, and buffer the matching
-		// b-row indices per a-row so the output keeps the exact a-major
-		// order of the other branch.
-		index := make(map[string][]int, len(a.Rows))
-		for i, row := range a.Rows {
-			k := keyA(row)
-			index[k] = append(index[k], i)
-		}
-		matches := make([][]int, len(a.Rows))
-		for bi, rb := range b.Rows {
-			for _, ai := range index[keyB(rb)] {
-				matches[ai] = append(matches[ai], bi)
+		// a is smaller: build on a and probe with b — twice. The first probe
+		// pass counts matches per a-row, which sizes the output exactly and
+		// yields per-a-row write offsets, so the second pass scatters rows
+		// straight into their a-major positions without buffering match
+		// lists. Two hash passes cost less than one pass plus a per-a-row
+		// slice of b-indices.
+		idx := buildIndex(a, sharedA, exact)
+		counts := make([]int32, aN+1)
+		for rb := 0; rb < bN; rb++ {
+			k := rowKeyOn(b, rb, sharedB, exact)
+			for ra := idx.first(k); ra >= 0; ra = idx.next[ra] {
+				if !exact && !equalOn(a, int(ra), sharedA, b, rb, sharedB) {
+					continue
+				}
+				counts[ra+1]++
 			}
 		}
-		for ai, ra := range a.Rows {
-			for _, bi := range matches[ai] {
-				emit(ra, b.Rows[bi])
+		for i := 1; i <= aN; i++ {
+			counts[i] += counts[i-1]
+		}
+		outRows = int(counts[aN])
+		w, aw := out.Stride(), a.Stride()
+		out.Data = make([]uint32, outRows*w)
+		for rb := 0; rb < bN; rb++ {
+			k := rowKeyOn(b, rb, sharedB, exact)
+			for ra := idx.first(k); ra >= 0; ra = idx.next[ra] {
+				if !exact && !equalOn(a, int(ra), sharedA, b, rb, sharedB) {
+					continue
+				}
+				pos := int(counts[ra]) * w
+				counts[ra]++
+				copy(out.Data[pos:pos+aw], a.Row(int(ra)))
+				for j, cb := range bExtra {
+					out.Data[pos+aw+j] = b.At(rb, cb)
+				}
 			}
 		}
 	}
-	met.observeJoin(buildN, probeN, len(out.Rows))
+	if out.Stride() == 0 {
+		out.ZeroWidthRows = outRows
+	}
+	met.observeJoin(min(aN, bN), max(aN, bN), out.Len())
 	return out, nil
 }

@@ -131,10 +131,19 @@ func TestVPMultipleUnknownProperties(t *testing.T) {
 	}
 }
 
+// tableRows materializes a flat table's rows for comparison in tests.
+func tableRows(t *store.Table) [][]uint32 {
+	var out [][]uint32
+	for r := 0; r < t.Len(); r++ {
+		out = append(out, append([]uint32(nil), t.Row(r)...))
+	}
+	return out
+}
+
 func TestUnionTablesSchemaMismatch(t *testing.T) {
 	vt := func(vars ...string) []store.VarKind { return make([]store.VarKind, len(vars)) }
-	ab := &store.Table{Vars: []string{"x", "y"}, Kinds: vt("x", "y"), Rows: [][]uint32{{1, 2}}}
-	onlyA := &store.Table{Vars: []string{"x"}, Kinds: vt("x"), Rows: [][]uint32{{3}}}
+	ab := &store.Table{Vars: []string{"x", "y"}, Kinds: vt("x", "y"), Data: []uint32{1, 2}}
+	onlyA := &store.Table{Vars: []string{"x"}, Kinds: vt("x"), Data: []uint32{3}}
 
 	// A table lacking one of the union's variables must be an explicit
 	// error; the old code silently filled the column with dictionary ID 0.
@@ -149,20 +158,24 @@ func TestUnionTablesSchemaMismatch(t *testing.T) {
 	}
 
 	// Permuted columns are not a mismatch: rows align by variable name.
-	ba := &store.Table{Vars: []string{"y", "x"}, Kinds: vt("y", "x"), Rows: [][]uint32{{2, 1}, {9, 8}}}
+	ba := &store.Table{Vars: []string{"y", "x"}, Kinds: vt("y", "x"), Data: []uint32{2, 1, 9, 8}}
 	got, err := unionTables([]*store.Table{ab, ba})
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := [][]uint32{{1, 2}, {8, 9}} // {1,2} deduplicated across tables
-	if !reflect.DeepEqual(got.Rows, want) {
-		t.Fatalf("union rows = %v, want %v", got.Rows, want)
+	if !reflect.DeepEqual(tableRows(got), want) {
+		t.Fatalf("union rows = %v, want %v", tableRows(got), want)
 	}
 }
 
 // vertexTable builds an all-vertex-kind binding table for join tests.
 func vertexTable(vars []string, rows ...[]uint32) *store.Table {
-	return &store.Table{Vars: vars, Kinds: make([]store.VarKind, len(vars)), Rows: rows}
+	t := store.NewTable(vars, make([]store.VarKind, len(vars)))
+	for _, row := range rows {
+		t.AppendRow(row...)
+	}
+	return t
 }
 
 func TestHashJoinBuildsOnSmallerSide(t *testing.T) {
@@ -172,11 +185,11 @@ func TestHashJoinBuildsOnSmallerSide(t *testing.T) {
 	const bigN, smallN = 40, 3
 	big := vertexTable([]string{"k", "b"})
 	for i := 0; i < bigN; i++ {
-		big.Rows = append(big.Rows, []uint32{uint32(i % smallN), uint32(i)})
+		big.AppendRow(uint32(i%smallN), uint32(i))
 	}
 	small := vertexTable([]string{"k", "s"})
 	for i := 0; i < smallN; i++ {
-		small.Rows = append(small.Rows, []uint32{uint32(i), uint32(100 + i)})
+		small.AppendRow(uint32(i), uint32(100+i))
 	}
 
 	if _, err := hashJoin(big, small, &met); err != nil {
@@ -211,10 +224,10 @@ func TestHashJoinDeterministicOrder(t *testing.T) {
 
 	expect := func(x, y *store.Table) [][]uint32 {
 		var out [][]uint32
-		for _, rx := range x.Rows {
-			for _, ry := range y.Rows {
-				if rx[0] == ry[0] {
-					out = append(out, []uint32{rx[0], rx[1], ry[1]})
+		for rx := 0; rx < x.Len(); rx++ {
+			for ry := 0; ry < y.Len(); ry++ {
+				if x.At(rx, 0) == y.At(ry, 0) {
+					out = append(out, []uint32{x.At(rx, 0), x.At(rx, 1), y.At(ry, 1)})
 				}
 			}
 		}
@@ -225,8 +238,8 @@ func TestHashJoinDeterministicOrder(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if want := expect(tc.a, tc.b); !reflect.DeepEqual(got.Rows, want) {
-			t.Fatalf("join rows = %v, want a-major %v", got.Rows, want)
+		if want := expect(tc.a, tc.b); !reflect.DeepEqual(tableRows(got), want) {
+			t.Fatalf("join rows = %v, want a-major %v", tableRows(got), want)
 		}
 	}
 }
@@ -237,11 +250,11 @@ func BenchmarkHashJoinSkewed(b *testing.B) {
 	const bigN, smallN = 20000, 64
 	big := vertexTable([]string{"k", "b"})
 	for i := 0; i < bigN; i++ {
-		big.Rows = append(big.Rows, []uint32{uint32(i % smallN), uint32(i)})
+		big.AppendRow(uint32(i%smallN), uint32(i))
 	}
 	small := vertexTable([]string{"k", "s"})
 	for i := 0; i < smallN; i++ {
-		small.Rows = append(small.Rows, []uint32{uint32(i), uint32(i)})
+		small.AppendRow(uint32(i), uint32(i))
 	}
 	for _, order := range []struct {
 		name string
@@ -310,9 +323,11 @@ func TestInstrumentationLeavesResultsIdentical(t *testing.T) {
 			if err != nil {
 				t.Fatalf("instrumented cluster %d %s: %v", ci, qs, err)
 			}
-			if !reflect.DeepEqual(rp.Table, ri.Table) {
+			if !reflect.DeepEqual(rp.Table.Vars, ri.Table.Vars) ||
+				!reflect.DeepEqual(rp.Table.Kinds, ri.Table.Kinds) ||
+				!reflect.DeepEqual(tableRows(rp.Table), tableRows(ri.Table)) {
 				t.Fatalf("cluster %d %s: instrumented result differs:\nplain %v %v\ninst  %v %v",
-					ci, qs, rp.Table.Vars, rp.Table.Rows, ri.Table.Vars, ri.Table.Rows)
+					ci, qs, rp.Table.Vars, tableRows(rp.Table), ri.Table.Vars, tableRows(ri.Table))
 			}
 		}
 	}

@@ -1,0 +1,208 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mpc/internal/store"
+)
+
+// naiveJoin is the reference implementation of hashJoin: a nested loop in
+// a-major order, output schema a's columns then b's non-shared columns.
+func naiveJoin(a, b *store.Table) *store.Table {
+	var sharedA, sharedB []int
+	for cb, v := range b.Vars {
+		if ca := a.Col(v); ca >= 0 {
+			sharedA = append(sharedA, ca)
+			sharedB = append(sharedB, cb)
+		}
+	}
+	vars := append([]string(nil), a.Vars...)
+	kinds := append([]store.VarKind(nil), a.Kinds...)
+	var bExtra []int
+	for cb, v := range b.Vars {
+		if a.Col(v) < 0 {
+			bExtra = append(bExtra, cb)
+			vars = append(vars, v)
+			kinds = append(kinds, b.Kinds[cb])
+		}
+	}
+	out := store.NewTable(vars, kinds)
+	for ra := 0; ra < a.Len(); ra++ {
+		for rb := 0; rb < b.Len(); rb++ {
+			match := true
+			for i := range sharedA {
+				if a.At(ra, sharedA[i]) != b.At(rb, sharedB[i]) {
+					match = false
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			row := append([]uint32(nil), a.Row(ra)...)
+			for _, cb := range bExtra {
+				row = append(row, b.At(rb, cb))
+			}
+			out.AppendRow(row...)
+		}
+	}
+	return out
+}
+
+// randomTable builds a table over the given variables with values drawn
+// from a small domain, so shared-variable matches actually occur.
+func randomTable(rng *rand.Rand, vars []string, rows, domain int) *store.Table {
+	t := store.NewTable(vars, make([]store.VarKind, len(vars)))
+	row := make([]uint32, len(vars))
+	for r := 0; r < rows; r++ {
+		for c := range row {
+			row[c] = uint32(rng.Intn(domain))
+		}
+		t.AppendRow(row...)
+	}
+	return t
+}
+
+// TestHashJoinAgainstOracle cross-checks hashJoin with the nested-loop
+// reference over seeded random tables at 0, 1, 2 and 3+ shared variables —
+// covering the Cartesian, packed-key (≤2 columns) and hashed-key (wider)
+// code paths, in both argument orders so both build sides are exercised.
+func TestHashJoinAgainstOracle(t *testing.T) {
+	cases := []struct {
+		name   string
+		aVars  []string
+		bVars  []string
+		shared int
+	}{
+		{"0_shared_cartesian", []string{"a", "b"}, []string{"c", "d"}, 0},
+		{"1_shared_packed", []string{"k1", "a"}, []string{"k1", "b"}, 1},
+		{"2_shared_packed", []string{"k1", "k2", "a"}, []string{"k1", "k2", "b"}, 2},
+		{"3_shared_hashed", []string{"k1", "k2", "k3", "a"}, []string{"k3", "k1", "k2", "b"}, 3},
+		{"4_shared_hashed", []string{"k1", "k2", "k3", "k4"}, []string{"k4", "k3", "k2", "k1", "b"}, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 8; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				// Uneven sizes steer the build side both ways across seeds.
+				na, nb := 1+rng.Intn(30), 1+rng.Intn(30)
+				domain := 2 + rng.Intn(4) // small: collisions guaranteed
+				a := randomTable(rng, tc.aVars, na, domain)
+				b := randomTable(rng, tc.bVars, nb, domain)
+				for _, order := range []struct{ x, y *store.Table }{{a, b}, {b, a}} {
+					got, err := hashJoin(order.x, order.y, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := naiveJoin(order.x, order.y)
+					if !reflect.DeepEqual(got.Vars, want.Vars) {
+						t.Fatalf("seed %d: schema %v, oracle %v", seed, got.Vars, want.Vars)
+					}
+					if !reflect.DeepEqual(tableRows(got), tableRows(want)) {
+						t.Fatalf("seed %d: join %v\noracle %v", seed, tableRows(got), tableRows(want))
+					}
+				}
+			}
+		})
+	}
+}
+
+// naiveSemijoin is the reference for semijoinReduce: per shared variable (in
+// the same sorted-name order), keep a row iff its value appears in every
+// other table binding that variable, using plain map sets.
+func naiveSemijoin(tables []*store.Table) int {
+	removed := 0
+	varTables := map[string][]int{}
+	for ti, tab := range tables {
+		for _, v := range tab.Vars {
+			varTables[v] = append(varTables[v], ti)
+		}
+	}
+	var names []string
+	for v := range varTables {
+		names = append(names, v)
+	}
+	// Sorted order, matching semijoinReduce.
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	for _, v := range names {
+		tis := varTables[v]
+		if len(tis) < 2 {
+			continue
+		}
+		allowed := map[uint32]int{} // value → number of tables containing it
+		for _, ti := range tis {
+			seen := map[uint32]bool{}
+			col := tables[ti].Col(v)
+			for r := 0; r < tables[ti].Len(); r++ {
+				val := tables[ti].At(r, col)
+				if !seen[val] {
+					seen[val] = true
+					allowed[val]++
+				}
+			}
+		}
+		for _, ti := range tis {
+			tab := tables[ti]
+			col := tab.Col(v)
+			out := store.NewTable(tab.Vars, tab.Kinds)
+			for r := 0; r < tab.Len(); r++ {
+				if allowed[tab.At(r, col)] == len(tis) {
+					out.AppendRow(tab.Row(r)...)
+				} else {
+					removed++
+				}
+			}
+			tab.Data = out.Data
+		}
+	}
+	return removed
+}
+
+// TestSemijoinReduceAgainstOracle cross-checks the sorted-slice reduction
+// with the map-based reference over seeded random multi-table inputs with
+// 0 to 3+ shared variables.
+func TestSemijoinReduceAgainstOracle(t *testing.T) {
+	schemas := [][][]string{
+		{{"a"}, {"b"}},                                      // 0 shared
+		{{"x", "a"}, {"x", "b"}},                            // 1 shared, 2 tables
+		{{"x", "y"}, {"y", "z"}, {"z", "x"}},                // cycle: 3 vars each in 2 tables
+		{{"x", "y", "a"}, {"x", "y", "b"}, {"y", "x", "c"}}, // 2 vars in 3 tables
+		{{"x"}, {"x", "y"}, {"y", "z"}, {"z", "x", "w"}},    // mixed arities
+	}
+	for si, schema := range schemas {
+		t.Run(fmt.Sprintf("schema_%d", si), func(t *testing.T) {
+			for seed := int64(1); seed <= 8; seed++ {
+				build := func() []*store.Table {
+					rng := rand.New(rand.NewSource(seed))
+					var tabs []*store.Table
+					for _, vars := range schema {
+						tabs = append(tabs, randomTable(rng, vars, 1+rng.Intn(25), 2+rng.Intn(5)))
+					}
+					return tabs
+				}
+				got := build()
+				gotRemoved := semijoinReduce(got)
+				want := build()
+				wantRemoved := naiveSemijoin(want)
+				if gotRemoved != wantRemoved {
+					t.Fatalf("seed %d: removed %d, oracle %d", seed, gotRemoved, wantRemoved)
+				}
+				for ti := range got {
+					if !reflect.DeepEqual(tableRows(got[ti]), tableRows(want[ti])) {
+						t.Fatalf("seed %d table %d: %v\noracle %v",
+							seed, ti, tableRows(got[ti]), tableRows(want[ti]))
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"mpc/internal/store"
+)
+
+// joinAll's greedy order is observable through the output schema: each join
+// appends the new table's non-shared columns, so the column order records
+// which table was folded in at each step.
+func TestJoinAllOrderPinned(t *testing.T) {
+	// T1{a,b} seeds the accumulator. T2{b,c} (3 rows) and T3{b,d} (1 row)
+	// both share one variable with it; the smaller T3 must win the tie, so
+	// the schema is [a b d c], not [a b c d].
+	t1 := vertexTable([]string{"a", "b"}, []uint32{1, 10})
+	t2 := vertexTable([]string{"b", "c"},
+		[]uint32{10, 20}, []uint32{10, 21}, []uint32{11, 22})
+	t3 := vertexTable([]string{"b", "d"}, []uint32{10, 30})
+	got, err := joinAll([]*store.Table{t1, t2, t3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"a", "b", "d", "c"}; !reflect.DeepEqual(got.Vars, want) {
+		t.Fatalf("join order schema = %v, want %v (tie broken toward smaller table)", got.Vars, want)
+	}
+	if want := [][]uint32{{1, 10, 30, 20}, {1, 10, 30, 21}}; !reflect.DeepEqual(tableRows(got), want) {
+		t.Fatalf("join rows = %v, want %v", tableRows(got), want)
+	}
+}
+
+// More shared variables beat a smaller table: T3{b,c} shares two variables
+// with the accumulator after T2 joins, and must be picked over the smaller
+// single-share T4.
+func TestJoinAllPrefersMoreSharedVars(t *testing.T) {
+	t1 := vertexTable([]string{"a", "b"}, []uint32{1, 10})
+	t2 := vertexTable([]string{"a", "c"}, []uint32{1, 20}, []uint32{2, 21})
+	// t3 shares {a,b}; t4 shares {a} and is smaller.
+	t3 := vertexTable([]string{"a", "b", "e"},
+		[]uint32{1, 10, 40}, []uint32{1, 11, 41}, []uint32{2, 10, 42})
+	t4 := vertexTable([]string{"a", "f"}, []uint32{1, 50})
+	got, err := joinAll([]*store.Table{t1, t2, t3, t4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round 1: t3 (2 shared) beats t2/t4 (1 shared each). Round 2: both
+	// remaining share only {a}; t4 (1 row) beats t2 (2 rows).
+	if want := []string{"a", "b", "e", "f", "c"}; !reflect.DeepEqual(got.Vars, want) {
+		t.Fatalf("join order schema = %v, want %v", got.Vars, want)
+	}
+}
+
+// Incremental shared-count updates must agree with a from-scratch rescan:
+// repeated runs over cloned inputs give identical schemas and rows.
+func TestJoinAllDeterministic(t *testing.T) {
+	build := func() []*store.Table {
+		return []*store.Table{
+			vertexTable([]string{"a", "b"}, []uint32{1, 10}, []uint32{2, 11}),
+			vertexTable([]string{"b", "c"}, []uint32{10, 20}, []uint32{11, 21}),
+			vertexTable([]string{"c", "d"}, []uint32{20, 30}),
+			vertexTable([]string{"d", "e"}, []uint32{30, 40}, []uint32{31, 41}),
+		}
+	}
+	first, err := joinAll(build(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		again, err := joinAll(build(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(first.Vars, again.Vars) ||
+			!reflect.DeepEqual(tableRows(first), tableRows(again)) {
+			t.Fatalf("run %d differs: %v %v vs %v %v",
+				i, first.Vars, tableRows(first), again.Vars, tableRows(again))
+		}
+	}
+}
+
+// semijoinReduce must be deterministic run to run: same inputs, same
+// surviving rows in the same order, same removed count.
+func TestSemijoinReduceDeterministic(t *testing.T) {
+	build := func() []*store.Table {
+		return []*store.Table{
+			vertexTable([]string{"x", "y"},
+				[]uint32{1, 10}, []uint32{2, 20}, []uint32{3, 30}, []uint32{2, 21}),
+			vertexTable([]string{"y", "z"},
+				[]uint32{20, 200}, []uint32{30, 300}, []uint32{40, 400}),
+			vertexTable([]string{"z", "x"},
+				[]uint32{200, 2}, []uint32{300, 9}),
+		}
+	}
+	ref := build()
+	refRemoved := semijoinReduce(ref)
+	for i := 0; i < 5; i++ {
+		tabs := build()
+		removed := semijoinReduce(tabs)
+		if removed != refRemoved {
+			t.Fatalf("run %d removed %d rows, first run removed %d", i, removed, refRemoved)
+		}
+		for j := range tabs {
+			if !reflect.DeepEqual(tableRows(tabs[j]), tableRows(ref[j])) {
+				t.Fatalf("run %d table %d = %v, first run %v",
+					i, j, tableRows(tabs[j]), tableRows(ref[j]))
+			}
+		}
+	}
+}

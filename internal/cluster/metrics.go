@@ -1,6 +1,9 @@
 package cluster
 
-import "mpc/internal/obs"
+import (
+	"mpc/internal/obs"
+	"mpc/internal/sparql"
+)
 
 // clusterMetrics holds the pre-resolved instrument handles of the query
 // path, so the hot path never does a registry map lookup. Built from a nil
@@ -19,6 +22,11 @@ type clusterMetrics struct {
 	joinNS   *obs.Histogram // query.join_ns (JT, incl. simulated shipping)
 	totalNS  *obs.Histogram // query.total_ns
 
+	// classTotalNS splits query.total_ns by executability class, indexed by
+	// sparql.Class — the per-class latency distributions BENCH_online.json
+	// reports (query.total_ns.internal etc.).
+	classTotalNS [sparql.ClassNonIEQ + 1]*obs.Histogram
+
 	buildRows  *obs.Histogram // join.build_rows: hash-index side sizes
 	probeRows  *obs.Histogram // join.probe_rows: probe side sizes
 	outputRows *obs.Histogram // join.output_rows: per-join result sizes
@@ -30,7 +38,7 @@ func newClusterMetrics(r *obs.Registry) clusterMetrics {
 	if r == nil {
 		return clusterMetrics{}
 	}
-	return clusterMetrics{
+	m := clusterMetrics{
 		queries:         r.Counter("query.count"),
 		independent:     r.Counter("query.independent"),
 		tuplesShipped:   r.Counter("net.tuples_shipped"),
@@ -44,6 +52,10 @@ func newClusterMetrics(r *obs.Registry) clusterMetrics {
 		probeRows:       r.Histogram("join.probe_rows"),
 		outputRows:      r.Histogram("join.output_rows"),
 	}
+	for c := range m.classTotalNS {
+		m.classTotalNS[c] = r.Histogram("query.total_ns." + sparql.Class(c).String())
+	}
+	return m
 }
 
 // observeJoin records one hash join's build/probe/output sizes. Safe on a
@@ -74,4 +86,7 @@ func (m *clusterMetrics) observeStats(s *Stats) {
 	m.localNS.ObserveDuration(s.LocalTime)
 	m.joinNS.ObserveDuration(s.JoinTime)
 	m.totalNS.ObserveDuration(s.Total())
+	if c := int(s.Class); c >= 0 && c < len(m.classTotalNS) {
+		m.classTotalNS[c].ObserveDuration(s.Total())
+	}
 }

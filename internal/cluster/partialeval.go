@@ -212,13 +212,15 @@ func pruneForcedExtensions(q *sparql.Query, mask int, tab *store.Table,
 	if len(probes) == 0 {
 		return tab
 	}
-	kept := tab.Rows[:0]
-	for _, row := range tab.Rows {
+	// Filter rows in place on the flat storage.
+	w := tab.Stride()
+	n, kept := tab.Len(), 0
+	for r := 0; r < n; r++ {
 		forced := false
 		for _, pr := range probes {
 			u := pr.con
 			if pr.col >= 0 {
-				u = row[pr.col]
+				u = tab.At(r, pr.col)
 			}
 			if int(p.Assign[u]) == site {
 				forced = true
@@ -226,16 +228,23 @@ func pruneForcedExtensions(q *sparql.Query, mask int, tab *store.Table,
 			}
 		}
 		if !forced {
-			kept = append(kept, row)
+			if kept != r {
+				copy(tab.Data[kept*w:(kept+1)*w], tab.Data[r*w:(r+1)*w])
+			}
+			kept++
 		}
 	}
-	out := &store.Table{Vars: tab.Vars, Kinds: tab.Kinds, Rows: kept}
-	return out
+	if w == 0 {
+		tab.ZeroWidthRows = kept
+	} else {
+		tab.Data = tab.Data[:kept*w]
+	}
+	return tab
 }
 
 // unitTable is the empty-schema table with one row: the join identity.
 func unitTable() *store.Table {
-	return &store.Table{Rows: [][]uint32{{}}}
+	return &store.Table{ZeroWidthRows: 1}
 }
 
 // lowestUnset returns the index of the lowest zero bit of mask among the

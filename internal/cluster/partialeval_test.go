@@ -187,7 +187,7 @@ func TestPruneForcedExtensions(t *testing.T) {
 	tab := &store.Table{
 		Vars:  []string{"x", "y"},
 		Kinds: []store.VarKind{store.KindVertex, store.KindVertex},
-		Rows:  [][]uint32{{va, vb}},
+		Data:  []uint32{va, vb},
 	}
 	// At site 0: edge 1's subject ?y is bound to b, homed at site 0 → the
 	// extension is forced; the piece must be pruned.
@@ -202,7 +202,7 @@ func TestPruneForcedExtensions(t *testing.T) {
 	tab2 := &store.Table{
 		Vars:  []string{"y", "z"},
 		Kinds: []store.VarKind{store.KindVertex, store.KindVertex},
-		Rows:  [][]uint32{{vb, vc}},
+		Data:  []uint32{vb, vc},
 	}
 	kept := pruneForcedExtensions(q, 0b10, tab2, p, 1)
 	if kept.Len() != 1 {
@@ -213,7 +213,7 @@ func TestPruneForcedExtensions(t *testing.T) {
 	tab3 := &store.Table{
 		Vars:  []string{"y", "z"},
 		Kinds: []store.VarKind{store.KindVertex, store.KindVertex},
-		Rows:  [][]uint32{{vb, vc}},
+		Data:  []uint32{vb, vc},
 	}
 	kept0 := pruneForcedExtensions(q, 0b10, tab3, p, 0)
 	if kept0.Len() != 1 {

@@ -15,29 +15,29 @@ func TestSemijoinReduce(t *testing.T) {
 	a := &store.Table{
 		Vars:  []string{"x", "y"},
 		Kinds: []store.VarKind{store.KindVertex, store.KindVertex},
-		Rows:  [][]uint32{{1, 10}, {2, 20}, {3, 30}},
+		Data:  []uint32{1, 10, 2, 20, 3, 30},
 	}
 	b := &store.Table{
 		Vars:  []string{"y", "z"},
 		Kinds: []store.VarKind{store.KindVertex, store.KindVertex},
-		Rows:  [][]uint32{{20, 200}, {40, 400}},
+		Data:  []uint32{20, 200, 40, 400},
 	}
 	semijoinReduce([]*store.Table{a, b})
-	if len(a.Rows) != 1 || a.Rows[0][1] != 20 {
-		t.Fatalf("a reduced to %v, want only y=20", a.Rows)
+	if a.Len() != 1 || a.At(0, 1) != 20 {
+		t.Fatalf("a reduced to %v, want only y=20", a.Data)
 	}
-	if len(b.Rows) != 1 || b.Rows[0][0] != 20 {
-		t.Fatalf("b reduced to %v, want only y=20", b.Rows)
+	if b.Len() != 1 || b.At(0, 0) != 20 {
+		t.Fatalf("b reduced to %v, want only y=20", b.Data)
 	}
 }
 
 func TestSemijoinReduceNoSharedVars(t *testing.T) {
 	a := &store.Table{Vars: []string{"x"}, Kinds: []store.VarKind{store.KindVertex},
-		Rows: [][]uint32{{1}, {2}}}
+		Data: []uint32{1, 2}}
 	b := &store.Table{Vars: []string{"y"}, Kinds: []store.VarKind{store.KindVertex},
-		Rows: [][]uint32{{3}}}
+		Data: []uint32{3}}
 	semijoinReduce([]*store.Table{a, b})
-	if len(a.Rows) != 2 || len(b.Rows) != 1 {
+	if a.Len() != 2 || b.Len() != 1 {
 		t.Fatal("tables without shared variables must be untouched")
 	}
 }

@@ -189,12 +189,12 @@ func emptyTableFor(q *sparql.Query) *store.Table {
 			}
 		}
 	}
-	t := &store.Table{}
-	for _, v := range q.Vars() {
-		t.Vars = append(t.Vars, v)
-		t.Kinds = append(t.Kinds, kinds[v])
+	vars := q.Vars()
+	ks := make([]store.VarKind, len(vars))
+	for i, v := range vars {
+		ks[i] = kinds[v]
 	}
-	return t
+	return store.NewTable(vars, ks)
 }
 
 // connectedComponents splits a BGP into its weakly connected components.

@@ -7,39 +7,6 @@ import (
 	"mpc/internal/sparql"
 )
 
-// VarKind distinguishes variables bound to graph vertices from variables
-// bound to properties; the two live in separate dictionaries.
-type VarKind uint8
-
-const (
-	// KindVertex marks a variable occurring in subject/object position.
-	KindVertex VarKind = iota
-	// KindProperty marks a variable occurring in property position.
-	KindProperty
-)
-
-// Table is a set of variable bindings: one row per match, one column per
-// variable. Values are IDs into the graph's vertex or property dictionary
-// according to the column's kind.
-type Table struct {
-	Vars  []string
-	Kinds []VarKind
-	Rows  [][]uint32
-}
-
-// Col returns the column index of the named variable, or -1.
-func (t *Table) Col(name string) int {
-	for i, v := range t.Vars {
-		if v == name {
-			return i
-		}
-	}
-	return -1
-}
-
-// Len returns the number of rows.
-func (t *Table) Len() int { return len(t.Rows) }
-
 // compiled is a query lowered to dictionary IDs with an evaluation order.
 type compiled struct {
 	vars  []string
@@ -179,7 +146,7 @@ func (st *Store) MatchWhere(q *sparql.Query, pred func(rdf.Triple) bool) (*Table
 	if err != nil {
 		return nil, err
 	}
-	out := &Table{Vars: c.vars, Kinds: c.kinds}
+	out := NewTable(c.vars, c.kinds)
 	if c.empty || len(c.pats) == 0 {
 		if st.met.enabled {
 			st.met.matchCalls.Inc()
@@ -211,32 +178,70 @@ func (st *Store) MatchWhere(q *sparql.Query, pred func(rdf.Triple) bool) (*Table
 		return true, t.slot
 	}
 
-	var seen map[string]struct{} // dedup of full bindings
-	rowKey := func() string {
-		buf := make([]byte, 0, len(binding)*5)
-		for _, b := range binding {
-			v := uint32(b)
-			buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	// Full-binding dedup. A duplicate binding can only arise when the same
+	// triple is stored more than once (replicated crossing edges meeting at
+	// one site): given a full binding, the triple matched by each pattern is
+	// fully determined, so distinct stored triples yield distinct bindings.
+	// Replica-free stores therefore skip the dedup structures entirely.
+	// Keys are integers, not strings: bindings of width ≤2 pack into an
+	// injective uint64; wider bindings use an FNV-style running hash with a
+	// verify-on-probe chain over the already-emitted rows.
+	dedup := st.hasReplicas
+	stride := len(c.vars)
+	exactKeys := stride <= 2
+	var seenPacked map[uint64]struct{} // injective packed keys (width ≤ 2)
+	var seenHash map[uint64][]int32    // hash → emitted row indices (wider)
+	bindingKey := func() uint64 {
+		if exactKeys {
+			var k uint64
+			if stride > 0 {
+				k = uint64(uint32(binding[0]))
+			}
+			if stride > 1 {
+				k |= uint64(uint32(binding[1])) << 32
+			}
+			return k
 		}
-		return string(buf)
+		h := uint64(fnvOffset64)
+		for _, b := range binding {
+			h ^= uint64(uint32(b))
+			h *= fnvPrime64
+		}
+		return h
 	}
 
 	var rec func(d int)
 	rec = func(d int) {
 		if d == len(order) {
-			key := rowKey()
-			if seen == nil {
-				seen = make(map[string]struct{})
+			if dedup {
+				k := bindingKey()
+				if exactKeys {
+					if seenPacked == nil {
+						seenPacked = make(map[uint64]struct{})
+					}
+					if _, dup := seenPacked[k]; dup {
+						return
+					}
+					seenPacked[k] = struct{}{}
+				} else {
+					if seenHash == nil {
+						seenHash = make(map[uint64][]int32)
+					}
+					for _, r := range seenHash[k] {
+						if rowEqualsBinding(out.Row(int(r)), binding) {
+							return
+						}
+					}
+					seenHash[k] = append(seenHash[k], int32(out.Len()))
+				}
 			}
-			if _, dup := seen[key]; dup {
+			if stride == 0 {
+				out.ZeroWidthRows++
 				return
 			}
-			seen[key] = struct{}{}
-			row := make([]uint32, len(binding))
-			for i, b := range binding {
-				row[i] = uint32(b)
+			for _, b := range binding {
+				out.Data = append(out.Data, uint32(b))
 			}
-			out.Rows = append(out.Rows, row)
 			return
 		}
 		cp := c.pats[order[d]]
@@ -279,7 +284,7 @@ func (st *Store) MatchWhere(q *sparql.Query, pred func(rdf.Triple) bool) (*Table
 	rec(0)
 	if st.met.enabled {
 		st.met.matchCalls.Inc()
-		st.met.matchRows.Add(int64(len(out.Rows)))
+		st.met.matchRows.Add(int64(out.Len()))
 		st.met.candScanned.Add(scanned)
 		st.met.candAdmitted.Add(admitted)
 		for i, n := range idxUse {
@@ -290,6 +295,25 @@ func (st *Store) MatchWhere(q *sparql.Query, pred func(rdf.Triple) bool) (*Table
 		st.met.planStart[st.startAccessPath(c, order[0])].Inc()
 	}
 	return out, nil
+}
+
+// FNV-1a 64-bit parameters, used for integer join/dedup keys wider than two
+// columns (hashing one uint32 per step instead of per byte — collisions are
+// resolved by the verify-on-probe chains, so only distribution matters).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// rowEqualsBinding reports whether an emitted row equals the current
+// (complete) binding.
+func rowEqualsBinding(row []uint32, binding []int64) bool {
+	for i, v := range row {
+		if v != uint32(binding[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 // startAccessPath reports which access path the plan's first pattern uses

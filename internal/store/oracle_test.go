@@ -121,10 +121,10 @@ func TestMatcherAgainstOracle(t *testing.T) {
 			return false
 		}
 		gotSet := map[string]bool{}
-		for _, row := range got.Rows {
+		for r := 0; r < got.Len(); r++ {
 			parts := make([]string, len(got.Vars))
 			for i, v := range got.Vars {
-				parts[i] = fmt.Sprintf("%s=%d", v, row[i])
+				parts[i] = fmt.Sprintf("%s=%d", v, got.At(r, i))
 			}
 			sort.Strings(parts)
 			gotSet[strings.Join(parts, ";")] = true

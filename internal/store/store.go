@@ -26,6 +26,12 @@ type Store struct {
 	pos []int32 // sorted by (P,O,S)
 	ops []int32 // sorted by (O,P,S)
 
+	// hasReplicas is set when the triple list stores the same triple more
+	// than once (replicated crossing edges meeting at one site, k-hop
+	// layouts, duplicate input triples). Only then can the matcher produce
+	// duplicate bindings, so replica-free stores skip dedup entirely.
+	hasReplicas bool
+
 	met storeMetrics
 }
 
@@ -124,8 +130,18 @@ func New(g *rdf.Graph, tripleIdx []int32) *Store {
 		}
 		return x.S < y.S
 	})
+	for i := 1; i < n; i++ {
+		if t[st.spo[i]] == t[st.spo[i-1]] {
+			st.hasReplicas = true
+			break
+		}
+	}
 	return st
 }
+
+// HasReplicas reports whether this store holds the same triple more than
+// once — the only case in which matching must deduplicate bindings.
+func (st *Store) HasReplicas() bool { return st.hasReplicas }
 
 // NumTriples returns the number of triples stored at this site.
 func (st *Store) NumTriples() int { return len(st.triples) }

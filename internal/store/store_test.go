@@ -47,15 +47,15 @@ func mustMatch(t *testing.T, st *Store, q string) *Table {
 // rowStrings renders rows as var=value strings for order-insensitive
 // comparison.
 func rowStrings(g *rdf.Graph, tab *Table) []string {
-	out := make([]string, 0, len(tab.Rows))
-	for _, row := range tab.Rows {
+	out := make([]string, 0, tab.Len())
+	for r := 0; r < tab.Len(); r++ {
 		s := ""
 		for i, v := range tab.Vars {
 			var val string
 			if tab.Kinds[i] == KindProperty {
-				val = g.Properties.String(row[i])
+				val = g.Properties.String(tab.At(r, i))
 			} else {
-				val = g.Vertices.String(row[i])
+				val = g.Vertices.String(tab.At(r, i))
 			}
 			s += v + "=" + val + ";"
 		}
@@ -246,15 +246,15 @@ func TestPartitionedUnionEqualsWhole(t *testing.T) {
 			if err != nil {
 				return false
 			}
-			for _, row := range pt.Rows {
-				union[fmt.Sprint(row)] = true
+			for r := 0; r < pt.Len(); r++ {
+				union[fmt.Sprint(pt.Row(r))] = true
 			}
 		}
 		if len(union) != wt.Len() {
 			return false
 		}
-		for _, row := range wt.Rows {
-			if !union[fmt.Sprint(row)] {
+		for r := 0; r < wt.Len(); r++ {
+			if !union[fmt.Sprint(wt.Row(r))] {
 				return false
 			}
 		}

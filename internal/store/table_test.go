@@ -1,0 +1,152 @@
+package store
+
+import (
+	"reflect"
+	"testing"
+
+	"mpc/internal/rdf"
+	"mpc/internal/sparql"
+)
+
+func TestTableFlatLayout(t *testing.T) {
+	tab := NewTable([]string{"x", "y", "z"}, make([]VarKind, 3))
+	if tab.Stride() != 3 || tab.Len() != 0 {
+		t.Fatalf("fresh table: stride=%d len=%d", tab.Stride(), tab.Len())
+	}
+	tab.AppendRow(1, 2, 3)
+	tab.AppendRow(4, 5, 6)
+	if tab.Len() != 2 {
+		t.Fatalf("len = %d, want 2", tab.Len())
+	}
+	if tab.At(0, 2) != 3 || tab.At(1, 0) != 4 {
+		t.Fatalf("At returned wrong values: %v", tab.Data)
+	}
+	if !reflect.DeepEqual(tab.Row(1), []uint32{4, 5, 6}) {
+		t.Fatalf("Row(1) = %v", tab.Row(1))
+	}
+	if !reflect.DeepEqual(tab.Data, []uint32{1, 2, 3, 4, 5, 6}) {
+		t.Fatalf("flat layout = %v", tab.Data)
+	}
+	tab.Truncate(1)
+	if tab.Len() != 1 || tab.At(0, 0) != 1 {
+		t.Fatalf("after Truncate(1): len=%d data=%v", tab.Len(), tab.Data)
+	}
+}
+
+func TestTableAppendRowWidthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AppendRow with wrong width must panic")
+		}
+	}()
+	NewTable([]string{"x"}, make([]VarKind, 1)).AppendRow(1, 2)
+}
+
+func TestTableColCached(t *testing.T) {
+	tab := NewTable([]string{"a", "b"}, make([]VarKind, 2))
+	if tab.Col("b") != 1 || tab.Col("a") != 0 || tab.Col("nope") != -1 {
+		t.Fatal("cached Col lookup broken")
+	}
+	// Literal tables without a cache fall back to the linear scan.
+	lit := &Table{Vars: []string{"a", "b"}}
+	if lit.Col("b") != 1 || lit.Col("nope") != -1 {
+		t.Fatal("uncached Col lookup broken")
+	}
+	lit.BuildColIndex()
+	if lit.Col("b") != 1 || lit.Col("nope") != -1 {
+		t.Fatal("rebuilt Col cache broken")
+	}
+}
+
+func TestTableZeroWidth(t *testing.T) {
+	tab := NewTable(nil, nil)
+	if tab.Len() != 0 || tab.Stride() != 0 {
+		t.Fatal("empty zero-width table has rows")
+	}
+	tab.AppendRow()
+	tab.AppendRow()
+	if tab.Len() != 2 {
+		t.Fatalf("zero-width len = %d, want 2", tab.Len())
+	}
+	tab.Truncate(1)
+	if tab.Len() != 1 {
+		t.Fatalf("zero-width truncate: len = %d, want 1", tab.Len())
+	}
+}
+
+func TestTableGrow(t *testing.T) {
+	tab := NewTable([]string{"x"}, make([]VarKind, 1))
+	tab.AppendRow(7)
+	tab.Grow(100)
+	if cap(tab.Data) < 101 {
+		t.Fatalf("Grow reserved cap %d, want >= 101", cap(tab.Data))
+	}
+	if tab.Len() != 1 || tab.At(0, 0) != 7 {
+		t.Fatal("Grow lost existing rows")
+	}
+}
+
+func TestHasReplicas(t *testing.T) {
+	g := rdf.NewGraph()
+	g.AddTriple("a", "p", "b")
+	g.AddTriple("b", "p", "c")
+	g.Freeze()
+	if New(g, []int32{0, 1}).HasReplicas() {
+		t.Fatal("distinct triples flagged as replicas")
+	}
+	if !New(g, []int32{0, 0, 1}).HasReplicas() {
+		t.Fatal("duplicated triple not detected")
+	}
+	if New(g, nil).HasReplicas() {
+		t.Fatal("empty store flagged as replicated")
+	}
+}
+
+// The dedup gate: a replica-free store and a replicated store holding the
+// same triple set must return identical results, including on queries wide
+// enough to take the hashed (non-packed) dedup path.
+func TestMatchReplicaGateIdenticalResults(t *testing.T) {
+	g := rdf.NewGraph()
+	g.AddTriple("a", "p", "b")
+	g.AddTriple("b", "p", "c")
+	g.AddTriple("c", "q", "d")
+	g.AddTriple("b", "q", "d")
+	g.Freeze()
+	plain := New(g, []int32{0, 1, 2, 3})
+	replicated := New(g, []int32{0, 0, 1, 2, 2, 3, 3, 3})
+	if plain.HasReplicas() || !replicated.HasReplicas() {
+		t.Fatal("replica detection wrong for fixture")
+	}
+	for _, qs := range []string{
+		`SELECT * WHERE { ?x <p> ?y }`,                         // width 2: packed dedup keys
+		`SELECT * WHERE { ?x <p> ?y . ?y <q> ?z }`,             // width 3: hashed dedup keys
+		`SELECT * WHERE { ?x <p> ?y . ?y <p> ?z . ?z <q> ?w }`, // width 4
+		`SELECT * WHERE { ?x ?r ?y }`,
+	} {
+		a := mustMatch(t, plain, qs)
+		b := mustMatch(t, replicated, qs)
+		ra, rb := rowStrings(g, a), rowStrings(g, b)
+		if !reflect.DeepEqual(ra, rb) {
+			t.Fatalf("%s: plain %v, replicated %v", qs, ra, rb)
+		}
+	}
+}
+
+// A replica-free store must produce multiset results without spending time
+// or memory on dedup structures; this pins the behavioral contract (results
+// equal either way) rather than the optimization itself.
+func TestMatchSkipsDedupWithoutReplicas(t *testing.T) {
+	g := movieGraph()
+	st := fullStore(g)
+	if st.HasReplicas() {
+		t.Fatal("movie graph store unexpectedly replicated")
+	}
+	q := sparql.MustParse(`SELECT * WHERE { ?f <starring> ?a . ?a <birthPlace> ?c }`)
+	tab, err := st.Match(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 3 {
+		t.Fatalf("matches = %d, want 3", tab.Len())
+	}
+}
