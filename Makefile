@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race check cover bench bench-full bench-json bench-smoke bench-online experiments clean
+.PHONY: all build test test-race check cover bench bench-full bench-json bench-smoke bench-online experiments transport-race transport-smoke clean
 
 all: build test
 
@@ -46,6 +46,16 @@ bench-online:
 # benchmark-only code without paying for real measurements.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Focused race pass over the network transport and the coordinator that
+# drives it (also covered by check; kept separate for fast iteration).
+transport-race:
+	$(GO) test -race ./internal/transport/... ./internal/cluster/...
+
+# End-to-end loopback smoke: real mpc-site processes, bootstrap over TCP,
+# a join query through mpc-query -sites, measured wire stats asserted.
+transport-smoke:
+	bash scripts/transport_smoke.sh
 
 # The experiment suite behind EXPERIMENTS.md.
 experiments:

@@ -42,6 +42,7 @@ func main() {
 	logQueries := flag.Int("logqueries", 200, "query-log sample size")
 	scales := flag.String("scales", "25000,50000,100000", "comma-separated scales for fig9/fig10")
 	workers := flag.Int("workers", 0, "worker count for parallel offline phases (0 = NumCPU, 1 = serial)")
+	sites := flag.String("sites", "", "comma-separated mpc-site addresses; the online experiment then re-runs every combination over these real processes and records a transport section (count must equal -k)")
 	jsonPath := flag.String("json", "", "output path for the offline/online experiment's JSON (default BENCH_<exp>.json)")
 	metricsPath := flag.String("metrics", "", "dump the metrics registry as JSON to this path after the run (\"-\" = stdout)")
 	obsListen := flag.String("obs-listen", "", "serve /debug/metrics and /debug/pprof on this address (e.g. localhost:6060)")
@@ -65,6 +66,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "[metrics at http://%s/debug/metrics, profiles at http://%s/debug/pprof/]\n", addr, addr)
+	}
+	if *sites != "" {
+		for _, a := range strings.Split(*sites, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				cfg.Sites = append(cfg.Sites, a)
+			}
+		}
 	}
 	for _, s := range strings.Split(*scales, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(s))

@@ -39,6 +39,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed for randomized phases")
 	workers := flag.Int("workers", 0, "worker count for parallel offline phases (0 = NumCPU, 1 = serial; result is identical either way)")
 	explain := flag.Bool("explain", false, "print the per-property cut report")
+	exportSnapshots := flag.Bool("export-snapshots", false, "also write one binary snapshot per site (part.site<i>.mpcg, full shared dictionaries) for mpc-site -snapshot")
 	metricsPath := flag.String("metrics", "", "dump the metrics registry as JSON to this path after the run (\"-\" = stdout)")
 	obsListen := flag.String("obs-listen", "", "serve /debug/metrics and /debug/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
@@ -59,7 +60,7 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "[metrics at http://%s/debug/metrics, profiles at http://%s/debug/pprof/]\n", addr, addr)
 	}
-	if err := run(*in, *out, *k, *epsilon, *strategy, *seed, *workers, *explain, reg); err != nil {
+	if err := run(*in, *out, *k, *epsilon, *strategy, *seed, *workers, *explain, *exportSnapshots, reg); err != nil {
 		fmt.Fprintln(os.Stderr, "mpc-partition:", err)
 		os.Exit(1)
 	}
@@ -92,7 +93,7 @@ func dumpMetrics(reg *obs.Registry, path string) error {
 	return nil
 }
 
-func run(in, out string, k int, epsilon float64, strategy string, seed int64, workers int, explain bool, reg *obs.Registry) error {
+func run(in, out string, k int, epsilon float64, strategy string, seed int64, workers int, explain, exportSnapshots bool, reg *obs.Registry) error {
 	g, err := dataio.LoadFile(in)
 	if err != nil {
 		return err
@@ -152,6 +153,13 @@ func run(in, out string, k int, epsilon float64, strategy string, seed int64, wo
 			return err
 		}
 	}
+	if exportSnapshots {
+		paths, err := dataio.SaveSiteSnapshots(filepath.Join(out, "part"), layout)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d site snapshots (%s ... %s)\n", len(paths), paths[0], paths[len(paths)-1])
+	}
 	if p, ok := layout.(*partition.Partitioning); ok {
 		if explain {
 			p.WriteCutReport(os.Stderr)
@@ -184,7 +192,6 @@ func writeSite(g *rdf.Graph, triples []int32, path string) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	w := ntriples.NewWriter(f)
 	for _, ti := range triples {
 		t := g.Triple(ti)
@@ -193,10 +200,17 @@ func writeSite(g *rdf.Graph, triples []int32, path string) error {
 			g.Properties.String(uint32(t.P)),
 			g.Vertices.String(uint32(t.O)))
 		if err != nil {
+			f.Close()
 			return err
 		}
 	}
-	return w.Flush()
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	// Close errors matter here: on buffered filesystems they are the only
+	// notice that the site file never fully hit the disk.
+	return f.Close()
 }
 
 func writeCrossing(g *rdf.Graph, p *partition.Partitioning, path string) error {

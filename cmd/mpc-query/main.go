@@ -1,17 +1,24 @@
 // Command mpc-query loads an N-Triples graph, partitions it across a
-// simulated cluster, and executes a SPARQL BGP query, reporting the
-// executability class, the per-stage times (QDT/LET/JT) and the results.
+// cluster, and executes a SPARQL BGP query, reporting the executability
+// class, the per-stage times (QDT/LET/JT) and the results.
+//
+// The cluster is in-process by default (sites as goroutines, shipping
+// simulated). With -sites the same partitioning runs over real mpc-site
+// processes: the coordinator bootstraps each site over TCP and the
+// reported network numbers are measured, not simulated.
 //
 // Usage:
 //
 //	mpc-query -in lubm.nt -k 8 -strategy MPC -query 'SELECT ?x WHERE { ... }'
 //	mpc-query -in lubm.nt -query-file q.rq -limit 20
+//	mpc-query -in lubm.nt -sites :7070,:7071,:7072,:7073 -query-file q.rq
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"mpc/internal/cluster"
 	"mpc/internal/core"
@@ -20,11 +27,12 @@ import (
 	"mpc/internal/rdf"
 	"mpc/internal/sparql"
 	"mpc/internal/store"
+	"mpc/internal/transport"
 )
 
 func main() {
 	in := flag.String("in", "", "input N-Triples file (required)")
-	k := flag.Int("k", 4, "number of simulated sites")
+	k := flag.Int("k", 4, "number of sites")
 	epsilon := flag.Float64("epsilon", 0.1, "maximum imbalance ratio ε")
 	strategy := flag.String("strategy", "MPC", "MPC, Subject_Hash, METIS, or VP")
 	queryStr := flag.String("query", "", "SPARQL BGP query text")
@@ -33,20 +41,21 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed for randomized phases")
 	assign := flag.String("assign", "", "reuse a saved vertex assignment (assignment.txt from mpc-partition) instead of partitioning")
 	semijoin := flag.Bool("semijoin", false, "enable the distributed semijoin reduction for inter-partition joins")
-	partialEval := flag.Bool("partial-eval", false, "use the partitioning-agnostic gStoreD-style partial-evaluation engine (vertex-disjoint strategies only)")
+	partialEval := flag.Bool("partial-eval", false, "use the partitioning-agnostic gStoreD-style partial-evaluation engine (vertex-disjoint strategies only, in-process only)")
+	sites := flag.String("sites", "", "comma-separated mpc-site addresses; when set, the query runs against these processes instead of in-process stores (their count overrides -k)")
 	flag.Parse()
 
 	if *in == "" || (*queryStr == "" && *queryFile == "") {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*in, *k, *epsilon, *strategy, *queryStr, *queryFile, *limit, *seed, *assign, *semijoin, *partialEval); err != nil {
+	if err := run(*in, *k, *epsilon, *strategy, *queryStr, *queryFile, *limit, *seed, *assign, *semijoin, *partialEval, *sites); err != nil {
 		fmt.Fprintln(os.Stderr, "mpc-query:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in string, k int, epsilon float64, strategy, queryStr, queryFile string, limit int, seed int64, assignPath string, semijoin, partialEval bool) error {
+func run(in string, k int, epsilon float64, strategy, queryStr, queryFile string, limit int, seed int64, assignPath string, semijoin, partialEval bool, sites string) error {
 	if queryFile != "" {
 		data, err := os.ReadFile(queryFile)
 		if err != nil {
@@ -65,9 +74,26 @@ func run(in string, k int, epsilon float64, strategy, queryStr, queryFile string
 	}
 	fmt.Fprintf(os.Stderr, "loaded %s\n", g.Stats())
 
+	var addrs []string
+	if sites != "" {
+		for _, a := range strings.Split(sites, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		if len(addrs) == 0 {
+			return fmt.Errorf("-sites given but no addresses parsed")
+		}
+		k = len(addrs)
+	}
+
 	opts := partition.Options{K: k, Epsilon: epsilon, Seed: seed}
-	var c *cluster.Cluster
-	if assignPath != "" {
+	cfg := cluster.Config{Semijoin: semijoin}
+	var layout partition.SiteLayout
+	var crossing sparql.CrossingTest
+
+	switch {
+	case assignPath != "":
 		af, err := os.Open(assignPath)
 		if err != nil {
 			return err
@@ -78,61 +104,72 @@ func run(in string, k int, epsilon float64, strategy, queryStr, queryFile string
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "reused assignment: %s\n", p.Summary())
-		return execute(g, p, q, limit, semijoin, partialEval)
-	}
-	switch strategy {
-	case "MPC":
-		p, err := (core.MPC{}).Partition(g, opts)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "MPC partitioning: %s\n", p.Summary())
-		c, err = cluster.NewFromPartitioning(p, cluster.Config{Semijoin: semijoin})
-		if err != nil {
-			return err
-		}
-	case "Subject_Hash":
-		p, err := (partition.SubjectHash{}).Partition(g, opts)
-		if err != nil {
-			return err
-		}
-		c, err = cluster.NewFromPartitioning(p, cluster.Config{Mode: cluster.ModeStarOnly, Semijoin: semijoin})
-		if err != nil {
-			return err
-		}
-	case "METIS":
-		p, err := (partition.MinEdgeCut{}).Partition(g, opts)
-		if err != nil {
-			return err
-		}
-		c, err = cluster.NewFromPartitioning(p, cluster.Config{Mode: cluster.ModeStarOnly, Semijoin: semijoin})
-		if err != nil {
-			return err
-		}
-	case "VP":
-		l, err := (partition.VP{}).Partition(g, opts)
-		if err != nil {
-			return err
-		}
-		c, err = cluster.New(l, nil, cluster.Config{Mode: cluster.ModeVP, Semijoin: semijoin})
-		if err != nil {
-			return err
-		}
+		layout, crossing = p, crossingTestOf(g, p)
 	default:
-		return fmt.Errorf("unknown strategy %q", strategy)
+		switch strategy {
+		case "MPC":
+			p, err := (core.MPC{}).Partition(g, opts)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "MPC partitioning: %s\n", p.Summary())
+			layout, crossing = p, crossingTestOf(g, p)
+		case "Subject_Hash":
+			p, err := (partition.SubjectHash{}).Partition(g, opts)
+			if err != nil {
+				return err
+			}
+			layout, cfg.Mode = p, cluster.ModeStarOnly
+		case "METIS":
+			p, err := (partition.MinEdgeCut{}).Partition(g, opts)
+			if err != nil {
+				return err
+			}
+			layout, cfg.Mode = p, cluster.ModeStarOnly
+		case "VP":
+			l, err := (partition.VP{}).Partition(g, opts)
+			if err != nil {
+				return err
+			}
+			layout, cfg.Mode = l, cluster.ModeVP
+		default:
+			return fmt.Errorf("unknown strategy %q", strategy)
+		}
 	}
 
+	var c *cluster.Cluster
+	if len(addrs) > 0 {
+		clients, err := transport.Connect(addrs, transport.ClientOptions{})
+		if err != nil {
+			return err
+		}
+		defer transport.CloseAll(clients)
+		fmt.Fprintf(os.Stderr, "bootstrapping %d sites...\n", len(clients))
+		if err := transport.Bootstrap(clients, layout); err != nil {
+			return err
+		}
+		c, err = cluster.NewWithSites(layout, crossing, cfg, transport.Sites(clients))
+		if err != nil {
+			return err
+		}
+	} else {
+		c, err = cluster.New(layout, crossing, cfg)
+		if err != nil {
+			return err
+		}
+	}
 	return reportWith(g, c, q, limit, partialEval)
 }
 
-// execute builds a crossing-aware cluster over a reloaded partitioning and
-// runs the query (the -assign path).
-func execute(g *rdf.Graph, p *partition.Partitioning, q *sparql.Query, limit int, semijoin, partialEval bool) error {
-	c, err := cluster.NewFromPartitioning(p, cluster.Config{Semijoin: semijoin})
-	if err != nil {
-		return err
+// crossingTestOf derives the crossing-property test of a partitioning.
+func crossingTestOf(g *rdf.Graph, p *partition.Partitioning) sparql.CrossingTest {
+	return func(prop string) bool {
+		id, ok := g.Properties.Lookup(prop)
+		if !ok {
+			return false
+		}
+		return p.IsCrossingProperty(rdf.PropertyID(id))
 	}
-	return reportWith(g, c, q, limit, partialEval)
 }
 
 // reportWith executes q (with the standard or the partial-evaluation
@@ -152,6 +189,9 @@ func reportWith(g *rdf.Graph, c *cluster.Cluster, q *sparql.Query, limit int, pa
 	fmt.Printf("class: %s  independent: %v  subqueries: %d\n", s.Class, s.Independent, s.NumSubqueries)
 	fmt.Printf("QDT: %v  LET: %v  JT: %v (net %v, %d tuples shipped)  total: %v\n",
 		s.DecompTime, s.LocalTime, s.JoinTime, s.NetTime, s.TuplesShipped, s.Total())
+	if c.Remote() {
+		fmt.Printf("wire: %d bytes shipped, %v summed round-trip time\n", s.BytesShipped, s.WireTime)
+	}
 	fmt.Printf("results: %d rows\n", res.Table.Len())
 	printRows(g, res.Table, limit)
 	return nil

@@ -1,0 +1,129 @@
+// Command mpc-site runs one site of an MPC cluster as its own process: a
+// TCP server (internal/transport) that holds one partition's triple store
+// and evaluates the subqueries a coordinator (mpc-query -sites,
+// mpc-bench -sites) sends it.
+//
+// A site can start empty and be bootstrapped over the wire — the
+// coordinator ships the shared-dictionary graph snapshot and the site's
+// triple set — or preloaded from disk:
+//
+//	mpc-site -listen :7070                          # bootstrap over the wire
+//	mpc-site -listen :7070 -graph lubm.mpcg         # graph preloaded, triples over the wire
+//	mpc-site -listen :7070 -snapshot part.site0.mpcg # serve a per-site snapshot immediately
+//
+// Per-site snapshots come from mpc-partition -export-snapshots; they carry
+// the full shared dictionaries, so bindings stay comparable across sites.
+//
+// On SIGINT/SIGTERM the site drains: it stops accepting work, finishes
+// in-flight requests (bounded by -drain-timeout), then exits.
+//
+// Observability: -obs-listen ADDR serves /debug/metrics (bytes in/out,
+// per-message-type latency histograms) and /debug/pprof/.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"mpc/internal/dataio"
+	"mpc/internal/obs"
+	"mpc/internal/rdf"
+	"mpc/internal/store"
+	"mpc/internal/transport"
+)
+
+func main() {
+	listen := flag.String("listen", ":7070", "address to listen on")
+	graphPath := flag.String("graph", "", "preload the shared graph snapshot (.mpcg); the coordinator then only ships triple indices")
+	snapshotPath := flag.String("snapshot", "", "serve this per-site snapshot (.mpcg) immediately, no bootstrap needed")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight requests on shutdown")
+	obsListen := flag.String("obs-listen", "", "serve /debug/metrics and /debug/pprof on this address (e.g. localhost:6060)")
+	flag.Parse()
+
+	if err := run(*listen, *graphPath, *snapshotPath, *drainTimeout, *obsListen); err != nil {
+		fmt.Fprintln(os.Stderr, "mpc-site:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, graphPath, snapshotPath string, drainTimeout time.Duration, obsListen string) error {
+	if graphPath != "" && snapshotPath != "" {
+		return fmt.Errorf("-graph and -snapshot are mutually exclusive")
+	}
+	reg := obs.NewRegistry()
+	if obsListen != "" {
+		_, addr, err := reg.Serve(obsListen)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "[metrics at http://%s/debug/metrics, profiles at http://%s/debug/pprof/]\n", addr, addr)
+	}
+
+	opts := transport.ServerOptions{Obs: reg}
+	switch {
+	case graphPath != "":
+		g, err := loadSnapshot(graphPath)
+		if err != nil {
+			return err
+		}
+		opts.Graph = g
+		fmt.Fprintf(os.Stderr, "preloaded graph %s, awaiting triple-set bootstrap\n", g.Stats())
+	case snapshotPath != "":
+		g, err := loadSnapshot(snapshotPath)
+		if err != nil {
+			return err
+		}
+		idx := make([]int32, g.NumTriples())
+		for i := range idx {
+			idx[i] = int32(i)
+		}
+		st := store.New(g, idx)
+		st.Instrument(reg)
+		opts.Graph = g
+		opts.Store = st
+		fmt.Fprintf(os.Stderr, "serving snapshot %s\n", g.Stats())
+	default:
+		fmt.Fprintln(os.Stderr, "starting empty, awaiting bootstrap")
+	}
+
+	l, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	srv := transport.NewServer(opts)
+	fmt.Fprintf(os.Stderr, "listening on %s\n", l.Addr())
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(l) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "%v: draining (up to %v)\n", sig, drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("drain: %w", err)
+		}
+		return <-errCh
+	}
+}
+
+// loadSnapshot loads an .mpcg file, rejecting other formats early: a site
+// must share the coordinator's dictionaries, which only snapshots carry.
+func loadSnapshot(path string) (*rdf.Graph, error) {
+	if !strings.HasSuffix(path, dataio.SnapshotExt) {
+		return nil, fmt.Errorf("%s: sites load %s snapshots (mpc-gen or mpc-partition -export-snapshots), not N-Triples", path, dataio.SnapshotExt)
+	}
+	return dataio.LoadFile(path)
+}

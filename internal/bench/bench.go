@@ -52,6 +52,13 @@ type Config struct {
 	// from every partitioner and cluster the runners build. It never changes
 	// results; see internal/obs.
 	Obs *obs.Registry
+	// Sites lists mpc-site addresses (host:port). When non-empty, the
+	// online experiment additionally runs every combination against these
+	// real processes — bootstrapping each site over TCP per combination —
+	// and records a transport section: digest verification against the
+	// in-process cluster, measured bytes shipped, and RPC latency
+	// quantiles. len(Sites) must equal K.
+	Sites []string
 }
 
 func (c Config) withDefaults() Config {
@@ -112,12 +119,17 @@ func crossingTestOf(p *partition.Partitioning) sparql.CrossingTest {
 	}
 }
 
-// builtCluster bundles a cluster with its offline timings.
+// builtCluster bundles a cluster with its offline timings plus the layout
+// ingredients needed to rebuild the same coordinator over remote sites.
 type builtCluster struct {
 	name          string
 	c             *cluster.Cluster
 	partitionTime time.Duration
 	loadTime      time.Duration
+
+	layout   partition.SiteLayout
+	crossing sparql.CrossingTest
+	mode     cluster.Mode
 }
 
 // buildClusters constructs the full strategy lineup over one graph:
@@ -132,7 +144,12 @@ func buildClusters(g *rdf.Graph, cfg Config, only map[string]bool) ([]builtClust
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
-		out = append(out, builtCluster{name: name, c: c, partitionTime: ptime, loadTime: c.LoadTime})
+		bc := builtCluster{name: name, c: c, partitionTime: ptime, loadTime: c.LoadTime,
+			layout: p, mode: mode}
+		if mode == cluster.ModeCrossingAware {
+			bc.crossing = crossingTestOf(p)
+		}
+		out = append(out, bc)
 		return nil
 	}
 
@@ -193,7 +210,8 @@ func buildClusters(g *rdf.Graph, cfg Config, only map[string]bool) ([]builtClust
 		if err != nil {
 			return nil, fmt.Errorf("VP: %w", err)
 		}
-		out = append(out, builtCluster{name: StratVP, c: c, partitionTime: ptime, loadTime: c.LoadTime})
+		out = append(out, builtCluster{name: StratVP, c: c, partitionTime: ptime, loadTime: c.LoadTime,
+			layout: l, mode: cluster.ModeVP})
 	}
 	return out, nil
 }

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"mpc/internal/cluster"
+	"mpc/internal/obs"
+	"mpc/internal/transport"
+	"mpc/internal/workload"
+)
+
+// TransportCombo is one (dataset, strategy) combination executed against
+// real mpc-site processes instead of in-process stores.
+type TransportCombo struct {
+	Dataset  string `json:"dataset"`
+	Strategy string `json:"strategy"`
+	// Identical reports whether every query's result table was
+	// bit-identical (schema, flat data, row order) to the in-process
+	// cluster's — the correctness gate of the transport.
+	Identical bool `json:"identical"`
+	// BytesShipped is the measured wire traffic of the whole workload,
+	// requests plus responses (cluster Stats aggregate).
+	BytesShipped int64 `json:"bytes_shipped"`
+	// RPCs counts query round-trips; P50/P95 are their latency quantiles
+	// from the transport.rpc_ns.query histogram.
+	RPCs     int64 `json:"rpcs"`
+	RPCP50NS int64 `json:"rpc_p50_ns"`
+	RPCP95NS int64 `json:"rpc_p95_ns"`
+	// Retries and Timeouts count transport-level recoveries; both stay 0
+	// on a healthy loopback run.
+	Retries  int64 `json:"retries"`
+	Timeouts int64 `json:"timeouts"`
+}
+
+// TransportSection is the "transport" block of BENCH_online.json, present
+// only when the run was given real sites (Config.Sites / -sites).
+type TransportSection struct {
+	Sites  []string         `json:"sites"`
+	Combos []TransportCombo `json:"combos"`
+}
+
+// runTransportCombo re-runs one online combination against the configured
+// sites: it connects with a fresh metrics registry, bootstraps every site
+// with the combination's layout, executes the workload once, and verifies
+// each result table against the in-process cluster bit for bit.
+func runTransportCombo(cfg Config, bc builtCluster, dataset string,
+	queries []workload.NamedQuery) (TransportCombo, error) {
+	combo := TransportCombo{Dataset: dataset, Strategy: bc.name, Identical: true}
+	reg := obs.NewRegistry()
+	clients, err := transport.Connect(cfg.Sites, transport.ClientOptions{Obs: reg})
+	if err != nil {
+		return combo, err
+	}
+	defer transport.CloseAll(clients)
+	if err := transport.Bootstrap(clients, bc.layout); err != nil {
+		return combo, err
+	}
+	remote, err := cluster.NewWithSites(bc.layout, bc.crossing,
+		cluster.Config{Mode: bc.mode, Obs: reg}, transport.Sites(clients))
+	if err != nil {
+		return combo, err
+	}
+
+	for _, nq := range queries {
+		want, err := bc.c.Execute(nq.Query)
+		if err != nil {
+			return combo, fmt.Errorf("%s in-process: %w", nq.Name, err)
+		}
+		got, err := remote.Execute(nq.Query)
+		if err != nil {
+			return combo, fmt.Errorf("%s remote: %w", nq.Name, err)
+		}
+		combo.BytesShipped += got.Stats.BytesShipped
+		if tableDigest(want) != tableDigest(got) {
+			combo.Identical = false
+		}
+	}
+
+	snap := reg.Snapshot()
+	if h, ok := snap.Histograms["transport.rpc_ns.query"]; ok {
+		combo.RPCs = h.Count
+		combo.RPCP50NS = h.P50
+		combo.RPCP95NS = h.P95
+	}
+	combo.Retries = snap.Counters["transport.retries"]
+	combo.Timeouts = snap.Counters["transport.timeouts"]
+	return combo, nil
+}
+
+// tableDigest renders a result table in the bit-identical golden format
+// used by the repository's determinism tests.
+func tableDigest(res *cluster.Result) string {
+	t := res.Table
+	return fmt.Sprintf("%v|%v|%v|%d", t.Vars, t.Kinds, t.Data, t.Len())
+}
+
+// RenderTransport writes the human-readable transport table.
+func RenderTransport(w io.Writer, ts *TransportSection) {
+	if ts == nil {
+		return
+	}
+	var cells [][]string
+	for _, c := range ts.Combos {
+		cells = append(cells, []string{
+			c.Dataset, c.Strategy, fmt.Sprint(c.Identical),
+			fmt.Sprint(c.BytesShipped), fmt.Sprint(c.RPCs),
+			fmt.Sprintf("%.1f", float64(c.RPCP50NS)/1e3),
+			fmt.Sprintf("%.1f", float64(c.RPCP95NS)/1e3),
+			fmt.Sprint(c.Retries), fmt.Sprint(c.Timeouts),
+		})
+	}
+	WriteTable(w, fmt.Sprintf("Transport: %d real sites (%s)", len(ts.Sites), strings.Join(ts.Sites, " ")),
+		[]string{"dataset", "strategy", "identical", "bytes", "rpcs", "rpc_p50_us", "rpc_p95_us", "retries", "timeouts"},
+		cells)
+}

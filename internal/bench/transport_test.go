@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"bytes"
+	"net"
+	"testing"
+
+	"mpc/internal/transport"
+)
+
+// TestRunOnlineWithSites runs the online experiment with real transport
+// servers behind Config.Sites: the transport section must report every
+// combination bit-identical to the in-process cluster with nonzero
+// measured traffic.
+func TestRunOnlineWithSites(t *testing.T) {
+	if testing.Short() {
+		t.Skip("transport online runner skipped in -short mode")
+	}
+	const k = 2
+	sites := make([]string, k)
+	for i := range sites {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := transport.NewServer(transport.ServerOptions{})
+		go srv.Serve(l)
+		t.Cleanup(srv.Close)
+		sites[i] = l.Addr().String()
+	}
+
+	res, err := RunOnline(Config{Triples: 3000, K: k, LogQueries: 5, Sites: sites})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transport == nil {
+		t.Fatal("no transport section despite Config.Sites")
+	}
+	if len(res.Transport.Combos) != len(res.Combos) {
+		t.Fatalf("transport combos %d, online combos %d", len(res.Transport.Combos), len(res.Combos))
+	}
+	for _, tc := range res.Transport.Combos {
+		if !tc.Identical {
+			t.Errorf("%s/%s: remote results not bit-identical to in-process", tc.Dataset, tc.Strategy)
+		}
+		if tc.BytesShipped <= 0 {
+			t.Errorf("%s/%s: no bytes shipped recorded", tc.Dataset, tc.Strategy)
+		}
+		if tc.RPCs <= 0 || tc.RPCP95NS < tc.RPCP50NS {
+			t.Errorf("%s/%s: rpc stats rpcs=%d p50=%d p95=%d",
+				tc.Dataset, tc.Strategy, tc.RPCs, tc.RPCP50NS, tc.RPCP95NS)
+		}
+	}
+
+	var buf bytes.Buffer
+	RenderTransport(&buf, res.Transport)
+	if buf.Len() == 0 {
+		t.Fatal("RenderTransport wrote nothing")
+	}
+}
+
+// TestRunOnlineSiteCountMismatch checks the K/Sites validation.
+func TestRunOnlineSiteCountMismatch(t *testing.T) {
+	_, err := RunOnline(Config{Triples: 3000, K: 4, Sites: []string{"localhost:1"}})
+	if err == nil {
+		t.Fatal("mismatched site count accepted")
+	}
+}

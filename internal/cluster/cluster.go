@@ -1,15 +1,25 @@
-// Package cluster simulates the paper's distributed SPARQL execution
-// environment: k sites each holding one partition in a local store, plus a
-// coordinator that classifies incoming queries, dispatches independently
-// executable queries (IEQs) to every site in parallel, decomposes non-IEQs
-// into subqueries (Algorithm 2 for crossing-aware systems, subject-star
-// decomposition for the baselines), and joins subquery results.
+// Package cluster implements the paper's distributed SPARQL execution
+// environment: k sites each holding one partition, plus a coordinator that
+// classifies incoming queries, dispatches independently executable queries
+// (IEQs) to every site in parallel, decomposes non-IEQs into subqueries
+// (Algorithm 2 for crossing-aware systems, subject-star decomposition for
+// the baselines), and joins subquery results.
 //
-// The paper's testbed is 8 machines with MPICH; here sites are goroutines
-// and inter-partition data shipping is modeled by a configurable per-tuple
-// cost that is added to the reported join time. What the model preserves is
-// exactly the phenomenon under study: IEQs skip the join phase — and its
-// shipping cost — entirely.
+// Sites are abstracted behind the Site interface, which has two
+// implementations:
+//
+//   - In-process (New/NewFromPartitioning): each site is a local store
+//     evaluated on a goroutine, and inter-partition data shipping is modeled
+//     by a configurable per-tuple cost (Config.NetCostPerTuple) added to the
+//     reported join time — the paper's MPICH testbed reduced to a simulator.
+//   - Remote (NewWithSites): each site is a network endpoint — typically an
+//     internal/transport client talking to a cmd/mpc-site process — and
+//     shipping is measured, not modeled: Stats carries the real wire bytes
+//     (BytesShipped) and round-trip time (WireTime), and the simulated
+//     NetTime stays zero.
+//
+// Either way, what the model preserves is exactly the phenomenon under
+// study: IEQs skip the join phase — and its shipping cost — entirely.
 package cluster
 
 import (
@@ -53,12 +63,55 @@ func (m Mode) String() string {
 	}
 }
 
-// Config tunes the simulator.
+// SubOpts tunes one Site.ExecuteSub call.
+type SubOpts struct {
+	// Timeout bounds the call, including any transport retries; zero means
+	// the site's default. In-process sites ignore it.
+	Timeout time.Duration
+}
+
+// SubStats reports the transport-level measurements of one ExecuteSub
+// call. In-process sites return the zero value.
+type SubStats struct {
+	// BytesShipped is the wire bytes moved for the call, request plus
+	// response.
+	BytesShipped int64
+	// WireTime is the wall time of the network round-trip, including
+	// serialization and retries.
+	WireTime time.Duration
+}
+
+// Site is one partition's query endpoint: it evaluates a subquery against
+// the partition's triples and returns the resulting bindings. The
+// in-process implementation is a direct call into a local store;
+// internal/transport provides a TCP client implementation so sites can run
+// as separate processes (cmd/mpc-site). Implementations must be safe for
+// concurrent ExecuteSub calls.
+type Site interface {
+	ExecuteSub(sub *sparql.Query, opts SubOpts) (*store.Table, SubStats, error)
+}
+
+// localSite is the in-process Site: a direct store call, no wire.
+type localSite struct{ st *store.Store }
+
+func (s localSite) ExecuteSub(sub *sparql.Query, _ SubOpts) (*store.Table, SubStats, error) {
+	tab, err := s.st.Match(sub)
+	return tab, SubStats{}, err
+}
+
+// Config tunes the cluster.
 type Config struct {
 	// Mode selects the execution strategy; default ModeCrossingAware.
 	Mode Mode
 	// NetCostPerTuple is the simulated cost of shipping one intermediate
 	// tuple to the coordinator for an inter-partition join. Zero means 2µs.
+	//
+	// The simulation applies only to in-process clusters (New,
+	// NewFromPartitioning), where no real network exists: Stats.NetTime is
+	// derived from it and folded into Stats.JoinTime. Clusters over real
+	// transports (NewWithSites) ignore it entirely — there the measured
+	// Stats.BytesShipped and Stats.WireTime replace the model and NetTime
+	// stays zero.
 	NetCostPerTuple time.Duration
 	// Sequential disables parallel site evaluation (useful in benchmarks
 	// that measure pure CPU work).
@@ -82,23 +135,35 @@ type Config struct {
 	Obs *obs.Registry
 }
 
-// Cluster is a simulated distributed RDF system.
+// Cluster is a distributed RDF system: in-process (simulated shipping) or
+// backed by remote sites over a real transport.
 type Cluster struct {
 	layout   partition.SiteLayout
-	sites    []*store.Store
+	sites    []Site
+	stores   []*store.Store // per-site local stores; nil entries for remote sites
+	remote   bool           // true when any site is not an in-process store
 	crossing sparql.CrossingTest
 	vp       *partition.VPLayout
 	cfg      Config
 	met      clusterMetrics
 
 	// LoadTime is how long building all site stores took (the "loading"
-	// column of Table VI).
+	// column of Table VI). Zero for remote clusters, whose stores are built
+	// by their own processes at bootstrap.
 	LoadTime time.Duration
 }
 
 // Stats reports the per-stage breakdown of one query execution, matching
 // the rows of Tables IV and V: QDT (decomposition), LET (local evaluation),
 // JT (join incl. simulated shipping).
+//
+// Network cost appears in exactly one of two forms, never both. In-process
+// clusters simulate it: NetTime = TuplesShipped × Config.NetCostPerTuple,
+// folded into JoinTime, while BytesShipped and WireTime stay zero. Clusters
+// over a real transport (NewWithSites) measure it: BytesShipped and
+// WireTime report actual wire traffic (incurred during the local-evaluation
+// phase, so already part of LocalTime), while NetTime stays zero and
+// JoinTime is pure coordinator compute.
 type Stats struct {
 	// Class is the query's executability class under this cluster's
 	// partitioning.
@@ -111,13 +176,24 @@ type Stats struct {
 	// DecompTime is query classification + decomposition time (QDT).
 	DecompTime time.Duration
 	// LocalTime is the wall time of the parallel local evaluation (LET).
+	// For remote clusters this includes the network round-trips.
 	LocalTime time.Duration
 	// JoinTime is coordinator join computation time plus NetTime (JT).
 	JoinTime time.Duration
 	// NetTime is the simulated shipping cost included in JoinTime.
+	// Always zero when a real transport is active: the measured
+	// BytesShipped/WireTime replace the simulation.
 	NetTime time.Duration
 	// TuplesShipped counts intermediate tuples moved for joins.
 	TuplesShipped int
+	// BytesShipped is the measured wire bytes moved between the
+	// coordinator and the sites for this query (requests plus responses).
+	// Zero for in-process clusters, which move no bytes.
+	BytesShipped int64
+	// WireTime is the summed network round-trip time across this query's
+	// site calls (retries included). Zero for in-process clusters. Calls
+	// run in parallel, so WireTime can exceed LocalTime.
+	WireTime time.Duration
 	// SemijoinRemoved counts subquery-result rows eliminated by the
 	// semijoin reduction before shipping (0 when Config.Semijoin is off).
 	SemijoinRemoved int
@@ -136,6 +212,61 @@ type Result struct {
 // test derived from the partitioning; it is required for ModeCrossingAware
 // and ignored otherwise. For ModeVP, layout must be a *partition.VPLayout.
 func New(layout partition.SiteLayout, crossing sparql.CrossingTest, cfg Config) (*Cluster, error) {
+	c, err := newCoordinator(layout, crossing, cfg)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	g := layout.Graph()
+	c.stores = make([]*store.Store, layout.NumSites())
+	c.sites = make([]Site, layout.NumSites())
+	var wg sync.WaitGroup
+	for i := range c.stores {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c.stores[i] = store.New(g, layout.SiteTriples(i))
+			c.stores[i].Instrument(cfg.Obs)
+		}(i)
+	}
+	wg.Wait()
+	for i, st := range c.stores {
+		c.sites[i] = localSite{st}
+	}
+	c.LoadTime = time.Since(start)
+	cfg.Obs.Gauge("cluster.sites").Set(int64(len(c.sites)))
+	return c, nil
+}
+
+// NewWithSites builds a cluster whose per-partition evaluation is delegated
+// to the given sites — typically internal/transport clients pointed at
+// cmd/mpc-site processes that have been bootstrapped with the same layout.
+// The layout stays at the coordinator for classification, localization and
+// (in ModeVP) property placement; len(sites) must equal layout.NumSites().
+// Shipping is measured, not simulated: see Stats.
+func NewWithSites(layout partition.SiteLayout, crossing sparql.CrossingTest, cfg Config, sites []Site) (*Cluster, error) {
+	if len(sites) != layout.NumSites() {
+		return nil, fmt.Errorf("cluster: %d sites for a %d-partition layout", len(sites), layout.NumSites())
+	}
+	c, err := newCoordinator(layout, crossing, cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.sites = append([]Site(nil), sites...)
+	c.stores = make([]*store.Store, len(sites))
+	c.remote = true
+	for i, s := range sites {
+		if ls, ok := s.(localSite); ok {
+			c.stores[i] = ls.st
+		}
+	}
+	cfg.Obs.Gauge("cluster.sites").Set(int64(len(c.sites)))
+	return c, nil
+}
+
+// newCoordinator builds the site-independent part of a cluster: mode
+// validation, metrics, layout bookkeeping.
+func newCoordinator(layout partition.SiteLayout, crossing sparql.CrossingTest, cfg Config) (*Cluster, error) {
 	if cfg.NetCostPerTuple == 0 {
 		cfg.NetCostPerTuple = 2 * time.Microsecond
 	}
@@ -151,21 +282,6 @@ func New(layout partition.SiteLayout, crossing sparql.CrossingTest, cfg Config) 
 		return nil, fmt.Errorf("cluster: ModeCrossingAware requires a crossing test")
 	}
 	c.met = newClusterMetrics(cfg.Obs)
-	start := time.Now()
-	g := layout.Graph()
-	c.sites = make([]*store.Store, layout.NumSites())
-	var wg sync.WaitGroup
-	for i := range c.sites {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			c.sites[i] = store.New(g, layout.SiteTriples(i))
-			c.sites[i].Instrument(cfg.Obs)
-		}(i)
-	}
-	wg.Wait()
-	c.LoadTime = time.Since(start)
-	cfg.Obs.Gauge("cluster.sites").Set(int64(len(c.sites)))
 	return c, nil
 }
 
@@ -186,8 +302,13 @@ func NewFromPartitioning(p *partition.Partitioning, cfg Config) (*Cluster, error
 // NumSites returns the cluster size.
 func (c *Cluster) NumSites() int { return len(c.sites) }
 
-// Site returns the store at site i (for inspection in tests).
-func (c *Cluster) Site(i int) *store.Store { return c.sites[i] }
+// Site returns the in-process store at site i (for inspection in tests),
+// or nil when site i is remote.
+func (c *Cluster) Site(i int) *store.Store { return c.stores[i] }
+
+// Remote reports whether any site is evaluated over a real transport
+// rather than in process.
+func (c *Cluster) Remote() bool { return c.remote }
 
 // Execute runs the query and returns its result and per-stage statistics.
 func (c *Cluster) Execute(q *sparql.Query) (*Result, error) {
@@ -241,12 +362,14 @@ func (c *Cluster) executeVertexDisjoint(q *sparql.Query, class sparql.Class,
 			sitesPerSub[si] = c.allSites()
 		}
 	}
-	tables, err := c.evalPerSub(subs, sitesPerSub, sp)
+	tables, wire, err := c.evalPerSub(subs, sitesPerSub, sp)
 	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	stats.LocalTime = time.Since(t1)
+	stats.BytesShipped = wire.BytesShipped
+	stats.WireTime = wire.WireTime
 
 	var final *store.Table
 	if stats.Independent {
@@ -270,8 +393,13 @@ func (c *Cluster) executeVertexDisjoint(q *sparql.Query, class sparql.Class,
 		if err != nil {
 			return nil, err
 		}
-		stats.NetTime = time.Duration(stats.TuplesShipped) * c.cfg.NetCostPerTuple
-		stats.JoinTime = time.Since(t2) + stats.NetTime
+		stats.JoinTime = time.Since(t2)
+		if !c.remote {
+			// Simulated shipping cost; with a real transport the measured
+			// BytesShipped/WireTime above replace the model.
+			stats.NetTime = time.Duration(stats.TuplesShipped) * c.cfg.NetCostPerTuple
+			stats.JoinTime += stats.NetTime
+		}
 	}
 
 	sp = tr.Root().Child("project")
@@ -327,10 +455,12 @@ func (c *Cluster) localizeSites(sub *sparql.Query) []int {
 // serves both the vertex-disjoint path (one site list shared by all
 // subqueries, or localized lists) and the VP path (per-task site lists).
 // parent, when non-nil, receives one child span per (subquery, site)
-// evaluation.
-func (c *Cluster) evalPerSub(subs []*sparql.Query, sitesPerSub [][]int, parent *obs.Span) ([]*store.Table, error) {
+// evaluation. The returned SubStats aggregates the transport measurements
+// of all site calls (zero for in-process clusters).
+func (c *Cluster) evalPerSub(subs []*sparql.Query, sitesPerSub [][]int, parent *obs.Span) ([]*store.Table, SubStats, error) {
 	type key struct{ sub, site int }
 	results := make(map[key]*store.Table)
+	var wire SubStats
 	var mu sync.Mutex
 	var firstErr error
 	var wg sync.WaitGroup
@@ -339,7 +469,7 @@ func (c *Cluster) evalPerSub(subs []*sparql.Query, sitesPerSub [][]int, parent *
 		sp := parent.Child("site-eval")
 		sp.SetAttr("sub", int64(si))
 		sp.SetAttr("site", int64(site))
-		tab, err := c.sites[site].Match(subs[si])
+		tab, ss, err := c.sites[site].ExecuteSub(subs[si], SubOpts{})
 		if tab != nil {
 			sp.SetAttr("rows", int64(tab.Len()))
 		}
@@ -349,6 +479,8 @@ func (c *Cluster) evalPerSub(subs []*sparql.Query, sitesPerSub [][]int, parent *
 		if err != nil && firstErr == nil {
 			firstErr = err
 		}
+		wire.BytesShipped += ss.BytesShipped
+		wire.WireTime += ss.WireTime
 		results[key{si, site}] = tab
 	}
 	for si := range subs {
@@ -363,7 +495,7 @@ func (c *Cluster) evalPerSub(subs []*sparql.Query, sitesPerSub [][]int, parent *
 	}
 	wg.Wait()
 	if firstErr != nil {
-		return nil, firstErr
+		return nil, wire, firstErr
 	}
 	out := make([]*store.Table, len(subs))
 	for si := range subs {
@@ -378,10 +510,10 @@ func (c *Cluster) evalPerSub(subs []*sparql.Query, sitesPerSub [][]int, parent *
 		var err error
 		out[si], err = unionTables(parts)
 		if err != nil {
-			return nil, err
+			return nil, wire, err
 		}
 	}
-	return out, nil
+	return out, wire, nil
 }
 
 // unionTables merges same-schema tables, deduplicating rows. Sites share

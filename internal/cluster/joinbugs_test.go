@@ -75,7 +75,7 @@ func TestEmptyTableJoinsAgainstPropertyBinding(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tables, err := c.evalPerSub([]*sparql.Query{q}, [][]int{nil}, nil)
+	tables, _, err := c.evalPerSub([]*sparql.Query{q}, [][]int{nil}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -14,12 +14,14 @@ type clusterMetrics struct {
 	independent *obs.Counter // query.independent: IEQs that skipped the join
 
 	tuplesShipped   *obs.Counter // net.tuples_shipped: tuples moved for joins
+	bytesShipped    *obs.Counter // net.bytes_shipped: measured wire bytes (transport mode)
 	semijoinRemoved *obs.Counter // semijoin.rows_removed: rows cut by the reduction
 	hashJoins       *obs.Counter // join.hash_joins: pairwise joins performed
 
 	decompNS *obs.Histogram // query.decompose_ns (QDT)
 	localNS  *obs.Histogram // query.local_ns (LET)
 	joinNS   *obs.Histogram // query.join_ns (JT, incl. simulated shipping)
+	wireNS   *obs.Histogram // query.wire_ns: measured per-query wire time (transport mode)
 	totalNS  *obs.Histogram // query.total_ns
 
 	// classTotalNS splits query.total_ns by executability class, indexed by
@@ -42,11 +44,13 @@ func newClusterMetrics(r *obs.Registry) clusterMetrics {
 		queries:         r.Counter("query.count"),
 		independent:     r.Counter("query.independent"),
 		tuplesShipped:   r.Counter("net.tuples_shipped"),
+		bytesShipped:    r.Counter("net.bytes_shipped"),
 		semijoinRemoved: r.Counter("semijoin.rows_removed"),
 		hashJoins:       r.Counter("join.hash_joins"),
 		decompNS:        r.Histogram("query.decompose_ns"),
 		localNS:         r.Histogram("query.local_ns"),
 		joinNS:          r.Histogram("query.join_ns"),
+		wireNS:          r.Histogram("query.wire_ns"),
 		totalNS:         r.Histogram("query.total_ns"),
 		buildRows:       r.Histogram("join.build_rows"),
 		probeRows:       r.Histogram("join.probe_rows"),
@@ -82,6 +86,10 @@ func (m *clusterMetrics) observeStats(s *Stats) {
 	}
 	m.tuplesShipped.Add(int64(s.TuplesShipped))
 	m.semijoinRemoved.Add(int64(s.SemijoinRemoved))
+	if s.BytesShipped > 0 {
+		m.bytesShipped.Add(s.BytesShipped)
+		m.wireNS.ObserveDuration(s.WireTime)
+	}
 	m.decompNS.ObserveDuration(s.DecompTime)
 	m.localNS.ObserveDuration(s.LocalTime)
 	m.joinNS.ObserveDuration(s.JoinTime)

@@ -44,6 +44,11 @@ func (c *Cluster) ExecutePartialEval(q *sparql.Query) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("cluster: partial evaluation requires a vertex-disjoint partitioning, got %T", c.layout)
 	}
+	if c.remote {
+		// The ownership predicate below is a closure over the coordinator's
+		// assignment; it cannot be shipped to a remote site.
+		return nil, fmt.Errorf("cluster: partial evaluation requires in-process stores, not a remote transport")
+	}
 	n := len(q.Patterns)
 	if n == 0 {
 		return &Result{Table: &store.Table{}}, nil
@@ -76,7 +81,7 @@ func (c *Cluster) ExecutePartialEval(q *sparql.Query) (*Result, error) {
 				owned := func(tr rdf.Triple) bool {
 					return int(p.Assign[tr.S]) == site
 				}
-				tab, err := c.sites[site].MatchWhere(sub, owned)
+				tab, err := c.stores[site].MatchWhere(sub, owned)
 				mu.Lock()
 				defer mu.Unlock()
 				if err != nil && firstErr == nil {

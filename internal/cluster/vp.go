@@ -57,12 +57,14 @@ func (c *Cluster) executeVP(q *sparql.Query) (*Result, error) {
 		stats.DecompTime = time.Since(t0)
 		t1 := time.Now()
 		sp := tr.Root().Child("local")
-		tab, err := c.sites[singleSite].Match(q)
+		tab, ss, err := c.sites[singleSite].ExecuteSub(q, SubOpts{})
 		sp.End()
 		if err != nil {
 			return nil, err
 		}
 		stats.LocalTime = time.Since(t1)
+		stats.BytesShipped = ss.BytesShipped
+		stats.WireTime = ss.WireTime
 		c.met.observeStats(&stats)
 		return &Result{Table: project(tab, q), Stats: stats}, nil
 	}
@@ -138,12 +140,14 @@ func (c *Cluster) executeVP(q *sparql.Query) (*Result, error) {
 		subs[i] = tk.sub
 		sitesPerSub[i] = tk.sites
 	}
-	tables, err := c.evalPerSub(subs, sitesPerSub, sp)
+	tables, wire, err := c.evalPerSub(subs, sitesPerSub, sp)
 	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	stats.LocalTime = time.Since(t1)
+	stats.BytesShipped = wire.BytesShipped
+	stats.WireTime = wire.WireTime
 
 	t2 := time.Now()
 	if c.cfg.Semijoin {
@@ -162,8 +166,11 @@ func (c *Cluster) executeVP(q *sparql.Query) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	stats.NetTime = time.Duration(stats.TuplesShipped) * c.cfg.NetCostPerTuple
-	stats.JoinTime = time.Since(t2) + stats.NetTime
+	stats.JoinTime = time.Since(t2)
+	if !c.remote {
+		stats.NetTime = time.Duration(stats.TuplesShipped) * c.cfg.NetCostPerTuple
+		stats.JoinTime += stats.NetTime
+	}
 	c.met.observeStats(&stats)
 	return &Result{Table: project(final, q), Stats: stats}, nil
 }

@@ -6,6 +6,7 @@ package dataio
 
 import (
 	"bufio"
+	"fmt"
 	"os"
 	"strings"
 
@@ -29,13 +30,32 @@ func LoadFile(path string) (*rdf.Graph, error) {
 	return ntriples.LoadGraph(bufio.NewReaderSize(f, 1<<20))
 }
 
-// SaveFile writes g to path, picking the format from the extension.
+// SaveFile writes g to path, picking the format from the extension. The
+// write is durable before SaveFile returns nil: Sync and Close errors are
+// reported, not swallowed — on buffered filesystems a failed flush at
+// close is the only notice that the data never hit the disk.
 func SaveFile(path string, g *rdf.Graph) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	if err := writeGraph(f, path, g); err != nil {
+		f.Close()
+		os.Remove(path) // don't leave a torn file behind
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("dataio: sync %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("dataio: close %s: %w", path, err)
+	}
+	return nil
+}
+
+// writeGraph writes the payload in the extension's format.
+func writeGraph(f *os.File, path string, g *rdf.Graph) error {
 	if strings.HasSuffix(path, SnapshotExt) {
 		return rdf.WriteSnapshot(f, g)
 	}
@@ -44,4 +64,27 @@ func SaveFile(path string, g *rdf.Graph) error {
 		return err
 	}
 	return w.Flush()
+}
+
+// SaveSiteSnapshots writes one snapshot per site of a partition layout,
+// named <prefix>.site<i>.mpcg, each containing only that site's triples
+// but the full shared dictionaries — so IDs stay comparable across sites
+// and a site process loading its file answers with coordinator-compatible
+// bindings. Returns the paths written.
+func SaveSiteSnapshots(prefix string, layout interface {
+	NumSites() int
+	SiteTriples(i int) []int32
+	Graph() *rdf.Graph
+}) ([]string, error) {
+	g := layout.Graph()
+	paths := make([]string, layout.NumSites())
+	for i := range paths {
+		sub := g.SubgraphByTriples(layout.SiteTriples(i))
+		path := fmt.Sprintf("%s.site%d%s", prefix, i, SnapshotExt)
+		if err := SaveFile(path, sub); err != nil {
+			return nil, fmt.Errorf("dataio: site %d snapshot: %w", i, err)
+		}
+		paths[i] = path
+	}
+	return paths, nil
 }

@@ -62,3 +62,51 @@ func TestSaveFileBadDir(t *testing.T) {
 		t.Fatal("unwritable path accepted")
 	}
 }
+
+// fakeLayout is a minimal two-site split of a graph for snapshot export.
+type fakeLayout struct {
+	g     *rdf.Graph
+	sites [][]int32
+}
+
+func (l fakeLayout) NumSites() int             { return len(l.sites) }
+func (l fakeLayout) SiteTriples(i int) []int32 { return l.sites[i] }
+func (l fakeLayout) Graph() *rdf.Graph         { return l.g }
+
+func TestSaveSiteSnapshots(t *testing.T) {
+	g := rdf.NewGraph()
+	g.AddTriple("http://ex/a", "http://ex/p", "http://ex/b")
+	g.AddTriple("http://ex/b", "http://ex/q", "http://ex/c")
+	g.AddTriple("http://ex/c", "http://ex/p", "http://ex/a")
+	g.Freeze()
+	layout := fakeLayout{g: g, sites: [][]int32{{0, 2}, {1}}}
+
+	prefix := filepath.Join(t.TempDir(), "part")
+	paths, err := SaveSiteSnapshots(prefix, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("got %d paths, want 2", len(paths))
+	}
+	for i, path := range paths {
+		sub, err := LoadFile(path)
+		if err != nil {
+			t.Fatalf("site %d: %v", i, err)
+		}
+		// Full dictionaries travel with every site so IDs stay shared.
+		if sub.NumVertices() != g.NumVertices() || sub.NumProperties() != g.NumProperties() {
+			t.Fatalf("site %d: dictionaries truncated: %d/%d vertices, %d/%d properties",
+				i, sub.NumVertices(), g.NumVertices(), sub.NumProperties(), g.NumProperties())
+		}
+		want := layout.SiteTriples(i)
+		if sub.NumTriples() != len(want) {
+			t.Fatalf("site %d: %d triples, want %d", i, sub.NumTriples(), len(want))
+		}
+		for j, ti := range want {
+			if sub.Triple(int32(j)) != g.Triple(ti) {
+				t.Fatalf("site %d: triple %d differs from source triple %d", i, j, ti)
+			}
+		}
+	}
+}

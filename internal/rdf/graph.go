@@ -142,6 +142,21 @@ func (g *Graph) Freeze() {
 	}
 }
 
+// SubgraphByTriples returns a frozen graph holding only the given triples
+// while sharing this graph's dictionaries, so vertex and property IDs stay
+// comparable with the original. This is what per-site snapshot export
+// needs: a site loading such a snapshot answers queries with bindings the
+// coordinator can join against directly.
+func (g *Graph) SubgraphByTriples(idx []int32) *Graph {
+	sub := &Graph{Vertices: g.Vertices, Properties: g.Properties}
+	sub.triples = make([]Triple, len(idx))
+	for i, ti := range idx {
+		sub.triples[i] = g.triples[ti]
+	}
+	sub.Freeze()
+	return sub
+}
+
 func (g *Graph) mustFrozen() {
 	if !g.frozen {
 		panic("rdf: graph must be frozen first")

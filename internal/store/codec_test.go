@@ -1,0 +1,166 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randomTable builds a random table: random schema (possibly zero columns),
+// random row count (possibly zero), random values.
+func randomTable(rng *rand.Rand) *Table {
+	ncols := rng.Intn(5)
+	if ncols == 0 {
+		return &Table{ZeroWidthRows: rng.Intn(4)}
+	}
+	vars := make([]string, ncols)
+	kinds := make([]VarKind, ncols)
+	for i := range vars {
+		vars[i] = fmt.Sprintf("v%d_%d", i, rng.Intn(100))
+		if rng.Intn(4) == 0 {
+			kinds[i] = KindProperty
+		}
+	}
+	t := NewTable(vars, kinds)
+	rows := rng.Intn(20)
+	for r := 0; r < rows; r++ {
+		row := make([]uint32, ncols)
+		for c := range row {
+			row[c] = rng.Uint32()
+		}
+		t.AppendRow(row...)
+	}
+	return t
+}
+
+// tablesEqual compares schema, kinds, zero-width rows and flat data.
+func tablesEqual(a, b *Table) bool {
+	if len(a.Vars) != len(b.Vars) || a.ZeroWidthRows != b.ZeroWidthRows || len(a.Data) != len(b.Data) {
+		return false
+	}
+	for i := range a.Vars {
+		if a.Vars[i] != b.Vars[i] || a.Kinds[i] != b.Kinds[i] {
+			return false
+		}
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestTableCodecRoundtrip is the property test of the wire codec: for many
+// random tables — including zero-column and empty ones — encode→decode
+// preserves schema, kinds, and rows exactly, the encoded size matches
+// EncodedTableSize, and the decoder consumes exactly the encoded bytes.
+func TestTableCodecRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		orig := randomTable(rng)
+		buf := AppendTable(nil, orig)
+		if want := EncodedTableSize(orig); len(buf) != want {
+			t.Fatalf("case %d: encoded %d bytes, EncodedTableSize says %d", i, len(buf), want)
+		}
+		// Trailing garbage must be left untouched.
+		withTail := append(append([]byte(nil), buf...), 0xde, 0xad)
+		got, n, err := DecodeTable(withTail)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if n != len(buf) {
+			t.Fatalf("case %d: consumed %d bytes, want %d", i, n, len(buf))
+		}
+		if !tablesEqual(orig, got) {
+			t.Fatalf("case %d: roundtrip mismatch:\norig %+v\ngot  %+v", i, orig, got)
+		}
+		if got.Len() != orig.Len() {
+			t.Fatalf("case %d: Len %d vs %d", i, got.Len(), orig.Len())
+		}
+	}
+}
+
+// TestTableCodecNil checks that a nil table encodes as an empty table.
+func TestTableCodecNil(t *testing.T) {
+	buf := AppendTable(nil, nil)
+	got, _, err := DecodeTable(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 || len(got.Vars) != 0 {
+		t.Fatalf("nil table decoded to %+v", got)
+	}
+}
+
+// TestTableCodecTruncated checks that every strict prefix of a valid
+// encoding fails cleanly instead of panicking or succeeding.
+func TestTableCodecTruncated(t *testing.T) {
+	orig := NewTable([]string{"a", "b", "c"}, []VarKind{KindVertex, KindProperty, KindVertex})
+	orig.AppendRow(1, 2, 3)
+	orig.AppendRow(4, 5, 6)
+	buf := AppendTable(nil, orig)
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := DecodeTable(buf[:cut]); err == nil {
+			t.Errorf("prefix of %d/%d bytes decoded without error", cut, len(buf))
+		}
+	}
+}
+
+// TestTableCodecCorrupt checks targeted corruptions: oversized column
+// counts, cell counts not divisible by the stride, unknown kinds, and
+// zero-column tables claiming cells.
+func TestTableCodecCorrupt(t *testing.T) {
+	cases := map[string][]byte{
+		// 2^40 columns.
+		"huge column count": {0x80, 0x80, 0x80, 0x80, 0x80, 0x20},
+		// 1 column "a" kind 7 (unknown).
+		"unknown kind": {1, 1, 'a', 7},
+		// 1 column, 0 zero-rows, 2^40 cells.
+		"huge cell count": {1, 1, 'a', 0, 0, 0x80, 0x80, 0x80, 0x80, 0x80, 0x20},
+		// 2 columns, 0 zero-rows, 3 cells: not a multiple of the stride.
+		"ragged data": append([]byte{2, 1, 'a', 0, 1, 'b', 0, 0, 3}, make([]byte, 12)...),
+		// 0 columns but 4 cells claimed.
+		"zero-column with cells": append([]byte{0, 0, 4}, make([]byte, 16)...),
+	}
+	for name, data := range cases {
+		if _, _, err := DecodeTable(data); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+// FuzzTableCodec feeds arbitrary bytes to the decoder (must never panic)
+// and re-encodes anything that decodes to check the codec is canonical.
+func FuzzTableCodec(f *testing.F) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 8; i++ {
+		f.Add(AppendTable(nil, randomTable(rng)))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x80})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tab, n, err := DecodeTable(data)
+		if err != nil {
+			return
+		}
+		if n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		again := AppendTable(nil, tab)
+		tab2, _, err := DecodeTable(again)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoding failed: %v", err)
+		}
+		if !tablesEqual(tab, tab2) {
+			t.Fatal("re-encoding is not stable")
+		}
+		if !bytes.Equal(again, data[:n]) {
+			// Varint encodings are canonical in Go's encoder, so the only
+			// legitimate difference would be non-minimal varints in the
+			// input; accept those by comparing decoded forms (done above).
+			_ = again
+		}
+	})
+}

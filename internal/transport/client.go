@@ -1,0 +1,356 @@
+package transport
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mpc/internal/cluster"
+	"mpc/internal/obs"
+	"mpc/internal/rdf"
+	"mpc/internal/sparql"
+	"mpc/internal/store"
+)
+
+// ClientOptions tunes one site client.
+type ClientOptions struct {
+	// RequestTimeout bounds a single request end to end, including dialing,
+	// retries, and backoff sleeps. A per-call cluster.SubOpts.Timeout
+	// overrides it. Default 30s.
+	RequestTimeout time.Duration
+	// BootstrapTimeout bounds the (much larger) bootstrap requests.
+	// Default 2m.
+	BootstrapTimeout time.Duration
+	// DialTimeout bounds one TCP dial attempt. Default 5s.
+	DialTimeout time.Duration
+	// MaxRetries is the number of additional attempts after the first
+	// fails with a transient error. Default 3.
+	MaxRetries int
+	// RetryBackoff is the sleep before the first retry; it doubles each
+	// further retry. Default 50ms.
+	RetryBackoff time.Duration
+	// MaxIdleConns caps the connection pool; excess connections are closed
+	// on release rather than kept. Default 4.
+	MaxIdleConns int
+	// Obs receives client metrics. Nil disables instrumentation.
+	Obs *obs.Registry
+}
+
+// withDefaults fills zero fields.
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 30 * time.Second
+	}
+	if o.BootstrapTimeout <= 0 {
+		o.BootstrapTimeout = 2 * time.Minute
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	} else if o.MaxRetries == 0 {
+		o.MaxRetries = 3
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 50 * time.Millisecond
+	}
+	if o.MaxIdleConns <= 0 {
+		o.MaxIdleConns = 4
+	}
+	return o
+}
+
+// Client talks to one mpc-site server. It implements cluster.Site, so a
+// coordinator built with cluster.NewWithSites sees a remote process
+// exactly as it sees an in-process store.
+//
+// The client pools connections and puts exactly one request in flight per
+// connection. Transient failures (dial refused, connection dropped before
+// a complete response) are retried on a fresh connection with exponential
+// backoff, up to MaxRetries; subquery evaluation is read-only, so a retry
+// can never double-apply work. Exhausted retries surface as
+// ErrUnavailable, an expired deadline as ErrTimeout, and a failure
+// reported by the site itself as *RemoteError — none of them retried
+// further (except a lone draining refusal, which is terminal too: the
+// coordinator should fail fast during shutdown).
+type Client struct {
+	addr string
+	opts ClientOptions
+	met  clientMetrics
+
+	reqID atomic.Uint64
+
+	mu     sync.Mutex
+	idle   []*poolConn
+	closed bool
+}
+
+// poolConn is one pooled connection with its buffered reader.
+type poolConn struct {
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+// NewClient builds a client without touching the network; the first
+// request dials. Use Ping to verify reachability eagerly.
+func NewClient(addr string, opts ClientOptions) *Client {
+	o := opts.withDefaults()
+	return &Client{addr: addr, opts: o, met: newClientMetrics(o.Obs)}
+}
+
+// Dial builds a client and verifies the server responds to a ping.
+func Dial(addr string, opts ClientOptions) (*Client, error) {
+	c := NewClient(addr, opts)
+	if err := c.Ping(); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Addr returns the server address this client targets.
+func (c *Client) Addr() string { return c.addr }
+
+// Close releases all pooled connections. In-flight requests finish on
+// their own connections.
+func (c *Client) Close() {
+	c.mu.Lock()
+	idle := c.idle
+	c.idle = nil
+	c.closed = true
+	c.mu.Unlock()
+	for _, pc := range idle {
+		pc.conn.Close()
+	}
+}
+
+// getConn pops an idle connection or dials a new one. The deadline bounds
+// the dial.
+func (c *Client) getConn(deadline time.Time) (*poolConn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("transport: client closed")
+	}
+	if n := len(c.idle); n > 0 {
+		pc := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return pc, nil
+	}
+	c.mu.Unlock()
+
+	dialTimeout := c.opts.DialTimeout
+	if remain := time.Until(deadline); remain < dialTimeout {
+		dialTimeout = remain
+	}
+	if dialTimeout <= 0 {
+		return nil, fmt.Errorf("transport: dial %s: %w", c.addr, ErrTimeout)
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, dialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	c.met.dials.Inc()
+	pc := &poolConn{conn: conn, br: bufio.NewReaderSize(conn, 64<<10)}
+	conn.SetDeadline(deadline)
+	if err := writeHandshake(conn); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := readHandshake(pc.br); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c.met.bytesOut.Add(int64(handshakeLen))
+	c.met.bytesIn.Add(int64(handshakeLen))
+	return pc, nil
+}
+
+// putConn returns a healthy connection to the pool.
+func (c *Client) putConn(pc *poolConn) {
+	c.mu.Lock()
+	if !c.closed && len(c.idle) < c.opts.MaxIdleConns {
+		c.idle = append(c.idle, pc)
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	pc.conn.Close()
+}
+
+// roundTrip sends one request and reads its response, retrying transient
+// failures on fresh connections. It returns the response frame and the
+// total bytes moved (both directions, all attempts).
+func (c *Client) roundTrip(typ byte, payload []byte, timeout time.Duration) (frame, int64, error) {
+	deadline := time.Now().Add(timeout)
+	reqID := c.reqID.Add(1)
+	var total int64
+	var lastErr error
+
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			c.met.retries.Inc()
+			backoff := c.opts.RetryBackoff << (attempt - 1)
+			if remain := time.Until(deadline); backoff > remain {
+				// Not enough budget left for a sleep plus an attempt:
+				// give up rather than blow through the deadline.
+				break
+			}
+			time.Sleep(backoff)
+		}
+
+		resp, n, err := c.attempt(typ, reqID, payload, deadline)
+		total += n
+		if err == nil {
+			return resp, total, nil
+		}
+		lastErr = err
+		if isDeadline(err) {
+			c.met.timeouts.Inc()
+			return frame{}, total, fmt.Errorf("transport: %s %s: %w: %v", msgName(typ), c.addr, ErrTimeout, err)
+		}
+		if !isTransient(err) {
+			c.met.errors.Inc()
+			return frame{}, total, fmt.Errorf("transport: %s %s: %w", msgName(typ), c.addr, err)
+		}
+		if attempt >= c.opts.MaxRetries {
+			break
+		}
+	}
+	c.met.errors.Inc()
+	return frame{}, total, fmt.Errorf("transport: %s %s after %d attempts: %w (last error: %v)",
+		msgName(typ), c.addr, c.opts.MaxRetries+1, ErrUnavailable, lastErr)
+}
+
+// attempt performs one request/response exchange on one connection. Any
+// error invalidates the connection.
+func (c *Client) attempt(typ byte, reqID uint64, payload []byte, deadline time.Time) (frame, int64, error) {
+	pc, err := c.getConn(deadline)
+	if err != nil {
+		return frame{}, 0, err
+	}
+	pc.conn.SetDeadline(deadline)
+
+	nOut, err := writeFrame(pc.conn, typ, reqID, payload)
+	c.met.bytesOut.Add(int64(nOut))
+	if err != nil {
+		pc.conn.Close()
+		return frame{}, int64(nOut), err
+	}
+	resp, nIn, err := readFrame(pc.br)
+	c.met.bytesIn.Add(int64(nIn))
+	total := int64(nOut) + int64(nIn)
+	if err != nil {
+		pc.conn.Close()
+		return frame{}, total, err
+	}
+	if resp.reqID != reqID {
+		// A pooled connection can only carry one request at a time, so a
+		// mismatched ID means corrupted framing; drop the connection.
+		pc.conn.Close()
+		return frame{}, total, fmt.Errorf("transport: response ID %d for request %d", resp.reqID, reqID)
+	}
+	c.putConn(pc)
+	return resp, total, nil
+}
+
+// call is roundTrip plus MsgError decoding and latency recording.
+func (c *Client) call(typ byte, payload []byte, timeout time.Duration) (frame, int64, error) {
+	t0 := time.Now()
+	resp, n, err := c.roundTrip(typ, payload, timeout)
+	c.met.rpcNS[typ].ObserveDuration(time.Since(t0))
+	if err != nil {
+		return frame{}, n, err
+	}
+	if resp.typ == MsgError {
+		re, derr := decodeErrorPayload(resp.payload)
+		if derr != nil {
+			return frame{}, n, derr
+		}
+		c.met.errors.Inc()
+		return frame{}, n, re
+	}
+	return resp, n, nil
+}
+
+// Ping checks that the server is reachable and speaks the protocol.
+func (c *Client) Ping() error {
+	resp, _, err := c.call(MsgPing, nil, c.opts.RequestTimeout)
+	if err != nil {
+		return err
+	}
+	if resp.typ != MsgOK {
+		return fmt.Errorf("transport: ping: unexpected %s response", msgName(resp.typ))
+	}
+	return nil
+}
+
+// BootstrapGraph ships the full-graph snapshot so the site shares the
+// coordinator's dictionaries (binding IDs must be comparable across
+// sites).
+func (c *Client) BootstrapGraph(g *rdf.Graph) error {
+	var buf bytes.Buffer
+	if err := rdf.WriteSnapshot(&buf, g); err != nil {
+		return fmt.Errorf("transport: encode snapshot: %w", err)
+	}
+	resp, _, err := c.call(MsgBootstrapGraph, buf.Bytes(), c.opts.BootstrapTimeout)
+	if err != nil {
+		return err
+	}
+	if resp.typ != MsgOK {
+		return fmt.Errorf("transport: bootstrap graph: unexpected %s response", msgName(resp.typ))
+	}
+	return nil
+}
+
+// BootstrapTriples tells the site which triples of the bootstrapped graph
+// form its partition; the site builds its store from them.
+func (c *Client) BootstrapTriples(idx []int32) error {
+	payload := AppendTripleIdx(make([]byte, 0, 10+2*len(idx)), idx)
+	resp, _, err := c.call(MsgBootstrapTriples, payload, c.opts.BootstrapTimeout)
+	if err != nil {
+		return err
+	}
+	if resp.typ != MsgOK {
+		return fmt.Errorf("transport: bootstrap triples: unexpected %s response", msgName(resp.typ))
+	}
+	return nil
+}
+
+// Bootstrap ships the graph then the site's triple set in one call.
+func (c *Client) Bootstrap(g *rdf.Graph, idx []int32) error {
+	if err := c.BootstrapGraph(g); err != nil {
+		return err
+	}
+	return c.BootstrapTriples(idx)
+}
+
+// ExecuteSub implements cluster.Site: it evaluates sub on the remote
+// store and returns the binding table along with measured wire stats.
+func (c *Client) ExecuteSub(sub *sparql.Query, opts cluster.SubOpts) (*store.Table, cluster.SubStats, error) {
+	timeout := c.opts.RequestTimeout
+	if opts.Timeout > 0 {
+		timeout = opts.Timeout
+	}
+	payload := AppendQuery(make([]byte, 0, 256), sub)
+	t0 := time.Now()
+	resp, n, err := c.call(MsgQuery, payload, timeout)
+	st := cluster.SubStats{BytesShipped: n, WireTime: time.Since(t0)}
+	if err != nil {
+		return nil, st, err
+	}
+	if resp.typ != MsgTable {
+		return nil, st, fmt.Errorf("transport: query: unexpected %s response", msgName(resp.typ))
+	}
+	tab, _, err := store.DecodeTable(resp.payload)
+	if err != nil {
+		return nil, st, err
+	}
+	return tab, st, nil
+}

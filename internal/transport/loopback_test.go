@@ -1,0 +1,153 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+
+	"mpc/internal/cluster"
+	"mpc/internal/core"
+	"mpc/internal/datagen"
+	"mpc/internal/partition"
+	"mpc/internal/rdf"
+	"mpc/internal/sparql"
+	"mpc/internal/workload"
+)
+
+// remoteCluster spawns one in-process transport.Server per site of the
+// layout, bootstraps each over loopback TCP, and builds a coordinator on
+// the resulting clients. The network is real; only the processes are
+// shared.
+func remoteCluster(t *testing.T, layout partition.SiteLayout, crossing sparql.CrossingTest,
+	cfg cluster.Config) *cluster.Cluster {
+	t.Helper()
+	addrs := make([]string, layout.NumSites())
+	for i := range addrs {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := NewServer(ServerOptions{Obs: cfg.Obs})
+		go srv.Serve(l)
+		t.Cleanup(srv.Close)
+		addrs[i] = l.Addr().String()
+	}
+	clients, err := Connect(addrs, ClientOptions{Obs: cfg.Obs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { CloseAll(clients) })
+	if err := Bootstrap(clients, layout); err != nil {
+		t.Fatal(err)
+	}
+	c, err := cluster.NewWithSites(layout, crossing, cfg, Sites(clients))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestLoopbackBitIdentical is the transport's end-to-end guarantee: for
+// the LUBM and WatDiv workloads, a cluster of network sites must return
+// tables bit-identical — same schema, same flat data, same row order — to
+// the in-process goroutine cluster, across all three execution modes.
+func TestLoopbackBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loopback e2e skipped in -short mode")
+	}
+	const triples = 15000
+	opts := partition.Options{K: 4, Epsilon: 0.15, Seed: 1}
+
+	for _, gen := range []datagen.Generator{datagen.LUBM{}, datagen.WatDiv{}} {
+		gen := gen
+		t.Run(gen.Name(), func(t *testing.T) {
+			g := gen.Generate(triples, 1)
+			var queries []workload.NamedQuery
+			if gen.Name() == "LUBM" {
+				queries = workload.LUBMQueries(g, 1)
+			} else {
+				queries = workload.WatDivLog(g, 25, 1)
+			}
+
+			p, err := (core.MPC{}).Partition(g, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			crossing := func(prop string) bool {
+				id, ok := g.Properties.Lookup(prop)
+				if !ok {
+					return false
+				}
+				return p.IsCrossingProperty(rdf.PropertyID(id))
+			}
+			hp, err := (partition.SubjectHash{}).Partition(g, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vl, err := (partition.VP{}).Partition(g, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			type setup struct {
+				name     string
+				layout   partition.SiteLayout
+				crossing sparql.CrossingTest
+				cfg      cluster.Config
+			}
+			setups := []setup{
+				{"crossing-aware", p, crossing, cluster.Config{}},
+				{"star-only+semijoin", hp, nil, cluster.Config{Mode: cluster.ModeStarOnly, Semijoin: true}},
+				{"vp", vl, nil, cluster.Config{Mode: cluster.ModeVP}},
+			}
+
+			digest := func(c *cluster.Cluster) string {
+				t.Helper()
+				var sb strings.Builder
+				for _, q := range queries {
+					res, err := c.Execute(q.Query)
+					if err != nil {
+						t.Fatalf("%s: %v", q.Name, err)
+					}
+					fmt.Fprintf(&sb, "%s|%v|%v|%v|%d\n",
+						q.Name, res.Table.Vars, res.Table.Kinds, res.Table.Data, res.Table.Len())
+				}
+				return sb.String()
+			}
+
+			for _, s := range setups {
+				s := s
+				t.Run(s.name, func(t *testing.T) {
+					local, err := cluster.New(s.layout, s.crossing, s.cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					remote := remoteCluster(t, s.layout, s.crossing, s.cfg)
+
+					want := digest(local)
+					got := digest(remote)
+					if want != got {
+						t.Errorf("remote execution differs from in-process execution")
+					}
+
+					// Remote stats must carry measured wire traffic and no
+					// simulated shipping.
+					for _, q := range queries {
+						res, err := remote.Execute(q.Query)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if res.Stats.NetTime != 0 {
+							t.Fatalf("%s: remote cluster reported simulated NetTime %v", q.Name, res.Stats.NetTime)
+						}
+						if res.Stats.BytesShipped <= 0 {
+							t.Fatalf("%s: remote cluster reported no bytes shipped", q.Name)
+						}
+						break // one query suffices for the stats shape
+					}
+				})
+			}
+		})
+	}
+}

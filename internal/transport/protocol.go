@@ -1,0 +1,361 @@
+// Package transport is the real network layer of the cluster: a
+// length-prefixed binary wire protocol over TCP, a server (cmd/mpc-site)
+// that holds one partition's store, and a pooled client that implements
+// cluster.Site — so a cluster can run with each partition in its own
+// process instead of a goroutine, with measured bytes and latencies in
+// place of the simulator's per-tuple cost model.
+//
+// # Wire protocol
+//
+// Every connection starts with a 6-byte handshake in each direction:
+// the magic "MPCT", a version byte, and a zero pad. After the handshake,
+// both directions carry frames:
+//
+//	uint32 LE payload length
+//	uint8  message type
+//	uint64 LE request ID
+//	payload
+//
+// The request ID of a response echoes the request ID of its request;
+// one connection carries one request at a time (the client pools
+// connections instead of multiplexing, which keeps the protocol trivially
+// ordered). Payload encodings are hand-rolled and allocation-light:
+// binding tables reuse the flat row-major layout of store.Table (see
+// store.AppendTable), queries and bootstrap payloads use uvarint framing.
+//
+// Message types:
+//
+//	MsgPing             → MsgOK             liveness/handshake probe
+//	MsgBootstrapGraph   → MsgOK             full-graph snapshot (rdf.WriteSnapshot bytes)
+//	MsgBootstrapTriples → MsgOK             triple indices into the bootstrapped graph
+//	MsgQuery            → MsgTable|MsgError evaluate a subquery, return bindings
+//
+// MsgError is a valid response to any request; it carries a numeric code
+// and a message and is surfaced by the client as a *RemoteError.
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"mpc/internal/sparql"
+)
+
+// Handshake constants. The version byte is bumped on any incompatible
+// frame or payload change; peers with mismatched versions refuse the
+// connection at handshake time rather than misparsing frames later.
+const (
+	Magic   = "MPCT"
+	Version = 1
+)
+
+// handshakeLen is magic + version + one pad byte.
+const handshakeLen = len(Magic) + 2
+
+// Message types.
+const (
+	MsgPing byte = iota + 1
+	MsgOK
+	MsgError
+	MsgBootstrapGraph
+	MsgBootstrapTriples
+	MsgQuery
+	MsgTable
+)
+
+// msgName names a message type for metrics and errors.
+func msgName(t byte) string {
+	switch t {
+	case MsgPing:
+		return "ping"
+	case MsgOK:
+		return "ok"
+	case MsgError:
+		return "error"
+	case MsgBootstrapGraph:
+		return "bootstrap_graph"
+	case MsgBootstrapTriples:
+		return "bootstrap_triples"
+	case MsgQuery:
+		return "query"
+	case MsgTable:
+		return "table"
+	default:
+		return fmt.Sprintf("type_%d", t)
+	}
+}
+
+// MaxFrameBytes bounds a single frame payload. Large enough for a
+// benchmark graph snapshot, small enough that a corrupt length prefix
+// cannot drive an unbounded allocation.
+const MaxFrameBytes = 1 << 30
+
+// frameHeaderLen is payload length (4) + type (1) + request ID (8).
+const frameHeaderLen = 13
+
+// writeHandshake sends the protocol preamble.
+func writeHandshake(w io.Writer) error {
+	var hs [handshakeLen]byte
+	copy(hs[:], Magic)
+	hs[len(Magic)] = Version
+	_, err := w.Write(hs[:])
+	return err
+}
+
+// readHandshake validates the peer's preamble.
+func readHandshake(r io.Reader) error {
+	var hs [handshakeLen]byte
+	if _, err := io.ReadFull(r, hs[:]); err != nil {
+		return fmt.Errorf("transport: handshake: %w", err)
+	}
+	if string(hs[:len(Magic)]) != Magic {
+		return fmt.Errorf("transport: bad magic %q", hs[:len(Magic)])
+	}
+	if hs[len(Magic)] != Version {
+		return fmt.Errorf("transport: protocol version %d, want %d", hs[len(Magic)], Version)
+	}
+	return nil
+}
+
+// frame is one decoded message.
+type frame struct {
+	typ     byte
+	reqID   uint64
+	payload []byte
+}
+
+// writeFrame sends one frame: header then payload. Returns the total
+// bytes written.
+func writeFrame(w io.Writer, typ byte, reqID uint64, payload []byte) (int, error) {
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	hdr[4] = typ
+	binary.LittleEndian.PutUint64(hdr[5:], reqID)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return frameHeaderLen, err
+		}
+	}
+	return frameHeaderLen + len(payload), nil
+}
+
+// readFrame reads one frame. Returns the frame and the total bytes read.
+func readFrame(r io.Reader) (frame, int, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return frame{}, 0, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:])
+	if n > MaxFrameBytes {
+		return frame{}, frameHeaderLen, fmt.Errorf("transport: frame of %d bytes exceeds limit %d", n, MaxFrameBytes)
+	}
+	f := frame{typ: hdr[4], reqID: binary.LittleEndian.Uint64(hdr[5:])}
+	if n > 0 {
+		f.payload = make([]byte, n)
+		if _, err := io.ReadFull(r, f.payload); err != nil {
+			return frame{}, frameHeaderLen, fmt.Errorf("transport: frame body: %w", err)
+		}
+	}
+	return f, frameHeaderLen + int(n), nil
+}
+
+// Query payload codec: uvarint select count + names, uvarint pattern
+// count + three terms per pattern, each term a var flag byte + string.
+
+// appendString appends a uvarint-length-prefixed string.
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// appendTerm appends one query term.
+func appendTerm(buf []byte, t sparql.Term) []byte {
+	if t.IsVar {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	return appendString(buf, t.Value)
+}
+
+// AppendQuery appends the wire encoding of q to buf.
+func AppendQuery(buf []byte, q *sparql.Query) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(q.Select)))
+	for _, v := range q.Select {
+		buf = appendString(buf, v)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(q.Patterns)))
+	for _, p := range q.Patterns {
+		buf = appendTerm(buf, p.S)
+		buf = appendTerm(buf, p.P)
+		buf = appendTerm(buf, p.O)
+	}
+	return buf
+}
+
+// queryDecoder walks a query payload.
+type queryDecoder struct {
+	data []byte
+	pos  int
+}
+
+// maxQueryStrings bounds term/select counts so a corrupt payload cannot
+// pre-allocate unbounded slices.
+const maxQueryStrings = 1 << 16
+
+func (d *queryDecoder) uvarint(what string) (uint64, error) {
+	v, n := binary.Uvarint(d.data[d.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("transport: query codec: truncated %s at byte %d", what, d.pos)
+	}
+	d.pos += n
+	return v, nil
+}
+
+func (d *queryDecoder) str(what string) (string, error) {
+	n, err := d.uvarint(what + " length")
+	if err != nil {
+		return "", err
+	}
+	if d.pos+int(n) > len(d.data) || n > uint64(len(d.data)) {
+		return "", fmt.Errorf("transport: query codec: truncated %s at byte %d", what, d.pos)
+	}
+	s := string(d.data[d.pos : d.pos+int(n)])
+	d.pos += int(n)
+	return s, nil
+}
+
+func (d *queryDecoder) term() (sparql.Term, error) {
+	if d.pos >= len(d.data) {
+		return sparql.Term{}, fmt.Errorf("transport: query codec: truncated term at byte %d", d.pos)
+	}
+	flag := d.data[d.pos]
+	d.pos++
+	if flag > 1 {
+		return sparql.Term{}, fmt.Errorf("transport: query codec: bad term flag %d", flag)
+	}
+	v, err := d.str("term value")
+	if err != nil {
+		return sparql.Term{}, err
+	}
+	return sparql.Term{IsVar: flag == 1, Value: v}, nil
+}
+
+// DecodeQuery decodes a query payload produced by AppendQuery.
+func DecodeQuery(data []byte) (*sparql.Query, error) {
+	d := &queryDecoder{data: data}
+	nSel, err := d.uvarint("select count")
+	if err != nil {
+		return nil, err
+	}
+	if nSel > maxQueryStrings {
+		return nil, fmt.Errorf("transport: query codec: %d select variables exceeds limit", nSel)
+	}
+	q := &sparql.Query{}
+	for i := uint64(0); i < nSel; i++ {
+		v, err := d.str("select variable")
+		if err != nil {
+			return nil, err
+		}
+		q.Select = append(q.Select, v)
+	}
+	nPat, err := d.uvarint("pattern count")
+	if err != nil {
+		return nil, err
+	}
+	if nPat > maxQueryStrings {
+		return nil, fmt.Errorf("transport: query codec: %d patterns exceeds limit", nPat)
+	}
+	for i := uint64(0); i < nPat; i++ {
+		var tp sparql.TriplePattern
+		if tp.S, err = d.term(); err != nil {
+			return nil, err
+		}
+		if tp.P, err = d.term(); err != nil {
+			return nil, err
+		}
+		if tp.O, err = d.term(); err != nil {
+			return nil, err
+		}
+		q.Patterns = append(q.Patterns, tp)
+	}
+	if d.pos != len(data) {
+		return nil, fmt.Errorf("transport: query codec: %d trailing bytes", len(data)-d.pos)
+	}
+	return q, nil
+}
+
+// Triple-index payload codec (MsgBootstrapTriples): uvarint count then
+// delta-encoded uvarint indices. Site triple lists come out of the
+// partitioner mostly sorted, so deltas keep the bootstrap frame small.
+
+// AppendTripleIdx appends the wire encoding of a triple-index list.
+func AppendTripleIdx(buf []byte, idx []int32) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(idx)))
+	prev := int64(0)
+	for _, v := range idx {
+		delta := int64(v) - prev
+		buf = binary.AppendVarint(buf, delta)
+		prev = int64(v)
+	}
+	return buf
+}
+
+// maxTripleIdx bounds the decoded index count (256M triples per site).
+const maxTripleIdx = 1 << 28
+
+// DecodeTripleIdx decodes a triple-index list.
+func DecodeTripleIdx(data []byte) ([]int32, error) {
+	pos := 0
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("transport: triple-index codec: truncated count")
+	}
+	pos += n
+	if count > maxTripleIdx {
+		return nil, fmt.Errorf("transport: triple-index codec: %d indices exceeds limit", count)
+	}
+	idx := make([]int32, count)
+	prev := int64(0)
+	for i := range idx {
+		delta, n := binary.Varint(data[pos:])
+		if n <= 0 {
+			return nil, fmt.Errorf("transport: triple-index codec: truncated index %d", i)
+		}
+		pos += n
+		prev += delta
+		if prev < 0 || prev > 1<<31-1 {
+			return nil, fmt.Errorf("transport: triple-index codec: index %d out of range: %d", i, prev)
+		}
+		idx[i] = int32(prev)
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("transport: triple-index codec: %d trailing bytes", len(data)-pos)
+	}
+	return idx, nil
+}
+
+// Error payload codec (MsgError): uvarint code + message string.
+
+// appendErrorPayload encodes a remote error.
+func appendErrorPayload(buf []byte, code uint64, msg string) []byte {
+	buf = binary.AppendUvarint(buf, code)
+	return appendString(buf, msg)
+}
+
+// decodeErrorPayload decodes a MsgError payload.
+func decodeErrorPayload(data []byte) (*RemoteError, error) {
+	code, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("transport: error codec: truncated code")
+	}
+	msgLen, m := binary.Uvarint(data[n:])
+	if m <= 0 || n+m+int(msgLen) > len(data) {
+		return nil, fmt.Errorf("transport: error codec: truncated message")
+	}
+	return &RemoteError{Code: ErrorCode(code), Message: string(data[n+m : n+m+int(msgLen)])}, nil
+}

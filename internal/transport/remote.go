@@ -1,0 +1,67 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+
+	"mpc/internal/cluster"
+	"mpc/internal/partition"
+)
+
+// Connect dials one client per site address. On any failure it closes the
+// clients already opened and returns the error.
+func Connect(addrs []string, opts ClientOptions) ([]*Client, error) {
+	clients := make([]*Client, 0, len(addrs))
+	for _, addr := range addrs {
+		c, err := Dial(addr, opts)
+		if err != nil {
+			CloseAll(clients)
+			return nil, fmt.Errorf("transport: site %s: %w", addr, err)
+		}
+		clients = append(clients, c)
+	}
+	return clients, nil
+}
+
+// Bootstrap ships the layout's graph and each site's triple set to the
+// corresponding client, in parallel. len(clients) must equal
+// layout.NumSites().
+func Bootstrap(clients []*Client, layout partition.SiteLayout) error {
+	if len(clients) != layout.NumSites() {
+		return fmt.Errorf("transport: %d clients for a %d-partition layout",
+			len(clients), layout.NumSites())
+	}
+	g := layout.Graph()
+	errs := make([]error, len(clients))
+	var wg sync.WaitGroup
+	for i, c := range clients {
+		wg.Add(1)
+		go func(i int, c *Client) {
+			defer wg.Done()
+			errs[i] = c.Bootstrap(g, layout.SiteTriples(i))
+		}(i, c)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("transport: bootstrap site %d (%s): %w", i, clients[i].Addr(), err)
+		}
+	}
+	return nil
+}
+
+// Sites adapts clients to the cluster.Site slice NewWithSites expects.
+func Sites(clients []*Client) []cluster.Site {
+	sites := make([]cluster.Site, len(clients))
+	for i, c := range clients {
+		sites[i] = c
+	}
+	return sites
+}
+
+// CloseAll closes every client.
+func CloseAll(clients []*Client) {
+	for _, c := range clients {
+		c.Close()
+	}
+}

@@ -1,0 +1,307 @@
+package transport
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"mpc/internal/obs"
+	"mpc/internal/rdf"
+	"mpc/internal/store"
+)
+
+// ServerOptions configures a site server.
+type ServerOptions struct {
+	// Graph preloads the shared-dictionary graph, so bootstrap only needs
+	// to send triple indices (MsgBootstrapTriples) instead of a full
+	// snapshot. Optional.
+	Graph *rdf.Graph
+	// Store preloads a ready store; the server answers queries immediately
+	// without any bootstrap. Optional.
+	Store *store.Store
+	// Obs receives server metrics (bytes, per-type latency, request
+	// counters). Nil disables instrumentation.
+	Obs *obs.Registry
+}
+
+// Server is one site of the cluster as a network endpoint: it holds (or is
+// bootstrapped with) one partition's store and evaluates subqueries sent by
+// the coordinator. Connections are handled one goroutine each; requests on
+// a connection are processed in order, which matches the client's
+// one-request-per-pooled-connection discipline.
+type Server struct {
+	opts ServerOptions
+	met  serverMetrics
+
+	mu       sync.Mutex
+	graph    *rdf.Graph
+	store    *store.Store
+	lis      net.Listener
+	conns    map[net.Conn]struct{}
+	draining bool
+	closed   bool
+
+	inflight sync.WaitGroup // in-flight request handlers
+}
+
+// NewServer builds a server; call Serve or ListenAndServe to start it.
+func NewServer(opts ServerOptions) *Server {
+	return &Server{
+		opts:  opts,
+		met:   newServerMetrics(opts.Obs),
+		graph: opts.Graph,
+		store: opts.Store,
+		conns: make(map[net.Conn]struct{}),
+	}
+}
+
+// NumTriples returns the size of the currently served store (0 before
+// bootstrap).
+func (s *Server) NumTriples() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.store == nil {
+		return 0
+	}
+	return s.store.NumTriples()
+}
+
+// ListenAndServe listens on addr and serves until Shutdown or Close.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Serve accepts connections on l until the listener is closed (by Shutdown
+// or Close). It returns nil after a clean shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return fmt.Errorf("transport: server already closed")
+	}
+	s.lis = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			stopped := s.draining || s.closed
+			s.mu.Unlock()
+			if stopped {
+				return nil
+			}
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.draining || s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// Shutdown drains the server: it stops accepting connections, refuses new
+// requests with CodeDraining, waits for in-flight requests to finish (up
+// to ctx), then closes all connections.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	lis := s.lis
+	s.mu.Unlock()
+	if lis != nil {
+		lis.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	s.closeConns()
+	return err
+}
+
+// Close force-closes the server: listener and every connection, without
+// waiting for in-flight work. Used by fault-injection tests to model a
+// site dying mid-query.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	lis := s.lis
+	s.mu.Unlock()
+	if lis != nil {
+		lis.Close()
+	}
+	s.closeConns()
+}
+
+// closeConns closes every tracked connection.
+func (s *Server) closeConns() {
+	s.mu.Lock()
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.conns = make(map[net.Conn]struct{})
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// dropConn untracks and closes one connection.
+func (s *Server) dropConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	conn.Close()
+}
+
+// serveConn handshakes, then answers frames until the connection dies.
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.dropConn(conn)
+	s.met.activeConns.Add(1)
+	defer s.met.activeConns.Add(-1)
+
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	if err := readHandshake(br); err != nil {
+		return
+	}
+	if err := writeHandshake(bw); err != nil {
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		return
+	}
+	s.met.bytesIn.Add(int64(handshakeLen))
+	s.met.bytesOut.Add(int64(handshakeLen))
+
+	for {
+		req, nIn, err := readFrame(br)
+		if err != nil {
+			return // client went away or sent garbage; drop the conn
+		}
+		s.met.bytesIn.Add(int64(nIn))
+		s.met.requests.Inc()
+
+		s.inflight.Add(1)
+		t0 := time.Now()
+		typ, payload := s.handle(req)
+		s.met.rpcNS[minMsg(req.typ)].ObserveDuration(time.Since(t0))
+		s.inflight.Done()
+
+		if typ == MsgError {
+			s.met.errors.Inc()
+		}
+		nOut, err := writeFrame(bw, typ, req.reqID, payload)
+		if err == nil {
+			err = bw.Flush()
+		}
+		s.met.bytesOut.Add(int64(nOut))
+		if err != nil {
+			return
+		}
+	}
+}
+
+// minMsg clamps a message type into the rpcNS index range (unknown types
+// land on the bad-request path but still need a valid index).
+func minMsg(t byte) byte {
+	if t > MsgTable {
+		return 0
+	}
+	return t
+}
+
+// handle processes one request and returns the response type and payload.
+func (s *Server) handle(req frame) (byte, []byte) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining && req.typ != MsgPing {
+		return MsgError, appendErrorPayload(nil, uint64(CodeDraining), "server is draining")
+	}
+	switch req.typ {
+	case MsgPing:
+		return MsgOK, nil
+
+	case MsgBootstrapGraph:
+		g, err := rdf.ReadSnapshot(bytes.NewReader(req.payload))
+		if err != nil {
+			return MsgError, appendErrorPayload(nil, uint64(CodeBadRequest), err.Error())
+		}
+		s.mu.Lock()
+		s.graph = g
+		s.store = nil // a new graph invalidates any previous store
+		s.mu.Unlock()
+		return MsgOK, nil
+
+	case MsgBootstrapTriples:
+		idx, err := DecodeTripleIdx(req.payload)
+		if err != nil {
+			return MsgError, appendErrorPayload(nil, uint64(CodeBadRequest), err.Error())
+		}
+		s.mu.Lock()
+		g := s.graph
+		s.mu.Unlock()
+		if g == nil {
+			return MsgError, appendErrorPayload(nil, uint64(CodeNoStore),
+				"no graph: send MsgBootstrapGraph or start the site with -graph")
+		}
+		for _, ti := range idx {
+			if int(ti) >= g.NumTriples() {
+				return MsgError, appendErrorPayload(nil, uint64(CodeBadRequest),
+					fmt.Sprintf("triple index %d out of range (graph has %d)", ti, g.NumTriples()))
+			}
+		}
+		st := store.New(g, idx)
+		st.Instrument(s.opts.Obs)
+		s.mu.Lock()
+		s.store = st
+		s.mu.Unlock()
+		return MsgOK, nil
+
+	case MsgQuery:
+		s.mu.Lock()
+		st := s.store
+		s.mu.Unlock()
+		if st == nil {
+			return MsgError, appendErrorPayload(nil, uint64(CodeNoStore), "site not bootstrapped")
+		}
+		q, err := DecodeQuery(req.payload)
+		if err != nil {
+			return MsgError, appendErrorPayload(nil, uint64(CodeBadRequest), err.Error())
+		}
+		tab, err := st.Match(q)
+		if err != nil {
+			return MsgError, appendErrorPayload(nil, uint64(CodeInternal), err.Error())
+		}
+		return MsgTable, store.AppendTable(make([]byte, 0, store.EncodedTableSize(tab)), tab)
+
+	default:
+		return MsgError, appendErrorPayload(nil, uint64(CodeBadRequest),
+			fmt.Sprintf("unknown message type %d", req.typ))
+	}
+}

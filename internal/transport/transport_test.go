@@ -1,0 +1,415 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"math/rand"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"mpc/internal/cluster"
+	"mpc/internal/datagen"
+	"mpc/internal/obs"
+	"mpc/internal/rdf"
+	"mpc/internal/sparql"
+	"mpc/internal/store"
+)
+
+// startServer runs a server on a loopback listener and returns it with its
+// address. Cleanup closes it.
+func startServer(t *testing.T, opts ServerOptions) (*Server, string) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(opts)
+	go srv.Serve(l)
+	t.Cleanup(srv.Close)
+	return srv, l.Addr().String()
+}
+
+// testGraph builds a small deterministic graph.
+func testGraph(t *testing.T) *rdf.Graph {
+	t.Helper()
+	return datagen.LUBM{}.Generate(2000, 7)
+}
+
+// allTriples returns [0..n) indices.
+func allTriples(g *rdf.Graph) []int32 {
+	idx := make([]int32, g.NumTriples())
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	return idx
+}
+
+func TestPingAndBootstrapQuery(t *testing.T) {
+	g := testGraph(t)
+	_, addr := startServer(t, ServerOptions{})
+	c, err := Dial(addr, ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// A query before bootstrap must fail with a typed remote error.
+	q := &sparql.Query{Patterns: []sparql.TriplePattern{{
+		S: sparql.Term{IsVar: true, Value: "s"},
+		P: sparql.Term{IsVar: true, Value: "p"},
+		O: sparql.Term{IsVar: true, Value: "o"},
+	}}}
+	_, _, err = c.ExecuteSub(q, cluster.SubOpts{})
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Code != CodeNoStore {
+		t.Fatalf("pre-bootstrap query: got %v, want RemoteError{CodeNoStore}", err)
+	}
+
+	if err := c.Bootstrap(g, allTriples(g)); err != nil {
+		t.Fatal(err)
+	}
+
+	tab, st, err := c.ExecuteSub(q, cluster.SubOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := store.New(g, allTriples(g)).Match(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != want.Len() {
+		t.Fatalf("?s ?p ?o returned %d rows, want %d", tab.Len(), want.Len())
+	}
+	if st.BytesShipped <= 0 || st.WireTime <= 0 {
+		t.Fatalf("missing wire stats: %+v", st)
+	}
+}
+
+// TestRemoteMatchesLocal checks that a remote ExecuteSub returns a table
+// bit-identical to the local store's answer for a spread of subqueries.
+func TestRemoteMatchesLocal(t *testing.T) {
+	g := testGraph(t)
+	local := store.New(g, allTriples(g))
+	_, addr := startServer(t, ServerOptions{})
+	c, err := Dial(addr, ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Bootstrap(g, allTriples(g)); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 30; i++ {
+		tr := g.Triple(int32(rng.Intn(g.NumTriples())))
+		q := &sparql.Query{Patterns: []sparql.TriplePattern{{
+			S: sparql.Term{IsVar: true, Value: "x"},
+			P: sparql.Term{Value: g.Properties.String(uint32(tr.P))},
+			O: sparql.Term{IsVar: i%2 == 0, Value: g.Vertices.String(uint32(tr.O))},
+		}}}
+		want, err := local.Match(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := c.ExecuteSub(q, cluster.SubOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want.Vars, got.Vars) || !reflect.DeepEqual(want.Data, got.Data) ||
+			want.ZeroWidthRows != got.ZeroWidthRows {
+			t.Fatalf("query %d: remote table differs from local", i)
+		}
+	}
+}
+
+// TestServerStorePreload covers the mpc-site -snapshot path: a server
+// started with a ready store answers queries with no bootstrap at all.
+func TestServerStorePreload(t *testing.T) {
+	g := testGraph(t)
+	st := store.New(g, allTriples(g))
+	_, addr := startServer(t, ServerOptions{Graph: g, Store: st})
+	c, err := Dial(addr, ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	q := &sparql.Query{Patterns: []sparql.TriplePattern{{
+		S: sparql.Term{IsVar: true, Value: "s"},
+		P: sparql.Term{IsVar: true, Value: "p"},
+		O: sparql.Term{IsVar: true, Value: "o"},
+	}}}
+	tab, _, err := c.ExecuteSub(q, cluster.SubOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := st.Match(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != want.Len() {
+		t.Fatalf("preloaded server returned %d rows, want %d", tab.Len(), want.Len())
+	}
+}
+
+// TestServerKilledMidQuery models a site process dying: in-flight and
+// subsequent requests must surface ErrUnavailable after bounded retries,
+// not hang and not panic.
+func TestServerKilledMidQuery(t *testing.T) {
+	g := testGraph(t)
+	srv, addr := startServer(t, ServerOptions{})
+	reg := obs.NewRegistry()
+	c, err := Dial(addr, ClientOptions{
+		RequestTimeout: 5 * time.Second,
+		MaxRetries:     2,
+		RetryBackoff:   5 * time.Millisecond,
+		Obs:            reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Bootstrap(g, allTriples(g)); err != nil {
+		t.Fatal(err)
+	}
+
+	srv.Close() // the site dies
+
+	q := &sparql.Query{Patterns: []sparql.TriplePattern{{
+		S: sparql.Term{IsVar: true, Value: "s"},
+		P: sparql.Term{IsVar: true, Value: "p"},
+		O: sparql.Term{IsVar: true, Value: "o"},
+	}}}
+	_, _, err = c.ExecuteSub(q, cluster.SubOpts{})
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("query against dead site: got %v, want ErrUnavailable", err)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["transport.retries"] < 2 {
+		t.Fatalf("expected >=2 retries, got %d", snap.Counters["transport.retries"])
+	}
+}
+
+// stubServer speaks just enough protocol to exercise client failure paths:
+// it handshakes, then hands each connection to handle.
+func stubServer(t *testing.T, handle func(conn net.Conn, br *bufio.Reader)) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				br := bufio.NewReader(conn)
+				if err := readHandshake(br); err != nil {
+					return
+				}
+				if err := writeHandshake(conn); err != nil {
+					return
+				}
+				handle(conn, br)
+			}()
+		}
+	}()
+	return l.Addr().String()
+}
+
+// TestSlowServerHitsDeadline models a wedged site: the request must return
+// ErrTimeout once its deadline expires instead of hanging.
+func TestSlowServerHitsDeadline(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	addr := stubServer(t, func(conn net.Conn, br *bufio.Reader) {
+		readFrame(br) // swallow the request, never answer
+		<-release
+	})
+	c := NewClient(addr, ClientOptions{RequestTimeout: 150 * time.Millisecond})
+	defer c.Close()
+	start := time.Now()
+	err := c.Ping()
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("ping against wedged site: got %v, want ErrTimeout", err)
+	}
+	if e := time.Since(start); e > 3*time.Second {
+		t.Fatalf("deadline took %v to fire", e)
+	}
+}
+
+// TestRetryRecoversFromConnDrop kills the first two connections mid-frame;
+// the third attempt must succeed transparently.
+func TestRetryRecoversFromConnDrop(t *testing.T) {
+	drops := make(chan struct{}, 2)
+	drops <- struct{}{}
+	drops <- struct{}{}
+	addr := stubServer(t, func(conn net.Conn, br *bufio.Reader) {
+		req, _, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		select {
+		case <-drops:
+			return // close mid-exchange: client sees EOF
+		default:
+		}
+		writeFrame(conn, MsgOK, req.reqID, nil)
+	})
+	c := NewClient(addr, ClientOptions{
+		RequestTimeout: 5 * time.Second,
+		MaxRetries:     3,
+		RetryBackoff:   time.Millisecond,
+	})
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping should have recovered via retries: %v", err)
+	}
+}
+
+// TestDrainRefusesNewWork checks graceful shutdown semantics: after
+// Shutdown begins, new requests get a typed draining error.
+func TestDrainRefusesNewWork(t *testing.T) {
+	g := testGraph(t)
+	srv, addr := startServer(t, ServerOptions{})
+	c, err := Dial(addr, ClientOptions{MaxRetries: 1, RetryBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Bootstrap(g, allTriples(g)); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// The pooled connection is closed by shutdown and the listener is gone,
+	// so the query fails as unavailable; a request that raced the drain
+	// window would see ErrDraining instead. Either way it is typed.
+	q := &sparql.Query{Patterns: []sparql.TriplePattern{{
+		S: sparql.Term{IsVar: true, Value: "s"},
+		P: sparql.Term{IsVar: true, Value: "p"},
+		O: sparql.Term{IsVar: true, Value: "o"},
+	}}}
+	_, _, err = c.ExecuteSub(q, cluster.SubOpts{})
+	if !errors.Is(err, ErrUnavailable) && !errors.Is(err, ErrDraining) {
+		t.Fatalf("query after shutdown: got %v, want ErrUnavailable or ErrDraining", err)
+	}
+}
+
+// TestHandshakeRejectsBadPeer checks version/magic validation.
+func TestHandshakeRejectsBadPeer(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			conn.Write([]byte("HTTP/1.1 400 no\r\n"))
+			conn.Close()
+		}
+	}()
+	c := NewClient(l.Addr().String(), ClientOptions{
+		RequestTimeout: time.Second, MaxRetries: 1, RetryBackoff: time.Millisecond,
+	})
+	defer c.Close()
+	if err := c.Ping(); err == nil {
+		t.Fatal("ping accepted a non-MPCT peer")
+	}
+}
+
+func TestQueryCodecRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	randTerm := func() sparql.Term {
+		return sparql.Term{IsVar: rng.Intn(2) == 0, Value: string(rune('a' + rng.Intn(26)))}
+	}
+	for i := 0; i < 200; i++ {
+		q := &sparql.Query{}
+		for j := rng.Intn(4); j > 0; j-- {
+			q.Select = append(q.Select, string(rune('x'+rng.Intn(3))))
+		}
+		for j := rng.Intn(6); j > 0; j-- {
+			q.Patterns = append(q.Patterns, sparql.TriplePattern{S: randTerm(), P: randTerm(), O: randTerm()})
+		}
+		got, err := DecodeQuery(AppendQuery(nil, q))
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(q, got) {
+			t.Fatalf("case %d: roundtrip mismatch:\n%+v\n%+v", i, q, got)
+		}
+	}
+}
+
+func TestQueryCodecTruncated(t *testing.T) {
+	q := &sparql.Query{
+		Select: []string{"x", "y"},
+		Patterns: []sparql.TriplePattern{{
+			S: sparql.Term{IsVar: true, Value: "x"},
+			P: sparql.Term{Value: "knows"},
+			O: sparql.Term{IsVar: true, Value: "y"},
+		}},
+	}
+	enc := AppendQuery(nil, q)
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := DecodeQuery(enc[:cut]); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded without error", cut, len(enc))
+		}
+	}
+	if _, err := DecodeQuery(append(enc[:len(enc):len(enc)], 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestTripleIdxCodecRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		idx := make([]int32, rng.Intn(500))
+		for j := range idx {
+			idx[j] = rng.Int31n(1 << 20)
+		}
+		if i%3 == 0 { // partitioner output is usually sorted; deltas go small
+			for j := 1; j < len(idx); j++ {
+				if idx[j] < idx[j-1] {
+					idx[j], idx[j-1] = idx[j-1], idx[j]
+				}
+			}
+		}
+		got, err := DecodeTripleIdx(AppendTripleIdx(nil, idx))
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if len(got) != len(idx) {
+			t.Fatalf("case %d: length %d vs %d", i, len(got), len(idx))
+		}
+		for j := range idx {
+			if got[j] != idx[j] {
+				t.Fatalf("case %d: index %d: %d vs %d", i, j, got[j], idx[j])
+			}
+		}
+	}
+}
+
+func TestTripleIdxCodecTruncated(t *testing.T) {
+	enc := AppendTripleIdx(nil, []int32{5, 1000, 2, 1 << 30})
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := DecodeTripleIdx(enc[:cut]); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded without error", cut, len(enc))
+		}
+	}
+}
