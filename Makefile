@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race check cover bench bench-full bench-json bench-smoke bench-online experiments transport-race transport-smoke clean
+.PHONY: all build test test-race check cover bench bench-full bench-json bench-smoke bench-online experiments transport-race transport-smoke oracle oracle-race clean
 
 all: build test
 
@@ -51,6 +51,17 @@ bench-smoke:
 # drives it (also covered by check; kept separate for fast iteration).
 transport-race:
 	$(GO) test -race ./internal/transport/... ./internal/cluster/...
+
+# Differential-testing oracle (internal/oracle): every strategy ×
+# partitioner combination cross-checked against the naive reference
+# evaluator on the randomized seed corpus. `oracle` is the quick gate
+# (-short trims the corpus); `oracle-race` runs the full corpus — including
+# the loopback-TCP combination — under the race detector.
+oracle:
+	$(GO) test -short -count=1 ./internal/oracle/
+
+oracle-race:
+	$(GO) test -race -count=1 ./internal/oracle/
 
 # End-to-end loopback smoke: real mpc-site processes, bootstrap over TCP,
 # a join query through mpc-query -sites, measured wire stats asserted.

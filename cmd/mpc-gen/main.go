@@ -6,7 +6,8 @@
 //	mpc-gen -dataset WatDiv -triples 1000000 -o watdiv.mpcg   # binary snapshot
 //
 // Datasets: LUBM, WatDiv, YAGO2, Bio2RDF, DBpedia, LGD (scaled synthetic
-// analogues of the paper's evaluation datasets; see DESIGN.md).
+// analogues of the paper's evaluation datasets; see DESIGN.md), plus Random
+// (the schema-free graph used by the differential-testing oracle).
 package main
 
 import (
@@ -20,7 +21,7 @@ import (
 )
 
 func main() {
-	dataset := flag.String("dataset", "LUBM", "dataset family: LUBM, WatDiv, YAGO2, Bio2RDF, DBpedia, LGD")
+	dataset := flag.String("dataset", "LUBM", "dataset family: LUBM, WatDiv, YAGO2, Bio2RDF, DBpedia, LGD, Random")
 	triples := flag.Int("triples", 100000, "approximate number of triples")
 	seed := flag.Int64("seed", 1, "generator seed")
 	out := flag.String("o", "", "output file (default stdout)")

@@ -322,6 +322,22 @@ func (c *Cluster) Execute(q *sparql.Query) (*Result, error) {
 		decomp := func(q *sparql.Query) []*sparql.Query {
 			return sparql.Decompose(q, c.crossing)
 		}
+		if len(q.Patterns) > 1 && !q.IsWeaklyConnected() {
+			// Classification (Definitions 5.1–5.3) assumes a weakly connected
+			// query; on a disconnected one it can report an IEQ class whose
+			// per-site union misses matches that combine components matched at
+			// different sites. Classify and decompose each component instead,
+			// and let the coordinator join (Cartesian across components,
+			// filtered by any shared property variable).
+			class = sparql.ClassNonIEQ
+			decomp = func(q *sparql.Query) []*sparql.Query {
+				var subs []*sparql.Query
+				for _, comp := range q.ConnectedComponents() {
+					subs = append(subs, sparql.Decompose(comp, c.crossing)...)
+				}
+				return subs
+			}
+		}
 		return c.executeVertexDisjoint(q, class, decomp)
 	}
 }

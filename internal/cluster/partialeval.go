@@ -12,9 +12,11 @@ import (
 	"mpc/internal/store"
 )
 
-// maxPartialEvalEdges bounds the query size for partial evaluation: the
-// assembly DP is exponential in the pattern count.
-const maxPartialEvalEdges = 12
+// MaxPartialEvalEdges bounds the query size for partial evaluation: the
+// assembly DP is exponential in the pattern count. Exported so harnesses
+// (internal/oracle) can skip over-budget queries instead of treating the
+// size error as a divergence.
+const MaxPartialEvalEdges = 12
 
 // ExecutePartialEval answers q with partial-evaluation-and-assembly, the
 // run-time framework of gStoreD (Peng et al., VLDB J 2016) that the paper
@@ -53,8 +55,8 @@ func (c *Cluster) ExecutePartialEval(q *sparql.Query) (*Result, error) {
 	if n == 0 {
 		return &Result{Table: &store.Table{}}, nil
 	}
-	if n > maxPartialEvalEdges {
-		return nil, fmt.Errorf("cluster: partial evaluation supports at most %d patterns, query has %d", maxPartialEvalEdges, n)
+	if n > MaxPartialEvalEdges {
+		return nil, fmt.Errorf("cluster: partial evaluation supports at most %d patterns, query has %d", MaxPartialEvalEdges, n)
 	}
 	stats := Stats{Class: sparql.ClassNonIEQ, NumSubqueries: n}
 

@@ -264,7 +264,7 @@ func TestPartialEvalRejectsHugeQueries(t *testing.T) {
 	p, _ := (partition.SubjectHash{}).Partition(g, partition.Options{K: 2, Epsilon: 0.3, Seed: 1})
 	c, _ := NewFromPartitioning(p, Config{})
 	q := &sparql.Query{}
-	for i := 0; i <= maxPartialEvalEdges; i++ {
+	for i := 0; i <= MaxPartialEvalEdges; i++ {
 		q.Patterns = append(q.Patterns, sparql.TriplePattern{
 			S: sparql.Var(fmt.Sprintf("v%d", i)),
 			P: sparql.Const("starring"),

@@ -69,12 +69,14 @@ func (c *Cluster) executeVP(q *sparql.Query) (*Result, error) {
 		return &Result{Table: project(tab, q), Stats: stats}, nil
 	}
 	if singleSite == -2 && len(q.Patterns) == 1 {
-		// Single unknown-property pattern: empty result.
+		// Single unknown-property pattern: empty result. Keep the query's
+		// variables as schema — every other execution path returns a typed
+		// empty table here, and the differential oracle compares schemas.
 		stats.NumSubqueries = 1
 		dsp.End()
 		stats.DecompTime = time.Since(t0)
 		c.met.observeStats(&stats)
-		return &Result{Table: &store.Table{}, Stats: stats}, nil
+		return &Result{Table: project(emptyTableFor(q), q), Stats: stats}, nil
 	}
 
 	// Group same-site patterns, split groups into connected components.
@@ -101,7 +103,7 @@ func (c *Cluster) executeVP(q *sparql.Query) (*Result, error) {
 			// All triples of these properties live wholly at this site, so
 			// connected components can be co-evaluated there.
 			subq := &sparql.Query{Patterns: pats}
-			for _, comp := range connectedComponents(subq) {
+			for _, comp := range subq.ConnectedComponents() {
 				comp.Select = comp.Vars()
 				tasks = append(tasks, task{comp, []int{site}})
 			}
@@ -204,52 +206,3 @@ func emptyTableFor(q *sparql.Query) *store.Table {
 	return store.NewTable(vars, ks)
 }
 
-// connectedComponents splits a BGP into its weakly connected components.
-func connectedComponents(q *sparql.Query) []*sparql.Query {
-	n := len(q.Patterns)
-	if n == 0 {
-		return nil
-	}
-	// Union-find over pattern indices via shared vertex terms.
-	parent := make([]int, n)
-	for i := range parent {
-		parent[i] = i
-	}
-	var find func(int) int
-	find = func(x int) int {
-		for parent[x] != x {
-			parent[x] = parent[parent[x]]
-			x = parent[x]
-		}
-		return x
-	}
-	owner := map[string]int{}
-	for i, tp := range q.Patterns {
-		for _, t := range []sparql.Term{tp.S, tp.O} {
-			k := t.Key()
-			if j, ok := owner[k]; ok {
-				a, b := find(i), find(j)
-				if a != b {
-					parent[a] = b
-				}
-			} else {
-				owner[k] = i
-			}
-		}
-	}
-	comps := map[int]*sparql.Query{}
-	var order []int
-	for i, tp := range q.Patterns {
-		r := find(i)
-		if comps[r] == nil {
-			comps[r] = &sparql.Query{}
-			order = append(order, r)
-		}
-		comps[r].Patterns = append(comps[r].Patterns, tp)
-	}
-	out := make([]*sparql.Query, 0, len(order))
-	for _, r := range order {
-		out = append(out, comps[r])
-	}
-	return out
-}

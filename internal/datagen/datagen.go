@@ -45,12 +45,16 @@ func ByName(name string) (Generator, error) {
 		return DBpedia{}, nil
 	case "LGD", "lgd":
 		return LGD{}, nil
+	case "Random", "random":
+		return Random{}, nil
 	default:
 		return nil, fmt.Errorf("datagen: unknown dataset %q", name)
 	}
 }
 
-// All returns every generator in the paper's table order.
+// All returns every dataset-mimic generator in the paper's table order.
+// Random is deliberately excluded: it mimics no paper dataset and exists for
+// the differential-testing oracle.
 func All() []Generator {
 	return []Generator{LUBM{}, WatDiv{}, YAGO2{}, Bio2RDF{}, DBpedia{}, LGD{}}
 }

@@ -21,6 +21,9 @@ func TestByName(t *testing.T) {
 	if _, err := ByName("nope"); err == nil {
 		t.Fatal("unknown dataset accepted")
 	}
+	if gen, err := ByName("Random"); err != nil || gen.Name() != "Random" {
+		t.Fatalf("ByName(Random) = %v, %v", gen, err)
+	}
 	if len(All()) != 6 {
 		t.Fatalf("All() = %d generators, want 6", len(All()))
 	}

@@ -1,0 +1,136 @@
+package datagen
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"mpc/internal/core"
+	"mpc/internal/partition"
+	"mpc/internal/rdf"
+)
+
+// generatorsUnderTest is every dataset mimic plus the oracle-oriented Random
+// configurations (uniform, small-pool, and skewed).
+func generatorsUnderTest() []Generator {
+	return append(All(),
+		Random{},
+		Random{V: 40, P: 5},
+		Random{V: 200, P: 12, Skew: 1.8},
+	)
+}
+
+// TestSeedDigestDeterminism pins the regression the oracle corpus depends
+// on: a (generator, triples, seed) triple names one graph, forever. The
+// digest covers the full triple sequence over surface strings, so any drift
+// in emission order or term naming trips it.
+func TestSeedDigestDeterminism(t *testing.T) {
+	for i, gen := range generatorsUnderTest() {
+		name := fmt.Sprintf("%s#%d", gen.Name(), i)
+		a := gen.Generate(5000, 11).Digest()
+		b := gen.Generate(5000, 11).Digest()
+		if a != b {
+			t.Errorf("%s: same seed gave digests %x vs %x", name, a, b)
+		}
+		if c := gen.Generate(5000, 12).Digest(); c == a {
+			t.Errorf("%s: seeds 11 and 12 gave the same digest %x", name, a)
+		}
+	}
+}
+
+// TestConcurrentGenerationDeterminism generates the same graph from several
+// goroutines at once and demands identical digests — a generator leaking
+// shared mutable state (a package-level rng, a memoized pool) would race and
+// diverge here, and under -race would be flagged directly.
+func TestConcurrentGenerationDeterminism(t *testing.T) {
+	for i, gen := range generatorsUnderTest() {
+		name := fmt.Sprintf("%s#%d", gen.Name(), i)
+		ref := gen.Generate(3000, 7).Digest()
+		const workers = 4
+		digests := make([]uint64, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				digests[w] = gen.Generate(3000, 7).Digest()
+			}(w)
+		}
+		wg.Wait()
+		for w, d := range digests {
+			if d != ref {
+				t.Errorf("%s: concurrent run %d digest %x, want %x", name, w, d, ref)
+			}
+		}
+	}
+}
+
+// TestPartitionWorkersInvariance checks the other half of corpus stability:
+// the offline pipeline must produce a bit-identical partitioning for every
+// Workers setting (the Options.Workers contract), so oracle cases don't
+// depend on the machine's core count.
+func TestPartitionWorkersInvariance(t *testing.T) {
+	for _, gen := range []Generator{LUBM{}, Random{V: 300, P: 10, Skew: 1.5}} {
+		g := gen.Generate(8000, 3)
+		var ref *partition.Partitioning
+		for _, workers := range []int{1, 2, 0} {
+			opts := partition.Options{K: 4, Epsilon: 0.1, Seed: 1, Workers: workers}
+			p, err := core.MPC{}.Partition(g, opts)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", gen.Name(), workers, err)
+			}
+			if ref == nil {
+				ref = p
+				continue
+			}
+			if len(p.Assign) != len(ref.Assign) {
+				t.Fatalf("%s workers=%d: assignment length %d vs %d",
+					gen.Name(), workers, len(p.Assign), len(ref.Assign))
+			}
+			for v := range p.Assign {
+				if p.Assign[v] != ref.Assign[v] {
+					t.Errorf("%s workers=%d: vertex %d assigned %d, serial run %d",
+						gen.Name(), workers, v, p.Assign[v], ref.Assign[v])
+					break
+				}
+			}
+			if p.NumCrossingProperties() != ref.NumCrossingProperties() {
+				t.Errorf("%s workers=%d: %d crossing properties, serial run %d",
+					gen.Name(), workers, p.NumCrossingProperties(), ref.NumCrossingProperties())
+			}
+		}
+	}
+}
+
+// TestRandomGenerator pins the Random generator's basic contract: exact
+// triple count, bounded pools, and a materially skewed degree distribution
+// when Skew is set.
+func TestRandomGenerator(t *testing.T) {
+	g := Random{V: 50, P: 4}.Generate(1000, 1)
+	if g.NumTriples() != 1000 {
+		t.Fatalf("NumTriples = %d, want exactly 1000", g.NumTriples())
+	}
+	if g.NumProperties() > 4 {
+		t.Fatalf("NumProperties = %d, want <= 4", g.NumProperties())
+	}
+	// Pool bound: 50 vertices + blank pool (6) + literal pool (7).
+	if nv := g.NumVertices(); nv > 50+6+7 {
+		t.Fatalf("NumVertices = %d, beyond pool bound", nv)
+	}
+
+	maxDeg := func(gen Random) int {
+		g := gen.Generate(4000, 2)
+		m := 0
+		for v := 0; v < g.NumVertices(); v++ {
+			if d := g.Degree(rdf.VertexID(v)); d > m {
+				m = d
+			}
+		}
+		return m
+	}
+	uniform := maxDeg(Random{V: 400, P: 4})
+	skewed := maxDeg(Random{V: 400, P: 4, Skew: 2.5})
+	if skewed <= uniform {
+		t.Errorf("skewed max degree %d not above uniform %d", skewed, uniform)
+	}
+}

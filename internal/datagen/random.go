@@ -1,0 +1,95 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mpc/internal/rdf"
+)
+
+// Random generates an unstructured random multigraph. Unlike the dataset
+// mimics in this package it follows no schema: subjects, properties, and
+// objects are drawn independently from small pools, so a short random BGP
+// has a real chance of matching — which is exactly what the differential-
+// testing oracle (internal/oracle) needs. The pools mix plain vertices with
+// blank nodes and literal objects to exercise every term shape the parser
+// and stores accept, and duplicate triples are possible by construction,
+// exercising the distinct-bindings semantics of every execution path.
+type Random struct {
+	// V is the vertex-pool size. Default triples/3, minimum 8. The generated
+	// graph's NumVertices is at most V plus the blank and literal pools
+	// (unused pool entries are never interned).
+	V int
+	// P is the property count. Default 6.
+	P int
+	// Skew is the Zipf exponent for subject selection. Values > 1 make a few
+	// hub vertices own most outgoing edges; anything else means uniform.
+	Skew float64
+}
+
+// Name implements Generator.
+func (Random) Name() string { return "Random" }
+
+// Generate implements Generator. Exactly triples triples are emitted.
+func (r Random) Generate(triples int, seed int64) *rdf.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	nv := r.V
+	if nv <= 0 {
+		nv = triples / 3
+	}
+	if nv < 8 {
+		nv = 8
+	}
+	np := r.P
+	if np <= 0 {
+		np = 6
+	}
+
+	verts := make([]string, nv)
+	for i := range verts {
+		verts[i] = fmt.Sprintf("v%d", i)
+	}
+	blanks := make([]string, 1+nv/10)
+	for i := range blanks {
+		blanks[i] = fmt.Sprintf("_:b%d", i)
+	}
+	lits := make([]string, 1+nv/8)
+	for i := range lits {
+		lits[i] = fmt.Sprintf(`"L%d"`, i)
+	}
+	props := make([]string, np)
+	for i := range props {
+		props[i] = fmt.Sprintf("p%d", i)
+	}
+
+	var zipf *rand.Zipf
+	if r.Skew > 1 && nv > 1 {
+		zipf = rand.NewZipf(rng, r.Skew, 1, uint64(nv-1))
+	}
+	subject := func() string {
+		if rng.Float64() < 0.08 {
+			return pick(rng, blanks)
+		}
+		if zipf != nil {
+			return verts[zipf.Uint64()]
+		}
+		return pick(rng, verts)
+	}
+	object := func() string {
+		switch f := rng.Float64(); {
+		case f < 0.15:
+			return pick(rng, lits)
+		case f < 0.23:
+			return pick(rng, blanks)
+		default:
+			return pick(rng, verts)
+		}
+	}
+
+	g := rdf.NewGraph()
+	for i := 0; i < triples; i++ {
+		g.AddTriple(subject(), pick(rng, props), object())
+	}
+	g.Freeze()
+	return g
+}

@@ -1,0 +1,381 @@
+package oracle
+
+import (
+	"fmt"
+	"net"
+
+	"mpc/internal/cluster"
+	"mpc/internal/core"
+	"mpc/internal/partition"
+	"mpc/internal/rdf"
+	"mpc/internal/sparql"
+	"mpc/internal/transport"
+)
+
+// Options tunes one differential environment.
+type Options struct {
+	// K is the number of sites. Default 3.
+	K int
+	// Epsilon is the balance slack of Definition 4.1. Default 0.3.
+	Epsilon float64
+	// Seed drives the partitioners. Default 1.
+	Seed int64
+	// RowLimit bounds the oracle's distinct full bindings per query; larger
+	// results are skipped. Default 4000.
+	RowLimit int
+	// TCP adds a loopback-TCP combination (MPC partitioning, crossing-aware
+	// mode over real transport sites). Close the Env to stop its servers.
+	TCP bool
+	// Localize additionally runs the crossing-aware MPC combination with
+	// query localization enabled (Config.Localize), exercising the
+	// empty-site-list join path.
+	Localize bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.K <= 0 {
+		o.K = 3
+	}
+	if o.Epsilon == 0 {
+		o.Epsilon = 0.3
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.RowLimit == 0 {
+		o.RowLimit = 4000
+	}
+	return o
+}
+
+// combo is one execution path under differential test.
+type combo struct {
+	name    string
+	c       *cluster.Cluster
+	partial bool // answer via ExecutePartialEval instead of Execute
+}
+
+// Env holds one graph's worth of differential state: the partitionings and
+// one cluster per strategy × partitioner combination.
+type Env struct {
+	G    *rdf.Graph
+	Opts Options
+	// MPC and Hash are the vertex-disjoint partitionings under test; VPL is
+	// the edge-disjoint layout.
+	MPC  *partition.Partitioning
+	Hash *partition.Partitioning
+	VPL  *partition.VPLayout
+
+	combos   []combo
+	crossing sparql.CrossingTest // MPC's crossing test
+	closers  []func()
+}
+
+// NewEnv builds every execution combination over g. The MPC balance
+// invariant (Definition 4.1: every partition holds at most (1+ε)·|V|/k
+// vertices) is asserted here, once per graph.
+func NewEnv(g *rdf.Graph, o Options) (*Env, error) {
+	o = o.withDefaults()
+	popts := partition.Options{K: o.K, Epsilon: o.Epsilon, Seed: o.Seed}
+
+	mpcP, err := core.MPC{}.Partition(g, popts)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: MPC partition: %w", err)
+	}
+	if max, cap := mpcP.MaxPartSize(), popts.Cap(g.NumVertices()); max > cap {
+		return nil, fmt.Errorf("oracle: MPC balance violated: max partition %d > cap %d (Definition 4.1)", max, cap)
+	}
+	hashP, err := partition.SubjectHash{}.Partition(g, popts)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: hash partition: %w", err)
+	}
+	vpl, err := partition.VP{}.Partition(g, popts)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: VP partition: %w", err)
+	}
+
+	e := &Env{G: g, Opts: o, MPC: mpcP, Hash: hashP, VPL: vpl}
+	e.crossing = crossingTest(mpcP)
+
+	add := func(name string, p *partition.Partitioning, cfg cluster.Config, partial bool) error {
+		c, err := cluster.NewFromPartitioning(p, cfg)
+		if err != nil {
+			return fmt.Errorf("oracle: %s: %w", name, err)
+		}
+		e.combos = append(e.combos, combo{name, c, partial})
+		return nil
+	}
+	for _, pc := range []struct {
+		name string
+		p    *partition.Partitioning
+	}{{"mpc", mpcP}, {"hash", hashP}} {
+		if err := add(pc.name+"/crossing-aware", pc.p, cluster.Config{}, false); err != nil {
+			return nil, err
+		}
+		if err := add(pc.name+"/star-only+semijoin", pc.p,
+			cluster.Config{Mode: cluster.ModeStarOnly, Semijoin: true}, false); err != nil {
+			return nil, err
+		}
+		if err := add(pc.name+"/partial-eval", pc.p, cluster.Config{}, true); err != nil {
+			return nil, err
+		}
+	}
+	vc, err := cluster.New(vpl, nil, cluster.Config{Mode: cluster.ModeVP})
+	if err != nil {
+		return nil, fmt.Errorf("oracle: vp: %w", err)
+	}
+	e.combos = append(e.combos, combo{"vp", vc, false})
+	if o.Localize {
+		if err := add("mpc/crossing-aware+localize", mpcP,
+			cluster.Config{Localize: true}, false); err != nil {
+			return nil, err
+		}
+	}
+	if o.TCP {
+		tc, err := e.tcpCluster(mpcP)
+		if err != nil {
+			e.Close()
+			return nil, err
+		}
+		e.combos = append(e.combos, combo{"mpc/crossing-aware/tcp", tc, false})
+	}
+	return e, nil
+}
+
+// tcpCluster spawns one transport server per site on loopback TCP,
+// bootstraps them with the MPC layout, and wraps the clients in a
+// coordinator — the real-network execution path.
+func (e *Env) tcpCluster(p *partition.Partitioning) (*cluster.Cluster, error) {
+	addrs := make([]string, p.NumSites())
+	for i := range addrs {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("oracle: listen: %w", err)
+		}
+		srv := transport.NewServer(transport.ServerOptions{})
+		go srv.Serve(l)
+		e.closers = append(e.closers, srv.Close)
+		addrs[i] = l.Addr().String()
+	}
+	clients, err := transport.Connect(addrs, transport.ClientOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("oracle: connect: %w", err)
+	}
+	e.closers = append(e.closers, func() { transport.CloseAll(clients) })
+	if err := transport.Bootstrap(clients, p); err != nil {
+		return nil, fmt.Errorf("oracle: bootstrap: %w", err)
+	}
+	return cluster.NewWithSites(p, e.crossing, cluster.Config{}, transport.Sites(clients))
+}
+
+// Close stops any loopback-TCP servers and clients the Env spawned.
+func (e *Env) Close() {
+	for i := len(e.closers) - 1; i >= 0; i-- {
+		e.closers[i]()
+	}
+	e.closers = nil
+}
+
+// Combos returns the combination names, for reporting.
+func (e *Env) Combos() []string {
+	names := make([]string, len(e.combos))
+	for i, cb := range e.combos {
+		names[i] = cb.name
+	}
+	return names
+}
+
+// CheckResult is the outcome of one differential case.
+type CheckResult struct {
+	// Skipped is set when the oracle exceeded its budget; nothing was
+	// compared.
+	Skipped bool
+	// OracleRows is the distinct full-binding count of the reference
+	// evaluation.
+	OracleRows int
+	// Divergences lists every combination (or invariant) that disagreed
+	// with the oracle, one message each. Empty means the case passed.
+	Divergences []string
+}
+
+// Check runs q through every combination and compares each canonicalized
+// result against the naive reference evaluation, then verifies the
+// metamorphic invariants (Theorem 5 star classification, Algorithm 2
+// decomposition round-trip). Execution errors are returned as hard errors;
+// result mismatches are reported as divergences.
+func (e *Env) Check(q *sparql.Query) (CheckResult, error) {
+	var res CheckResult
+	full, err := Eval(e.G, q, e.Opts.RowLimit)
+	if err == ErrTooLarge {
+		res.Skipped = true
+		return res, nil
+	}
+	if err != nil {
+		return res, err
+	}
+	res.OracleRows = full.Len()
+	want := full.ProjectQuery(q)
+
+	for _, cb := range e.combos {
+		var r *cluster.Result
+		if cb.partial {
+			if len(q.Patterns) > cluster.MaxPartialEvalEdges {
+				continue
+			}
+			r, err = cb.c.ExecutePartialEval(q)
+		} else {
+			r, err = cb.c.Execute(q)
+		}
+		if err != nil {
+			return res, fmt.Errorf("oracle: %s: %w", cb.name, err)
+		}
+		if d := Diff(want, Canonicalize(r.Table), e.G); d != nil {
+			res.Divergences = append(res.Divergences, fmt.Sprintf("%s: %v", cb.name, d))
+		}
+	}
+
+	res.Divergences = append(res.Divergences, e.checkInvariants(q, full)...)
+	return res, nil
+}
+
+// checkInvariants verifies the paper-level metamorphic properties of one
+// query against the oracle's full bindings.
+func (e *Env) checkInvariants(q *sparql.Query, full *Bindings) []string {
+	var out []string
+
+	// Theorem 5: every star query is an IEQ under any crossing set. Proper
+	// stars — distinct leaves, no self-loops — classify internal or Type-II
+	// specifically; degenerate stars (repeated leaves, 2-cycles) can
+	// legitimately be Type-I, which is still independently executable.
+	if q.IsStar() && len(q.Patterns) > 0 {
+		strict := isProperStar(q)
+		for _, pc := range []struct {
+			name string
+			p    *partition.Partitioning
+		}{{"mpc", e.MPC}, {"hash", e.Hash}} {
+			class := sparql.Classify(q, crossingTest(pc.p))
+			if !class.IsIEQ() {
+				out = append(out, fmt.Sprintf("invariant: star query classified %v under %s (Theorem 5)", class, pc.name))
+			} else if strict && class != sparql.ClassInternal && class != sparql.ClassTypeII {
+				out = append(out, fmt.Sprintf("invariant: proper star classified %v under %s, want internal or Type-II (Theorem 5)", class, pc.name))
+			}
+		}
+	}
+
+	// Algorithm 2: the decomposition's pattern multiset must equal the
+	// query's, and oracle-evaluating the subqueries and naively joining
+	// them must reproduce the direct oracle evaluation.
+	subs := e.decompose(q)
+	counts := map[string]int{}
+	for _, tp := range q.Patterns {
+		counts[tp.String()]++
+	}
+	for _, sub := range subs {
+		for _, tp := range sub.Patterns {
+			counts[tp.String()]--
+		}
+	}
+	for pat, n := range counts {
+		if n != 0 {
+			out = append(out, fmt.Sprintf("invariant: decomposition pattern multiset differs at %q by %d (Algorithm 2)", pat, n))
+			return out
+		}
+	}
+	if len(subs) > 1 {
+		joined, err := e.joinSubEvals(subs)
+		switch {
+		case err == ErrTooLarge:
+			// Subquery results can exceed the budget even when the full
+			// query's do not; the invariant is simply not checked then.
+		case err != nil:
+			out = append(out, fmt.Sprintf("invariant: decomposition eval: %v", err))
+		default:
+			if d := Diff(full, joined, e.G); d != nil {
+				out = append(out, fmt.Sprintf("invariant: decomposition union != direct eval (Algorithm 2): %v", d))
+			}
+		}
+	}
+	return out
+}
+
+// isProperStar reports whether some center vertex turns q into a
+// simple star: every pattern touches the center, no self-loops, and all
+// other endpoints pairwise distinct.
+func isProperStar(q *sparql.Query) bool {
+	for _, center := range []string{q.Patterns[0].S.Key(), q.Patterns[0].O.Key()} {
+		ok := true
+		leaves := map[string]bool{}
+		for _, tp := range q.Patterns {
+			s, o := tp.S.Key(), tp.O.Key()
+			var leaf string
+			switch {
+			case s == o:
+				ok = false
+			case s == center:
+				leaf = o
+			case o == center:
+				leaf = s
+			default:
+				ok = false
+			}
+			if !ok || leaves[leaf] {
+				ok = false
+				break
+			}
+			leaves[leaf] = true
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// decompose mirrors the coordinator: Algorithm 2 per weakly connected
+// component under the MPC crossing test.
+func (e *Env) decompose(q *sparql.Query) []*sparql.Query {
+	if len(q.Patterns) > 1 && !q.IsWeaklyConnected() {
+		var subs []*sparql.Query
+		for _, comp := range q.ConnectedComponents() {
+			subs = append(subs, sparql.Decompose(comp, e.crossing)...)
+		}
+		return subs
+	}
+	return sparql.Decompose(q, e.crossing)
+}
+
+// joinSubEvals oracle-evaluates each subquery and nested-loop joins the
+// results.
+func (e *Env) joinSubEvals(subs []*sparql.Query) (*Bindings, error) {
+	var acc *Bindings
+	for _, sub := range subs {
+		b, err := Eval(e.G, sub, e.Opts.RowLimit)
+		if err != nil {
+			return nil, err
+		}
+		if acc == nil {
+			acc = b
+			continue
+		}
+		if acc, err = Join(acc, b); err != nil {
+			return nil, err
+		}
+		if e.Opts.RowLimit > 0 && acc.Len() > e.Opts.RowLimit {
+			return nil, ErrTooLarge
+		}
+	}
+	return acc, nil
+}
+
+// crossingTest derives the crossing-property test of a vertex-disjoint
+// partitioning (the same derivation cluster.NewFromPartitioning uses).
+func crossingTest(p *partition.Partitioning) sparql.CrossingTest {
+	g := p.Graph()
+	return func(prop string) bool {
+		id, ok := g.Properties.Lookup(prop)
+		if !ok {
+			return false
+		}
+		return p.IsCrossingProperty(rdf.PropertyID(id))
+	}
+}

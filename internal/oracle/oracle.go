@@ -1,0 +1,475 @@
+// Package oracle is the repository's differential-testing ground truth: a
+// deliberately naive BGP evaluator over the full rdf.Graph, a canonical
+// bindings representation every execution path's output can be reduced to,
+// and a harness (harness.go) that runs randomized queries through every
+// strategy × partitioner combination and demands bit-identical canonical
+// results.
+//
+// The evaluator is written for obviousness, not speed: patterns are matched
+// in query order by scanning the complete triple list, with no indexes, no
+// join planning, and no cleverness beyond discarding inconsistent partial
+// assignments. Its one concession to reality is a work budget — randomized
+// disconnected queries can have Cartesian-product result sets — and when the
+// budget is exhausted it reports ErrTooLarge so harnesses can skip the case
+// rather than trust a truncated answer.
+package oracle
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"mpc/internal/rdf"
+	"mpc/internal/sparql"
+	"mpc/internal/store"
+)
+
+// ErrTooLarge reports that an evaluation exceeded its row or work budget
+// and was abandoned; the case should be skipped, never compared.
+var ErrTooLarge = errors.New("oracle: result exceeds evaluation budget")
+
+// workBudget bounds the total number of triple visits of one Eval call.
+const workBudget = 8 << 20
+
+// Bindings is the canonical result form: variables sorted by name, one row
+// per binding, rows sorted lexicographically. Eval produces distinct full
+// bindings (a set); Project preserves duplicates introduced by projection
+// (a sorted multiset), mirroring the cluster's SELECT semantics.
+type Bindings struct {
+	Vars  []string
+	Kinds []store.VarKind
+	Rows  [][]uint32
+}
+
+// Len returns the number of rows.
+func (b *Bindings) Len() int { return len(b.Rows) }
+
+// Eval evaluates q over the full graph g and returns the distinct full
+// variable bindings (SELECT is ignored; apply Project for projection).
+// limit bounds the number of distinct rows; 0 means no row limit (the work
+// budget still applies). Mirroring the store, a variable used both as a
+// property and as a subject/object is an error, an unknown constant simply
+// matches nothing, and a query with no patterns has no rows.
+func Eval(g *rdf.Graph, q *sparql.Query, limit int) (*Bindings, error) {
+	vars := q.Vars()
+	kinds, err := varKinds(q)
+	if err != nil {
+		return nil, err
+	}
+	out := &Bindings{Vars: vars, Kinds: make([]store.VarKind, len(vars))}
+	slot := make(map[string]int, len(vars))
+	for i, v := range vars {
+		slot[v] = i
+		out.Kinds[i] = kinds[v]
+	}
+	if len(q.Patterns) == 0 {
+		return out, nil
+	}
+
+	e := &evaluator{
+		g:     g,
+		pats:  q.Patterns,
+		slot:  slot,
+		vals:  make([]uint32, len(vars)),
+		bound: make([]bool, len(vars)),
+		seen:  make(map[string]struct{}),
+		limit: limit,
+		work:  workBudget,
+	}
+	if err := e.match(0); err != nil {
+		return nil, err
+	}
+	out.Rows = e.rows
+	sortRows(out.Rows)
+	return out, nil
+}
+
+// evaluator is the state of one nested-loop enumeration.
+type evaluator struct {
+	g     *rdf.Graph
+	pats  []sparql.TriplePattern
+	slot  map[string]int
+	vals  []uint32
+	bound []bool
+	seen  map[string]struct{}
+	rows  [][]uint32
+	limit int
+	work  int
+}
+
+// match extends the current partial assignment with pattern pi, scanning
+// every triple of the graph.
+func (e *evaluator) match(pi int) error {
+	if pi == len(e.pats) {
+		return e.emit()
+	}
+	tp := e.pats[pi]
+	for _, t := range e.g.Triples() {
+		e.work--
+		if e.work < 0 {
+			return ErrTooLarge
+		}
+		u1, ok := e.unify(tp.S, uint32(t.S), false)
+		if !ok {
+			continue
+		}
+		u2, ok := e.unify(tp.P, uint32(t.P), true)
+		if !ok {
+			e.undo(u1)
+			continue
+		}
+		u3, ok := e.unify(tp.O, uint32(t.O), false)
+		if !ok {
+			e.undo(u2)
+			e.undo(u1)
+			continue
+		}
+		err := e.match(pi + 1)
+		e.undo(u3)
+		e.undo(u2)
+		e.undo(u1)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// unify matches term against an ID. It returns the slot newly bound by this
+// call (-1 if none) and whether the match holds. isProp selects the
+// dictionary a constant is resolved in.
+func (e *evaluator) unify(term sparql.Term, id uint32, isProp bool) (int, bool) {
+	if !term.IsVar {
+		var cid uint32
+		var ok bool
+		if isProp {
+			cid, ok = e.g.Properties.Lookup(term.Value)
+		} else {
+			cid, ok = e.g.Vertices.Lookup(term.Value)
+		}
+		return -1, ok && cid == id
+	}
+	s := e.slot[term.Value]
+	if e.bound[s] {
+		return -1, e.vals[s] == id
+	}
+	e.bound[s] = true
+	e.vals[s] = id
+	return s, true
+}
+
+func (e *evaluator) undo(s int) {
+	if s >= 0 {
+		e.bound[s] = false
+	}
+}
+
+// emit records the current full assignment if unseen.
+func (e *evaluator) emit() error {
+	key := make([]byte, 0, 4*len(e.vals))
+	for _, v := range e.vals {
+		key = append(key, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	if _, dup := e.seen[string(key)]; dup {
+		return nil
+	}
+	e.seen[string(key)] = struct{}{}
+	e.rows = append(e.rows, append([]uint32(nil), e.vals...))
+	if e.limit > 0 && len(e.rows) > e.limit {
+		return ErrTooLarge
+	}
+	return nil
+}
+
+// varKinds determines each variable's kind from the positions it occupies,
+// erroring on a property/vertex conflict exactly like store compilation.
+func varKinds(q *sparql.Query) (map[string]store.VarKind, error) {
+	kinds := map[string]store.VarKind{}
+	set := func(name string, k store.VarKind) error {
+		if prev, ok := kinds[name]; ok && prev != k {
+			return fmt.Errorf("oracle: variable ?%s used as both property and vertex", name)
+		}
+		kinds[name] = k
+		return nil
+	}
+	for _, tp := range q.Patterns {
+		for _, t := range []sparql.Term{tp.S, tp.O} {
+			if t.IsVar {
+				if err := set(t.Value, store.KindVertex); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if tp.P.IsVar {
+			if err := set(tp.P.Value, store.KindProperty); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return kinds, nil
+}
+
+// ProjectQuery applies q's SELECT clause: the full bindings are narrowed to
+// the selected variables (duplicates kept, mirroring the cluster), with
+// columns re-sorted by name and rows re-sorted. An empty Select (SELECT *)
+// returns b itself. Selected variables the BGP does not bind are dropped,
+// matching the cluster's projection.
+func (b *Bindings) ProjectQuery(q *sparql.Query) *Bindings {
+	if len(q.Select) == 0 {
+		return b
+	}
+	names := append([]string(nil), q.Select...)
+	sort.Strings(names)
+	var cols []int
+	out := &Bindings{}
+	for _, v := range names {
+		if c := b.col(v); c >= 0 {
+			cols = append(cols, c)
+			out.Vars = append(out.Vars, v)
+			out.Kinds = append(out.Kinds, b.Kinds[c])
+		}
+	}
+	out.Rows = make([][]uint32, len(b.Rows))
+	for i, row := range b.Rows {
+		nr := make([]uint32, len(cols))
+		for j, c := range cols {
+			nr[j] = row[c]
+		}
+		out.Rows[i] = nr
+	}
+	sortRows(out.Rows)
+	return out
+}
+
+func (b *Bindings) col(name string) int {
+	for i, v := range b.Vars {
+		if v == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Canonicalize reduces a store.Table to canonical Bindings: columns sorted
+// by variable name, rows sorted lexicographically, duplicates kept. This is
+// the common form cluster results are compared in.
+func Canonicalize(t *store.Table) *Bindings {
+	out := &Bindings{}
+	n := t.Len()
+	if t.Stride() == 0 {
+		out.Rows = make([][]uint32, n)
+		for i := range out.Rows {
+			out.Rows[i] = []uint32{}
+		}
+		return out
+	}
+	order := make([]int, t.Stride())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return t.Vars[order[a]] < t.Vars[order[b]] })
+	for _, c := range order {
+		out.Vars = append(out.Vars, t.Vars[c])
+		out.Kinds = append(out.Kinds, t.Kinds[c])
+	}
+	out.Rows = make([][]uint32, n)
+	for r := 0; r < n; r++ {
+		row := make([]uint32, len(order))
+		for j, c := range order {
+			row[j] = t.At(r, c)
+		}
+		out.Rows[r] = row
+	}
+	sortRows(out.Rows)
+	return out
+}
+
+// Digest returns a 64-bit FNV-1a hash of the canonical form: schema, then
+// every row. Equal digests of canonicalized results mean equal results for
+// all practical purposes.
+func (b *Bindings) Digest() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		h ^= v
+		h *= prime64
+	}
+	for i, v := range b.Vars {
+		for _, c := range []byte(v) {
+			mix(uint64(c))
+		}
+		mix(uint64(b.Kinds[i]) + 256)
+	}
+	mix(uint64(len(b.Rows)) + 512)
+	for _, row := range b.Rows {
+		for _, v := range row {
+			mix(uint64(v))
+		}
+		mix(1 << 40)
+	}
+	return h
+}
+
+// Diff compares two canonical Bindings and returns a descriptive error on
+// the first divergence, or nil when they are identical. When g is non-nil,
+// differing rows are rendered with dictionary strings for readability.
+func Diff(want, got *Bindings, g *rdf.Graph) error {
+	if len(want.Vars) != len(got.Vars) {
+		return fmt.Errorf("schema: got vars %v, want %v", got.Vars, want.Vars)
+	}
+	for i := range want.Vars {
+		if want.Vars[i] != got.Vars[i] {
+			return fmt.Errorf("schema: got vars %v, want %v", got.Vars, want.Vars)
+		}
+		if want.Kinds[i] != got.Kinds[i] {
+			return fmt.Errorf("kind of ?%s: got %d, want %d", want.Vars[i], got.Kinds[i], want.Kinds[i])
+		}
+	}
+	if len(want.Rows) != len(got.Rows) {
+		return fmt.Errorf("row count: got %d, want %d%s", len(got.Rows), len(want.Rows),
+			firstRowDiff(want, got, g))
+	}
+	for i := range want.Rows {
+		if !equalRow(want.Rows[i], got.Rows[i]) {
+			return fmt.Errorf("row %d: got %s, want %s",
+				i, want.render(got.Rows[i], g), want.render(want.Rows[i], g))
+		}
+	}
+	return nil
+}
+
+// firstRowDiff locates the first row present in one side only, for count
+// mismatches.
+func firstRowDiff(want, got *Bindings, g *rdf.Graph) string {
+	i, j := 0, 0
+	for i < len(want.Rows) && j < len(got.Rows) && equalRow(want.Rows[i], got.Rows[j]) {
+		i, j = i+1, j+1
+	}
+	switch {
+	case i < len(want.Rows):
+		return fmt.Sprintf("; first missing row %s", want.render(want.Rows[i], g))
+	case j < len(got.Rows):
+		return fmt.Sprintf("; first extra row %s", got.render(got.Rows[j], g))
+	default:
+		return ""
+	}
+}
+
+func equalRow(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// render formats one row, using dictionary strings when g is available.
+func (b *Bindings) render(row []uint32, g *rdf.Graph) string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i, v := range row {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(b.Vars[i])
+		sb.WriteByte('=')
+		if g == nil {
+			fmt.Fprintf(&sb, "%d", v)
+		} else if b.Kinds[i] == store.KindProperty {
+			sb.WriteString(g.Properties.String(v))
+		} else {
+			sb.WriteString(g.Vertices.String(v))
+		}
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+// Join nested-loop joins two full-binding sets on their shared variables,
+// returning distinct rows over the union of the variables. It is the naive
+// companion to Eval used by the Algorithm 2 metamorphic invariant: oracle-
+// evaluating each decomposition subquery and Join-ing the results must
+// reproduce the direct oracle evaluation.
+func Join(a, b *Bindings) (*Bindings, error) {
+	out := &Bindings{Vars: append([]string(nil), a.Vars...), Kinds: append([]store.VarKind(nil), a.Kinds...)}
+	var bNew []int // columns of b not in a
+	shared := make([][2]int, 0)
+	for j, v := range b.Vars {
+		if c := (&Bindings{Vars: a.Vars}).col(v); c >= 0 {
+			if a.Kinds[c] != b.Kinds[j] {
+				return nil, fmt.Errorf("oracle: join kind conflict on ?%s", v)
+			}
+			shared = append(shared, [2]int{c, j})
+		} else {
+			bNew = append(bNew, j)
+			out.Vars = append(out.Vars, v)
+			out.Kinds = append(out.Kinds, b.Kinds[j])
+		}
+	}
+	seen := map[string]struct{}{}
+	for _, ra := range a.Rows {
+	next:
+		for _, rb := range b.Rows {
+			for _, s := range shared {
+				if ra[s[0]] != rb[s[1]] {
+					continue next
+				}
+			}
+			row := append(append([]uint32(nil), ra...), make([]uint32, len(bNew))...)
+			for i, j := range bNew {
+				row[len(ra)+i] = rb[j]
+			}
+			key := fmt.Sprint(row)
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out.sortColumns(), nil
+}
+
+// sortColumns re-canonicalizes: columns by variable name, then rows.
+func (b *Bindings) sortColumns() *Bindings {
+	order := make([]int, len(b.Vars))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool { return b.Vars[order[x]] < b.Vars[order[y]] })
+	out := &Bindings{}
+	for _, c := range order {
+		out.Vars = append(out.Vars, b.Vars[c])
+		out.Kinds = append(out.Kinds, b.Kinds[c])
+	}
+	out.Rows = make([][]uint32, len(b.Rows))
+	for i, row := range b.Rows {
+		nr := make([]uint32, len(order))
+		for j, c := range order {
+			nr[j] = row[c]
+		}
+		out.Rows[i] = nr
+	}
+	sortRows(out.Rows)
+	return out
+}
+
+func sortRows(rows [][]uint32) {
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}

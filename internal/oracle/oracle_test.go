@@ -1,0 +1,220 @@
+package oracle
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mpc/internal/datagen"
+	"mpc/internal/rdf"
+	"mpc/internal/sparql"
+	"mpc/internal/store"
+)
+
+func tinyGraph() *rdf.Graph {
+	g := rdf.NewGraph()
+	g.AddTriple("a", "p", "b")
+	g.AddTriple("b", "p", "c")
+	g.AddTriple("a", "q", "c")
+	g.AddTriple("c", "q", "a")
+	g.AddTriple("a", "p", "b") // duplicate: distinct semantics must collapse it
+	g.Freeze()
+	return g
+}
+
+func fullStore(g *rdf.Graph) *store.Store {
+	idx := make([]int32, g.NumTriples())
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	return store.New(g, idx)
+}
+
+func TestEvalBasics(t *testing.T) {
+	g := tinyGraph()
+	cases := []struct {
+		query string
+		rows  int
+	}{
+		{`SELECT * WHERE { ?x <p> ?y }`, 2},
+		{`SELECT * WHERE { ?x <p> ?y . ?y <p> ?z }`, 1},
+		{`SELECT * WHERE { ?x ?pp ?y }`, 4},
+		{`SELECT * WHERE { <a> <p> <b> }`, 1}, // no vars: one zero-width row
+		{`SELECT * WHERE { <a> <p> <c> }`, 0},
+		{`SELECT * WHERE { ?x <nosuch> ?y }`, 0}, // unknown constant: empty
+		{`SELECT * WHERE { ?x <p> ?y . ?z <q> ?w }`, 4},
+	}
+	for _, tc := range cases {
+		b, err := Eval(g, sparql.MustParse(tc.query), 0)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.query, err)
+		}
+		if b.Len() != tc.rows {
+			t.Errorf("%s: %d rows, want %d", tc.query, b.Len(), tc.rows)
+		}
+	}
+}
+
+func TestEvalKindConflict(t *testing.T) {
+	g := tinyGraph()
+	q := &sparql.Query{Patterns: []sparql.TriplePattern{
+		{S: sparql.Var("x"), P: sparql.Var("y"), O: sparql.Var("z")},
+		{S: sparql.Var("y"), P: sparql.Const("p"), O: sparql.Var("z")},
+	}}
+	if _, err := Eval(g, q, 0); err == nil ||
+		!strings.Contains(err.Error(), "both property and vertex") {
+		t.Fatalf("kind conflict not detected: %v", err)
+	}
+}
+
+func TestEvalRowLimit(t *testing.T) {
+	g := datagen.Random{V: 30, P: 3}.Generate(200, 1)
+	q := sparql.MustParse(`SELECT * WHERE { ?a ?p ?b . ?c ?q ?d }`)
+	if _, err := Eval(g, q, 10); err != ErrTooLarge {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+// TestEvalAgreesWithStore is the base differential check: on the full graph
+// (one site, no partitioning) the naive evaluator and the indexed store
+// matcher must agree exactly.
+func TestEvalAgreesWithStore(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := datagen.Random{V: 40, P: 5}.Generate(220, 9)
+	st := fullStore(g)
+	opts := sparql.RandOptions{
+		MaxPatterns:   4,
+		VertexConsts:  []string{"v0", "v1", "v2", "_:b0", `"L0"`, "missing"},
+		PropertyConsts: []string{"p0", "p1", "p2"},
+	}
+	checked := 0
+	for trial := 0; trial < 300; trial++ {
+		o := opts
+		o.Disconnected = trial%4 == 0
+		q := sparql.RandomBGP(rng, o)
+		want, err := Eval(g, q, 4000)
+		if err == ErrTooLarge {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d %s: %v", trial, q, err)
+		}
+		tab, err := st.Match(q)
+		if err != nil {
+			t.Fatalf("trial %d %s: store: %v", trial, q, err)
+		}
+		if d := Diff(want, Canonicalize(tab), g); d != nil {
+			t.Errorf("trial %d: store disagrees with oracle on\n%s\n%v", trial, q, d)
+		}
+		checked++
+	}
+	if checked < 200 {
+		t.Fatalf("only %d of 300 trials checked; budget too tight", checked)
+	}
+}
+
+func TestProjectQuery(t *testing.T) {
+	g := tinyGraph()
+	// Full bindings of {?x <p> ?y} are (a,b),(b,c); projecting to ?y keeps
+	// the multiset.
+	q := sparql.MustParse(`SELECT ?y WHERE { ?x <p> ?y }`)
+	b, err := Eval(g, q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := b.ProjectQuery(q)
+	if len(p.Vars) != 1 || p.Vars[0] != "y" || p.Len() != 2 {
+		t.Fatalf("projection = %v rows %d", p.Vars, p.Len())
+	}
+	// Projection that collapses distinct rows must keep duplicates.
+	q2 := sparql.MustParse(`SELECT ?pp WHERE { ?x ?pp ?y }`)
+	b2, err := Eval(g, q2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := b2.ProjectQuery(q2)
+	if p2.Len() != 4 {
+		t.Fatalf("multiset projection lost duplicates: %d rows, want 4", p2.Len())
+	}
+	// A selected variable the BGP does not bind is dropped (cluster rule).
+	q3 := &sparql.Query{Select: []string{"x", "nope"}, Patterns: q.Patterns}
+	p3, err := Eval(g, q3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p3.ProjectQuery(q3); len(got.Vars) != 1 || got.Vars[0] != "x" {
+		t.Fatalf("unbound select var not dropped: %v", got.Vars)
+	}
+}
+
+func TestJoinMatchesDirectEval(t *testing.T) {
+	g := tinyGraph()
+	q := sparql.MustParse(`SELECT * WHERE { ?x <p> ?y . ?y <q> ?z }`)
+	full, err := Eval(g, q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := Eval(g, sparql.MustParse(`SELECT * WHERE { ?x <p> ?y }`), 0)
+	b, _ := Eval(g, sparql.MustParse(`SELECT * WHERE { ?y <q> ?z }`), 0)
+	joined, err := Join(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := Diff(full, joined, g); d != nil {
+		t.Fatalf("join != direct eval: %v", d)
+	}
+}
+
+// TestDiffSensitivity corrupts a correct result in each way the comparator
+// must notice: a dropped row, a duplicated row, a changed value, a flipped
+// kind, a renamed column. Diff returning nil for any of these would make
+// every harness assertion in this package vacuous.
+func TestDiffSensitivity(t *testing.T) {
+	g := tinyGraph()
+	q := sparql.MustParse(`SELECT * WHERE { ?x ?pp ?y }`)
+	ref, err := Eval(g, q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := func() *Bindings {
+		c := &Bindings{
+			Vars:  append([]string(nil), ref.Vars...),
+			Kinds: append([]store.VarKind(nil), ref.Kinds...),
+		}
+		for _, r := range ref.Rows {
+			c.Rows = append(c.Rows, append([]uint32(nil), r...))
+		}
+		return c
+	}
+	if Diff(ref, clone(), g) != nil {
+		t.Fatal("clone diffs against itself")
+	}
+	corruptions := map[string]func(*Bindings){
+		"drop-row":   func(b *Bindings) { b.Rows = b.Rows[1:] },
+		"dup-row":    func(b *Bindings) { b.Rows = append(b.Rows, b.Rows[0]) },
+		"change-val": func(b *Bindings) { b.Rows[0][0]++ },
+		"flip-kind":  func(b *Bindings) { b.Kinds[1] = 1 - b.Kinds[1] },
+		"rename-col": func(b *Bindings) { b.Vars[0] = "zz" },
+	}
+	for name, corrupt := range corruptions {
+		c := clone()
+		corrupt(c)
+		if Diff(ref, c, g) == nil {
+			t.Errorf("%s: corruption not detected", name)
+		}
+	}
+}
+
+func TestDigestStability(t *testing.T) {
+	g := tinyGraph()
+	q := sparql.MustParse(`SELECT * WHERE { ?x <p> ?y }`)
+	a, _ := Eval(g, q, 0)
+	b, _ := Eval(g, q, 0)
+	if a.Digest() != b.Digest() {
+		t.Fatal("same evaluation, different digests")
+	}
+	c, _ := Eval(g, sparql.MustParse(`SELECT * WHERE { ?x <q> ?y }`), 0)
+	if a.Digest() == c.Digest() {
+		t.Fatal("different results, same digest")
+	}
+}

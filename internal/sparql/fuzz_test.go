@@ -18,6 +18,13 @@ func FuzzParse(f *testing.F) {
 		`{}?<>""..`,
 		"SELECT * WHERE { ?x <p> \"unterminated }",
 		`PREFIX : <u> SELECT * WHERE { ?x :p :o }`,
+		// Shapes the differential oracle's query generator emits: unbound
+		// properties, disconnected components, explicit projections over
+		// literals and blank nodes (see internal/oracle).
+		`SELECT ?a WHERE { ?a ?p0 ?b . ?b <q> "lit" }`,
+		`SELECT * WHERE { ?a <p> ?b . ?c <q> ?d }`,
+		`SELECT ?b ?a WHERE { _:b0 <r> ?a . ?a ?p0 ?a . ?b <p> <v1> }`,
+		`SELECT * WHERE { <v0> <p> <v2> . }`,
 	}
 	for _, s := range seeds {
 		f.Add(s)

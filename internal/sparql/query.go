@@ -209,6 +209,60 @@ func (q *Query) IsStar() bool {
 	return false
 }
 
+// ConnectedComponents splits the query into its weakly connected
+// components: maximal pattern groups linked by shared subject/object terms.
+// Components are returned in first-appearance order of their patterns, with
+// no projection set (callers decide what each component selects). A
+// connected query yields a single component holding q's own pattern slice.
+func (q *Query) ConnectedComponents() []*Query {
+	n := len(q.Patterns)
+	if n == 0 {
+		return nil
+	}
+	// Union-find over pattern indices via shared vertex terms.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	owner := map[string]int{}
+	for i, tp := range q.Patterns {
+		for _, t := range []Term{tp.S, tp.O} {
+			k := t.Key()
+			if j, ok := owner[k]; ok {
+				a, b := find(i), find(j)
+				if a != b {
+					parent[a] = b
+				}
+			} else {
+				owner[k] = i
+			}
+		}
+	}
+	comps := map[int]*Query{}
+	var order []int
+	for i, tp := range q.Patterns {
+		r := find(i)
+		if comps[r] == nil {
+			comps[r] = &Query{}
+			order = append(order, r)
+		}
+		comps[r].Patterns = append(comps[r].Patterns, tp)
+	}
+	out := make([]*Query, 0, len(order))
+	for _, r := range order {
+		out = append(out, comps[r])
+	}
+	return out
+}
+
 // Clone returns a deep copy of the query.
 func (q *Query) Clone() *Query {
 	c := &Query{

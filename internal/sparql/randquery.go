@@ -1,0 +1,208 @@
+package sparql
+
+import "math/rand"
+
+// RandOptions configures RandomBGP. The zero value is usable: it yields
+// connected queries of 1–4 patterns over small anonymous constant pools.
+type RandOptions struct {
+	// MaxPatterns bounds the number of triple patterns (>=1; default 4).
+	MaxPatterns int
+	// VertexConsts is the pool subject/object constants are drawn from.
+	// Empty means every endpoint is a variable.
+	VertexConsts []string
+	// PropertyConsts is the pool constant properties are drawn from. Empty
+	// forces every property to be a variable.
+	PropertyConsts []string
+	// VarPropProb is the probability that a pattern's property position is a
+	// variable (an unbound-property triple). Default 0.15; negative means
+	// never.
+	VarPropProb float64
+	// ConstProb is the probability that a subject/object endpoint is a
+	// constant rather than a variable. Default 0.25.
+	ConstProb float64
+	// SelectProb is the probability of an explicit projection (a non-empty
+	// random subset of the query's variables) instead of SELECT *.
+	// Default 0.3.
+	SelectProb float64
+	// Disconnected builds two vertex-disjoint components (disjoint variable
+	// and constant pools), a shape Definition 3.5 excludes but real engines
+	// must still answer — the final result is the Cartesian product of the
+	// per-component answers, filtered by any shared property variable.
+	Disconnected bool
+}
+
+func (o RandOptions) withDefaults() RandOptions {
+	if o.MaxPatterns < 1 {
+		o.MaxPatterns = 4
+	}
+	if o.VarPropProb == 0 {
+		o.VarPropProb = 0.15
+	} else if o.VarPropProb < 0 {
+		o.VarPropProb = 0
+	}
+	if o.ConstProb == 0 {
+		o.ConstProb = 0.25
+	}
+	if o.SelectProb == 0 {
+		o.SelectProb = 0.3
+	}
+	if len(o.PropertyConsts) == 0 {
+		o.VarPropProb = 1
+	}
+	return o
+}
+
+// vertexVarPool is the variable-name pool for subject/object positions;
+// property variables use the disjoint propVarPool so a generated query never
+// binds one variable in both ID spaces (which the store rejects).
+var vertexVarPool = []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+var propVarPool = []string{"p0", "p1"}
+
+// RandomBGP generates a seeded random BGP: a star, path, cycle, or random
+// connected shape (or two vertex-disjoint such shapes when Disconnected),
+// with constants and unbound-property triples mixed in per the options.
+// Every draw comes from rng, so a fixed seed reproduces the query exactly.
+//
+// Connectivity is guaranteed structurally: abstract shape vertices are
+// mapped to terms once, so patterns that share a shape vertex share the
+// term. Mapping two shape vertices to the same constant can only add
+// connections, never remove them.
+func RandomBGP(rng *rand.Rand, o RandOptions) *Query {
+	o = o.withDefaults()
+	q := &Query{}
+	if o.Disconnected && o.MaxPatterns >= 2 {
+		// Split the pattern budget and the pools; disjoint pools guarantee
+		// the two components share no vertex term.
+		nA := 1 + rng.Intn(o.MaxPatterns-1)
+		nB := o.MaxPatterns - nA
+		if nB < 1 {
+			nB = 1
+		}
+		oa, ob := o, o
+		oa.VertexConsts, ob.VertexConsts = splitPool(o.VertexConsts)
+		q.Patterns = append(q.Patterns, randomComponent(rng, oa, nA, 0)...)
+		q.Patterns = append(q.Patterns, randomComponent(rng, ob, nB, 1)...)
+	} else {
+		n := 1 + rng.Intn(o.MaxPatterns)
+		q.Patterns = randomComponent(rng, o, n, 0)
+	}
+	if vars := q.Vars(); len(vars) > 0 && rng.Float64() < o.SelectProb {
+		// Explicit projection: a non-empty subset, in random order.
+		rng.Shuffle(len(vars), func(i, j int) { vars[i], vars[j] = vars[j], vars[i] })
+		q.Select = vars[:1+rng.Intn(len(vars))]
+	}
+	return q
+}
+
+// splitPool deals a constant pool into two disjoint halves.
+func splitPool(pool []string) (a, b []string) {
+	for i, s := range pool {
+		if i%2 == 0 {
+			a = append(a, s)
+		} else {
+			b = append(b, s)
+		}
+	}
+	return a, b
+}
+
+// randomComponent generates one connected component of n patterns. comp
+// offsets the variable pools so two components never share a variable.
+func randomComponent(rng *rand.Rand, o RandOptions, n, comp int) []TriplePattern {
+	// Shape vertices: the abstract query-graph nodes; each maps to one term.
+	shape := rng.Intn(4)
+	type edge struct{ u, v int }
+	var edges []edge
+	numVerts := 0
+	addVert := func() int { numVerts++; return numVerts - 1 }
+	switch shape {
+	case 0: // star: n edges incident to one center
+		center := addVert()
+		for i := 0; i < n; i++ {
+			leaf := addVert()
+			if rng.Intn(2) == 0 {
+				edges = append(edges, edge{center, leaf})
+			} else {
+				edges = append(edges, edge{leaf, center})
+			}
+		}
+	case 1: // path: a chain of n edges
+		prev := addVert()
+		for i := 0; i < n; i++ {
+			next := addVert()
+			if rng.Intn(2) == 0 {
+				edges = append(edges, edge{prev, next})
+			} else {
+				edges = append(edges, edge{next, prev})
+			}
+			prev = next
+		}
+	case 2: // cycle: a closed chain of n edges
+		first := addVert()
+		prev := first
+		for i := 0; i < n; i++ {
+			next := first
+			if i < n-1 {
+				next = addVert()
+			}
+			if rng.Intn(2) == 0 {
+				edges = append(edges, edge{prev, next})
+			} else {
+				edges = append(edges, edge{next, prev})
+			}
+			prev = next
+		}
+	default: // random connected: each new edge touches an existing vertex
+		addVert()
+		for i := 0; i < n; i++ {
+			u := rng.Intn(numVerts)
+			var v int
+			if rng.Intn(2) == 0 && numVerts > 1 {
+				v = rng.Intn(numVerts)
+			} else {
+				v = addVert()
+			}
+			if rng.Intn(2) == 0 {
+				edges = append(edges, edge{u, v})
+			} else {
+				edges = append(edges, edge{v, u})
+			}
+		}
+	}
+
+	// Map shape vertices to terms. Variable names are drawn without
+	// replacement per component so distinct shape vertices stay distinct
+	// unless they deliberately collapse onto the same constant.
+	varPool := append([]string(nil), vertexVarPool...)
+	if comp > 0 {
+		// Disjoint halves for disconnected components.
+		varPool = varPool[len(varPool)/2:]
+	} else if o.Disconnected {
+		varPool = varPool[:len(varPool)/2]
+	}
+	rng.Shuffle(len(varPool), func(i, j int) { varPool[i], varPool[j] = varPool[j], varPool[i] })
+	nextVar := 0
+	terms := make([]Term, numVerts)
+	for i := range terms {
+		if len(o.VertexConsts) > 0 && rng.Float64() < o.ConstProb {
+			terms[i] = Const(o.VertexConsts[rng.Intn(len(o.VertexConsts))])
+		} else if nextVar < len(varPool) {
+			terms[i] = Var(varPool[nextVar])
+			nextVar++
+		} else {
+			terms[i] = Var(varPool[rng.Intn(len(varPool))])
+		}
+	}
+
+	pats := make([]TriplePattern, len(edges))
+	for i, e := range edges {
+		var p Term
+		if rng.Float64() < o.VarPropProb {
+			p = Var(propVarPool[comp%len(propVarPool)])
+		} else {
+			p = Const(o.PropertyConsts[rng.Intn(len(o.PropertyConsts))])
+		}
+		pats[i] = TriplePattern{S: terms[e.u], P: p, O: terms[e.v]}
+	}
+	return pats
+}

@@ -1,0 +1,194 @@
+package sparql
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func testRandOptions() RandOptions {
+	return RandOptions{
+		MaxPatterns:    5,
+		VertexConsts:   []string{"v0", "v1", "v2", "v3", `"lit"`, "_:b0"},
+		PropertyConsts: []string{"p", "q", "r"},
+	}
+}
+
+// TestRandomBGPInvariants checks the structural guarantees the differential
+// harness relies on: pattern-count bounds, guaranteed connectivity (or
+// guaranteed disconnection), kind-consistent variables, and projections
+// that only name bound variables.
+func TestRandomBGPInvariants(t *testing.T) {
+	for seed := int64(0); seed < 400; seed++ {
+		for _, disc := range []bool{false, true} {
+			o := testRandOptions()
+			o.Disconnected = disc
+			rng := rand.New(rand.NewSource(seed))
+			q := RandomBGP(rng, o)
+			if len(q.Patterns) < 1 || len(q.Patterns) > o.MaxPatterns {
+				t.Fatalf("seed %d disc=%v: %d patterns", seed, disc, len(q.Patterns))
+			}
+			if !disc && !q.IsWeaklyConnected() {
+				t.Fatalf("seed %d: connected generator produced disconnected %s", seed, q)
+			}
+			if disc && q.IsWeaklyConnected() {
+				t.Fatalf("seed %d: disconnected generator produced connected %s", seed, q)
+			}
+			// No variable may occur in both vertex and property positions.
+			asVertex, asProp := map[string]bool{}, map[string]bool{}
+			for _, tp := range q.Patterns {
+				if tp.S.IsVar {
+					asVertex[tp.S.Value] = true
+				}
+				if tp.O.IsVar {
+					asVertex[tp.O.Value] = true
+				}
+				if tp.P.IsVar {
+					asProp[tp.P.Value] = true
+				}
+			}
+			for v := range asProp {
+				if asVertex[v] {
+					t.Fatalf("seed %d: ?%s used as both property and vertex in %s", seed, v, q)
+				}
+			}
+			bound := map[string]bool{}
+			for _, v := range q.Vars() {
+				bound[v] = true
+			}
+			for _, v := range q.Select {
+				if !bound[v] {
+					t.Fatalf("seed %d: projection names unbound ?%s in %s", seed, v, q)
+				}
+			}
+		}
+	}
+}
+
+// TestRandomBGPDeterministic pins seed determinism: the same seed must
+// reproduce the identical query.
+func TestRandomBGPDeterministic(t *testing.T) {
+	o := testRandOptions()
+	for seed := int64(0); seed < 100; seed++ {
+		a := RandomBGP(rand.New(rand.NewSource(seed)), o)
+		b := RandomBGP(rand.New(rand.NewSource(seed)), o)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: %s vs %s", seed, a, b)
+		}
+	}
+}
+
+// TestRandomBGPCoversShapes makes sure the generator actually emits the
+// advertised variety: stars, unbound-property triples, explicit projections
+// and multi-pattern queries all appear in a modest seed range.
+func TestRandomBGPCoversShapes(t *testing.T) {
+	o := testRandOptions()
+	var stars, varProps, selects, multi int
+	for seed := int64(0); seed < 300; seed++ {
+		q := RandomBGP(rand.New(rand.NewSource(seed)), o)
+		if q.IsStar() {
+			stars++
+		}
+		if q.HasVarProperty() {
+			varProps++
+		}
+		if len(q.Select) > 0 {
+			selects++
+		}
+		if len(q.Patterns) > 1 {
+			multi++
+		}
+	}
+	for name, n := range map[string]int{
+		"stars": stars, "var-props": varProps, "selects": selects, "multi": multi,
+	} {
+		if n == 0 {
+			t.Errorf("no %s generated in 300 seeds", name)
+		}
+	}
+}
+
+// TestParserRoundTripProperty is the parser's property test: every query the
+// generator emits must survive parse(render(q)) with identical patterns and
+// projection. This is the parse → String → parse leg the fuzz target checks
+// only shallowly (pattern count).
+func TestParserRoundTripProperty(t *testing.T) {
+	for seed := int64(0); seed < 500; seed++ {
+		o := testRandOptions()
+		o.Disconnected = seed%3 == 0
+		q := RandomBGP(rand.New(rand.NewSource(seed)), o)
+		rendered := q.String()
+		q2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("seed %d: rendering %q of %v does not re-parse: %v", seed, rendered, q, err)
+		}
+		if !reflect.DeepEqual(q.Patterns, q2.Patterns) {
+			t.Fatalf("seed %d: patterns changed across round-trip:\n%v\n%v", seed, q.Patterns, q2.Patterns)
+		}
+		if !reflect.DeepEqual(q.Select, q2.Select) {
+			t.Fatalf("seed %d: projection changed across round-trip: %v vs %v", seed, q.Select, q2.Select)
+		}
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	cases := []struct {
+		query string
+		want  int
+	}{
+		{`SELECT * WHERE { ?x <p> ?y }`, 1},
+		{`SELECT * WHERE { ?x <p> ?y . ?y <q> ?z }`, 1},
+		{`SELECT * WHERE { ?x <p> ?y . ?a <q> ?b }`, 2},
+		{`SELECT * WHERE { ?x <p> ?y . ?a <q> ?b . ?b <r> ?x }`, 1},
+		{`SELECT * WHERE { ?x <p> ?y . ?a ?pp ?b . <c> <q> <d> }`, 3},
+	}
+	for _, tc := range cases {
+		q := MustParse(tc.query)
+		comps := q.ConnectedComponents()
+		if len(comps) != tc.want {
+			t.Errorf("%s: %d components, want %d", tc.query, len(comps), tc.want)
+		}
+		// The components partition the original pattern multiset.
+		var all []TriplePattern
+		for _, c := range comps {
+			if !c.IsWeaklyConnected() {
+				t.Errorf("%s: component %v not connected", tc.query, c.Patterns)
+			}
+			all = append(all, c.Patterns...)
+		}
+		if len(all) != len(q.Patterns) {
+			t.Errorf("%s: components hold %d patterns, want %d", tc.query, len(all), len(q.Patterns))
+		}
+		count := map[TriplePattern]int{}
+		for _, tp := range q.Patterns {
+			count[tp]++
+		}
+		for _, tp := range all {
+			count[tp]--
+		}
+		for tp, n := range count {
+			if n != 0 {
+				t.Errorf("%s: pattern %v appears %+d times too often in components", tc.query, tp, -n)
+			}
+		}
+	}
+	if got := (&Query{}).ConnectedComponents(); got != nil {
+		t.Errorf("empty query produced components %v", got)
+	}
+}
+
+// TestRandomBGPConnectedComponentsAgree cross-checks the two connectivity
+// views: ConnectedComponents must return one component exactly when
+// IsWeaklyConnected holds.
+func TestRandomBGPConnectedComponentsAgree(t *testing.T) {
+	o := testRandOptions()
+	for seed := int64(0); seed < 300; seed++ {
+		o.Disconnected = seed%2 == 0
+		q := RandomBGP(rand.New(rand.NewSource(seed)), o)
+		comps := q.ConnectedComponents()
+		if (len(comps) == 1) != q.IsWeaklyConnected() {
+			t.Fatalf("seed %d: %d components but IsWeaklyConnected=%v for %s",
+				seed, len(comps), q.IsWeaklyConnected(), q)
+		}
+	}
+}
