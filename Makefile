@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race check cover bench bench-full bench-json bench-smoke bench-online experiments transport-race transport-smoke oracle oracle-race clean
+.PHONY: all build test test-race check cover bench bench-full bench-json bench-smoke bench-online bench-throughput experiments transport-race transport-smoke server-smoke oracle oracle-race clean
 
 all: build test
 
@@ -42,15 +42,22 @@ bench-json:
 bench-online:
 	$(GO) run ./cmd/mpc-bench -exp online -triples 50000 -json BENCH_online.json
 
+# Concurrent-serving measurements (serial vs closed-loop vs open-loop over
+# loopback TCP sites); writes BENCH_throughput.json.
+bench-throughput:
+	$(GO) run ./cmd/mpc-bench -exp throughput -triples 50000 -json BENCH_throughput.json
+
 # Every Benchmark function once (-benchtime=1x): catches bit-rot in
 # benchmark-only code without paying for real measurements.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-# Focused race pass over the network transport and the coordinator that
-# drives it (also covered by check; kept separate for fast iteration).
+# Focused race pass over the network transport, the coordinator that
+# drives it, and the concurrent serving layer on top (also covered by
+# check; kept separate for fast iteration).
 transport-race:
-	$(GO) test -race ./internal/transport/... ./internal/cluster/...
+	$(GO) test -race ./internal/transport/... ./internal/cluster/... \
+		./internal/serve/... ./internal/qcache/...
 
 # Differential-testing oracle (internal/oracle): every strategy ×
 # partitioner combination cross-checked against the naive reference
@@ -67,6 +74,12 @@ oracle-race:
 # a join query through mpc-query -sites, measured wire stats asserted.
 transport-smoke:
 	bash scripts/transport_smoke.sh
+
+# Serving-stack smoke: mpc-site processes + mpc-server frontend, concurrent
+# HTTP queries asserted digest-identical, cache and scheduler metrics
+# asserted via /debug/metrics.
+server-smoke:
+	bash scripts/server_smoke.sh
 
 # The experiment suite behind EXPERIMENTS.md.
 experiments:

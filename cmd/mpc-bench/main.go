@@ -8,12 +8,15 @@
 //	mpc-bench -exp fig8 -logqueries 1000
 //
 // Experiments: table2 table3 table4 table5 table6 table7 fig7 fig8 fig9
-// fig10 fig11 ablations offline online all. Figures 9 and 10 share one
-// runner (fig9 and fig10 are aliases). The offline experiment sweeps the
-// -workers knob over {1, 2, NumCPU}; the online experiment measures the
-// query path (per-class latency quantiles, join shapes, allocation
-// microbenchmarks). Both write machine-readable results to the -json path,
-// which defaults to BENCH_offline.json or BENCH_online.json respectively.
+// fig10 fig11 ablations offline online throughput all. Figures 9 and 10
+// share one runner (fig9 and fig10 are aliases). The offline experiment
+// sweeps the -workers knob over {1, 2, NumCPU}; the online experiment
+// measures the query path (per-class latency quantiles, join shapes,
+// allocation microbenchmarks); the throughput experiment drives serial,
+// closed-loop, and open-loop load through the concurrent serving stack
+// (scheduler + result cache + pipelined transport over loopback TCP).
+// All three write machine-readable results to the -json path, defaulting
+// to BENCH_offline.json, BENCH_online.json, or BENCH_throughput.json.
 //
 // Observability: -metrics PATH dumps the run's metrics registry (counters,
 // gauges, latency histograms, recent query traces) as JSON when the run
@@ -210,6 +213,20 @@ func run(exp string, cfg bench.Config, jsonPath string) error {
 				return err
 			}
 			fmt.Fprintf(os.Stderr, "[online measurements written to %s]\n", path)
+		case "throughput":
+			res, err := bench.RunThroughput(cfg)
+			if err != nil {
+				return err
+			}
+			bench.RenderThroughput(out, res)
+			path := jsonPath
+			if path == "" {
+				path = "BENCH_throughput.json"
+			}
+			if err := bench.WriteThroughputJSON(path, res); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "[throughput measurements written to %s]\n", path)
 		case "ablations":
 			sel, err := bench.RunAblationSelectors(cfg)
 			if err != nil {

@@ -1,0 +1,299 @@
+// Command mpc-server is the high-throughput HTTP/SPARQL serving frontend:
+// it loads a graph, partitions it, builds a cluster (in-process sites by
+// default, real mpc-site processes with -sites), and serves concurrent
+// queries through the internal/serve scheduler — bounded worker pool,
+// admission control with fast 429 rejection, plan reuse, and an optional
+// digest-keyed result cache.
+//
+// Endpoints:
+//
+//	GET  /query?q=SELECT...&limit=N   execute a SPARQL BGP (also POST with the query as body)
+//	GET  /healthz                     liveness probe
+//	GET  /debug/metrics               internal/obs counters, gauges, histogram quantiles
+//	GET  /debug/pprof/...             standard profiling handlers
+//
+// A /query response is JSON: the result rows (up to limit), the total row
+// count, a canonical result digest (oracle.Canonicalize/Digest — equal
+// digests mean bit-identical result sets), the executability class, and
+// per-stage timings. Overload surfaces as HTTP 429 with Retry-After; a
+// closed client connection cancels the query all the way down to the
+// per-site RPCs.
+//
+// Usage:
+//
+//	mpc-server -in lubm.nt -k 4 -strategy MPC -listen :8080
+//	mpc-server -in lubm.nt -sites :7070,:7071 -workers 32 -cache-mb 128
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"mpc/internal/cluster"
+	"mpc/internal/core"
+	"mpc/internal/dataio"
+	"mpc/internal/obs"
+	"mpc/internal/oracle"
+	"mpc/internal/partition"
+	"mpc/internal/qcache"
+	"mpc/internal/rdf"
+	"mpc/internal/serve"
+	"mpc/internal/sparql"
+	"mpc/internal/store"
+	"mpc/internal/transport"
+)
+
+func main() {
+	listen := flag.String("listen", ":8080", "HTTP listen address")
+	in := flag.String("in", "", "input N-Triples file (required)")
+	k := flag.Int("k", 4, "number of sites")
+	epsilon := flag.Float64("epsilon", 0.1, "maximum imbalance ratio ε")
+	strategy := flag.String("strategy", "MPC", "MPC, Subject_Hash, METIS, or VP")
+	seed := flag.Int64("seed", 1, "seed for randomized phases")
+	semijoin := flag.Bool("semijoin", false, "enable the distributed semijoin reduction")
+	sites := flag.String("sites", "", "comma-separated mpc-site addresses; when set, queries run against these processes (their count overrides -k)")
+	workers := flag.Int("workers", 8, "concurrent query executions")
+	queue := flag.Int("queue", 64, "admission queue depth; a full queue rejects with 429")
+	cacheMB := flag.Int("cache-mb", 64, "result cache budget in MiB (0 disables the cache)")
+	flag.Parse()
+
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*listen, *in, *k, *epsilon, *strategy, *seed, *semijoin, *sites, *workers, *queue, *cacheMB); err != nil {
+		fmt.Fprintln(os.Stderr, "mpc-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, in string, k int, epsilon float64, strategy string, seed int64,
+	semijoin bool, sites string, workers, queue, cacheMB int) error {
+
+	reg := obs.NewRegistry()
+	g, err := dataio.LoadFile(in)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "loaded %s\n", g.Stats())
+
+	var addrs []string
+	if sites != "" {
+		for _, a := range strings.Split(sites, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		if len(addrs) == 0 {
+			return fmt.Errorf("-sites given but no addresses parsed")
+		}
+		k = len(addrs)
+	}
+
+	opts := partition.Options{K: k, Epsilon: epsilon, Seed: seed}
+	cfg := cluster.Config{Semijoin: semijoin, Obs: reg}
+	var layout partition.SiteLayout
+	var crossing sparql.CrossingTest
+	switch strategy {
+	case "MPC":
+		p, err := (core.MPC{}).Partition(g, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "MPC partitioning: %s\n", p.Summary())
+		layout = p
+		crossing = func(prop string) bool {
+			id, ok := g.Properties.Lookup(prop)
+			if !ok {
+				return false
+			}
+			return p.IsCrossingProperty(rdf.PropertyID(id))
+		}
+	case "Subject_Hash":
+		p, err := (partition.SubjectHash{}).Partition(g, opts)
+		if err != nil {
+			return err
+		}
+		layout, cfg.Mode = p, cluster.ModeStarOnly
+	case "METIS":
+		p, err := (partition.MinEdgeCut{}).Partition(g, opts)
+		if err != nil {
+			return err
+		}
+		layout, cfg.Mode = p, cluster.ModeStarOnly
+	case "VP":
+		l, err := (partition.VP{}).Partition(g, opts)
+		if err != nil {
+			return err
+		}
+		layout, cfg.Mode = l, cluster.ModeVP
+	default:
+		return fmt.Errorf("unknown strategy %q", strategy)
+	}
+
+	var c *cluster.Cluster
+	if len(addrs) > 0 {
+		clients, err := transport.Connect(addrs, transport.ClientOptions{Obs: reg})
+		if err != nil {
+			return err
+		}
+		defer transport.CloseAll(clients)
+		fmt.Fprintf(os.Stderr, "bootstrapping %d sites...\n", len(clients))
+		if err := transport.Bootstrap(clients, layout); err != nil {
+			return err
+		}
+		c, err = cluster.NewWithSites(layout, crossing, cfg, transport.Sites(clients))
+		if err != nil {
+			return err
+		}
+	} else {
+		c, err = cluster.New(layout, crossing, cfg)
+		if err != nil {
+			return err
+		}
+	}
+
+	var cache *qcache.Cache
+	if cacheMB > 0 {
+		cache = qcache.New(qcache.Options{MaxBytes: int64(cacheMB) << 20, Obs: reg})
+	}
+	sched := serve.New(c, serve.Options{
+		Workers:    workers,
+		QueueDepth: queue,
+		Cache:      cache,
+		Obs:        reg,
+	})
+	defer sched.Close()
+
+	mux := http.NewServeMux()
+	mux.Handle("/query", queryHandler(g, sched))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.Handle("/debug/", reg.Handler())
+
+	srv := &http.Server{Addr: listen, Handler: mux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "serving on %s (%d workers, queue %d, cache %d MiB, %d sites, strategy %s)\n",
+		listen, workers, queue, cacheMB, k, strategy)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "received %v, draining...\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return srv.Shutdown(ctx)
+	}
+}
+
+// queryResponse is the JSON shape of one /query answer.
+type queryResponse struct {
+	Query       string     `json:"query"`
+	Class       string     `json:"class"`
+	Independent bool       `json:"independent"`
+	CacheHit    bool       `json:"cache_hit"`
+	RowCount    int        `json:"row_count"`
+	Digest      string     `json:"digest"`
+	Vars        []string   `json:"vars"`
+	Rows        [][]string `json:"rows,omitempty"`
+	Truncated   bool       `json:"truncated,omitempty"`
+	TotalNS     int64      `json:"total_ns"`
+	DecompNS    int64      `json:"decomp_ns"`
+	LocalNS     int64      `json:"local_ns"`
+	JoinNS      int64      `json:"join_ns"`
+}
+
+// queryHandler serves /query: parse, schedule, render.
+func queryHandler(g *rdf.Graph, sched *serve.Scheduler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		qs := r.URL.Query().Get("q")
+		if qs == "" && r.Method == http.MethodPost {
+			body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			qs = string(body)
+		}
+		if strings.TrimSpace(qs) == "" {
+			http.Error(w, "missing query: pass ?q= or POST the query text", http.StatusBadRequest)
+			return
+		}
+		q, err := sparql.Parse(qs)
+		if err != nil {
+			http.Error(w, "parse error: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		limit := 10
+		if ls := r.URL.Query().Get("limit"); ls != "" {
+			if limit, err = strconv.Atoi(ls); err != nil || limit < 0 {
+				http.Error(w, "bad limit", http.StatusBadRequest)
+				return
+			}
+		}
+
+		resp, err := sched.Do(r.Context(), q)
+		switch {
+		case errors.Is(err, serve.ErrOverloaded):
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, err.Error(), http.StatusTooManyRequests)
+			return
+		case errors.Is(err, context.Canceled):
+			return // client went away; nothing to write
+		case err != nil:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+
+		res := resp.Result
+		out := queryResponse{
+			Query:       q.String(),
+			Class:       res.Stats.Class.String(),
+			Independent: res.Stats.Independent,
+			CacheHit:    resp.CacheHit,
+			RowCount:    res.Table.Len(),
+			Digest:      fmt.Sprintf("%016x", oracle.Canonicalize(res.Table).Digest()),
+			Vars:        res.Table.Vars,
+			TotalNS:     res.Stats.Total().Nanoseconds(),
+			DecompNS:    res.Stats.DecompTime.Nanoseconds(),
+			LocalNS:     res.Stats.LocalTime.Nanoseconds(),
+			JoinNS:      res.Stats.JoinTime.Nanoseconds(),
+		}
+		if out.Vars == nil {
+			out.Vars = []string{}
+		}
+		n := res.Table.Len()
+		if limit > 0 && n > limit {
+			n, out.Truncated = limit, true
+		}
+		for i := 0; i < n; i++ {
+			row := make([]string, len(res.Table.Vars))
+			for j := range res.Table.Vars {
+				if res.Table.Kinds[j] == store.KindProperty {
+					row[j] = g.Properties.String(res.Table.At(i, j))
+				} else {
+					row[j] = g.Vertices.String(res.Table.At(i, j))
+				}
+			}
+			out.Rows = append(out.Rows, row)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(out)
+	})
+}

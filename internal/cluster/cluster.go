@@ -23,6 +23,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -86,15 +87,21 @@ type SubStats struct {
 // in-process implementation is a direct call into a local store;
 // internal/transport provides a TCP client implementation so sites can run
 // as separate processes (cmd/mpc-site). Implementations must be safe for
-// concurrent ExecuteSub calls.
+// concurrent ExecuteSub calls and should return promptly — with a
+// ctx.Err()-wrapping error — once ctx is cancelled.
 type Site interface {
-	ExecuteSub(sub *sparql.Query, opts SubOpts) (*store.Table, SubStats, error)
+	ExecuteSub(ctx context.Context, sub *sparql.Query, opts SubOpts) (*store.Table, SubStats, error)
 }
 
-// localSite is the in-process Site: a direct store call, no wire.
+// localSite is the in-process Site: a direct store call, no wire. A store
+// match is pure CPU with no blocking points, so cancellation is only
+// checked on entry.
 type localSite struct{ st *store.Store }
 
-func (s localSite) ExecuteSub(sub *sparql.Query, _ SubOpts) (*store.Table, SubStats, error) {
+func (s localSite) ExecuteSub(ctx context.Context, sub *sparql.Query, _ SubOpts) (*store.Table, SubStats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, SubStats{}, err
+	}
 	tab, err := s.st.Match(sub)
 	return tab, SubStats{}, err
 }
@@ -311,118 +318,18 @@ func (c *Cluster) Site(i int) *store.Store { return c.stores[i] }
 func (c *Cluster) Remote() bool { return c.remote }
 
 // Execute runs the query and returns its result and per-stage statistics.
+// It is safe for concurrent callers on a shared Cluster; see ExecuteCtx for
+// cancellation and Plan/ExecutePlan for plan reuse.
 func (c *Cluster) Execute(q *sparql.Query) (*Result, error) {
-	switch c.cfg.Mode {
-	case ModeVP:
-		return c.executeVP(q)
-	case ModeStarOnly:
-		return c.executeVertexDisjoint(q, sparql.ClassifyPlain(q), sparql.DecomposeStars)
-	default:
-		class := sparql.Classify(q, c.crossing)
-		decomp := func(q *sparql.Query) []*sparql.Query {
-			return sparql.Decompose(q, c.crossing)
-		}
-		if len(q.Patterns) > 1 && !q.IsWeaklyConnected() {
-			// Classification (Definitions 5.1–5.3) assumes a weakly connected
-			// query; on a disconnected one it can report an IEQ class whose
-			// per-site union misses matches that combine components matched at
-			// different sites. Classify and decompose each component instead,
-			// and let the coordinator join (Cartesian across components,
-			// filtered by any shared property variable).
-			class = sparql.ClassNonIEQ
-			decomp = func(q *sparql.Query) []*sparql.Query {
-				var subs []*sparql.Query
-				for _, comp := range q.ConnectedComponents() {
-					subs = append(subs, sparql.Decompose(comp, c.crossing)...)
-				}
-				return subs
-			}
-		}
-		return c.executeVertexDisjoint(q, class, decomp)
-	}
+	return c.ExecuteCtx(context.Background(), q)
 }
 
-// executeVertexDisjoint is the common path for all vertex-disjoint layouts:
-// IEQs are unioned across sites; non-IEQs are decomposed, each subquery is
-// evaluated over every site, and the subquery results are joined.
-func (c *Cluster) executeVertexDisjoint(q *sparql.Query, class sparql.Class,
-	decompose func(*sparql.Query) []*sparql.Query) (*Result, error) {
-
-	tr := c.cfg.Obs.StartTrace("query")
-	defer tr.Finish()
-
-	stats := Stats{Class: class}
-	t0 := time.Now()
-	sp := tr.Root().Child("decompose")
-	var subs []*sparql.Query
-	if class.IsIEQ() {
-		subs = []*sparql.Query{q}
-		stats.Independent = true
-	} else {
-		subs = decompose(q)
-	}
-	stats.NumSubqueries = len(subs)
-	sp.SetAttr("subqueries", int64(len(subs)))
-	sp.End()
-	stats.DecompTime = time.Since(t0)
-
-	t1 := time.Now()
-	sp = tr.Root().Child("local")
-	sitesPerSub := make([][]int, len(subs))
-	for si, sub := range subs {
-		if c.cfg.Localize && c.crossing != nil {
-			// Empty means a localizable constant proves the subquery empty
-			// (missing term, or constants pinned to different partitions).
-			sitesPerSub[si] = c.localizeSites(sub)
-		} else {
-			sitesPerSub[si] = c.allSites()
-		}
-	}
-	tables, wire, err := c.evalPerSub(subs, sitesPerSub, sp)
-	sp.End()
-	if err != nil {
-		return nil, err
-	}
-	stats.LocalTime = time.Since(t1)
-	stats.BytesShipped = wire.BytesShipped
-	stats.WireTime = wire.WireTime
-
-	var final *store.Table
-	if stats.Independent {
-		// No join phase at all: this is the whole point of an IEQ.
-		final = tables[0]
-	} else {
-		t2 := time.Now()
-		if c.cfg.Semijoin {
-			sp = tr.Root().Child("semijoin")
-			stats.SemijoinRemoved = semijoinReduce(tables)
-			sp.SetAttr("rows_removed", int64(stats.SemijoinRemoved))
-			sp.End()
-		}
-		for _, tab := range tables {
-			stats.TuplesShipped += tab.Len()
-		}
-		sp = tr.Root().Child("join")
-		sp.SetAttr("tuples_shipped", int64(stats.TuplesShipped))
-		final, err = joinAll(tables, &c.met)
-		sp.End()
-		if err != nil {
-			return nil, err
-		}
-		stats.JoinTime = time.Since(t2)
-		if !c.remote {
-			// Simulated shipping cost; with a real transport the measured
-			// BytesShipped/WireTime above replace the model.
-			stats.NetTime = time.Duration(stats.TuplesShipped) * c.cfg.NetCostPerTuple
-			stats.JoinTime += stats.NetTime
-		}
-	}
-
-	sp = tr.Root().Child("project")
-	final = project(final, q)
-	sp.End()
-	c.met.observeStats(&stats)
-	return &Result{Table: final, Stats: stats}, nil
+// ExecuteCtx is Execute with cancellation: plan the query, then run the
+// plan under ctx. Site calls in flight observe the cancellation (remote
+// sites abandon the RPC; local sites check on entry) and the first
+// ctx.Err()-wrapping error is returned.
+func (c *Cluster) ExecuteCtx(ctx context.Context, q *sparql.Query) (*Result, error) {
+	return c.ExecutePlan(ctx, c.Plan(q))
 }
 
 // allSites returns [0..k).
@@ -473,7 +380,7 @@ func (c *Cluster) localizeSites(sub *sparql.Query) []int {
 // parent, when non-nil, receives one child span per (subquery, site)
 // evaluation. The returned SubStats aggregates the transport measurements
 // of all site calls (zero for in-process clusters).
-func (c *Cluster) evalPerSub(subs []*sparql.Query, sitesPerSub [][]int, parent *obs.Span) ([]*store.Table, SubStats, error) {
+func (c *Cluster) evalPerSub(ctx context.Context, subs []*sparql.Query, sitesPerSub [][]int, parent *obs.Span) ([]*store.Table, SubStats, error) {
 	type key struct{ sub, site int }
 	results := make(map[key]*store.Table)
 	var wire SubStats
@@ -485,7 +392,7 @@ func (c *Cluster) evalPerSub(subs []*sparql.Query, sitesPerSub [][]int, parent *
 		sp := parent.Child("site-eval")
 		sp.SetAttr("sub", int64(si))
 		sp.SetAttr("site", int64(site))
-		tab, ss, err := c.sites[site].ExecuteSub(subs[si], SubOpts{})
+		tab, ss, err := c.sites[site].ExecuteSub(ctx, subs[si], SubOpts{})
 		if tab != nil {
 			sp.SetAttr("rows", int64(tab.Len()))
 		}

@@ -11,6 +11,7 @@ package cluster
 //     always built on its second argument.
 
 import (
+	"context"
 	"reflect"
 	"strings"
 	"testing"
@@ -75,7 +76,7 @@ func TestEmptyTableJoinsAgainstPropertyBinding(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tables, _, err := c.evalPerSub([]*sparql.Query{q}, [][]int{nil}, nil)
+	tables, _, err := c.evalPerSub(context.Background(), []*sparql.Query{q}, [][]int{nil}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,199 @@
+package cluster
+
+import (
+	"context"
+	"time"
+
+	"mpc/internal/sparql"
+	"mpc/internal/store"
+)
+
+// Plan is a query's compiled execution strategy: its classification, its
+// decomposition into subqueries, and the sites each subquery visits. A Plan
+// is immutable after Plan() returns and carries no per-execution state, so
+// one Plan may be executed any number of times, by any number of goroutines,
+// via ExecutePlan — the serving layer plans a query once and reuses the
+// plan across identical requests.
+type Plan struct {
+	// Query is the planned query; its Select list drives the final
+	// projection.
+	Query *sparql.Query
+	// Class is the query's executability class under this cluster's
+	// partitioning (reported in Stats).
+	Class sparql.Class
+	// Independent reports whether the query runs without an
+	// inter-partition join: the per-subquery results are complete answers.
+	Independent bool
+	// Subs are the evaluation units — the query itself for IEQs, the
+	// Algorithm 2 / star / per-site decomposition otherwise.
+	Subs []*sparql.Query
+	// SitesPerSub lists, per subquery, the sites that evaluate it. An empty
+	// list means the subquery is provably empty (localized constant absent,
+	// unknown property) and contributes a typed empty table without any
+	// site visit.
+	SitesPerSub [][]int
+	// DecompTime is how long classification + decomposition took — the QDT
+	// stat, attached to every execution of this plan.
+	DecompTime time.Duration
+
+	// direct marks the single-subquery fast paths that bypass both the
+	// cross-site union and the join phase: the VP whole-query-on-one-site
+	// case (one site, its table is the complete answer as-is) and the VP
+	// single-unknown-property case (no sites, typed empty table).
+	direct bool
+}
+
+// Plan classifies and decomposes q for this cluster's mode without
+// executing anything. The plan is safe to execute concurrently and
+// repeatedly via ExecutePlan.
+func (c *Cluster) Plan(q *sparql.Query) *Plan {
+	t0 := time.Now()
+	var p *Plan
+	switch c.cfg.Mode {
+	case ModeVP:
+		p = c.planVP(q)
+	case ModeStarOnly:
+		p = c.planVertexDisjoint(q, sparql.ClassifyPlain(q), sparql.DecomposeStars)
+	default:
+		class := sparql.Classify(q, c.crossing)
+		decomp := func(q *sparql.Query) []*sparql.Query {
+			return sparql.Decompose(q, c.crossing)
+		}
+		if len(q.Patterns) > 1 && !q.IsWeaklyConnected() {
+			// Classification (Definitions 5.1–5.3) assumes a weakly connected
+			// query; on a disconnected one it can report an IEQ class whose
+			// per-site union misses matches that combine components matched at
+			// different sites. Classify and decompose each component instead,
+			// and let the coordinator join (Cartesian across components,
+			// filtered by any shared property variable).
+			class = sparql.ClassNonIEQ
+			decomp = func(q *sparql.Query) []*sparql.Query {
+				var subs []*sparql.Query
+				for _, comp := range q.ConnectedComponents() {
+					subs = append(subs, sparql.Decompose(comp, c.crossing)...)
+				}
+				return subs
+			}
+		}
+		p = c.planVertexDisjoint(q, class, decomp)
+	}
+	p.Query = q
+	p.DecompTime = time.Since(t0)
+	return p
+}
+
+// planVertexDisjoint is the common planner for all vertex-disjoint layouts:
+// IEQs run whole at every site (union of complete per-site answers);
+// non-IEQs are decomposed and each subquery is evaluated over every site
+// (or only the localized sites when Config.Localize applies).
+func (c *Cluster) planVertexDisjoint(q *sparql.Query, class sparql.Class,
+	decompose func(*sparql.Query) []*sparql.Query) *Plan {
+
+	p := &Plan{Class: class}
+	if class.IsIEQ() {
+		p.Subs = []*sparql.Query{q}
+		p.Independent = true
+	} else {
+		p.Subs = decompose(q)
+	}
+	p.SitesPerSub = make([][]int, len(p.Subs))
+	for si, sub := range p.Subs {
+		if c.cfg.Localize && c.crossing != nil {
+			// Empty means a localizable constant proves the subquery empty
+			// (missing term, or constants pinned to different partitions).
+			p.SitesPerSub[si] = c.localizeSites(sub)
+		} else {
+			p.SitesPerSub[si] = c.allSites()
+		}
+	}
+	return p
+}
+
+// ExecutePlan runs a previously built plan under ctx and returns the
+// result with per-stage statistics. It is safe for concurrent callers: all
+// per-execution state is local, and the plan itself is read-only.
+func (c *Cluster) ExecutePlan(ctx context.Context, p *Plan) (*Result, error) {
+	tr := c.cfg.Obs.StartTrace("query")
+	defer tr.Finish()
+	sp := tr.Root().Child("decompose")
+	sp.SetAttr("subqueries", int64(len(p.Subs)))
+	sp.End()
+	stats := Stats{
+		Class:         p.Class,
+		Independent:   p.Independent,
+		NumSubqueries: len(p.Subs),
+		DecompTime:    p.DecompTime,
+	}
+
+	var final *store.Table
+	switch {
+	case p.direct && len(p.SitesPerSub[0]) == 0:
+		// Provably empty with no site visit (VP unknown property). Keep the
+		// query's variables as schema — every other execution path returns
+		// a typed empty table here, and the differential oracle compares
+		// schemas.
+		final = emptyTableFor(p.Subs[0])
+
+	case p.direct:
+		// Whole query at one site; its answer is complete as-is.
+		t1 := time.Now()
+		sp = tr.Root().Child("local")
+		tab, ss, err := c.sites[p.SitesPerSub[0][0]].ExecuteSub(ctx, p.Subs[0], SubOpts{})
+		sp.End()
+		if err != nil {
+			return nil, err
+		}
+		stats.LocalTime = time.Since(t1)
+		stats.BytesShipped = ss.BytesShipped
+		stats.WireTime = ss.WireTime
+		final = tab
+
+	default:
+		t1 := time.Now()
+		sp = tr.Root().Child("local")
+		tables, wire, err := c.evalPerSub(ctx, p.Subs, p.SitesPerSub, sp)
+		sp.End()
+		if err != nil {
+			return nil, err
+		}
+		stats.LocalTime = time.Since(t1)
+		stats.BytesShipped = wire.BytesShipped
+		stats.WireTime = wire.WireTime
+
+		if p.Independent {
+			// No join phase at all: this is the whole point of an IEQ.
+			final = tables[0]
+			break
+		}
+		t2 := time.Now()
+		if c.cfg.Semijoin {
+			sp = tr.Root().Child("semijoin")
+			stats.SemijoinRemoved = semijoinReduce(tables)
+			sp.SetAttr("rows_removed", int64(stats.SemijoinRemoved))
+			sp.End()
+		}
+		for _, tab := range tables {
+			stats.TuplesShipped += tab.Len()
+		}
+		sp = tr.Root().Child("join")
+		sp.SetAttr("tuples_shipped", int64(stats.TuplesShipped))
+		final, err = joinAll(tables, &c.met)
+		sp.End()
+		if err != nil {
+			return nil, err
+		}
+		stats.JoinTime = time.Since(t2)
+		if !c.remote {
+			// Simulated shipping cost; with a real transport the measured
+			// BytesShipped/WireTime above replace the model.
+			stats.NetTime = time.Duration(stats.TuplesShipped) * c.cfg.NetCostPerTuple
+			stats.JoinTime += stats.NetTime
+		}
+	}
+
+	sp = tr.Root().Child("project")
+	final = project(final, p.Query)
+	sp.End()
+	c.met.observeStats(&stats)
+	return &Result{Table: final, Stats: stats}, nil
+}

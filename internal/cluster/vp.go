@@ -1,14 +1,12 @@
 package cluster
 
 import (
-	"time"
-
 	"mpc/internal/rdf"
 	"mpc/internal/sparql"
 	"mpc/internal/store"
 )
 
-// executeVP runs a query over an edge-disjoint (vertical) layout. Each
+// planVP plans a query over an edge-disjoint (vertical) layout. Each
 // constant-property pattern lives at exactly one site; a query is
 // independently executable only when all its patterns live at the same site
 // and it has no variable properties. Otherwise patterns are grouped by
@@ -17,13 +15,9 @@ import (
 // patterns are evaluated at every site, and all the pieces are joined at
 // the coordinator — the S2RDF/HadoopRDF execution style the paper compares
 // against.
-func (c *Cluster) executeVP(q *sparql.Query) (*Result, error) {
+func (c *Cluster) planVP(q *sparql.Query) *Plan {
 	g := c.layout.Graph()
-	tr := c.cfg.Obs.StartTrace("query")
-	defer tr.Finish()
-	stats := Stats{Class: sparql.ClassNonIEQ}
-	t0 := time.Now()
-	dsp := tr.Root().Child("decompose")
+	p := &Plan{Class: sparql.ClassNonIEQ}
 
 	// Assign each pattern to its site: >=0 one site, -1 all sites (variable
 	// property), -2 nowhere (unknown property: no matches at all).
@@ -49,34 +43,22 @@ func (c *Cluster) executeVP(q *sparql.Query) (*Result, error) {
 		}
 	}
 	if independent && singleSite >= 0 {
-		// Whole query on one site.
-		stats.Class = sparql.ClassInternal
-		stats.Independent = true
-		stats.NumSubqueries = 1
-		dsp.End()
-		stats.DecompTime = time.Since(t0)
-		t1 := time.Now()
-		sp := tr.Root().Child("local")
-		tab, ss, err := c.sites[singleSite].ExecuteSub(q, SubOpts{})
-		sp.End()
-		if err != nil {
-			return nil, err
-		}
-		stats.LocalTime = time.Since(t1)
-		stats.BytesShipped = ss.BytesShipped
-		stats.WireTime = ss.WireTime
-		c.met.observeStats(&stats)
-		return &Result{Table: project(tab, q), Stats: stats}, nil
+		// Whole query on one site: its table is the complete answer, no
+		// cross-site union and no join.
+		p.Class = sparql.ClassInternal
+		p.Independent = true
+		p.direct = true
+		p.Subs = []*sparql.Query{q}
+		p.SitesPerSub = [][]int{{singleSite}}
+		return p
 	}
 	if singleSite == -2 && len(q.Patterns) == 1 {
-		// Single unknown-property pattern: empty result. Keep the query's
-		// variables as schema — every other execution path returns a typed
-		// empty table here, and the differential oracle compares schemas.
-		stats.NumSubqueries = 1
-		dsp.End()
-		stats.DecompTime = time.Since(t0)
-		c.met.observeStats(&stats)
-		return &Result{Table: project(emptyTableFor(q), q), Stats: stats}, nil
+		// Single unknown-property pattern: empty result without visiting any
+		// site.
+		p.direct = true
+		p.Subs = []*sparql.Query{q}
+		p.SitesPerSub = [][]int{nil}
+		return p
 	}
 
 	// Group same-site patterns, split groups into connected components.
@@ -91,11 +73,6 @@ func (c *Cluster) executeVP(q *sparql.Query) (*Result, error) {
 		}
 		groups[siteOf[i]] = append(groups[siteOf[i]], tp)
 	}
-	type task struct {
-		sub   *sparql.Query
-		sites []int
-	}
-	var tasks []task
 	for _, site := range siteOrder {
 		pats := groups[site]
 		switch {
@@ -105,7 +82,8 @@ func (c *Cluster) executeVP(q *sparql.Query) (*Result, error) {
 			subq := &sparql.Query{Patterns: pats}
 			for _, comp := range subq.ConnectedComponents() {
 				comp.Select = comp.Vars()
-				tasks = append(tasks, task{comp, []int{site}})
+				p.Subs = append(p.Subs, comp)
+				p.SitesPerSub = append(p.SitesPerSub, []int{site})
 			}
 		case site == -1:
 			// Variable-property patterns: the matching triples of two
@@ -115,66 +93,20 @@ func (c *Cluster) executeVP(q *sparql.Query) (*Result, error) {
 			for _, tp := range pats {
 				sub := &sparql.Query{Patterns: []sparql.TriplePattern{tp}}
 				sub.Select = sub.Vars()
-				tasks = append(tasks, task{sub, c.allSites()})
+				p.Subs = append(p.Subs, sub)
+				p.SitesPerSub = append(p.SitesPerSub, c.allSites())
 			}
 		default:
 			// Unknown property: contributes an empty table.
 			for _, tp := range pats {
 				sub := &sparql.Query{Patterns: []sparql.TriplePattern{tp}}
 				sub.Select = sub.Vars()
-				tasks = append(tasks, task{sub, nil})
+				p.Subs = append(p.Subs, sub)
+				p.SitesPerSub = append(p.SitesPerSub, nil)
 			}
 		}
 	}
-	stats.NumSubqueries = len(tasks)
-	dsp.SetAttr("subqueries", int64(len(tasks)))
-	dsp.End()
-	stats.DecompTime = time.Since(t0)
-
-	// All tasks go through the shared per-subquery site-list API: same-site
-	// component tasks carry a single site, variable-property tasks carry
-	// every site, unknown-property tasks carry none (empty table).
-	t1 := time.Now()
-	sp := tr.Root().Child("local")
-	subs := make([]*sparql.Query, len(tasks))
-	sitesPerSub := make([][]int, len(tasks))
-	for i, tk := range tasks {
-		subs[i] = tk.sub
-		sitesPerSub[i] = tk.sites
-	}
-	tables, wire, err := c.evalPerSub(subs, sitesPerSub, sp)
-	sp.End()
-	if err != nil {
-		return nil, err
-	}
-	stats.LocalTime = time.Since(t1)
-	stats.BytesShipped = wire.BytesShipped
-	stats.WireTime = wire.WireTime
-
-	t2 := time.Now()
-	if c.cfg.Semijoin {
-		sp = tr.Root().Child("semijoin")
-		stats.SemijoinRemoved = semijoinReduce(tables)
-		sp.SetAttr("rows_removed", int64(stats.SemijoinRemoved))
-		sp.End()
-	}
-	for _, tab := range tables {
-		stats.TuplesShipped += tab.Len()
-	}
-	sp = tr.Root().Child("join")
-	sp.SetAttr("tuples_shipped", int64(stats.TuplesShipped))
-	final, err := joinAll(tables, &c.met)
-	sp.End()
-	if err != nil {
-		return nil, err
-	}
-	stats.JoinTime = time.Since(t2)
-	if !c.remote {
-		stats.NetTime = time.Duration(stats.TuplesShipped) * c.cfg.NetCostPerTuple
-		stats.JoinTime += stats.NetTime
-	}
-	c.met.observeStats(&stats)
-	return &Result{Table: project(final, q), Stats: stats}, nil
+	return p
 }
 
 // emptyTableFor returns a zero-row table with the subquery's variables as
@@ -205,4 +137,3 @@ func emptyTableFor(q *sparql.Query) *store.Table {
 	}
 	return store.NewTable(vars, ks)
 }
-

@@ -1,6 +1,7 @@
 package oracle
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -166,7 +167,7 @@ type corruptSite struct {
 	mode string
 }
 
-func (s corruptSite) ExecuteSub(sub *sparql.Query, _ cluster.SubOpts) (*store.Table, cluster.SubStats, error) {
+func (s corruptSite) ExecuteSub(_ context.Context, sub *sparql.Query, _ cluster.SubOpts) (*store.Table, cluster.SubStats, error) {
 	tab, err := s.st.Match(sub)
 	if err != nil || tab.Len() == 0 {
 		return tab, cluster.SubStats{}, err
@@ -200,7 +201,7 @@ func (s corruptSite) ExecuteSub(sub *sparql.Query, _ cluster.SubOpts) (*store.Ta
 
 type honestSite struct{ st *store.Store }
 
-func (s honestSite) ExecuteSub(sub *sparql.Query, _ cluster.SubOpts) (*store.Table, cluster.SubStats, error) {
+func (s honestSite) ExecuteSub(_ context.Context, sub *sparql.Query, _ cluster.SubOpts) (*store.Table, cluster.SubStats, error) {
 	tab, err := s.st.Match(sub)
 	return tab, cluster.SubStats{}, err
 }

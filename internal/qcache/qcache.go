@@ -1,0 +1,268 @@
+// Package qcache is the serving layer's digest-keyed result cache: whole
+// query answers, keyed by a 64-bit FNV-1a digest of the query's canonical
+// string form (the same canonicalize-then-hash scheme internal/oracle uses
+// for result digests), bounded in memory by the flat byte size of the
+// cached binding tables and evicted least-recently-used.
+//
+// The cache is exact-match: two queries hit the same entry only when their
+// sparql.Query.String() renderings are identical, and every hit re-verifies
+// the stored canonical string so a digest collision degrades to a miss, not
+// a wrong answer. Exact matching also preserves the repo-wide bit-identical
+// guarantee — a hit returns the very table the miss computed, same schema,
+// same row order.
+//
+// Mutating the graph behind a cluster invalidates every cached answer;
+// callers own that coupling through the explicit invalidation hooks
+// (Invalidate for one query, Clear for everything). The current cluster
+// layer is read-only after bootstrap, so cmd/mpc-server only needs Clear on
+// reload.
+package qcache
+
+import (
+	"sync"
+
+	"mpc/internal/cluster"
+	"mpc/internal/obs"
+	"mpc/internal/sparql"
+)
+
+// FNV-1a constants (matching internal/oracle's digest arithmetic).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Digest returns the cache key of a query: FNV-1a over its canonical
+// string rendering.
+func Digest(q *sparql.Query) uint64 {
+	h := uint64(fnvOffset64)
+	for _, b := range []byte(q.String()) {
+		h ^= uint64(b)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// Options tunes a cache.
+type Options struct {
+	// MaxBytes bounds the summed size of cached tables; at least one entry
+	// is never evicted for another unless the newcomer fits. Results larger
+	// than MaxBytes are not cached at all. Default 64 MiB.
+	MaxBytes int64
+	// Obs receives hit/miss/eviction counters and size gauges. Nil
+	// disables instrumentation.
+	Obs *obs.Registry
+}
+
+// Cache is a bounded LRU of query results, safe for concurrent use. The
+// zero-value pointer (nil) is a valid always-miss cache, so callers can
+// thread an optional cache without nil checks.
+type Cache struct {
+	maxBytes int64
+
+	hits          *obs.Counter
+	misses        *obs.Counter
+	evictions     *obs.Counter
+	invalidations *obs.Counter
+	bytesGauge    *obs.Gauge
+	entriesGauge  *obs.Gauge
+
+	mu      sync.Mutex
+	entries map[uint64]*entry
+	bytes   int64
+	head    *entry // most recently used
+	tail    *entry // least recently used
+}
+
+// entry is one cached result on the intrusive LRU list.
+type entry struct {
+	digest     uint64
+	canon      string
+	res        *cluster.Result
+	bytes      int64
+	prev, next *entry
+}
+
+// New builds a cache. A nil return never happens; use a nil *Cache to
+// disable caching.
+func New(opts Options) *Cache {
+	if opts.MaxBytes <= 0 {
+		opts.MaxBytes = 64 << 20
+	}
+	c := &Cache{
+		maxBytes: opts.MaxBytes,
+		entries:  make(map[uint64]*entry),
+	}
+	if r := opts.Obs; r != nil {
+		c.hits = r.Counter("qcache.hits")
+		c.misses = r.Counter("qcache.misses")
+		c.evictions = r.Counter("qcache.evictions")
+		c.invalidations = r.Counter("qcache.invalidations")
+		c.bytesGauge = r.Gauge("qcache.bytes")
+		c.entriesGauge = r.Gauge("qcache.entries")
+	}
+	return c
+}
+
+// entrySize estimates the resident size of one cached result: the flat
+// binding data dominates; schema strings and bookkeeping are padded with a
+// fixed overhead so even empty tables have nonzero cost.
+func entrySize(canon string, res *cluster.Result) int64 {
+	const overhead = 160 // entry struct, map slot, table header
+	n := int64(overhead) + int64(len(canon))
+	if t := res.Table; t != nil {
+		n += 4 * int64(len(t.Data))
+		for _, v := range t.Vars {
+			n += int64(len(v)) + 1
+		}
+	}
+	return n
+}
+
+// Get returns the cached result for q, promoting the entry to
+// most-recently-used. The caller must treat the result as immutable: it is
+// shared with every other hit of the same entry.
+func (c *Cache) Get(q *sparql.Query) (*cluster.Result, bool) {
+	if c == nil {
+		return nil, false
+	}
+	canon := q.String()
+	c.mu.Lock()
+	e, ok := c.entries[Digest(q)]
+	if !ok || e.canon != canon {
+		// Unknown digest, or a digest collision with a different query:
+		// either way the stored answer is not this query's answer.
+		c.mu.Unlock()
+		c.misses.Inc()
+		return nil, false
+	}
+	c.unlink(e)
+	c.pushFront(e)
+	res := e.res
+	c.mu.Unlock()
+	c.hits.Inc()
+	return res, true
+}
+
+// Put stores a result. Oversized results (larger than the whole budget)
+// are ignored; otherwise least-recently-used entries are evicted until the
+// newcomer fits. The cache takes shared ownership of res: callers must not
+// mutate it afterwards.
+func (c *Cache) Put(q *sparql.Query, res *cluster.Result) {
+	if c == nil || res == nil {
+		return
+	}
+	canon := q.String()
+	size := entrySize(canon, res)
+	if size > c.maxBytes {
+		return
+	}
+	digest := Digest(q)
+	c.mu.Lock()
+	if old, ok := c.entries[digest]; ok {
+		// Same digest: refresh (same query) or displace (collision) — the
+		// map holds one entry per digest either way.
+		c.drop(old)
+	}
+	for c.bytes+size > c.maxBytes && c.tail != nil {
+		c.drop(c.tail)
+		c.evictions.Inc()
+	}
+	e := &entry{digest: digest, canon: canon, res: res, bytes: size}
+	c.entries[digest] = e
+	c.bytes += size
+	c.pushFront(e)
+	c.bytesGauge.Set(c.bytes)
+	c.entriesGauge.Set(int64(len(c.entries)))
+	c.mu.Unlock()
+}
+
+// Invalidate removes q's cached result, if any. This is the single-query
+// invalidation hook for callers that change data a specific query depends
+// on.
+func (c *Cache) Invalidate(q *sparql.Query) {
+	if c == nil {
+		return
+	}
+	canon := q.String()
+	c.mu.Lock()
+	if e, ok := c.entries[Digest(q)]; ok && e.canon == canon {
+		c.drop(e)
+		c.invalidations.Inc()
+		c.bytesGauge.Set(c.bytes)
+		c.entriesGauge.Set(int64(len(c.entries)))
+	}
+	c.mu.Unlock()
+}
+
+// Clear removes every entry — the invalidation hook for graph reloads,
+// where any cached answer may now be stale.
+func (c *Cache) Clear() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	n := len(c.entries)
+	c.entries = make(map[uint64]*entry)
+	c.bytes = 0
+	c.head, c.tail = nil, nil
+	c.invalidations.Add(int64(n))
+	c.bytesGauge.Set(0)
+	c.entriesGauge.Set(0)
+	c.mu.Unlock()
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Bytes returns the accounted size of the cache.
+func (c *Cache) Bytes() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// drop removes an entry from the map, the list, and the byte count.
+// Callers hold c.mu.
+func (c *Cache) drop(e *entry) {
+	delete(c.entries, e.digest)
+	c.unlink(e)
+	c.bytes -= e.bytes
+}
+
+// unlink detaches e from the LRU list. Callers hold c.mu.
+func (c *Cache) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else if c.head == e {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else if c.tail == e {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// pushFront makes e the most-recently-used entry. Callers hold c.mu.
+func (c *Cache) pushFront(e *entry) {
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}

@@ -1,0 +1,194 @@
+package qcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"mpc/internal/cluster"
+	"mpc/internal/obs"
+	"mpc/internal/sparql"
+	"mpc/internal/store"
+)
+
+// result builds a cached result whose table holds n rows of one column.
+func result(n int) *cluster.Result {
+	tab := store.NewTable([]string{"x"}, []store.VarKind{store.KindVertex})
+	for i := 0; i < n; i++ {
+		tab.AppendRow(uint32(i))
+	}
+	return &cluster.Result{Table: tab}
+}
+
+func query(i int) *sparql.Query {
+	return sparql.MustParse(fmt.Sprintf(`SELECT ?x WHERE { ?x <p%d> ?y }`, i))
+}
+
+func TestHitMissRoundtrip(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New(Options{MaxBytes: 1 << 20, Obs: reg})
+
+	q := query(1)
+	if _, ok := c.Get(q); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	want := result(10)
+	c.Put(q, want)
+	got, ok := c.Get(q)
+	if !ok {
+		t.Fatal("stored entry missed")
+	}
+	if got != want {
+		t.Fatal("hit returned a different result object")
+	}
+	// A different query must not alias.
+	if _, ok := c.Get(query(2)); ok {
+		t.Fatal("different query hit query(1)'s entry")
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["qcache.hits"] != 1 || snap.Counters["qcache.misses"] != 2 {
+		t.Fatalf("hits=%d misses=%d, want 1/2",
+			snap.Counters["qcache.hits"], snap.Counters["qcache.misses"])
+	}
+	if snap.Gauges["qcache.entries"] != 1 {
+		t.Fatalf("entries gauge = %d, want 1", snap.Gauges["qcache.entries"])
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	reg := obs.NewRegistry()
+	// Budget sized for roughly three 10-row entries.
+	one := entrySize(query(0).String(), result(10))
+	c := New(Options{MaxBytes: 3 * one, Obs: reg})
+
+	for i := 0; i < 3; i++ {
+		c.Put(query(i), result(10))
+	}
+	if c.Len() != 3 {
+		t.Fatalf("cache holds %d entries, want 3", c.Len())
+	}
+	// Touch 0 so 1 becomes least recently used, then overflow.
+	if _, ok := c.Get(query(0)); !ok {
+		t.Fatal("entry 0 missing")
+	}
+	c.Put(query(3), result(10))
+
+	if _, ok := c.Get(query(1)); ok {
+		t.Fatal("LRU entry 1 survived eviction")
+	}
+	for _, i := range []int{0, 2, 3} {
+		if _, ok := c.Get(query(i)); !ok {
+			t.Fatalf("entry %d evicted, want only entry 1 gone", i)
+		}
+	}
+	if n := reg.Snapshot().Counters["qcache.evictions"]; n != 1 {
+		t.Fatalf("evictions = %d, want 1", n)
+	}
+	if c.Bytes() > 3*one {
+		t.Fatalf("cache bytes %d exceed budget %d", c.Bytes(), 3*one)
+	}
+}
+
+func TestOversizedResultNotCached(t *testing.T) {
+	c := New(Options{MaxBytes: 64})
+	c.Put(query(1), result(1000))
+	if c.Len() != 0 {
+		t.Fatal("oversized result was cached")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New(Options{MaxBytes: 1 << 20, Obs: reg})
+	c.Put(query(1), result(5))
+	c.Put(query(2), result(5))
+
+	c.Invalidate(query(1))
+	if _, ok := c.Get(query(1)); ok {
+		t.Fatal("invalidated entry still served")
+	}
+	if _, ok := c.Get(query(2)); !ok {
+		t.Fatal("invalidation removed an unrelated entry")
+	}
+	c.Clear()
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Fatalf("after Clear: len=%d bytes=%d", c.Len(), c.Bytes())
+	}
+	if _, ok := c.Get(query(2)); ok {
+		t.Fatal("cleared entry still served")
+	}
+	if n := reg.Snapshot().Counters["qcache.invalidations"]; n != 2 {
+		t.Fatalf("invalidations = %d, want 2 (one Invalidate + one live entry cleared)", n)
+	}
+}
+
+func TestPutReplacesSameQuery(t *testing.T) {
+	c := New(Options{MaxBytes: 1 << 20})
+	c.Put(query(1), result(5))
+	repl := result(7)
+	c.Put(query(1), repl)
+	got, ok := c.Get(query(1))
+	if !ok || got != repl {
+		t.Fatal("re-Put did not replace the entry")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("replacement left %d entries", c.Len())
+	}
+}
+
+func TestNilCacheIsNoop(t *testing.T) {
+	var c *Cache
+	c.Put(query(1), result(1))
+	if _, ok := c.Get(query(1)); ok {
+		t.Fatal("nil cache hit")
+	}
+	c.Invalidate(query(1))
+	c.Clear()
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Fatal("nil cache reports contents")
+	}
+}
+
+// TestConcurrentAccess hammers one cache from many goroutines under the
+// race detector: overlapping Put/Get/Invalidate on a small budget (so
+// evictions happen constantly) must stay consistent.
+func TestConcurrentAccess(t *testing.T) {
+	one := entrySize(query(0).String(), result(10))
+	c := New(Options{MaxBytes: 4 * one})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				q := query(i % 10)
+				switch i % 5 {
+				case 0:
+					c.Put(q, result(10))
+				case 4:
+					c.Invalidate(q)
+				default:
+					if res, ok := c.Get(q); ok && res.Table.Len() != 10 {
+						t.Errorf("worker %d: cached table has %d rows", w, res.Table.Len())
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Bytes() > 4*one {
+		t.Fatalf("cache bytes %d exceed budget", c.Bytes())
+	}
+}
+
+func TestDigestDistinguishesQueries(t *testing.T) {
+	seen := map[uint64]string{}
+	for i := 0; i < 200; i++ {
+		q := query(i)
+		d := Digest(q)
+		if prev, ok := seen[d]; ok && prev != q.String() {
+			t.Fatalf("digest collision between %q and %q", prev, q.String())
+		}
+		seen[d] = q.String()
+	}
+}

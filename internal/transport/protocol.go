@@ -1,6 +1,6 @@
 // Package transport is the real network layer of the cluster: a
 // length-prefixed binary wire protocol over TCP, a server (cmd/mpc-site)
-// that holds one partition's store, and a pooled client that implements
+// that holds one partition's store, and a pipelined client that implements
 // cluster.Site — so a cluster can run with each partition in its own
 // process instead of a goroutine, with measured bytes and latencies in
 // place of the simulator's per-tuple cost model.
@@ -16,10 +16,15 @@
 //	uint64 LE request ID
 //	payload
 //
-// The request ID of a response echoes the request ID of its request;
-// one connection carries one request at a time (the client pools
-// connections instead of multiplexing, which keeps the protocol trivially
-// ordered). Payload encodings are hand-rolled and allocation-light:
+// The request ID of a response echoes the request ID of its request, and
+// that correlation is the whole concurrency story: a connection carries
+// any number of in-flight requests, responses may arrive in any order
+// (the server handles each request on its own goroutine and writes
+// responses in completion order), and each side matches frames by ID —
+// the client's per-connection demux loop routes responses to waiting
+// callers and drops responses to abandoned requests. The frame layout is
+// unchanged from the one-request-at-a-time protocol, so the version byte
+// stays at 1. Payload encodings are hand-rolled and allocation-light:
 // binding tables reuse the flat row-major layout of store.Table (see
 // store.AppendTable), queries and bootstrap payloads use uvarint framing.
 //

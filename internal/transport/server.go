@@ -30,9 +30,13 @@ type ServerOptions struct {
 
 // Server is one site of the cluster as a network endpoint: it holds (or is
 // bootstrapped with) one partition's store and evaluates subqueries sent by
-// the coordinator. Connections are handled one goroutine each; requests on
-// a connection are processed in order, which matches the client's
-// one-request-per-pooled-connection discipline.
+// the coordinator. Connections are handled one read loop each; every
+// request on a connection is handled on its own goroutine and responses are
+// written back (in completion order, identified by request ID) under a
+// per-connection write lock — the server side of the client's pipelined
+// multiplexing. maxConnInflight bounds the per-connection handler fan-out;
+// beyond it the read loop stops pulling frames and TCP backpressure takes
+// over.
 type Server struct {
 	opts ServerOptions
 	met  serverMetrics
@@ -198,6 +202,8 @@ func (s *Server) serveConn(conn net.Conn) {
 	s.met.bytesIn.Add(int64(handshakeLen))
 	s.met.bytesOut.Add(int64(handshakeLen))
 
+	var wmu sync.Mutex // serializes response frames on this connection
+	sem := make(chan struct{}, maxConnInflight)
 	for {
 		req, nIn, err := readFrame(br)
 		if err != nil {
@@ -206,25 +212,36 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.met.bytesIn.Add(int64(nIn))
 		s.met.requests.Inc()
 
+		sem <- struct{}{}
 		s.inflight.Add(1)
-		t0 := time.Now()
-		typ, payload := s.handle(req)
-		s.met.rpcNS[minMsg(req.typ)].ObserveDuration(time.Since(t0))
-		s.inflight.Done()
-
-		if typ == MsgError {
-			s.met.errors.Inc()
-		}
-		nOut, err := writeFrame(bw, typ, req.reqID, payload)
-		if err == nil {
-			err = bw.Flush()
-		}
-		s.met.bytesOut.Add(int64(nOut))
-		if err != nil {
-			return
-		}
+		go func(req frame) {
+			defer func() { s.inflight.Done(); <-sem }()
+			t0 := time.Now()
+			typ, payload := s.handle(req)
+			s.met.rpcNS[minMsg(req.typ)].ObserveDuration(time.Since(t0))
+			if typ == MsgError {
+				s.met.errors.Inc()
+			}
+			wmu.Lock()
+			nOut, err := writeFrame(bw, typ, req.reqID, payload)
+			if err == nil {
+				err = bw.Flush()
+			}
+			wmu.Unlock()
+			s.met.bytesOut.Add(int64(nOut))
+			if err != nil {
+				// A half-written response poisons the stream; kill the
+				// connection so the read loop exits and the client redials.
+				conn.Close()
+			}
+		}(req)
 	}
 }
+
+// maxConnInflight caps concurrently handled requests per connection: ample
+// headroom for a pipelining coordinator, small enough that a misbehaving
+// client cannot spawn unbounded handler goroutines.
+const maxConnInflight = 128
 
 // minMsg clamps a message type into the rpcNS index range (unknown types
 // land on the bad-request path but still need a valid index).

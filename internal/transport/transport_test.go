@@ -62,7 +62,7 @@ func TestPingAndBootstrapQuery(t *testing.T) {
 		P: sparql.Term{IsVar: true, Value: "p"},
 		O: sparql.Term{IsVar: true, Value: "o"},
 	}}}
-	_, _, err = c.ExecuteSub(q, cluster.SubOpts{})
+	_, _, err = c.ExecuteSub(context.Background(), q, cluster.SubOpts{})
 	var re *RemoteError
 	if !errors.As(err, &re) || re.Code != CodeNoStore {
 		t.Fatalf("pre-bootstrap query: got %v, want RemoteError{CodeNoStore}", err)
@@ -72,7 +72,7 @@ func TestPingAndBootstrapQuery(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	tab, st, err := c.ExecuteSub(q, cluster.SubOpts{})
+	tab, st, err := c.ExecuteSub(context.Background(), q, cluster.SubOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +115,7 @@ func TestRemoteMatchesLocal(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, _, err := c.ExecuteSub(q, cluster.SubOpts{})
+		got, _, err := c.ExecuteSub(context.Background(), q, cluster.SubOpts{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -142,7 +142,7 @@ func TestServerStorePreload(t *testing.T) {
 		P: sparql.Term{IsVar: true, Value: "p"},
 		O: sparql.Term{IsVar: true, Value: "o"},
 	}}}
-	tab, _, err := c.ExecuteSub(q, cluster.SubOpts{})
+	tab, _, err := c.ExecuteSub(context.Background(), q, cluster.SubOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +183,7 @@ func TestServerKilledMidQuery(t *testing.T) {
 		P: sparql.Term{IsVar: true, Value: "p"},
 		O: sparql.Term{IsVar: true, Value: "o"},
 	}}}
-	_, _, err = c.ExecuteSub(q, cluster.SubOpts{})
+	_, _, err = c.ExecuteSub(context.Background(), q, cluster.SubOpts{})
 	if !errors.Is(err, ErrUnavailable) {
 		t.Fatalf("query against dead site: got %v, want ErrUnavailable", err)
 	}
@@ -301,7 +301,7 @@ func TestDrainRefusesNewWork(t *testing.T) {
 		P: sparql.Term{IsVar: true, Value: "p"},
 		O: sparql.Term{IsVar: true, Value: "o"},
 	}}}
-	_, _, err = c.ExecuteSub(q, cluster.SubOpts{})
+	_, _, err = c.ExecuteSub(context.Background(), q, cluster.SubOpts{})
 	if !errors.Is(err, ErrUnavailable) && !errors.Is(err, ErrDraining) {
 		t.Fatalf("query after shutdown: got %v, want ErrUnavailable or ErrDraining", err)
 	}
