@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race check cover bench bench-full bench-json bench-smoke bench-online bench-throughput experiments transport-race transport-smoke server-smoke oracle oracle-race clean
+.PHONY: all build test test-race check cover bench bench-full bench-json bench-smoke bench-online bench-throughput experiments transport-race transport-smoke server-smoke oracle oracle-race update-race clean
 
 all: build test
 
@@ -69,6 +69,18 @@ oracle:
 
 oracle-race:
 	$(GO) test -race -count=1 ./internal/oracle/
+
+# Live-update corpus under the race detector: the randomized insert/delete
+# streams cross-checked against the naive evaluator after every batch
+# (internal/oracle), the concurrent write/read interleavings in
+# internal/cluster, the update RPC path, and the serve-level cache
+# invalidation tests.
+update-race:
+	$(GO) test -race -count=1 \
+		-run 'Update|Apply|Drift|Mutat|Invalidat|Epoch' \
+		./internal/oracle/ ./internal/cluster/ ./internal/transport/ \
+		./internal/serve/ ./internal/qcache/ ./internal/rdf/ \
+		./internal/store/ ./cmd/mpc-server/
 
 # End-to-end loopback smoke: real mpc-site processes, bootstrap over TCP,
 # a join query through mpc-query -sites, measured wire stats asserted.

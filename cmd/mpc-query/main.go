@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -145,7 +146,7 @@ func run(in string, k int, epsilon float64, strategy, queryStr, queryFile string
 		}
 		defer transport.CloseAll(clients)
 		fmt.Fprintf(os.Stderr, "bootstrapping %d sites...\n", len(clients))
-		if err := transport.Bootstrap(clients, layout); err != nil {
+		if err := transport.Bootstrap(context.Background(), clients, layout); err != nil {
 			return err
 		}
 		c, err = cluster.NewWithSites(layout, crossing, cfg, transport.Sites(clients))

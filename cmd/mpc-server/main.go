@@ -8,16 +8,27 @@
 // Endpoints:
 //
 //	GET  /query?q=SELECT...&limit=N   execute a SPARQL BGP (also POST with the query as body)
+//	POST /update                      apply a JSON batch of triple inserts/deletes
 //	GET  /healthz                     liveness probe
+//	GET  /debug/drift                 partitioning drift report (MPC strategy only)
 //	GET  /debug/metrics               internal/obs counters, gauges, histogram quantiles
 //	GET  /debug/pprof/...             standard profiling handlers
 //
 // A /query response is JSON: the result rows (up to limit), the total row
 // count, a canonical result digest (oracle.Canonicalize/Digest — equal
 // digests mean bit-identical result sets), the executability class, and
-// per-stage timings. Overload surfaces as HTTP 429 with Retry-After; a
-// closed client connection cancels the query all the way down to the
-// per-site RPCs.
+// per-stage timings. Overload surfaces as HTTP 429 with a Retry-After
+// derived from the observed median query latency; a closed client
+// connection cancels the query all the way down to the per-site RPCs.
+//
+// A /update request body is a JSON array of operations:
+//
+//	[{"insert":true,"s":"<s>","p":"<p>","o":"<o>"}, {"insert":false,...}]
+//
+// The batch commits through serve.Scheduler.Apply — coordinator graph,
+// layout, and every site move first, then cached plans and results are
+// invalidated, and only then does the 200 response (the ack) go out, so a
+// client that saw the ack can never read a pre-write cached answer.
 //
 // Usage:
 //
@@ -102,7 +113,7 @@ func run(listen, in string, k int, epsilon float64, strategy string, seed int64,
 	}
 
 	opts := partition.Options{K: k, Epsilon: epsilon, Seed: seed}
-	cfg := cluster.Config{Semijoin: semijoin, Obs: reg}
+	cfg := cluster.Config{Semijoin: semijoin, Obs: reg, BalanceEpsilon: epsilon}
 	var layout partition.SiteLayout
 	var crossing sparql.CrossingTest
 	switch strategy {
@@ -150,7 +161,7 @@ func run(listen, in string, k int, epsilon float64, strategy string, seed int64,
 		}
 		defer transport.CloseAll(clients)
 		fmt.Fprintf(os.Stderr, "bootstrapping %d sites...\n", len(clients))
-		if err := transport.Bootstrap(clients, layout); err != nil {
+		if err := transport.Bootstrap(context.Background(), clients, layout); err != nil {
 			return err
 		}
 		c, err = cluster.NewWithSites(layout, crossing, cfg, transport.Sites(clients))
@@ -177,9 +188,19 @@ func run(listen, in string, k int, epsilon float64, strategy string, seed int64,
 	defer sched.Close()
 
 	mux := http.NewServeMux()
-	mux.Handle("/query", queryHandler(g, sched))
+	mux.Handle("/query", queryHandler(g, sched, reg))
+	mux.Handle("/update", updateHandler(sched))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/drift", func(w http.ResponseWriter, _ *http.Request) {
+		rep, ok := c.DriftReport()
+		if !ok {
+			http.Error(w, "drift monitoring requires an MPC partitioning layout", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(rep)
 	})
 	mux.Handle("/debug/", reg.Handler())
 
@@ -219,8 +240,59 @@ type queryResponse struct {
 	JoinNS      int64      `json:"join_ns"`
 }
 
+// retryAfterSeconds derives the Retry-After hint for 429 responses from
+// the observed median query latency: with W workers and a queue of depth Q
+// all full, a newcomer waits roughly (Q/W+1)·p50 for a slot, so the median
+// is the natural unit. The value is clamped to [1,30] seconds — 1s when
+// the server is fast or has no history yet, 30s so a pathological tail
+// never tells clients to go away for minutes.
+func retryAfterSeconds(reg *obs.Registry) int {
+	p50 := reg.Histogram("serve.total_ns").Quantile(0.50)
+	secs := int(time.Duration(p50).Round(time.Second) / time.Second)
+	if secs < 1 {
+		return 1
+	}
+	if secs > 30 {
+		return 30
+	}
+	return secs
+}
+
+// updateHandler serves POST /update: decode the op batch, commit it
+// through the scheduler (which invalidates caches before returning), and
+// report the apply stats.
+func updateHandler(sched *serve.Scheduler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			http.Error(w, "POST a JSON array of ops", http.StatusMethodNotAllowed)
+			return
+		}
+		var ops []rdf.Op
+		if err := json.NewDecoder(io.LimitReader(r.Body, 64<<20)).Decode(&ops); err != nil {
+			http.Error(w, "bad update body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if len(ops) == 0 {
+			http.Error(w, "empty update batch", http.StatusBadRequest)
+			return
+		}
+		stats, err := sched.Apply(r.Context(), ops)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Inserted int `json:"inserted"`
+			Deleted  int `json:"deleted"`
+			NotFound int `json:"not_found"`
+		}{stats.Inserted, stats.Deleted, stats.NotFound})
+	})
+}
+
 // queryHandler serves /query: parse, schedule, render.
-func queryHandler(g *rdf.Graph, sched *serve.Scheduler) http.Handler {
+func queryHandler(g *rdf.Graph, sched *serve.Scheduler, reg *obs.Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		qs := r.URL.Query().Get("q")
 		if qs == "" && r.Method == http.MethodPost {
@@ -251,7 +323,7 @@ func queryHandler(g *rdf.Graph, sched *serve.Scheduler) http.Handler {
 		resp, err := sched.Do(r.Context(), q)
 		switch {
 		case errors.Is(err, serve.ErrOverloaded):
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(reg)))
 			http.Error(w, err.Error(), http.StatusTooManyRequests)
 			return
 		case errors.Is(err, context.Canceled):

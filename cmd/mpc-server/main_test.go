@@ -1,0 +1,193 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mpc/internal/cluster"
+	"mpc/internal/obs"
+	"mpc/internal/partition"
+	"mpc/internal/qcache"
+	"mpc/internal/rdf"
+	"mpc/internal/serve"
+)
+
+// TestRetryAfterSeconds pins the 429 hint to the observed p50 of
+// serve.total_ns, clamped to [1,30] seconds.
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		name     string
+		obs      []time.Duration
+		min, max int
+	}{
+		{"no history", nil, 1, 1},
+		{"fast queries clamp up to 1s", []time.Duration{2 * time.Millisecond, 3 * time.Millisecond}, 1, 1},
+		// Power-of-two histogram buckets interpolate the p50, so accept a
+		// small band around the true median for mid-range latencies.
+		{"slow queries track the median", []time.Duration{4 * time.Second, 4 * time.Second, 4 * time.Second}, 3, 6},
+		{"pathological tail clamps at 30s", []time.Duration{5 * time.Minute, 5 * time.Minute}, 30, 30},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			reg := obs.NewRegistry()
+			h := reg.Histogram("serve.total_ns")
+			for _, d := range tc.obs {
+				h.ObserveDuration(d)
+			}
+			if got := retryAfterSeconds(reg); got < tc.min || got > tc.max {
+				t.Fatalf("retryAfterSeconds = %d, want in [%d,%d]", got, tc.min, tc.max)
+			}
+		})
+	}
+}
+
+// testCluster builds a tiny two-site in-process cluster over the given
+// triples.
+func testCluster(t *testing.T, triples [][3]string) (*rdf.Graph, *cluster.Cluster) {
+	t.Helper()
+	g := rdf.NewGraph()
+	for _, tr := range triples {
+		g.AddTriple(tr[0], tr[1], tr[2])
+	}
+	g.Freeze()
+	layout, err := (partition.SubjectHash{}).Partition(g, partition.Options{K: 2, Epsilon: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cluster.New(layout, nil, cluster.Config{Mode: cluster.ModeStarOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, c
+}
+
+// TestRetryAfterHeader saturates a one-worker, depth-one scheduler with a
+// concurrent burst and asserts the resulting 429 carries the p50-derived
+// Retry-After instead of a hard-coded constant.
+func TestRetryAfterHeader(t *testing.T) {
+	g, c := testCluster(t, [][3]string{{"s1", "p", "o1"}, {"s2", "p", "o2"}})
+	reg := obs.NewRegistry()
+	sched := serve.New(c, serve.Options{Workers: 1, QueueDepth: 1, Obs: reg})
+	defer sched.Close()
+
+	// Seed the latency histogram so the derived hint is distinguishable
+	// from the old hard-coded "1".
+	h := reg.Histogram("serve.total_ns")
+	for i := 0; i < 8; i++ {
+		h.ObserveDuration(40 * time.Second) // p50 far past the 30s clamp
+	}
+
+	handler := queryHandler(g, sched, reg)
+	const burst = 256
+	var (
+		mu       sync.Mutex
+		rejected *httptest.ResponseRecorder
+		wg       sync.WaitGroup
+	)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rec := httptest.NewRecorder()
+			handler.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/query",
+				strings.NewReader("SELECT ?s ?o WHERE { ?s <p> ?o }")))
+			if rec.Code == http.StatusTooManyRequests {
+				mu.Lock()
+				rejected = rec
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if rejected == nil {
+		t.Skip("burst never overloaded the scheduler on this machine")
+	}
+	if got := rejected.Header().Get("Retry-After"); got != "30" {
+		t.Fatalf("Retry-After = %q, want %q (p50-derived, clamped)", got, "30")
+	}
+}
+
+// TestUpdateHandler exercises the full write path through HTTP with a live
+// result cache: a query answered (and cached) before a delete must be
+// re-answered freshly after the update acks — the serve-level stale-cache
+// guarantee.
+func TestUpdateHandler(t *testing.T) {
+	g, c := testCluster(t, [][3]string{
+		{"a", "knows", "b"}, {"b", "knows", "c"}, {"c", "knows", "d"},
+	})
+	cache := qcache.New(qcache.Options{})
+	sched := serve.New(c, serve.Options{Workers: 2, Cache: cache})
+	defer sched.Close()
+
+	qh := queryHandler(g, sched, obs.NewRegistry())
+	uh := updateHandler(sched)
+
+	ask := func() queryResponse {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		qh.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/query",
+			strings.NewReader("SELECT ?s ?o WHERE { ?s <knows> ?o }")))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("query: %d %s", rec.Code, rec.Body.String())
+		}
+		var out queryResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	if got := ask(); got.RowCount != 3 || got.CacheHit {
+		t.Fatalf("pre-update: rows=%d hit=%v, want 3 rows uncached", got.RowCount, got.CacheHit)
+	}
+	if got := ask(); got.RowCount != 3 || !got.CacheHit {
+		t.Fatalf("repeat: rows=%d hit=%v, want a cache hit", got.RowCount, got.CacheHit)
+	}
+
+	rec := httptest.NewRecorder()
+	uh.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/update", strings.NewReader(
+		`[{"insert":false,"s":"b","p":"knows","o":"c"},
+		  {"insert":true,"s":"d","p":"knows","o":"e"},
+		  {"insert":true,"s":"e","p":"knows","o":"a"}]`)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("update: %d %s", rec.Code, rec.Body.String())
+	}
+	var stats struct {
+		Inserted int `json:"inserted"`
+		Deleted  int `json:"deleted"`
+		NotFound int `json:"not_found"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Inserted != 2 || stats.Deleted != 1 || stats.NotFound != 0 {
+		t.Fatalf("stats = %+v, want 2 inserted / 1 deleted / 0 not found", stats)
+	}
+
+	// The ack above happened strictly after invalidation: this read must
+	// recompute, and see the delete and both inserts.
+	got := ask()
+	if got.CacheHit {
+		t.Fatal("post-update answer served from cache: invalidation did not take")
+	}
+	if got.RowCount != 4 {
+		t.Fatalf("post-update rows = %d, want 4 (delete b→c, insert d→e and e→a)", got.RowCount)
+	}
+
+	// Method and body validation.
+	rec = httptest.NewRecorder()
+	uh.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/update", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /update = %d, want 405", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	uh.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/update", strings.NewReader("[]")))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("empty batch = %d, want 400", rec.Code)
+	}
+}

@@ -168,7 +168,7 @@ func RunThroughput(cfg Config) (*ThroughputResult, error) {
 		return nil, err
 	}
 	defer transport.CloseAll(clients)
-	if err := transport.Bootstrap(clients, bc.layout); err != nil {
+	if err := transport.Bootstrap(context.Background(), clients, bc.layout); err != nil {
 		return nil, err
 	}
 	remote, err := cluster.NewWithSites(bc.layout, bc.crossing,

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -54,7 +55,7 @@ func runTransportCombo(cfg Config, bc builtCluster, dataset string,
 		return combo, err
 	}
 	defer transport.CloseAll(clients)
-	if err := transport.Bootstrap(clients, bc.layout); err != nil {
+	if err := transport.Bootstrap(context.Background(), clients, bc.layout); err != nil {
 		return combo, err
 	}
 	remote, err := cluster.NewWithSites(bc.layout, bc.crossing,

@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"mpc/internal/dsf"
 	"mpc/internal/obs"
 	"mpc/internal/partition"
 	"mpc/internal/rdf"
@@ -140,6 +141,12 @@ type Config struct {
 	// per-query span traces when non-nil. Nil disables all instrumentation
 	// at near-zero cost and leaves results bit-identical; see internal/obs.
 	Obs *obs.Registry
+	// BalanceEpsilon is the Definition 4.1 imbalance slack ε the drift
+	// monitor judges live updates against: a partition violates the cap
+	// when |V_i| > (1+ε)·|V|/k. Use the same ε the offline partitioner ran
+	// with. Zero means no slack (any above-average partition counts as a
+	// violation).
+	BalanceEpsilon float64
 }
 
 // Cluster is a distributed RDF system: in-process (simulated shipping) or
@@ -153,6 +160,20 @@ type Cluster struct {
 	vp       *partition.VPLayout
 	cfg      Config
 	met      clusterMetrics
+
+	// stateMu serializes committed updates (writers) against query
+	// planning and execution (readers). Updates are rare relative to
+	// queries; queries proceed concurrently under the read lock.
+	stateMu sync.RWMutex
+	// version increments per committed update batch; plans record the
+	// version they were built at so ExecutePlan can replan stale ones.
+	version uint64
+	// updateSeq numbers committed batches for site-side idempotency.
+	updateSeq uint64
+
+	// Drift monitor state (vertex-disjoint layouts only; see DriftReport).
+	driftInc       *dsf.Incremental
+	driftBaseCross int
 
 	// LoadTime is how long building all site stores took (the "loading"
 	// column of Table VI). Zero for remote clusters, whose stores are built
@@ -287,6 +308,11 @@ func newCoordinator(layout partition.SiteLayout, crossing sparql.CrossingTest, c
 	}
 	if cfg.Mode == ModeCrossingAware && crossing == nil {
 		return nil, fmt.Errorf("cluster: ModeCrossingAware requires a crossing test")
+	}
+	if p, ok := layout.(*partition.Partitioning); ok {
+		// The drift monitor compares the live |E^c| against the offline
+		// partitioner's result; capture the baseline before any update.
+		c.driftBaseCross = p.NumCrossingEdges()
 	}
 	c.met = newClusterMetrics(cfg.Obs)
 	return c, nil

@@ -42,6 +42,10 @@ const MaxPartialEvalEdges = 12
 // The cluster must have been built from a vertex-disjoint partitioning
 // (NewFromPartitioning or New with a *partition.Partitioning layout).
 func (c *Cluster) ExecutePartialEval(q *sparql.Query) (*Result, error) {
+	// Reads the vertex assignment and the site stores directly, so it
+	// excludes concurrent writers the same way ExecutePlan does.
+	c.stateMu.RLock()
+	defer c.stateMu.RUnlock()
 	p, ok := c.layout.(*partition.Partitioning)
 	if !ok {
 		return nil, fmt.Errorf("cluster: partial evaluation requires a vertex-disjoint partitioning, got %T", c.layout)

@@ -41,12 +41,27 @@ type Plan struct {
 	// case (one site, its table is the complete answer as-is) and the VP
 	// single-unknown-property case (no sites, typed empty table).
 	direct bool
+
+	// version is the cluster state version the plan was built at. A
+	// committed update can change a query's classification (a property
+	// entering or leaving L_cross) or its site lists, so ExecutePlan
+	// replans transparently when the versions no longer match — cached
+	// plans stay safe to execute across updates, just not free.
+	version uint64
 }
 
 // Plan classifies and decomposes q for this cluster's mode without
 // executing anything. The plan is safe to execute concurrently and
-// repeatedly via ExecutePlan.
+// repeatedly via ExecutePlan, including across committed updates (it is
+// replanned under the hood when stale).
 func (c *Cluster) Plan(q *sparql.Query) *Plan {
+	c.stateMu.RLock()
+	defer c.stateMu.RUnlock()
+	return c.planLocked(q)
+}
+
+// planLocked builds a plan; the caller holds stateMu (either mode).
+func (c *Cluster) planLocked(q *sparql.Query) *Plan {
 	t0 := time.Now()
 	var p *Plan
 	switch c.cfg.Mode {
@@ -79,6 +94,7 @@ func (c *Cluster) Plan(q *sparql.Query) *Plan {
 	}
 	p.Query = q
 	p.DecompTime = time.Since(t0)
+	p.version = c.version
 	return p
 }
 
@@ -111,8 +127,18 @@ func (c *Cluster) planVertexDisjoint(q *sparql.Query, class sparql.Class,
 
 // ExecutePlan runs a previously built plan under ctx and returns the
 // result with per-stage statistics. It is safe for concurrent callers: all
-// per-execution state is local, and the plan itself is read-only.
+// per-execution state is local, and the plan itself is read-only. A plan
+// built before a committed update is stale — its classification or site
+// lists may no longer hold — so ExecutePlan detects the version mismatch
+// and replans the query first; the caller's Plan value is never mutated.
+// Execution holds the cluster state read lock, so a query sees one
+// consistent state end to end and never interleaves with a writer.
 func (c *Cluster) ExecutePlan(ctx context.Context, p *Plan) (*Result, error) {
+	c.stateMu.RLock()
+	defer c.stateMu.RUnlock()
+	if p.version != c.version {
+		p = c.planLocked(p.Query)
+	}
 	tr := c.cfg.Obs.StartTrace("query")
 	defer tr.Finish()
 	sp := tr.Root().Child("decompose")

@@ -1,0 +1,309 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"mpc/internal/dsf"
+	"mpc/internal/partition"
+	"mpc/internal/rdf"
+)
+
+// Live updates. The coordinator owns the write path: it resolves a raw
+// batch against the shared dictionaries exactly once, applies it to its
+// graph, folds the resulting slot trace into the layout (vertex assignment,
+// crossing counters), and fans the batch out to every site. Sites see the
+// batch as an UpdateBatch: the dictionary delta, plus every op tagged with
+// whether this site stores the triple under the layout's placement rule.
+//
+// Placement of new data never moves old data. A vertex first seen by an
+// insert is assigned to the least-loaded partition; a property first seen
+// by an insert is hashed to its VP site by the same name hash the initial
+// layout used. Re-partitioning is an offline decision — the drift monitor
+// (DriftReport) says when it is due.
+
+// UpdateOp is one mutation of an UpdateBatch. Local marks ops whose triple
+// the receiving site stores under the layout's placement rule (both
+// endpoints' sites for a crossing edge, the property's site under VP); the
+// site applies Local ops to its store. Sites that hold a full replica of
+// the graph (remote mpc-site processes) additionally apply every op —
+// Local or not — to that replica, so the replica stays bit-identical to
+// the coordinator's graph. In-process sites share the coordinator's graph
+// object, which the coordinator has already mutated.
+type UpdateOp struct {
+	Insert bool
+	Local  bool
+	T      rdf.Triple
+}
+
+// UpdateBatch is one committed write batch as shipped to a site. Ops are
+// slot-trace-derived: every delete in it matched a live triple on the
+// coordinator's graph, so a full-graph replica applies them without
+// surprises.
+type UpdateBatch struct {
+	// Seq is the coordinator's batch sequence number, strictly increasing
+	// per cluster. Sites use it to make replay idempotent: re-applying the
+	// last batch returns the cached result instead of double-mutating.
+	Seq uint64
+	// Delta pins the term→ID assignment of terms this batch interned.
+	Delta rdf.DictDelta
+	// Ops is the batch's mutation trace with per-site Local tags.
+	Ops []UpdateOp
+}
+
+// SiteUpdateResult reports what one site's store did with a batch.
+type SiteUpdateResult struct {
+	Stats rdf.ApplyStats
+}
+
+// SiteUpdater is the write half of a site: Site implementations that also
+// implement SiteUpdater accept committed update batches. The in-process
+// localSite and the transport client both do.
+type SiteUpdater interface {
+	ApplyUpdate(ctx context.Context, batch UpdateBatch) (SiteUpdateResult, error)
+}
+
+// ApplyUpdate implements SiteUpdater for in-process sites: the coordinator
+// shares this site's graph and has already applied the delta and the graph
+// mutations, so only the Local ops touch the site's store.
+func (s localSite) ApplyUpdate(ctx context.Context, batch UpdateBatch) (SiteUpdateResult, error) {
+	if err := ctx.Err(); err != nil {
+		return SiteUpdateResult{}, err
+	}
+	resolved := make([]rdf.ResolvedUpdate, 0, len(batch.Ops))
+	for _, op := range batch.Ops {
+		if op.Local {
+			resolved = append(resolved, rdf.ResolvedUpdate{Insert: op.Insert, T: op.T})
+		}
+	}
+	return SiteUpdateResult{Stats: s.st.ApplyResolved(resolved)}, nil
+}
+
+// Apply commits a raw update batch to the whole cluster: resolve against
+// the shared dictionaries, mutate the coordinator graph, maintain the
+// layout, and fan the batch out to every site. It returns the
+// coordinator-side stats (NotFound counts deletes that matched no live
+// triple). Writers are serialized; queries running concurrently see either
+// the old or the new state, never a torn one.
+//
+// A site error leaves the coordinator's state committed and the failing
+// site behind; the error is returned so the caller can quarantine or
+// re-bootstrap the site. Acknowledge a write to the outside world only
+// after Apply returns and dependent caches are invalidated.
+func (c *Cluster) Apply(ctx context.Context, ops []rdf.Op) (rdf.ApplyStats, error) {
+	c.stateMu.Lock()
+	defer c.stateMu.Unlock()
+	g := c.layout.Graph()
+	resolved, delta, notFound := g.ResolveUpdates(ops)
+	trace, stats := g.ApplyResolvedTrace(resolved)
+	stats.NotFound += notFound
+	return stats, c.applyTraceLocked(ctx, delta, trace)
+}
+
+// ApplyShared folds an externally applied graph mutation into this
+// cluster. It is the path for several clusters sharing one graph (the
+// differential oracle runs every strategy over the same data): resolve and
+// apply the batch to the graph once — rdf.Graph.ResolveUpdates +
+// ApplyResolvedTrace — then hand the same delta and trace to each
+// cluster's ApplyShared. The cluster's layout and site stores catch up;
+// the graph itself is not touched again.
+func (c *Cluster) ApplyShared(ctx context.Context, delta rdf.DictDelta, trace []rdf.SlotOp) error {
+	c.stateMu.Lock()
+	defer c.stateMu.Unlock()
+	return c.applyTraceLocked(ctx, delta, trace)
+}
+
+// applyTraceLocked maintains the layout, routes the trace into per-site
+// batches, fans them out, and bumps the plan-invalidating version. Caller
+// holds stateMu.
+func (c *Cluster) applyTraceLocked(ctx context.Context, delta rdf.DictDelta, trace []rdf.SlotOp) error {
+	var vd *partition.Partitioning
+	switch l := c.layout.(type) {
+	case *partition.Partitioning:
+		l.ApplyTrace(trace)
+		vd = l
+	case *partition.VPLayout:
+		l.ApplyTrace(trace)
+	default:
+		return fmt.Errorf("cluster: layout %T does not support live updates", c.layout)
+	}
+	c.version++
+	c.updateSeq++
+	c.driftAfterTrace(vd, trace)
+	if len(trace) == 0 && delta.Empty() {
+		return nil
+	}
+
+	batches := make([]UpdateBatch, len(c.sites))
+	for i := range batches {
+		batches[i] = UpdateBatch{Seq: c.updateSeq, Delta: delta, Ops: make([]UpdateOp, len(trace))}
+	}
+	for oi, op := range trace {
+		s1, s2 := -1, -1
+		if vd != nil {
+			s1, s2 = vd.TripleSites(op.T)
+		} else {
+			s1 = int(c.vp.SiteOf(op.T.P))
+		}
+		for i := range batches {
+			batches[i].Ops[oi] = UpdateOp{Insert: op.Insert, Local: i == s1 || i == s2, T: op.T}
+		}
+	}
+
+	var firstErr error
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	apply := func(i int) {
+		defer wg.Done()
+		up, ok := c.sites[i].(SiteUpdater)
+		var err error
+		if !ok {
+			err = fmt.Errorf("cluster: site %d (%T) does not support updates", i, c.sites[i])
+		} else {
+			_, err = up.ApplyUpdate(ctx, batches[i])
+		}
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cluster: update batch %d at site %d: %w", c.updateSeq, i, err)
+			}
+			mu.Unlock()
+		}
+	}
+	for i := range c.sites {
+		wg.Add(1)
+		if c.cfg.Sequential {
+			apply(i)
+		} else {
+			go apply(i)
+		}
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Version returns the cluster's state version: it increments on every
+// committed update batch. Plans record the version they were built at and
+// ExecutePlan transparently replans when it has moved — callers caching
+// plans (or results) can also compare versions themselves.
+func (c *Cluster) Version() uint64 {
+	c.stateMu.RLock()
+	defer c.stateMu.RUnlock()
+	return c.version
+}
+
+// driftAfterTrace updates the drift monitor after a committed trace and
+// publishes the cheap eager gauges. Vertex-disjoint layouts only.
+func (c *Cluster) driftAfterTrace(p *partition.Partitioning, trace []rdf.SlotOp) {
+	if p == nil {
+		return
+	}
+	if c.driftInc == nil {
+		// Seed the incremental property-WCC tracker from the live graph
+		// once, on the first committed batch; afterwards it follows the
+		// traces at O(α) per insert and one per-property rebuild per
+		// deleted property. The graph has already absorbed this batch, so
+		// the seed scan covers it — the trace is not replayed on top.
+		c.driftInc = dsf.NewIncremental()
+		g := p.Graph()
+		for i, t := range g.Triples() {
+			if g.TripleLive(int32(i)) {
+				c.driftInc.Insert(int32(t.P), int32(t.S), int32(t.O))
+			}
+		}
+	} else {
+		for _, op := range trace {
+			if op.Insert {
+				c.driftInc.Insert(int32(op.T.P), int32(op.T.S), int32(op.T.O))
+			} else {
+				c.driftInc.Delete(int32(op.T.P), int32(op.T.S), int32(op.T.O))
+			}
+		}
+	}
+	if c.cfg.Obs != nil {
+		rep := c.driftReportLocked(p, false)
+		c.cfg.Obs.Gauge("drift.crossing_edges").Set(int64(rep.CrossingEdges))
+		c.cfg.Obs.Gauge("drift.crossing_properties").Set(int64(rep.CrossingProperties))
+		c.cfg.Obs.Gauge("drift.cap_violations").Set(int64(rep.CapViolations))
+	}
+}
+
+// DriftReport describes how far live updates have pushed a vertex-disjoint
+// partitioning away from its offline quality guarantees: the Definition
+// 4.1 balance cap, and the crossing-edge/property counts the offline
+// partitioner minimized. A report with CapViolations > 0 or CrossingEdges
+// well above CrossingEdgesBase is the signal to re-partition offline.
+type DriftReport struct {
+	// Epsilon is the balance slack the report judges against
+	// (Config.BalanceEpsilon).
+	Epsilon float64
+	// Cap is the Definition 4.1 vertex cap (1+ε)·|V|/k at the current |V|.
+	Cap int
+	// PartSizes is |V_i| per partition.
+	PartSizes []int
+	// CapViolations counts partitions with |V_i| > Cap.
+	CapViolations int
+	// CrossingEdges is the live |E^c|; CrossingEdgesBase is its value when
+	// the monitor was seeded (the offline partitioner's result). A rising
+	// gap means inserts keep landing across partition boundaries.
+	CrossingEdges     int
+	CrossingEdgesBase int
+	// CrossingProperties is the live |L_cross|.
+	CrossingProperties int
+	// MaxPropertyWCC is max_p Cost({p}) over live properties (Definition
+	// 4.2 via the incremental WCC tracker): the largest component any
+	// single property contributes to a future re-partitioning. Zero until
+	// the monitor is seeded by the first committed batch.
+	MaxPropertyWCC int
+}
+
+// DriftReport returns the current drift assessment. ok is false when the
+// layout is not a vertex-disjoint partitioning (VP has no vertex balance
+// to drift).
+func (c *Cluster) DriftReport() (rep DriftReport, ok bool) {
+	c.stateMu.Lock()
+	defer c.stateMu.Unlock()
+	p, isVD := c.layout.(*partition.Partitioning)
+	if !isVD {
+		return DriftReport{}, false
+	}
+	rep = c.driftReportLocked(p, true)
+	if c.cfg.Obs != nil {
+		c.cfg.Obs.Gauge("drift.max_property_wcc").Set(int64(rep.MaxPropertyWCC))
+	}
+	return rep, true
+}
+
+// driftReportLocked builds the report. withWCC additionally scans every
+// property's component size — that can rebuild dirty forests, so the
+// per-batch gauge path skips it and only DriftReport pays.
+func (c *Cluster) driftReportLocked(p *partition.Partitioning, withWCC bool) DriftReport {
+	sizes := p.PartSizes()
+	rep := DriftReport{
+		Epsilon:            c.cfg.BalanceEpsilon,
+		PartSizes:          append([]int(nil), sizes...),
+		CrossingEdges:      p.NumCrossingEdges(),
+		CrossingEdgesBase:  c.driftBaseCross,
+		CrossingProperties: p.NumCrossingProperties(),
+	}
+	nv := len(p.Assign)
+	rep.Cap = int((1 + c.cfg.BalanceEpsilon) * float64(nv) / float64(p.K()))
+	if rep.Cap < 1 {
+		rep.Cap = 1
+	}
+	for _, s := range sizes {
+		if s > rep.Cap {
+			rep.CapViolations++
+		}
+	}
+	if withWCC && c.driftInc != nil {
+		g := p.Graph()
+		for pid := 0; pid < g.NumProperties(); pid++ {
+			if mc := int(c.driftInc.MaxComponent(int32(pid))); mc > rep.MaxPropertyWCC {
+				rep.MaxPropertyWCC = mc
+			}
+		}
+	}
+	return rep
+}

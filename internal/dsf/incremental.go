@@ -1,0 +1,198 @@
+package dsf
+
+// Incremental maintains the weakly-connected-component structure of every
+// property subgraph G[{p}] (Definition 3.2) under live edge insertions and
+// deletions. Union-find handles insertions natively — a new edge unions its
+// endpoints in place — but cannot un-union, so each deletion marks the
+// touched property dirty and the next read rebuilds only that property's
+// forest from its surviving edge multiset. Properties are independent, so a
+// delete on one leaves every other forest untouched; the common case
+// (insert-heavy streams, reads spread over many properties) stays O(α)
+// per operation.
+//
+// The structure is sparse on both axes: only touched properties hold a
+// forest, and each forest tracks only the vertices its edges mention, so
+// the cost of a rebuild scales with the property's edge count, never with
+// |V|. Singleton vertices (never mentioned) are implicit size-1 components,
+// matching the paper's convention that vertices outside G[L'] contribute
+// nothing to Cost(L').
+type Incremental struct {
+	props map[int32]*propWCC
+}
+
+// propWCC is one property's edge multiset and (possibly stale) forest.
+type propWCC struct {
+	// edges counts live undirected edges keyed by packed endpoint pair
+	// (min<<32 | max), so duplicate triples and reversed duplicates stack.
+	edges map[uint64]int32
+	f     *sparseForest
+	dirty bool
+}
+
+// sparseForest is union-find over an open vertex universe: vertices enter
+// on first touch. No path to un-union, hence the rebuild-on-delete above.
+type sparseForest struct {
+	parent  map[int32]int32
+	size    map[int32]int32
+	maxSize int32
+}
+
+func newSparseForest() *sparseForest {
+	return &sparseForest{parent: make(map[int32]int32), size: make(map[int32]int32)}
+}
+
+func (f *sparseForest) find(x int32) int32 {
+	p, ok := f.parent[x]
+	if !ok {
+		f.parent[x] = x
+		f.size[x] = 1
+		if f.maxSize < 1 {
+			f.maxSize = 1
+		}
+		return x
+	}
+	if p == x {
+		return x
+	}
+	root := f.find(p)
+	f.parent[x] = root
+	return root
+}
+
+func (f *sparseForest) union(x, y int32) {
+	rx, ry := f.find(x), f.find(y)
+	if rx == ry {
+		return
+	}
+	if f.size[rx] < f.size[ry] {
+		rx, ry = ry, rx
+	}
+	f.parent[ry] = rx
+	f.size[rx] += f.size[ry]
+	delete(f.size, ry)
+	if f.size[rx] > f.maxSize {
+		f.maxSize = f.size[rx]
+	}
+}
+
+func packEdge(s, o int32) uint64 {
+	if s > o {
+		s, o = o, s
+	}
+	return uint64(uint32(s))<<32 | uint64(uint32(o))
+}
+
+// NewIncremental returns an empty incremental WCC tracker. Seed it with
+// the current graph via Insert per live triple (or build lazily per
+// property before first read).
+func NewIncremental() *Incremental {
+	return &Incremental{props: make(map[int32]*propWCC)}
+}
+
+// Insert records the edge s—o under property p and unions in place.
+func (inc *Incremental) Insert(p, s, o int32) {
+	pw := inc.props[p]
+	if pw == nil {
+		pw = &propWCC{edges: make(map[uint64]int32), f: newSparseForest()}
+		inc.props[p] = pw
+	}
+	pw.edges[packEdge(s, o)]++
+	if !pw.dirty {
+		pw.f.union(s, o)
+	}
+}
+
+// Delete removes one instance of the edge s—o under property p. The
+// property's forest is marked stale and rebuilt on the next read; other
+// properties are unaffected. Deleting an edge that was never inserted is a
+// no-op.
+func (inc *Incremental) Delete(p, s, o int32) {
+	pw := inc.props[p]
+	if pw == nil {
+		return
+	}
+	key := packEdge(s, o)
+	n, ok := pw.edges[key]
+	if !ok {
+		return
+	}
+	if n <= 1 {
+		delete(pw.edges, key)
+	} else {
+		pw.edges[key] = n - 1
+	}
+	pw.dirty = true
+}
+
+// rebuild reconstructs the property's forest from its edge multiset.
+func (pw *propWCC) rebuild() {
+	pw.f = newSparseForest()
+	for key := range pw.edges {
+		s, o := int32(uint32(key>>32)), int32(uint32(key))
+		pw.f.union(s, o)
+	}
+	pw.dirty = false
+}
+
+func (inc *Incremental) forest(p int32) *sparseForest {
+	pw := inc.props[p]
+	if pw == nil {
+		return nil
+	}
+	if pw.dirty {
+		pw.rebuild()
+	}
+	return pw.f
+}
+
+// MaxComponent returns the size of the largest weakly connected component
+// of G[{p}], i.e. Cost({p}) of Definition 4.2. Properties with no live
+// edges report 0.
+func (inc *Incremental) MaxComponent(p int32) int32 {
+	f := inc.forest(p)
+	if f == nil {
+		return 0
+	}
+	pw := inc.props[p]
+	if len(pw.edges) == 0 {
+		return 0
+	}
+	return f.maxSize
+}
+
+// NumEdges returns the number of live edges (multiset count) under p.
+func (inc *Incremental) NumEdges(p int32) int {
+	pw := inc.props[p]
+	if pw == nil {
+		return 0
+	}
+	n := 0
+	for _, c := range pw.edges {
+		n += int(c)
+	}
+	return n
+}
+
+// MergedMaxComponent returns Cost(L') for a property set L': the largest
+// weakly connected component of G[L'], computed by merging the per-property
+// forests (the DS(L_in) ⊎ DS({p}) merge of Sec. IV-D, restricted to the
+// vertices the properties actually touch).
+func (inc *Incremental) MergedMaxComponent(props []int32) int32 {
+	merged := newSparseForest()
+	any := false
+	for _, p := range props {
+		pw := inc.props[p]
+		if pw == nil || len(pw.edges) == 0 {
+			continue
+		}
+		any = true
+		for key := range pw.edges {
+			s, o := int32(uint32(key>>32)), int32(uint32(key))
+			merged.union(s, o)
+		}
+	}
+	if !any {
+		return 0
+	}
+	return merged.maxSize
+}

@@ -1,0 +1,128 @@
+package dsf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestIncrementalBasic(t *testing.T) {
+	inc := NewIncremental()
+	if inc.MaxComponent(0) != 0 {
+		t.Fatal("empty property should have MaxComponent 0")
+	}
+	inc.Insert(0, 1, 2)
+	inc.Insert(0, 2, 3)
+	if got := inc.MaxComponent(0); got != 3 {
+		t.Fatalf("MaxComponent = %d, want 3", got)
+	}
+	inc.Insert(1, 10, 11)
+	if got := inc.MaxComponent(1); got != 2 {
+		t.Fatalf("MaxComponent(p1) = %d, want 2", got)
+	}
+	// Deleting the bridge splits the chain.
+	inc.Delete(0, 2, 3)
+	if got := inc.MaxComponent(0); got != 2 {
+		t.Fatalf("MaxComponent after bridge delete = %d, want 2", got)
+	}
+	// Property 1 untouched by property 0's delete.
+	if got := inc.MaxComponent(1); got != 2 {
+		t.Fatalf("MaxComponent(p1) = %d, want 2", got)
+	}
+}
+
+func TestIncrementalDuplicateEdges(t *testing.T) {
+	inc := NewIncremental()
+	inc.Insert(0, 1, 2)
+	inc.Insert(0, 2, 1) // reversed duplicate stacks on the same undirected edge
+	if inc.NumEdges(0) != 2 {
+		t.Fatalf("NumEdges = %d, want 2", inc.NumEdges(0))
+	}
+	inc.Delete(0, 1, 2)
+	if got := inc.MaxComponent(0); got != 2 {
+		t.Fatalf("one instance deleted, component must survive: got %d", got)
+	}
+	inc.Delete(0, 2, 1)
+	if got := inc.MaxComponent(0); got != 0 {
+		t.Fatalf("all edges deleted, MaxComponent = %d, want 0", got)
+	}
+}
+
+func TestIncrementalDeleteNonexistent(t *testing.T) {
+	inc := NewIncremental()
+	inc.Delete(5, 1, 2) // unknown property: no-op
+	inc.Insert(0, 1, 2)
+	inc.Delete(0, 3, 4) // unknown edge: no-op
+	if got := inc.MaxComponent(0); got != 2 {
+		t.Fatalf("MaxComponent = %d, want 2", got)
+	}
+}
+
+func TestIncrementalSelfLoop(t *testing.T) {
+	inc := NewIncremental()
+	inc.Insert(0, 7, 7)
+	if got := inc.MaxComponent(0); got != 1 {
+		t.Fatalf("self-loop-only property MaxComponent = %d, want 1", got)
+	}
+}
+
+func TestIncrementalMerged(t *testing.T) {
+	inc := NewIncremental()
+	inc.Insert(0, 1, 2)
+	inc.Insert(1, 2, 3)
+	inc.Insert(2, 10, 11)
+	if got := inc.MergedMaxComponent([]int32{0, 1}); got != 3 {
+		t.Fatalf("merged 1-2-3 chain = %d, want 3", got)
+	}
+	if got := inc.MergedMaxComponent([]int32{0, 2}); got != 2 {
+		t.Fatalf("disjoint merge = %d, want 2", got)
+	}
+	if got := inc.MergedMaxComponent(nil); got != 0 {
+		t.Fatalf("empty set = %d, want 0", got)
+	}
+}
+
+// Differential test: a random insert/delete stream against per-property
+// recomputation with the dense Forest.
+func TestIncrementalMatchesRecompute(t *testing.T) {
+	const nV, nP = 40, 4
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		inc := NewIncremental()
+		type edge struct{ p, s, o int32 }
+		var live []edge
+		for step := 0; step < 300; step++ {
+			if rng.Intn(3) > 0 || len(live) == 0 {
+				e := edge{int32(rng.Intn(nP)), int32(rng.Intn(nV)), int32(rng.Intn(nV))}
+				inc.Insert(e.p, e.s, e.o)
+				live = append(live, e)
+			} else {
+				i := rng.Intn(len(live))
+				e := live[i]
+				inc.Delete(e.p, e.s, e.o)
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+			if step%25 != 0 {
+				continue
+			}
+			for p := int32(0); p < nP; p++ {
+				f := New(nV)
+				touched := false
+				for _, e := range live {
+					if e.p == p {
+						f.Union(e.s, e.o)
+						touched = true
+					}
+				}
+				want := int32(0)
+				if touched {
+					want = f.MaxComponentSize()
+				}
+				if got := inc.MaxComponent(p); got != want {
+					t.Fatalf("seed %d step %d prop %d: MaxComponent = %d, want %d",
+						seed, step, p, got, want)
+				}
+			}
+		}
+	}
+}

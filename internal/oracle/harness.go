@@ -1,6 +1,7 @@
 package oracle
 
 import (
+	"context"
 	"fmt"
 	"net"
 
@@ -97,8 +98,13 @@ func NewEnv(g *rdf.Graph, o Options) (*Env, error) {
 	e := &Env{G: g, Opts: o, MPC: mpcP, Hash: hashP, VPL: vpl}
 	e.crossing = crossingTest(mpcP)
 
+	// Every cluster gets its own clone of its layout: all combos share the
+	// one graph (and thus one update stream applies to the data exactly
+	// once), but each cluster maintains its clone through ApplyShared
+	// without stepping on the others — or on e.MPC/e.Hash/e.VPL, which
+	// ApplyBatch maintains directly for the invariant checks.
 	add := func(name string, p *partition.Partitioning, cfg cluster.Config, partial bool) error {
-		c, err := cluster.NewFromPartitioning(p, cfg)
+		c, err := cluster.NewFromPartitioning(p.Clone(), cfg)
 		if err != nil {
 			return fmt.Errorf("oracle: %s: %w", name, err)
 		}
@@ -120,7 +126,7 @@ func NewEnv(g *rdf.Graph, o Options) (*Env, error) {
 			return nil, err
 		}
 	}
-	vc, err := cluster.New(vpl, nil, cluster.Config{Mode: cluster.ModeVP})
+	vc, err := cluster.New(vpl.Clone(), nil, cluster.Config{Mode: cluster.ModeVP})
 	if err != nil {
 		return nil, fmt.Errorf("oracle: vp: %w", err)
 	}
@@ -132,7 +138,7 @@ func NewEnv(g *rdf.Graph, o Options) (*Env, error) {
 		}
 	}
 	if o.TCP {
-		tc, err := e.tcpCluster(mpcP)
+		tc, err := e.tcpCluster(mpcP.Clone())
 		if err != nil {
 			e.Close()
 			return nil, err
@@ -140,6 +146,26 @@ func NewEnv(g *rdf.Graph, o Options) (*Env, error) {
 		e.combos = append(e.combos, combo{"mpc/crossing-aware/tcp", tc, false})
 	}
 	return e, nil
+}
+
+// ApplyBatch commits one update batch to the whole environment: the shared
+// graph mutates exactly once (resolve + trace), then every combo's cluster
+// catches its layout and site stores up through ApplyShared, and the
+// reference partitionings used by the invariant checks follow the same
+// trace. After ApplyBatch, Check compares the post-update world.
+func (e *Env) ApplyBatch(ctx context.Context, ops []rdf.Op) (rdf.ApplyStats, error) {
+	resolved, delta, notFound := e.G.ResolveUpdates(ops)
+	trace, stats := e.G.ApplyResolvedTrace(resolved)
+	stats.NotFound += notFound
+	e.MPC.ApplyTrace(trace)
+	e.Hash.ApplyTrace(trace)
+	e.VPL.ApplyTrace(trace)
+	for _, cb := range e.combos {
+		if err := cb.c.ApplyShared(ctx, delta, trace); err != nil {
+			return stats, fmt.Errorf("oracle: %s: %w", cb.name, err)
+		}
+	}
+	return stats, nil
 }
 
 // tcpCluster spawns one transport server per site on loopback TCP,
@@ -162,7 +188,7 @@ func (e *Env) tcpCluster(p *partition.Partitioning) (*cluster.Cluster, error) {
 		return nil, fmt.Errorf("oracle: connect: %w", err)
 	}
 	e.closers = append(e.closers, func() { transport.CloseAll(clients) })
-	if err := transport.Bootstrap(clients, p); err != nil {
+	if err := transport.Bootstrap(context.Background(), clients, p); err != nil {
 		return nil, fmt.Errorf("oracle: bootstrap: %w", err)
 	}
 	return cluster.NewWithSites(p, e.crossing, cluster.Config{}, transport.Sites(clients))

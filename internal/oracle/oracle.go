@@ -105,7 +105,11 @@ func (e *evaluator) match(pi int) error {
 		return e.emit()
 	}
 	tp := e.pats[pi]
-	for _, t := range e.g.Triples() {
+	for i, t := range e.g.Triples() {
+		if !e.g.TripleLive(int32(i)) {
+			// Deleted slots are tombstones, not data.
+			continue
+		}
 		e.work--
 		if e.work < 0 {
 			return ErrTooLarge

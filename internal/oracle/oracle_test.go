@@ -83,8 +83,8 @@ func TestEvalAgreesWithStore(t *testing.T) {
 	g := datagen.Random{V: 40, P: 5}.Generate(220, 9)
 	st := fullStore(g)
 	opts := sparql.RandOptions{
-		MaxPatterns:   4,
-		VertexConsts:  []string{"v0", "v1", "v2", "_:b0", `"L0"`, "missing"},
+		MaxPatterns:    4,
+		VertexConsts:   []string{"v0", "v1", "v2", "_:b0", `"L0"`, "missing"},
 		PropertyConsts: []string{"p0", "p1", "p2"},
 	}
 	checked := 0

@@ -1,0 +1,180 @@
+package oracle
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mpc/internal/datagen"
+	"mpc/internal/rdf"
+	"mpc/internal/sparql"
+)
+
+// randomOps draws one randomized update batch against the live graph:
+// inserts reusing existing terms, inserts interning brand-new terms,
+// deletes of live triples (by value), re-inserts of previously deleted
+// values, and deletes that match nothing.
+func randomOps(rng *rand.Rand, g *rdf.Graph, n int, fresh *int) []rdf.Op {
+	live := g.LiveTriples()
+	vname := func(id rdf.VertexID) string { return g.Vertices.String(uint32(id)) }
+	pname := func(id rdf.PropertyID) string { return g.Properties.String(uint32(id)) }
+	randV := func() string { return vname(rdf.VertexID(rng.Intn(g.NumVertices()))) }
+	randP := func() string { return pname(rdf.PropertyID(rng.Intn(g.NumProperties()))) }
+
+	ops := make([]rdf.Op, 0, n)
+	for len(ops) < n {
+		switch rng.Intn(6) {
+		case 0: // insert between existing vertices over an existing property
+			ops = append(ops, rdf.Op{Insert: true, S: randV(), P: randP(), O: randV()})
+		case 1: // insert with brand-new terms (grows both dictionaries)
+			*fresh++
+			ops = append(ops, rdf.Op{Insert: true,
+				S: fmt.Sprintf("u:v%d", *fresh), P: fmt.Sprintf("u:p%d", *fresh%5), O: randV()})
+		case 2, 3: // delete a live triple by value
+			if len(live) == 0 {
+				continue
+			}
+			tr := g.Triple(live[rng.Intn(len(live))])
+			ops = append(ops, rdf.Op{S: vname(tr.S), P: pname(tr.P), O: vname(tr.O)})
+		case 4: // delete something that matches nothing
+			ops = append(ops, rdf.Op{S: randV(), P: randP(), O: "u:nosuch"})
+		case 5: // delete-then-reinsert the same value within one batch
+			if len(live) == 0 {
+				continue
+			}
+			tr := g.Triple(live[rng.Intn(len(live))])
+			s, p, o := vname(tr.S), pname(tr.P), vname(tr.O)
+			ops = append(ops, rdf.Op{S: s, P: p, O: o}, rdf.Op{Insert: true, S: s, P: p, O: o})
+		}
+	}
+	return ops
+}
+
+// TestDifferentialUpdateStream is the live-update tentpole's acceptance
+// test: a randomized insert/delete stream commits batch by batch to every
+// strategy × partitioner combination (loopback TCP included), and after
+// every batch each combination must still return exactly the naive
+// evaluator's answer on the mutated graph — the same bit-identical
+// guarantee the static corpus pins, now under mutation.
+func TestDifferentialUpdateStream(t *testing.T) {
+	type streamConfig struct {
+		graph   int // index into graphConfigs
+		batches int
+		tcp     bool
+	}
+	streams := []streamConfig{
+		{graph: 0, batches: 20, tcp: true},
+		{graph: 3, batches: 20, tcp: false},
+		{graph: 7, batches: 15, tcp: false},
+	}
+	queriesPerBatch := 3
+	if testing.Short() {
+		streams = []streamConfig{{graph: 0, batches: 6, tcp: true}, {graph: 3, batches: 6, tcp: false}}
+		queriesPerBatch = 2
+	}
+
+	totalBatches, checked, skipped := 0, 0, 0
+	var totalStats rdf.ApplyStats
+	for si, sc := range streams {
+		gc := graphConfigs[sc.graph]
+		g := datagen.Random{V: gc.v, P: gc.p, Skew: gc.skew}.Generate(gc.triples, int64(100+sc.graph))
+		env, err := NewEnv(g, Options{TCP: sc.tcp, Localize: true})
+		if err != nil {
+			t.Fatalf("stream %d: %v", si, err)
+		}
+		rng := rand.New(rand.NewSource(int64(7000 + si)))
+		fresh := 0
+		for bi := 0; bi < sc.batches; bi++ {
+			ops := randomOps(rng, g, 2+rng.Intn(6), &fresh)
+			stats, err := env.ApplyBatch(context.Background(), ops)
+			if err != nil {
+				t.Fatalf("stream %d batch %d: %v", si, bi, err)
+			}
+			totalStats.Add(stats)
+			totalBatches++
+
+			for qi := 0; qi < queriesPerBatch; qi++ {
+				o := queryOptions(3)
+				o.Disconnected = qi%3 == 1
+				q := sparql.RandomBGP(rng, o)
+				res, err := env.Check(q)
+				if err != nil {
+					t.Fatalf("stream %d batch %d query %d:\n%s\n%v", si, bi, qi, q, err)
+				}
+				if res.Skipped {
+					skipped++
+					continue
+				}
+				checked++
+				for _, d := range res.Divergences {
+					t.Errorf("stream %d batch %d query %d (%d oracle rows):\n%s\n%s",
+						si, bi, qi, res.OracleRows, q, d)
+				}
+			}
+		}
+		env.Close()
+	}
+	t.Logf("committed %d batches (%d inserted, %d deleted, %d not-found), checked %d cases, skipped %d",
+		totalBatches, totalStats.Inserted, totalStats.Deleted, totalStats.NotFound, checked, skipped)
+	if !testing.Short() {
+		if totalBatches < 50 {
+			t.Fatalf("only %d batches; the stream must commit at least 50", totalBatches)
+		}
+		if totalStats.Inserted == 0 || totalStats.Deleted == 0 || totalStats.NotFound == 0 {
+			t.Fatalf("degenerate stream: stats %+v must exercise inserts, deletes, and misses", totalStats)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no cases checked at all")
+	}
+}
+
+// TestUpdateStreamQueriesNewTerms pins the end-to-end visibility of terms
+// that only exist post-freeze: a query naming an inserted property and
+// vertex must answer identically everywhere, and after deleting the last
+// triple of that property the answer must be empty everywhere.
+func TestUpdateStreamQueriesNewTerms(t *testing.T) {
+	gc := graphConfigs[1]
+	g := datagen.Random{V: gc.v, P: gc.p, Skew: gc.skew}.Generate(gc.triples, 101)
+	env, err := NewEnv(g, Options{TCP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+
+	if _, err := env.ApplyBatch(context.Background(), []rdf.Op{
+		{Insert: true, S: "u:s", P: "u:p", O: "u:o"},
+		{Insert: true, S: "u:o", P: "u:p", O: "v0"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	q := sparql.MustParse(`SELECT * WHERE { ?a <u:p> ?b }`)
+	res, err := env.Check(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Skipped || res.OracleRows != 2 {
+		t.Fatalf("new-property query: skipped=%v rows=%d, want 2", res.Skipped, res.OracleRows)
+	}
+	for _, d := range res.Divergences {
+		t.Error(d)
+	}
+
+	if _, err := env.ApplyBatch(context.Background(), []rdf.Op{
+		{S: "u:s", P: "u:p", O: "u:o"},
+		{S: "u:o", P: "u:p", O: "v0"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, err = env.Check(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Skipped || res.OracleRows != 0 {
+		t.Fatalf("emptied-property query: skipped=%v rows=%d, want 0", res.Skipped, res.OracleRows)
+	}
+	for _, d := range res.Divergences {
+		t.Error(d)
+	}
+}

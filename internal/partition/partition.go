@@ -98,6 +98,13 @@ type SiteLayout interface {
 
 // Partitioning is a vertex-disjoint partitioning F = {F_1..F_k} with 1-hop
 // replication of crossing edges (Definition 3.3).
+//
+// A partitioning stays consistent under live graph mutation: ApplyTrace
+// maintains the vertex assignment (new vertices go to the least-loaded
+// partition), the partition sizes, and the crossing counters eagerly, and
+// marks the derived site layout (siteTriples, crossingEdges, replica
+// counts) stale for lazy rebuild — those lists are only read at cluster
+// construction and in reports, never per query or per update.
 type Partitioning struct {
 	g *rdf.Graph
 	k int
@@ -105,10 +112,17 @@ type Partitioning struct {
 	// Assign maps each vertex to its home partition in [0, k).
 	Assign []int32
 
-	crossingEdges []int32 // triple indices whose endpoints live apart
-	crossingProp  []bool  // per property: labels at least one crossing edge
+	// crossCount[p] counts live crossing edges labeled p; the crossing
+	// property set L_cross is {p : crossCount[p] > 0}. Counts (not booleans)
+	// are what make deletion exact: a property leaves L_cross only when its
+	// last crossing edge goes.
+	crossCount    []int32
 	numCrossProps int
-	partSizes     []int     // |V_i|
+	numCrossEdges int
+	partSizes     []int // |V_i|
+
+	layoutDirty   bool
+	crossingEdges []int32   // triple slots whose endpoints live apart
 	siteTriples   [][]int32 // per site: internal triples + crossing replicas
 	replicaCounts []int     // |V_i^e| per site
 }
@@ -125,34 +139,49 @@ func FromAssignment(g *rdf.Graph, k int, assign []int32) (*Partitioning, error) 
 		return nil, fmt.Errorf("partition: assignment length %d != |V| %d", len(assign), g.NumVertices())
 	}
 	p := &Partitioning{
-		g:            g,
-		k:            k,
-		Assign:       assign,
-		crossingProp: make([]bool, g.NumProperties()),
-		partSizes:    make([]int, k),
-		siteTriples:  make([][]int32, k),
+		g:      g,
+		k:      k,
+		Assign: assign,
 	}
+	p.partSizes = make([]int, k)
 	for v, part := range assign {
 		if part < 0 || int(part) >= k {
 			return nil, fmt.Errorf("partition: vertex %d assigned to invalid partition %d", v, part)
 		}
 		p.partSizes[part]++
 	}
+	p.rebuildLayout()
+	return p, nil
+}
+
+// rebuildLayout derives the crossing counters and the per-site layout from
+// the live triples under the current assignment. FromAssignment calls it
+// once; after mutations it reruns lazily via ensureLayout.
+func (p *Partitioning) rebuildLayout() {
+	g, k, assign := p.g, p.k, p.Assign
+	p.crossCount = make([]int32, g.NumProperties())
+	p.numCrossProps, p.numCrossEdges = 0, 0
+	p.crossingEdges = nil
+	p.siteTriples = make([][]int32, k)
 	// foreign[i] collects the foreign endpoints visible at site i (V_i^e);
 	// they are sorted and deduplicated at the end, which is much cheaper
 	// than per-triple hash-set inserts on crossing-heavy graphs.
 	foreign := make([][]rdf.VertexID, k)
 	for i, t := range g.Triples() {
+		if !g.TripleLive(int32(i)) {
+			continue
+		}
 		ps, po := assign[t.S], assign[t.O]
 		if ps == po {
 			p.siteTriples[ps] = append(p.siteTriples[ps], int32(i))
 			continue
 		}
 		p.crossingEdges = append(p.crossingEdges, int32(i))
-		if !p.crossingProp[t.P] {
-			p.crossingProp[t.P] = true
+		if p.crossCount[t.P] == 0 {
 			p.numCrossProps++
 		}
+		p.crossCount[t.P]++
+		p.numCrossEdges++
 		// Replicate the crossing edge at both endpoints' sites.
 		p.siteTriples[ps] = append(p.siteTriples[ps], int32(i))
 		p.siteTriples[po] = append(p.siteTriples[po], int32(i))
@@ -170,7 +199,15 @@ func FromAssignment(g *rdf.Graph, k int, assign []int32) (*Partitioning, error) 
 		}
 		p.replicaCounts[i] = distinct
 	}
-	return p, nil
+	p.layoutDirty = false
+}
+
+func (p *Partitioning) ensureLayout() {
+	if p.layoutDirty {
+		// Preserve the eagerly maintained crossing counters; the rebuild
+		// recomputes them to identical values.
+		p.rebuildLayout()
+	}
 }
 
 // Graph returns the partitioned graph.
@@ -184,17 +221,27 @@ func (p *Partitioning) NumSites() int { return p.k }
 
 // SiteTriples implements SiteLayout: internal edges of site i plus replicas
 // of crossing edges incident to it.
-func (p *Partitioning) SiteTriples(i int) []int32 { return p.siteTriples[i] }
+func (p *Partitioning) SiteTriples(i int) []int32 {
+	p.ensureLayout()
+	return p.siteTriples[i]
+}
 
-// CrossingEdges returns the triple indices of all crossing edges (E^c).
-func (p *Partitioning) CrossingEdges() []int32 { return p.crossingEdges }
+// CrossingEdges returns the triple slots of all crossing edges (E^c).
+func (p *Partitioning) CrossingEdges() []int32 {
+	p.ensureLayout()
+	return p.crossingEdges
+}
 
-// NumCrossingEdges returns |E^c|.
-func (p *Partitioning) NumCrossingEdges() int { return len(p.crossingEdges) }
+// NumCrossingEdges returns |E^c|. The count is maintained eagerly across
+// mutations, so reading it never triggers a layout rebuild — the drift
+// monitor polls it after every batch.
+func (p *Partitioning) NumCrossingEdges() int { return p.numCrossEdges }
 
 // IsCrossingProperty reports whether property pid labels any crossing edge.
+// Properties interned after partitioning start internal (no crossing edge
+// yet) and enter L_cross the moment an insert gives them one.
 func (p *Partitioning) IsCrossingProperty(pid rdf.PropertyID) bool {
-	return p.crossingProp[pid]
+	return int(pid) < len(p.crossCount) && p.crossCount[pid] > 0
 }
 
 // NumCrossingProperties returns |L_cross|.
@@ -203,8 +250,8 @@ func (p *Partitioning) NumCrossingProperties() int { return p.numCrossProps }
 // CrossingProperties returns L_cross sorted by ID.
 func (p *Partitioning) CrossingProperties() []rdf.PropertyID {
 	out := make([]rdf.PropertyID, 0, p.numCrossProps)
-	for pid, cross := range p.crossingProp {
-		if cross {
+	for pid, n := range p.crossCount {
+		if n > 0 {
 			out = append(out, rdf.PropertyID(pid))
 		}
 	}
@@ -214,8 +261,8 @@ func (p *Partitioning) CrossingProperties() []rdf.PropertyID {
 // InternalProperties returns L_in = L − L_cross sorted by ID.
 func (p *Partitioning) InternalProperties() []rdf.PropertyID {
 	out := make([]rdf.PropertyID, 0, p.g.NumProperties()-p.numCrossProps)
-	for pid, cross := range p.crossingProp {
-		if !cross {
+	for pid := 0; pid < p.g.NumProperties(); pid++ {
+		if pid >= len(p.crossCount) || p.crossCount[pid] == 0 {
 			out = append(out, rdf.PropertyID(pid))
 		}
 	}
@@ -226,7 +273,10 @@ func (p *Partitioning) InternalProperties() []rdf.PropertyID {
 func (p *Partitioning) PartSizes() []int { return p.partSizes }
 
 // ReplicaCounts returns |V_i^e| for each partition.
-func (p *Partitioning) ReplicaCounts() []int { return p.replicaCounts }
+func (p *Partitioning) ReplicaCounts() []int {
+	p.ensureLayout()
+	return p.replicaCounts
+}
 
 // MaxPartSize returns max_i |V_i|.
 func (p *Partitioning) MaxPartSize() int {
@@ -251,20 +301,21 @@ func (p *Partitioning) Imbalance() float64 {
 // ReplicationRatio returns (Σ_i |E_i ∪ E_i^c|) / |E|: how much storage the
 // layout uses relative to the unpartitioned graph.
 func (p *Partitioning) ReplicationRatio() float64 {
-	if p.g.NumTriples() == 0 {
+	if p.g.NumLiveTriples() == 0 {
 		return 1
 	}
+	p.ensureLayout()
 	total := 0
 	for _, st := range p.siteTriples {
 		total += len(st)
 	}
-	return float64(total) / float64(p.g.NumTriples())
+	return float64(total) / float64(p.g.NumLiveTriples())
 }
 
 // Summary returns a human-readable description for reports.
 func (p *Partitioning) Summary() string {
 	return fmt.Sprintf("k=%d |L_cross|=%d |E^c|=%d imbalance=%.3f replication=%.3f",
-		p.k, p.numCrossProps, len(p.crossingEdges), p.Imbalance(), p.ReplicationRatio())
+		p.k, p.numCrossProps, p.numCrossEdges, p.Imbalance(), p.ReplicationRatio())
 }
 
 // sortIDs sorts a property ID slice in place and returns it (test helper

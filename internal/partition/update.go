@@ -1,0 +1,104 @@
+package partition
+
+import "mpc/internal/rdf"
+
+// Live-update maintenance of a vertex-disjoint partitioning. The vertex
+// assignment never moves existing vertices (re-partitioning is a separate,
+// offline decision — the drift monitor in internal/cluster reports when it
+// is due); new vertices are placed on the least-loaded partition, the
+// greedy choice that keeps the Def. 4.1 cap slack longest.
+
+// extendAssign places vertex v (and every unassigned vertex below it) on
+// the least-loaded partition.
+func (p *Partitioning) extendAssign(v rdf.VertexID) {
+	for len(p.Assign) <= int(v) {
+		best := 0
+		for i := 1; i < p.k; i++ {
+			if p.partSizes[i] < p.partSizes[best] {
+				best = i
+			}
+		}
+		p.Assign = append(p.Assign, int32(best))
+		p.partSizes[best]++
+	}
+}
+
+func (p *Partitioning) ensureCrossCount(pid rdf.PropertyID) {
+	for len(p.crossCount) <= int(pid) {
+		p.crossCount = append(p.crossCount, 0)
+	}
+}
+
+// ApplyTrace folds a slot-level mutation trace (from
+// rdf.Graph.ApplyResolvedTrace on this partitioning's graph) into the
+// partitioning: assignments for new vertices, partition sizes, and the
+// crossing counters update eagerly; the derived site lists are marked stale
+// and rebuilt on next read.
+func (p *Partitioning) ApplyTrace(trace []rdf.SlotOp) {
+	for _, op := range trace {
+		if op.Insert {
+			p.extendAssign(op.T.S)
+			p.extendAssign(op.T.O)
+		}
+		p.ensureCrossCount(op.T.P)
+		if p.Assign[op.T.S] == p.Assign[op.T.O] {
+			continue
+		}
+		if op.Insert {
+			if p.crossCount[op.T.P] == 0 {
+				p.numCrossProps++
+			}
+			p.crossCount[op.T.P]++
+			p.numCrossEdges++
+		} else {
+			p.crossCount[op.T.P]--
+			if p.crossCount[op.T.P] == 0 {
+				p.numCrossProps--
+			}
+			p.numCrossEdges--
+		}
+	}
+	if len(trace) > 0 {
+		p.layoutDirty = true
+	}
+}
+
+// Clone returns an independently mutable copy of the partitioning over
+// the same graph: several clusters (the differential oracle runs one per
+// strategy × transport combination) can share one graph and one update
+// stream while each maintains its own layout through ApplyTrace.
+func (p *Partitioning) Clone() *Partitioning {
+	// Bring the derived lists up to date on the source first: a clone
+	// marked dirty would lazily rebuild inside SiteTriples, which
+	// cluster.New calls from parallel store-building goroutines.
+	p.ensureLayout()
+	q := &Partitioning{
+		g:             p.g,
+		k:             p.k,
+		Assign:        append([]int32(nil), p.Assign...),
+		crossCount:    append([]int32(nil), p.crossCount...),
+		numCrossProps: p.numCrossProps,
+		numCrossEdges: p.numCrossEdges,
+		partSizes:     append([]int(nil), p.partSizes...),
+		crossingEdges: append([]int32(nil), p.crossingEdges...),
+		siteTriples:   make([][]int32, p.k),
+		replicaCounts: append([]int(nil), p.replicaCounts...),
+	}
+	for i, st := range p.siteTriples {
+		q.siteTriples[i] = append([]int32(nil), st...)
+	}
+	return q
+}
+
+// TripleSites returns the sites storing triple t under this layout: its
+// subject's home site and, when the edge crosses, the object's home site.
+// This is the routing rule for live updates — the same placement
+// FromAssignment uses for the initial layout.
+func (p *Partitioning) TripleSites(t rdf.Triple) (int, int) {
+	ps := int(p.Assign[t.S])
+	po := int(p.Assign[t.O])
+	if ps == po {
+		return ps, -1
+	}
+	return ps, po
+}

@@ -23,6 +23,7 @@ type VPLayout struct {
 	k int
 	// PropSite maps each property to its site.
 	PropSite    []int32
+	layoutDirty bool
 	siteTriples [][]int32
 }
 
@@ -57,7 +58,50 @@ func (l *VPLayout) Graph() *rdf.Graph { return l.g }
 func (l *VPLayout) NumSites() int { return l.k }
 
 // SiteTriples implements SiteLayout.
-func (l *VPLayout) SiteTriples(i int) []int32 { return l.siteTriples[i] }
+func (l *VPLayout) SiteTriples(i int) []int32 {
+	if l.layoutDirty {
+		l.siteTriples = make([][]int32, l.k)
+		for p := 0; p < len(l.PropSite); p++ {
+			site := l.PropSite[p]
+			l.siteTriples[site] = append(l.siteTriples[site], l.g.PropertyTriples(rdf.PropertyID(p))...)
+		}
+		l.layoutDirty = false
+	}
+	return l.siteTriples[i]
+}
+
+// Clone returns an independently mutable copy of the layout over the same
+// graph; see Partitioning.Clone.
+func (l *VPLayout) Clone() *VPLayout {
+	// Clean the source's lazy lists first so the clone never rebuilds
+	// inside SiteTriples (cluster.New reads it from parallel goroutines).
+	l.SiteTriples(0)
+	q := &VPLayout{
+		g:           l.g,
+		k:           l.k,
+		PropSite:    append([]int32(nil), l.PropSite...),
+		siteTriples: make([][]int32, l.k),
+	}
+	for i, st := range l.siteTriples {
+		q.siteTriples[i] = append([]int32(nil), st...)
+	}
+	return q
+}
 
 // SiteOf returns the site storing all triples labeled p.
 func (l *VPLayout) SiteOf(p rdf.PropertyID) int32 { return l.PropSite[p] }
+
+// ApplyTrace folds a slot-level mutation trace into the layout: properties
+// interned by the batch get a site by the same name hash the initial
+// placement used, and the per-site triple lists are rebuilt lazily.
+func (l *VPLayout) ApplyTrace(trace []rdf.SlotOp) {
+	for _, op := range trace {
+		for len(l.PropSite) <= int(op.T.P) {
+			name := l.g.Properties.String(uint32(len(l.PropSite)))
+			l.PropSite = append(l.PropSite, int32(hashString(name)%uint64(l.k)))
+		}
+	}
+	if len(trace) > 0 {
+		l.layoutDirty = true
+	}
+}

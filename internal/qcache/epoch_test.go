@@ -1,0 +1,70 @@
+package qcache
+
+import "testing"
+
+// TestEpochAdvance pins the epoch mechanics that close the stale-publish
+// race: Advance both clears the cache and moves the epoch, while Clear
+// (the graph-reload hook) clears without moving it.
+func TestEpochAdvance(t *testing.T) {
+	c := New(Options{MaxBytes: 1 << 20})
+	e0 := c.Epoch()
+	c.Put(query(1), result(3))
+
+	c.Advance()
+	if c.Epoch() != e0+1 {
+		t.Fatalf("epoch after Advance = %d, want %d", c.Epoch(), e0+1)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Advance left %d entries", c.Len())
+	}
+
+	c.Put(query(2), result(3))
+	c.Clear()
+	if c.Epoch() != e0+1 {
+		t.Fatalf("Clear moved the epoch to %d; only Advance may do that", c.Epoch())
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Clear left %d entries", c.Len())
+	}
+}
+
+// TestPutEpochFencesStaleResults is the invariant the serving layer's
+// workers rely on: a result computed under an epoch that Advance has since
+// retired must be dropped on the floor, never inserted into the freshly
+// cleared cache.
+func TestPutEpochFencesStaleResults(t *testing.T) {
+	c := New(Options{MaxBytes: 1 << 20})
+
+	// An in-flight execution captures the epoch, then a write commits
+	// (Advance) before it publishes: the publish must be discarded.
+	stale := c.Epoch()
+	c.Advance()
+	c.PutEpoch(query(1), result(3), stale)
+	if _, ok := c.Get(query(1)); ok {
+		t.Fatal("stale-epoch PutEpoch resurrected a pre-write result")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("cache holds %d entries after a fenced publish", c.Len())
+	}
+
+	// A publish under the current epoch inserts normally.
+	c.PutEpoch(query(1), result(3), c.Epoch())
+	if _, ok := c.Get(query(1)); !ok {
+		t.Fatal("current-epoch PutEpoch did not insert")
+	}
+}
+
+// TestEpochNilCache: the nil cache is a valid always-miss cache, so the
+// epoch hooks must be nil-safe too (the scheduler threads an optional
+// cache without nil checks).
+func TestEpochNilCache(t *testing.T) {
+	var c *Cache
+	if c.Epoch() != 0 {
+		t.Fatalf("nil cache epoch = %d, want 0", c.Epoch())
+	}
+	c.PutEpoch(query(1), result(1), 0)
+	c.Advance()
+	if c.Len() != 0 {
+		t.Fatal("nil cache reports entries")
+	}
+}

@@ -13,9 +13,12 @@
 //
 // Mutating the graph behind a cluster invalidates every cached answer;
 // callers own that coupling through the explicit invalidation hooks
-// (Invalidate for one query, Clear for everything). The current cluster
-// layer is read-only after bootstrap, so cmd/mpc-server only needs Clear on
-// reload.
+// (Invalidate for one query, Clear for everything, Advance for a committed
+// write). Advance exists because Clear alone cannot close the
+// stale-publish race: an execution that read pre-update data but finishes
+// after the write would Put its stale answer into the freshly cleared
+// cache. Epoch-checked inserts (capture Epoch before executing, publish
+// with PutEpoch) make such late results drop on the floor instead.
 package qcache
 
 import (
@@ -70,6 +73,7 @@ type Cache struct {
 	mu      sync.Mutex
 	entries map[uint64]*entry
 	bytes   int64
+	epoch   uint64 // bumped by Advance; PutEpoch checks it
 	head    *entry // most recently used
 	tail    *entry // least recently used
 }
@@ -159,6 +163,45 @@ func (c *Cache) Put(q *sparql.Query, res *cluster.Result) {
 	}
 	digest := Digest(q)
 	c.mu.Lock()
+	c.putLocked(digest, canon, res, size)
+	c.mu.Unlock()
+}
+
+// Epoch returns the cache's current epoch, to be captured before computing
+// a result that will be published with PutEpoch. Nil caches report 0.
+func (c *Cache) Epoch() uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
+// PutEpoch is Put conditioned on the epoch the result was computed in: if
+// Advance ran since the caller captured epoch, the result may reflect
+// pre-update data and is silently discarded. This is the only safe insert
+// path for results computed concurrently with writes.
+func (c *Cache) PutEpoch(q *sparql.Query, res *cluster.Result, epoch uint64) {
+	if c == nil || res == nil {
+		return
+	}
+	canon := q.String()
+	size := entrySize(canon, res)
+	if size > c.maxBytes {
+		return
+	}
+	digest := Digest(q)
+	c.mu.Lock()
+	if c.epoch == epoch {
+		c.putLocked(digest, canon, res, size)
+	}
+	c.mu.Unlock()
+}
+
+// putLocked inserts one entry, evicting LRU entries to fit. Callers hold
+// c.mu.
+func (c *Cache) putLocked(digest uint64, canon string, res *cluster.Result, size int64) {
 	if old, ok := c.entries[digest]; ok {
 		// Same digest: refresh (same query) or displace (collision) — the
 		// map holds one entry per digest either way.
@@ -174,7 +217,6 @@ func (c *Cache) Put(q *sparql.Query, res *cluster.Result) {
 	c.pushFront(e)
 	c.bytesGauge.Set(c.bytes)
 	c.entriesGauge.Set(int64(len(c.entries)))
-	c.mu.Unlock()
 }
 
 // Invalidate removes q's cached result, if any. This is the single-query
@@ -196,12 +238,34 @@ func (c *Cache) Invalidate(q *sparql.Query) {
 }
 
 // Clear removes every entry — the invalidation hook for graph reloads,
-// where any cached answer may now be stale.
+// where any cached answer may now be stale. Clear does not move the
+// epoch; a committed write should use Advance instead, which also fences
+// out in-flight executions that started before the write.
 func (c *Cache) Clear() {
 	if c == nil {
 		return
 	}
 	c.mu.Lock()
+	c.clearLocked()
+	c.mu.Unlock()
+}
+
+// Advance invalidates every entry and moves the cache to a new epoch, so
+// any in-flight execution that captured the old epoch can no longer
+// publish its (possibly pre-update) result. Call it after a write commits
+// and before acknowledging the write.
+func (c *Cache) Advance() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.epoch++
+	c.clearLocked()
+	c.mu.Unlock()
+}
+
+// clearLocked drops every entry. Callers hold c.mu.
+func (c *Cache) clearLocked() {
 	n := len(c.entries)
 	c.entries = make(map[uint64]*entry)
 	c.bytes = 0
@@ -209,7 +273,6 @@ func (c *Cache) Clear() {
 	c.invalidations.Add(int64(n))
 	c.bytesGauge.Set(0)
 	c.entriesGauge.Set(0)
-	c.mu.Unlock()
 }
 
 // Len returns the number of cached entries.

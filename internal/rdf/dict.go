@@ -5,15 +5,21 @@
 // An RDF graph G = {V, E, L, f} (Definition 3.1 of the MPC paper) is
 // represented with two dictionaries — one for vertices (subjects/objects)
 // and one for properties (edge labels) — and a flat triple list. Freezing
-// the graph builds CSR-style indexes: triples grouped by property, and an
-// undirected adjacency list used for WCC computation and min edge-cut
-// partitioning.
+// the graph builds per-property and per-vertex indexes, initially as
+// CSR-style flat arrays; after freezing the graph stays mutable through
+// Insert/Delete, which maintain the indexes incrementally (see graph.go).
 package rdf
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
-// Dict interns strings to dense uint32 IDs.
+// Dict interns strings to dense uint32 IDs. It is safe for concurrent use:
+// the serving layer renders result rows (String) and compiles query
+// constants (Lookup) while live updates intern new terms.
 type Dict struct {
+	mu   sync.RWMutex
 	ids  map[string]uint32
 	strs []string
 }
@@ -25,10 +31,18 @@ func NewDict() *Dict {
 
 // Intern returns the ID for s, assigning the next free ID on first sight.
 func (d *Dict) Intern(s string) uint32 {
+	d.mu.RLock()
+	id, ok := d.ids[s]
+	d.mu.RUnlock()
+	if ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if id, ok := d.ids[s]; ok {
 		return id
 	}
-	id := uint32(len(d.strs))
+	id = uint32(len(d.strs))
 	d.ids[s] = id
 	d.strs = append(d.strs, s)
 	return id
@@ -36,12 +50,16 @@ func (d *Dict) Intern(s string) uint32 {
 
 // Lookup returns the ID for s and whether it is present.
 func (d *Dict) Lookup(s string) (uint32, bool) {
+	d.mu.RLock()
 	id, ok := d.ids[s]
+	d.mu.RUnlock()
 	return id, ok
 }
 
 // String returns the string for id. It panics if id is out of range.
 func (d *Dict) String(id uint32) string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if int(id) >= len(d.strs) {
 		panic(fmt.Sprintf("rdf: dict id %d out of range (len %d)", id, len(d.strs)))
 	}
@@ -49,4 +67,36 @@ func (d *Dict) String(id uint32) string {
 }
 
 // Len returns the number of interned strings.
-func (d *Dict) Len() int { return len(d.strs) }
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.strs)
+}
+
+// ApplyDelta extends the dictionary with terms assigned at another replica:
+// terms[i] must receive ID base+i. IDs the dictionary already holds are
+// verified instead of re-interned, so applying the same delta twice is a
+// no-op; a term that disagrees with the existing assignment is an error
+// (the replicas have diverged and joining their bindings would be wrong).
+func (d *Dict) ApplyDelta(base int, terms []string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if base > len(d.strs) {
+		return fmt.Errorf("rdf: dict delta base %d beyond length %d", base, len(d.strs))
+	}
+	for i, s := range terms {
+		id := base + i
+		if id < len(d.strs) {
+			if d.strs[id] != s {
+				return fmt.Errorf("rdf: dict delta conflict at ID %d: have %q, delta says %q", id, d.strs[id], s)
+			}
+			continue
+		}
+		if prev, ok := d.ids[s]; ok {
+			return fmt.Errorf("rdf: dict delta term %q already interned as %d, delta says %d", s, prev, id)
+		}
+		d.ids[s] = uint32(id)
+		d.strs = append(d.strs, s)
+	}
+	return nil
+}

@@ -5,19 +5,24 @@ import (
 	"hash/fnv"
 )
 
-// Digest returns a 64-bit FNV-1a hash of the graph's surface content: the
-// triple count followed by every triple's subject, property, and object
-// strings in insertion order. It hashes the dictionary strings rather than
-// the integer IDs, so two graphs are digest-equal exactly when they hold the
-// same triple sequence over the same terms, regardless of how the IDs were
-// assigned. The determinism regression tests use it as a compact equality
-// witness; it works on frozen and unfrozen graphs alike.
+// Digest returns a 64-bit FNV-1a hash of the graph's live surface content:
+// the live-triple count followed by every live triple's subject, property,
+// and object strings in slot order. It hashes the dictionary strings rather
+// than the integer IDs, so two graphs are digest-equal exactly when they
+// hold the same triple sequence over the same terms, regardless of how the
+// IDs were assigned; tombstoned slots are skipped, so a graph mutated to
+// some content and a graph loaded directly at that content agree. The
+// determinism regression tests use it as a compact equality witness; it
+// works on frozen and unfrozen graphs alike.
 func (g *Graph) Digest() uint64 {
 	h := fnv.New64a()
 	var n [8]byte
-	binary.LittleEndian.PutUint64(n[:], uint64(len(g.triples)))
+	binary.LittleEndian.PutUint64(n[:], uint64(g.NumLiveTriples()))
 	h.Write(n[:])
-	for _, t := range g.triples {
+	for i, t := range g.triples {
+		if !g.TripleLive(int32(i)) {
+			continue
+		}
 		h.Write([]byte(g.Vertices.String(uint32(t.S))))
 		h.Write([]byte{0})
 		h.Write([]byte(g.Properties.String(uint32(t.P))))

@@ -32,8 +32,18 @@ type AdjEntry struct {
 }
 
 // Graph is an in-memory RDF multigraph. Triples are appended with AddTriple
-// or AddTripleIDs; Freeze builds the indexes. Reading methods that need
-// indexes panic if the graph is not frozen.
+// or AddTripleIDs; Freeze builds the indexes. After freezing the graph stays
+// mutable: Insert and Delete maintain the property and adjacency indexes
+// incrementally, so the offline build cost is paid once and live updates are
+// O(degree). Deletes tombstone the triple's slot (the triple list never
+// compacts), which keeps external triple indices — site layouts, bootstrap
+// payloads — stable across mutations; freed slots are reused by later
+// inserts. Reading methods that need indexes panic if the graph is not
+// frozen.
+//
+// The graph itself is not synchronized; callers that mix queries and
+// mutations serialize them (internal/cluster holds its state lock across
+// both). The dictionaries are independently thread-safe.
 type Graph struct {
 	Vertices   *Dict
 	Properties *Dict
@@ -41,13 +51,26 @@ type Graph struct {
 	triples []Triple
 	frozen  bool
 
-	// CSR index: triple indices grouped by property.
-	propOff     []int32
-	propTriples []int32
+	// Tombstones: dead[i] marks slot i deleted; free lists dead slots for
+	// reuse by Insert.
+	dead    []bool
+	free    []int32
+	numLive int
 
-	// CSR undirected adjacency over vertices.
-	adjOff []int32
-	adj    []AdjEntry
+	// Per-property index: propIdx[p] lists the live triple slots labeled p.
+	// Built at Freeze as length-capped views into one flat array (so the
+	// frozen build allocates once); a post-freeze append reallocates only
+	// the property it extends. propPos[slot] is the slot's position within
+	// propIdx[P], enabling O(1) swap-removal.
+	propIdx [][]int32
+	propPos []int32
+
+	// Per-vertex undirected adjacency, same scheme. adjPosS[slot] locates
+	// the subject-side entry in adjIdx[S], adjPosO[slot] the object-side
+	// entry in adjIdx[O] (-1 for self-loops, which contribute one entry).
+	adjIdx  [][]AdjEntry
+	adjPosS []int32
+	adjPosO []int32
 }
 
 // NewGraph returns an empty mutable graph.
@@ -69,12 +92,10 @@ func (g *Graph) AddTriple(s, p, o string) Triple {
 // AddTripleIDs appends a triple over already-interned IDs. Vertex and
 // property IDs beyond the current dictionaries are allowed only if the
 // caller manages its own ID space; mixing styles is the caller's
-// responsibility.
+// responsibility. On a frozen graph this is a live insert: the indexes are
+// maintained incrementally (see Insert).
 func (g *Graph) AddTripleIDs(s VertexID, p PropertyID, o VertexID) {
-	if g.frozen {
-		panic("rdf: AddTripleIDs on frozen graph")
-	}
-	g.triples = append(g.triples, Triple{S: s, P: p, O: o})
+	g.Insert(s, p, o)
 }
 
 // NumVertices returns |V|.
@@ -83,13 +104,46 @@ func (g *Graph) NumVertices() int { return g.Vertices.Len() }
 // NumProperties returns |L|.
 func (g *Graph) NumProperties() int { return g.Properties.Len() }
 
-// NumTriples returns |E| (triples are a multiset; duplicates count).
+// NumTriples returns the number of triple slots, live and tombstoned alike
+// — the valid index range for Triple. Use NumLiveTriples for |E|. The two
+// agree on any graph that has seen no deletes.
 func (g *Graph) NumTriples() int { return len(g.triples) }
 
-// Triple returns the i-th triple.
+// NumLiveTriples returns |E|: the number of live triples (a multiset;
+// duplicates count, tombstoned slots do not).
+func (g *Graph) NumLiveTriples() int {
+	if !g.frozen {
+		return len(g.triples)
+	}
+	return g.numLive
+}
+
+// Triple returns the triple in slot i. The slot may be tombstoned; check
+// TripleLive when iterating a mutated graph.
 func (g *Graph) Triple(i int32) Triple { return g.triples[i] }
 
-// Triples returns the underlying triple slice. Callers must not mutate it.
+// TripleLive reports whether slot i holds a live (non-deleted) triple.
+func (g *Graph) TripleLive(i int32) bool {
+	if i < 0 || int(i) >= len(g.triples) {
+		return false
+	}
+	return len(g.dead) == 0 || !g.dead[i]
+}
+
+// LiveTriples returns the slots of all live triples in ascending order.
+func (g *Graph) LiveTriples() []int32 {
+	out := make([]int32, 0, g.NumLiveTriples())
+	for i := range g.triples {
+		if g.TripleLive(int32(i)) {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+// Triples returns the underlying triple slice, including tombstoned slots.
+// Callers must not mutate it; iteration over a mutated graph should skip
+// slots for which TripleLive is false.
 func (g *Graph) Triples() []Triple { return g.triples }
 
 // Frozen reports whether Freeze has been called.
@@ -102,51 +156,201 @@ func (g *Graph) Freeze() {
 	}
 	g.frozen = true
 	nV, nP, nE := g.NumVertices(), g.NumProperties(), len(g.triples)
+	g.numLive = nE
 
-	// Counting sort of triple indices by property.
-	g.propOff = make([]int32, nP+1)
+	// Counting sort of triple slots by property, then expose each
+	// property's range as a capacity-clamped view so post-freeze appends
+	// copy out instead of clobbering the neighbor property.
+	propOff := make([]int32, nP+1)
 	for _, t := range g.triples {
-		g.propOff[t.P+1]++
+		propOff[t.P+1]++
 	}
 	for p := 0; p < nP; p++ {
-		g.propOff[p+1] += g.propOff[p]
+		propOff[p+1] += propOff[p]
 	}
-	g.propTriples = make([]int32, nE)
-	cursor := append([]int32(nil), g.propOff...)
+	propFlat := make([]int32, nE)
+	g.propPos = make([]int32, nE)
+	cursor := append([]int32(nil), propOff...)
 	for i, t := range g.triples {
-		g.propTriples[cursor[t.P]] = int32(i)
+		propFlat[cursor[t.P]] = int32(i)
+		g.propPos[i] = cursor[t.P] - propOff[t.P]
 		cursor[t.P]++
+	}
+	g.propIdx = make([][]int32, nP)
+	for p := 0; p < nP; p++ {
+		lo, hi := propOff[p], propOff[p+1]
+		g.propIdx[p] = propFlat[lo:hi:hi]
 	}
 
 	// Undirected adjacency: every triple contributes two entries, except
 	// self-loops which contribute one.
-	g.adjOff = make([]int32, nV+1)
+	adjOff := make([]int32, nV+1)
 	for _, t := range g.triples {
-		g.adjOff[t.S+1]++
+		adjOff[t.S+1]++
 		if t.S != t.O {
-			g.adjOff[t.O+1]++
+			adjOff[t.O+1]++
 		}
 	}
 	for v := 0; v < nV; v++ {
-		g.adjOff[v+1] += g.adjOff[v]
+		adjOff[v+1] += adjOff[v]
 	}
-	g.adj = make([]AdjEntry, g.adjOff[nV])
-	acur := append([]int32(nil), g.adjOff...)
+	adjFlat := make([]AdjEntry, adjOff[nV])
+	g.adjPosS = make([]int32, nE)
+	g.adjPosO = make([]int32, nE)
+	acur := append([]int32(nil), adjOff...)
 	for i, t := range g.triples {
-		g.adj[acur[t.S]] = AdjEntry{Neighbor: t.O, Prop: t.P, Triple: int32(i), Out: true}
+		adjFlat[acur[t.S]] = AdjEntry{Neighbor: t.O, Prop: t.P, Triple: int32(i), Out: true}
+		g.adjPosS[i] = acur[t.S] - adjOff[t.S]
 		acur[t.S]++
 		if t.S != t.O {
-			g.adj[acur[t.O]] = AdjEntry{Neighbor: t.S, Prop: t.P, Triple: int32(i), Out: false}
+			adjFlat[acur[t.O]] = AdjEntry{Neighbor: t.S, Prop: t.P, Triple: int32(i), Out: false}
+			g.adjPosO[i] = acur[t.O] - adjOff[t.O]
 			acur[t.O]++
+		} else {
+			g.adjPosO[i] = -1
 		}
 	}
+	g.adjIdx = make([][]AdjEntry, nV)
+	for v := 0; v < nV; v++ {
+		lo, hi := adjOff[v], adjOff[v+1]
+		g.adjIdx[v] = adjFlat[lo:hi:hi]
+	}
+}
+
+// ensureIndexed grows the per-property and per-vertex index tables to cover
+// IDs interned after Freeze.
+func (g *Graph) ensureIndexed(s VertexID, p PropertyID, o VertexID) {
+	need := int(s) + 1
+	if int(o)+1 > need {
+		need = int(o) + 1
+	}
+	for len(g.adjIdx) < need {
+		g.adjIdx = append(g.adjIdx, nil)
+	}
+	for len(g.propIdx) < int(p)+1 {
+		g.propIdx = append(g.propIdx, nil)
+	}
+}
+
+// Insert adds the triple s --p--> o and returns its slot. Before Freeze it
+// is a plain append; after Freeze it maintains the property and adjacency
+// indexes incrementally, reusing a tombstoned slot when one is free.
+func (g *Graph) Insert(s VertexID, p PropertyID, o VertexID) int32 {
+	if !g.frozen {
+		g.triples = append(g.triples, Triple{S: s, P: p, O: o})
+		return int32(len(g.triples) - 1)
+	}
+	g.ensureIndexed(s, p, o)
+	var slot int32
+	if n := len(g.free); n > 0 {
+		slot = g.free[n-1]
+		g.free = g.free[:n-1]
+		g.triples[slot] = Triple{S: s, P: p, O: o}
+		g.dead[slot] = false
+	} else {
+		slot = int32(len(g.triples))
+		g.triples = append(g.triples, Triple{S: s, P: p, O: o})
+		if len(g.dead) > 0 {
+			g.dead = append(g.dead, false)
+		}
+		g.propPos = append(g.propPos, 0)
+		g.adjPosS = append(g.adjPosS, 0)
+		g.adjPosO = append(g.adjPosO, 0)
+	}
+	g.numLive++
+	g.propIdx[p] = append(g.propIdx[p], slot)
+	g.propPos[slot] = int32(len(g.propIdx[p]) - 1)
+	g.adjIdx[s] = append(g.adjIdx[s], AdjEntry{Neighbor: o, Prop: p, Triple: slot, Out: true})
+	g.adjPosS[slot] = int32(len(g.adjIdx[s]) - 1)
+	if s != o {
+		g.adjIdx[o] = append(g.adjIdx[o], AdjEntry{Neighbor: s, Prop: p, Triple: slot, Out: false})
+		g.adjPosO[slot] = int32(len(g.adjIdx[o]) - 1)
+	} else {
+		g.adjPosO[slot] = -1
+	}
+	return slot
+}
+
+// removeAdjEntry swap-removes position pos from vertex v's adjacency list,
+// repointing the moved entry's position record.
+func (g *Graph) removeAdjEntry(v VertexID, pos int32) {
+	list := g.adjIdx[v]
+	last := int32(len(list) - 1)
+	moved := list[last]
+	list[pos] = moved
+	g.adjIdx[v] = list[:last]
+	if pos != last {
+		if moved.Out {
+			g.adjPosS[moved.Triple] = pos
+		} else {
+			g.adjPosO[moved.Triple] = pos
+		}
+	}
+}
+
+// Delete tombstones the triple in slot i and unlinks it from the property
+// and adjacency indexes in O(1). It reports whether a live triple was
+// deleted (false for out-of-range or already-dead slots). The slot's value
+// stays readable (Triple) but TripleLive turns false and the slot becomes
+// eligible for reuse by Insert.
+func (g *Graph) Delete(i int32) bool {
+	g.mustFrozen()
+	if i < 0 || int(i) >= len(g.triples) {
+		return false
+	}
+	if len(g.dead) == 0 {
+		g.dead = make([]bool, len(g.triples))
+	}
+	if g.dead[i] {
+		return false
+	}
+	t := g.triples[i]
+
+	// Property index: swap-remove, fixing the moved slot's position.
+	list := g.propIdx[t.P]
+	pos, last := g.propPos[i], int32(len(list)-1)
+	moved := list[last]
+	list[pos] = moved
+	g.propIdx[t.P] = list[:last]
+	if pos != last {
+		g.propPos[moved] = pos
+	}
+
+	g.removeAdjEntry(t.S, g.adjPosS[i])
+	if t.S != t.O {
+		g.removeAdjEntry(t.O, g.adjPosO[i])
+	}
+
+	g.dead[i] = true
+	g.free = append(g.free, i)
+	g.numLive--
+	return true
+}
+
+// FindTriple returns the slot of one live triple with the given terms
+// (lowest adjacency position if duplicates exist), or false when the graph
+// holds none. Duplicate triples are a multiset: each FindTriple+Delete pair
+// removes one instance.
+func (g *Graph) FindTriple(s VertexID, p PropertyID, o VertexID) (int32, bool) {
+	g.mustFrozen()
+	if int(s) >= len(g.adjIdx) {
+		return 0, false
+	}
+	for _, e := range g.adjIdx[s] {
+		if e.Out && e.Prop == p && e.Neighbor == o {
+			return e.Triple, true
+		}
+	}
+	return 0, false
 }
 
 // SubgraphByTriples returns a frozen graph holding only the given triples
 // while sharing this graph's dictionaries, so vertex and property IDs stay
 // comparable with the original. This is what per-site snapshot export
 // needs: a site loading such a snapshot answers queries with bindings the
-// coordinator can join against directly.
+// coordinator can join against directly. It also serves as the compaction
+// path for mutated graphs: SubgraphByTriples(LiveTriples()) is a fresh
+// tombstone-free copy.
 func (g *Graph) SubgraphByTriples(idx []int32) *Graph {
 	sub := &Graph{Vertices: g.Vertices, Properties: g.Properties}
 	sub.triples = make([]Triple, len(idx))
@@ -163,28 +367,42 @@ func (g *Graph) mustFrozen() {
 	}
 }
 
-// PropertyTriples returns the indices of all triples labeled p.
+// PropertyTriples returns the slots of all live triples labeled p.
+// The returned slice is invalidated by the next Insert or Delete.
 func (g *Graph) PropertyTriples(p PropertyID) []int32 {
 	g.mustFrozen()
-	return g.propTriples[g.propOff[p]:g.propOff[p+1]]
+	if int(p) >= len(g.propIdx) {
+		return nil
+	}
+	return g.propIdx[p]
 }
 
-// PropertyEdgeCount returns the number of triples labeled p.
+// PropertyEdgeCount returns the number of live triples labeled p.
 func (g *Graph) PropertyEdgeCount(p PropertyID) int {
 	g.mustFrozen()
-	return int(g.propOff[p+1] - g.propOff[p])
+	if int(p) >= len(g.propIdx) {
+		return 0
+	}
+	return len(g.propIdx[p])
 }
 
-// Adj returns the undirected adjacency entries of v.
+// Adj returns the undirected adjacency entries of v (live edges only).
+// The returned slice is invalidated by the next Insert or Delete.
 func (g *Graph) Adj(v VertexID) []AdjEntry {
 	g.mustFrozen()
-	return g.adj[g.adjOff[v]:g.adjOff[v+1]]
+	if int(v) >= len(g.adjIdx) {
+		return nil
+	}
+	return g.adjIdx[v]
 }
 
 // Degree returns the undirected degree of v (self-loops count once).
 func (g *Graph) Degree(v VertexID) int {
 	g.mustFrozen()
-	return int(g.adjOff[v+1] - g.adjOff[v])
+	if int(v) >= len(g.adjIdx) {
+		return 0
+	}
+	return len(g.adjIdx[v])
 }
 
 // WCC returns a disjoint-set forest whose sets are the weakly connected
@@ -203,11 +421,15 @@ func (g *Graph) WCC(props []PropertyID) *dsf.Forest {
 	return f
 }
 
-// WCCAll returns the weakly connected components of the whole graph.
+// WCCAll returns the weakly connected components of the whole graph
+// (live triples only).
 func (g *Graph) WCCAll() *dsf.Forest {
 	g.mustFrozen()
 	f := dsf.New(g.NumVertices())
-	for _, t := range g.triples {
+	for i, t := range g.triples {
+		if !g.TripleLive(int32(i)) {
+			continue
+		}
 		f.Union(int32(t.S), int32(t.O))
 	}
 	return f
@@ -241,5 +463,5 @@ func (g *Graph) PropertiesByFrequency() []PropertyID {
 // Stats returns a one-line human-readable summary.
 func (g *Graph) Stats() string {
 	return fmt.Sprintf("vertices=%d triples=%d properties=%d",
-		g.NumVertices(), g.NumTriples(), g.NumProperties())
+		g.NumVertices(), g.NumLiveTriples(), g.NumProperties())
 }

@@ -179,16 +179,20 @@ func TestPropertiesByFrequency(t *testing.T) {
 	}
 }
 
-func TestAddAfterFreezePanics(t *testing.T) {
+func TestAddAfterFreezeMaintainsIndexes(t *testing.T) {
 	g := NewGraph()
 	g.AddTriple("a", "p", "b")
 	g.Freeze()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("AddTripleIDs after Freeze did not panic")
-		}
-	}()
-	g.AddTripleIDs(0, 0, 1)
+	g.AddTripleIDs(0, 0, 1) // second a --p--> b edge, live insert
+	if g.NumLiveTriples() != 2 {
+		t.Fatalf("NumLiveTriples = %d, want 2", g.NumLiveTriples())
+	}
+	if got := g.PropertyEdgeCount(0); got != 2 {
+		t.Fatalf("PropertyEdgeCount(p) = %d, want 2", got)
+	}
+	if got := g.Degree(0); got != 2 {
+		t.Fatalf("Degree(a) = %d, want 2", got)
+	}
 }
 
 func TestUnfrozenAccessPanics(t *testing.T) {

@@ -1,0 +1,395 @@
+package rdf
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// checkIndexes verifies every structural invariant of the mutable indexes:
+// the per-property lists partition exactly the live slots, positions point
+// back correctly, and the adjacency lists hold one entry per live edge
+// endpoint (self-loops one).
+func checkIndexes(t *testing.T, g *Graph) {
+	t.Helper()
+	live := make(map[int32]bool)
+	for i := range g.triples {
+		if g.TripleLive(int32(i)) {
+			live[int32(i)] = true
+		}
+	}
+	if len(live) != g.NumLiveTriples() {
+		t.Fatalf("NumLiveTriples = %d, dead-array says %d", g.NumLiveTriples(), len(live))
+	}
+
+	seen := make(map[int32]bool)
+	for p := 0; p < len(g.propIdx); p++ {
+		for pos, ti := range g.propIdx[p] {
+			if !live[ti] {
+				t.Fatalf("propIdx[%d] holds dead slot %d", p, ti)
+			}
+			if g.triples[ti].P != PropertyID(p) {
+				t.Fatalf("propIdx[%d] holds slot %d with property %d", p, ti, g.triples[ti].P)
+			}
+			if g.propPos[ti] != int32(pos) {
+				t.Fatalf("propPos[%d] = %d, actual position %d", ti, g.propPos[ti], pos)
+			}
+			if seen[ti] {
+				t.Fatalf("slot %d appears in two property lists", ti)
+			}
+			seen[ti] = true
+		}
+	}
+	if len(seen) != len(live) {
+		t.Fatalf("property lists cover %d slots, %d live", len(seen), len(live))
+	}
+
+	adjCount := 0
+	for v := 0; v < len(g.adjIdx); v++ {
+		for pos, e := range g.adjIdx[v] {
+			if !live[e.Triple] {
+				t.Fatalf("adjIdx[%d] holds dead slot %d", v, e.Triple)
+			}
+			tr := g.triples[e.Triple]
+			if e.Out {
+				if tr.S != VertexID(v) || tr.O != e.Neighbor || tr.P != e.Prop {
+					t.Fatalf("out entry mismatch at vertex %d slot %d", v, e.Triple)
+				}
+				if g.adjPosS[e.Triple] != int32(pos) {
+					t.Fatalf("adjPosS[%d] = %d, actual %d", e.Triple, g.adjPosS[e.Triple], pos)
+				}
+			} else {
+				if tr.O != VertexID(v) || tr.S != e.Neighbor || tr.P != e.Prop {
+					t.Fatalf("in entry mismatch at vertex %d slot %d", v, e.Triple)
+				}
+				if g.adjPosO[e.Triple] != int32(pos) {
+					t.Fatalf("adjPosO[%d] = %d, actual %d", e.Triple, g.adjPosO[e.Triple], pos)
+				}
+			}
+			adjCount++
+		}
+	}
+	wantAdj := 0
+	for ti := range live {
+		tr := g.triples[ti]
+		if tr.S == tr.O {
+			wantAdj++
+		} else {
+			wantAdj += 2
+		}
+	}
+	if adjCount != wantAdj {
+		t.Fatalf("adjacency entries = %d, want %d", adjCount, wantAdj)
+	}
+}
+
+func TestDeleteNonexistentTriple(t *testing.T) {
+	g := paperGraph()
+	v1, _ := g.Vertices.Lookup("001")
+	v5, _ := g.Vertices.Lookup("005")
+	sp, _ := g.Properties.Lookup("spouse")
+	if _, ok := g.FindTriple(VertexID(v1), PropertyID(sp), VertexID(v5)); ok {
+		t.Fatal("FindTriple found a triple that was never inserted")
+	}
+	if g.Delete(-1) || g.Delete(int32(g.NumTriples())) {
+		t.Fatal("Delete of out-of-range slot reported success")
+	}
+	before := g.NumLiveTriples()
+	if g.Delete(0) != true {
+		t.Fatal("first delete of slot 0 failed")
+	}
+	if g.Delete(0) {
+		t.Fatal("second delete of the same slot reported success")
+	}
+	if g.NumLiveTriples() != before-1 {
+		t.Fatalf("NumLiveTriples = %d, want %d", g.NumLiveTriples(), before-1)
+	}
+	checkIndexes(t, g)
+}
+
+func TestInsertRecreatesDeletedTriple(t *testing.T) {
+	g := paperGraph()
+	v4, _ := g.Vertices.Lookup("004")
+	v6, _ := g.Vertices.Lookup("006")
+	sp, _ := g.Properties.Lookup("spouse")
+	slot, ok := g.FindTriple(VertexID(v4), PropertyID(sp), VertexID(v6))
+	if !ok {
+		t.Fatal("004-spouse-006 not found")
+	}
+	if !g.Delete(slot) {
+		t.Fatal("delete failed")
+	}
+	if _, ok := g.FindTriple(VertexID(v4), PropertyID(sp), VertexID(v6)); ok {
+		t.Fatal("deleted triple still findable")
+	}
+	reSlot := g.Insert(VertexID(v4), PropertyID(sp), VertexID(v6))
+	if reSlot != slot {
+		t.Errorf("re-insert got slot %d, want freed slot %d reused", reSlot, slot)
+	}
+	if !g.TripleLive(reSlot) {
+		t.Fatal("re-inserted slot not live")
+	}
+	if g.NumTriples() != 11 {
+		t.Fatalf("slot count grew to %d on freelist reuse", g.NumTriples())
+	}
+	found, ok := g.FindTriple(VertexID(v4), PropertyID(sp), VertexID(v6))
+	if !ok || found != reSlot {
+		t.Fatal("re-created triple not findable")
+	}
+	checkIndexes(t, g)
+}
+
+func TestDeleteEmptiesProperty(t *testing.T) {
+	g := paperGraph()
+	sp, _ := g.Properties.Lookup("spouse") // spouse has exactly one edge
+	idx := g.PropertyTriples(PropertyID(sp))
+	if len(idx) != 1 {
+		t.Fatalf("spouse edge count = %d, want 1", len(idx))
+	}
+	if !g.Delete(idx[0]) {
+		t.Fatal("delete failed")
+	}
+	if got := g.PropertyEdgeCount(PropertyID(sp)); got != 0 {
+		t.Fatalf("PropertyEdgeCount after emptying delete = %d, want 0", got)
+	}
+	if got := g.PropertyTriples(PropertyID(sp)); len(got) != 0 {
+		t.Fatalf("PropertyTriples after emptying delete has %d entries", len(got))
+	}
+	// WCC over the emptied property must be all-singleton.
+	f := g.WCC([]PropertyID{PropertyID(sp)})
+	if f.MaxComponentSize() != 1 {
+		t.Fatalf("WCC of emptied property has component of size %d", f.MaxComponentSize())
+	}
+	checkIndexes(t, g)
+}
+
+func TestDeleteSelfLoop(t *testing.T) {
+	g := NewGraph()
+	g.AddTriple("a", "p", "a")
+	g.AddTriple("a", "p", "b")
+	g.Freeze()
+	va, _ := g.Vertices.Lookup("a")
+	slot, ok := g.FindTriple(VertexID(va), 0, VertexID(va))
+	if !ok {
+		t.Fatal("self-loop not found")
+	}
+	if !g.Delete(slot) {
+		t.Fatal("self-loop delete failed")
+	}
+	if g.Degree(VertexID(va)) != 1 {
+		t.Fatalf("Degree(a) = %d after self-loop delete, want 1", g.Degree(VertexID(va)))
+	}
+	checkIndexes(t, g)
+}
+
+func TestInsertNewTermsPostFreeze(t *testing.T) {
+	g := paperGraph()
+	_, _, st := g.ApplyUpdates([]Op{
+		{Insert: true, S: "newV1", P: "newProp", O: "newV2"},
+		{Insert: true, S: "001", P: "newProp", O: "newV1"},
+	})
+	if st.Inserted != 2 {
+		t.Fatalf("Inserted = %d, want 2", st.Inserted)
+	}
+	np, ok := g.Properties.Lookup("newProp")
+	if !ok {
+		t.Fatal("newProp not interned")
+	}
+	if got := g.PropertyEdgeCount(PropertyID(np)); got != 2 {
+		t.Fatalf("PropertyEdgeCount(newProp) = %d, want 2", got)
+	}
+	nv, _ := g.Vertices.Lookup("newV1")
+	if got := g.Degree(VertexID(nv)); got != 2 {
+		t.Fatalf("Degree(newV1) = %d, want 2", got)
+	}
+	checkIndexes(t, g)
+}
+
+func TestResolveUpdatesDelta(t *testing.T) {
+	g := paperGraph()
+	baseV, baseP := g.Vertices.Len(), g.Properties.Len()
+	resolved, delta, notFound := g.ResolveUpdates([]Op{
+		{Insert: true, S: "x1", P: "starring", O: "x2"},
+		{S: "001", P: "starring", O: "002"},   // delete, resolvable
+		{S: "ghost", P: "starring", O: "002"}, // delete, unknown term: dropped
+	})
+	if notFound != 1 {
+		t.Fatalf("notFound = %d, want 1", notFound)
+	}
+	if len(resolved) != 2 {
+		t.Fatalf("resolved %d ops, want 2", len(resolved))
+	}
+	if delta.BaseVertices != baseV || delta.BaseProperties != baseP {
+		t.Fatal("delta bases wrong")
+	}
+	if len(delta.NewVertices) != 2 || len(delta.NewProperties) != 0 {
+		t.Fatalf("delta terms = %v / %v, want 2 vertices, 0 properties", delta.NewVertices, delta.NewProperties)
+	}
+	// Applying the delta to a replica of the pre-batch graph reproduces the
+	// coordinator's ID assignment; re-applying is a no-op.
+	replica := paperGraph()
+	for i := 0; i < 2; i++ {
+		if err := delta.Apply(replica); err != nil {
+			t.Fatalf("delta apply %d: %v", i, err)
+		}
+	}
+	for i, term := range delta.NewVertices {
+		id, ok := replica.Vertices.Lookup(term)
+		if !ok || int(id) != baseV+i {
+			t.Fatalf("replica assigned %q ID %d, want %d", term, id, baseV+i)
+		}
+	}
+	// A conflicting delta is rejected.
+	diverged := paperGraph()
+	diverged.Vertices.Intern("somethingElse")
+	if err := delta.Apply(diverged); err == nil {
+		t.Fatal("delta apply on diverged replica did not error")
+	}
+}
+
+func TestApplyUpdatesDeleteInsertedInBatch(t *testing.T) {
+	g := paperGraph()
+	_, _, st := g.ApplyUpdates([]Op{
+		{Insert: true, S: "tmpA", P: "tmpP", O: "tmpB"},
+		{S: "tmpA", P: "tmpP", O: "tmpB"}, // delete the triple just inserted
+	})
+	if st.Inserted != 1 || st.Deleted != 1 || st.NotFound != 0 {
+		t.Fatalf("stats = %+v, want 1 insert, 1 delete", st)
+	}
+	tp, _ := g.Properties.Lookup("tmpP")
+	if g.PropertyEdgeCount(PropertyID(tp)) != 0 {
+		t.Fatal("insert-then-delete left a live edge")
+	}
+	checkIndexes(t, g)
+}
+
+func TestDigestIgnoresTombstones(t *testing.T) {
+	g := paperGraph()
+	_, _, st := g.ApplyUpdates([]Op{
+		{Insert: true, S: "x", P: "starring", O: "y"},
+		{S: "x", P: "starring", O: "y"},
+		{S: "004", P: "spouse", O: "006"},
+	})
+	if st.Deleted != 2 {
+		t.Fatalf("Deleted = %d, want 2", st.Deleted)
+	}
+	// A fresh graph built at the final content must digest-match.
+	want := NewGraph()
+	for i, tr := range g.Triples() {
+		if !g.TripleLive(int32(i)) {
+			continue
+		}
+		want.AddTriple(
+			g.Vertices.String(uint32(tr.S)),
+			g.Properties.String(uint32(tr.P)),
+			g.Vertices.String(uint32(tr.O)))
+	}
+	if g.Digest() != want.Digest() {
+		t.Fatal("mutated graph digest differs from fresh graph at same content")
+	}
+}
+
+func TestSnapshotRoundtripWithTombstones(t *testing.T) {
+	g := paperGraph()
+	g.ApplyUpdates([]Op{
+		{S: "004", P: "spouse", O: "006"},
+		{S: "001", P: "starring", O: "002"},
+		{Insert: true, S: "z1", P: "zp", O: "z2"},
+	})
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumTriples() != g.NumTriples() {
+		t.Fatalf("slot count %d, want %d (geometry must survive)", got.NumTriples(), g.NumTriples())
+	}
+	if got.NumLiveTriples() != g.NumLiveTriples() {
+		t.Fatalf("live count %d, want %d", got.NumLiveTriples(), g.NumLiveTriples())
+	}
+	for i := 0; i < g.NumTriples(); i++ {
+		if got.TripleLive(int32(i)) != g.TripleLive(int32(i)) {
+			t.Fatalf("slot %d liveness differs after roundtrip", i)
+		}
+	}
+	if got.Digest() != g.Digest() {
+		t.Fatal("digest differs after roundtrip")
+	}
+	checkIndexes(t, got)
+}
+
+// Randomized mutation stream: after every operation the full index
+// invariants hold, and at the end the mutated graph is digest-identical to
+// a fresh graph built from the surviving triples.
+func TestRandomizedMutationStream(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewGraph()
+		type spo struct{ s, p, o string }
+		term := func(prefix string, n int) string {
+			return prefix + string(rune('a'+rng.Intn(n)))
+		}
+		var liveSet []spo
+		for i := 0; i < 40; i++ {
+			tr := spo{term("v", 12), term("p", 4), term("v", 12)}
+			g.AddTriple(tr.s, tr.p, tr.o)
+			liveSet = append(liveSet, tr)
+		}
+		g.Freeze()
+		for step := 0; step < 200; step++ {
+			if rng.Intn(2) == 0 || len(liveSet) == 0 {
+				tr := spo{term("v", 14), term("p", 5), term("v", 14)}
+				g.ApplyUpdates([]Op{{Insert: true, S: tr.s, P: tr.p, O: tr.o}})
+				liveSet = append(liveSet, tr)
+			} else {
+				i := rng.Intn(len(liveSet))
+				tr := liveSet[i]
+				_, _, st := g.ApplyUpdates([]Op{{S: tr.s, P: tr.p, O: tr.o}})
+				if st.Deleted != 1 {
+					t.Fatalf("seed %d step %d: delete of live triple failed: %+v", seed, step, st)
+				}
+				liveSet[i] = liveSet[len(liveSet)-1]
+				liveSet = liveSet[:len(liveSet)-1]
+			}
+			if step%20 == 0 {
+				checkIndexes(t, g)
+			}
+		}
+		checkIndexes(t, g)
+		if g.NumLiveTriples() != len(liveSet) {
+			t.Fatalf("seed %d: live count %d, want %d", seed, g.NumLiveTriples(), len(liveSet))
+		}
+		// The surviving triples must be exactly liveSet as a multiset, and a
+		// fresh graph built from the live slots must digest-match (Digest is
+		// slot-order-sensitive, so build in slot order).
+		wantCount := make(map[spo]int)
+		for _, tr := range liveSet {
+			wantCount[tr]++
+		}
+		want := NewGraph()
+		for i, tr := range g.Triples() {
+			if !g.TripleLive(int32(i)) {
+				continue
+			}
+			key := spo{
+				g.Vertices.String(uint32(tr.S)),
+				g.Properties.String(uint32(tr.P)),
+				g.Vertices.String(uint32(tr.O)),
+			}
+			wantCount[key]--
+			if wantCount[key] == 0 {
+				delete(wantCount, key)
+			}
+			want.AddTriple(key.s, key.p, key.o)
+		}
+		if len(wantCount) != 0 {
+			t.Fatalf("seed %d: live triples diverge from reference multiset: %v", seed, wantCount)
+		}
+		if g.Digest() != want.Digest() {
+			t.Fatalf("seed %d: digest mismatch after mutation stream", seed)
+		}
+	}
+}

@@ -15,9 +15,19 @@ import (
 //
 //	magic "MPCG" | version | |vertices| vertex strings... |
 //	|properties| property strings... | |triples| (s p o)...
+//
+// Version 2 appends |dead| followed by the tombstoned slot indices in
+// ascending order, preserving the slot geometry of a mutated graph: slot i
+// of the loaded graph holds what slot i of the written graph held, live or
+// dead, so external triple indices (site layouts) stay valid across a
+// snapshot round-trip. Tombstone-free graphs are still written as version 1
+// so snapshots from before live updates remain byte-identical and loadable.
 const snapshotMagic = "MPCG"
 
-const snapshotVersion = 1
+const (
+	snapshotVersion     = 1
+	snapshotVersionDead = 2
+)
 
 // WriteSnapshot serializes g (which may be frozen or not; freezing state is
 // not part of the snapshot).
@@ -39,7 +49,17 @@ func WriteSnapshot(w io.Writer, g *Graph) error {
 		_, err := bw.WriteString(s)
 		return err
 	}
-	if err := writeUvarint(snapshotVersion); err != nil {
+	var deadSlots []int32
+	for i := range g.triples {
+		if !g.TripleLive(int32(i)) {
+			deadSlots = append(deadSlots, int32(i))
+		}
+	}
+	version := uint64(snapshotVersion)
+	if len(deadSlots) > 0 {
+		version = snapshotVersionDead
+	}
+	if err := writeUvarint(version); err != nil {
 		return err
 	}
 	if err := writeUvarint(uint64(g.NumVertices())); err != nil {
@@ -70,6 +90,16 @@ func WriteSnapshot(w io.Writer, g *Graph) error {
 		}
 		if err := writeUvarint(uint64(t.O)); err != nil {
 			return err
+		}
+	}
+	if version == snapshotVersionDead {
+		if err := writeUvarint(uint64(len(deadSlots))); err != nil {
+			return err
+		}
+		for _, slot := range deadSlots {
+			if err := writeUvarint(uint64(slot)); err != nil {
+				return err
+			}
 		}
 	}
 	return bw.Flush()
@@ -104,7 +134,7 @@ func ReadSnapshot(r io.Reader) (*Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	if version != snapshotVersion {
+	if version != snapshotVersion && version != snapshotVersionDead {
 		return nil, fmt.Errorf("rdf: unsupported snapshot version %d", version)
 	}
 	g := NewGraph()
@@ -160,5 +190,26 @@ func ReadSnapshot(r io.Reader) (*Graph, error) {
 		})
 	}
 	g.Freeze()
+	if version == snapshotVersionDead {
+		nDead, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nDead > nT {
+			return nil, fmt.Errorf("rdf: snapshot lists %d dead slots but only %d triples", nDead, nT)
+		}
+		for i := uint64(0); i < nDead; i++ {
+			slot, err := readUvarint()
+			if err != nil {
+				return nil, err
+			}
+			if slot >= nT {
+				return nil, fmt.Errorf("rdf: snapshot dead slot %d out of range", slot)
+			}
+			if !g.Delete(int32(slot)) {
+				return nil, fmt.Errorf("rdf: snapshot dead slot %d listed twice", slot)
+			}
+		}
+	}
 	return g, nil
 }

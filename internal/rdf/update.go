@@ -1,0 +1,152 @@
+package rdf
+
+// Live-update batches. An update enters the system as a list of Op values
+// over raw terms (strings); the coordinator resolves it once against its
+// dictionaries into ResolvedUpdate values over dense IDs plus a DictDelta
+// carrying the terms the batch interned. Replicas (remote site processes)
+// apply the delta first — which pins the same term→ID assignment everywhere
+// — and then the resolved ops, so every copy of the data mutates
+// identically and bindings stay joinable across sites.
+
+// Op is one raw mutation: insert or delete of the triple (S, P, O).
+type Op struct {
+	Insert  bool
+	S, P, O string
+}
+
+// ResolvedUpdate is an Op resolved to dictionary IDs.
+type ResolvedUpdate struct {
+	Insert bool
+	T      Triple
+}
+
+// DictDelta lists the dictionary terms a batch interned, in ID order
+// starting at the recorded base lengths. Applying it to a replica whose
+// dictionaries are at (or beyond) the base reproduces the coordinator's
+// assignment; Dict.ApplyDelta verifies rather than re-assigns IDs the
+// replica already holds, so replay is idempotent.
+type DictDelta struct {
+	BaseVertices   int
+	NewVertices    []string
+	BaseProperties int
+	NewProperties  []string
+}
+
+// Empty reports whether the delta introduces no terms.
+func (d DictDelta) Empty() bool {
+	return len(d.NewVertices) == 0 && len(d.NewProperties) == 0
+}
+
+// Apply extends g's dictionaries with the delta's terms.
+func (d DictDelta) Apply(g *Graph) error {
+	if err := g.Vertices.ApplyDelta(d.BaseVertices, d.NewVertices); err != nil {
+		return err
+	}
+	return g.Properties.ApplyDelta(d.BaseProperties, d.NewProperties)
+}
+
+// ApplyStats counts what a batch did to one graph or store. NotFound counts
+// deletes that matched no live triple there — expected on sites that never
+// held the triple, and on coordinator-side deletes of data that was never
+// inserted.
+type ApplyStats struct {
+	Inserted int
+	Deleted  int
+	NotFound int
+}
+
+// Add accumulates other into s.
+func (s *ApplyStats) Add(other ApplyStats) {
+	s.Inserted += other.Inserted
+	s.Deleted += other.Deleted
+	s.NotFound += other.NotFound
+}
+
+// ResolveUpdates resolves raw ops against g's dictionaries in order.
+// Inserts intern their terms (new terms are collected into the returned
+// DictDelta); deletes only look terms up — a delete naming a term the
+// graph has never seen cannot match any triple, so it is dropped and
+// counted in notFound. The graph's triples are not touched; pass the
+// result to ApplyResolved (and ship it to replicas).
+func (g *Graph) ResolveUpdates(ops []Op) (resolved []ResolvedUpdate, delta DictDelta, notFound int) {
+	delta.BaseVertices = g.Vertices.Len()
+	delta.BaseProperties = g.Properties.Len()
+	resolved = make([]ResolvedUpdate, 0, len(ops))
+	for _, op := range ops {
+		if op.Insert {
+			resolved = append(resolved, ResolvedUpdate{Insert: true, T: Triple{
+				S: VertexID(g.Vertices.Intern(op.S)),
+				P: PropertyID(g.Properties.Intern(op.P)),
+				O: VertexID(g.Vertices.Intern(op.O)),
+			}})
+			continue
+		}
+		s, okS := g.Vertices.Lookup(op.S)
+		p, okP := g.Properties.Lookup(op.P)
+		o, okO := g.Vertices.Lookup(op.O)
+		if !okS || !okP || !okO {
+			notFound++
+			continue
+		}
+		resolved = append(resolved, ResolvedUpdate{T: Triple{
+			S: VertexID(s), P: PropertyID(p), O: VertexID(o),
+		}})
+	}
+	for id := delta.BaseVertices; id < g.Vertices.Len(); id++ {
+		delta.NewVertices = append(delta.NewVertices, g.Vertices.String(uint32(id)))
+	}
+	for id := delta.BaseProperties; id < g.Properties.Len(); id++ {
+		delta.NewProperties = append(delta.NewProperties, g.Properties.String(uint32(id)))
+	}
+	return resolved, delta, notFound
+}
+
+// SlotOp is one graph mutation that actually happened, with the triple slot
+// it touched. The trace of a batch lets dependent structures — site
+// layouts, per-site stores, WCC maintenance — mirror exactly what the graph
+// did (deletes that matched nothing leave no SlotOp).
+type SlotOp struct {
+	Insert bool
+	Slot   int32
+	T      Triple
+}
+
+// ApplyResolvedTrace applies resolved ops to g in order and returns the
+// slot-level trace. Each delete removes one live instance of its triple
+// (duplicates are a multiset); a delete that matches nothing is counted in
+// NotFound and skipped.
+func (g *Graph) ApplyResolvedTrace(resolved []ResolvedUpdate) ([]SlotOp, ApplyStats) {
+	var st ApplyStats
+	trace := make([]SlotOp, 0, len(resolved))
+	for _, u := range resolved {
+		if u.Insert {
+			slot := g.Insert(u.T.S, u.T.P, u.T.O)
+			trace = append(trace, SlotOp{Insert: true, Slot: slot, T: u.T})
+			st.Inserted++
+		} else if slot, ok := g.FindTriple(u.T.S, u.T.P, u.T.O); ok {
+			g.Delete(slot)
+			trace = append(trace, SlotOp{Slot: slot, T: u.T})
+			st.Deleted++
+		} else {
+			st.NotFound++
+		}
+	}
+	return trace, st
+}
+
+// ApplyResolved is ApplyResolvedTrace without the trace.
+func (g *Graph) ApplyResolved(resolved []ResolvedUpdate) ApplyStats {
+	_, st := g.ApplyResolvedTrace(resolved)
+	return st
+}
+
+// ApplyUpdates resolves and applies a raw batch in one step: the
+// convenience path for a single-graph (non-clustered) caller. The returned
+// resolved ops and delta are what a coordinator forwards to replicas; the
+// stats fold resolution-time drops into NotFound.
+func (g *Graph) ApplyUpdates(ops []Op) ([]ResolvedUpdate, DictDelta, ApplyStats) {
+	resolved, delta, notFound := g.ResolveUpdates(ops)
+	st := g.ApplyResolved(resolved)
+	st.NotFound += notFound
+	return resolved, delta, st
+}

@@ -21,6 +21,7 @@ import (
 	"mpc/internal/cluster"
 	"mpc/internal/obs"
 	"mpc/internal/qcache"
+	"mpc/internal/rdf"
 	"mpc/internal/sparql"
 )
 
@@ -154,9 +155,14 @@ func (s *Scheduler) worker() {
 			t.done <- taskResult{err: err}
 			continue
 		}
+		// Capture the cache epoch before touching any data: if a write
+		// commits while this execution runs, Invalidate advances the epoch
+		// and the PutEpoch below discards the possibly-stale result
+		// instead of resurrecting it into the freshly cleared cache.
+		epoch := s.cache.Epoch()
 		res, err := s.c.ExecutePlan(t.ctx, t.plan)
 		if err == nil {
-			s.cache.Put(t.q, res)
+			s.cache.PutEpoch(t.q, res, epoch)
 		}
 		t.done <- taskResult{res: res, err: err}
 	}
@@ -231,6 +237,29 @@ func (s *Scheduler) Do(ctx context.Context, q *sparql.Query) (*Response, error) 
 		s.failures.Inc()
 		return nil, ctx.Err()
 	}
+}
+
+// Invalidate drops every cached plan and advances the result cache's
+// epoch, clearing it. Call it after any mutation of the underlying data;
+// Apply does so automatically.
+func (s *Scheduler) Invalidate() {
+	s.planMu.Lock()
+	s.plans = make(map[uint64]planEntry)
+	s.planMu.Unlock()
+	s.cache.Advance()
+}
+
+// Apply commits a write batch through the serving layer with the ordering
+// a correct cache requires: the cluster applies the batch (coordinator
+// graph, layout, every site), then plans and cached results are
+// invalidated, and only then does Apply return — so a caller that
+// acknowledges the write after Apply can never observe a pre-write cached
+// answer afterwards. Invalidation runs even when a site failed: the
+// coordinator's state has already moved.
+func (s *Scheduler) Apply(ctx context.Context, ops []rdf.Op) (rdf.ApplyStats, error) {
+	stats, err := s.c.Apply(ctx, ops)
+	s.Invalidate()
+	return stats, err
 }
 
 // Close stops admission and waits for in-flight work to finish. Queued

@@ -100,12 +100,15 @@ func (st *Store) planOrder(c *compiled) []int {
 		}
 		return cnt
 	}
+	// Unlocked internals (rangePOS, len(triples)) rather than the public
+	// CountProperty/NumTriples: planOrder runs under Match's read lock and
+	// a recursive RLock can deadlock against a queued writer.
 	estimate := func(cp cpattern) int {
 		switch {
 		case !cp.p.isVar:
-			return st.CountProperty(rdf.PropertyID(cp.p.id))
+			return len(st.rangePOS(rdf.PropertyID(cp.p.id)))
 		default:
-			return st.NumTriples()
+			return len(st.triples)
 		}
 	}
 	for len(order) < n {
@@ -146,6 +149,11 @@ func (st *Store) MatchWhere(q *sparql.Query, pred func(rdf.Triple) bool) (*Table
 	if err != nil {
 		return nil, err
 	}
+	// One read lock for the whole evaluation: concurrent matches share it,
+	// a live update (Insert/Delete/ApplyResolved) waits for running matches
+	// and blocks new ones until applied.
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	out := NewTable(c.vars, c.kinds)
 	if c.empty || len(c.pats) == 0 {
 		if st.met.enabled {
@@ -186,7 +194,7 @@ func (st *Store) MatchWhere(q *sparql.Query, pred func(rdf.Triple) bool) (*Table
 	// Keys are integers, not strings: bindings of width ≤2 pack into an
 	// injective uint64; wider bindings use an FNV-style running hash with a
 	// verify-on-probe chain over the already-emitted rows.
-	dedup := st.hasReplicas
+	dedup := st.dupPairs > 0
 	stride := len(c.vars)
 	exactKeys := stride <= 2
 	var seenPacked map[uint64]struct{} // injective packed keys (width ≤ 2)

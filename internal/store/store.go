@@ -11,14 +11,20 @@ package store
 
 import (
 	"sort"
+	"sync"
 
 	"mpc/internal/obs"
 	"mpc/internal/rdf"
 )
 
 // Store holds one partition's triples (internal edges plus crossing-edge
-// replicas) with sorted indexes for pattern lookups.
+// replicas) with sorted indexes for pattern lookups. It is safe for
+// concurrent use: Match holds a read lock for the whole evaluation, Insert,
+// Delete and ApplyResolved take the write lock and maintain the three
+// sorted indexes incrementally (binary-search insertion / removal, O(log n
+// + shift) per triple).
 type Store struct {
+	mu      sync.RWMutex
 	g       *rdf.Graph
 	triples []rdf.Triple
 
@@ -26,11 +32,15 @@ type Store struct {
 	pos []int32 // sorted by (P,O,S)
 	ops []int32 // sorted by (O,P,S)
 
-	// hasReplicas is set when the triple list stores the same triple more
-	// than once (replicated crossing edges meeting at one site, k-hop
-	// layouts, duplicate input triples). Only then can the matcher produce
-	// duplicate bindings, so replica-free stores skip dedup entirely.
-	hasReplicas bool
+	// dupPairs counts triples stored more than once, as the number of
+	// adjacent equal pairs in SPO order (equivalently len(triples) minus the
+	// number of distinct triples). The matcher must deduplicate bindings
+	// exactly when it is nonzero (replicated crossing edges meeting at one
+	// site, k-hop layouts, duplicate input triples); replica-free stores
+	// skip dedup entirely. It is maintained on every insert and delete —
+	// a construction-time-only flag would silently disable the dedup gate
+	// after the first mutation creates a duplicate.
+	dupPairs int
 
 	met storeMetrics
 }
@@ -132,8 +142,7 @@ func New(g *rdf.Graph, tripleIdx []int32) *Store {
 	})
 	for i := 1; i < n; i++ {
 		if t[st.spo[i]] == t[st.spo[i-1]] {
-			st.hasReplicas = true
-			break
+			st.dupPairs++
 		}
 	}
 	return st
@@ -141,10 +150,18 @@ func New(g *rdf.Graph, tripleIdx []int32) *Store {
 
 // HasReplicas reports whether this store holds the same triple more than
 // once — the only case in which matching must deduplicate bindings.
-func (st *Store) HasReplicas() bool { return st.hasReplicas }
+func (st *Store) HasReplicas() bool {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.dupPairs > 0
+}
 
 // NumTriples returns the number of triples stored at this site.
-func (st *Store) NumTriples() int { return len(st.triples) }
+func (st *Store) NumTriples() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.triples)
+}
 
 // Graph returns the full graph whose dictionaries this store shares.
 func (st *Store) Graph() *rdf.Graph { return st.g }
@@ -213,4 +230,8 @@ func (st *Store) rangePOS(p rdf.PropertyID) []int32 {
 
 // CountProperty returns how many local triples carry property p, used for
 // selectivity estimation.
-func (st *Store) CountProperty(p rdf.PropertyID) int { return len(st.rangePOS(p)) }
+func (st *Store) CountProperty(p rdf.PropertyID) int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.rangePOS(p))
+}

@@ -509,13 +509,14 @@ func (c *Client) Ping() error {
 
 // BootstrapGraph ships the full-graph snapshot so the site shares the
 // coordinator's dictionaries (binding IDs must be comparable across
-// sites).
-func (c *Client) BootstrapGraph(g *rdf.Graph) error {
+// sites). Cancelling ctx abandons the request — snapshots are large, so
+// a caller tearing down a half-finished bootstrap must not block on it.
+func (c *Client) BootstrapGraph(ctx context.Context, g *rdf.Graph) error {
 	var buf bytes.Buffer
 	if err := rdf.WriteSnapshot(&buf, g); err != nil {
 		return fmt.Errorf("transport: encode snapshot: %w", err)
 	}
-	resp, _, err := c.call(context.Background(), MsgBootstrapGraph, buf.Bytes(), c.opts.BootstrapTimeout)
+	resp, _, err := c.call(ctx, MsgBootstrapGraph, buf.Bytes(), c.opts.BootstrapTimeout)
 	if err != nil {
 		return err
 	}
@@ -527,9 +528,9 @@ func (c *Client) BootstrapGraph(g *rdf.Graph) error {
 
 // BootstrapTriples tells the site which triples of the bootstrapped graph
 // form its partition; the site builds its store from them.
-func (c *Client) BootstrapTriples(idx []int32) error {
+func (c *Client) BootstrapTriples(ctx context.Context, idx []int32) error {
 	payload := AppendTripleIdx(make([]byte, 0, 10+2*len(idx)), idx)
-	resp, _, err := c.call(context.Background(), MsgBootstrapTriples, payload, c.opts.BootstrapTimeout)
+	resp, _, err := c.call(ctx, MsgBootstrapTriples, payload, c.opts.BootstrapTimeout)
 	if err != nil {
 		return err
 	}
@@ -540,11 +541,28 @@ func (c *Client) BootstrapTriples(idx []int32) error {
 }
 
 // Bootstrap ships the graph then the site's triple set in one call.
-func (c *Client) Bootstrap(g *rdf.Graph, idx []int32) error {
-	if err := c.BootstrapGraph(g); err != nil {
+func (c *Client) Bootstrap(ctx context.Context, g *rdf.Graph, idx []int32) error {
+	if err := c.BootstrapGraph(ctx, g); err != nil {
 		return err
 	}
-	return c.BootstrapTriples(idx)
+	return c.BootstrapTriples(ctx, idx)
+}
+
+// ApplyUpdate implements cluster.SiteUpdater: it ships a committed update
+// batch to the site, which applies it to its graph replica and store.
+// Unlike queries, an update mutates the site — but retries are still
+// safe: the batch's sequence number makes server-side replay idempotent
+// (a re-delivered batch returns the recorded result without reapplying).
+func (c *Client) ApplyUpdate(ctx context.Context, batch cluster.UpdateBatch) (cluster.SiteUpdateResult, error) {
+	payload := AppendUpdateBatch(make([]byte, 0, 64+13*len(batch.Ops)), batch)
+	resp, _, err := c.call(ctx, MsgUpdate, payload, c.opts.RequestTimeout)
+	if err != nil {
+		return cluster.SiteUpdateResult{}, err
+	}
+	if resp.typ != MsgUpdateResult {
+		return cluster.SiteUpdateResult{}, fmt.Errorf("transport: update: unexpected %s response", msgName(resp.typ))
+	}
+	return DecodeUpdateResult(resp.payload)
 }
 
 // ExecuteSub implements cluster.Site: it evaluates sub on the remote

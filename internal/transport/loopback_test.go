@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"strings"
@@ -38,7 +39,7 @@ func remoteCluster(t *testing.T, layout partition.SiteLayout, crossing sparql.Cr
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { CloseAll(clients) })
-	if err := Bootstrap(clients, layout); err != nil {
+	if err := Bootstrap(context.Background(), clients, layout); err != nil {
 		t.Fatal(err)
 	}
 	c, err := cluster.NewWithSites(layout, crossing, cfg, Sites(clients))

@@ -30,10 +30,11 @@
 //
 // Message types:
 //
-//	MsgPing             → MsgOK             liveness/handshake probe
-//	MsgBootstrapGraph   → MsgOK             full-graph snapshot (rdf.WriteSnapshot bytes)
-//	MsgBootstrapTriples → MsgOK             triple indices into the bootstrapped graph
-//	MsgQuery            → MsgTable|MsgError evaluate a subquery, return bindings
+//	MsgPing             → MsgOK                   liveness/handshake probe
+//	MsgBootstrapGraph   → MsgOK                   full-graph snapshot (rdf.WriteSnapshot bytes)
+//	MsgBootstrapTriples → MsgOK                   triple indices into the bootstrapped graph
+//	MsgQuery            → MsgTable|MsgError       evaluate a subquery, return bindings
+//	MsgUpdate           → MsgUpdateResult|MsgError apply a committed update batch
 //
 // MsgError is a valid response to any request; it carries a numeric code
 // and a message and is surfaced by the client as a *RemoteError.
@@ -44,15 +45,21 @@ import (
 	"fmt"
 	"io"
 
+	"mpc/internal/cluster"
+	"mpc/internal/rdf"
 	"mpc/internal/sparql"
 )
 
 // Handshake constants. The version byte is bumped on any incompatible
 // frame or payload change; peers with mismatched versions refuse the
 // connection at handshake time rather than misparsing frames later.
+// Version 2 added the MsgUpdate/MsgUpdateResult pair (live triple
+// updates); a v1 peer would answer MsgUpdate with a bad-request error
+// instead of mutating, so the bump fails the mismatch loudly at
+// handshake time.
 const (
 	Magic   = "MPCT"
-	Version = 1
+	Version = 2
 )
 
 // handshakeLen is magic + version + one pad byte.
@@ -67,6 +74,8 @@ const (
 	MsgBootstrapTriples
 	MsgQuery
 	MsgTable
+	MsgUpdate
+	MsgUpdateResult
 )
 
 // msgName names a message type for metrics and errors.
@@ -86,6 +95,10 @@ func msgName(t byte) string {
 		return "query"
 	case MsgTable:
 		return "table"
+	case MsgUpdate:
+		return "update"
+	case MsgUpdateResult:
+		return "update_result"
 	default:
 		return fmt.Sprintf("type_%d", t)
 	}
@@ -215,7 +228,7 @@ const maxQueryStrings = 1 << 16
 func (d *queryDecoder) uvarint(what string) (uint64, error) {
 	v, n := binary.Uvarint(d.data[d.pos:])
 	if n <= 0 {
-		return 0, fmt.Errorf("transport: query codec: truncated %s at byte %d", what, d.pos)
+		return 0, fmt.Errorf("transport: codec: truncated %s at byte %d", what, d.pos)
 	}
 	d.pos += n
 	return v, nil
@@ -227,7 +240,7 @@ func (d *queryDecoder) str(what string) (string, error) {
 		return "", err
 	}
 	if d.pos+int(n) > len(d.data) || n > uint64(len(d.data)) {
-		return "", fmt.Errorf("transport: query codec: truncated %s at byte %d", what, d.pos)
+		return "", fmt.Errorf("transport: codec: truncated %s at byte %d", what, d.pos)
 	}
 	s := string(d.data[d.pos : d.pos+int(n)])
 	d.pos += int(n)
@@ -236,12 +249,12 @@ func (d *queryDecoder) str(what string) (string, error) {
 
 func (d *queryDecoder) term() (sparql.Term, error) {
 	if d.pos >= len(d.data) {
-		return sparql.Term{}, fmt.Errorf("transport: query codec: truncated term at byte %d", d.pos)
+		return sparql.Term{}, fmt.Errorf("transport: codec: truncated term at byte %d", d.pos)
 	}
 	flag := d.data[d.pos]
 	d.pos++
 	if flag > 1 {
-		return sparql.Term{}, fmt.Errorf("transport: query codec: bad term flag %d", flag)
+		return sparql.Term{}, fmt.Errorf("transport: codec: bad term flag %d", flag)
 	}
 	v, err := d.str("term value")
 	if err != nil {
@@ -258,7 +271,7 @@ func DecodeQuery(data []byte) (*sparql.Query, error) {
 		return nil, err
 	}
 	if nSel > maxQueryStrings {
-		return nil, fmt.Errorf("transport: query codec: %d select variables exceeds limit", nSel)
+		return nil, fmt.Errorf("transport: codec: %d select variables exceeds limit", nSel)
 	}
 	q := &sparql.Query{}
 	for i := uint64(0); i < nSel; i++ {
@@ -273,7 +286,7 @@ func DecodeQuery(data []byte) (*sparql.Query, error) {
 		return nil, err
 	}
 	if nPat > maxQueryStrings {
-		return nil, fmt.Errorf("transport: query codec: %d patterns exceeds limit", nPat)
+		return nil, fmt.Errorf("transport: codec: %d patterns exceeds limit", nPat)
 	}
 	for i := uint64(0); i < nPat; i++ {
 		var tp sparql.TriplePattern
@@ -289,7 +302,7 @@ func DecodeQuery(data []byte) (*sparql.Query, error) {
 		q.Patterns = append(q.Patterns, tp)
 	}
 	if d.pos != len(data) {
-		return nil, fmt.Errorf("transport: query codec: %d trailing bytes", len(data)-d.pos)
+		return nil, fmt.Errorf("transport: codec: %d trailing bytes", len(data)-d.pos)
 	}
 	return q, nil
 }
@@ -342,6 +355,169 @@ func DecodeTripleIdx(data []byte) ([]int32, error) {
 		return nil, fmt.Errorf("transport: triple-index codec: %d trailing bytes", len(data)-pos)
 	}
 	return idx, nil
+}
+
+// Update payload codec (MsgUpdate): the committed batch a coordinator
+// fans out to one site —
+//
+//	uvarint Seq
+//	uvarint BaseVertices,   uvarint count, count strings (dict delta)
+//	uvarint BaseProperties, uvarint count, count strings
+//	uvarint op count, then per op: one flag byte (bit0 insert, bit1
+//	local) + uvarint S, P, O
+//
+// Ops carry resolved dense IDs, not raw terms: the delta pins the same
+// term→ID assignment on the replica first, so IDs mean the same thing on
+// both ends. Slots are deliberately absent — the replica's graph finds
+// its own slots, and all cross-site data moves by value.
+
+// maxUpdateOps bounds a decoded batch so a corrupt count cannot drive an
+// unbounded allocation.
+const maxUpdateOps = 1 << 24
+
+// AppendUpdateBatch appends the wire encoding of an update batch.
+func AppendUpdateBatch(buf []byte, b cluster.UpdateBatch) []byte {
+	buf = binary.AppendUvarint(buf, b.Seq)
+	buf = binary.AppendUvarint(buf, uint64(b.Delta.BaseVertices))
+	buf = binary.AppendUvarint(buf, uint64(len(b.Delta.NewVertices)))
+	for _, s := range b.Delta.NewVertices {
+		buf = appendString(buf, s)
+	}
+	buf = binary.AppendUvarint(buf, uint64(b.Delta.BaseProperties))
+	buf = binary.AppendUvarint(buf, uint64(len(b.Delta.NewProperties)))
+	for _, s := range b.Delta.NewProperties {
+		buf = appendString(buf, s)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(b.Ops)))
+	for _, op := range b.Ops {
+		var flag byte
+		if op.Insert {
+			flag |= 1
+		}
+		if op.Local {
+			flag |= 2
+		}
+		buf = append(buf, flag)
+		buf = binary.AppendUvarint(buf, uint64(uint32(op.T.S)))
+		buf = binary.AppendUvarint(buf, uint64(uint32(op.T.P)))
+		buf = binary.AppendUvarint(buf, uint64(uint32(op.T.O)))
+	}
+	return buf
+}
+
+// DecodeUpdateBatch decodes a payload produced by AppendUpdateBatch.
+func DecodeUpdateBatch(data []byte) (cluster.UpdateBatch, error) {
+	d := &queryDecoder{data: data}
+	var b cluster.UpdateBatch
+	// Decoder errors carry their own "transport: codec" prefix; fail only
+	// wraps errors detected here.
+	fail := func(err error) (cluster.UpdateBatch, error) {
+		return cluster.UpdateBatch{}, fmt.Errorf("transport: codec: update: %w", err)
+	}
+	seq, err := d.uvarint("seq")
+	if err != nil {
+		return cluster.UpdateBatch{}, err
+	}
+	b.Seq = seq
+	strs := func(what string) (base int, out []string, err error) {
+		bv, err := d.uvarint(what + " base")
+		if err != nil {
+			return 0, nil, err
+		}
+		n, err := d.uvarint(what + " count")
+		if err != nil {
+			return 0, nil, err
+		}
+		if n > maxUpdateOps {
+			return 0, nil, fmt.Errorf("transport: codec: %d %s terms exceeds limit", n, what)
+		}
+		for i := uint64(0); i < n; i++ {
+			s, err := d.str(what + " term")
+			if err != nil {
+				return 0, nil, err
+			}
+			out = append(out, s)
+		}
+		return int(bv), out, nil
+	}
+	if b.Delta.BaseVertices, b.Delta.NewVertices, err = strs("vertex"); err != nil {
+		return cluster.UpdateBatch{}, err
+	}
+	if b.Delta.BaseProperties, b.Delta.NewProperties, err = strs("property"); err != nil {
+		return cluster.UpdateBatch{}, err
+	}
+	nOps, err := d.uvarint("op count")
+	if err != nil {
+		return cluster.UpdateBatch{}, err
+	}
+	if nOps > maxUpdateOps {
+		return fail(fmt.Errorf("%d ops exceeds limit", nOps))
+	}
+	b.Ops = make([]cluster.UpdateOp, nOps)
+	for i := range b.Ops {
+		if d.pos >= len(d.data) {
+			return fail(fmt.Errorf("truncated op %d", i))
+		}
+		flag := d.data[d.pos]
+		d.pos++
+		if flag > 3 {
+			return fail(fmt.Errorf("bad op flag %d", flag))
+		}
+		b.Ops[i].Insert = flag&1 != 0
+		b.Ops[i].Local = flag&2 != 0
+		var ids [3]uint64
+		for j, what := range [...]string{"op S", "op P", "op O"} {
+			if ids[j], err = d.uvarint(what); err != nil {
+				return cluster.UpdateBatch{}, err
+			}
+			if ids[j] > 1<<32-1 {
+				return fail(fmt.Errorf("%s %d out of range", what, ids[j]))
+			}
+		}
+		b.Ops[i].T = rdf.Triple{
+			S: rdf.VertexID(ids[0]),
+			P: rdf.PropertyID(ids[1]),
+			O: rdf.VertexID(ids[2]),
+		}
+	}
+	if d.pos != len(data) {
+		return fail(fmt.Errorf("%d trailing bytes", len(data)-d.pos))
+	}
+	return b, nil
+}
+
+// Update-result payload codec (MsgUpdateResult): the site store's apply
+// stats as three uvarints.
+
+// AppendUpdateResult appends the wire encoding of an update result.
+func AppendUpdateResult(buf []byte, r cluster.SiteUpdateResult) []byte {
+	buf = binary.AppendUvarint(buf, uint64(r.Stats.Inserted))
+	buf = binary.AppendUvarint(buf, uint64(r.Stats.Deleted))
+	return binary.AppendUvarint(buf, uint64(r.Stats.NotFound))
+}
+
+// DecodeUpdateResult decodes a payload produced by AppendUpdateResult.
+func DecodeUpdateResult(data []byte) (cluster.SiteUpdateResult, error) {
+	d := &queryDecoder{data: data}
+	var r cluster.SiteUpdateResult
+	var err error
+	get := func(what string) int {
+		var v uint64
+		if err == nil {
+			v, err = d.uvarint(what)
+		}
+		return int(v)
+	}
+	r.Stats.Inserted = get("inserted")
+	r.Stats.Deleted = get("deleted")
+	r.Stats.NotFound = get("not-found")
+	if err != nil {
+		return cluster.SiteUpdateResult{}, fmt.Errorf("transport: update-result codec: %w", err)
+	}
+	if d.pos != len(data) {
+		return cluster.SiteUpdateResult{}, fmt.Errorf("transport: update-result codec: %d trailing bytes", len(data)-d.pos)
+	}
+	return r, nil
 }
 
 // Error payload codec (MsgError): uvarint code + message string.

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -25,8 +26,9 @@ func Connect(addrs []string, opts ClientOptions) ([]*Client, error) {
 
 // Bootstrap ships the layout's graph and each site's triple set to the
 // corresponding client, in parallel. len(clients) must equal
-// layout.NumSites().
-func Bootstrap(clients []*Client, layout partition.SiteLayout) error {
+// layout.NumSites(). Cancelling ctx abandons the in-flight transfers and
+// returns promptly.
+func Bootstrap(ctx context.Context, clients []*Client, layout partition.SiteLayout) error {
 	if len(clients) != layout.NumSites() {
 		return fmt.Errorf("transport: %d clients for a %d-partition layout",
 			len(clients), layout.NumSites())
@@ -38,7 +40,7 @@ func Bootstrap(clients []*Client, layout partition.SiteLayout) error {
 		wg.Add(1)
 		go func(i int, c *Client) {
 			defer wg.Done()
-			errs[i] = c.Bootstrap(g, layout.SiteTriples(i))
+			errs[i] = c.Bootstrap(ctx, g, layout.SiteTriples(i))
 		}(i, c)
 	}
 	wg.Wait()

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"mpc/internal/cluster"
 	"mpc/internal/obs"
 	"mpc/internal/rdf"
 	"mpc/internal/store"
@@ -48,6 +49,15 @@ type Server struct {
 	conns    map[net.Conn]struct{}
 	draining bool
 	closed   bool
+
+	// updMu serializes the mutating requests — updates and bootstraps —
+	// against each other; queries stay concurrent (the store carries its
+	// own read-write lock). lastSeq/lastResult make update replay
+	// idempotent: a retried batch (same sequence number) returns the
+	// recorded result instead of double-mutating the replica.
+	updMu      sync.Mutex
+	lastSeq    uint64
+	lastResult []byte
 
 	inflight sync.WaitGroup // in-flight request handlers
 }
@@ -246,7 +256,7 @@ const maxConnInflight = 128
 // minMsg clamps a message type into the rpcNS index range (unknown types
 // land on the bad-request path but still need a valid index).
 func minMsg(t byte) byte {
-	if t > MsgTable {
+	if t > MsgUpdateResult {
 		return 0
 	}
 	return t
@@ -269,10 +279,14 @@ func (s *Server) handle(req frame) (byte, []byte) {
 		if err != nil {
 			return MsgError, appendErrorPayload(nil, uint64(CodeBadRequest), err.Error())
 		}
+		s.updMu.Lock()
+		defer s.updMu.Unlock()
 		s.mu.Lock()
 		s.graph = g
 		s.store = nil // a new graph invalidates any previous store
 		s.mu.Unlock()
+		// A fresh replica starts a fresh update history.
+		s.lastSeq, s.lastResult = 0, nil
 		return MsgOK, nil
 
 	case MsgBootstrapTriples:
@@ -280,6 +294,8 @@ func (s *Server) handle(req frame) (byte, []byte) {
 		if err != nil {
 			return MsgError, appendErrorPayload(nil, uint64(CodeBadRequest), err.Error())
 		}
+		s.updMu.Lock() // exclude concurrent graph mutation while reading triples
+		defer s.updMu.Unlock()
 		s.mu.Lock()
 		g := s.graph
 		s.mu.Unlock()
@@ -299,6 +315,59 @@ func (s *Server) handle(req frame) (byte, []byte) {
 		s.store = st
 		s.mu.Unlock()
 		return MsgOK, nil
+
+	case MsgUpdate:
+		batch, err := DecodeUpdateBatch(req.payload)
+		if err != nil {
+			return MsgError, appendErrorPayload(nil, uint64(CodeBadRequest), err.Error())
+		}
+		s.updMu.Lock()
+		defer s.updMu.Unlock()
+		s.mu.Lock()
+		g, st := s.graph, s.store
+		s.mu.Unlock()
+		if g == nil {
+			return MsgError, appendErrorPayload(nil, uint64(CodeNoStore),
+				"no graph: send MsgBootstrapGraph or start the site with -graph")
+		}
+		if batch.Seq != 0 {
+			if batch.Seq == s.lastSeq {
+				// Retried batch: already applied, return the recorded result.
+				return MsgUpdateResult, s.lastResult
+			}
+			if batch.Seq < s.lastSeq {
+				return MsgError, appendErrorPayload(nil, uint64(CodeBadRequest),
+					fmt.Sprintf("stale update batch %d (already at %d)", batch.Seq, s.lastSeq))
+			}
+		}
+		if err := batch.Delta.Apply(g); err != nil {
+			// The replica's dictionaries diverged from the coordinator's:
+			// this replica needs a re-bootstrap, not a retry.
+			return MsgError, appendErrorPayload(nil, uint64(CodeInternal), err.Error())
+		}
+		// Every op mutates the full-graph replica; Local ops additionally
+		// mutate this site's store. The ops are trace-derived, so each
+		// delete matched a live triple on the coordinator — a miss here
+		// means divergence and is reported as such.
+		var local []rdf.ResolvedUpdate
+		for _, op := range batch.Ops {
+			ru := rdf.ResolvedUpdate{Insert: op.Insert, T: op.T}
+			if gst := g.ApplyResolved([]rdf.ResolvedUpdate{ru}); gst.NotFound > 0 {
+				return MsgError, appendErrorPayload(nil, uint64(CodeInternal),
+					fmt.Sprintf("replica diverged: delete of (%d,%d,%d) matched no live triple",
+						op.T.S, op.T.P, op.T.O))
+			}
+			if op.Local {
+				local = append(local, ru)
+			}
+		}
+		var res cluster.SiteUpdateResult
+		if st != nil {
+			res.Stats = st.ApplyResolved(local)
+		}
+		payload := AppendUpdateResult(nil, res)
+		s.lastSeq, s.lastResult = batch.Seq, payload
+		return MsgUpdateResult, payload
 
 	case MsgQuery:
 		s.mu.Lock()

@@ -68,7 +68,7 @@ func TestPingAndBootstrapQuery(t *testing.T) {
 		t.Fatalf("pre-bootstrap query: got %v, want RemoteError{CodeNoStore}", err)
 	}
 
-	if err := c.Bootstrap(g, allTriples(g)); err != nil {
+	if err := c.Bootstrap(context.Background(), g, allTriples(g)); err != nil {
 		t.Fatal(err)
 	}
 
@@ -99,7 +99,7 @@ func TestRemoteMatchesLocal(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if err := c.Bootstrap(g, allTriples(g)); err != nil {
+	if err := c.Bootstrap(context.Background(), g, allTriples(g)); err != nil {
 		t.Fatal(err)
 	}
 
@@ -172,7 +172,7 @@ func TestServerKilledMidQuery(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if err := c.Bootstrap(g, allTriples(g)); err != nil {
+	if err := c.Bootstrap(context.Background(), g, allTriples(g)); err != nil {
 		t.Fatal(err)
 	}
 
@@ -284,7 +284,7 @@ func TestDrainRefusesNewWork(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if err := c.Bootstrap(g, allTriples(g)); err != nil {
+	if err := c.Bootstrap(context.Background(), g, allTriples(g)); err != nil {
 		t.Fatal(err)
 	}
 
