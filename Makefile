@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race check cover bench bench-full bench-json bench-smoke bench-online bench-throughput experiments transport-race transport-smoke server-smoke oracle oracle-race update-race clean
+.PHONY: all build test test-race check cover bench bench-full bench-json bench-smoke bench-online bench-throughput bench-scale experiments transport-race transport-smoke server-smoke scale-smoke oracle oracle-race update-race clean
 
 all: build test
 
@@ -46,6 +46,11 @@ bench-online:
 # loopback TCP sites); writes BENCH_throughput.json.
 bench-throughput:
 	$(GO) run ./cmd/mpc-bench -exp throughput -triples 50000 -json BENCH_throughput.json
+
+# Flat-vs-block serving comparison (heap at load, peak heap, digest
+# identity); writes BENCH_scale.json.
+bench-scale:
+	$(GO) run ./cmd/mpc-bench -exp scale -triples 1000000 -json BENCH_scale.json
 
 # Every Benchmark function once (-benchtime=1x): catches bit-rot in
 # benchmark-only code without paying for real measurements.
@@ -92,6 +97,13 @@ transport-smoke:
 # asserted via /debug/metrics.
 server-smoke:
 	bash scripts/server_smoke.sh
+
+# Large-dataset smoke: ~1M triples generated as N-Triples, streamed through
+# ingest and partitioning under GOMEMLIMIT, served from mmap-backed block
+# snapshots by real mpc-site processes, result digests asserted identical
+# to the in-memory path.
+scale-smoke:
+	bash scripts/scale_smoke.sh
 
 # The experiment suite behind EXPERIMENTS.md.
 experiments:

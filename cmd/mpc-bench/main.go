@@ -8,15 +8,17 @@
 //	mpc-bench -exp fig8 -logqueries 1000
 //
 // Experiments: table2 table3 table4 table5 table6 table7 fig7 fig8 fig9
-// fig10 fig11 ablations offline online throughput all. Figures 9 and 10
-// share one runner (fig9 and fig10 are aliases). The offline experiment
+// fig10 fig11 ablations offline online throughput scale all. Figures 9 and
+// 10 share one runner (fig9 and fig10 are aliases). The offline experiment
 // sweeps the -workers knob over {1, 2, NumCPU}; the online experiment
 // measures the query path (per-class latency quantiles, join shapes,
 // allocation microbenchmarks); the throughput experiment drives serial,
 // closed-loop, and open-loop load through the concurrent serving stack
-// (scheduler + result cache + pipelined transport over loopback TCP).
-// All three write machine-readable results to the -json path, defaulting
-// to BENCH_offline.json, BENCH_online.json, or BENCH_throughput.json.
+// (scheduler + result cache + pipelined transport over loopback TCP); the
+// scale experiment serves the same MPC layout from heap-resident flat
+// stores and from mmap-backed block snapshots and compares load-time heap
+// and result digests. All four write machine-readable results to the -json
+// path, defaulting to BENCH_<exp>.json.
 //
 // Observability: -metrics PATH dumps the run's metrics registry (counters,
 // gauges, latency histograms, recent query traces) as JSON when the run
@@ -227,6 +229,20 @@ func run(exp string, cfg bench.Config, jsonPath string) error {
 				return err
 			}
 			fmt.Fprintf(os.Stderr, "[throughput measurements written to %s]\n", path)
+		case "scale":
+			res, err := bench.RunScale(cfg)
+			if err != nil {
+				return err
+			}
+			bench.RenderScale(out, res)
+			path := jsonPath
+			if path == "" {
+				path = "BENCH_scale.json"
+			}
+			if err := bench.WriteScaleJSON(path, res); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "[scale measurements written to %s]\n", path)
 		case "ablations":
 			sel, err := bench.RunAblationSelectors(cfg)
 			if err != nil {

@@ -24,6 +24,7 @@ import (
 	"mpc/internal/cluster"
 	"mpc/internal/core"
 	"mpc/internal/dataio"
+	"mpc/internal/oracle"
 	"mpc/internal/partition"
 	"mpc/internal/rdf"
 	"mpc/internal/sparql"
@@ -44,19 +45,21 @@ func main() {
 	semijoin := flag.Bool("semijoin", false, "enable the distributed semijoin reduction for inter-partition joins")
 	partialEval := flag.Bool("partial-eval", false, "use the partitioning-agnostic gStoreD-style partial-evaluation engine (vertex-disjoint strategies only, in-process only)")
 	sites := flag.String("sites", "", "comma-separated mpc-site addresses; when set, the query runs against these processes instead of in-process stores (their count overrides -k)")
+	noBootstrap := flag.Bool("no-bootstrap", false, "with -sites: assume the sites already hold their partitions (mpc-site -snapshot) and skip the bootstrap upload")
+	digest := flag.Bool("digest", false, "print the canonical result digest (oracle.Canonicalize; equal digests mean bit-identical result sets)")
 	flag.Parse()
 
 	if *in == "" || (*queryStr == "" && *queryFile == "") {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*in, *k, *epsilon, *strategy, *queryStr, *queryFile, *limit, *seed, *assign, *semijoin, *partialEval, *sites); err != nil {
+	if err := run(*in, *k, *epsilon, *strategy, *queryStr, *queryFile, *limit, *seed, *assign, *semijoin, *partialEval, *sites, *noBootstrap, *digest); err != nil {
 		fmt.Fprintln(os.Stderr, "mpc-query:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in string, k int, epsilon float64, strategy, queryStr, queryFile string, limit int, seed int64, assignPath string, semijoin, partialEval bool, sites string) error {
+func run(in string, k int, epsilon float64, strategy, queryStr, queryFile string, limit int, seed int64, assignPath string, semijoin, partialEval bool, sites string, noBootstrap, digest bool) error {
 	if queryFile != "" {
 		data, err := os.ReadFile(queryFile)
 		if err != nil {
@@ -145,9 +148,13 @@ func run(in string, k int, epsilon float64, strategy, queryStr, queryFile string
 			return err
 		}
 		defer transport.CloseAll(clients)
-		fmt.Fprintf(os.Stderr, "bootstrapping %d sites...\n", len(clients))
-		if err := transport.Bootstrap(context.Background(), clients, layout); err != nil {
-			return err
+		if noBootstrap {
+			fmt.Fprintf(os.Stderr, "skipping bootstrap: %d sites serve their own snapshots\n", len(clients))
+		} else {
+			fmt.Fprintf(os.Stderr, "bootstrapping %d sites...\n", len(clients))
+			if err := transport.Bootstrap(context.Background(), clients, layout); err != nil {
+				return err
+			}
 		}
 		c, err = cluster.NewWithSites(layout, crossing, cfg, transport.Sites(clients))
 		if err != nil {
@@ -159,7 +166,7 @@ func run(in string, k int, epsilon float64, strategy, queryStr, queryFile string
 			return err
 		}
 	}
-	return reportWith(g, c, q, limit, partialEval)
+	return reportWith(g, c, q, limit, partialEval, digest)
 }
 
 // crossingTestOf derives the crossing-property test of a partitioning.
@@ -175,7 +182,7 @@ func crossingTestOf(g *rdf.Graph, p *partition.Partitioning) sparql.CrossingTest
 
 // reportWith executes q (with the standard or the partial-evaluation
 // engine) and prints the stage breakdown plus result rows.
-func reportWith(g *rdf.Graph, c *cluster.Cluster, q *sparql.Query, limit int, partialEval bool) error {
+func reportWith(g *rdf.Graph, c *cluster.Cluster, q *sparql.Query, limit int, partialEval, digest bool) error {
 	var res *cluster.Result
 	var err error
 	if partialEval {
@@ -194,6 +201,9 @@ func reportWith(g *rdf.Graph, c *cluster.Cluster, q *sparql.Query, limit int, pa
 		fmt.Printf("wire: %d bytes shipped, %v summed round-trip time\n", s.BytesShipped, s.WireTime)
 	}
 	fmt.Printf("results: %d rows\n", res.Table.Len())
+	if digest {
+		fmt.Printf("digest: %016x\n", oracle.Canonicalize(res.Table).Digest())
+	}
 	printRows(g, res.Table, limit)
 	return nil
 }

@@ -76,19 +76,20 @@ func run(listen, graphPath, snapshotPath string, drainTimeout time.Duration, obs
 		opts.Graph = g
 		fmt.Fprintf(os.Stderr, "preloaded graph %s, awaiting triple-set bootstrap\n", g.Stats())
 	case snapshotPath != "":
-		g, err := loadSnapshot(snapshotPath)
+		st, err := openSiteStore(snapshotPath)
 		if err != nil {
 			return err
 		}
-		idx := make([]int32, g.NumTriples())
-		for i := range idx {
-			idx[i] = int32(i)
-		}
-		st := store.New(g, idx)
+		defer st.Close()
 		st.Instrument(reg)
-		opts.Graph = g
+		opts.Graph = st.Graph()
 		opts.Store = st
-		fmt.Fprintf(os.Stderr, "serving snapshot %s\n", g.Stats())
+		if st.Mapped() {
+			fmt.Fprintf(os.Stderr, "serving mapped block snapshot: %d triples, %d vertices, %d properties\n",
+				st.NumTriples(), st.Graph().NumVertices(), st.Graph().NumProperties())
+		} else {
+			fmt.Fprintf(os.Stderr, "serving snapshot %s\n", st.Graph().Stats())
+		}
 	default:
 		fmt.Fprintln(os.Stderr, "starting empty, awaiting bootstrap")
 	}
@@ -126,4 +127,15 @@ func loadSnapshot(path string) (*rdf.Graph, error) {
 		return nil, fmt.Errorf("%s: sites load %s snapshots (mpc-gen or mpc-partition -export-snapshots), not N-Triples", path, dataio.SnapshotExt)
 	}
 	return dataio.LoadFile(path)
+}
+
+// openSiteStore opens a per-site snapshot as a serving store. Version 3
+// block snapshots are memory-mapped — the process heap holds only the
+// dictionaries and the block directory, and query evaluation pages block
+// payloads in on demand — while v1/v2 snapshots load into the heap.
+func openSiteStore(path string) (*store.Store, error) {
+	if !strings.HasSuffix(path, dataio.SnapshotExt) {
+		return nil, fmt.Errorf("%s: sites load %s snapshots (mpc-gen or mpc-partition -export-snapshots), not N-Triples", path, dataio.SnapshotExt)
+	}
+	return dataio.OpenSiteStore(path)
 }

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// MemStats is the memory footprint of one measured phase, as recorded in
+// the benchmark JSON artifacts. HeapAllocPeakMB is the high-water mark of
+// runtime.MemStats.HeapAlloc observed by a background sampler while the
+// phase ran — the number the ISSUE's "peak RSS ≤ 0.5× flat-store peak"
+// acceptance criterion compares. GC fields are deltas over the phase.
+type MemStats struct {
+	// HeapAllocPeakMB is the highest live-heap size sampled (MiB).
+	HeapAllocPeakMB float64 `json:"heap_alloc_peak_mb"`
+	// TotalAllocMB is cumulative bytes allocated during the phase (MiB).
+	TotalAllocMB float64 `json:"total_alloc_mb"`
+	// GCPauseTotalMS is the sum of stop-the-world pauses during the phase.
+	GCPauseTotalMS float64 `json:"gc_pause_total_ms"`
+	// NumGC is the number of completed GC cycles during the phase.
+	NumGC uint32 `json:"num_gc"`
+}
+
+// memSampler tracks the HeapAlloc high-water mark over a phase. The Go
+// runtime only exposes instantaneous HeapAlloc, so a polling goroutine
+// (1ms period) watches it between Start and Stop; Stop folds in one final
+// reading so short phases are never missed entirely.
+type memSampler struct {
+	mu    sync.Mutex
+	peak  uint64
+	stop  chan struct{}
+	done  chan struct{}
+	start runtime.MemStats
+}
+
+// startMemSampler begins sampling. Call Stop exactly once.
+func startMemSampler() *memSampler {
+	s := &memSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	runtime.ReadMemStats(&s.start)
+	s.peak = s.start.HeapAlloc
+	go func() {
+		defer close(s.done)
+		tick := time.NewTicker(time.Millisecond)
+		defer tick.Stop()
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-tick.C:
+				runtime.ReadMemStats(&ms)
+				s.mu.Lock()
+				if ms.HeapAlloc > s.peak {
+					s.peak = ms.HeapAlloc
+				}
+				s.mu.Unlock()
+			}
+		}
+	}()
+	return s
+}
+
+// Stop ends sampling and returns the phase's MemStats.
+func (s *memSampler) Stop() MemStats {
+	close(s.stop)
+	<-s.done
+	var end runtime.MemStats
+	runtime.ReadMemStats(&end)
+	s.mu.Lock()
+	peak := s.peak
+	s.mu.Unlock()
+	if end.HeapAlloc > peak {
+		peak = end.HeapAlloc
+	}
+	return MemStats{
+		HeapAllocPeakMB: mib(peak),
+		TotalAllocMB:    mib(end.TotalAlloc - s.start.TotalAlloc),
+		GCPauseTotalMS:  float64(end.PauseTotalNs-s.start.PauseTotalNs) / 1e6,
+		NumGC:           end.NumGC - s.start.NumGC,
+	}
+}
+
+func mib(b uint64) float64 { return float64(b) / (1 << 20) }

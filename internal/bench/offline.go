@@ -51,6 +51,9 @@ type OfflineResult struct {
 	// L_in and the same vertex→partition assignment, bit for bit.
 	IdenticalResults bool         `json:"identical_results"`
 	Runs             []OfflineRun `json:"runs"`
+	// Mem is the memory footprint of the whole sweep (generation through
+	// the last repeat): HeapAlloc high-water mark and GC pause totals.
+	Mem MemStats `json:"mem"`
 }
 
 // offlineWorkerCounts is the sweep: serial, two workers, and all CPUs.
@@ -62,6 +65,7 @@ var offlineWorkerCounts = []int{1, 2, 0}
 // identical partitioning.
 func RunOffline(cfg Config) (*OfflineResult, error) {
 	cfg = cfg.withDefaults()
+	sampler := startMemSampler()
 	gen := datagen.LUBM{}
 	g := gen.Generate(cfg.Triples, cfg.Seed)
 
@@ -112,6 +116,7 @@ func RunOffline(cfg Config) (*OfflineResult, error) {
 		})
 	}
 	res.IdenticalResults = identical
+	res.Mem = sampler.Stop()
 	serial := res.Runs[0].TotalMS
 	for i := range res.Runs {
 		if res.Runs[i].TotalMS > 0 {
@@ -177,8 +182,9 @@ func RenderOffline(w io.Writer, res *OfflineResult) {
 			fmt.Sprintf("%.2fx", r.SpeedupVsSerial),
 		})
 	}
-	title := fmt.Sprintf("Offline scaling: %s %d triples, k=%d, %d CPU(s), identical=%v",
-		res.Dataset, res.Triples, res.K, res.NumCPU, res.IdenticalResults)
+	title := fmt.Sprintf("Offline scaling: %s %d triples, k=%d, %d CPU(s), identical=%v, peak_heap=%.1fMiB, gc_pause=%.2fms",
+		res.Dataset, res.Triples, res.K, res.NumCPU, res.IdenticalResults,
+		res.Mem.HeapAllocPeakMB, res.Mem.GCPauseTotalMS)
 	WriteTable(w, title,
 		[]string{"workers", "effective", "select_ms", "coarsen_ms", "partition_ms", "total_ms", "speedup"},
 		cells)

@@ -94,6 +94,17 @@ type Site interface {
 	ExecuteSub(ctx context.Context, sub *sparql.Query, opts SubOpts) (*store.Table, SubStats, error)
 }
 
+// BatchSite is an optional Site extension: evaluate several subqueries of
+// one plan in a single exchange, returning one table per subquery in
+// order. Remote implementations collapse the per-subquery round trips of
+// a decomposed query into one request/response frame pair per site; the
+// coordinator falls back to per-subquery ExecuteSub calls on sites that
+// do not implement it.
+type BatchSite interface {
+	Site
+	ExecuteSubBatch(ctx context.Context, subs []*sparql.Query, opts SubOpts) ([]*store.Table, SubStats, error)
+}
+
 // localSite is the in-process Site: a direct store call, no wire. A store
 // match is pure CPU with no blocking points, so cancellation is only
 // checked on entry.
@@ -106,6 +117,30 @@ func (s localSite) ExecuteSub(ctx context.Context, sub *sparql.Query, _ SubOpts)
 	tab, err := s.st.Match(sub)
 	return tab, SubStats{}, err
 }
+
+// ExecuteSubBatch implements BatchSite so the in-process cluster runs the
+// same grouping code path as the remote one (and the differential oracle
+// covers it).
+func (s localSite) ExecuteSubBatch(ctx context.Context, subs []*sparql.Query, _ SubOpts) ([]*store.Table, SubStats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, SubStats{}, err
+	}
+	tabs := make([]*store.Table, len(subs))
+	for i, sub := range subs {
+		var err error
+		if tabs[i], err = s.st.Match(sub); err != nil {
+			return nil, SubStats{}, err
+		}
+	}
+	return tabs, SubStats{}, nil
+}
+
+// SiteForStore wraps an existing store as an in-process Site, for clusters
+// assembled with NewWithSites over stores the caller built itself — e.g.
+// mmap-backed block-snapshot stores (store.OpenSnapshot). NewWithSites
+// recognizes the wrapper and registers the store for the shared-update path
+// (ApplyShared), so live update batches reach it like any other local site.
+func SiteForStore(st *store.Store) Site { return localSite{st} }
 
 // Config tunes the cluster.
 type Config struct {
@@ -406,6 +441,11 @@ func (c *Cluster) localizeSites(sub *sparql.Query) []int {
 // parent, when non-nil, receives one child span per (subquery, site)
 // evaluation. The returned SubStats aggregates the transport measurements
 // of all site calls (zero for in-process clusters).
+//
+// The (subquery, site) fan-out is grouped by site first: when several
+// subqueries of the plan land on the same BatchSite, they travel as one
+// ExecuteSubBatch exchange — one frame each way instead of one round trip
+// per subquery. Sites without batch support get the per-subquery calls.
 func (c *Cluster) evalPerSub(ctx context.Context, subs []*sparql.Query, sitesPerSub [][]int, parent *obs.Span) ([]*store.Table, SubStats, error) {
 	type key struct{ sub, site int }
 	results := make(map[key]*store.Table)
@@ -432,8 +472,54 @@ func (c *Cluster) evalPerSub(ctx context.Context, subs []*sparql.Query, sitesPer
 		wire.WireTime += ss.WireTime
 		results[key{si, site}] = tab
 	}
+	runBatch := func(site int, sis []int, bs BatchSite) {
+		defer wg.Done()
+		batch := make([]*sparql.Query, len(sis))
+		for i, si := range sis {
+			batch[i] = subs[si]
+		}
+		sp := parent.Child("site-eval-batch")
+		sp.SetAttr("site", int64(site))
+		sp.SetAttr("subs", int64(len(sis)))
+		tabs, ss, err := bs.ExecuteSubBatch(ctx, batch, SubOpts{})
+		sp.End()
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		wire.BytesShipped += ss.BytesShipped
+		wire.WireTime += ss.WireTime
+		for i, si := range sis {
+			if tabs != nil {
+				results[key{si, site}] = tabs[i]
+			}
+		}
+	}
+	// Invert (subquery → sites) into (site → subqueries) to find batches.
+	perSite := make(map[int][]int)
 	for si := range subs {
 		for _, site := range sitesPerSub[si] {
+			perSite[site] = append(perSite[site], si)
+		}
+	}
+	for si := range subs {
+		for _, site := range sitesPerSub[si] {
+			sis := perSite[site]
+			bs, batchable := c.sites[site].(BatchSite)
+			if batchable && len(sis) > 1 {
+				// One call per site, issued when its first subquery comes up.
+				if sis[0] != si {
+					continue
+				}
+				wg.Add(1)
+				if c.cfg.Sequential {
+					runBatch(site, sis, bs)
+				} else {
+					go runBatch(site, sis, bs)
+				}
+				continue
+			}
 			wg.Add(1)
 			if c.cfg.Sequential {
 				run(si, site)

@@ -64,11 +64,19 @@ type SiteUpdater interface {
 	ApplyUpdate(ctx context.Context, batch UpdateBatch) (SiteUpdateResult, error)
 }
 
-// ApplyUpdate implements SiteUpdater for in-process sites: the coordinator
-// shares this site's graph and has already applied the delta and the graph
-// mutations, so only the Local ops touch the site's store.
+// ApplyUpdate implements SiteUpdater for in-process sites. Sites built by
+// New share the coordinator's graph, which has already absorbed the delta
+// and the mutations, so only the Local ops touch the store; sites wrapped
+// over independently opened stores (SiteForStore around a mapped block
+// snapshot) have a private dictionary-only graph that must learn the
+// batch's new terms, or constants referencing them would never compile at
+// this site. Delta application is idempotent — on a shared graph it
+// verifies the existing assignment and changes nothing.
 func (s localSite) ApplyUpdate(ctx context.Context, batch UpdateBatch) (SiteUpdateResult, error) {
 	if err := ctx.Err(); err != nil {
+		return SiteUpdateResult{}, err
+	}
+	if err := batch.Delta.Apply(s.st.Graph()); err != nil {
 		return SiteUpdateResult{}, err
 	}
 	resolved := make([]rdf.ResolvedUpdate, 0, len(batch.Ops))

@@ -12,22 +12,60 @@ import (
 
 	"mpc/internal/ntriples"
 	"mpc/internal/rdf"
+	"mpc/internal/store"
 )
 
 // SnapshotExt is the file extension of the binary snapshot format.
 const SnapshotExt = ".mpcg"
 
 // LoadFile reads an RDF graph from path. The returned graph is frozen.
+// All three snapshot versions load: v1/v2 via the rdf reader, v3 block
+// snapshots by decoding every block back into the heap (SPO order; same
+// triple multiset, so identical query answers).
 func LoadFile(path string) (*rdf.Graph, error) {
+	if strings.HasSuffix(path, SnapshotExt) {
+		v, err := store.SnapshotVersion(path)
+		if err != nil {
+			return nil, err
+		}
+		if v == store.BlockSnapshotVersion {
+			return store.ReadSnapshotGraph(path)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return rdf.ReadSnapshot(f)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	if strings.HasSuffix(path, SnapshotExt) {
-		return rdf.ReadSnapshot(f)
-	}
 	return ntriples.LoadGraph(bufio.NewReaderSize(f, 1<<20))
+}
+
+// OpenSiteStore opens a site snapshot as a query-ready store, dispatching
+// on the snapshot version: v3 block snapshots are memory-mapped in place
+// (heap holds only dictionaries, directory and cache), while v1/v2
+// snapshots and N-Triples files load fully into the heap behind a flat
+// index. Close the returned store to release any mapping.
+func OpenSiteStore(path string) (*store.Store, error) {
+	if strings.HasSuffix(path, SnapshotExt) {
+		v, err := store.SnapshotVersion(path)
+		if err != nil {
+			return nil, err
+		}
+		if v == store.BlockSnapshotVersion {
+			return store.OpenSnapshot(path)
+		}
+	}
+	g, err := LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return store.New(g, g.LiveTriples()), nil
 }
 
 // SaveFile writes g to path, picking the format from the extension. The
@@ -66,11 +104,15 @@ func writeGraph(f *os.File, path string, g *rdf.Graph) error {
 	return w.Flush()
 }
 
-// SaveSiteSnapshots writes one snapshot per site of a partition layout,
-// named <prefix>.site<i>.mpcg, each containing only that site's triples
-// but the full shared dictionaries — so IDs stay comparable across sites
-// and a site process loading its file answers with coordinator-compatible
-// bindings. Returns the paths written.
+// SaveSiteSnapshots writes one v3 block snapshot per site of a partition
+// layout, named <prefix>.site<i>.mpcg, each containing only that site's
+// triples but the full shared dictionaries — so IDs stay comparable
+// across sites and a site process loading its file answers with
+// coordinator-compatible bindings. Sites are streamed one at a time:
+// exporting k sites never materializes more than one site's sorted
+// permutations, where the old path built a full subgraph copy per site
+// and held its snapshot buffer alongside the source graph. Returns the
+// paths written.
 func SaveSiteSnapshots(prefix string, layout interface {
 	NumSites() int
 	SiteTriples(i int) []int32
@@ -79,9 +121,8 @@ func SaveSiteSnapshots(prefix string, layout interface {
 	g := layout.Graph()
 	paths := make([]string, layout.NumSites())
 	for i := range paths {
-		sub := g.SubgraphByTriples(layout.SiteTriples(i))
 		path := fmt.Sprintf("%s.site%d%s", prefix, i, SnapshotExt)
-		if err := SaveFile(path, sub); err != nil {
+		if err := store.SaveBlockSnapshot(path, g, layout.SiteTriples(i)); err != nil {
 			return nil, fmt.Errorf("dataio: site %d snapshot: %w", i, err)
 		}
 		paths[i] = path

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"mpc/internal/rdf"
+	"mpc/internal/store"
 )
 
 func sample() *rdf.Graph {
@@ -90,6 +91,9 @@ func TestSaveSiteSnapshots(t *testing.T) {
 		t.Fatalf("got %d paths, want 2", len(paths))
 	}
 	for i, path := range paths {
+		if v, err := store.SnapshotVersion(path); err != nil || v != store.BlockSnapshotVersion {
+			t.Fatalf("site %d: version = %d, %v; want %d", i, v, err, store.BlockSnapshotVersion)
+		}
 		sub, err := LoadFile(path)
 		if err != nil {
 			t.Fatalf("site %d: %v", i, err)
@@ -103,10 +107,53 @@ func TestSaveSiteSnapshots(t *testing.T) {
 		if sub.NumTriples() != len(want) {
 			t.Fatalf("site %d: %d triples, want %d", i, sub.NumTriples(), len(want))
 		}
-		for j, ti := range want {
-			if sub.Triple(int32(j)) != g.Triple(ti) {
-				t.Fatalf("site %d: triple %d differs from source triple %d", i, j, ti)
+		// v3 snapshots store triples in SPO order, not source order: compare
+		// as multisets of (S,P,O) values.
+		wantCount := map[rdf.Triple]int{}
+		for _, ti := range want {
+			wantCount[g.Triple(ti)]++
+		}
+		for j := 0; j < sub.NumTriples(); j++ {
+			tr := sub.Triple(int32(j))
+			if wantCount[tr] == 0 {
+				t.Fatalf("site %d: unexpected triple %v", i, tr)
 			}
+			wantCount[tr]--
+		}
+
+		// The serving path: open the snapshot as a mapped store and check it
+		// answers a scan with the same triples.
+		st, err := OpenSiteStore(path)
+		if err != nil {
+			t.Fatalf("site %d: open store: %v", i, err)
+		}
+		if st.NumTriples() != len(want) {
+			t.Fatalf("site %d: store holds %d triples, want %d", i, st.NumTriples(), len(want))
+		}
+		if err := st.Close(); err != nil {
+			t.Fatalf("site %d: close: %v", i, err)
+		}
+	}
+}
+
+// TestOpenSiteStoreLegacy checks the fallback path: a v1/v2 graph snapshot
+// and a plain .nt file both open as heap-backed stores.
+func TestOpenSiteStoreLegacy(t *testing.T) {
+	g := sample()
+	for _, name := range []string{"g" + SnapshotExt, "g.nt"} {
+		path := filepath.Join(t.TempDir(), name)
+		if err := SaveFile(path, g); err != nil {
+			t.Fatal(err)
+		}
+		st, err := OpenSiteStore(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if st.NumTriples() != g.NumTriples() {
+			t.Fatalf("%s: store holds %d triples, want %d", name, st.NumTriples(), g.NumTriples())
+		}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
 		}
 	}
 }

@@ -1,0 +1,18 @@
+//go:build !linux && !darwin
+
+package mmapio
+
+import (
+	"io"
+	"os"
+)
+
+// openSized reads the whole file into the heap — the portable fallback
+// where mmap is unavailable.
+func openSized(f *os.File, size int64) (*Mapping, error) {
+	data := make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, err
+	}
+	return &Mapping{Data: data}, nil
+}

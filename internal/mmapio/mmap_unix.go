@@ -1,0 +1,27 @@
+//go:build linux || darwin
+
+package mmapio
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"syscall"
+)
+
+// openSized memory-maps f read-only. The file descriptor may be closed by
+// the caller afterwards; the mapping stays valid until munmap.
+func openSized(f *os.File, size int64) (*Mapping, error) {
+	if size > math.MaxInt {
+		return nil, fmt.Errorf("mmapio: %s: %d bytes exceeds address space", f.Name(), size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("mmapio: mmap %s: %w", f.Name(), err)
+	}
+	return &Mapping{
+		Data:    data,
+		Mapped:  true,
+		closeFn: func() error { return syscall.Munmap(data) },
+	}, nil
+}

@@ -1,0 +1,47 @@
+// Package mmapio maps files read-only into memory on platforms that
+// support it (linux, darwin), so large immutable on-disk structures —
+// block-compressed store snapshots — are served from the page cache
+// instead of the Go heap. Elsewhere it falls back to reading the whole
+// file; callers get a []byte either way.
+package mmapio
+
+import "os"
+
+// Mapping is a read-only view of a file's contents. Data must not be
+// mutated; it stays valid until Close.
+type Mapping struct {
+	Data []byte
+	// Mapped reports whether Data is a real memory mapping (false when the
+	// portable fallback read the file into the heap).
+	Mapped bool
+
+	closeFn func() error
+}
+
+// Close releases the mapping. Data must not be used afterwards.
+func (m *Mapping) Close() error {
+	if m.closeFn == nil {
+		return nil
+	}
+	fn := m.closeFn
+	m.closeFn = nil
+	m.Data = nil
+	return fn()
+}
+
+// Open maps path read-only. Empty files yield an empty, valid mapping.
+func Open(path string) (*Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if fi.Size() == 0 {
+		return &Mapping{}, nil
+	}
+	return openSized(f, fi.Size())
+}

@@ -3,10 +3,17 @@
 // literals with language tags or datatype IRIs, plus comment and blank
 // lines. It is a line-oriented parser: one triple per line, terminated by
 // '.'.
+//
+// The parser works over the scanner's byte buffer without copying:
+// NextTerms returns term slices that alias the current line and stay valid
+// only until the next call, which is what a streaming loader wants (terms
+// are interned straight out of the buffer, see rdf.Dict.InternBytes);
+// Next converts them to owned strings for callers that keep statements.
 package ntriples
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"strings"
@@ -46,56 +53,75 @@ func NewReader(r io.Reader) *Reader {
 	return &Reader{scanner: sc}
 }
 
-// Next returns the next statement, or io.EOF when exhausted.
-func (r *Reader) Next() (Statement, error) {
+// NextTerms returns the next statement's three terms as slices of the
+// reader's line buffer, or io.EOF when exhausted. The slices are
+// invalidated by the next NextTerms/Next call — callers that keep terms
+// must copy (or intern) them first. This is the allocation-free streaming
+// path: no string is built per line or per term occurrence.
+func (r *Reader) NextTerms() (subj, pred, obj []byte, err error) {
 	for r.scanner.Scan() {
 		r.line++
-		line := strings.TrimSpace(r.scanner.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
+		line := trimSpaceBytes(r.scanner.Bytes())
+		if len(line) == 0 || line[0] == '#' {
 			continue
 		}
-		st, err := parseLine(line, r.line)
-		if err != nil {
-			return Statement{}, err
-		}
-		return st, nil
+		return parseLine(line, r.line)
 	}
 	if err := r.scanner.Err(); err != nil {
-		return Statement{}, err
+		return nil, nil, nil, err
 	}
-	return Statement{}, io.EOF
+	return nil, nil, nil, io.EOF
 }
 
-func parseLine(line string, lineno int) (Statement, error) {
+// Next returns the next statement with owned strings, or io.EOF.
+func (r *Reader) Next() (Statement, error) {
+	s, p, o, err := r.NextTerms()
+	if err != nil {
+		return Statement{}, err
+	}
+	return Statement{Subject: string(s), Predicate: string(p), Object: string(o)}, nil
+}
+
+// trimSpaceBytes trims ASCII whitespace without allocating.
+func trimSpaceBytes(b []byte) []byte {
+	for len(b) > 0 && isSpace(b[0]) {
+		b = b[1:]
+	}
+	for len(b) > 0 && isSpace(b[len(b)-1]) {
+		b = b[:len(b)-1]
+	}
+	return b
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\r' || c == '\n' }
+
+func parseLine(line []byte, lineno int) (subj, pred, obj []byte, err error) {
 	p := &lineParser{s: line, line: lineno}
-	subj, err := p.term()
-	if err != nil {
-		return Statement{}, err
+	if subj, err = p.term(); err != nil {
+		return nil, nil, nil, err
 	}
 	p.skipSpace()
-	pred, err := p.term()
-	if err != nil {
-		return Statement{}, err
+	if pred, err = p.term(); err != nil {
+		return nil, nil, nil, err
 	}
 	p.skipSpace()
-	obj, err := p.term()
-	if err != nil {
-		return Statement{}, err
+	if obj, err = p.term(); err != nil {
+		return nil, nil, nil, err
 	}
 	p.skipSpace()
 	if p.pos >= len(p.s) || p.s[p.pos] != '.' {
-		return Statement{}, &ParseError{p.line, "missing terminating '.'"}
+		return nil, nil, nil, &ParseError{p.line, "missing terminating '.'"}
 	}
 	p.pos++
 	p.skipSpace()
 	if p.pos != len(p.s) {
-		return Statement{}, &ParseError{p.line, "trailing characters after '.'"}
+		return nil, nil, nil, &ParseError{p.line, "trailing characters after '.'"}
 	}
-	return Statement{Subject: subj, Predicate: pred, Object: obj}, nil
+	return subj, pred, obj, nil
 }
 
 type lineParser struct {
-	s    string
+	s    []byte
 	pos  int
 	line int
 }
@@ -106,9 +132,9 @@ func (p *lineParser) skipSpace() {
 	}
 }
 
-func (p *lineParser) term() (string, error) {
+func (p *lineParser) term() ([]byte, error) {
 	if p.pos >= len(p.s) {
-		return "", &ParseError{p.line, "unexpected end of line"}
+		return nil, &ParseError{p.line, "unexpected end of line"}
 	}
 	switch p.s[p.pos] {
 	case '<':
@@ -118,26 +144,26 @@ func (p *lineParser) term() (string, error) {
 	case '"':
 		return p.literal()
 	default:
-		return "", &ParseError{p.line, fmt.Sprintf("unexpected character %q", p.s[p.pos])}
+		return nil, &ParseError{p.line, fmt.Sprintf("unexpected character %q", p.s[p.pos])}
 	}
 }
 
-func (p *lineParser) iri() (string, error) {
-	end := strings.IndexByte(p.s[p.pos:], '>')
+func (p *lineParser) iri() ([]byte, error) {
+	end := bytes.IndexByte(p.s[p.pos:], '>')
 	if end < 0 {
-		return "", &ParseError{p.line, "unterminated IRI"}
+		return nil, &ParseError{p.line, "unterminated IRI"}
 	}
 	iri := p.s[p.pos+1 : p.pos+end]
 	p.pos += end + 1
-	if strings.ContainsAny(iri, " \t\"{}|^`") {
-		return "", &ParseError{p.line, fmt.Sprintf("invalid IRI character in %q", iri)}
+	if bytes.ContainsAny(iri, " \t\"{}|^`") {
+		return nil, &ParseError{p.line, fmt.Sprintf("invalid IRI character in %q", iri)}
 	}
 	return iri, nil
 }
 
-func (p *lineParser) blankNode() (string, error) {
+func (p *lineParser) blankNode() ([]byte, error) {
 	if p.pos+1 >= len(p.s) || p.s[p.pos+1] != ':' {
-		return "", &ParseError{p.line, "malformed blank node"}
+		return nil, &ParseError{p.line, "malformed blank node"}
 	}
 	start := p.pos
 	p.pos += 2
@@ -146,12 +172,12 @@ func (p *lineParser) blankNode() (string, error) {
 	}
 	label := p.s[start:p.pos]
 	if len(label) == 2 {
-		return "", &ParseError{p.line, "empty blank node label"}
+		return nil, &ParseError{p.line, "empty blank node label"}
 	}
 	return label, nil
 }
 
-func (p *lineParser) literal() (string, error) {
+func (p *lineParser) literal() ([]byte, error) {
 	start := p.pos
 	p.pos++ // opening quote
 	for p.pos < len(p.s) {
@@ -168,10 +194,10 @@ func (p *lineParser) literal() (string, error) {
 			} else if p.pos+1 < len(p.s) && p.s[p.pos] == '^' && p.s[p.pos+1] == '^' {
 				p.pos += 2
 				if p.pos >= len(p.s) || p.s[p.pos] != '<' {
-					return "", &ParseError{p.line, "datatype must be an IRI"}
+					return nil, &ParseError{p.line, "datatype must be an IRI"}
 				}
 				if _, err := p.iri(); err != nil {
-					return "", err
+					return nil, err
 				}
 			}
 			return p.s[start:p.pos], nil
@@ -179,25 +205,29 @@ func (p *lineParser) literal() (string, error) {
 			p.pos++
 		}
 	}
-	return "", &ParseError{p.line, "unterminated literal"}
+	return nil, &ParseError{p.line, "unterminated literal"}
 }
 
 func isTermEnd(c byte) bool { return c == ' ' || c == '\t' }
 
 // LoadGraph reads every statement from r into a new rdf.Graph and freezes
-// it. Term surface forms are used directly as dictionary keys.
+// it. Term surface forms are used directly as dictionary keys. The load
+// streams: terms are interned straight out of the parser's line buffer, so
+// peak memory is bounded by the graph being built (dictionaries + triple
+// list), not by per-line allocations — a term's bytes are copied exactly
+// once, when it enters a dictionary.
 func LoadGraph(r io.Reader) (*rdf.Graph, error) {
 	g := rdf.NewGraph()
 	rd := NewReader(r)
 	for {
-		st, err := rd.Next()
+		s, p, o, err := rd.NextTerms()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
 			return nil, err
 		}
-		g.AddTriple(st.Subject, st.Predicate, st.Object)
+		g.AddTripleTerms(s, p, o)
 	}
 	g.Freeze()
 	return g, nil

@@ -177,3 +177,30 @@ func TestWriteStatementFormatting(t *testing.T) {
 		t.Fatalf("output:\n%q\nwant:\n%q", buf.String(), want)
 	}
 }
+
+// TestNextTermsStreaming checks the zero-copy path: term slices returned
+// by NextTerms parse correctly even though each call reuses (and
+// overwrites) the scanner's line buffer.
+func TestNextTermsStreaming(t *testing.T) {
+	const input = "<http://ex/a> <http://ex/p> <http://ex/b> .\n" +
+		"# comment\n" +
+		"_:bn <http://ex/p> \"lit\"@en .\n"
+	r := NewReader(strings.NewReader(input))
+	s, p, o, err := r.NextTerms()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(s) != "http://ex/a" || string(p) != "http://ex/p" || string(o) != "http://ex/b" {
+		t.Fatalf("statement 1: %q %q %q", s, p, o)
+	}
+	s, p, o, err = r.NextTerms()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(s) != "_:bn" || string(p) != "http://ex/p" || string(o) != `"lit"@en` {
+		t.Fatalf("statement 2: %q %q %q", s, p, o)
+	}
+	if _, _, _, err := r.NextTerms(); err != io.EOF {
+		t.Fatalf("want io.EOF, got %v", err)
+	}
+}

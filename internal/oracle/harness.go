@@ -4,12 +4,16 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"os"
+	"path/filepath"
 
 	"mpc/internal/cluster"
 	"mpc/internal/core"
+	"mpc/internal/dataio"
 	"mpc/internal/partition"
 	"mpc/internal/rdf"
 	"mpc/internal/sparql"
+	"mpc/internal/store"
 	"mpc/internal/transport"
 )
 
@@ -31,6 +35,13 @@ type Options struct {
 	// query localization enabled (Config.Localize), exercising the
 	// empty-site-list join path.
 	Localize bool
+	// Block adds combinations whose sites serve mmap-backed v3 block
+	// snapshots instead of heap-resident flat stores: one in-process
+	// (MPC crossing-aware over store.OpenSnapshot sites) and, when TCP is
+	// also set, one behind real loopback servers — the cmd/mpc-site
+	// -snapshot deployment. Close the Env to unmap the stores and delete
+	// the snapshot files.
+	Block bool
 }
 
 func (o Options) withDefaults() Options {
@@ -145,7 +156,89 @@ func NewEnv(g *rdf.Graph, o Options) (*Env, error) {
 		}
 		e.combos = append(e.combos, combo{"mpc/crossing-aware/tcp", tc, false})
 	}
+	if o.Block {
+		if err := e.addBlockCombos(mpcP); err != nil {
+			e.Close()
+			return nil, err
+		}
+	}
 	return e, nil
+}
+
+// addBlockCombos snapshots the MPC layout's sites as v3 block files and
+// registers clusters that serve them memory-mapped: one with in-process
+// SiteForStore sites, and — when TCP is also requested — one behind real
+// loopback servers handed the mapped store directly (the mpc-site
+// -snapshot deployment, where the site's graph is dictionary-only and
+// replica maintenance is skipped). Both see the same update stream as
+// every other combo via ApplyShared.
+func (e *Env) addBlockCombos(mpcP *partition.Partitioning) error {
+	dir, err := os.MkdirTemp("", "mpc-oracle-blk-")
+	if err != nil {
+		return err
+	}
+	e.closers = append(e.closers, func() { os.RemoveAll(dir) })
+	paths, err := dataio.SaveSiteSnapshots(filepath.Join(dir, "site"), mpcP)
+	if err != nil {
+		return fmt.Errorf("oracle: block snapshots: %w", err)
+	}
+
+	openMapped := func() ([]*store.Store, error) {
+		stores := make([]*store.Store, len(paths))
+		for i, path := range paths {
+			st, err := store.OpenSnapshot(path)
+			if err != nil {
+				return nil, fmt.Errorf("oracle: open block snapshot: %w", err)
+			}
+			stores[i] = st
+			e.closers = append(e.closers, func() { st.Close() })
+		}
+		return stores, nil
+	}
+
+	stores, err := openMapped()
+	if err != nil {
+		return err
+	}
+	sites := make([]cluster.Site, len(stores))
+	for i, st := range stores {
+		sites[i] = cluster.SiteForStore(st)
+	}
+	bc, err := cluster.NewWithSites(mpcP.Clone(), e.crossing, cluster.Config{}, sites)
+	if err != nil {
+		return fmt.Errorf("oracle: block cluster: %w", err)
+	}
+	e.combos = append(e.combos, combo{"mpc/crossing-aware/block", bc, false})
+
+	if !e.Opts.TCP {
+		return nil
+	}
+	tcpStores, err := openMapped()
+	if err != nil {
+		return err
+	}
+	addrs := make([]string, len(tcpStores))
+	for i, st := range tcpStores {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return fmt.Errorf("oracle: listen: %w", err)
+		}
+		srv := transport.NewServer(transport.ServerOptions{Graph: st.Graph(), Store: st})
+		go srv.Serve(l)
+		e.closers = append(e.closers, srv.Close)
+		addrs[i] = l.Addr().String()
+	}
+	clients, err := transport.Connect(addrs, transport.ClientOptions{})
+	if err != nil {
+		return fmt.Errorf("oracle: connect: %w", err)
+	}
+	e.closers = append(e.closers, func() { transport.CloseAll(clients) })
+	btc, err := cluster.NewWithSites(mpcP.Clone(), e.crossing, cluster.Config{}, transport.Sites(clients))
+	if err != nil {
+		return fmt.Errorf("oracle: block tcp cluster: %w", err)
+	}
+	e.combos = append(e.combos, combo{"mpc/crossing-aware/block/tcp", btc, false})
+	return nil
 }
 
 // ApplyBatch commits one update batch to the whole environment: the shared

@@ -55,7 +55,7 @@ func TestDifferentialCorpus(t *testing.T) {
 	checked, skipped := 0, 0
 	for gi, gc := range graphs {
 		g := datagen.Random{V: gc.v, P: gc.p, Skew: gc.skew}.Generate(gc.triples, int64(100+gi))
-		env, err := NewEnv(g, Options{Localize: true})
+		env, err := NewEnv(g, Options{Localize: true, Block: true})
 		if err != nil {
 			t.Fatalf("graph %d: %v", gi, err)
 		}
@@ -77,6 +77,7 @@ func TestDifferentialCorpus(t *testing.T) {
 				t.Errorf("graph %d query %d (%d oracle rows):\n%s\n%s", gi, qi, res.OracleRows, q, d)
 			}
 		}
+		env.Close()
 	}
 	t.Logf("checked %d cases, skipped %d (oracle budget)", checked, skipped)
 	if !testing.Short() && checked < 200 {
@@ -93,18 +94,21 @@ func TestDifferentialCorpus(t *testing.T) {
 func TestDifferentialTCP(t *testing.T) {
 	for gi, gc := range graphConfigs[:2] {
 		g := datagen.Random{V: gc.v, P: gc.p, Skew: gc.skew}.Generate(gc.triples, int64(100+gi))
-		env, err := NewEnv(g, Options{TCP: true})
+		env, err := NewEnv(g, Options{TCP: true, Block: true})
 		if err != nil {
 			t.Fatalf("graph %d: %v", gi, err)
 		}
-		found := false
+		foundTCP, foundBlockTCP := false, false
 		for _, name := range env.Combos() {
 			if strings.Contains(name, "tcp") {
-				found = true
+				foundTCP = true
+			}
+			if strings.Contains(name, "block/tcp") {
+				foundBlockTCP = true
 			}
 		}
-		if !found {
-			t.Fatal("TCP combination missing from env")
+		if !foundTCP || !foundBlockTCP {
+			t.Fatal("TCP and block/tcp combinations missing from env")
 		}
 		rng := rand.New(rand.NewSource(int64(2000 + gi)))
 		for qi := 0; qi < 8; qi++ {

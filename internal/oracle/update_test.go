@@ -79,7 +79,7 @@ func TestDifferentialUpdateStream(t *testing.T) {
 	for si, sc := range streams {
 		gc := graphConfigs[sc.graph]
 		g := datagen.Random{V: gc.v, P: gc.p, Skew: gc.skew}.Generate(gc.triples, int64(100+sc.graph))
-		env, err := NewEnv(g, Options{TCP: sc.tcp, Localize: true})
+		env, err := NewEnv(g, Options{TCP: sc.tcp, Localize: true, Block: true})
 		if err != nil {
 			t.Fatalf("stream %d: %v", si, err)
 		}
@@ -137,7 +137,7 @@ func TestDifferentialUpdateStream(t *testing.T) {
 func TestUpdateStreamQueriesNewTerms(t *testing.T) {
 	gc := graphConfigs[1]
 	g := datagen.Random{V: gc.v, P: gc.p, Skew: gc.skew}.Generate(gc.triples, 101)
-	env, err := NewEnv(g, Options{TCP: true})
+	env, err := NewEnv(g, Options{TCP: true, Block: true})
 	if err != nil {
 		t.Fatal(err)
 	}

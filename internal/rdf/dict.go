@@ -11,6 +11,8 @@
 package rdf
 
 import (
+	"bytes"
+	"encoding/binary"
 	"fmt"
 	"sync"
 )
@@ -18,8 +20,14 @@ import (
 // Dict interns strings to dense uint32 IDs. It is safe for concurrent use:
 // the serving layer renders result rows (String) and compiles query
 // constants (Lookup) while live updates intern new terms.
+//
+// A dictionary may carry a read-only mapped base (NewMappedDict): IDs
+// 0..baseLen-1 resolve against term bytes that live in a memory-mapped
+// snapshot, and only terms interned afterwards — live updates — go to the
+// heap. The base is immutable, so reads against it take no lock.
 type Dict struct {
 	mu   sync.RWMutex
+	base *mappedDict // optional; nil for a fully heap-resident dictionary
 	ids  map[string]uint32
 	strs []string
 }
@@ -29,8 +37,123 @@ func NewDict() *Dict {
 	return &Dict{ids: make(map[string]uint32)}
 }
 
+// mappedDict resolves the IDs of a snapshot's dictionary section without
+// copying the strings to the heap: blob is the mapped file, offs[i] points
+// at term i's uvarint length prefix, and tab is an open-addressing hash of
+// id+1 values (0 = empty slot) for string→ID probes. The heap cost is
+// ~12 bytes per term instead of the string bytes plus map overhead.
+type mappedDict struct {
+	blob []byte
+	offs []uint32
+	tab  []uint32
+	mask uint32
+}
+
+// term returns the bytes of term id, aliasing the mapped file. The offsets
+// were validated by the snapshot reader, so no bounds errors are possible.
+func (m *mappedDict) term(id uint32) []byte {
+	off := int(m.offs[id])
+	l, n := binary.Uvarint(m.blob[off:])
+	return m.blob[off+n : off+n+int(l)]
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvBytes(b []byte) uint64 {
+	h := uint64(fnvOffset)
+	for _, c := range b {
+		h = (h ^ uint64(c)) * fnvPrime
+	}
+	return h
+}
+
+func fnvString(s string) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime
+	}
+	return h
+}
+
+func (m *mappedDict) lookupString(s string) (uint32, bool) {
+	if len(m.offs) == 0 {
+		return 0, false
+	}
+	for slot := uint32(fnvString(s)) & m.mask; ; slot = (slot + 1) & m.mask {
+		e := m.tab[slot]
+		if e == 0 {
+			return 0, false
+		}
+		if id := e - 1; string(m.term(id)) == s {
+			return id, true
+		}
+	}
+}
+
+func (m *mappedDict) lookupBytes(b []byte) (uint32, bool) {
+	if len(m.offs) == 0 {
+		return 0, false
+	}
+	for slot := uint32(fnvBytes(b)) & m.mask; ; slot = (slot + 1) & m.mask {
+		e := m.tab[slot]
+		if e == 0 {
+			return 0, false
+		}
+		if id := e - 1; bytes.Equal(m.term(id), b) {
+			return id, true
+		}
+	}
+}
+
+// NewMappedDict returns a dictionary whose first len(offs) IDs resolve
+// against blob — typically a memory-mapped snapshot. offs[i] must point at
+// a uvarint length prefix followed by that many term bytes, all within
+// blob; the caller (the snapshot reader) validates this. Duplicate terms
+// are rejected here, while building the probe table. blob is aliased and
+// must stay mapped and unmodified for the dictionary's lifetime; terms
+// interned later go to the heap as usual.
+func NewMappedDict(blob []byte, offs []uint32) (*Dict, error) {
+	if len(offs) > 1<<31-1 {
+		return nil, fmt.Errorf("rdf: mapped dict of %d terms too large", len(offs))
+	}
+	size := uint32(8)
+	for int(size) < 2*len(offs) {
+		size <<= 1
+	}
+	m := &mappedDict{blob: blob, offs: offs, tab: make([]uint32, size), mask: size - 1}
+	for i := range offs {
+		term := m.term(uint32(i))
+		for slot := uint32(fnvBytes(term)) & m.mask; ; slot = (slot + 1) & m.mask {
+			if m.tab[slot] == 0 {
+				m.tab[slot] = uint32(i) + 1
+				break
+			}
+			if bytes.Equal(m.term(m.tab[slot]-1), term) {
+				return nil, fmt.Errorf("rdf: duplicate mapped dict term %q", term)
+			}
+		}
+	}
+	return &Dict{base: m, ids: make(map[string]uint32)}, nil
+}
+
+// baseLen returns the number of IDs served by the mapped base.
+func (d *Dict) baseLen() int {
+	if d.base == nil {
+		return 0
+	}
+	return len(d.base.offs)
+}
+
 // Intern returns the ID for s, assigning the next free ID on first sight.
 func (d *Dict) Intern(s string) uint32 {
+	if d.base != nil {
+		if id, ok := d.base.lookupString(s); ok {
+			return id
+		}
+	}
 	d.mu.RLock()
 	id, ok := d.ids[s]
 	d.mu.RUnlock()
@@ -42,7 +165,37 @@ func (d *Dict) Intern(s string) uint32 {
 	if id, ok := d.ids[s]; ok {
 		return id
 	}
-	id = uint32(len(d.strs))
+	id = uint32(d.baseLen() + len(d.strs))
+	d.ids[s] = id
+	d.strs = append(d.strs, s)
+	return id
+}
+
+// InternBytes is Intern over a byte slice that the caller may reuse: the
+// lookup allocates nothing (the compiler recognizes map[string(b)]), and
+// the bytes are cloned into an owned string only on first sight. This is
+// the streaming-ingest path — interning substrings of an I/O buffer via
+// Intern would either allocate a string per term occurrence or pin whole
+// read buffers behind a few live terms.
+func (d *Dict) InternBytes(b []byte) uint32 {
+	if d.base != nil {
+		if id, ok := d.base.lookupBytes(b); ok {
+			return id
+		}
+	}
+	d.mu.RLock()
+	id, ok := d.ids[string(b)]
+	d.mu.RUnlock()
+	if ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok := d.ids[string(b)]; ok {
+		return id
+	}
+	s := string(b) // the one clone this term will ever cost
+	id = uint32(d.baseLen() + len(d.strs))
 	d.ids[s] = id
 	d.strs = append(d.strs, s)
 	return id
@@ -50,6 +203,11 @@ func (d *Dict) Intern(s string) uint32 {
 
 // Lookup returns the ID for s and whether it is present.
 func (d *Dict) Lookup(s string) (uint32, bool) {
+	if d.base != nil {
+		if id, ok := d.base.lookupString(s); ok {
+			return id, true
+		}
+	}
 	d.mu.RLock()
 	id, ok := d.ids[s]
 	d.mu.RUnlock()
@@ -57,11 +215,18 @@ func (d *Dict) Lookup(s string) (uint32, bool) {
 }
 
 // String returns the string for id. It panics if id is out of range.
+// For a mapped base ID the bytes are copied out of the mapping, so the
+// returned string stays valid after the snapshot is closed.
 func (d *Dict) String(id uint32) string {
+	bl := d.baseLen()
+	if int(id) < bl {
+		return string(d.base.term(id))
+	}
+	id -= uint32(bl)
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	if int(id) >= len(d.strs) {
-		panic(fmt.Sprintf("rdf: dict id %d out of range (len %d)", id, len(d.strs)))
+		panic(fmt.Sprintf("rdf: dict id %d out of range (len %d)", int(id)+d.baseLen(), d.baseLen()+len(d.strs)))
 	}
 	return d.strs[id]
 }
@@ -70,7 +235,7 @@ func (d *Dict) String(id uint32) string {
 func (d *Dict) Len() int {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	return len(d.strs)
+	return d.baseLen() + len(d.strs)
 }
 
 // ApplyDelta extends the dictionary with terms assigned at another replica:
@@ -81,16 +246,28 @@ func (d *Dict) Len() int {
 func (d *Dict) ApplyDelta(base int, terms []string) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if base > len(d.strs) {
-		return fmt.Errorf("rdf: dict delta base %d beyond length %d", base, len(d.strs))
+	bl := d.baseLen()
+	if base > bl+len(d.strs) {
+		return fmt.Errorf("rdf: dict delta base %d beyond length %d", base, bl+len(d.strs))
 	}
 	for i, s := range terms {
 		id := base + i
-		if id < len(d.strs) {
-			if d.strs[id] != s {
-				return fmt.Errorf("rdf: dict delta conflict at ID %d: have %q, delta says %q", id, d.strs[id], s)
+		if id < bl {
+			if have := string(d.base.term(uint32(id))); have != s {
+				return fmt.Errorf("rdf: dict delta conflict at ID %d: have %q, delta says %q", id, have, s)
 			}
 			continue
+		}
+		if id < bl+len(d.strs) {
+			if d.strs[id-bl] != s {
+				return fmt.Errorf("rdf: dict delta conflict at ID %d: have %q, delta says %q", id, d.strs[id-bl], s)
+			}
+			continue
+		}
+		if d.base != nil {
+			if prev, ok := d.base.lookupString(s); ok {
+				return fmt.Errorf("rdf: dict delta term %q already interned as %d, delta says %d", s, prev, id)
+			}
 		}
 		if prev, ok := d.ids[s]; ok {
 			return fmt.Errorf("rdf: dict delta term %q already interned as %d, delta says %d", s, prev, id)

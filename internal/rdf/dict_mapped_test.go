@@ -1,0 +1,115 @@
+package rdf
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+)
+
+// buildDictBlob serializes terms the way snapshot dictionaries are laid
+// out — uvarint length prefix then bytes — and returns the blob plus the
+// per-term offsets NewMappedDict expects.
+func buildDictBlob(terms []string) ([]byte, []uint32) {
+	var blob []byte
+	offs := make([]uint32, 0, len(terms))
+	var scratch [binary.MaxVarintLen64]byte
+	for _, s := range terms {
+		offs = append(offs, uint32(len(blob)))
+		n := binary.PutUvarint(scratch[:], uint64(len(s)))
+		blob = append(blob, scratch[:n]...)
+		blob = append(blob, s...)
+	}
+	return blob, offs
+}
+
+func TestMappedDictBasics(t *testing.T) {
+	terms := make([]string, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		terms = append(terms, fmt.Sprintf("http://example.org/resource/%d", i))
+	}
+	blob, offs := buildDictBlob(terms)
+	d, err := NewMappedDict(blob, offs)
+	if err != nil {
+		t.Fatalf("NewMappedDict: %v", err)
+	}
+	if d.Len() != len(terms) {
+		t.Fatalf("Len = %d, want %d", d.Len(), len(terms))
+	}
+	for i, s := range terms {
+		if got := d.String(uint32(i)); got != s {
+			t.Fatalf("String(%d) = %q, want %q", i, got, s)
+		}
+		if id, ok := d.Lookup(s); !ok || id != uint32(i) {
+			t.Fatalf("Lookup(%q) = %d,%v, want %d,true", s, id, ok, i)
+		}
+		if id := d.Intern(s); id != uint32(i) {
+			t.Fatalf("Intern(%q) = %d, want %d (must hit the base)", s, id, i)
+		}
+		if id := d.InternBytes([]byte(s)); id != uint32(i) {
+			t.Fatalf("InternBytes(%q) = %d, want %d", s, id, i)
+		}
+	}
+	if _, ok := d.Lookup("http://example.org/absent"); ok {
+		t.Fatal("Lookup found a term that is not in the base")
+	}
+}
+
+func TestMappedDictGrowsPastBase(t *testing.T) {
+	blob, offs := buildDictBlob([]string{"a", "b", "c"})
+	d, err := NewMappedDict(blob, offs)
+	if err != nil {
+		t.Fatalf("NewMappedDict: %v", err)
+	}
+	if id := d.Intern("d"); id != 3 {
+		t.Fatalf("first heap term got ID %d, want 3", id)
+	}
+	if id := d.InternBytes([]byte("e")); id != 4 {
+		t.Fatalf("second heap term got ID %d, want 4", id)
+	}
+	if d.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", d.Len())
+	}
+	if got := d.String(4); got != "e" {
+		t.Fatalf("String(4) = %q, want %q", got, "e")
+	}
+	if id, ok := d.Lookup("d"); !ok || id != 3 {
+		t.Fatalf("Lookup(d) = %d,%v, want 3,true", id, ok)
+	}
+}
+
+func TestMappedDictApplyDelta(t *testing.T) {
+	blob, offs := buildDictBlob([]string{"a", "b"})
+	d, err := NewMappedDict(blob, offs)
+	if err != nil {
+		t.Fatalf("NewMappedDict: %v", err)
+	}
+	// Overlapping replay: base terms verified, new terms appended.
+	if err := d.ApplyDelta(0, []string{"a", "b", "c"}); err != nil {
+		t.Fatalf("ApplyDelta replay: %v", err)
+	}
+	if id, ok := d.Lookup("c"); !ok || id != 2 {
+		t.Fatalf("Lookup(c) = %d,%v, want 2,true", id, ok)
+	}
+	// Applying the same delta again is a no-op.
+	if err := d.ApplyDelta(0, []string{"a", "b", "c"}); err != nil {
+		t.Fatalf("ApplyDelta idempotent replay: %v", err)
+	}
+	if d.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", d.Len())
+	}
+	// A delta that disagrees with a base assignment is rejected.
+	if err := d.ApplyDelta(0, []string{"x"}); err == nil {
+		t.Fatal("ApplyDelta accepted a conflicting base term")
+	}
+	// A delta assigning an already-mapped term a new ID is rejected.
+	if err := d.ApplyDelta(3, []string{"a"}); err == nil {
+		t.Fatal("ApplyDelta accepted a duplicate of a mapped term")
+	}
+}
+
+func TestMappedDictRejectsDuplicates(t *testing.T) {
+	blob, offs := buildDictBlob([]string{"a", "b", "a"})
+	if _, err := NewMappedDict(blob, offs); err == nil {
+		t.Fatal("NewMappedDict accepted a duplicate term")
+	}
+}

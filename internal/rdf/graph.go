@@ -89,6 +89,20 @@ func (g *Graph) AddTriple(s, p, o string) Triple {
 	return t
 }
 
+// AddTripleTerms is AddTriple over byte-slice terms the caller may reuse
+// (e.g. slices of a parser's line buffer): terms are interned via
+// Dict.InternBytes, so known terms allocate nothing. This is the
+// streaming-ingest path of internal/ntriples.
+func (g *Graph) AddTripleTerms(s, p, o []byte) Triple {
+	t := Triple{
+		S: VertexID(g.Vertices.InternBytes(s)),
+		P: PropertyID(g.Properties.InternBytes(p)),
+		O: VertexID(g.Vertices.InternBytes(o)),
+	}
+	g.AddTripleIDs(t.S, t.P, t.O)
+	return t
+}
+
 // AddTripleIDs appends a triple over already-interned IDs. Vertex and
 // property IDs beyond the current dictionaries are allowed only if the
 // caller manages its own ID space; mixing styles is the caller's

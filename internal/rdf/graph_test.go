@@ -309,3 +309,39 @@ func TestStats(t *testing.T) {
 		t.Fatal("Stats returned empty string")
 	}
 }
+
+// TestDictInternBytes checks the byte-slice interning path agrees with
+// Intern and survives buffer reuse (the caller overwriting its slice must
+// not corrupt the dictionary).
+func TestDictInternBytes(t *testing.T) {
+	d := NewDict()
+	buf := []byte("alpha")
+	a := d.InternBytes(buf)
+	copy(buf, "OOPS!") // reuse the buffer: the dict must hold its own copy
+	if got := d.String(a); got != "alpha" {
+		t.Fatalf("dict stores %q, want %q (aliased the caller's buffer?)", got, "alpha")
+	}
+	if d.Intern("alpha") != a {
+		t.Fatal("Intern and InternBytes disagree on an existing term")
+	}
+	if d.InternBytes([]byte("alpha")) != a {
+		t.Fatal("InternBytes not idempotent")
+	}
+	if d.InternBytes([]byte("beta")) == a {
+		t.Fatal("distinct terms collided")
+	}
+}
+
+// TestAddTripleTerms checks the streaming ingest entry point matches
+// AddTriple on string terms.
+func TestAddTripleTerms(t *testing.T) {
+	g1, g2 := NewGraph(), NewGraph()
+	want := g1.AddTriple("s", "p", "o")
+	got := g2.AddTripleTerms([]byte("s"), []byte("p"), []byte("o"))
+	if want != got {
+		t.Fatalf("AddTripleTerms = %v, AddTriple = %v", got, want)
+	}
+	if g2.NumTriples() != 1 {
+		t.Fatalf("NumTriples = %d, want 1", g2.NumTriples())
+	}
+}

@@ -100,15 +100,15 @@ func (st *Store) planOrder(c *compiled) []int {
 		}
 		return cnt
 	}
-	// Unlocked internals (rangePOS, len(triples)) rather than the public
+	// Unlocked index internals rather than the public
 	// CountProperty/NumTriples: planOrder runs under Match's read lock and
 	// a recursive RLock can deadlock against a queued writer.
 	estimate := func(cp cpattern) int {
 		switch {
 		case !cp.p.isVar:
-			return len(st.rangePOS(rdf.PropertyID(cp.p.id)))
+			return st.idx.countProperty(rdf.PropertyID(cp.p.id))
 		default:
-			return len(st.triples)
+			return st.idx.numTriples()
 		}
 	}
 	for len(order) < n {
@@ -194,7 +194,7 @@ func (st *Store) MatchWhere(q *sparql.Query, pred func(rdf.Triple) bool) (*Table
 	// Keys are integers, not strings: bindings of width ≤2 pack into an
 	// injective uint64; wider bindings use an FNV-style running hash with a
 	// verify-on-probe chain over the already-emitted rows.
-	dedup := st.dupPairs > 0
+	dedup := st.idx.dupPairs() > 0
 	stride := len(c.vars)
 	exactKeys := stride <= 2
 	var seenPacked map[uint64]struct{} // injective packed keys (width ≤ 2)
@@ -253,20 +253,18 @@ func (st *Store) MatchWhere(q *sparql.Query, pred func(rdf.Triple) bool) (*Table
 			return
 		}
 		cp := c.pats[order[d]]
-		cands, access := st.candidates(cp, binding)
-		scanned += int64(len(cands))
-		idxUse[access]++
-		for _, pos := range cands {
-			tr := st.triples[pos]
+		s, p, o := boundVal(cp.s, binding), boundVal(cp.p, binding), boundVal(cp.o, binding)
+		access := st.idx.candidates(s, p, o, func(tr rdf.Triple) bool {
+			scanned++
 			if pred != nil && !pred(tr) {
-				continue
+				return true
 			}
 			ok1, s1 := tryBind(cp.s, uint32(tr.S))
 			if !ok1 {
 				if s1 >= 0 {
 					binding[s1] = unbound
 				}
-				continue
+				return true
 			}
 			ok2, s2 := tryBind(cp.p, uint32(tr.P))
 			if ok2 {
@@ -287,7 +285,9 @@ func (st *Store) MatchWhere(q *sparql.Query, pred func(rdf.Triple) bool) (*Table
 			if s1 >= 0 {
 				binding[s1] = unbound
 			}
-		}
+			return true
+		})
+		idxUse[access]++
 	}
 	rec(0)
 	if st.met.enabled {
@@ -340,25 +340,11 @@ func (st *Store) startAccessPath(c *compiled, first int) int {
 	}
 }
 
-// candidates returns positions (into st.triples) of triples that can match
-// cp under the current binding, using the best available index, plus the
-// access path taken (for instrumentation).
-func (st *Store) candidates(cp cpattern, binding []int64) ([]int32, int) {
-	val := func(t cterm) int64 {
-		if !t.isVar {
-			return int64(t.id)
-		}
-		return binding[t.slot] // -1 if unbound
+// boundVal resolves a compiled term to its constant or currently-bound
+// value, or -1 when the term is an unbound variable.
+func boundVal(t cterm, binding []int64) int64 {
+	if !t.isVar {
+		return int64(t.id)
 	}
-	s, p, o := val(cp.s), val(cp.p), val(cp.o)
-	switch {
-	case s >= 0:
-		return st.rangeSPO(rdf.VertexID(s), p), accessSPO
-	case o >= 0:
-		return st.rangeOPS(rdf.VertexID(o), p), accessOPS
-	case p >= 0:
-		return st.rangePOS(rdf.PropertyID(p)), accessPOS
-	default:
-		return st.spo, accessScan
-	}
+	return binding[t.slot] // -1 if unbound
 }

@@ -1,18 +1,18 @@
 package store
 
 import (
-	"sort"
-
 	"mpc/internal/rdf"
 )
 
-// Live mutation of the sorted indexes. Each index is a permutation of
-// positions into st.triples; an insert appends the triple and splices its
-// position into all three orders at the binary-search point, a delete
-// swap-moves the last triple into the vacated position and repoints that
-// triple's three index entries. Both keep the indexes exactly sorted, so
-// the matcher's range searches need no changes and no compaction pass ever
-// runs.
+// Live mutation of the sorted indexes. For the flat layout each index is a
+// permutation of positions into the triple list; an insert appends the
+// triple and splices its position into all three orders at the
+// binary-search point, a delete swap-moves the last triple into the vacated
+// position and repoints that triple's three index entries. Both keep the
+// indexes exactly sorted, so the matcher's range searches need no changes
+// and no compaction pass ever runs. The block layout instead routes
+// mutations into its overlay (see blocks.go); either way the matcher sees
+// the post-update multiset.
 
 func lessSPO(a, b rdf.Triple) bool {
 	if a.S != b.S {
@@ -42,14 +42,6 @@ func lessOPS(a, b rdf.Triple) bool {
 		return a.P < b.P
 	}
 	return a.S < b.S
-}
-
-// eqRange returns the half-open range [lo, hi) of entries in idx whose
-// triple equals t under the given order.
-func (st *Store) eqRange(idx []int32, less func(a, b rdf.Triple) bool, t rdf.Triple) (int, int) {
-	lo := sort.Search(len(idx), func(i int) bool { return !less(st.triples[idx[i]], t) })
-	hi := sort.Search(len(idx), func(i int) bool { return less(t, st.triples[idx[i]]) })
-	return lo, hi
 }
 
 // spliceIn inserts pos into idx at i.
@@ -87,59 +79,14 @@ func repointEntry(idx []int32, lo, hi int, from, to int32) {
 func (st *Store) Insert(t rdf.Triple) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	st.insertLocked(t)
-}
-
-func (st *Store) insertLocked(t rdf.Triple) {
-	pos := int32(len(st.triples))
-	st.triples = append(st.triples, t)
-	lo, hi := st.eqRange(st.spo, lessSPO, t)
-	if hi > lo {
-		st.dupPairs++
-	}
-	st.spo = spliceIn(st.spo, lo, pos)
-	lo, _ = st.eqRange(st.pos, lessPOS, t)
-	st.pos = spliceIn(st.pos, lo, pos)
-	lo, _ = st.eqRange(st.ops, lessOPS, t)
-	st.ops = spliceIn(st.ops, lo, pos)
+	st.idx.insert(t)
 }
 
 // Delete removes one instance of t, reporting whether one was stored.
 func (st *Store) Delete(t rdf.Triple) bool {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return st.deleteLocked(t)
-}
-
-func (st *Store) deleteLocked(t rdf.Triple) bool {
-	lo, hi := st.eqRange(st.spo, lessSPO, t)
-	if hi == lo {
-		return false
-	}
-	if hi-lo > 1 {
-		st.dupPairs--
-	}
-	pos := st.spo[lo]
-	st.spo = spliceOutEntry(st.spo, lo, hi, pos)
-	lo, hi = st.eqRange(st.pos, lessPOS, t)
-	st.pos = spliceOutEntry(st.pos, lo, hi, pos)
-	lo, hi = st.eqRange(st.ops, lessOPS, t)
-	st.ops = spliceOutEntry(st.ops, lo, hi, pos)
-
-	// Move the last triple into the hole and repoint its index entries.
-	last := int32(len(st.triples) - 1)
-	if pos != last {
-		moved := st.triples[last]
-		st.triples[pos] = moved
-		lo, hi = st.eqRange(st.spo, lessSPO, moved)
-		repointEntry(st.spo, lo, hi, last, pos)
-		lo, hi = st.eqRange(st.pos, lessPOS, moved)
-		repointEntry(st.pos, lo, hi, last, pos)
-		lo, hi = st.eqRange(st.ops, lessOPS, moved)
-		repointEntry(st.ops, lo, hi, last, pos)
-	}
-	st.triples = st.triples[:last]
-	return true
+	return st.idx.remove(t)
 }
 
 // ApplyResolved applies a batch of resolved ops under one write lock.
@@ -151,9 +98,9 @@ func (st *Store) ApplyResolved(resolved []rdf.ResolvedUpdate) rdf.ApplyStats {
 	var stats rdf.ApplyStats
 	for _, u := range resolved {
 		if u.Insert {
-			st.insertLocked(u.T)
+			st.idx.insert(u.T)
 			stats.Inserted++
-		} else if st.deleteLocked(u.T) {
+		} else if st.idx.remove(u.T) {
 			stats.Deleted++
 		} else {
 			stats.NotFound++

@@ -12,9 +12,16 @@ import (
 // positions in their respective orders and that dupPairs is exact.
 func checkStoreInvariants(t *testing.T, st *Store) {
 	t.Helper()
-	n := len(st.triples)
-	if len(st.spo) != n || len(st.pos) != n || len(st.ops) != n {
-		t.Fatalf("index lengths %d/%d/%d, triples %d", len(st.spo), len(st.pos), len(st.ops), n)
+	x, ok := st.idx.(*flatIndex)
+	if !ok {
+		// Block-backed store: verify the maintained dup count against a
+		// full merged scan, which blocks_test covers in more depth.
+		checkBlockDupPairs(t, st.idx.(*blockIndex))
+		return
+	}
+	n := len(x.triples)
+	if len(x.spo) != n || len(x.pos) != n || len(x.ops) != n {
+		t.Fatalf("index lengths %d/%d/%d, triples %d", len(x.spo), len(x.pos), len(x.ops), n)
 	}
 	check := func(name string, idx []int32, less func(a, b rdf.Triple) bool) {
 		seen := make([]bool, n)
@@ -23,22 +30,44 @@ func checkStoreInvariants(t *testing.T, st *Store) {
 				t.Fatalf("%s: position %d appears twice", name, pos)
 			}
 			seen[pos] = true
-			if i > 0 && less(st.triples[pos], st.triples[idx[i-1]]) {
+			if i > 0 && less(x.triples[pos], x.triples[idx[i-1]]) {
 				t.Fatalf("%s: out of order at %d", name, i)
 			}
 		}
 	}
-	check("spo", st.spo, lessSPO)
-	check("pos", st.pos, lessPOS)
-	check("ops", st.ops, lessOPS)
+	check("spo", x.spo, lessSPO)
+	check("pos", x.pos, lessPOS)
+	check("ops", x.ops, lessOPS)
 	dups := 0
 	for i := 1; i < n; i++ {
-		if st.triples[st.spo[i]] == st.triples[st.spo[i-1]] {
+		if x.triples[x.spo[i]] == x.triples[x.spo[i-1]] {
 			dups++
 		}
 	}
-	if st.dupPairs != dups {
-		t.Fatalf("dupPairs = %d, actual adjacent-equal pairs = %d", st.dupPairs, dups)
+	if x.dups != dups {
+		t.Fatalf("dupPairs = %d, actual adjacent-equal pairs = %d", x.dups, dups)
+	}
+}
+
+// checkBlockDupPairs recomputes a block index's duplicate-pair count from
+// a merged full scan and compares it with the maintained counter.
+func checkBlockDupPairs(t *testing.T, bx *blockIndex) {
+	t.Helper()
+	var prev rdf.Triple
+	first, dups, n := true, 0, 0
+	bx.candidates(-1, -1, -1, func(tr rdf.Triple) bool {
+		if !first && tr == prev {
+			dups++
+		}
+		prev, first = tr, false
+		n++
+		return true
+	})
+	if bx.dups != dups {
+		t.Fatalf("block dupPairs = %d, merged scan finds %d", bx.dups, dups)
+	}
+	if n != bx.numTriples() {
+		t.Fatalf("block numTriples = %d, merged scan yields %d", bx.numTriples(), n)
 	}
 }
 
@@ -108,7 +137,7 @@ func TestStoreMutationStreamMatchesRebuild(t *testing.T) {
 		}
 		g.Freeze()
 		st := fullStore(g)
-		live := append([]rdf.Triple(nil), st.triples...)
+		live := append([]rdf.Triple(nil), st.idx.(*flatIndex).triples...)
 		for step := 0; step < 150; step++ {
 			if rng.Intn(2) == 0 || len(live) == 0 {
 				tr := rdf.Triple{
@@ -142,31 +171,32 @@ func TestStoreMutationStreamMatchesRebuild(t *testing.T) {
 	}
 }
 
-// freshStore builds a store directly over a triple value list (test-only).
+// freshStore builds a store directly over a triple value list (test-only),
+// with an independent insertion-sort construction of the permutations.
 func freshStore(g *rdf.Graph, triples []rdf.Triple) *Store {
-	st := &Store{g: g, triples: append([]rdf.Triple(nil), triples...)}
-	n := len(st.triples)
-	st.spo = make([]int32, n)
-	st.pos = make([]int32, n)
-	st.ops = make([]int32, n)
+	x := &flatIndex{triples: append([]rdf.Triple(nil), triples...)}
+	n := len(x.triples)
+	x.spo = make([]int32, n)
+	x.pos = make([]int32, n)
+	x.ops = make([]int32, n)
 	for i := 0; i < n; i++ {
-		st.spo[i], st.pos[i], st.ops[i] = int32(i), int32(i), int32(i)
+		x.spo[i], x.pos[i], x.ops[i] = int32(i), int32(i), int32(i)
 	}
 	sortIdx := func(idx []int32, less func(a, b rdf.Triple) bool) {
-		tr := st.triples
+		tr := x.triples
 		for i := 1; i < n; i++ { // insertion sort: small n in tests
 			for j := i; j > 0 && less(tr[idx[j]], tr[idx[j-1]]); j-- {
 				idx[j], idx[j-1] = idx[j-1], idx[j]
 			}
 		}
 	}
-	sortIdx(st.spo, lessSPO)
-	sortIdx(st.pos, lessPOS)
-	sortIdx(st.ops, lessOPS)
+	sortIdx(x.spo, lessSPO)
+	sortIdx(x.pos, lessPOS)
+	sortIdx(x.ops, lessOPS)
 	for i := 1; i < n; i++ {
-		if st.triples[st.spo[i]] == st.triples[st.spo[i-1]] {
-			st.dupPairs++
+		if x.triples[x.spo[i]] == x.triples[x.spo[i-1]] {
+			x.dups++
 		}
 	}
-	return st
+	return &Store{g: g, idx: x}
 }

@@ -588,3 +588,34 @@ func (c *Client) ExecuteSub(ctx context.Context, sub *sparql.Query, opts cluster
 	}
 	return tab, st, nil
 }
+
+// ExecuteSubBatch implements cluster.BatchSite: it evaluates all the
+// subqueries of one plan destined for this site in a single round trip —
+// one request frame, one response frame — and returns one table per
+// subquery, in order. The coordinator uses it to collapse per-subquery
+// RPC latencies when a decomposed query sends several subqueries to the
+// same site.
+func (c *Client) ExecuteSubBatch(ctx context.Context, subs []*sparql.Query, opts cluster.SubOpts) ([]*store.Table, cluster.SubStats, error) {
+	timeout := c.opts.RequestTimeout
+	if opts.Timeout > 0 {
+		timeout = opts.Timeout
+	}
+	payload := AppendQueryBatch(make([]byte, 0, 64+256*len(subs)), subs)
+	t0 := time.Now()
+	resp, n, err := c.call(ctx, MsgQueryBatch, payload, timeout)
+	st := cluster.SubStats{BytesShipped: n, WireTime: time.Since(t0)}
+	if err != nil {
+		return nil, st, err
+	}
+	if resp.typ != MsgTableBatch {
+		return nil, st, fmt.Errorf("transport: query batch: unexpected %s response", msgName(resp.typ))
+	}
+	tabs, err := DecodeTableBatch(resp.payload)
+	if err != nil {
+		return nil, st, err
+	}
+	if len(tabs) != len(subs) {
+		return nil, st, fmt.Errorf("transport: query batch: %d tables for %d subqueries", len(tabs), len(subs))
+	}
+	return tabs, st, nil
+}

@@ -15,7 +15,7 @@ type clientMetrics struct {
 
 	// rpcNS holds one latency histogram per request type the client sends
 	// (transport.rpc_ns.query etc.), indexed by message type byte.
-	rpcNS [MsgUpdateResult + 1]*obs.Histogram
+	rpcNS [maxMsgType + 1]*obs.Histogram
 }
 
 // newClientMetrics resolves the handles; nil registry → all-disabled.
@@ -31,7 +31,7 @@ func newClientMetrics(r *obs.Registry) clientMetrics {
 		errors:   r.Counter("transport.errors"),
 		dials:    r.Counter("transport.dials"),
 	}
-	for _, t := range []byte{MsgPing, MsgBootstrapGraph, MsgBootstrapTriples, MsgQuery, MsgUpdate} {
+	for _, t := range []byte{MsgPing, MsgBootstrapGraph, MsgBootstrapTriples, MsgQuery, MsgQueryBatch, MsgUpdate} {
 		m.rpcNS[t] = r.Histogram("transport.rpc_ns." + msgName(t))
 	}
 	return m
@@ -47,7 +47,7 @@ type serverMetrics struct {
 
 	// rpcNS is one handling-latency histogram per request type
 	// (transport.server.rpc_ns.query etc.).
-	rpcNS [MsgUpdateResult + 1]*obs.Histogram
+	rpcNS [maxMsgType + 1]*obs.Histogram
 }
 
 // newServerMetrics resolves the handles; nil registry → all-disabled.
@@ -62,7 +62,7 @@ func newServerMetrics(r *obs.Registry) serverMetrics {
 		errors:      r.Counter("transport.server.errors"),
 		activeConns: r.Gauge("transport.server.active_conns"),
 	}
-	for _, t := range []byte{MsgPing, MsgBootstrapGraph, MsgBootstrapTriples, MsgQuery, MsgUpdate} {
+	for _, t := range []byte{MsgPing, MsgBootstrapGraph, MsgBootstrapTriples, MsgQuery, MsgQueryBatch, MsgUpdate} {
 		m.rpcNS[t] = r.Histogram("transport.server.rpc_ns." + msgName(t))
 	}
 	return m

@@ -35,6 +35,7 @@
 //	MsgBootstrapTriples → MsgOK                   triple indices into the bootstrapped graph
 //	MsgQuery            → MsgTable|MsgError       evaluate a subquery, return bindings
 //	MsgUpdate           → MsgUpdateResult|MsgError apply a committed update batch
+//	MsgQueryBatch       → MsgTableBatch|MsgError  evaluate several subqueries in one frame
 //
 // MsgError is a valid response to any request; it carries a numeric code
 // and a message and is surfaced by the client as a *RemoteError.
@@ -48,6 +49,7 @@ import (
 	"mpc/internal/cluster"
 	"mpc/internal/rdf"
 	"mpc/internal/sparql"
+	"mpc/internal/store"
 )
 
 // Handshake constants. The version byte is bumped on any incompatible
@@ -56,10 +58,11 @@ import (
 // Version 2 added the MsgUpdate/MsgUpdateResult pair (live triple
 // updates); a v1 peer would answer MsgUpdate with a bad-request error
 // instead of mutating, so the bump fails the mismatch loudly at
-// handshake time.
+// handshake time. Version 3 added MsgQueryBatch/MsgTableBatch (one frame
+// per plan per site instead of one per subquery).
 const (
 	Magic   = "MPCT"
-	Version = 2
+	Version = 3
 )
 
 // handshakeLen is magic + version + one pad byte.
@@ -76,7 +79,13 @@ const (
 	MsgTable
 	MsgUpdate
 	MsgUpdateResult
+	MsgQueryBatch
+	MsgTableBatch
 )
+
+// maxMsgType is the highest defined message type; metrics indexing clamps
+// to it (see minMsg).
+const maxMsgType = MsgTableBatch
 
 // msgName names a message type for metrics and errors.
 func msgName(t byte) string {
@@ -99,6 +108,10 @@ func msgName(t byte) string {
 		return "update"
 	case MsgUpdateResult:
 		return "update_result"
+	case MsgQueryBatch:
+		return "query_batch"
+	case MsgTableBatch:
+		return "table_batch"
 	default:
 		return fmt.Sprintf("type_%d", t)
 	}
@@ -305,6 +318,112 @@ func DecodeQuery(data []byte) (*sparql.Query, error) {
 		return nil, fmt.Errorf("transport: codec: %d trailing bytes", len(data)-d.pos)
 	}
 	return q, nil
+}
+
+// Query-batch payload codec (MsgQueryBatch): every subquery of one plan
+// destined for the same site rides in a single frame —
+//
+//	uvarint query count, then per query: uvarint byte length + AppendQuery
+//	bytes
+//
+// The response (MsgTableBatch) mirrors it: uvarint table count, then per
+// table uvarint byte length + store.AppendTable bytes, in query order.
+// Batching collapses k round-trip latencies (and k frame headers) into
+// one without changing any individual payload encoding.
+
+// maxBatchQueries bounds a decoded batch; a plan decomposes into at most
+// a handful of subqueries, so this is pure corrupt-input armor.
+const maxBatchQueries = 1 << 16
+
+// AppendQueryBatch appends the wire encoding of a subquery batch.
+func AppendQueryBatch(buf []byte, subs []*sparql.Query) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(subs)))
+	var qbuf []byte
+	for _, q := range subs {
+		qbuf = AppendQuery(qbuf[:0], q)
+		buf = binary.AppendUvarint(buf, uint64(len(qbuf)))
+		buf = append(buf, qbuf...)
+	}
+	return buf
+}
+
+// DecodeQueryBatch decodes a payload produced by AppendQueryBatch.
+func DecodeQueryBatch(data []byte) ([]*sparql.Query, error) {
+	d := &queryDecoder{data: data}
+	n, err := d.uvarint("batch query count")
+	if err != nil {
+		return nil, err
+	}
+	if n > maxBatchQueries {
+		return nil, fmt.Errorf("transport: codec: %d batched queries exceeds limit", n)
+	}
+	subs := make([]*sparql.Query, 0, n)
+	for i := uint64(0); i < n; i++ {
+		qlen, err := d.uvarint("batched query length")
+		if err != nil {
+			return nil, err
+		}
+		if qlen > uint64(len(data)-d.pos) {
+			return nil, fmt.Errorf("transport: codec: truncated batched query %d", i)
+		}
+		q, err := DecodeQuery(data[d.pos : d.pos+int(qlen)])
+		if err != nil {
+			return nil, fmt.Errorf("transport: codec: batched query %d: %w", i, err)
+		}
+		d.pos += int(qlen)
+		subs = append(subs, q)
+	}
+	if d.pos != len(data) {
+		return nil, fmt.Errorf("transport: codec: %d trailing bytes", len(data)-d.pos)
+	}
+	return subs, nil
+}
+
+// AppendTableBatch appends the wire encoding of the per-query result
+// tables of a batch.
+func AppendTableBatch(buf []byte, tabs []*store.Table) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(tabs)))
+	for _, tab := range tabs {
+		n := store.EncodedTableSize(tab)
+		buf = binary.AppendUvarint(buf, uint64(n))
+		buf = store.AppendTable(buf, tab)
+	}
+	return buf
+}
+
+// DecodeTableBatch decodes a payload produced by AppendTableBatch.
+func DecodeTableBatch(data []byte) ([]*store.Table, error) {
+	d := &queryDecoder{data: data}
+	n, err := d.uvarint("batch table count")
+	if err != nil {
+		return nil, err
+	}
+	if n > maxBatchQueries {
+		return nil, fmt.Errorf("transport: codec: %d batched tables exceeds limit", n)
+	}
+	tabs := make([]*store.Table, 0, n)
+	for i := uint64(0); i < n; i++ {
+		tlen, err := d.uvarint("batched table length")
+		if err != nil {
+			return nil, err
+		}
+		if tlen > uint64(len(data)-d.pos) {
+			return nil, fmt.Errorf("transport: codec: truncated batched table %d", i)
+		}
+		tab, used, err := store.DecodeTable(data[d.pos : d.pos+int(tlen)])
+		if err != nil {
+			return nil, fmt.Errorf("transport: codec: batched table %d: %w", i, err)
+		}
+		if used != int(tlen) {
+			return nil, fmt.Errorf("transport: codec: batched table %d: %d trailing bytes", i, int(tlen)-used)
+		}
+		d.pos += int(tlen)
+		tabs = append(tabs, tab)
+	}
+	if d.pos != len(data) {
+		return nil, fmt.Errorf("transport: codec: %d trailing bytes", len(data)-d.pos)
+	}
+	return tabs, nil
 }
 
 // Triple-index payload codec (MsgBootstrapTriples): uvarint count then

@@ -256,7 +256,7 @@ const maxConnInflight = 128
 // minMsg clamps a message type into the rpcNS index range (unknown types
 // land on the bad-request path but still need a valid index).
 func minMsg(t byte) byte {
-	if t > MsgUpdateResult {
+	if t > maxMsgType {
 		return 0
 	}
 	return t
@@ -349,13 +349,21 @@ func (s *Server) handle(req frame) (byte, []byte) {
 		// mutate this site's store. The ops are trace-derived, so each
 		// delete matched a live triple on the coordinator — a miss here
 		// means divergence and is reported as such.
+		//
+		// A site opened from a v3 block snapshot is store-only: its graph
+		// carries dictionaries but no triples (and is not frozen), so there
+		// is no full-graph replica to maintain — the dict delta above plus
+		// the Local ops below are the whole update.
+		replica := g.Frozen()
 		var local []rdf.ResolvedUpdate
 		for _, op := range batch.Ops {
 			ru := rdf.ResolvedUpdate{Insert: op.Insert, T: op.T}
-			if gst := g.ApplyResolved([]rdf.ResolvedUpdate{ru}); gst.NotFound > 0 {
-				return MsgError, appendErrorPayload(nil, uint64(CodeInternal),
-					fmt.Sprintf("replica diverged: delete of (%d,%d,%d) matched no live triple",
-						op.T.S, op.T.P, op.T.O))
+			if replica {
+				if gst := g.ApplyResolved([]rdf.ResolvedUpdate{ru}); gst.NotFound > 0 {
+					return MsgError, appendErrorPayload(nil, uint64(CodeInternal),
+						fmt.Sprintf("replica diverged: delete of (%d,%d,%d) matched no live triple",
+							op.T.S, op.T.P, op.T.O))
+				}
 			}
 			if op.Local {
 				local = append(local, ru)
@@ -385,6 +393,26 @@ func (s *Server) handle(req frame) (byte, []byte) {
 			return MsgError, appendErrorPayload(nil, uint64(CodeInternal), err.Error())
 		}
 		return MsgTable, store.AppendTable(make([]byte, 0, store.EncodedTableSize(tab)), tab)
+
+	case MsgQueryBatch:
+		s.mu.Lock()
+		st := s.store
+		s.mu.Unlock()
+		if st == nil {
+			return MsgError, appendErrorPayload(nil, uint64(CodeNoStore), "site not bootstrapped")
+		}
+		subs, err := DecodeQueryBatch(req.payload)
+		if err != nil {
+			return MsgError, appendErrorPayload(nil, uint64(CodeBadRequest), err.Error())
+		}
+		tabs := make([]*store.Table, len(subs))
+		for i, q := range subs {
+			if tabs[i], err = st.Match(q); err != nil {
+				return MsgError, appendErrorPayload(nil, uint64(CodeInternal),
+					fmt.Sprintf("batched subquery %d: %s", i, err))
+			}
+		}
+		return MsgTableBatch, AppendTableBatch(nil, tabs)
 
 	default:
 		return MsgError, appendErrorPayload(nil, uint64(CodeBadRequest),
