@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race check cover bench bench-full bench-json bench-smoke bench-online bench-throughput bench-scale experiments transport-race transport-smoke server-smoke scale-smoke oracle oracle-race update-race clean
+.PHONY: all build test test-race check cover bench bench-full bench-json bench-smoke bench-online bench-throughput bench-scale bench-repart experiments transport-race transport-smoke server-smoke scale-smoke repart-smoke oracle oracle-race update-race repart-race clean
 
 all: build test
 
@@ -52,6 +52,14 @@ bench-throughput:
 bench-scale:
 	$(GO) run ./cmd/mpc-bench -exp scale -triples 1000000 -json BENCH_scale.json
 
+# Online adaptive repartitioning: drift a live cluster over loopback TCP
+# sites until the policy fires, migrate with concurrent query load, assert
+# zero failed queries and digest identity; writes BENCH_repart.json. The
+# 20k/k=8 layout carries a Definition 4.1 violation at install time, so
+# the run also demonstrates the cap being restored.
+bench-repart:
+	$(GO) run ./cmd/mpc-bench -exp repart -triples 20000 -k 8 -json BENCH_repart.json
+
 # Every Benchmark function once (-benchtime=1x): catches bit-rot in
 # benchmark-only code without paying for real measurements.
 bench-smoke:
@@ -87,6 +95,16 @@ update-race:
 		./internal/serve/ ./internal/qcache/ ./internal/rdf/ \
 		./internal/store/ ./cmd/mpc-server/
 
+# Live-migration and repartitioning corpus under the race detector: the
+# plan/apply equivalence oracle, the migration-transparency and concurrent
+# cutover interleavings, the migration RPC path, store compaction, and the
+# repartitioner policy/trigger tests.
+repart-race:
+	$(GO) test -race -count=1 \
+		-run 'Migrat|Repart|Compact|Policy' \
+		./internal/partition/ ./internal/cluster/ ./internal/transport/ \
+		./internal/store/ ./internal/repart/ ./internal/oracle/
+
 # End-to-end loopback smoke: real mpc-site processes, bootstrap over TCP,
 # a join query through mpc-query -sites, measured wire stats asserted.
 transport-smoke:
@@ -104,6 +122,13 @@ server-smoke:
 # to the in-memory path.
 scale-smoke:
 	bash scripts/scale_smoke.sh
+
+# Online-repartitioning smoke: real mpc-site processes behind an mpc-server
+# started with -repart, drift pushed through POST /update while a query
+# loop runs, a migration forced via POST /admin/repart, digests asserted
+# identical across the cutover, /debug/repart status asserted.
+repart-smoke:
+	bash scripts/repart_smoke.sh
 
 # The experiment suite behind EXPERIMENTS.md.
 experiments:

@@ -8,17 +8,21 @@
 //	mpc-bench -exp fig8 -logqueries 1000
 //
 // Experiments: table2 table3 table4 table5 table6 table7 fig7 fig8 fig9
-// fig10 fig11 ablations offline online throughput scale all. Figures 9 and
-// 10 share one runner (fig9 and fig10 are aliases). The offline experiment
-// sweeps the -workers knob over {1, 2, NumCPU}; the online experiment
-// measures the query path (per-class latency quantiles, join shapes,
-// allocation microbenchmarks); the throughput experiment drives serial,
-// closed-loop, and open-loop load through the concurrent serving stack
-// (scheduler + result cache + pipelined transport over loopback TCP); the
-// scale experiment serves the same MPC layout from heap-resident flat
-// stores and from mmap-backed block snapshots and compares load-time heap
-// and result digests. All four write machine-readable results to the -json
-// path, defaulting to BENCH_<exp>.json.
+// fig10 fig11 ablations offline online throughput scale repart all.
+// Figures 9 and 10 share one runner (fig9 and fig10 are aliases). The
+// offline experiment sweeps the -workers knob over {1, 2, NumCPU}; the
+// online experiment measures the query path (per-class latency quantiles,
+// join shapes, allocation microbenchmarks); the throughput experiment
+// drives serial, closed-loop, and open-loop load through the concurrent
+// serving stack (scheduler + result cache + pipelined transport over
+// loopback TCP); the scale experiment serves the same MPC layout from
+// heap-resident flat stores and from mmap-backed block snapshots and
+// compares load-time heap and result digests; the repart experiment drifts
+// a live cluster until the repartitioning policy fires and measures the
+// online migration (vertices moved, bytes shipped, cutover pause, query
+// latency during the window, digest identity). All five write
+// machine-readable results to the -json path, defaulting to
+// BENCH_<exp>.json.
 //
 // Observability: -metrics PATH dumps the run's metrics registry (counters,
 // gauges, latency histograms, recent query traces) as JSON when the run
@@ -229,6 +233,20 @@ func run(exp string, cfg bench.Config, jsonPath string) error {
 				return err
 			}
 			fmt.Fprintf(os.Stderr, "[throughput measurements written to %s]\n", path)
+		case "repart":
+			res, err := bench.RunRepart(cfg)
+			if err != nil {
+				return err
+			}
+			bench.RenderRepart(out, res)
+			path := jsonPath
+			if path == "" {
+				path = "BENCH_repart.json"
+			}
+			if err := bench.WriteRepartJSON(path, res); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "[repartitioning measurements written to %s]\n", path)
 		case "scale":
 			res, err := bench.RunScale(cfg)
 			if err != nil {

@@ -10,7 +10,9 @@
 //	GET  /query?q=SELECT...&limit=N   execute a SPARQL BGP (also POST with the query as body)
 //	POST /update                      apply a JSON batch of triple inserts/deletes
 //	GET  /healthz                     liveness probe
+//	POST /admin/repart                force one repartition cycle now (MPC strategy only)
 //	GET  /debug/drift                 partitioning drift report (MPC strategy only)
+//	GET  /debug/repart                repartitioner status: checks, runs, last migration stats
 //	GET  /debug/metrics               internal/obs counters, gauges, histogram quantiles
 //	GET  /debug/pprof/...             standard profiling handlers
 //
@@ -30,10 +32,17 @@
 // invalidated, and only then does the 200 response (the ack) go out, so a
 // client that saw the ack can never read a pre-write cached answer.
 //
+// With -repart set, a background repartitioner (internal/repart) polls
+// the drift report at that interval and, when the configured policy
+// triggers, recomputes the MPC layout on a snapshot and live-migrates the
+// sites to it — reads keep flowing, caches are invalidated at the atomic
+// cutover. POST /admin/repart forces one cycle regardless of policy.
+//
 // Usage:
 //
 //	mpc-server -in lubm.nt -k 4 -strategy MPC -listen :8080
 //	mpc-server -in lubm.nt -sites :7070,:7071 -workers 32 -cache-mb 128
+//	mpc-server -in lubm.nt -k 4 -repart 30s -repart-growth 1.25
 package main
 
 import (
@@ -59,6 +68,7 @@ import (
 	"mpc/internal/partition"
 	"mpc/internal/qcache"
 	"mpc/internal/rdf"
+	"mpc/internal/repart"
 	"mpc/internal/serve"
 	"mpc/internal/sparql"
 	"mpc/internal/store"
@@ -77,20 +87,27 @@ func main() {
 	workers := flag.Int("workers", 8, "concurrent query executions")
 	queue := flag.Int("queue", 64, "admission queue depth; a full queue rejects with 429")
 	cacheMB := flag.Int("cache-mb", 64, "result cache budget in MiB (0 disables the cache)")
+	repartEvery := flag.Duration("repart", 0, "background repartitioner poll interval (0 disables the loop; /admin/repart still works for MPC)")
+	repartCap := flag.Int("repart-cap", 1, "repartition when this many partitions violate the balance cap (0 disables)")
+	repartGrowth := flag.Float64("repart-growth", 1.5, "repartition when |E^c| exceeds this multiple of its baseline (0 disables)")
+	repartWCC := flag.Float64("repart-wcc", 0, "repartition when the max property-WCC exceeds this multiple of |V|/k (0 disables)")
 	flag.Parse()
 
 	if *in == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*listen, *in, *k, *epsilon, *strategy, *seed, *semijoin, *sites, *workers, *queue, *cacheMB); err != nil {
+	pol := repart.Policy{MaxCapViolations: *repartCap, CrossGrowthRatio: *repartGrowth, MaxWCCSkew: *repartWCC}
+	if err := run(*listen, *in, *k, *epsilon, *strategy, *seed, *semijoin, *sites, *workers, *queue, *cacheMB,
+		*repartEvery, pol); err != nil {
 		fmt.Fprintln(os.Stderr, "mpc-server:", err)
 		os.Exit(1)
 	}
 }
 
 func run(listen, in string, k int, epsilon float64, strategy string, seed int64,
-	semijoin bool, sites string, workers, queue, cacheMB int) error {
+	semijoin bool, sites string, workers, queue, cacheMB int,
+	repartEvery time.Duration, pol repart.Policy) error {
 
 	reg := obs.NewRegistry()
 	g, err := dataio.LoadFile(in)
@@ -187,11 +204,65 @@ func run(listen, in string, k int, epsilon float64, strategy string, seed int64,
 	})
 	defer sched.Close()
 
+	// The repartitioner exists for any MPC (vertex-disjoint, drift-
+	// monitored) cluster so /admin/repart can always force a cycle; the
+	// background poll loop only spins when -repart is set.
+	var rp *repart.Repartitioner
+	if strategy == "MPC" {
+		rp = repart.New(c, repart.Options{
+			Policy:    pol,
+			Interval:  repartEvery,
+			Epsilon:   epsilon,
+			Seed:      seed,
+			Workers:   workers,
+			OnCutover: sched.Invalidate,
+			Obs:       reg,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		})
+		if repartEvery > 0 {
+			loopCtx, stopLoop := context.WithCancel(context.Background())
+			defer stopLoop()
+			go rp.Run(loopCtx)
+		}
+	}
+
 	mux := http.NewServeMux()
 	mux.Handle("/query", queryHandler(g, sched, reg))
 	mux.Handle("/update", updateHandler(sched))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/admin/repart", func(w http.ResponseWriter, r *http.Request) {
+		if rp == nil {
+			http.Error(w, "repartitioning requires the MPC strategy", http.StatusNotFound)
+			return
+		}
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			http.Error(w, "POST to force a repartition cycle", http.StatusMethodNotAllowed)
+			return
+		}
+		stats, err := rp.Repartition(r.Context(), "manual (/admin/repart)")
+		if errors.Is(err, repart.ErrInProgress) {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(stats)
+	})
+	mux.HandleFunc("/debug/repart", func(w http.ResponseWriter, _ *http.Request) {
+		if rp == nil {
+			http.Error(w, "repartitioning requires the MPC strategy", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(rp.Status())
 	})
 	mux.HandleFunc("/debug/drift", func(w http.ResponseWriter, _ *http.Request) {
 		rep, ok := c.DriftReport()

@@ -196,6 +196,19 @@ type Cluster struct {
 	cfg      Config
 	met      clusterMetrics
 
+	// Lock ordering (outermost first): commitMu → stateMu → per-site
+	// locks (a transport server's update mutex, a store's internal
+	// RWMutex). Never acquire in any other order.
+	//
+	// commitMu serializes state-changing operations against each other:
+	// update commits (Apply/ApplyShared) and live migrations
+	// (ApplyMigration). Holding commitMu WITHOUT stateMu lets expensive
+	// pre-commit work — dictionary resolution of an update batch, the
+	// migration diff and its pre-shipping phase — proceed while readers
+	// keep planning and executing under stateMu.RLock; only the moment
+	// that must be atomic with respect to readers is taken under
+	// stateMu.Lock.
+	commitMu sync.Mutex
 	// stateMu serializes committed updates (writers) against query
 	// planning and execution (readers). Updates are rare relative to
 	// queries; queries proceed concurrently under the read lock.
@@ -205,6 +218,9 @@ type Cluster struct {
 	version uint64
 	// updateSeq numbers committed batches for site-side idempotency.
 	updateSeq uint64
+	// migrateSeq numbers migration shipments (see migrate.go); guarded by
+	// commitMu, not stateMu — shipments happen outside the state lock.
+	migrateSeq uint64
 
 	// Drift monitor state (vertex-disjoint layouts only; see DriftReport).
 	driftInc       *dsf.Incremental

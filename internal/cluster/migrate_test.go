@@ -1,0 +1,313 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"mpc/internal/core"
+	"mpc/internal/datagen"
+	"mpc/internal/partition"
+	"mpc/internal/rdf"
+	"mpc/internal/workload"
+)
+
+// canonicalDigest renders a result order-insensitively: columns sorted by
+// variable name, rows rendered and sorted. Two layouts of the same data may
+// legitimately produce the same bindings in different row and column
+// orders, so migration-transparency checks compare canonically.
+func canonicalDigest(res *Result) string {
+	t := res.Table
+	if len(t.Vars) == 0 {
+		return fmt.Sprintf("rows=%d", t.Len())
+	}
+	order := make([]int, len(t.Vars))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return t.Vars[order[a]] < t.Vars[order[b]] })
+	header := make([]string, len(order))
+	for i, c := range order {
+		header[i] = fmt.Sprintf("%s/%d", t.Vars[c], t.Kinds[c])
+	}
+	stride := len(t.Vars)
+	rows := make([]string, 0, t.Len())
+	var sb strings.Builder
+	for r := 0; r < t.Len(); r++ {
+		sb.Reset()
+		for _, c := range order {
+			fmt.Fprintf(&sb, "%d|", t.Data[r*stride+c])
+		}
+		rows = append(rows, sb.String())
+	}
+	sort.Strings(rows)
+	return strings.Join(header, ",") + "\n" + strings.Join(rows, "\n")
+}
+
+// driftOps builds an update batch over existing terms only (no dictionary
+// growth): inserts between random vertices — mostly landing across
+// partition boundaries, which is exactly the drift repartitioning exists to
+// fix — plus deletes of live triples.
+func driftOps(rng *rand.Rand, g *rdf.Graph, inserts, deletes int) []rdf.Op {
+	vname := func(id rdf.VertexID) string { return g.Vertices.String(uint32(id)) }
+	pname := func(id rdf.PropertyID) string { return g.Properties.String(uint32(id)) }
+	ops := make([]rdf.Op, 0, inserts+deletes)
+	for i := 0; i < inserts; i++ {
+		ops = append(ops, rdf.Op{Insert: true,
+			S: vname(rdf.VertexID(rng.Intn(g.NumVertices()))),
+			P: pname(rdf.PropertyID(rng.Intn(g.NumProperties()))),
+			O: vname(rdf.VertexID(rng.Intn(g.NumVertices())))})
+	}
+	live := g.LiveTriples()
+	for i := 0; i < deletes && len(live) > 0; i++ {
+		tr := g.Triple(live[rng.Intn(len(live))])
+		ops = append(ops, rdf.Op{S: vname(tr.S), P: pname(tr.P), O: vname(tr.O)})
+	}
+	return ops
+}
+
+// checkLayoutConsistency rebuilds a reference layout from the cluster's
+// final assignment via the independent FromAssignment path and insists the
+// eagerly maintained counters and the per-site store contents agree with
+// it. The assignment is padded to |V| for vertices the layout never placed
+// (interned by no-op deletes; they hold no live triples).
+func checkLayoutConsistency(t *testing.T, c *Cluster) {
+	t.Helper()
+	p := c.layout.(*partition.Partitioning)
+	g := p.Graph()
+	recount := make([]int, p.K())
+	for _, s := range p.Assign {
+		recount[s]++
+	}
+	for i, n := range p.PartSizes() {
+		if n != recount[i] {
+			t.Errorf("partition %d: eager size %d, recount %d", i, n, recount[i])
+		}
+	}
+	assign := make([]int32, g.NumVertices())
+	copy(assign, p.Assign)
+	ref, err := partition.FromAssignment(g, p.K(), assign)
+	if err != nil {
+		t.Fatalf("rebuild reference layout: %v", err)
+	}
+	if ref.NumCrossingEdges() != p.NumCrossingEdges() {
+		t.Errorf("crossing edges: eager %d, rebuilt %d", p.NumCrossingEdges(), ref.NumCrossingEdges())
+	}
+	if ref.NumCrossingProperties() != p.NumCrossingProperties() {
+		t.Errorf("crossing properties: eager %d, rebuilt %d", p.NumCrossingProperties(), ref.NumCrossingProperties())
+	}
+	for i := range c.stores {
+		if got, want := c.stores[i].NumTriples(), len(ref.SiteTriples(i)); got != want {
+			t.Errorf("site %d store holds %d triples, layout says %d", i, got, want)
+		}
+	}
+}
+
+// TestMigrationTransparentToQueries pins the whole live-migration protocol
+// serially: drift the cluster with updates, migrate to a freshly recomputed
+// assignment, and insist (a) every query answers canonically identically
+// before and after, (b) the migrated counters and stores agree with an
+// independent FromAssignment rebuild, and (c) re-migrating to the same
+// assignment is a no-op.
+func TestMigrationTransparentToQueries(t *testing.T) {
+	ctx := context.Background()
+	g := datagen.LUBM{}.Generate(8000, 1)
+	p, err := (core.MPC{}).Partition(g, partition.Options{K: 3, Epsilon: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewFromPartitioning(p, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	if _, err := c.Apply(ctx, driftOps(rng, g, 300, 100)); err != nil {
+		t.Fatal(err)
+	}
+
+	queries := workload.LUBMQueries(g, 1)
+	before := make([]string, len(queries))
+	for i, nq := range queries {
+		res, err := c.Execute(nq.Query)
+		if err != nil {
+			t.Fatalf("pre-migration %s: %v", nq.Name, err)
+		}
+		before[i] = canonicalDigest(res)
+	}
+
+	snap, err := c.SnapshotForRepartition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := (core.MPC{}).Partition(snap, partition.Options{K: 3, Epsilon: 0.1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cutovers := 0
+	stats, err := c.ApplyMigration(ctx, p2.Assign, func() { cutovers++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cutovers != 1 {
+		t.Fatalf("onCutover ran %d times, want 1", cutovers)
+	}
+	if stats.Moved == 0 || stats.AddOps == 0 || stats.RemoveOps == 0 {
+		t.Fatalf("degenerate migration: %+v", stats)
+	}
+	if stats.CrossingPropsAfter > stats.CrossingPropsBefore {
+		t.Errorf("migration grew the property cut: %d → %d", stats.CrossingPropsBefore, stats.CrossingPropsAfter)
+	}
+
+	for i, nq := range queries {
+		res, err := c.Execute(nq.Query)
+		if err != nil {
+			t.Fatalf("post-migration %s: %v", nq.Name, err)
+		}
+		if canonicalDigest(res) != before[i] {
+			t.Errorf("%s: answer changed across migration", nq.Name)
+		}
+	}
+	checkLayoutConsistency(t, c)
+
+	again, err := c.ApplyMigration(ctx, p2.Assign, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Moved != 0 || again.AddOps != 0 || again.RemoveOps != 0 {
+		t.Fatalf("re-migrating to the installed assignment did work: %+v", again)
+	}
+}
+
+// TestConcurrentMigrationWithUpdatesAndQueries is the -race interleaving
+// test: one goroutine streams update batches (Apply), one polls
+// DriftReport, one executes queries continuously, and one runs repeated
+// snapshot → recompute → ApplyMigration cycles. Nothing may error, race, or
+// leave the final counters and stores inconsistent with an independent
+// rebuild of the final assignment.
+func TestConcurrentMigrationWithUpdatesAndQueries(t *testing.T) {
+	ctx := context.Background()
+	g := datagen.LUBM{}.Generate(6000, 1)
+	p, err := (core.MPC{}).Partition(g, partition.Options{K: 3, Epsilon: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewFromPartitioning(p, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := workload.LUBMQueries(g, 1)
+	batches, cycles := 30, 3
+	if testing.Short() {
+		batches, cycles = 10, 2
+	}
+
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	wg.Add(1)
+	go func() { // update stream
+		defer wg.Done()
+		defer close(done)
+		rng := rand.New(rand.NewSource(7))
+		vname := func(id rdf.VertexID) string { return g.Vertices.String(uint32(id)) }
+		pname := func(id rdf.PropertyID) string { return g.Properties.String(uint32(id)) }
+		for b := 0; b < batches; b++ {
+			ops := driftOps(rng, g, 10, 4)
+			// Grow the dictionaries and exercise no-op deletes too: both
+			// interleave with migration snapshots in production.
+			ops = append(ops,
+				rdf.Op{Insert: true, S: fmt.Sprintf("u:mig%d", b), P: pname(0), O: vname(0)},
+				rdf.Op{S: vname(0), P: pname(0), O: fmt.Sprintf("u:none%d", b)})
+			if _, err := c.Apply(ctx, ops); err != nil {
+				t.Errorf("apply batch %d: %v", b, err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // drift monitor
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if _, ok := c.DriftReport(); !ok {
+				t.Error("drift report unavailable on a vertex-disjoint cluster")
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // query load
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			nq := queries[i%len(queries)]
+			if _, err := c.ExecuteCtx(ctx, nq.Query); err != nil {
+				t.Errorf("query %s during migration: %v", nq.Name, err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // repartitioner
+		defer wg.Done()
+		for cy := 0; cy < cycles; cy++ {
+			snap, err := c.SnapshotForRepartition()
+			if err != nil {
+				t.Errorf("cycle %d snapshot: %v", cy, err)
+				return
+			}
+			p2, err := (core.MPC{}).Partition(snap, partition.Options{K: 3, Epsilon: 0.1, Seed: int64(2 + cy)})
+			if err != nil {
+				t.Errorf("cycle %d recompute: %v", cy, err)
+				return
+			}
+			if _, err := c.ApplyMigration(ctx, p2.Assign, func() {}); err != nil {
+				t.Errorf("cycle %d migration: %v", cy, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	checkLayoutConsistency(t, c)
+
+	// The quiesced cluster must answer exactly like a cluster built fresh
+	// from the final assignment.
+	pFinal := c.layout.(*partition.Partitioning)
+	assign := make([]int32, g.NumVertices())
+	copy(assign, pFinal.Assign)
+	ref, err := partition.FromAssignment(g, pFinal.K(), assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := NewFromPartitioning(ref, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nq := range queries {
+		got, err := c.Execute(nq.Query)
+		if err != nil {
+			t.Fatalf("final %s: %v", nq.Name, err)
+		}
+		want, err := rc.Execute(nq.Query)
+		if err != nil {
+			t.Fatalf("reference %s: %v", nq.Name, err)
+		}
+		if canonicalDigest(got) != canonicalDigest(want) {
+			t.Errorf("%s: migrated cluster diverges from a fresh build of the same assignment", nq.Name)
+		}
+	}
+}

@@ -100,10 +100,23 @@ func (s localSite) ApplyUpdate(ctx context.Context, batch UpdateBatch) (SiteUpda
 // re-bootstrap the site. Acknowledge a write to the outside world only
 // after Apply returns and dependent caches are invalidated.
 func (c *Cluster) Apply(ctx context.Context, ops []rdf.Op) (rdf.ApplyStats, error) {
-	c.stateMu.Lock()
-	defer c.stateMu.Unlock()
+	// Lock order: commitMu → stateMu (see the field docs in cluster.go).
+	// Resolution — dictionary interning and delete-by-value lookups, the
+	// string-heavy part of a commit — runs under commitMu alone, so
+	// concurrent readers are not blocked by it: commitMu excludes other
+	// writers and migrations, and readers never mutate the graph, so
+	// resolving against the live graph here is race-free. The section
+	// under stateMu.Lock is what must be atomic for readers: the slot
+	// mutations, the layout counters, and the site fanout (a query
+	// observing some sites updated and others not could join rows from
+	// two different states — exactly the torn read the lock exists to
+	// prevent).
+	c.commitMu.Lock()
+	defer c.commitMu.Unlock()
 	g := c.layout.Graph()
 	resolved, delta, notFound := g.ResolveUpdates(ops)
+	c.stateMu.Lock()
+	defer c.stateMu.Unlock()
 	trace, stats := g.ApplyResolvedTrace(resolved)
 	stats.NotFound += notFound
 	return stats, c.applyTraceLocked(ctx, delta, trace)
@@ -117,6 +130,8 @@ func (c *Cluster) Apply(ctx context.Context, ops []rdf.Op) (rdf.ApplyStats, erro
 // cluster's ApplyShared. The cluster's layout and site stores catch up;
 // the graph itself is not touched again.
 func (c *Cluster) ApplyShared(ctx context.Context, delta rdf.DictDelta, trace []rdf.SlotOp) error {
+	c.commitMu.Lock()
+	defer c.commitMu.Unlock()
 	c.stateMu.Lock()
 	defer c.stateMu.Unlock()
 	return c.applyTraceLocked(ctx, delta, trace)

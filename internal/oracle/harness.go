@@ -6,6 +6,7 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"mpc/internal/cluster"
 	"mpc/internal/core"
@@ -77,6 +78,13 @@ type Env struct {
 	MPC  *partition.Partitioning
 	Hash *partition.Partitioning
 	VPL  *partition.VPLayout
+
+	// mu serializes ApplyBatch, Migrate, and Check against each other:
+	// the update-stream test races batches with live migrations from
+	// separate goroutines, and the environment (shared graph, reference
+	// partitionings, per-combo clusters) must see them one at a time —
+	// exactly the serialization the real coordinator's commit lock gives.
+	mu sync.Mutex
 
 	combos   []combo
 	crossing sparql.CrossingTest // MPC's crossing test
@@ -247,6 +255,8 @@ func (e *Env) addBlockCombos(mpcP *partition.Partitioning) error {
 // reference partitionings used by the invariant checks follow the same
 // trace. After ApplyBatch, Check compares the post-update world.
 func (e *Env) ApplyBatch(ctx context.Context, ops []rdf.Op) (rdf.ApplyStats, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	resolved, delta, notFound := e.G.ResolveUpdates(ops)
 	trace, stats := e.G.ApplyResolvedTrace(resolved)
 	stats.NotFound += notFound
@@ -259,6 +269,55 @@ func (e *Env) ApplyBatch(ctx context.Context, ops []rdf.Op) (rdf.ApplyStats, err
 		}
 	}
 	return stats, nil
+}
+
+// Migrate recomputes the MPC assignment over a snapshot of the live graph
+// and live-migrates every vertex-disjoint combination to it — the oracle's
+// analogue of a repartitioner run. The reference partitionings (e.MPC,
+// e.Hash) swap to the same assignment via the partition-level plan so the
+// invariant checks and the shared crossing test (which closes over e.MPC
+// and feeds the TCP and block combos) stay in lockstep with the clusters.
+// The "vp" combo is edge-disjoint and keeps its layout.
+//
+// The recompute runs outside the environment lock, mirroring the real
+// repartitioner: a concurrent ApplyBatch may land between the snapshot and
+// the apply, in which case the migration simply installs a layout computed
+// on the slightly older triple set — still a valid vertex-disjoint layout,
+// so results must stay bit-identical (vertices interned after the snapshot
+// keep their current placement; see partition.PlanMigration).
+func (e *Env) Migrate(ctx context.Context, seed int64) (int, error) {
+	e.mu.Lock()
+	snap := e.G.LiveSnapshot()
+	e.mu.Unlock()
+
+	popts := partition.Options{K: e.Opts.K, Epsilon: e.Opts.Epsilon, Seed: seed}
+	newP, err := core.MPC{}.Partition(snap, popts)
+	if err != nil {
+		return 0, fmt.Errorf("oracle: migration recompute: %w", err)
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	moved := 0
+	for _, ref := range []*partition.Partitioning{e.MPC, e.Hash} {
+		plan, err := ref.PlanMigration(newP.Assign)
+		if err != nil {
+			return 0, fmt.Errorf("oracle: migration plan: %w", err)
+		}
+		if ref == e.MPC {
+			moved = plan.Moved
+		}
+		ref.ApplyMigration(plan)
+	}
+	for _, cb := range e.combos {
+		if cb.name == "vp" {
+			continue
+		}
+		if _, err := cb.c.ApplyMigration(ctx, newP.Assign, nil); err != nil {
+			return moved, fmt.Errorf("oracle: %s migration: %w", cb.name, err)
+		}
+	}
+	return moved, nil
 }
 
 // tcpCluster spawns one transport server per site on loopback TCP,
@@ -323,6 +382,8 @@ type CheckResult struct {
 // decomposition round-trip). Execution errors are returned as hard errors;
 // result mismatches are reported as divergences.
 func (e *Env) Check(q *sparql.Query) (CheckResult, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	var res CheckResult
 	full, err := Eval(e.G, q, e.Opts.RowLimit)
 	if err == ErrTooLarge {

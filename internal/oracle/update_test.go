@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"mpc/internal/datagen"
@@ -57,6 +58,12 @@ func randomOps(rng *rand.Rand, g *rdf.Graph, n int, fresh *int) []rdf.Op {
 // every batch each combination must still return exactly the naive
 // evaluator's answer on the mutated graph — the same bit-identical
 // guarantee the static corpus pins, now under mutation.
+//
+// Randomized live migrations (Env.Migrate: snapshot → MPC recompute →
+// PlanMigration diff → per-cluster ship and cutover) land mid-stream, and
+// one per stream deliberately races an update batch from a separate
+// goroutine. Queries after any of those must still match the oracle
+// bit-for-bit — the acceptance criterion for migration transparency.
 func TestDifferentialUpdateStream(t *testing.T) {
 	type streamConfig struct {
 		graph   int // index into graphConfigs
@@ -75,6 +82,7 @@ func TestDifferentialUpdateStream(t *testing.T) {
 	}
 
 	totalBatches, checked, skipped := 0, 0, 0
+	migrations, movedTotal := 0, 0
 	var totalStats rdf.ApplyStats
 	for si, sc := range streams {
 		gc := graphConfigs[sc.graph]
@@ -87,11 +95,50 @@ func TestDifferentialUpdateStream(t *testing.T) {
 		fresh := 0
 		for bi := 0; bi < sc.batches; bi++ {
 			ops := randomOps(rng, g, 2+rng.Intn(6), &fresh)
-			stats, err := env.ApplyBatch(context.Background(), ops)
-			if err != nil {
-				t.Fatalf("stream %d batch %d: %v", si, bi, err)
+			if bi == sc.batches/2 {
+				// Race one migration against this update batch from separate
+				// goroutines. Env serializes them internally (the same
+				// serialization the coordinator's commit lock provides), and
+				// either interleaving must leave every combination
+				// bit-identical to the oracle.
+				var wg sync.WaitGroup
+				var stats rdf.ApplyStats
+				var moved int
+				var bErr, mErr error
+				wg.Add(2)
+				go func() {
+					defer wg.Done()
+					stats, bErr = env.ApplyBatch(context.Background(), ops)
+				}()
+				go func() {
+					defer wg.Done()
+					moved, mErr = env.Migrate(context.Background(), int64(9000+100*si+bi))
+				}()
+				wg.Wait()
+				if bErr != nil {
+					t.Fatalf("stream %d batch %d (racing migration): %v", si, bi, bErr)
+				}
+				if mErr != nil {
+					t.Fatalf("stream %d migration racing batch %d: %v", si, bi, mErr)
+				}
+				totalStats.Add(stats)
+				migrations++
+				movedTotal += moved
+			} else {
+				stats, err := env.ApplyBatch(context.Background(), ops)
+				if err != nil {
+					t.Fatalf("stream %d batch %d: %v", si, bi, err)
+				}
+				totalStats.Add(stats)
+				if rng.Intn(5) == 0 {
+					moved, err := env.Migrate(context.Background(), int64(8000+100*si+bi))
+					if err != nil {
+						t.Fatalf("stream %d migration after batch %d: %v", si, bi, err)
+					}
+					migrations++
+					movedTotal += moved
+				}
 			}
-			totalStats.Add(stats)
 			totalBatches++
 
 			for qi := 0; qi < queriesPerBatch; qi++ {
@@ -115,14 +162,20 @@ func TestDifferentialUpdateStream(t *testing.T) {
 		}
 		env.Close()
 	}
-	t.Logf("committed %d batches (%d inserted, %d deleted, %d not-found), checked %d cases, skipped %d",
-		totalBatches, totalStats.Inserted, totalStats.Deleted, totalStats.NotFound, checked, skipped)
+	t.Logf("committed %d batches (%d inserted, %d deleted, %d not-found), %d migrations (%d vertices moved), checked %d cases, skipped %d",
+		totalBatches, totalStats.Inserted, totalStats.Deleted, totalStats.NotFound, migrations, movedTotal, checked, skipped)
+	if migrations < len(streams) {
+		t.Fatalf("only %d migrations across %d streams; each stream must migrate at least once", migrations, len(streams))
+	}
 	if !testing.Short() {
 		if totalBatches < 50 {
 			t.Fatalf("only %d batches; the stream must commit at least 50", totalBatches)
 		}
 		if totalStats.Inserted == 0 || totalStats.Deleted == 0 || totalStats.NotFound == 0 {
 			t.Fatalf("degenerate stream: stats %+v must exercise inserts, deletes, and misses", totalStats)
+		}
+		if movedTotal == 0 {
+			t.Fatal("degenerate migrations: no vertex ever moved partitions")
 		}
 	}
 	if checked == 0 {

@@ -1,0 +1,156 @@
+package partition
+
+import (
+	"fmt"
+
+	"mpc/internal/rdf"
+)
+
+// Migration: diffing a freshly recomputed vertex assignment against the
+// live layout, and the O(1) cutover swap that installs it.
+//
+// The protocol (driven by internal/cluster) is phased so reads never stop:
+//
+//  1. PlanMigration computes, against the current layout and the current
+//     live triple set, exactly which triple values each site must gain
+//     (SiteAdds) and lose (SiteRemoves) to realize the new assignment,
+//     plus the new layout's eager counters (partition sizes, crossing
+//     counts).
+//  2. The coordinator ships every add while queries keep running under
+//     the old layout. An extra replica of a live triple at a site can
+//     never change a query answer: per-site matches are genuine full-graph
+//     matches, the old placement is still fully intact, and the union
+//     layer always deduplicates — so each site holding a superset of its
+//     old-layout contents answers exactly as before.
+//  3. ApplyMigration swaps the assignment and counters in O(1) under the
+//     cluster's state write-lock (the only stop-the-world moment).
+//  4. The coordinator ships the removes. Until they land, sites hold a
+//     superset of their new-layout contents, which by the same argument
+//     answers exactly as the new layout does.
+type MigrationPlan struct {
+	// Assign is the full-length target assignment: the recomputed
+	// assignment for every vertex it covers, and the current placement for
+	// vertices interned after the snapshot it was computed from.
+	Assign []int32
+
+	// SiteAdds[i] / SiteRemoves[i] are the triple values site i must
+	// insert / delete. A triple appears in at most one add and one remove
+	// list per site, and never in both for the same site.
+	SiteAdds    [][]rdf.Triple
+	SiteRemoves [][]rdf.Triple
+
+	// Moved counts vertices whose home partition changes.
+	Moved int
+
+	// Target eager counters, precomputed so the cutover swap is O(1).
+	partSizes     []int
+	crossCount    []int32
+	numCrossProps int
+	numCrossEdges int
+}
+
+// AddOps and RemoveOps count the shipped triple instances across sites.
+func (mp *MigrationPlan) AddOps() int {
+	n := 0
+	for _, a := range mp.SiteAdds {
+		n += len(a)
+	}
+	return n
+}
+
+func (mp *MigrationPlan) RemoveOps() int {
+	n := 0
+	for _, r := range mp.SiteRemoves {
+		n += len(r)
+	}
+	return n
+}
+
+// PlanMigration diffs newAssign — a recomputed assignment over a snapshot
+// of the vertex space — against the current layout. The two lengths may
+// differ in either direction: vertices interned since the snapshot keep
+// their current placement, while snapshot vertices the layout never
+// placed (interned by a delete op that matched nothing, so they have no
+// live triples) simply adopt the recomputed assignment.
+//
+// The plan is valid only as long as the layout and the live triple set do
+// not change: an ApplyTrace between PlanMigration and ApplyMigration
+// invalidates the precomputed counters. internal/cluster guarantees this
+// by holding its commit lock across plan, ship, and swap.
+func (p *Partitioning) PlanMigration(newAssign []int32) (*MigrationPlan, error) {
+	// Deliberately no ensureLayout here: the diff needs only the eager
+	// Assign array and the live triples, and the caller holds the commit
+	// lock but NOT the cluster's state write-lock — a lazy rebuild of the
+	// derived site lists would race concurrent readers.
+	n := len(p.Assign)
+	if len(newAssign) > n {
+		n = len(newAssign)
+	}
+	merged := make([]int32, n)
+	copy(merged, p.Assign)
+	copy(merged, newAssign)
+	for v, s := range merged {
+		if s < 0 || int(s) >= p.k {
+			return nil, fmt.Errorf("partition: migration assigns vertex %d to site %d, want [0,%d)", v, s, p.k)
+		}
+	}
+
+	mp := &MigrationPlan{
+		Assign:      merged,
+		SiteAdds:    make([][]rdf.Triple, p.k),
+		SiteRemoves: make([][]rdf.Triple, p.k),
+		partSizes:   make([]int, p.k),
+		crossCount:  make([]int32, p.g.NumProperties()),
+	}
+	for v, s := range merged {
+		mp.partSizes[s]++
+		if v < len(p.Assign) && s != p.Assign[v] {
+			mp.Moved++
+		}
+	}
+
+	for _, ti := range p.g.LiveTriples() {
+		t := p.g.Triple(ti)
+		os1, os2 := p.Assign[t.S], p.Assign[t.O]
+		ns1, ns2 := merged[t.S], merged[t.O]
+		if ns1 != ns2 {
+			if mp.crossCount[t.P] == 0 {
+				mp.numCrossProps++
+			}
+			mp.crossCount[t.P]++
+			mp.numCrossEdges++
+		}
+		// Old site set {os1, os2} vs new site set {ns1, ns2}: each has at
+		// most two members (the subject home, plus the object home when
+		// the edge crosses).
+		inOld := func(s int32) bool { return s == os1 || s == os2 }
+		inNew := func(s int32) bool { return s == ns1 || s == ns2 }
+		if !inOld(ns1) {
+			mp.SiteAdds[ns1] = append(mp.SiteAdds[ns1], t)
+		}
+		if ns2 != ns1 && !inOld(ns2) {
+			mp.SiteAdds[ns2] = append(mp.SiteAdds[ns2], t)
+		}
+		if !inNew(os1) {
+			mp.SiteRemoves[os1] = append(mp.SiteRemoves[os1], t)
+		}
+		if os2 != os1 && !inNew(os2) {
+			mp.SiteRemoves[os2] = append(mp.SiteRemoves[os2], t)
+		}
+	}
+	return mp, nil
+}
+
+// ApplyMigration installs the plan's target layout: O(1) pointer swaps of
+// the assignment and the precomputed eager counters. The derived site
+// lists are marked stale and rebuilt lazily, exactly as after ApplyTrace.
+// This is the cutover moment — internal/cluster calls it under its state
+// write-lock so no reader ever observes a torn layout.
+func (p *Partitioning) ApplyMigration(mp *MigrationPlan) {
+	p.Assign = mp.Assign
+	p.partSizes = mp.partSizes
+	p.crossCount = mp.crossCount
+	p.numCrossProps = mp.numCrossProps
+	p.numCrossEdges = mp.numCrossEdges
+	p.layoutDirty = true
+}

@@ -1,0 +1,177 @@
+package partition
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"mpc/internal/rdf"
+)
+
+// siteMultiset collects site i's triple values with multiplicity (the graph
+// may hold duplicate live slots for one value; stores are multisets too).
+func siteMultiset(p *Partitioning, i int) map[rdf.Triple]int {
+	m := map[rdf.Triple]int{}
+	for _, ti := range p.SiteTriples(i) {
+		m[p.Graph().Triple(ti)]++
+	}
+	return m
+}
+
+func equalMultisets(a, b map[rdf.Triple]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for t, n := range a {
+		if b[t] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMigrationPlanMatchesRebuild is the randomized equivalence oracle for
+// the whole plan/apply pair: for random graphs, random current assignments,
+// and random recomputed assignments over a random prefix, (a) the plan's
+// precomputed counters and the post-swap layout must equal an independent
+// FromAssignment rebuild of the merged assignment, and (b) applying the
+// per-site add/remove lists to the old per-site multisets must yield
+// exactly the new layout's multisets — the property that makes the shipped
+// diff sufficient for the sites.
+func TestMigrationPlanMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		k := 2 + rng.Intn(3)
+		g := randomGraph(rng, 30+rng.Intn(50), 3+rng.Intn(5), 80+rng.Intn(120))
+		oldAssign := make([]int32, g.NumVertices())
+		for i := range oldAssign {
+			oldAssign[i] = int32(rng.Intn(k))
+		}
+		p, err := FromAssignment(g, k, slices.Clone(oldAssign))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		n := g.NumVertices()
+		if rng.Intn(2) == 0 {
+			n = 1 + rng.Intn(n) // prefix: the tail keeps its current placement
+		}
+		newAssign := make([]int32, n)
+		for i := range newAssign {
+			newAssign[i] = int32(rng.Intn(k))
+		}
+
+		plan, err := p.PlanMigration(newAssign)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		wantMoved := 0
+		for v := range oldAssign {
+			if v < n && newAssign[v] != oldAssign[v] {
+				wantMoved++
+			}
+		}
+		if plan.Moved != wantMoved {
+			t.Fatalf("trial %d: plan.Moved = %d, want %d", trial, plan.Moved, wantMoved)
+		}
+
+		before := make([]map[rdf.Triple]int, k)
+		for i := 0; i < k; i++ {
+			before[i] = siteMultiset(p, i)
+		}
+
+		ref, err := FromAssignment(g, k, slices.Clone(plan.Assign))
+		if err != nil {
+			t.Fatalf("trial %d: rebuild: %v", trial, err)
+		}
+		p.ApplyMigration(plan)
+
+		if p.NumCrossingEdges() != ref.NumCrossingEdges() {
+			t.Fatalf("trial %d: crossing edges %d, rebuilt %d", trial, p.NumCrossingEdges(), ref.NumCrossingEdges())
+		}
+		if p.NumCrossingProperties() != ref.NumCrossingProperties() {
+			t.Fatalf("trial %d: crossing properties %d, rebuilt %d", trial, p.NumCrossingProperties(), ref.NumCrossingProperties())
+		}
+		if !slices.Equal(p.PartSizes(), ref.PartSizes()) {
+			t.Fatalf("trial %d: part sizes %v, rebuilt %v", trial, p.PartSizes(), ref.PartSizes())
+		}
+		if !slices.Equal(p.crossCount, ref.crossCount) {
+			t.Fatalf("trial %d: per-property crossing counts diverge", trial)
+		}
+		for i := 0; i < k; i++ {
+			if !slices.Equal(p.SiteTriples(i), ref.SiteTriples(i)) {
+				t.Fatalf("trial %d: site %d triple slots diverge from rebuild", trial, i)
+			}
+			want := siteMultiset(ref, i)
+			got := before[i]
+			for _, tr := range plan.SiteAdds[i] {
+				got[tr]++
+			}
+			for _, tr := range plan.SiteRemoves[i] {
+				got[tr]--
+				if got[tr] == 0 {
+					delete(got, tr)
+				} else if got[tr] < 0 {
+					t.Fatalf("trial %d: site %d asked to remove %v it does not hold", trial, i, tr)
+				}
+			}
+			if !equalMultisets(got, want) {
+				t.Fatalf("trial %d: site %d multiset after adds+removes differs from the new layout", trial, i)
+			}
+		}
+	}
+}
+
+// TestMigrationPlanCoversUnplacedVertices pins the snapshot-vs-layout
+// length skew: the dictionary can hold vertices the layout never placed
+// (interned mid-commit before the trace lands, observed by a concurrent
+// repartition snapshot), so the recomputed assignment may be LONGER than
+// Assign. Such vertices hold no live triples and simply adopt the
+// recomputed placement.
+func TestMigrationPlanCoversUnplacedVertices(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	k := 3
+	g := randomGraph(rng, 40, 4, 120)
+	assign := make([]int32, g.NumVertices())
+	for i := range assign {
+		assign[i] = int32(rng.Intn(k))
+	}
+	p, err := FromAssignment(g, k, slices.Clone(assign))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ghost := g.Vertices.Intern("u:ghost")
+	if g.NumVertices() <= len(p.Assign) {
+		t.Fatal("precondition: the dictionary must outgrow the layout")
+	}
+	newAssign := make([]int32, g.NumVertices())
+	for i := range newAssign {
+		newAssign[i] = int32(rng.Intn(k))
+	}
+	newAssign[ghost] = 2
+
+	plan, err := p.PlanMigration(newAssign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Assign) != g.NumVertices() {
+		t.Fatalf("plan assignment covers %d vertices, want %d", len(plan.Assign), g.NumVertices())
+	}
+	if plan.Assign[ghost] != 2 {
+		t.Fatalf("unplaced vertex assigned to %d, want 2", plan.Assign[ghost])
+	}
+	p.ApplyMigration(plan)
+	ref, err := FromAssignment(g, k, slices.Clone(plan.Assign))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumCrossingEdges() != ref.NumCrossingEdges() || !slices.Equal(p.PartSizes(), ref.PartSizes()) {
+		t.Fatalf("migrated layout diverges from rebuild: edges %d vs %d, sizes %v vs %v",
+			p.NumCrossingEdges(), ref.NumCrossingEdges(), p.PartSizes(), ref.PartSizes())
+	}
+
+	if _, err := p.PlanMigration([]int32{0, 0, int32(k)}); err == nil {
+		t.Fatal("out-of-range site accepted")
+	}
+}

@@ -71,6 +71,15 @@ type Graph struct {
 	adjIdx  [][]AdjEntry
 	adjPosS []int32
 	adjPosO []int32
+
+	// Pinned dictionary sizes for snapshot graphs (see LiveSnapshot). A
+	// snapshot shares its dictionaries with the live graph, which keeps
+	// interning concurrently; fixing |V| and |L| at snapshot time makes
+	// NumVertices/NumProperties — and everything sized off them, like the
+	// offline partitioning pipeline — deterministic for the snapshot's
+	// lifetime. Zero means "live": report the dictionary's current length.
+	fixedV int
+	fixedP int
 }
 
 // NewGraph returns an empty mutable graph.
@@ -112,11 +121,49 @@ func (g *Graph) AddTripleIDs(s VertexID, p PropertyID, o VertexID) {
 	g.Insert(s, p, o)
 }
 
-// NumVertices returns |V|.
-func (g *Graph) NumVertices() int { return g.Vertices.Len() }
+// NumVertices returns |V| (pinned at snapshot time for snapshot graphs).
+func (g *Graph) NumVertices() int {
+	if g.fixedV > 0 {
+		return g.fixedV
+	}
+	return g.Vertices.Len()
+}
 
-// NumProperties returns |L|.
-func (g *Graph) NumProperties() int { return g.Properties.Len() }
+// NumProperties returns |L| (pinned at snapshot time for snapshot graphs).
+func (g *Graph) NumProperties() int {
+	if g.fixedP > 0 {
+		return g.fixedP
+	}
+	return g.Properties.Len()
+}
+
+// LiveSnapshot returns a frozen, tombstone-free copy of the live triple
+// set, sharing the (append-only, thread-safe) dictionaries with g. The
+// copy pins NumVertices/NumProperties to the dictionary sizes observed at
+// snapshot time, so concurrent interning on the live graph cannot change
+// what the snapshot reports mid-computation. This is the input the
+// repartitioner feeds to the offline MPC pipeline, whose stages iterate
+// Triples() without tombstone checks and size their arrays off |V|/|L| at
+// several points.
+//
+// The caller must prevent concurrent triple mutation of g for the
+// duration of the call (the cluster holds its state read-lock, which
+// excludes writers); dictionary growth by other goroutines is fine.
+func (g *Graph) LiveSnapshot() *Graph {
+	sub := &Graph{
+		Vertices:   g.Vertices,
+		Properties: g.Properties,
+		fixedV:     g.Vertices.Len(),
+		fixedP:     g.Properties.Len(),
+	}
+	live := g.LiveTriples()
+	sub.triples = make([]Triple, len(live))
+	for i, ti := range live {
+		sub.triples[i] = g.triples[ti]
+	}
+	sub.Freeze()
+	return sub
+}
 
 // NumTriples returns the number of triple slots, live and tombstoned alike
 // — the valid index range for Triple. Use NumLiveTriples for |E|. The two

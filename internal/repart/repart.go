@@ -1,0 +1,459 @@
+// Package repart implements online adaptive repartitioning: a background
+// watcher that judges the cluster's drift report against a policy and,
+// when the live graph has drifted far enough from the offline MPC layout,
+// recomputes the layout on a snapshot and migrates the cluster to it
+// without stopping reads.
+//
+// The split of responsibilities is deliberate: this package decides WHEN
+// (policy over cluster.DriftReport) and orchestrates the offline WHAT
+// (core.MPC over cluster.SnapshotForRepartition), while the HOW of moving
+// live data — diff, ship, cutover, cleanup — lives in
+// cluster.ApplyMigration and partition.PlanMigration. The expensive MPC
+// recompute runs with no cluster lock held; queries and updates proceed
+// throughout, and the only reader pause is the O(1) cutover swap.
+package repart
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"slices"
+	"sort"
+	"sync"
+	"time"
+
+	"mpc/internal/cluster"
+	"mpc/internal/core"
+	"mpc/internal/obs"
+	"mpc/internal/partition"
+	"mpc/internal/rdf"
+)
+
+// Policy says when a re-layout is due. Each criterion is independent and
+// disabled by its zero value; the first satisfied criterion wins.
+type Policy struct {
+	// MaxCapViolations triggers when at least this many partitions exceed
+	// the Definition 4.1 vertex cap (1+ε)·|V|/k.
+	MaxCapViolations int
+	// CrossGrowthRatio triggers when the live |E^c| exceeds this multiple
+	// of the baseline recorded when the layout was installed — the direct
+	// measure of inserts landing across partition boundaries.
+	CrossGrowthRatio float64
+	// MaxWCCSkew triggers when the largest single-property WCC (Definition
+	// 4.2, from the incremental drift tracker) exceeds this multiple of
+	// the ideal partition size |V|/k: one property's component grown that
+	// large will dominate the next re-partitioning, so run it now rather
+	// than let the skew compound.
+	MaxWCCSkew float64
+}
+
+// DefaultPolicy repartitions on the first balance-cap violation or 1.5×
+// crossing-edge growth, with the WCC-skew criterion disabled.
+func DefaultPolicy() Policy {
+	return Policy{MaxCapViolations: 1, CrossGrowthRatio: 1.5}
+}
+
+// Due judges a drift report. The returned reason is human-readable and
+// empty when nothing triggered.
+func (p Policy) Due(rep cluster.DriftReport) (bool, string) {
+	if p.MaxCapViolations > 0 && rep.CapViolations >= p.MaxCapViolations {
+		return true, fmt.Sprintf("balance: %d partitions above the cap %d (threshold %d)",
+			rep.CapViolations, rep.Cap, p.MaxCapViolations)
+	}
+	if p.CrossGrowthRatio > 0 {
+		base := rep.CrossingEdgesBase
+		if base < 1 {
+			base = 1
+		}
+		if float64(rep.CrossingEdges) > p.CrossGrowthRatio*float64(base) {
+			return true, fmt.Sprintf("crossing growth: |E^c| %d vs base %d exceeds ratio %.2f",
+				rep.CrossingEdges, rep.CrossingEdgesBase, p.CrossGrowthRatio)
+		}
+	}
+	if p.MaxWCCSkew > 0 && len(rep.PartSizes) > 0 {
+		nv := 0
+		for _, s := range rep.PartSizes {
+			nv += s
+		}
+		ideal := float64(nv) / float64(len(rep.PartSizes))
+		if ideal > 0 && float64(rep.MaxPropertyWCC) > p.MaxWCCSkew*ideal {
+			return true, fmt.Sprintf("WCC skew: max property component %d exceeds %.2f × ideal size %.0f",
+				rep.MaxPropertyWCC, p.MaxWCCSkew, ideal)
+		}
+	}
+	return false, ""
+}
+
+// Options tunes a Repartitioner.
+type Options struct {
+	// Policy decides when a re-layout is due; the zero value means
+	// DefaultPolicy.
+	Policy Policy
+	// Interval is the Run loop's drift-poll period; default 30s.
+	Interval time.Duration
+	// Epsilon is the Definition 4.1 slack the recompute runs with — use
+	// the same ε as the initial offline partitioning. Default 0.1.
+	Epsilon float64
+	// Seed seeds the recompute's randomized phases; successive runs use
+	// Seed, Seed+1, ... so a run after further drift explores a fresh
+	// tie-breaking order.
+	Seed int64
+	// Workers parallelizes the offline pipeline (partition.Options.Workers).
+	Workers int
+	// OnCutover runs at the migration's atomic swap — the serving layer
+	// hooks its plan/result cache invalidation here.
+	OnCutover func()
+	// Obs receives repartitioner counters when non-nil.
+	Obs *obs.Registry
+	// Logf, when non-nil, receives one line per decision and outcome
+	// (the Run loop is otherwise silent).
+	Logf func(format string, args ...any)
+}
+
+// Status is a point-in-time snapshot of the repartitioner, JSON-shaped
+// for the /debug/repart endpoint.
+type Status struct {
+	Checks     int                    `json:"checks"`
+	Due        int                    `json:"due"`
+	Runs       int                    `json:"runs"`
+	Failures   int                    `json:"failures"`
+	InProgress bool                   `json:"in_progress"`
+	LastReason string                 `json:"last_reason,omitempty"`
+	LastError  string                 `json:"last_error,omitempty"`
+	LastRun    time.Time              `json:"last_run"`
+	LastDrift  cluster.DriftReport    `json:"last_drift"`
+	LastStats  cluster.MigrationStats `json:"last_stats"`
+}
+
+// ErrInProgress is returned by Repartition when another run holds the
+// slot; the caller retries later (or simply lets the running one finish).
+var ErrInProgress = errors.New("repart: a repartition is already in progress")
+
+// Repartitioner watches one cluster. Create with New, then either drive
+// it with the Run loop, call Check on your own schedule, or Repartition
+// to force a run (the /admin/repart path).
+type Repartitioner struct {
+	c    *cluster.Cluster
+	opts Options
+
+	mu      sync.Mutex
+	running bool
+	status  Status
+	runSeq  int64
+}
+
+// New builds a repartitioner over c. The cluster's layout must be a
+// vertex-disjoint partitioning (checked at run time, so a VP cluster
+// fails on first use, not at construction).
+func New(c *cluster.Cluster, opts Options) *Repartitioner {
+	if opts.Policy == (Policy{}) {
+		opts.Policy = DefaultPolicy()
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = 30 * time.Second
+	}
+	if opts.Epsilon <= 0 {
+		opts.Epsilon = 0.1
+	}
+	return &Repartitioner{c: c, opts: opts}
+}
+
+// Check runs one policy evaluation and, when the policy says a re-layout
+// is due, one full repartition. It reports whether a repartition ran.
+func (r *Repartitioner) Check(ctx context.Context) (bool, error) {
+	rep, ok := r.c.DriftReport()
+	if !ok {
+		return false, fmt.Errorf("repart: cluster layout does not support drift monitoring")
+	}
+	r.mu.Lock()
+	r.status.Checks++
+	r.status.LastDrift = rep
+	r.mu.Unlock()
+	due, reason := r.opts.Policy.Due(rep)
+	if !due {
+		return false, nil
+	}
+	r.mu.Lock()
+	r.status.Due++
+	r.mu.Unlock()
+	r.logf("repart: due (%s)", reason)
+	if _, err := r.Repartition(ctx, reason); err != nil {
+		if errors.Is(err, ErrInProgress) {
+			return false, nil // a manual trigger got there first
+		}
+		return true, err
+	}
+	return true, nil
+}
+
+// Repartition forces one snapshot → offline MPC → live migration cycle,
+// regardless of policy. At most one cycle runs at a time; concurrent
+// callers get ErrInProgress.
+func (r *Repartitioner) Repartition(ctx context.Context, reason string) (cluster.MigrationStats, error) {
+	r.mu.Lock()
+	if r.running {
+		r.mu.Unlock()
+		return cluster.MigrationStats{}, ErrInProgress
+	}
+	r.running = true
+	r.status.InProgress = true
+	r.status.LastReason = reason
+	seed := r.opts.Seed + r.runSeq
+	r.runSeq++
+	r.mu.Unlock()
+
+	start := time.Now()
+	stats, err := r.repartition(ctx, seed)
+
+	r.mu.Lock()
+	r.running = false
+	r.status.InProgress = false
+	r.status.LastRun = time.Now()
+	if err != nil {
+		r.status.Failures++
+		r.status.LastError = err.Error()
+	} else {
+		r.status.Runs++
+		r.status.LastError = ""
+		r.status.LastStats = stats
+	}
+	r.mu.Unlock()
+
+	if r.opts.Obs != nil {
+		if err != nil {
+			r.opts.Obs.Counter("repart.failures").Add(1)
+		} else {
+			r.opts.Obs.Counter("repart.runs").Add(1)
+		}
+	}
+	if err != nil {
+		r.logf("repart: failed after %v: %v", time.Since(start), err)
+	} else {
+		r.logf("repart: moved %d vertices (%d add ops, %d remove ops), |E^c| %d → %d, cutover pause %v, total %v",
+			stats.Moved, stats.AddOps, stats.RemoveOps,
+			stats.CrossingEdgesBefore, stats.CrossingEdgesAfter,
+			stats.CutoverPause, time.Since(start))
+	}
+	return stats, err
+}
+
+// repartition is the cycle body: snapshot under the read lock, recompute
+// with no lock at all, migrate under the cluster's commit lock.
+func (r *Repartitioner) repartition(ctx context.Context, seed int64) (cluster.MigrationStats, error) {
+	snap, err := r.c.SnapshotForRepartition()
+	if err != nil {
+		return cluster.MigrationStats{}, err
+	}
+	popts := partition.Options{
+		K:       r.c.NumSites(),
+		Epsilon: r.opts.Epsilon,
+		Seed:    seed,
+		Workers: r.opts.Workers,
+	}
+	res, err := (core.MPC{}).PartitionFull(snap, popts)
+	if err != nil {
+		return cluster.MigrationStats{}, fmt.Errorf("repart: offline recompute: %w", err)
+	}
+	assign := slices.Clone(res.Assign)
+	if n := rebalanceToCap(snap, res.LIn, assign, popts.K, popts.Cap(snap.NumVertices())); n > 0 {
+		r.logf("repart: rebalanced %d vertices to restore the Definition 4.1 cap", n)
+	}
+	return r.c.ApplyMigration(ctx, assign, r.opts.OnCutover)
+}
+
+// rebalanceToCap repairs Definition 4.1 violations the k-way phase can leave
+// behind: min-edge-cut over coarse supervertices enforces balance only
+// approximately, and a drifted graph (one hub with a huge star, say) can
+// leave a partition above the cap even in the freshly recomputed layout.
+// The first stage moves whole WCCs of G[L_in] from the largest partition to
+// the smallest — component granularity is what preserves Theorem 2: every
+// internal property's edges stay within one component, so no move ever
+// turns an internal property into a crossing one. Drift can grow components
+// so coarse that no balanced packing of whole components exists at all, so
+// a second stage splits components: it carves a BFS-contiguous chunk off a
+// component in the overfull partition, turning the properties on the seam
+// crossing. The cap is the paper's hard constraint and |L_cross| only the
+// objective, so trading a little cut for feasible balance is the right
+// direction. Returns the number of vertices moved; assign is updated in
+// place.
+func rebalanceToCap(snap *rdf.Graph, lin []rdf.PropertyID, assign []int32, k, cap int) int {
+	sizes := make([]int, k)
+	for _, s := range assign {
+		sizes[s]++
+	}
+	if slices.Max(sizes) <= cap {
+		return 0
+	}
+	f := snap.WCC(lin)
+	// Components in first-occurrence order (deterministic, unlike map
+	// iteration): every vertex of a component shares one partition, since
+	// the k-way phase assigns supervertices and the projection keeps them
+	// together.
+	compIdx := make(map[int32]int)
+	type comp struct {
+		verts []int32
+		part  int32
+	}
+	var list []comp
+	for v := range assign {
+		root := f.Find(int32(v))
+		i, ok := compIdx[root]
+		if !ok {
+			i = len(list)
+			compIdx[root] = i
+			list = append(list, comp{part: assign[v]})
+		}
+		list[i].verts = append(list[i].verts, int32(v))
+	}
+	moved := 0
+	for range list { // each pass drains one overfull partition or stalls
+		pmax, pmin := 0, 0
+		for i := 1; i < k; i++ {
+			if sizes[i] > sizes[pmax] {
+				pmax = i
+			}
+			if sizes[i] < sizes[pmin] {
+				pmin = i
+			}
+		}
+		if sizes[pmax] <= cap {
+			break
+		}
+		var idxs []int
+		for i := range list {
+			if int(list[i].part) == pmax {
+				idxs = append(idxs, i)
+			}
+		}
+		sort.Slice(idxs, func(a, b int) bool {
+			return len(list[idxs[a]].verts) < len(list[idxs[b]].verts)
+		})
+		progress := false
+		for _, ci := range idxs {
+			if sizes[pmax] <= cap {
+				break
+			}
+			for i := 0; i < k; i++ {
+				if sizes[i] < sizes[pmin] {
+					pmin = i
+				}
+			}
+			sz := len(list[ci].verts)
+			if sizes[pmin]+sz >= sizes[pmax] {
+				break // this and every larger component would not shrink the max
+			}
+			for _, v := range list[ci].verts {
+				assign[v] = int32(pmin)
+			}
+			sizes[pmax] -= sz
+			sizes[pmin] += sz
+			list[ci].part = int32(pmin)
+			moved += sz
+			progress = true
+		}
+		if !progress {
+			break
+		}
+	}
+	if slices.Max(sizes) <= cap {
+		return moved
+	}
+
+	// Stage 2: split components. Adjacency over the internal properties,
+	// built once; a BFS from an arbitrary component vertex orders the
+	// component by hop distance, and the moved chunk is the BFS tail — the
+	// frontier farthest from the root — so the seam stays small.
+	adj := make([][]int32, len(assign))
+	for _, prop := range lin {
+		for _, ti := range snap.PropertyTriples(prop) {
+			tr := snap.Triple(ti)
+			adj[tr.S] = append(adj[tr.S], int32(tr.O))
+			adj[tr.O] = append(adj[tr.O], int32(tr.S))
+		}
+	}
+	for {
+		pmax, pmin := 0, 0
+		for i := 1; i < k; i++ {
+			if sizes[i] > sizes[pmax] {
+				pmax = i
+			}
+			if sizes[i] < sizes[pmin] {
+				pmin = i
+			}
+		}
+		if sizes[pmax] <= cap || sizes[pmin] >= cap {
+			break // done, or (impossibly) nowhere under the cap to move to
+		}
+		big := -1
+		for i := range list {
+			if int(list[i].part) != pmax {
+				continue
+			}
+			if big < 0 || len(list[i].verts) > len(list[big].verts) {
+				big = i
+			}
+		}
+		if big < 0 {
+			break
+		}
+		m := sizes[pmax] - cap
+		if room := cap - sizes[pmin]; m > room {
+			m = room
+		}
+		if m > len(list[big].verts) {
+			m = len(list[big].verts)
+		}
+		order := make([]int32, 0, len(list[big].verts))
+		seen := make(map[int32]bool, len(list[big].verts))
+		order = append(order, list[big].verts[0])
+		seen[list[big].verts[0]] = true
+		for qi := 0; qi < len(order); qi++ {
+			for _, w := range adj[order[qi]] {
+				if !seen[w] {
+					seen[w] = true
+					order = append(order, w)
+				}
+			}
+		}
+		chunk := order[len(order)-m:]
+		for _, v := range chunk {
+			assign[v] = int32(pmin)
+		}
+		sizes[pmax] -= m
+		sizes[pmin] += m
+		moved += m
+		list[big].verts = order[:len(order)-m]
+		list = append(list, comp{verts: slices.Clone(chunk), part: int32(pmin)})
+	}
+	return moved
+}
+
+// Run polls the drift report every Options.Interval until ctx is done.
+func (r *Repartitioner) Run(ctx context.Context) {
+	t := time.NewTicker(r.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if _, err := r.Check(ctx); err != nil {
+				r.logf("repart: check: %v", err)
+			}
+		}
+	}
+}
+
+// Status returns a snapshot of the repartitioner's counters and last
+// outcomes.
+func (r *Repartitioner) Status() Status {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.status
+}
+
+func (r *Repartitioner) logf(format string, args ...any) {
+	if r.opts.Logf != nil {
+		r.opts.Logf(format, args...)
+	}
+}

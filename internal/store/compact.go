@@ -1,0 +1,38 @@
+package store
+
+import "mpc/internal/rdf"
+
+// Compact reseals a block store's overlay into fresh immutable base
+// blocks: the live triple multiset (base minus the deletion multiset plus
+// the overlay inserts) is re-encoded as new delta-compressed blocks and
+// the overlay drops back to empty. Long update streams and live
+// migrations both grow the overlay — an uncompressed flat index plus a
+// deletion map consulted on every read — so resealing restores the
+// compressed-base read path and memory profile the store started with.
+//
+// Flat stores have nothing to reseal and report false, as does a block
+// store with an empty overlay. The store's closer (an mmap backing a
+// snapshot-opened store's dictionaries) is never touched: only the index
+// is rebuilt, on fresh heap buffers.
+//
+// Compact holds the store's write lock for the rebuild; matches observe
+// either the old or the new index, both of which enumerate the identical
+// multiset in identical order, so results are unaffected.
+func (st *Store) Compact() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	bx, ok := st.idx.(*blockIndex)
+	if !ok {
+		return false
+	}
+	if bx.ov.delTotal == 0 && len(bx.ov.ins.triples) == 0 {
+		return false
+	}
+	triples := make([]rdf.Triple, 0, bx.numTriples())
+	bx.candidates(-1, -1, -1, func(t rdf.Triple) bool {
+		triples = append(triples, t)
+		return true
+	})
+	st.idx = newBlockIndex(triples, defaultBlockLen)
+	return true
+}

@@ -565,6 +565,23 @@ func (c *Client) ApplyUpdate(ctx context.Context, batch cluster.UpdateBatch) (cl
 	return DecodeUpdateResult(resp.payload)
 }
 
+// ApplyMigrate implements cluster.SiteMigrator: it ships one migration
+// phase's triples to the site's store over the protocol-v4 migration RPC.
+// Retries are safe by the same mechanism as updates — the shipment's
+// sequence number makes server-side replay idempotent.
+func (c *Client) ApplyMigrate(ctx context.Context, batch cluster.MigrateBatch) (cluster.SiteUpdateResult, error) {
+	payload := AppendMigrateBatch(make([]byte, 0, 16+13*len(batch.Ops)), batch)
+	resp, n, err := c.call(ctx, MsgMigrateBatch, payload, c.opts.RequestTimeout)
+	if err != nil {
+		return cluster.SiteUpdateResult{}, err
+	}
+	if resp.typ != MsgMigrateResult {
+		return cluster.SiteUpdateResult{}, fmt.Errorf("transport: migrate: unexpected %s response", msgName(resp.typ))
+	}
+	c.met.migBytes.Add(n)
+	return DecodeUpdateResult(resp.payload)
+}
+
 // ExecuteSub implements cluster.Site: it evaluates sub on the remote
 // store and returns the binding table along with measured wire stats.
 func (c *Client) ExecuteSub(ctx context.Context, sub *sparql.Query, opts cluster.SubOpts) (*store.Table, cluster.SubStats, error) {

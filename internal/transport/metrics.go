@@ -12,6 +12,10 @@ type clientMetrics struct {
 	timeouts *obs.Counter // transport.timeouts: requests that hit their deadline
 	errors   *obs.Counter // transport.errors: requests that failed terminally
 	dials    *obs.Counter // transport.dials: new connections established
+	// migBytes isolates migration-shipment wire bytes (request +
+	// response) from query and update traffic, so a benchmark can report
+	// "bytes shipped by the migration" while queries keep running.
+	migBytes *obs.Counter // transport.migrate_bytes
 
 	// rpcNS holds one latency histogram per request type the client sends
 	// (transport.rpc_ns.query etc.), indexed by message type byte.
@@ -30,8 +34,9 @@ func newClientMetrics(r *obs.Registry) clientMetrics {
 		timeouts: r.Counter("transport.timeouts"),
 		errors:   r.Counter("transport.errors"),
 		dials:    r.Counter("transport.dials"),
+		migBytes: r.Counter("transport.migrate_bytes"),
 	}
-	for _, t := range []byte{MsgPing, MsgBootstrapGraph, MsgBootstrapTriples, MsgQuery, MsgQueryBatch, MsgUpdate} {
+	for _, t := range []byte{MsgPing, MsgBootstrapGraph, MsgBootstrapTriples, MsgQuery, MsgQueryBatch, MsgUpdate, MsgMigrateBatch} {
 		m.rpcNS[t] = r.Histogram("transport.rpc_ns." + msgName(t))
 	}
 	return m
@@ -62,7 +67,7 @@ func newServerMetrics(r *obs.Registry) serverMetrics {
 		errors:      r.Counter("transport.server.errors"),
 		activeConns: r.Gauge("transport.server.active_conns"),
 	}
-	for _, t := range []byte{MsgPing, MsgBootstrapGraph, MsgBootstrapTriples, MsgQuery, MsgQueryBatch, MsgUpdate} {
+	for _, t := range []byte{MsgPing, MsgBootstrapGraph, MsgBootstrapTriples, MsgQuery, MsgQueryBatch, MsgUpdate, MsgMigrateBatch} {
 		m.rpcNS[t] = r.Histogram("transport.server.rpc_ns." + msgName(t))
 	}
 	return m

@@ -36,6 +36,7 @@
 //	MsgQuery            → MsgTable|MsgError       evaluate a subquery, return bindings
 //	MsgUpdate           → MsgUpdateResult|MsgError apply a committed update batch
 //	MsgQueryBatch       → MsgTableBatch|MsgError  evaluate several subqueries in one frame
+//	MsgMigrateBatch     → MsgMigrateResult|MsgError apply a migration shipment to the store
 //
 // MsgError is a valid response to any request; it carries a numeric code
 // and a message and is surfaced by the client as a *RemoteError.
@@ -59,10 +60,12 @@ import (
 // updates); a v1 peer would answer MsgUpdate with a bad-request error
 // instead of mutating, so the bump fails the mismatch loudly at
 // handshake time. Version 3 added MsgQueryBatch/MsgTableBatch (one frame
-// per plan per site instead of one per subquery).
+// per plan per site instead of one per subquery). Version 4 added
+// MsgMigrateBatch/MsgMigrateResult, the live-migration shipment RPC of
+// the adaptive repartitioner.
 const (
 	Magic   = "MPCT"
-	Version = 3
+	Version = 4
 )
 
 // handshakeLen is magic + version + one pad byte.
@@ -81,11 +84,13 @@ const (
 	MsgUpdateResult
 	MsgQueryBatch
 	MsgTableBatch
+	MsgMigrateBatch
+	MsgMigrateResult
 )
 
 // maxMsgType is the highest defined message type; metrics indexing clamps
 // to it (see minMsg).
-const maxMsgType = MsgTableBatch
+const maxMsgType = MsgMigrateResult
 
 // msgName names a message type for metrics and errors.
 func msgName(t byte) string {
@@ -112,6 +117,10 @@ func msgName(t byte) string {
 		return "query_batch"
 	case MsgTableBatch:
 		return "table_batch"
+	case MsgMigrateBatch:
+		return "migrate_batch"
+	case MsgMigrateResult:
+		return "migrate_result"
 	default:
 		return fmt.Sprintf("type_%d", t)
 	}
@@ -637,6 +646,82 @@ func DecodeUpdateResult(data []byte) (cluster.SiteUpdateResult, error) {
 		return cluster.SiteUpdateResult{}, fmt.Errorf("transport: update-result codec: %d trailing bytes", len(data)-d.pos)
 	}
 	return r, nil
+}
+
+// Migration payload codec (MsgMigrateBatch → MsgMigrateResult, protocol
+// v4). A migration shipment is leaner than an update batch: no dictionary
+// delta (every shipped triple is live, so its terms are already interned
+// at every site) and no Local flags (every op is for the receiving site's
+// store by construction). Just the idempotency seq, the op count, and one
+// insert-flag byte plus three uvarint IDs per op. The MsgMigrateResult
+// payload is the store's apply stats, reusing the update-result codec.
+
+// AppendMigrateBatch appends the wire encoding of a migration shipment.
+func AppendMigrateBatch(buf []byte, b cluster.MigrateBatch) []byte {
+	buf = binary.AppendUvarint(buf, b.Seq)
+	buf = binary.AppendUvarint(buf, uint64(len(b.Ops)))
+	for _, op := range b.Ops {
+		var flag byte
+		if op.Insert {
+			flag = 1
+		}
+		buf = append(buf, flag)
+		buf = binary.AppendUvarint(buf, uint64(uint32(op.T.S)))
+		buf = binary.AppendUvarint(buf, uint64(uint32(op.T.P)))
+		buf = binary.AppendUvarint(buf, uint64(uint32(op.T.O)))
+	}
+	return buf
+}
+
+// DecodeMigrateBatch decodes a payload produced by AppendMigrateBatch.
+func DecodeMigrateBatch(data []byte) (cluster.MigrateBatch, error) {
+	d := &queryDecoder{data: data}
+	var b cluster.MigrateBatch
+	fail := func(err error) (cluster.MigrateBatch, error) {
+		return cluster.MigrateBatch{}, fmt.Errorf("transport: codec: migrate: %w", err)
+	}
+	seq, err := d.uvarint("seq")
+	if err != nil {
+		return cluster.MigrateBatch{}, err
+	}
+	b.Seq = seq
+	nOps, err := d.uvarint("op count")
+	if err != nil {
+		return cluster.MigrateBatch{}, err
+	}
+	if nOps > maxUpdateOps {
+		return fail(fmt.Errorf("%d ops exceeds limit", nOps))
+	}
+	b.Ops = make([]rdf.ResolvedUpdate, nOps)
+	for i := range b.Ops {
+		if d.pos >= len(d.data) {
+			return fail(fmt.Errorf("truncated op %d", i))
+		}
+		flag := d.data[d.pos]
+		d.pos++
+		if flag > 1 {
+			return fail(fmt.Errorf("bad op flag %d", flag))
+		}
+		b.Ops[i].Insert = flag == 1
+		var ids [3]uint64
+		for j, what := range [...]string{"op S", "op P", "op O"} {
+			if ids[j], err = d.uvarint(what); err != nil {
+				return cluster.MigrateBatch{}, err
+			}
+			if ids[j] > 1<<32-1 {
+				return fail(fmt.Errorf("%s %d out of range", what, ids[j]))
+			}
+		}
+		b.Ops[i].T = rdf.Triple{
+			S: rdf.VertexID(ids[0]),
+			P: rdf.PropertyID(ids[1]),
+			O: rdf.VertexID(ids[2]),
+		}
+	}
+	if d.pos != len(data) {
+		return fail(fmt.Errorf("%d trailing bytes", len(data)-d.pos))
+	}
+	return b, nil
 }
 
 // Error payload codec (MsgError): uvarint code + message string.

@@ -58,6 +58,11 @@ type Server struct {
 	updMu      sync.Mutex
 	lastSeq    uint64
 	lastResult []byte
+	// Migration shipments keep their own replay state: the coordinator
+	// numbers them independently of update batches (see
+	// cluster.MigrateBatch).
+	lastMigSeq    uint64
+	lastMigResult []byte
 
 	inflight sync.WaitGroup // in-flight request handlers
 }
@@ -285,8 +290,9 @@ func (s *Server) handle(req frame) (byte, []byte) {
 		s.graph = g
 		s.store = nil // a new graph invalidates any previous store
 		s.mu.Unlock()
-		// A fresh replica starts a fresh update history.
+		// A fresh replica starts a fresh update and migration history.
 		s.lastSeq, s.lastResult = 0, nil
+		s.lastMigSeq, s.lastMigResult = 0, nil
 		return MsgOK, nil
 
 	case MsgBootstrapTriples:
@@ -376,6 +382,40 @@ func (s *Server) handle(req frame) (byte, []byte) {
 		payload := AppendUpdateResult(nil, res)
 		s.lastSeq, s.lastResult = batch.Seq, payload
 		return MsgUpdateResult, payload
+
+	case MsgMigrateBatch:
+		batch, err := DecodeMigrateBatch(req.payload)
+		if err != nil {
+			return MsgError, appendErrorPayload(nil, uint64(CodeBadRequest), err.Error())
+		}
+		s.updMu.Lock()
+		defer s.updMu.Unlock()
+		s.mu.Lock()
+		st := s.store
+		s.mu.Unlock()
+		if st == nil {
+			return MsgError, appendErrorPayload(nil, uint64(CodeNoStore),
+				"no store: bootstrap or open a snapshot before migrating")
+		}
+		if batch.Seq != 0 {
+			if batch.Seq == s.lastMigSeq {
+				// Retried shipment: already applied, return the recorded
+				// result.
+				return MsgMigrateResult, s.lastMigResult
+			}
+			if batch.Seq < s.lastMigSeq {
+				return MsgError, appendErrorPayload(nil, uint64(CodeBadRequest),
+					fmt.Sprintf("stale migration batch %d (already at %d)", batch.Seq, s.lastMigSeq))
+			}
+		}
+		// Migration moves placement, not data: only the store changes. The
+		// full-graph replica (when this site keeps one) must NOT absorb
+		// these ops — it mirrors the coordinator's graph, which migration
+		// leaves untouched.
+		res := cluster.SiteUpdateResult{Stats: st.ApplyResolved(batch.Ops)}
+		payload := AppendUpdateResult(nil, res)
+		s.lastMigSeq, s.lastMigResult = batch.Seq, payload
+		return MsgMigrateResult, payload
 
 	case MsgQuery:
 		s.mu.Lock()
