@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race check cover bench bench-full bench-json bench-smoke bench-online bench-throughput bench-scale bench-repart experiments transport-race transport-smoke server-smoke scale-smoke repart-smoke oracle oracle-race update-race repart-race clean
+.PHONY: all build test test-race check cover bench bench-full bench-json bench-smoke bench-online bench-throughput bench-scale bench-repart experiments transport-race transport-smoke server-smoke scale-smoke repart-smoke oracle oracle-race update-race repart-race sparql11-race clean
 
 all: build test
 
@@ -82,6 +82,18 @@ oracle:
 
 oracle-race:
 	$(GO) test -race -count=1 ./internal/oracle/
+
+# Generalized SPARQL 1.1 operator corpus under the race detector: the
+# parser/generator/classification tests for OPTIONAL, UNION, FILTER and
+# property paths, the operator-tree evaluator in internal/cluster and
+# internal/store (left-outer joins, union merge, filter pushdown, path
+# closures), and the generalized differential corpora cross-checked
+# against the naive reference evaluator (internal/oracle).
+sparql11-race:
+	$(GO) test -race -count=1 \
+		-run 'General|Optional|Union|Filter|Path|RandomQuery|EvalQuery|DifferentialCorpus|QueryCodec' \
+		./internal/sparql/ ./internal/store/ ./internal/cluster/ \
+		./internal/transport/ ./internal/oracle/
 
 # Live-update corpus under the race detector: the randomized insert/delete
 # streams cross-checked against the naive evaluator after every batch

@@ -11,8 +11,10 @@
 // fig10 fig11 ablations offline online throughput scale repart all.
 // Figures 9 and 10 share one runner (fig9 and fig10 are aliases). The
 // offline experiment sweeps the -workers knob over {1, 2, NumCPU}; the
-// online experiment measures the query path (per-class latency quantiles,
-// join shapes, allocation microbenchmarks); the throughput experiment
+// online experiment measures the query path (latency quantiles per
+// executability class and per operator class — the GQ1–GQ6 generalized
+// queries ride along with each dataset's workload — plus join shapes and
+// allocation microbenchmarks); the throughput experiment
 // drives serial, closed-loop, and open-loop load through the concurrent
 // serving stack (scheduler + result cache + pipelined transport over
 // loopback TCP); the scale experiment serves the same MPC layout from

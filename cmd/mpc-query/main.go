@@ -218,9 +218,14 @@ func printRows(g *rdf.Graph, tab *store.Table, limit int) {
 	for i := 0; i < n; i++ {
 		for j, v := range tab.Vars {
 			var val string
-			if tab.Kinds[j] == store.KindProperty {
+			switch {
+			case tab.At(i, j) == store.NullID:
+				// Unbound OPTIONAL cells carry the null sentinel, not a
+				// dictionary ID.
+				val = "∅"
+			case tab.Kinds[j] == store.KindProperty:
 				val = g.Properties.String(tab.At(i, j))
-			} else {
+			default:
 				val = g.Vertices.String(tab.At(i, j))
 			}
 			fmt.Printf("  ?%s = %s", v, val)

@@ -428,9 +428,14 @@ func queryHandler(g *rdf.Graph, sched *serve.Scheduler, reg *obs.Registry) http.
 		for i := 0; i < n; i++ {
 			row := make([]string, len(res.Table.Vars))
 			for j := range res.Table.Vars {
-				if res.Table.Kinds[j] == store.KindProperty {
+				switch {
+				case res.Table.At(i, j) == store.NullID:
+					// Unbound OPTIONAL variables are the null sentinel,
+					// not a dictionary ID — never resolve them.
+					row[j] = "∅"
+				case res.Table.Kinds[j] == store.KindProperty:
 					row[j] = g.Properties.String(res.Table.At(i, j))
-				} else {
+				default:
 					row[j] = g.Vertices.String(res.Table.At(i, j))
 				}
 			}

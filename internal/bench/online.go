@@ -51,7 +51,12 @@ type OnlineCombo struct {
 	ResultRows    int64          `json:"result_rows"`
 	TuplesShipped int64          `json:"tuples_shipped"`
 	ClassLatency  []ClassLatency `json:"class_latency"`
-	Joins         JoinShape      `json:"joins"`
+	// OperatorLatency splits the same total-time histogram by operator
+	// class instead of executability class: "bgp", "optional", "union",
+	// "path", "filter" (sparql.Query.OperatorClass, fed by the GQ1–GQ6
+	// generalized workload alongside the plain benchmark queries).
+	OperatorLatency []ClassLatency `json:"operator_latency"`
+	Joins           JoinShape      `json:"joins"`
 }
 
 // OnlineMicro is one testing.Benchmark measurement of an end-to-end query
@@ -111,7 +116,9 @@ func RunOnline(cfg Config) (*OnlineResult, error) {
 	}
 	for _, gen := range []datagen.Generator{datagen.LUBM{}, datagen.WatDiv{}} {
 		g := gen.Generate(cfg.Triples, cfg.Seed)
-		queries := workloadFor(gen, g, cfg)
+		// The dataset's benchmark workload plus the generalized GQ1–GQ6
+		// queries, so every operator-class histogram gains mass.
+		queries := append(workloadFor(gen, g, cfg), workload.SPARQL11Queries(g, cfg.Seed)...)
 		for _, strat := range onlineStrategies {
 			comboCfg := cfg
 			comboCfg.Obs = obs.NewRegistry()
@@ -137,6 +144,7 @@ func RunOnline(cfg Config) (*OnlineResult, error) {
 			snap := comboCfg.Obs.Snapshot()
 			combo.TuplesShipped = snap.Counters["net.tuples_shipped"]
 			combo.ClassLatency = classLatencies(snap)
+			combo.OperatorLatency = operatorLatencies(snap)
 			combo.Joins = joinShape(snap)
 			res.Combos = append(res.Combos, combo)
 
@@ -172,6 +180,28 @@ func classLatencies(snap *obs.Snapshot) []ClassLatency {
 		}
 		out = append(out, ClassLatency{
 			Class:   c.String(),
+			Count:   h.Count,
+			MeanNS:  h.Mean,
+			P50NS:   h.P50,
+			P95NS:   h.P95,
+			TotalNS: h.Sum,
+		})
+	}
+	return out
+}
+
+// operatorLatencies digests the per-operator-class total-time histograms of
+// a snapshot, in sparql.OperatorClasses order, skipping classes the workload
+// never hit.
+func operatorLatencies(snap *obs.Snapshot) []ClassLatency {
+	var out []ClassLatency
+	for _, op := range sparql.OperatorClasses {
+		h, ok := snap.Histograms["query.total_ns."+op]
+		if !ok || h.Count == 0 {
+			continue
+		}
+		out = append(out, ClassLatency{
+			Class:   op,
 			Count:   h.Count,
 			MeanNS:  h.Mean,
 			P50NS:   h.P50,
@@ -275,6 +305,22 @@ func RenderOnline(w io.Writer, res *OnlineResult) {
 		res.Triples, res.K, res.Repeats)
 	WriteTable(w, title,
 		[]string{"dataset", "strategy", "class", "execs", "mean_us", "p50_us", "p95_us"},
+		cells)
+
+	cells = cells[:0]
+	for _, combo := range res.Combos {
+		for _, cl := range combo.OperatorLatency {
+			cells = append(cells, []string{
+				combo.Dataset, combo.Strategy, cl.Class,
+				fmt.Sprint(cl.Count),
+				fmt.Sprintf("%.1f", cl.MeanNS/1e3),
+				fmt.Sprintf("%.1f", float64(cl.P50NS)/1e3),
+				fmt.Sprintf("%.1f", float64(cl.P95NS)/1e3),
+			})
+		}
+	}
+	WriteTable(w, "Per-operator-class latency (OPTIONAL/UNION/FILTER/paths vs plain BGPs)",
+		[]string{"dataset", "strategy", "operator", "execs", "mean_us", "p50_us", "p95_us"},
 		cells)
 
 	cells = cells[:0]

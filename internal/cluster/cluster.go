@@ -276,6 +276,10 @@ type Stats struct {
 	// SemijoinRemoved counts subquery-result rows eliminated by the
 	// semijoin reduction before shipping (0 when Config.Semijoin is off).
 	SemijoinRemoved int
+	// Operator is the query's operator class ("bgp", "optional", "union",
+	// "filter", "path" — sparql.Query.OperatorClass), driving the
+	// per-operator latency histograms.
+	Operator string
 }
 
 // Total returns QDT+LET+JT, the end-to-end simulated latency.

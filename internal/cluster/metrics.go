@@ -29,6 +29,10 @@ type clusterMetrics struct {
 	// reports (query.total_ns.internal etc.).
 	classTotalNS [sparql.ClassNonIEQ + 1]*obs.Histogram
 
+	// operatorTotalNS splits query.total_ns by operator class
+	// (query.total_ns.optional etc.), keyed by Query.OperatorClass values.
+	operatorTotalNS map[string]*obs.Histogram
+
 	buildRows  *obs.Histogram // join.build_rows: hash-index side sizes
 	probeRows  *obs.Histogram // join.probe_rows: probe side sizes
 	outputRows *obs.Histogram // join.output_rows: per-join result sizes
@@ -58,6 +62,10 @@ func newClusterMetrics(r *obs.Registry) clusterMetrics {
 	}
 	for c := range m.classTotalNS {
 		m.classTotalNS[c] = r.Histogram("query.total_ns." + sparql.Class(c).String())
+	}
+	m.operatorTotalNS = make(map[string]*obs.Histogram, len(sparql.OperatorClasses))
+	for _, op := range sparql.OperatorClasses {
+		m.operatorTotalNS[op] = r.Histogram("query.total_ns." + op)
 	}
 	return m
 }
@@ -96,5 +104,8 @@ func (m *clusterMetrics) observeStats(s *Stats) {
 	m.totalNS.ObserveDuration(s.Total())
 	if c := int(s.Class); c >= 0 && c < len(m.classTotalNS) {
 		m.classTotalNS[c].ObserveDuration(s.Total())
+	}
+	if h, ok := m.operatorTotalNS[s.Operator]; ok {
+		h.ObserveDuration(s.Total())
 	}
 }

@@ -50,6 +50,11 @@ func (c *Cluster) ExecutePartialEval(q *sparql.Query) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("cluster: partial evaluation requires a vertex-disjoint partitioning, got %T", c.layout)
 	}
+	if !q.IsBGP() || len(q.Filters) > 0 {
+		// The exact-cover assembly enumerates edge masks of a conjunctive
+		// pattern; generalized operators have no edge-mask decomposition.
+		return nil, fmt.Errorf("cluster: partial evaluation supports plain BGP queries only")
+	}
 	if c.remote {
 		// The ownership predicate below is a closure over the coordinator's
 		// assignment; it cannot be shipped to a remote site.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"mpc/internal/obs"
 	"mpc/internal/sparql"
 	"mpc/internal/store"
 )
@@ -42,6 +43,12 @@ type Plan struct {
 	// single-unknown-property case (no sites, typed empty table).
 	direct bool
 
+	// general marks a generalized query (OPTIONAL/UNION/FILTER/property
+	// paths, q.Where != nil). Such queries are executed by the operator-tree
+	// evaluator (general.go), which plans and runs each BGP leaf through the
+	// machinery above at execution time; Subs/SitesPerSub stay empty here.
+	general bool
+
 	// version is the cluster state version the plan was built at. A
 	// committed update can change a query's classification (a property
 	// entering or leaving L_cross) or its site lists, so ExecutePlan
@@ -63,6 +70,20 @@ func (c *Cluster) Plan(q *sparql.Query) *Plan {
 // planLocked builds a plan; the caller holds stateMu (either mode).
 func (c *Cluster) planLocked(q *sparql.Query) *Plan {
 	t0 := time.Now()
+	if !q.IsBGP() {
+		// Generalized queries carry their strategy in the operator tree
+		// itself: each BGP leaf is classified and decomposed by this same
+		// planner when the evaluator reaches it, so there is nothing to
+		// precompute here. Theorem 5 does not apply to the query as a whole —
+		// report ClassNonIEQ.
+		return &Plan{
+			Query:      q,
+			Class:      sparql.ClassNonIEQ,
+			general:    true,
+			DecompTime: time.Since(t0),
+			version:    c.version,
+		}
+	}
 	var p *Plan
 	switch c.cfg.Mode {
 	case ModeVP:
@@ -149,9 +170,35 @@ func (c *Cluster) ExecutePlan(ctx context.Context, p *Plan) (*Result, error) {
 		Independent:   p.Independent,
 		NumSubqueries: len(p.Subs),
 		DecompTime:    p.DecompTime,
+		Operator:      p.Query.OperatorClass(),
 	}
 
 	var final *store.Table
+	var err error
+	if p.general {
+		final, err = c.runGeneral(ctx, p.Query, tr, &stats)
+	} else {
+		final, err = c.runBGPPlan(ctx, p, tr, &stats)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	sp = tr.Root().Child("project")
+	final = project(final, p.Query)
+	sp.End()
+	c.met.observeStats(&stats)
+	return &Result{Table: final, Stats: stats}, nil
+}
+
+// runBGPPlan executes a plain-BGP plan: local evaluation at the plan's
+// sites, then (for non-independent queries) the coordinator join. The
+// result carries the plan's full variable bindings — the caller projects.
+// Stats fields are accumulated, not assigned, so the generalized evaluator
+// can run many BGP-leaf plans against one Stats value.
+func (c *Cluster) runBGPPlan(ctx context.Context, p *Plan, tr *obs.Trace, stats *Stats) (*store.Table, error) {
+	var final *store.Table
+	var sp *obs.Span
 	switch {
 	case p.direct && len(p.SitesPerSub[0]) == 0:
 		// Provably empty with no site visit (VP unknown property). Keep the
@@ -169,9 +216,9 @@ func (c *Cluster) ExecutePlan(ctx context.Context, p *Plan) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		stats.LocalTime = time.Since(t1)
-		stats.BytesShipped = ss.BytesShipped
-		stats.WireTime = ss.WireTime
+		stats.LocalTime += time.Since(t1)
+		stats.BytesShipped += ss.BytesShipped
+		stats.WireTime += ss.WireTime
 		final = tab
 
 	default:
@@ -182,9 +229,9 @@ func (c *Cluster) ExecutePlan(ctx context.Context, p *Plan) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		stats.LocalTime = time.Since(t1)
-		stats.BytesShipped = wire.BytesShipped
-		stats.WireTime = wire.WireTime
+		stats.LocalTime += time.Since(t1)
+		stats.BytesShipped += wire.BytesShipped
+		stats.WireTime += wire.WireTime
 
 		if p.Independent {
 			// No join phase at all: this is the whole point of an IEQ.
@@ -194,32 +241,31 @@ func (c *Cluster) ExecutePlan(ctx context.Context, p *Plan) (*Result, error) {
 		t2 := time.Now()
 		if c.cfg.Semijoin {
 			sp = tr.Root().Child("semijoin")
-			stats.SemijoinRemoved = semijoinReduce(tables)
-			sp.SetAttr("rows_removed", int64(stats.SemijoinRemoved))
+			removed := semijoinReduce(tables)
+			stats.SemijoinRemoved += removed
+			sp.SetAttr("rows_removed", int64(removed))
 			sp.End()
 		}
+		shipped := 0
 		for _, tab := range tables {
-			stats.TuplesShipped += tab.Len()
+			shipped += tab.Len()
 		}
+		stats.TuplesShipped += shipped
 		sp = tr.Root().Child("join")
-		sp.SetAttr("tuples_shipped", int64(stats.TuplesShipped))
+		sp.SetAttr("tuples_shipped", int64(shipped))
 		final, err = joinAll(tables, &c.met)
 		sp.End()
 		if err != nil {
 			return nil, err
 		}
-		stats.JoinTime = time.Since(t2)
+		stats.JoinTime += time.Since(t2)
 		if !c.remote {
 			// Simulated shipping cost; with a real transport the measured
 			// BytesShipped/WireTime above replace the model.
-			stats.NetTime = time.Duration(stats.TuplesShipped) * c.cfg.NetCostPerTuple
-			stats.JoinTime += stats.NetTime
+			net := time.Duration(shipped) * c.cfg.NetCostPerTuple
+			stats.NetTime += net
+			stats.JoinTime += net
 		}
 	}
-
-	sp = tr.Root().Child("project")
-	final = project(final, p.Query)
-	sp.End()
-	c.met.observeStats(&stats)
-	return &Result{Table: final, Stats: stats}, nil
+	return final, nil
 }

@@ -42,28 +42,47 @@ var graphConfigs = []struct {
 	{48, 8, 1.3, 240},
 }
 
-// TestDifferentialCorpus is the tentpole: for every fixed-seed (graph,
-// query) pair, every strategy × partitioner combination must return exactly
-// the oracle's canonicalized bindings, and the metamorphic invariants must
-// hold. In default mode it demands at least 200 checked pairs; -short runs
-// a 3-graph subset.
+// TestDifferentialCorpus is the tentpole: a mixed corpus of plain BGPs and
+// generalized operator-tree queries (OPTIONAL / UNION / FILTER / property
+// paths) in which, for every fixed-seed (graph, query) pair, every strategy
+// × partitioner × transport combination (loopback TCP included on the first
+// graphs) must return exactly the oracle's canonicalized bindings, and for
+// BGPs the metamorphic invariants must hold. A §12-style update batch lands
+// every few queries, so the corpus also checks the post-update world. In
+// default mode it demands at least 300 checked pairs; -short runs a 3-graph
+// subset.
 func TestDifferentialCorpus(t *testing.T) {
-	graphs, queriesPerGraph := graphConfigs, 30
+	graphs, queriesPerGraph := graphConfigs, 44
 	if testing.Short() {
-		graphs, queriesPerGraph = graphs[:3], 12
+		graphs, queriesPerGraph = graphs[:3], 14
 	}
 	checked, skipped := 0, 0
+	var byClass = map[string]int{}
 	for gi, gc := range graphs {
 		g := datagen.Random{V: gc.v, P: gc.p, Skew: gc.skew}.Generate(gc.triples, int64(100+gi))
-		env, err := NewEnv(g, Options{Localize: true, Block: true})
+		env, err := NewEnv(g, Options{Localize: true, Block: true, TCP: gi < 2})
 		if err != nil {
 			t.Fatalf("graph %d: %v", gi, err)
 		}
 		rng := rand.New(rand.NewSource(int64(1000 + gi)))
+		fresh := 0
 		for qi := 0; qi < queriesPerGraph; qi++ {
-			o := queryOptions(4)
-			o.Disconnected = qi%3 == 0
-			q := sparql.RandomBGP(rng, o)
+			if qi > 0 && qi%8 == 0 {
+				// Update-stream interleaving: mutate the shared world, then
+				// keep checking queries against the post-update graph.
+				ops := randomOps(rng, g, 2+rng.Intn(5), &fresh)
+				if _, err := env.ApplyBatch(context.Background(), ops); err != nil {
+					t.Fatalf("graph %d batch before query %d: %v", gi, qi, err)
+				}
+			}
+			var q *sparql.Query
+			if qi%2 == 0 {
+				q = sparql.RandomQuery(rng, genQueryOptions())
+			} else {
+				o := queryOptions(4)
+				o.Disconnected = qi%3 == 0
+				q = sparql.RandomBGP(rng, o)
+			}
 			res, err := env.Check(q)
 			if err != nil {
 				t.Fatalf("graph %d query %d:\n%s\n%v", gi, qi, q, err)
@@ -73,18 +92,24 @@ func TestDifferentialCorpus(t *testing.T) {
 				continue
 			}
 			checked++
+			byClass[q.OperatorClass()]++
 			for _, d := range res.Divergences {
 				t.Errorf("graph %d query %d (%d oracle rows):\n%s\n%s", gi, qi, res.OracleRows, q, d)
 			}
 		}
 		env.Close()
 	}
-	t.Logf("checked %d cases, skipped %d (oracle budget)", checked, skipped)
-	if !testing.Short() && checked < 200 {
-		t.Fatalf("only %d checked cases; corpus must cover at least 200", checked)
+	t.Logf("checked %d cases (%v), skipped %d (oracle budget)", checked, byClass, skipped)
+	if !testing.Short() && checked < 300 {
+		t.Fatalf("only %d checked cases; corpus must cover at least 300", checked)
 	}
 	if checked == 0 {
 		t.Fatal("no cases checked at all")
+	}
+	for _, class := range sparql.OperatorClasses {
+		if !testing.Short() && byClass[class] == 0 {
+			t.Errorf("corpus checked no %s-class queries", class)
+		}
 	}
 }
 

@@ -385,7 +385,10 @@ func (b *Bindings) render(row []uint32, g *rdf.Graph) string {
 		}
 		sb.WriteString(b.Vars[i])
 		sb.WriteByte('=')
-		if g == nil {
+		if v == store.NullID {
+			// Unbound cell (OPTIONAL/UNION padding) — not a dictionary ID.
+			sb.WriteString("∅")
+		} else if g == nil {
 			fmt.Fprintf(&sb, "%d", v)
 		} else if b.Kinds[i] == store.KindProperty {
 			sb.WriteString(g.Properties.String(v))

@@ -1,0 +1,240 @@
+package sparql
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Expr is a FILTER constraint in the small expression language shared by
+// the cluster engine, the store-level pushdown and the naive oracle:
+// comparisons over terms, bound(?v), and !/&&/|| with SPARQL's three-valued
+// error logic. Expressions are immutable after construction.
+type Expr interface {
+	exprNode()
+	// String renders the expression so that ParseExpr round-trips it.
+	String() string
+}
+
+// ExprCmp compares two operands with one of = != < <= > >=.
+type ExprCmp struct {
+	Op   string
+	L, R Term
+}
+
+// ExprBound is bound(?v): true iff the variable is bound in the row.
+type ExprBound struct {
+	Var string
+}
+
+// ExprNot negates, propagating errors.
+type ExprNot struct{ E Expr }
+
+// ExprAnd is logical AND with SPARQL error semantics (false && error =
+// false).
+type ExprAnd struct{ L, R Expr }
+
+// ExprOr is logical OR with SPARQL error semantics (true || error = true).
+type ExprOr struct{ L, R Expr }
+
+func (*ExprCmp) exprNode()   {}
+func (*ExprBound) exprNode() {}
+func (*ExprNot) exprNode()   {}
+func (*ExprAnd) exprNode()   {}
+func (*ExprOr) exprNode()    {}
+
+func (e *ExprCmp) String() string {
+	return e.L.String() + " " + e.Op + " " + e.R.String()
+}
+
+func (e *ExprBound) String() string { return "bound(?" + e.Var + ")" }
+
+func (e *ExprNot) String() string {
+	if b, ok := e.E.(*ExprBound); ok {
+		return "!" + b.String()
+	}
+	return "!(" + e.E.String() + ")"
+}
+
+func (e *ExprAnd) String() string {
+	return exprAndOperand(e.L) + " && " + exprAndOperand(e.R)
+}
+
+func exprAndOperand(e Expr) string {
+	if _, ok := e.(*ExprOr); ok {
+		return "(" + e.String() + ")"
+	}
+	return e.String()
+}
+
+func (e *ExprOr) String() string { return e.L.String() + " || " + e.R.String() }
+
+// ExprVars returns the distinct variables referenced by the expression,
+// sorted.
+func ExprVars(e Expr) []string {
+	seen := map[string]bool{}
+	exprVars(e, seen)
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func exprVars(e Expr, seen map[string]bool) {
+	switch n := e.(type) {
+	case *ExprCmp:
+		if n.L.IsVar {
+			seen[n.L.Value] = true
+		}
+		if n.R.IsVar {
+			seen[n.R.Value] = true
+		}
+	case *ExprBound:
+		seen[n.Var] = true
+	case *ExprNot:
+		exprVars(n.E, seen)
+	case *ExprAnd:
+		exprVars(n.L, seen)
+		exprVars(n.R, seen)
+	case *ExprOr:
+		exprVars(n.L, seen)
+		exprVars(n.R, seen)
+	}
+}
+
+// SplitConjuncts flattens top-level && into a conjunct list, the unit of
+// FILTER pushdown (each conjunct may be pushed independently below a join).
+func SplitConjuncts(e Expr) []Expr {
+	if a, ok := e.(*ExprAnd); ok {
+		return append(SplitConjuncts(a.L), SplitConjuncts(a.R)...)
+	}
+	return []Expr{e}
+}
+
+// ExprEnv resolves a variable to its surface-form value. The second result
+// is false when the variable is unbound (or not in scope).
+type ExprEnv func(name string) (string, bool)
+
+// EvalExpr evaluates the expression under SPARQL's three-valued logic. The
+// second result is false when evaluation errored (e.g. a comparison over an
+// unbound variable); FILTER treats errors as "drop the row", so callers
+// keep a row iff EvalExpr returns (true, true).
+func EvalExpr(e Expr, env ExprEnv) (val, ok bool) {
+	switch n := e.(type) {
+	case *ExprCmp:
+		l, lok := resolveOperand(n.L, env)
+		r, rok := resolveOperand(n.R, env)
+		if !lok || !rok {
+			return false, false
+		}
+		return compareValues(n.Op, l, r), true
+	case *ExprBound:
+		_, bound := env(n.Var)
+		return bound, true
+	case *ExprNot:
+		v, ok := EvalExpr(n.E, env)
+		if !ok {
+			return false, false
+		}
+		return !v, true
+	case *ExprAnd:
+		lv, lok := EvalExpr(n.L, env)
+		rv, rok := EvalExpr(n.R, env)
+		if lok && rok {
+			return lv && rv, true
+		}
+		// error && false = false; anything else with an error is an error.
+		if lok && !lv || rok && !rv {
+			return false, true
+		}
+		return false, false
+	case *ExprOr:
+		lv, lok := EvalExpr(n.L, env)
+		rv, rok := EvalExpr(n.R, env)
+		if lok && rok {
+			return lv || rv, true
+		}
+		// error || true = true; anything else with an error is an error.
+		if lok && lv || rok && rv {
+			return true, true
+		}
+		return false, false
+	}
+	return false, false
+}
+
+func resolveOperand(t Term, env ExprEnv) (string, bool) {
+	if !t.IsVar {
+		return t.Value, true
+	}
+	return env(t.Value)
+}
+
+// compareValues compares two surface forms. When both are numeric literals
+// the comparison is numeric; otherwise it is bytewise over the surface
+// strings. This single deterministic rule is shared by the engine, the
+// pushdown and the oracle (DESIGN.md §15).
+func compareValues(op, l, r string) bool {
+	var cmp int
+	lf, lnum := numericValue(l)
+	rf, rnum := numericValue(r)
+	if lnum && rnum {
+		switch {
+		case lf < rf:
+			cmp = -1
+		case lf > rf:
+			cmp = 1
+		}
+	} else {
+		cmp = strings.Compare(l, r)
+	}
+	switch op {
+	case "=":
+		return cmp == 0
+	case "!=":
+		return cmp != 0
+	case "<":
+		return cmp < 0
+	case "<=":
+		return cmp <= 0
+	case ">":
+		return cmp > 0
+	case ">=":
+		return cmp >= 0
+	}
+	return false
+}
+
+// numericValue extracts a float from a literal surface form: either a bare
+// number or a quoted literal whose quoted content parses as a number (any
+// @lang/^^type suffix is ignored for the numeric test).
+func numericValue(s string) (float64, bool) {
+	if s == "" {
+		return 0, false
+	}
+	if s[0] == '"' {
+		end := closingQuote(s)
+		if end < 0 {
+			return 0, false
+		}
+		s = s[1:end]
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	return f, err == nil
+}
+
+// closingQuote returns the index of the closing '"' of a literal surface
+// form starting with '"', honoring backslash escapes, or -1.
+func closingQuote(s string) int {
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			return i
+		}
+	}
+	return -1
+}

@@ -2,27 +2,35 @@ package sparql
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"unicode"
 )
 
-// Parse parses a BGP query in a practical SPARQL subset:
+// Parse parses a query in a practical SPARQL 1.1 subset:
 //
 //	PREFIX ub: <http://example.org/univ#>
 //	SELECT ?x ?y WHERE {
 //	  ?x ub:worksFor ?y .
-//	  ?y <http://example.org/univ#name> "CS" .
-//	  ?x ?p ?z .
+//	  OPTIONAL { ?y <http://example.org/univ#name> ?n }
+//	  { ?x <a> ?z } UNION { ?x <b> ?z }
+//	  ?x <knows>+ ?w .
+//	  FILTER(?n != "CS" && bound(?z))
 //	}
 //
 // Supported: PREFIX declarations, SELECT with explicit variables or *,
-// optional DISTINCT (accepted and ignored — BGP match semantics here are
+// optional DISTINCT (accepted and ignored — full-binding semantics here are
 // set-based), IRIs in angle brackets, prefixed names, the keyword `a` for
-// rdf:type, literals with optional @lang or ^^<datatype>, blank nodes, and
-// '.'-separated triple patterns. Property paths, FILTER, OPTIONAL and other
-// SPARQL algebra are out of scope (the paper evaluates BGPs only).
+// rdf:type, literals with optional @lang or ^^<datatype>, blank nodes,
+// '.'-separated triple patterns, nested groups, OPTIONAL { }, { } UNION { },
+// FILTER with comparisons (= != < <= > >=), bound(?v), ! && || and
+// parentheses, and property paths built from constant IRIs with | and the
+// ?, * and + modifiers. See the README coverage matrix for the SPARQL 1.1
+// surface that is intentionally out of scope.
+//
+// Errors carry the byte offset of the offending token.
 func Parse(input string) (*Query, error) {
-	p := &parser{toks: tokenize(input)}
+	p := &parser{toks: tokenize(input), end: len(input)}
 	return p.parseQuery()
 }
 
@@ -36,25 +44,46 @@ func MustParse(input string) *Query {
 	return q
 }
 
+// ParseExpr parses a standalone FILTER expression (the wire form used when
+// pushed-down filters travel with a subquery).
+func ParseExpr(input string) (Expr, error) {
+	p := &parser{toks: tokenize(input), end: len(input)}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if t, ok := p.peek(); ok {
+		return nil, p.errAt(t.off, "trailing token %q after expression", t.text)
+	}
+	return e, nil
+}
+
 const rdfType = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
 
 type token struct {
 	kind tokenKind
 	text string
+	off  int // byte offset in the input
 }
 
 type tokenKind int
 
 const (
-	tokWord tokenKind = iota // keywords, prefixed names, 'a'
-	tokVar                   // ?name
-	tokIRI                   // <...> (text without brackets)
-	tokLiteral
-	tokBlank
-	tokLBrace
-	tokRBrace
-	tokDot
-	tokStar
+	tokWord     tokenKind = iota // keywords, prefixed names, 'a', numbers
+	tokVar                       // ?name
+	tokIRI                       // <...> (text without brackets)
+	tokLiteral                   // "..." with optional @lang/^^<datatype>
+	tokBlank                     // _:name
+	tokLBrace                    // {
+	tokRBrace                    // }
+	tokDot                       // .
+	tokStar                      // * (SELECT projection or path modifier)
+	tokLParen                    // (
+	tokRParen                    // )
+	tokPipe                      // | (path alternative)
+	tokPlus                      // + (path modifier)
+	tokQuestion                  // bare ? (path modifier)
+	tokOp                        // = != < <= > >= && || ! &
 )
 
 func tokenize(s string) []token {
@@ -70,34 +99,91 @@ func tokenize(s string) []token {
 				i++
 			}
 		case c == '{':
-			toks = append(toks, token{tokLBrace, "{"})
+			toks = append(toks, token{tokLBrace, "{", i})
 			i++
 		case c == '}':
-			toks = append(toks, token{tokRBrace, "}"})
+			toks = append(toks, token{tokRBrace, "}", i})
 			i++
 		case c == '.':
-			toks = append(toks, token{tokDot, "."})
+			toks = append(toks, token{tokDot, ".", i})
 			i++
 		case c == '*':
-			toks = append(toks, token{tokStar, "*"})
+			toks = append(toks, token{tokStar, "*", i})
 			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == '+':
+			toks = append(toks, token{tokPlus, "+", i})
+			i++
+		case c == '|':
+			if i+1 < len(s) && s[i+1] == '|' {
+				toks = append(toks, token{tokOp, "||", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokPipe, "|", i})
+				i++
+			}
+		case c == '&':
+			if i+1 < len(s) && s[i+1] == '&' {
+				toks = append(toks, token{tokOp, "&&", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokOp, "&", i}) // rejected by the parser
+				i++
+			}
+		case c == '=':
+			toks = append(toks, token{tokOp, "=", i})
+			i++
+		case c == '!':
+			if i+1 < len(s) && s[i+1] == '=' {
+				toks = append(toks, token{tokOp, "!=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokOp, "!", i})
+				i++
+			}
+		case c == '>':
+			if i+1 < len(s) && s[i+1] == '=' {
+				toks = append(toks, token{tokOp, ">=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokOp, ">", i})
+				i++
+			}
 		case c == '?' || c == '$':
 			j := i + 1
 			for j < len(s) && isNameChar(rune(s[j])) {
 				j++
 			}
-			toks = append(toks, token{tokVar, s[i+1 : j]})
+			switch {
+			case j > i+1:
+				toks = append(toks, token{tokVar, s[i+1 : j], i})
+			case c == '?':
+				// Bare '?': a path modifier, not a variable.
+				toks = append(toks, token{tokQuestion, "?", i})
+			default:
+				toks = append(toks, token{tokWord, "$", i}) // rejected by the parser
+			}
 			i = j
 		case c == '<':
-			j := strings.IndexByte(s[i:], '>')
-			if j < 0 {
-				toks = append(toks, token{tokIRI, s[i+1:]}) // error caught later
-				i = len(s)
+			// '<' opens an IRI iff a '>' appears before any whitespace;
+			// otherwise it is the less-than operator (possibly '<=').
+			if j := iriEnd(s, i); j >= 0 {
+				toks = append(toks, token{tokIRI, s[i+1 : j], i})
+				i = j + 1
+			} else if i+1 < len(s) && s[i+1] == '=' {
+				toks = append(toks, token{tokOp, "<=", i})
+				i += 2
 			} else {
-				toks = append(toks, token{tokIRI, s[i+1 : i+j]})
-				i += j + 1
+				toks = append(toks, token{tokOp, "<", i})
+				i++
 			}
 		case c == '"':
+			start := i
 			j := i + 1
 			for j < len(s) {
 				if s[j] == '\\' {
@@ -133,14 +219,14 @@ func tokenize(s string) []token {
 					break
 				}
 			}
-			toks = append(toks, token{tokLiteral, s[i:j]})
+			toks = append(toks, token{tokLiteral, s[start:j], start})
 			i = j
 		case c == '_' && i+1 < len(s) && s[i+1] == ':':
 			j := i + 2
 			for j < len(s) && isNameChar(rune(s[j])) {
 				j++
 			}
-			toks = append(toks, token{tokBlank, s[i:j]})
+			toks = append(toks, token{tokBlank, s[i:j], i})
 			i = j
 		default:
 			j := i
@@ -148,15 +234,33 @@ func tokenize(s string) []token {
 				s[j] != '\n' && s[j] != '\r' {
 				j++
 			}
-			toks = append(toks, token{tokWord, s[i:j]})
+			toks = append(toks, token{tokWord, s[i:j], i})
 			i = j
 		}
 	}
 	return toks
 }
 
+// iriEnd returns the index of the closing '>' of an IRI opened at s[open],
+// or -1 if whitespace or end of input intervenes (then '<' is an operator).
+func iriEnd(s string, open int) int {
+	for j := open + 1; j < len(s); j++ {
+		switch s[j] {
+		case '>':
+			return j
+		case ' ', '\t', '\n', '\r':
+			return -1
+		}
+	}
+	return -1
+}
+
 func isDelim(c byte) bool {
-	return c == '{' || c == '}' || c == '.' || c == '<' || c == '"' || c == '?'
+	switch c {
+	case '{', '}', '.', '<', '"', '?', '(', ')', '|', '&', '=', '!', '>', '+', '*':
+		return true
+	}
+	return false
 }
 
 func isNameChar(r rune) bool {
@@ -166,6 +270,7 @@ func isNameChar(r rune) bool {
 type parser struct {
 	toks     []token
 	pos      int
+	end      int // input length, for end-of-input error offsets
 	prefixes map[string]string
 }
 
@@ -184,37 +289,67 @@ func (p *parser) next() (token, bool) {
 	return t, ok
 }
 
+// curOff is the byte offset of the token about to be read (or the input
+// end), for error reporting.
+func (p *parser) curOff() int {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos].off
+	}
+	return p.end
+}
+
+func (p *parser) errAt(off int, format string, args ...interface{}) error {
+	return fmt.Errorf("sparql: byte %d: %s", off, fmt.Sprintf(format, args...))
+}
+
+// errTok reports an error at the given token, or at end of input when the
+// token read failed (ok == false, zero token).
+func (p *parser) errTok(t token, ok bool, format string, args ...interface{}) error {
+	if !ok {
+		return p.errAt(p.end, format, args...)
+	}
+	return p.errAt(t.off, format, args...)
+}
+
 func (p *parser) errorf(format string, args ...interface{}) error {
-	return fmt.Errorf("sparql: %s", fmt.Sprintf(format, args...))
+	return p.errAt(p.curOff(), format, args...)
+}
+
+// skipDot consumes an optional '.' separator after a group-level element.
+func (p *parser) skipDot() {
+	if t, ok := p.peek(); ok && t.kind == tokDot {
+		p.pos++
+	}
+}
+
+func (p *parser) word(text string) bool {
+	t, ok := p.peek()
+	return ok && t.kind == tokWord && strings.EqualFold(t.text, text)
 }
 
 func (p *parser) parseQuery() (*Query, error) {
 	p.prefixes = map[string]string{}
 	// PREFIX declarations.
-	for {
-		t, ok := p.peek()
-		if !ok || t.kind != tokWord || !strings.EqualFold(t.text, "PREFIX") {
-			break
-		}
+	for p.word("PREFIX") {
 		p.pos++
 		name, ok := p.next()
 		if !ok || name.kind != tokWord || !strings.HasSuffix(name.text, ":") {
-			return nil, p.errorf("PREFIX expects 'name:'")
+			return nil, p.errTok(name, ok, "PREFIX expects 'name:'")
 		}
 		iri, ok := p.next()
 		if !ok || iri.kind != tokIRI {
-			return nil, p.errorf("PREFIX expects an IRI")
+			return nil, p.errTok(iri, ok, "PREFIX expects an IRI")
 		}
 		p.prefixes[strings.TrimSuffix(name.text, ":")] = iri.text
 	}
 
 	t, ok := p.next()
 	if !ok || t.kind != tokWord || !strings.EqualFold(t.text, "SELECT") {
-		return nil, p.errorf("expected SELECT")
+		return nil, p.errTok(t, ok, "expected SELECT")
 	}
 	q := &Query{}
 	// Optional DISTINCT.
-	if t, ok := p.peek(); ok && t.kind == tokWord && strings.EqualFold(t.text, "DISTINCT") {
+	if p.word("DISTINCT") {
 		p.pos++
 	}
 	// Projection.
@@ -235,7 +370,7 @@ func (p *parser) parseQuery() (*Query, error) {
 		if t.kind == tokWord && strings.EqualFold(t.text, "WHERE") {
 			break
 		}
-		return nil, p.errorf("unexpected token %q in SELECT clause", t.text)
+		return nil, p.errAt(t.off, "unexpected token %q in SELECT clause", t.text)
 	}
 	if len(q.Select) == 0 {
 		// '*' path or immediate WHERE: both mean project everything.
@@ -243,46 +378,402 @@ func (p *parser) parseQuery() (*Query, error) {
 	}
 	t, ok = p.next()
 	if !ok || t.kind != tokWord || !strings.EqualFold(t.text, "WHERE") {
-		return nil, p.errorf("expected WHERE")
+		return nil, p.errTok(t, ok, "expected WHERE")
 	}
-	t, ok = p.next()
+	gp, err := p.parseGroup()
+	if err != nil {
+		return nil, err
+	}
+	if t, ok := p.peek(); ok {
+		return nil, p.errAt(t.off, "trailing token %q after query", t.text)
+	}
+	// A pure conjunctive tree lowers to the legacy BGP form so the whole
+	// paper pipeline (classification, decomposition, partial evaluation,
+	// codecs) sees exactly the queries it always has.
+	if bgp, ok := gp.(*BGP); ok {
+		q.Patterns = bgp.Patterns
+	} else {
+		q.Where = gp
+	}
+	return q, nil
+}
+
+// parseGroup parses '{' ... '}' into a pattern tree. Consecutive plain
+// triples merge into a single BGP leaf; a group that reduces to one part
+// with no filters simplifies to that part.
+func (p *parser) parseGroup() (GraphPattern, error) {
+	t, ok := p.next()
 	if !ok || t.kind != tokLBrace {
-		return nil, p.errorf("expected '{'")
+		return nil, p.errTok(t, ok, "expected '{'")
 	}
-	// Triple patterns.
+	g := &Group{}
+	var cur *BGP // trailing run of plain triples
+	flush := func() {
+		if cur != nil {
+			g.Parts = append(g.Parts, cur)
+			cur = nil
+		}
+	}
 	for {
 		t, ok := p.peek()
 		if !ok {
-			return nil, p.errorf("unterminated WHERE block")
+			return nil, p.errorf("unterminated group")
 		}
-		if t.kind == tokRBrace {
+		switch {
+		case t.kind == tokRBrace:
 			p.pos++
+			flush()
+			if len(g.Parts) == 0 && len(g.Filters) == 0 {
+				return nil, p.errAt(t.off, "empty group")
+			}
+			if len(g.Parts) == 1 && len(g.Filters) == 0 {
+				// A sole OPTIONAL must keep its group: { OPTIONAL { B } } is
+				// LeftJoin(identity, B), which is not the same thing as an
+				// OPTIONAL part left-joined against the siblings of an
+				// enclosing group.
+				if _, sole := g.Parts[0].(*Optional); !sole {
+					return g.Parts[0], nil
+				}
+			}
+			return g, nil
+		case t.kind == tokWord && strings.EqualFold(t.text, "OPTIONAL"):
+			p.pos++
+			inner, err := p.parseGroup()
+			if err != nil {
+				return nil, err
+			}
+			flush()
+			g.Parts = append(g.Parts, &Optional{Inner: inner})
+			p.skipDot()
+		case t.kind == tokWord && strings.EqualFold(t.text, "FILTER"):
+			p.pos++
+			e, err := p.parseConstraint()
+			if err != nil {
+				return nil, err
+			}
+			g.Filters = append(g.Filters, e)
+			p.skipDot()
+		case t.kind == tokLBrace:
+			arm, err := p.parseGroup()
+			if err != nil {
+				return nil, err
+			}
+			if p.word("UNION") {
+				u := &Union{Arms: []GraphPattern{arm}}
+				for p.word("UNION") {
+					p.pos++
+					next, err := p.parseGroup()
+					if err != nil {
+						return nil, err
+					}
+					u.Arms = append(u.Arms, next)
+				}
+				flush()
+				g.Parts = append(g.Parts, u)
+			} else {
+				flush()
+				g.Parts = append(g.Parts, arm)
+			}
+			p.skipDot()
+		default:
+			s, err := p.parseTerm("subject")
+			if err != nil {
+				return nil, err
+			}
+			prop, path, err := p.parsePathOrProperty()
+			if err != nil {
+				return nil, err
+			}
+			o, err := p.parseTerm("object")
+			if err != nil {
+				return nil, err
+			}
+			if path != nil {
+				flush()
+				g.Parts = append(g.Parts, &PathPattern{S: s, Path: path, O: o})
+			} else {
+				if cur == nil {
+					cur = &BGP{}
+				}
+				cur.Patterns = append(cur.Patterns, TriplePattern{S: s, P: prop, O: o})
+			}
+			if t, ok := p.peek(); ok && t.kind == tokDot {
+				p.pos++
+			}
+		}
+	}
+}
+
+// parseConstraint parses the argument of FILTER: a parenthesized
+// expression or a bare bound(?v) builtin.
+func (p *parser) parseConstraint() (Expr, error) {
+	if p.word("BOUND") {
+		return p.parseBound()
+	}
+	t, ok := p.next()
+	if !ok || t.kind != tokLParen {
+		return nil, p.errTok(t, ok, "FILTER expects '(' or bound(...)")
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	t, ok = p.next()
+	if !ok || t.kind != tokRParen {
+		return nil, p.errTok(t, ok, "expected ')' closing FILTER")
+	}
+	return e, nil
+}
+
+// parseExpr parses with precedence ! > && > ||.
+func (p *parser) parseExpr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t, ok := p.peek()
+		if !ok || t.kind != tokOp || t.text != "||" {
+			return l, nil
+		}
+		p.pos++
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &ExprOr{L: l, R: r}
+	}
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t, ok := p.peek()
+		if !ok || t.kind != tokOp || t.text != "&&" {
+			return l, nil
+		}
+		p.pos++
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &ExprAnd{L: l, R: r}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if t, ok := p.peek(); ok && t.kind == tokOp && t.text == "!" {
+		p.pos++
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &ExprNot{E: e}, nil
+	}
+	return p.parsePrimaryExpr()
+}
+
+func (p *parser) parsePrimaryExpr() (Expr, error) {
+	t, ok := p.peek()
+	if !ok {
+		return nil, p.errorf("unexpected end of input in expression")
+	}
+	if t.kind == tokLParen {
+		p.pos++
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		t, ok := p.next()
+		if !ok || t.kind != tokRParen {
+			return nil, p.errTok(t, ok, "expected ')' in expression")
+		}
+		return e, nil
+	}
+	if t.kind == tokWord && strings.EqualFold(t.text, "BOUND") {
+		return p.parseBound()
+	}
+	l, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	t, ok = p.next()
+	if !ok || t.kind != tokOp || !isCmpOp(t.text) {
+		return nil, p.errTok(t, ok, "expected comparison operator")
+	}
+	op := t.text
+	r, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	return &ExprCmp{Op: op, L: l, R: r}, nil
+}
+
+func isCmpOp(s string) bool {
+	switch s {
+	case "=", "!=", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseBound() (Expr, error) {
+	p.pos++ // the BOUND word
+	t, ok := p.next()
+	if !ok || t.kind != tokLParen {
+		return nil, p.errTok(t, ok, "bound expects '('")
+	}
+	v, ok := p.next()
+	if !ok || v.kind != tokVar {
+		return nil, p.errTok(v, ok, "bound expects a variable")
+	}
+	t, ok = p.next()
+	if !ok || t.kind != tokRParen {
+		return nil, p.errTok(t, ok, "bound expects ')'")
+	}
+	return &ExprBound{Var: v.text}, nil
+}
+
+// parseOperand parses a comparison operand: a variable, IRI, literal,
+// blank node, prefixed name, or bare number (normalized to a quoted
+// literal so it compares equal to the stored surface form).
+func (p *parser) parseOperand() (Term, error) {
+	t, ok := p.next()
+	if !ok {
+		return Term{}, p.errorf("unexpected end of input in expression")
+	}
+	switch t.kind {
+	case tokVar:
+		return Var(t.text), nil
+	case tokIRI, tokLiteral, tokBlank:
+		return Const(t.text), nil
+	case tokWord:
+		if _, err := strconv.ParseFloat(t.text, 64); err == nil {
+			return Const(`"` + t.text + `"`), nil
+		}
+		if i := strings.IndexByte(t.text, ':'); i >= 0 {
+			return p.expandPrefixed(t)
+		}
+	}
+	return Term{}, p.errAt(t.off, "unexpected token %q in expression", t.text)
+}
+
+// parsePathOrProperty parses the predicate position: a variable or plain
+// IRI yields a Term (prop), anything using |, ?, * or + yields a Path.
+func (p *parser) parsePathOrProperty() (Term, *Path, error) {
+	if t, ok := p.peek(); ok && t.kind == tokVar {
+		p.pos++
+		if m, ok := p.peek(); ok && isPathModToken(m) {
+			return Term{}, nil, p.errAt(m.off, "path modifier after variable property")
+		}
+		return Var(t.text), nil, nil
+	}
+	path, err := p.parsePathAlt()
+	if err != nil {
+		return Term{}, nil, err
+	}
+	if path.Kind == PathIRI {
+		return Const(path.IRI), nil, nil
+	}
+	return Term{}, path, nil
+}
+
+func isPathModToken(t token) bool {
+	return t.kind == tokPlus || t.kind == tokStar || t.kind == tokQuestion ||
+		t.kind == tokPipe
+}
+
+func (p *parser) parsePathAlt() (*Path, error) {
+	first, err := p.parsePathElt()
+	if err != nil {
+		return nil, err
+	}
+	alts := []*Path{first}
+	for {
+		t, ok := p.peek()
+		if !ok || t.kind != tokPipe {
 			break
 		}
-		s, err := p.parseTerm("subject")
+		p.pos++
+		next, err := p.parsePathElt()
 		if err != nil {
 			return nil, err
 		}
-		pr, err := p.parseTerm("property")
+		alts = append(alts, next)
+	}
+	if len(alts) == 1 {
+		return first, nil
+	}
+	return &Path{Kind: PathAlt, Alts: alts}, nil
+}
+
+func (p *parser) parsePathElt() (*Path, error) {
+	prim, err := p.parsePathPrimary()
+	if err != nil {
+		return nil, err
+	}
+	t, ok := p.peek()
+	if !ok {
+		return prim, nil
+	}
+	switch t.kind {
+	case tokPlus:
+		p.pos++
+		return &Path{Kind: PathMod, Mod: '+', Sub: prim}, nil
+	case tokStar:
+		p.pos++
+		return &Path{Kind: PathMod, Mod: '*', Sub: prim}, nil
+	case tokQuestion:
+		p.pos++
+		return &Path{Kind: PathMod, Mod: '?', Sub: prim}, nil
+	}
+	return prim, nil
+}
+
+func (p *parser) parsePathPrimary() (*Path, error) {
+	t, ok := p.next()
+	if !ok {
+		return nil, p.errorf("unexpected end of input in property path")
+	}
+	switch t.kind {
+	case tokIRI:
+		return &Path{Kind: PathIRI, IRI: t.text}, nil
+	case tokLParen:
+		inner, err := p.parsePathAlt()
 		if err != nil {
 			return nil, err
 		}
-		o, err := p.parseTerm("object")
-		if err != nil {
-			return nil, err
+		t, ok := p.next()
+		if !ok || t.kind != tokRParen {
+			return nil, p.errTok(t, ok, "expected ')' in property path")
 		}
-		q.Patterns = append(q.Patterns, TriplePattern{S: s, P: pr, O: o})
-		if t, ok := p.peek(); ok && t.kind == tokDot {
-			p.pos++
+		return inner, nil
+	case tokWord:
+		if t.text == "a" {
+			return &Path{Kind: PathIRI, IRI: rdfType}, nil
+		}
+		if strings.IndexByte(t.text, ':') >= 0 {
+			c, err := p.expandPrefixed(t)
+			if err != nil {
+				return nil, err
+			}
+			return &Path{Kind: PathIRI, IRI: c.Value}, nil
 		}
 	}
-	if t, ok := p.peek(); ok {
-		return nil, p.errorf("trailing token %q after query", t.text)
+	return nil, p.errAt(t.off, "unexpected token %q in property path", t.text)
+}
+
+func (p *parser) expandPrefixed(t token) (Term, error) {
+	i := strings.IndexByte(t.text, ':')
+	prefix, local := t.text[:i], t.text[i+1:]
+	base, ok := p.prefixes[prefix]
+	if !ok {
+		return Term{}, p.errAt(t.off, "unknown prefix %q", prefix)
 	}
-	if len(q.Patterns) == 0 {
-		return nil, p.errorf("empty BGP")
-	}
-	return q, nil
+	return Const(base + local), nil
 }
 
 func (p *parser) parseTerm(position string) (Term, error) {
@@ -301,16 +792,11 @@ func (p *parser) parseTerm(position string) (Term, error) {
 		if t.text == "a" && position == "property" {
 			return Const(rdfType), nil
 		}
-		if i := strings.IndexByte(t.text, ':'); i >= 0 {
-			prefix, local := t.text[:i], t.text[i+1:]
-			base, ok := p.prefixes[prefix]
-			if !ok {
-				return Term{}, p.errorf("unknown prefix %q", prefix)
-			}
-			return Const(base + local), nil
+		if strings.IndexByte(t.text, ':') >= 0 {
+			return p.expandPrefixed(t)
 		}
-		return Term{}, p.errorf("unexpected word %q as %s", t.text, position)
+		return Term{}, p.errAt(t.off, "unexpected word %q as %s", t.text, position)
 	default:
-		return Term{}, p.errorf("unexpected token %q as %s", t.text, position)
+		return Term{}, p.errAt(t.off, "unexpected token %q as %s", t.text, position)
 	}
 }

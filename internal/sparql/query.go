@@ -57,14 +57,27 @@ func (tp TriplePattern) String() string {
 	return fmt.Sprintf("%s %s %s .", tp.S, tp.P, tp.O)
 }
 
-// Query is a BGP query: a projection list and a multiset of triple
-// patterns. An empty Select means SELECT *.
+// Query is a query: a projection list plus either a plain BGP (Patterns,
+// Where == nil — the paper's conjunctive model, Definition 3.5) or a
+// generalized operator tree (Where != nil; Patterns is then empty).
+// An empty Select means SELECT *.
+//
+// Filters holds pushed-down FILTER conjuncts conjoined with the BGP; the
+// parser never sets it (parsed FILTERs live in Group nodes) — it is
+// populated by the engine when a conjunct's variables are covered by a BGP
+// leaf or decomposed subquery, and travels to remote sites with the query.
 type Query struct {
 	Select   []string
 	Patterns []TriplePattern
+	Where    GraphPattern
+	Filters  []Expr
 }
 
-// String renders the query.
+// IsBGP reports whether the query is a plain conjunctive BGP (no operator
+// tree).
+func (q *Query) IsBGP() bool { return q.Where == nil }
+
+// String renders the query; Parse round-trips the result.
 func (q *Query) String() string {
 	var b strings.Builder
 	b.WriteString("SELECT ")
@@ -79,14 +92,22 @@ func (q *Query) String() string {
 		}
 	}
 	b.WriteString(" WHERE {\n")
-	for _, p := range q.Patterns {
-		b.WriteString("  " + p.String() + "\n")
+	if q.Where != nil {
+		appendGroupBody(q.Where, &b, "  ")
+	} else {
+		for _, p := range q.Patterns {
+			b.WriteString("  " + p.String() + "\n")
+		}
+		for _, f := range q.Filters {
+			b.WriteString("  FILTER(" + f.String() + ")\n")
+		}
 	}
 	b.WriteString("}")
 	return b.String()
 }
 
-// Vars returns the distinct variable names in the query, sorted.
+// Vars returns the distinct variable names bound by the query's patterns
+// (FILTER expressions do not bind), sorted.
 func (q *Query) Vars() []string {
 	seen := map[string]bool{}
 	for _, p := range q.Patterns {
@@ -96,6 +117,9 @@ func (q *Query) Vars() []string {
 			}
 		}
 	}
+	if q.Where != nil {
+		patternVars(q.Where, seen)
+	}
 	out := make([]string, 0, len(seen))
 	for v := range seen {
 		out = append(out, v)
@@ -104,13 +128,17 @@ func (q *Query) Vars() []string {
 	return out
 }
 
-// Properties returns the distinct constant properties used in the query.
+// Properties returns the distinct constant properties used in the query
+// (BGP predicates and property-path IRIs).
 func (q *Query) Properties() []string {
 	seen := map[string]bool{}
 	for _, p := range q.Patterns {
 		if !p.P.IsVar {
 			seen[p.P.Value] = true
 		}
+	}
+	if q.Where != nil {
+		patternProperties(q.Where, seen)
 	}
 	out := make([]string, 0, len(seen))
 	for v := range seen {
@@ -268,6 +296,10 @@ func (q *Query) Clone() *Query {
 	c := &Query{
 		Select:   append([]string(nil), q.Select...),
 		Patterns: append([]TriplePattern(nil), q.Patterns...),
+		Filters:  append([]Expr(nil), q.Filters...),
+	}
+	if q.Where != nil {
+		c.Where = ClonePattern(q.Where)
 	}
 	return c
 }

@@ -2,6 +2,212 @@ package sparql
 
 import "math/rand"
 
+// GenOptions configures RandomQuery, the generalized operator-tree
+// generator. The zero value is usable; the embedded leaf options follow
+// RandOptions defaults.
+type GenOptions struct {
+	// Rand configures the BGP leaves (constant pools, pattern counts).
+	Rand RandOptions
+	// MaxDepth bounds operator nesting (default 2): below it, parts may be
+	// OPTIONAL, UNION, nested groups; at it, only leaves are generated.
+	MaxDepth int
+	// MaxParts bounds the number of parts per group (default 3).
+	MaxParts int
+	// OptionalProb / UnionProb / PathProb pick a part's operator; the
+	// remaining mass generates a BGP leaf. Defaults 0.35 / 0.25 / 0.2
+	// (negative means never).
+	OptionalProb, UnionProb, PathProb float64
+	// FilterProb is the probability a group gets a FILTER constraint.
+	// Default 0.45; negative means never.
+	FilterProb float64
+	// EmptyArmProb is the probability a UNION arm or OPTIONAL inner is
+	// guaranteed empty (a constant subject no graph contains). Default 0.15.
+	EmptyArmProb float64
+	// UnboundFilterProb is the probability a FILTER atom references a
+	// variable nothing binds. Default 0.15.
+	UnboundFilterProb float64
+}
+
+// missingVertex is the guaranteed-empty-arm constant: generators never put
+// it in VertexConsts and graph fixtures never intern it.
+const missingVertex = "mpc:never-present"
+
+// unboundFilterVar is the never-bound variable FILTER edge cases reference;
+// it is outside every term pool.
+const unboundFilterVar = "unbound"
+
+func (o GenOptions) withDefaults() GenOptions {
+	o.Rand = o.Rand.withDefaults()
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 2
+	}
+	if o.MaxParts <= 0 {
+		o.MaxParts = 3
+	}
+	def := func(p *float64, d float64) {
+		if *p == 0 {
+			*p = d
+		} else if *p < 0 {
+			*p = 0
+		}
+	}
+	def(&o.OptionalProb, 0.35)
+	def(&o.UnionProb, 0.25)
+	def(&o.PathProb, 0.2)
+	def(&o.FilterProb, 0.45)
+	def(&o.EmptyArmProb, 0.15)
+	def(&o.UnboundFilterProb, 0.15)
+	if len(o.Rand.PropertyConsts) == 0 {
+		// Property paths are built from constant properties only.
+		o.PathProb = 0
+	}
+	return o
+}
+
+// RandomQuery generates a seeded random generalized query: a group tree
+// mixing BGP leaves, OPTIONAL, UNION, property paths and FILTER constraints,
+// with guaranteed-empty arms and never-bound filter variables mixed in per
+// the options. Every draw comes from rng, so a fixed seed reproduces the
+// query exactly. Leaves share the vertex-variable pool, so parts join on
+// common variables with the same likelihood RandomBGP's shapes do.
+func RandomQuery(rng *rand.Rand, o GenOptions) *Query {
+	o = o.withDefaults()
+	q := &Query{Where: genGroup(rng, o, 0)}
+	if vars := q.Vars(); len(vars) > 0 && rng.Float64() < o.Rand.SelectProb {
+		rng.Shuffle(len(vars), func(i, j int) { vars[i], vars[j] = vars[j], vars[i] })
+		q.Select = vars[:1+rng.Intn(len(vars))]
+	}
+	return q
+}
+
+func genGroup(rng *rand.Rand, o GenOptions, depth int) *Group {
+	g := &Group{}
+	n := 1 + rng.Intn(o.MaxParts)
+	for i := 0; i < n; i++ {
+		g.Parts = append(g.Parts, genPart(rng, o, depth))
+	}
+	if rng.Float64() < o.FilterProb {
+		if e := genFilter(rng, o, g); e != nil {
+			g.Filters = append(g.Filters, e)
+		}
+	}
+	return g
+}
+
+func genPart(rng *rand.Rand, o GenOptions, depth int) GraphPattern {
+	r := rng.Float64()
+	if depth < o.MaxDepth {
+		switch {
+		case r < o.OptionalProb:
+			return &Optional{Inner: genInner(rng, o, depth+1)}
+		case r < o.OptionalProb+o.UnionProb:
+			u := &Union{}
+			arms := 2 + rng.Intn(2)
+			for i := 0; i < arms; i++ {
+				u.Arms = append(u.Arms, genInner(rng, o, depth+1))
+			}
+			return u
+		case r < o.OptionalProb+o.UnionProb+o.PathProb:
+			return genPathPattern(rng, o)
+		}
+	} else if r < o.PathProb {
+		return genPathPattern(rng, o)
+	}
+	return genLeaf(rng, o)
+}
+
+// genInner builds an OPTIONAL body or UNION arm: guaranteed empty with
+// EmptyArmProb, a nested group while depth allows, else a leaf.
+func genInner(rng *rand.Rand, o GenOptions, depth int) GraphPattern {
+	if rng.Float64() < o.EmptyArmProb {
+		p := Var(propVarPool[0])
+		if len(o.Rand.PropertyConsts) > 0 {
+			p = Const(o.Rand.PropertyConsts[rng.Intn(len(o.Rand.PropertyConsts))])
+		}
+		return &BGP{Patterns: []TriplePattern{{
+			S: Const(missingVertex),
+			P: p,
+			O: Var(vertexVarPool[rng.Intn(len(vertexVarPool))]),
+		}}}
+	}
+	if depth < o.MaxDepth && rng.Float64() < 0.4 {
+		return genGroup(rng, o, depth)
+	}
+	return genLeaf(rng, o)
+}
+
+func genLeaf(rng *rand.Rand, o GenOptions) *BGP {
+	n := 1 + rng.Intn(2)
+	return &BGP{Patterns: randomComponent(rng, o.Rand, n, 0)}
+}
+
+// genPathPattern builds a property-path leaf over constant properties.
+func genPathPattern(rng *rand.Rand, o GenOptions) *PathPattern {
+	endpoint := func() Term {
+		if len(o.Rand.VertexConsts) > 0 && rng.Float64() < o.Rand.ConstProb {
+			return Const(o.Rand.VertexConsts[rng.Intn(len(o.Rand.VertexConsts))])
+		}
+		return Var(vertexVarPool[rng.Intn(len(vertexVarPool))])
+	}
+	return &PathPattern{S: endpoint(), Path: genPathExpr(rng, o, 0), O: endpoint()}
+}
+
+func genPathExpr(rng *rand.Rand, o GenOptions, depth int) *Path {
+	iri := func() *Path {
+		return &Path{Kind: PathIRI, IRI: o.Rand.PropertyConsts[rng.Intn(len(o.Rand.PropertyConsts))]}
+	}
+	switch choice := rng.Intn(3); {
+	case choice == 0 || depth > 0:
+		return iri()
+	case choice == 1:
+		return &Path{Kind: PathAlt, Alts: []*Path{
+			genPathExpr(rng, o, depth+1), genPathExpr(rng, o, depth+1)}}
+	default:
+		mods := [3]byte{'?', '*', '+'}
+		return &Path{Kind: PathMod, Mod: mods[rng.Intn(3)],
+			Sub: genPathExpr(rng, o, depth+1)}
+	}
+}
+
+// genFilter builds one FILTER expression (possibly a conjunction) over the
+// variables the group binds, with never-bound variables mixed in.
+func genFilter(rng *rand.Rand, o GenOptions, g *Group) Expr {
+	vars := PatternVars(g)
+	pick := func() string {
+		if len(vars) == 0 || rng.Float64() < o.UnboundFilterProb {
+			return unboundFilterVar
+		}
+		return vars[rng.Intn(len(vars))]
+	}
+	ops := []string{"=", "!=", "<", "<=", ">", ">="}
+	atom := func() Expr {
+		v := pick()
+		switch rng.Intn(4) {
+		case 0:
+			return &ExprBound{Var: v}
+		case 1:
+			return &ExprNot{E: &ExprBound{Var: v}}
+		case 2:
+			r := Const(missingVertex)
+			if len(o.Rand.VertexConsts) > 0 && rng.Intn(4) > 0 {
+				r = Const(o.Rand.VertexConsts[rng.Intn(len(o.Rand.VertexConsts))])
+			}
+			return &ExprCmp{Op: ops[rng.Intn(len(ops))], L: Var(v), R: r}
+		default:
+			return &ExprCmp{Op: ops[rng.Intn(len(ops))], L: Var(v), R: Var(pick())}
+		}
+	}
+	e := atom()
+	for rng.Float64() < 0.3 {
+		if rng.Intn(2) == 0 {
+			e = &ExprAnd{L: e, R: atom()}
+		} else {
+			e = &ExprOr{L: e, R: atom()}
+		}
+	}
+	return e
+}
+
 // RandOptions configures RandomBGP. The zero value is usable: it yields
 // connected queries of 1–4 patterns over small anonymous constant pools.
 type RandOptions struct {

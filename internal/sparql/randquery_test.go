@@ -3,6 +3,8 @@ package sparql
 import (
 	"math/rand"
 	"reflect"
+	"strings"
+	"sync"
 	"testing"
 )
 
@@ -127,6 +129,175 @@ func TestParserRoundTripProperty(t *testing.T) {
 		}
 		if !reflect.DeepEqual(q.Select, q2.Select) {
 			t.Fatalf("seed %d: projection changed across round-trip: %v vs %v", seed, q.Select, q2.Select)
+		}
+	}
+}
+
+func testGenOptions() GenOptions {
+	return GenOptions{Rand: testRandOptions()}
+}
+
+// seedDigest folds the renderings of the queries generated for a seed range
+// into one FNV-1a hash — the determinism fingerprint of the generator.
+func seedDigest(o GenOptions, seeds int64) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for seed := int64(0); seed < seeds; seed++ {
+		q := RandomQuery(rand.New(rand.NewSource(seed)), o)
+		for _, c := range []byte(q.String()) {
+			h ^= uint64(c)
+			h *= prime64
+		}
+		h ^= 1 << 40
+		h *= prime64
+	}
+	return h
+}
+
+// TestRandomQuerySeedDigest pins seed determinism: the same seed must
+// reproduce the identical tree, and the digest over a seed range must be
+// stable across repeated sequential passes.
+func TestRandomQuerySeedDigest(t *testing.T) {
+	o := testGenOptions()
+	for seed := int64(0); seed < 100; seed++ {
+		a := RandomQuery(rand.New(rand.NewSource(seed)), o)
+		b := RandomQuery(rand.New(rand.NewSource(seed)), o)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: %s vs %s", seed, a, b)
+		}
+	}
+	if d1, d2 := seedDigest(o, 200), seedDigest(o, 200); d1 != d2 {
+		t.Fatalf("sequential digests differ: %x vs %x", d1, d2)
+	}
+}
+
+// TestRandomQueryConcurrentDeterminism generates the same seed range from
+// many goroutines at once; every digest must match the sequential one. The
+// generator must not share hidden mutable state (run with -race).
+func TestRandomQueryConcurrentDeterminism(t *testing.T) {
+	o := testGenOptions()
+	want := seedDigest(o, 120)
+	const workers = 8
+	got := make([]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			got[w] = seedDigest(o, 120)
+		}(w)
+	}
+	wg.Wait()
+	for w, d := range got {
+		if d != want {
+			t.Fatalf("worker %d digest %x != sequential %x", w, d, want)
+		}
+	}
+}
+
+// TestRandomQueryReparses checks every generated query re-parses from its
+// rendering and that printing is a fixpoint from the parsed form onward
+// (parsing normalizes: adjacent BGP parts merge, sole-part groups unwrap).
+func TestRandomQueryReparses(t *testing.T) {
+	for seed := int64(0); seed < 400; seed++ {
+		q := RandomQuery(rand.New(rand.NewSource(seed)), testGenOptions())
+		q2, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("seed %d: rendering does not re-parse: %v\n%s", seed, err, q)
+		}
+		q3, err := Parse(q2.String())
+		if err != nil {
+			t.Fatalf("seed %d: normalized rendering does not re-parse: %v\n%s", seed, err, q2)
+		}
+		if q2.String() != q3.String() {
+			t.Fatalf("seed %d: printing not a fixpoint:\n%s\nvs\n%s", seed, q2, q3)
+		}
+	}
+}
+
+// TestRandomQueryCoversOperators makes sure the generator emits the
+// advertised variety in a modest seed range: every operator class, empty
+// arms, never-bound filter variables, nesting, and explicit projections.
+func TestRandomQueryCoversOperators(t *testing.T) {
+	counts := map[string]int{}
+	var emptyArm, unboundVar, selects int
+	for seed := int64(0); seed < 400; seed++ {
+		q := RandomQuery(rand.New(rand.NewSource(seed)), testGenOptions())
+		counts[q.OperatorClass()]++
+		if len(q.Select) > 0 {
+			selects++
+		}
+		s := q.String()
+		if strings.Contains(s, missingVertex) {
+			emptyArm++
+		}
+		if strings.Contains(s, "?"+unboundFilterVar) {
+			unboundVar++
+		}
+	}
+	for _, class := range OperatorClasses {
+		if class == "bgp" {
+			continue
+		}
+		if counts[class] == 0 {
+			t.Errorf("no %s-class queries generated in 400 seeds", class)
+		}
+	}
+	if emptyArm == 0 {
+		t.Error("no guaranteed-empty arms generated")
+	}
+	if unboundVar == 0 {
+		t.Error("no never-bound filter variables generated")
+	}
+	if selects == 0 {
+		t.Error("no explicit projections generated")
+	}
+}
+
+// TestRandomQueryKindConsistent checks generated trees never use one
+// variable in both vertex and property positions — the engine and oracle
+// both reject that, so the differential corpus would hard-error.
+func TestRandomQueryKindConsistent(t *testing.T) {
+	for seed := int64(0); seed < 400; seed++ {
+		q := RandomQuery(rand.New(rand.NewSource(seed)), testGenOptions())
+		asVertex, asProp := map[string]bool{}, map[string]bool{}
+		var walk func(GraphPattern)
+		walk = func(p GraphPattern) {
+			switch n := p.(type) {
+			case *BGP:
+				for _, tp := range n.Patterns {
+					for _, v := range []Term{tp.S, tp.O} {
+						if v.IsVar {
+							asVertex[v.Value] = true
+						}
+					}
+					if tp.P.IsVar {
+						asProp[tp.P.Value] = true
+					}
+				}
+			case *PathPattern:
+				for _, v := range []Term{n.S, n.O} {
+					if v.IsVar {
+						asVertex[v.Value] = true
+					}
+				}
+			case *Optional:
+				walk(n.Inner)
+			case *Union:
+				for _, a := range n.Arms {
+					walk(a)
+				}
+			case *Group:
+				for _, part := range n.Parts {
+					walk(part)
+				}
+			}
+		}
+		walk(q.Where)
+		for v := range asProp {
+			if asVertex[v] {
+				t.Fatalf("seed %d: ?%s used as both property and vertex in\n%s", seed, v, q)
+			}
 		}
 	}
 }

@@ -13,9 +13,20 @@ type compiled struct {
 	kinds []VarKind
 	// patterns in evaluation order; terms reference var slots or IDs.
 	pats []cpattern
+	// filters are pushed-down FILTER conjuncts (q.Filters), each evaluated
+	// at the earliest recursion depth where its BGP-bound variables are all
+	// bound.
+	filters []cfilter
 	// empty is set when a constant term is absent from the dictionary:
 	// the query can have no matches.
 	empty bool
+}
+
+// cfilter is one pushed FILTER conjunct. Variables absent from slots are
+// not bound by the BGP and evaluate as unbound (SPARQL error semantics).
+type cfilter struct {
+	expr  sparql.Expr
+	slots map[string]int
 }
 
 type cterm struct {
@@ -77,6 +88,15 @@ func compile(q *sparql.Query, g *rdf.Graph) (*compiled, error) {
 			return nil, err
 		}
 		c.pats = append(c.pats, cp)
+	}
+	for _, e := range q.Filters {
+		f := cfilter{expr: e, slots: map[string]int{}}
+		for _, v := range sparql.ExprVars(e) {
+			if s, ok := slots[v]; ok {
+				f.slots[v] = s
+			}
+		}
+		c.filters = append(c.filters, f)
 	}
 	return c, nil
 }
@@ -163,6 +183,36 @@ func (st *Store) MatchWhere(q *sparql.Query, pred func(rdf.Triple) bool) (*Table
 	}
 	order := st.planOrder(c)
 
+	// Pushed FILTER conjuncts prune partial bindings as soon as every
+	// BGP-bound variable they reference is bound: compute each variable's
+	// bind depth under the chosen order, then bucket filters by the depth
+	// at which they become decidable.
+	var filtersAt [][]*cfilter
+	if len(c.filters) > 0 {
+		bindDepth := make([]int, len(c.vars))
+		seen := make([]bool, len(c.vars))
+		for d, pi := range order {
+			cp := c.pats[pi]
+			for _, t := range []cterm{cp.s, cp.p, cp.o} {
+				if t.isVar && !seen[t.slot] {
+					seen[t.slot] = true
+					bindDepth[t.slot] = d + 1
+				}
+			}
+		}
+		filtersAt = make([][]*cfilter, len(order)+1)
+		for i := range c.filters {
+			f := &c.filters[i]
+			depth := 0
+			for _, s := range f.slots {
+				if bindDepth[s] > depth {
+					depth = bindDepth[s]
+				}
+			}
+			filtersAt[depth] = append(filtersAt[depth], f)
+		}
+	}
+
 	// Instrumentation accumulates in locals and publishes once per Match,
 	// so the matcher's recursion stays free of atomic traffic.
 	var scanned, admitted int64
@@ -218,8 +268,37 @@ func (st *Store) MatchWhere(q *sparql.Query, pred func(rdf.Triple) bool) (*Table
 		return h
 	}
 
+	// filterEnv resolves a filter variable against the current binding;
+	// variables outside the BGP (absent from slots) are unbound.
+	filterEnv := func(f *cfilter) sparql.ExprEnv {
+		return func(name string) (string, bool) {
+			s, ok := f.slots[name]
+			if !ok || binding[s] == unbound {
+				return "", false
+			}
+			if c.kinds[s] == KindProperty {
+				return st.g.Properties.String(uint32(binding[s])), true
+			}
+			return st.g.Vertices.String(uint32(binding[s])), true
+		}
+	}
+	passFilters := func(d int) bool {
+		if filtersAt == nil {
+			return true
+		}
+		for _, f := range filtersAt[d] {
+			if v, ok := sparql.EvalExpr(f.expr, filterEnv(f)); !ok || !v {
+				return false
+			}
+		}
+		return true
+	}
+
 	var rec func(d int)
 	rec = func(d int) {
+		if !passFilters(d) {
+			return
+		}
 		if d == len(order) {
 			if dedup {
 				k := bindingKey()

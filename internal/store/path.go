@@ -1,0 +1,268 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+
+	"mpc/internal/rdf"
+	"mpc/internal/sparql"
+)
+
+// ErrPathBudget reports that a property-path evaluation exceeded its work
+// budget (scanned candidates plus closure expansions). Callers surface it
+// like the oracle's "too large" condition rather than returning a partial
+// relation.
+var ErrPathBudget = errors.New("store: path evaluation budget exceeded")
+
+// DefaultPathBudget bounds MatchPath work when callers pass budget <= 0.
+const DefaultPathBudget = 1 << 22
+
+// MatchPath evaluates a property-path pattern over this store's live
+// triples and returns one row per distinct endpoint binding, with the same
+// column conventions as Match (variable endpoints only; a fully-constant
+// pattern yields a zero-width table whose row count is 0 or 1).
+//
+// Semantics (shared with the oracle and the coordinator closure,
+// DESIGN.md §15): rel(<p>) is the live edge set of p; '|' is union; '+' is
+// the transitive closure; '?' and '*' additionally admit zero-length
+// matches, which bind a vertex to itself iff that vertex occurs in at
+// least one live triple of this store. The evaluation is bounded: budget
+// units are charged per candidate triple scanned and per closure node
+// expanded, and ErrPathBudget is returned on exhaustion.
+func (st *Store) MatchPath(pp *sparql.PathPattern, budget int) (*Table, error) {
+	if budget <= 0 {
+		budget = DefaultPathBudget
+	}
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	e := &pathEval{st: st, budget: budget}
+
+	sConst, oConst := !pp.S.IsVar, !pp.O.IsVar
+	var sID, oID uint32
+	var sKnown, oKnown bool
+	if sConst {
+		sID, sKnown = st.g.Vertices.Lookup(pp.S.Value)
+	}
+	if oConst {
+		oID, oKnown = st.g.Vertices.Lookup(pp.O.Value)
+	}
+
+	switch {
+	case sConst && oConst:
+		out := NewTable(nil, nil)
+		if !sKnown || !oKnown {
+			return out, nil
+		}
+		reach, err := e.reach(pp.Path, sID, true)
+		if err != nil {
+			return nil, err
+		}
+		if reach[oID] {
+			out.ZeroWidthRows = 1
+		}
+		return out, nil
+
+	case sConst: // S const, O var
+		out := NewTable([]string{pp.O.Value}, []VarKind{KindVertex})
+		if !sKnown {
+			return out, nil
+		}
+		reach, err := e.reach(pp.Path, sID, true)
+		if err != nil {
+			return nil, err
+		}
+		for o := range reach {
+			out.AppendRow(o)
+		}
+		out.SortRows()
+		return out, nil
+
+	case oConst: // S var, O const: walk the path backwards
+		out := NewTable([]string{pp.S.Value}, []VarKind{KindVertex})
+		if !oKnown {
+			return out, nil
+		}
+		reach, err := e.reach(pp.Path, oID, false)
+		if err != nil {
+			return nil, err
+		}
+		for s := range reach {
+			out.AppendRow(s)
+		}
+		out.SortRows()
+		return out, nil
+	}
+
+	// Both endpoints are variables: close from every live vertex.
+	sameVar := pp.S.Value == pp.O.Value
+	var out *Table
+	if sameVar {
+		out = NewTable([]string{pp.S.Value}, []VarKind{KindVertex})
+	} else {
+		out = NewTable([]string{pp.S.Value, pp.O.Value}, []VarKind{KindVertex, KindVertex})
+	}
+	sources, err := e.liveVertices()
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range sources {
+		reach, err := e.reach(pp.Path, s, true)
+		if err != nil {
+			return nil, err
+		}
+		for o := range reach {
+			if sameVar {
+				if o == s {
+					out.AppendRow(s)
+				}
+				continue
+			}
+			out.AppendRow(s, o)
+		}
+	}
+	out.SortRows()
+	return out, nil
+}
+
+// pathEval carries the shared work budget across the recursive evaluation.
+type pathEval struct {
+	st     *Store
+	budget int
+}
+
+func (e *pathEval) charge(n int) error {
+	e.budget -= n
+	if e.budget < 0 {
+		return ErrPathBudget
+	}
+	return nil
+}
+
+// reach returns the set of vertices related to v by the path (forward:
+// v as subject; backward: v as object). Zero-length self-matches are
+// pruned when v does not occur in any live triple — a vertex without live
+// occurrences has no edges, so any self-entry can only have come from the
+// identity component.
+func (e *pathEval) reach(p *sparql.Path, v uint32, fwd bool) (map[uint32]bool, error) {
+	out := map[uint32]bool{}
+	if err := e.step(p, v, fwd, func(u uint32) { out[u] = true }); err != nil {
+		return nil, err
+	}
+	if out[v] && !e.occursLive(v) {
+		delete(out, v)
+	}
+	return out, nil
+}
+
+// step enumerates every vertex one rel(p)-application away from v,
+// possibly with repetitions (callers dedup).
+func (e *pathEval) step(p *sparql.Path, v uint32, fwd bool, yield func(uint32)) error {
+	switch p.Kind {
+	case sparql.PathIRI:
+		pid, ok := e.st.g.Properties.Lookup(p.IRI)
+		if !ok {
+			return nil
+		}
+		var scanned int
+		if fwd {
+			e.st.idx.candidates(int64(v), int64(pid), -1, func(tr rdf.Triple) bool {
+				scanned++
+				yield(uint32(tr.O))
+				return true
+			})
+		} else {
+			e.st.idx.candidates(-1, int64(pid), int64(v), func(tr rdf.Triple) bool {
+				scanned++
+				yield(uint32(tr.S))
+				return true
+			})
+		}
+		return e.charge(scanned + 1)
+
+	case sparql.PathAlt:
+		for _, a := range p.Alts {
+			if err := e.step(a, v, fwd, yield); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case sparql.PathMod:
+		switch p.Mod {
+		case '?':
+			yield(v)
+			return e.step(p.Sub, v, fwd, yield)
+		case '+', '*':
+			// BFS closure of rel(Sub) from v. visited holds every vertex
+			// reached by >= 1 application; v itself is included only when a
+			// cycle returns to it (or always, for '*').
+			visited := map[uint32]bool{}
+			var queue []uint32
+			push := func(w uint32) {
+				if !visited[w] {
+					visited[w] = true
+					queue = append(queue, w)
+				}
+			}
+			if err := e.step(p.Sub, v, fwd, push); err != nil {
+				return err
+			}
+			for i := 0; i < len(queue); i++ {
+				if err := e.charge(1); err != nil {
+					return err
+				}
+				if err := e.step(p.Sub, queue[i], fwd, push); err != nil {
+					return err
+				}
+			}
+			for _, u := range queue {
+				yield(u)
+			}
+			if p.Mod == '*' && !visited[v] {
+				yield(v)
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("store: malformed path node")
+}
+
+// occursLive reports whether v occurs (as subject or object) in a live
+// triple of this store.
+func (e *pathEval) occursLive(v uint32) bool {
+	found := false
+	e.st.idx.candidates(int64(v), -1, -1, func(rdf.Triple) bool {
+		found = true
+		return false
+	})
+	if found {
+		return true
+	}
+	e.st.idx.candidates(-1, -1, int64(v), func(rdf.Triple) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// liveVertices returns the distinct vertices occurring in live triples,
+// charging the scan against the budget.
+func (e *pathEval) liveVertices() ([]uint32, error) {
+	seen := map[uint32]bool{}
+	var out []uint32
+	scanned := 0
+	e.st.idx.candidates(-1, -1, -1, func(tr rdf.Triple) bool {
+		scanned++
+		for _, v := range [2]uint32{uint32(tr.S), uint32(tr.O)} {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+		return true
+	})
+	if err := e.charge(scanned); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,244 @@
+package store
+
+import (
+	"errors"
+	"testing"
+
+	"mpc/internal/rdf"
+	"mpc/internal/sparql"
+)
+
+// chainGraph: a -p-> b -p-> c -p-> d, plus e -q-> a and an isolated vertex
+// "ghost" created by an insert-then-delete (occurs in the dictionary but in
+// no live triple).
+func chainGraph() *rdf.Graph {
+	g := rdf.NewGraph()
+	g.AddTriple("a", "p", "b")
+	g.AddTriple("b", "p", "c")
+	g.AddTriple("c", "p", "d")
+	g.AddTriple("e", "q", "a")
+	g.AddTriple("ghost", "p", "a") // deleted from the store below
+	g.Freeze()
+	return g
+}
+
+// chainStore loads everything except the ghost triple, so "ghost" is a
+// dictionary vertex with no live occurrence.
+func chainStore(g *rdf.Graph, block bool) *Store {
+	var idx []int32
+	for i := 0; i < g.NumTriples(); i++ {
+		tr := g.Triple(int32(i))
+		if g.Vertices.String(uint32(tr.S)) == "ghost" {
+			continue
+		}
+		idx = append(idx, int32(i))
+	}
+	if block {
+		return NewBlock(g, idx)
+	}
+	return New(g, idx)
+}
+
+func pathPattern(t *testing.T, q string) *sparql.PathPattern {
+	t.Helper()
+	pq := sparql.MustParse(q)
+	pp, ok := pq.Where.(*sparql.PathPattern)
+	if !ok {
+		t.Fatalf("%s: want PathPattern, got %T", q, pq.Where)
+	}
+	return pp
+}
+
+func rowSet(tab *Table) map[[2]uint32]bool {
+	out := map[[2]uint32]bool{}
+	for r := 0; r < tab.Len(); r++ {
+		var k [2]uint32
+		for c := 0; c < tab.Stride() && c < 2; c++ {
+			k[c] = tab.At(r, c)
+		}
+		out[k] = true
+	}
+	return out
+}
+
+func TestMatchPath(t *testing.T) {
+	g := chainGraph()
+	id := func(name string) uint32 {
+		v, ok := g.Vertices.Lookup(name)
+		if !ok {
+			t.Fatalf("no vertex %q", name)
+		}
+		return v
+	}
+	for _, block := range []bool{false, true} {
+		st := chainStore(g, block)
+		name := map[bool]string{false: "flat", true: "block"}[block]
+
+		// <a> <p>+ ?y reaches b, c, d.
+		tab, err := st.MatchPath(pathPattern(t, `SELECT * WHERE { <a> <p>+ ?y }`), 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got := rowSet(tab)
+		want := map[[2]uint32]bool{{id("b")}: true, {id("c")}: true, {id("d")}: true}
+		if len(got) != len(want) {
+			t.Fatalf("%s: <a> <p>+ ?y = %v, want %v", name, got, want)
+		}
+		for k := range want {
+			if !got[k] {
+				t.Fatalf("%s: missing %v in %v", name, k, got)
+			}
+		}
+
+		// <a> <p>* ?y additionally includes a itself.
+		tab, err = st.MatchPath(pathPattern(t, `SELECT * WHERE { <a> <p>* ?y }`), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := rowSet(tab); len(got) != 4 || !got[[2]uint32{id("a")}] {
+			t.Fatalf("%s: <a> <p>* ?y = %v", name, got)
+		}
+
+		// Backward: ?x <p>+ <d> reaches a, b, c.
+		tab, err = st.MatchPath(pathPattern(t, `SELECT * WHERE { ?x <p>+ <d> }`), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := rowSet(tab); len(got) != 3 || !got[[2]uint32{id("a")}] {
+			t.Fatalf("%s: ?x <p>+ <d> = %v", name, got)
+		}
+
+		// Alternative: ?x <p>|<q> ?y has 4 live edges.
+		tab, err = st.MatchPath(pathPattern(t, `SELECT * WHERE { ?x <p>|<q> ?y }`), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tab.Len() != 4 {
+			t.Fatalf("%s: ?x <p>|<q> ?y has %d rows, want 4", name, tab.Len())
+		}
+
+		// Constant-constant membership.
+		tab, err = st.MatchPath(pathPattern(t, `SELECT * WHERE { <e> (<p>|<q>)+ <d> }`), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tab.Len() != 1 {
+			t.Fatalf("%s: <e> (<p>|<q>)+ <d> should match", name)
+		}
+
+		// Zero-length on a tombstoned vertex: ghost occurs in the dictionary
+		// but in no live triple, so <ghost> <p>* ?y matches nothing.
+		tab, err = st.MatchPath(pathPattern(t, `SELECT * WHERE { <ghost> <p>* ?y }`), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tab.Len() != 0 {
+			t.Fatalf("%s: <ghost> <p>* ?y = %d rows, want 0", name, tab.Len())
+		}
+
+		// ?x <p>? ?x: zero-length diagonal over live vertices only (a, b,
+		// c, d, e — the ghost vertex is excluded).
+		tab, err = st.MatchPath(pathPattern(t, `SELECT * WHERE { ?x <p>? ?x }`), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tab.Len() != 5 {
+			t.Fatalf("%s: ?x <p>? ?x = %d rows, want 5", name, tab.Len())
+		}
+
+		// Unknown property: empty, not an error.
+		tab, err = st.MatchPath(pathPattern(t, `SELECT * WHERE { ?x <nope>+ ?y }`), 0)
+		if err != nil || tab.Len() != 0 {
+			t.Fatalf("%s: unknown property: %v rows=%d", name, err, tab.Len())
+		}
+
+		// Budget exhaustion surfaces ErrPathBudget.
+		if _, err := st.MatchPath(pathPattern(t, `SELECT * WHERE { ?x <p>* ?y }`), 2); !errors.Is(err, ErrPathBudget) {
+			t.Fatalf("%s: tiny budget: got %v, want ErrPathBudget", name, err)
+		}
+	}
+}
+
+func TestMatchPathCycle(t *testing.T) {
+	g := rdf.NewGraph()
+	g.AddTriple("x", "p", "y")
+	g.AddTriple("y", "p", "x")
+	g.Freeze()
+	st := fullStore(g)
+	// <x> <p>+ ?y: the cycle returns to x, so both x and y match.
+	tab, err := st.MatchPath(pathPattern(t, `SELECT * WHERE { <x> <p>+ ?y }`), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("<x> <p>+ ?y on a 2-cycle = %d rows, want 2", tab.Len())
+	}
+}
+
+func TestMatchWhereFilterPushdown(t *testing.T) {
+	g := movieGraph()
+	st := fullStore(g)
+	q := sparql.MustParse(`SELECT * WHERE { ?f <starring> ?a }`)
+	e, err := sparql.ParseExpr(`?a != <actor2>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Filters = []sparql.Expr{e}
+	tab, err := st.Match(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("filtered match = %d rows, want 1", tab.Len())
+	}
+	aCol := tab.Col("a")
+	if got := g.Vertices.String(tab.At(0, aCol)); got != "actor1" {
+		t.Fatalf("filtered match kept %q, want actor1", got)
+	}
+
+	// A filter over a variable the BGP never binds is an error for every
+	// row (comparison) → no matches.
+	q2 := sparql.MustParse(`SELECT * WHERE { ?f <starring> ?a }`)
+	e2, err := sparql.ParseExpr(`?missing = <actor1>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2.Filters = []sparql.Expr{e2}
+	tab, err = st.Match(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 0 {
+		t.Fatalf("unbound-var filter admitted %d rows, want 0", tab.Len())
+	}
+
+	// ... but !bound(?missing) admits everything.
+	q3 := sparql.MustParse(`SELECT * WHERE { ?f <starring> ?a }`)
+	e3, err := sparql.ParseExpr(`!bound(?missing)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q3.Filters = []sparql.Expr{e3}
+	tab, err = st.Match(q3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 3 {
+		t.Fatalf("!bound filter kept %d rows, want 3", tab.Len())
+	}
+
+	// Property-variable filters resolve against the property dictionary.
+	q4 := sparql.MustParse(`SELECT * WHERE { <actor1> ?p ?o }`)
+	e4, err := sparql.ParseExpr(`?p = <spouse>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q4.Filters = []sparql.Expr{e4}
+	tab, err = st.Match(q4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("property filter = %d rows, want 1", tab.Len())
+	}
+}

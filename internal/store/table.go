@@ -1,5 +1,7 @@
 package store
 
+import "sort"
+
 // VarKind distinguishes variables bound to graph vertices from variables
 // bound to properties; the two live in separate dictionaries.
 type VarKind uint8
@@ -10,6 +12,14 @@ const (
 	// KindProperty marks a variable occurring in property position.
 	KindProperty
 )
+
+// NullID is the in-cell sentinel for an unbound (null) binding, produced by
+// OPTIONAL's left-outer join and UNION's schema merge. Dictionary IDs are
+// dense from zero and far below 2^32-1, so the sentinel can never collide
+// with a real ID. Nulls exist only in coordinator-side operator results:
+// BGP leaves evaluated at sites never produce them, so no null-bearing
+// table crosses the wire (DESIGN.md §15).
+const NullID = ^uint32(0)
 
 // Table is a set of variable bindings: one row per match, one column per
 // variable. Values are IDs into the graph's vertex or property dictionary
@@ -117,6 +127,65 @@ func (t *Table) Grow(n int) {
 	grown := make([]uint32, len(t.Data), need)
 	copy(grown, t.Data)
 	t.Data = grown
+}
+
+// IsNull reports whether row r, column c holds the null sentinel.
+func (t *Table) IsNull(r, c int) bool { return t.At(r, c) == NullID }
+
+// NullCols returns a bitmap of columns that contain at least one NullID
+// (bit i set ⇔ column i is nullable in this table's data). Tables are at
+// most a few dozen columns wide, so a uint64 suffices; callers use the
+// bitmap to keep null-free joins on the allocation-free fast path.
+func (t *Table) NullCols() uint64 {
+	w := len(t.Vars)
+	if w == 0 {
+		return 0
+	}
+	if w > 64 {
+		// Conservative: joins over (never seen in practice) ultra-wide
+		// tables take the null-aware path unconditionally.
+		return ^uint64(0)
+	}
+	var mask uint64
+	all := uint64(1)<<uint(w) - 1
+	for i, v := range t.Data {
+		if v == NullID {
+			mask |= 1 << uint(i%w)
+			if mask == all {
+				break
+			}
+		}
+	}
+	return mask
+}
+
+// SortRows sorts the rows lexicographically by their cell values. Path
+// closures enumerate reach sets in map order, so their tables are sorted
+// into this canonical order to keep results bit-identical across runs and
+// across execution paths (per-site closure vs coordinator closure).
+func (t *Table) SortRows() {
+	w := len(t.Vars)
+	n := t.Len()
+	if w == 0 || n < 2 {
+		return
+	}
+	rows := make([][]uint32, n)
+	for r := 0; r < n; r++ {
+		rows[r] = t.Row(r)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		for c := 0; c < w; c++ {
+			if rows[i][c] != rows[j][c] {
+				return rows[i][c] < rows[j][c]
+			}
+		}
+		return false
+	})
+	sorted := make([]uint32, 0, len(t.Data))
+	for _, row := range rows {
+		sorted = append(sorted, row...)
+	}
+	t.Data = sorted
 }
 
 // Truncate drops all rows past the first n.

@@ -222,7 +222,11 @@ func appendTerm(buf []byte, t sparql.Term) []byte {
 	return appendString(buf, t.Value)
 }
 
-// AppendQuery appends the wire encoding of q to buf.
+// AppendQuery appends the wire encoding of q to buf. Pushed-down FILTER
+// constraints travel as a trailing section — uvarint count plus one
+// rendered expression per filter, re-parsed on decode — that is written
+// only when present, so filter-free payloads are byte-identical to the
+// pre-filter encoding and either side of the pair can be the older one.
 func AppendQuery(buf []byte, q *sparql.Query) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(q.Select)))
 	for _, v := range q.Select {
@@ -233,6 +237,12 @@ func AppendQuery(buf []byte, q *sparql.Query) []byte {
 		buf = appendTerm(buf, p.S)
 		buf = appendTerm(buf, p.P)
 		buf = appendTerm(buf, p.O)
+	}
+	if len(q.Filters) > 0 {
+		buf = binary.AppendUvarint(buf, uint64(len(q.Filters)))
+		for _, f := range q.Filters {
+			buf = appendString(buf, f.String())
+		}
 	}
 	return buf
 }
@@ -322,6 +332,27 @@ func DecodeQuery(data []byte) (*sparql.Query, error) {
 			return nil, err
 		}
 		q.Patterns = append(q.Patterns, tp)
+	}
+	if d.pos != len(data) {
+		// Optional trailing filter section (present only when non-empty).
+		nFil, err := d.uvarint("filter count")
+		if err != nil {
+			return nil, err
+		}
+		if nFil == 0 || nFil > maxQueryStrings {
+			return nil, fmt.Errorf("transport: codec: bad filter count %d", nFil)
+		}
+		for i := uint64(0); i < nFil; i++ {
+			s, err := d.str("filter expression")
+			if err != nil {
+				return nil, err
+			}
+			e, err := sparql.ParseExpr(s)
+			if err != nil {
+				return nil, fmt.Errorf("transport: codec: filter %q: %v", s, err)
+			}
+			q.Filters = append(q.Filters, e)
+		}
 	}
 	if d.pos != len(data) {
 		return nil, fmt.Errorf("transport: codec: %d trailing bytes", len(data)-d.pos)

@@ -356,6 +356,56 @@ func TestQueryCodecRoundtrip(t *testing.T) {
 	}
 }
 
+func TestQueryCodecFilters(t *testing.T) {
+	q := &sparql.Query{
+		Select: []string{"x"},
+		Patterns: []sparql.TriplePattern{{
+			S: sparql.Term{IsVar: true, Value: "x"},
+			P: sparql.Term{Value: "knows"},
+			O: sparql.Term{IsVar: true, Value: "y"},
+		}},
+	}
+	// Filter-free payloads must stay byte-identical to the pre-filter
+	// encoding: the section is optional on the wire.
+	plain := AppendQuery(nil, q)
+	for _, src := range []string{`?y != <alice>`, `bound(?x) && (?x = ?y || !bound(?y))`} {
+		e, err := sparql.ParseExpr(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q.Filters = append(q.Filters, e)
+	}
+	enc := AppendQuery(nil, q)
+	if len(enc) <= len(plain) || !reflect.DeepEqual(plain, enc[:len(plain)]) {
+		t.Fatal("filter section should extend the plain encoding")
+	}
+	got, err := DecodeQuery(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Filters) != len(q.Filters) {
+		t.Fatalf("got %d filters, want %d", len(got.Filters), len(q.Filters))
+	}
+	for i := range got.Filters {
+		if got.Filters[i].String() != q.Filters[i].String() {
+			t.Errorf("filter %d: got %s, want %s", i, got.Filters[i], q.Filters[i])
+		}
+	}
+	// Truncating inside the filter section must error, not silently drop
+	// (cutting at exactly len(plain) is the valid filter-free encoding).
+	for cut := len(plain) + 1; cut < len(enc); cut++ {
+		if _, err := DecodeQuery(enc[:cut]); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded without error", cut, len(enc))
+		}
+	}
+	// A filter string that does not parse back is a codec error.
+	bad := append(append([]byte(nil), plain...), 1)
+	bad = appendString(bad, "?x &&")
+	if _, err := DecodeQuery(bad); err == nil {
+		t.Fatal("unparseable filter accepted")
+	}
+}
+
 func TestQueryCodecTruncated(t *testing.T) {
 	q := &sparql.Query{
 		Select: []string{"x", "y"},
